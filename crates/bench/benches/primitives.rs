@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the primitive flit-instructions.
+//!
+//! These measure the library's own overhead (tag check, counter update), so the
+//! simulated-NVRAM latency is set to zero: what remains is exactly the cost a data
+//! structure pays per instrumented instruction on top of the raw atomic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flit::{presets, FlitPolicy, HashedScheme, PFlag, PersistWord, PlainPolicy, Policy};
+use flit_pmem::{LatencyModel, SimNvram};
+use std::hint::black_box;
+
+fn backend() -> SimNvram {
+    SimNvram::builder()
+        .latency(LatencyModel::none())
+        .count_stats(false)
+        .build()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+
+    // flit-HT
+    let ht = presets::flit_ht(backend());
+    let w_ht = <FlitPolicy<HashedScheme, SimNvram> as Policy>::Word::<u64>::new(1);
+    group.bench_function("flit-HT/p-load-untagged", |b| {
+        b.iter(|| black_box(w_ht.load(&ht, PFlag::Persisted)))
+    });
+    group.bench_function("flit-HT/v-load", |b| {
+        b.iter(|| black_box(w_ht.load(&ht, PFlag::Volatile)))
+    });
+    group.bench_function("flit-HT/p-store", |b| {
+        b.iter(|| w_ht.store(&ht, black_box(7), PFlag::Persisted))
+    });
+
+    // flit-adjacent
+    let adj = presets::flit_adjacent(backend());
+    let w_adj = <flit::FlitPolicy<flit::AdjacentScheme, SimNvram> as Policy>::Word::<u64>::new(1);
+    group.bench_function("flit-adjacent/p-load-untagged", |b| {
+        b.iter(|| black_box(w_adj.load(&adj, PFlag::Persisted)))
+    });
+    group.bench_function("flit-adjacent/p-store", |b| {
+        b.iter(|| w_adj.store(&adj, black_box(7), PFlag::Persisted))
+    });
+
+    // plain
+    let plain = presets::plain(backend());
+    let w_plain = <PlainPolicy<SimNvram> as Policy>::Word::<u64>::new(1);
+    group.bench_function("plain/p-load", |b| {
+        b.iter(|| black_box(w_plain.load(&plain, PFlag::Persisted)))
+    });
+    group.bench_function("plain/p-store", |b| {
+        b.iter(|| w_plain.store(&plain, black_box(7), PFlag::Persisted))
+    });
+
+    // link-and-persist
+    let lp = presets::link_and_persist(backend());
+    let w_lp = <flit::LinkAndPersistPolicy<SimNvram> as Policy>::Word::<u64>::new(1);
+    group.bench_function("link-and-persist/p-load-clean", |b| {
+        b.iter(|| black_box(w_lp.load(&lp, PFlag::Persisted)))
+    });
+    group.bench_function("link-and-persist/p-store", |b| {
+        b.iter(|| w_lp.store(&lp, black_box(7), PFlag::Persisted))
+    });
+
+    // non-persistent baseline
+    let np = presets::no_persist();
+    let w_np = <flit::NoPersistPolicy as Policy>::Word::<u64>::new(1);
+    group.bench_function("non-persistent/load", |b| {
+        b.iter(|| black_box(w_np.load(&np, PFlag::Persisted)))
+    });
+    group.bench_function("non-persistent/store", |b| {
+        b.iter(|| w_np.store(&np, black_box(7), PFlag::Persisted))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! `repro` — regenerate the figures of the FliT paper's evaluation (§6).
+//!
+//! ```text
+//! cargo run -p flit-bench --release --bin repro -- [fig5|fig6|fig7|fig8|fig9|summary|all] [--full]
+//! ```
+//!
+//! By default the quick scale is used (sized for the single-core reproduction
+//! container); `--full` switches to settings close to the paper's. The output is a
+//! set of plain-text tables, one series per line; `EXPERIMENTS.md` records a captured
+//! run next to the paper's reported numbers.
+
+use flit_bench::experiments::{figure5, figure6, figure7, figure8, figure9, Row, Scale};
+use flit_bench::{SCALE_FULL, SCALE_QUICK};
+use flit_pmem::LatencyModel;
+use flit_workload::{run_case, Case, DsKind, DurKind, PolicyKind, WorkloadConfig};
+
+fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<28} {:<22} {:>10} {:>12} {:>12}",
+        "series", "x", "Mops/s", "pwbs/op", "pfences/op"
+    );
+    for r in rows {
+        println!(
+            "{:<28} {:<22} {:>10.3} {:>12.3} {:>12.3}",
+            r.series, r.x, r.mops, r.pwbs_per_op, r.pfences_per_op
+        );
+    }
+}
+
+fn normalised(rows: &[Row]) {
+    // Figure 8 is reported normalised to the non-persistent baseline of each
+    // structure and update ratio.
+    println!("\n--- normalised to the non-persistent baseline ---");
+    println!("{:<28} {:<8} {:>12}", "series", "updates", "normalised");
+    for r in rows {
+        if r.series.ends_with("non-persistent") {
+            continue;
+        }
+        let ds = r.series.split('/').next().unwrap_or_default();
+        let base = rows
+            .iter()
+            .find(|b| b.series == format!("{ds}/non-persistent") && b.x == r.x)
+            .map(|b| b.mops)
+            .unwrap_or(f64::NAN);
+        println!("{:<28} {:<8} {:>12.3}", r.series, r.x, r.mops / base);
+    }
+}
+
+fn summary(scale: &Scale) {
+    println!("\n=== Summary: headline claims of the paper ===");
+    // Claim 1 (abstract): FliT improves throughput over the naive (plain, automatic)
+    // implementation in update workloads.
+    println!("\nFliT (flit-HT 1MB) speedup over plain, automatic durability, 5% updates:");
+    for ds in DsKind::ALL {
+        let keys = if ds == DsKind::List {
+            scale.list_small_keys
+        } else {
+            scale.small_keys
+        };
+        let cfg = || WorkloadConfig::new(keys, 5, scale.threads, scale.ops_per_thread);
+        let mk = |policy| Case {
+            ds,
+            dur: DurKind::Automatic,
+            policy,
+            config: cfg(),
+            latency: LatencyModel::optane(),
+        };
+        let plain = run_case(&mk(PolicyKind::Plain));
+        let flit = run_case(&mk(PolicyKind::FlitHt(1 << 20)));
+        let nonp = run_case(&mk(PolicyKind::NoPersist));
+        println!(
+            "  {:<10} plain {:>7.3} Mops/s   flit-HT {:>7.3} Mops/s   speedup {:>5.2}x   (non-persistent {:>7.3})",
+            ds.name(),
+            plain.mops,
+            flit.mops,
+            flit.mops / plain.mops,
+            nonp.mops,
+        );
+    }
+    // Claim 2: even optimised durability methods still benefit from FliT.
+    println!("\nFliT speedup over plain under the optimised durability methods (5% updates):");
+    for ds in DsKind::ALL {
+        let keys = if ds == DsKind::List {
+            scale.list_small_keys
+        } else {
+            scale.small_keys
+        };
+        for dur in [DurKind::NvTraverse, DurKind::Manual] {
+            let cfg = || WorkloadConfig::new(keys, 5, scale.threads, scale.ops_per_thread);
+            let mk = |policy| Case {
+                ds,
+                dur,
+                policy,
+                config: cfg(),
+                latency: LatencyModel::optane(),
+            };
+            let plain = run_case(&mk(PolicyKind::Plain));
+            let flit = run_case(&mk(PolicyKind::FlitHt(1 << 20)));
+            println!(
+                "  {:<10} {:<11} speedup {:>5.2}x",
+                ds.name(),
+                dur.name(),
+                flit.mops / plain.mops
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = !args.iter().any(|a| a == "--full");
+    let scale = if quick { SCALE_QUICK } else { SCALE_FULL };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    println!(
+        "FliT reproduction — scale: {} ({} threads, {} ops/thread, simulated Optane latency)",
+        if quick { "quick" } else { "full" },
+        scale.threads,
+        scale.ops_per_thread
+    );
+
+    let run_fig5 =
+        || print_rows("Figure 5: flit-HT size tuning (automatic BST, 10K keys)", &figure5(&scale));
+    let run_fig6 = || {
+        print_rows(
+            "Figure 6: scalability (automatic BST, 10K keys, 5% updates)",
+            &figure6(&scale),
+        )
+    };
+    let run_fig7 = || {
+        print_rows(
+            "Figure 7: durability methods x variants (5% updates, small sizes)",
+            &figure7(&scale),
+        )
+    };
+    let run_fig8 = || {
+        let small = figure8(&scale, false);
+        print_rows("Figure 8 (top): update-ratio sweep, small sizes, automatic", &small);
+        normalised(&small);
+        let large = figure8(&scale, true);
+        print_rows("Figure 8 (bottom): update-ratio sweep, large sizes, automatic", &large);
+        normalised(&large);
+    };
+    let run_fig9 = || print_rows("Figure 9: pwbs per operation (5% updates)", &figure9(&scale));
+
+    match what.as_str() {
+        "fig5" => run_fig5(),
+        "fig6" => run_fig6(),
+        "fig7" => run_fig7(),
+        "fig8" => run_fig8(),
+        "fig9" => run_fig9(),
+        "summary" => summary(&scale),
+        "all" => {
+            run_fig5();
+            run_fig6();
+            run_fig7();
+            run_fig8();
+            run_fig9();
+            summary(&scale);
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}': expected fig5|fig6|fig7|fig8|fig9|summary|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Experiment definitions for Figures 5–9 of the paper, shared by the `repro` binary
+//! and the Criterion benches.
+//!
+//! Every function returns plain data (`Row`s) so callers can print, assert on, or
+//! serialise the results. The hardware of the reproduction environment differs wildly
+//! from the paper's 48-core Optane machine (see `DESIGN.md`), so the *absolute*
+//! numbers are not comparable; the functions exist to reproduce the *relationships*
+//! the paper reports: who wins, by roughly what factor, and where the crossovers are.
+
+use flit_pmem::LatencyModel;
+use flit_workload::{run_case, Case, DsKind, DurKind, PolicyKind, WorkloadConfig};
+
+/// How big to make each experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Threads used for the "44 thread" experiments of the paper.
+    pub threads: usize,
+    /// Operations per thread per measured case.
+    pub ops_per_thread: u64,
+    /// Key range for the "10K keys" structures.
+    pub small_keys: u64,
+    /// Key range for the "10M keys" structures (scaled down).
+    pub large_keys: u64,
+    /// Key range for the small linked list (128 in the paper).
+    pub list_small_keys: u64,
+    /// Key range for the large linked list (4K in the paper).
+    pub list_large_keys: u64,
+    /// Thread counts swept in the scalability experiment (Figure 6).
+    pub thread_sweep: &'static [usize],
+    /// Hash-table sizes swept in Figure 5 (bytes).
+    pub ht_sizes: &'static [usize],
+}
+
+/// Fast settings for the single-core container this reproduction runs in.
+pub const SCALE_QUICK: Scale = Scale {
+    threads: 4,
+    ops_per_thread: 4_000,
+    small_keys: 10_000,
+    large_keys: 100_000,
+    list_small_keys: 128,
+    list_large_keys: 4_096,
+    thread_sweep: &[1, 2, 4, 8],
+    ht_sizes: &[4 << 10, 64 << 10, 1 << 20, 16 << 20],
+};
+
+/// Settings closer to the paper's (use on a large multi-core machine).
+pub const SCALE_FULL: Scale = Scale {
+    threads: 44,
+    ops_per_thread: 100_000,
+    small_keys: 10_000,
+    large_keys: 10_000_000,
+    list_small_keys: 128,
+    list_large_keys: 4_096,
+    thread_sweep: &[1, 2, 4, 8, 16, 32, 44],
+    ht_sizes: &[4 << 10, 64 << 10, 1 << 20, 16 << 20, 64 << 20],
+};
+
+/// One measured data point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Label of the series (e.g. the policy variant).
+    pub series: String,
+    /// Label of the x-axis point (e.g. thread count, update ratio).
+    pub x: String,
+    /// Throughput in Mops/s.
+    pub mops: f64,
+    /// pwb instructions per operation.
+    pub pwbs_per_op: f64,
+    /// pfence instructions per operation.
+    pub pfences_per_op: f64,
+}
+
+fn case(ds: DsKind, dur: DurKind, policy: PolicyKind, cfg: WorkloadConfig) -> Case {
+    Case {
+        ds,
+        dur,
+        policy,
+        config: cfg,
+        latency: LatencyModel::optane(),
+    }
+}
+
+fn measure(c: &Case, series: String, x: String) -> Row {
+    let r = run_case(c);
+    Row {
+        series,
+        x,
+        mops: r.mops,
+        pwbs_per_op: r.pwbs_per_op(),
+        pfences_per_op: r.pfences_per_op(),
+    }
+}
+
+/// Figure 5: flit-HT size tuning on the automatic BST (10K keys) at 0/5/50% updates.
+pub fn figure5(scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &updates in &[0u32, 5, 50] {
+        for &bytes in scale.ht_sizes {
+            let cfg = WorkloadConfig::new(scale.small_keys, updates, scale.threads, scale.ops_per_thread);
+            let c = case(DsKind::Bst, DurKind::Automatic, PolicyKind::FlitHt(bytes), cfg);
+            rows.push(measure(
+                &c,
+                format!("{}% updates", updates),
+                flit::human_bytes(bytes),
+            ));
+        }
+    }
+    rows
+}
+
+/// Figure 6: thread scalability of the automatic BST (10K keys, 5% updates) for
+/// non-persistent, plain, flit-HT (1MB) and flit-adjacent.
+pub fn figure6(scale: &Scale) -> Vec<Row> {
+    let variants = [
+        PolicyKind::NoPersist,
+        PolicyKind::Plain,
+        PolicyKind::FlitHt(1 << 20),
+        PolicyKind::FlitAdjacent,
+    ];
+    let mut rows = Vec::new();
+    for &threads in scale.thread_sweep {
+        for policy in variants {
+            let cfg = WorkloadConfig::new(scale.small_keys, 5, threads, scale.ops_per_thread);
+            let c = case(DsKind::Bst, DurKind::Automatic, policy, cfg);
+            rows.push(measure(&c, policy.name(), threads.to_string()));
+        }
+    }
+    rows
+}
+
+fn small_key_range(scale: &Scale, ds: DsKind) -> u64 {
+    if ds == DsKind::List {
+        scale.list_small_keys
+    } else {
+        scale.small_keys
+    }
+}
+
+fn large_key_range(scale: &Scale, ds: DsKind) -> u64 {
+    if ds == DsKind::List {
+        scale.list_large_keys
+    } else {
+        scale.large_keys
+    }
+}
+
+/// Figure 7: all four structures × three durability methods × the applicable
+/// variants, 5% updates, small sizes. The non-persistent baseline is included as its
+/// own series (the dotted line of the paper's bar charts).
+pub fn figure7(scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for ds in DsKind::ALL {
+        let keys = small_key_range(scale, ds);
+        let cfg = || WorkloadConfig::new(keys, 5, scale.threads, scale.ops_per_thread);
+        let baseline = case(ds, DurKind::Automatic, PolicyKind::NoPersist, cfg());
+        rows.push(measure(&baseline, ds.name().to_string(), "non-persistent".into()));
+        for dur in DurKind::ALL {
+            for policy in PolicyKind::figure7_set(ds) {
+                let c = case(ds, dur, policy, cfg());
+                rows.push(measure(
+                    &c,
+                    ds.name().to_string(),
+                    format!("{}/{}", dur.name(), policy.name()),
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// Figure 8: update-ratio sweep (0/5/50%) for every structure at two sizes, automatic
+/// durability, normalised to the non-persistent baseline by the caller (the raw Mops
+/// are returned; the baseline series is included).
+pub fn figure8(scale: &Scale, large: bool) -> Vec<Row> {
+    let variants = [
+        PolicyKind::NoPersist,
+        PolicyKind::Plain,
+        PolicyKind::FlitAdjacent,
+        PolicyKind::FlitHt(1 << 20),
+        PolicyKind::LinkAndPersist,
+    ];
+    let mut rows = Vec::new();
+    for ds in DsKind::ALL {
+        let keys = if large {
+            large_key_range(scale, ds)
+        } else {
+            small_key_range(scale, ds)
+        };
+        for &updates in &[0u32, 5, 50] {
+            for policy in variants {
+                if !policy.applicable_to(ds) {
+                    continue;
+                }
+                let cfg = WorkloadConfig::new(keys, updates, scale.threads, scale.ops_per_thread);
+                let c = case(ds, DurKind::Automatic, policy, cfg);
+                rows.push(measure(
+                    &c,
+                    format!("{}/{}", ds.name(), policy.name()),
+                    format!("{}%", updates),
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// Figure 9: pwb instructions per operation for the hash table (10K keys) and the
+/// linked list (128 keys) at 5% updates, across the persistence variants.
+pub fn figure9(scale: &Scale) -> Vec<Row> {
+    let variants = [
+        PolicyKind::Plain,
+        PolicyKind::FlitAdjacent,
+        PolicyKind::FlitHt(1 << 20),
+        PolicyKind::LinkAndPersist,
+    ];
+    let mut rows = Vec::new();
+    for (ds, dur) in [
+        (DsKind::HashTable, DurKind::Automatic),
+        (DsKind::List, DurKind::Automatic),
+        (DsKind::HashTable, DurKind::NvTraverse),
+        (DsKind::List, DurKind::NvTraverse),
+    ] {
+        let keys = small_key_range(scale, ds);
+        for policy in variants {
+            let cfg = WorkloadConfig::new(keys, 5, scale.threads, scale.ops_per_thread);
+            let c = case(ds, dur, policy, cfg);
+            rows.push(measure(
+                &c,
+                format!("{}/{}", ds.name(), dur.name()),
+                policy.name(),
+            ));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature scale so the experiment plumbing can be exercised in unit tests.
+    const SCALE_TEST: Scale = Scale {
+        threads: 2,
+        ops_per_thread: 200,
+        small_keys: 256,
+        large_keys: 512,
+        list_small_keys: 64,
+        list_large_keys: 128,
+        thread_sweep: &[1, 2],
+        ht_sizes: &[4 << 10, 64 << 10],
+    };
+
+    #[test]
+    fn figure5_produces_the_expected_grid() {
+        let rows = figure5(&SCALE_TEST);
+        assert_eq!(rows.len(), 3 * SCALE_TEST.ht_sizes.len());
+        assert!(rows.iter().all(|r| r.mops > 0.0));
+    }
+
+    #[test]
+    fn figure6_covers_every_thread_count_and_variant() {
+        let rows = figure6(&SCALE_TEST);
+        assert_eq!(rows.len(), SCALE_TEST.thread_sweep.len() * 4);
+    }
+
+    #[test]
+    fn figure9_reports_pwb_rates() {
+        let rows = figure9(&SCALE_TEST);
+        assert_eq!(rows.len(), 4 * 4);
+        // plain must flush more than flit-HT on the same workload.
+        let plain: f64 = rows
+            .iter()
+            .filter(|r| r.x == "plain" && r.series == "hashtable/automatic")
+            .map(|r| r.pwbs_per_op)
+            .sum();
+        let flit: f64 = rows
+            .iter()
+            .filter(|r| r.x == "flit-HT (1MB)" && r.series == "hashtable/automatic")
+            .map(|r| r.pwbs_per_op)
+            .sum();
+        assert!(plain > flit, "plain={plain} flit={flit}");
+    }
+}

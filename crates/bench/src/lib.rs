@@ -1,0 +1,19 @@
+//! # `flit-bench` — benchmark harness for the FliT reproduction
+//!
+//! Two kinds of benchmarks live here:
+//!
+//! * the **`repro` binary** (`cargo run -p flit-bench --release --bin repro -- all`)
+//!   regenerates every figure of the paper's evaluation (Figures 5–9) as printed
+//!   tables, using the simulated-NVRAM latency model; the measured numbers are
+//!   recorded in `EXPERIMENTS.md`;
+//! * the **Criterion benches** (`cargo bench -p flit-bench`) measure the primitive
+//!   flit-instruction costs and small end-to-end map workloads, for regression
+//!   tracking rather than paper reproduction.
+//!
+//! This library crate holds the experiment definitions shared by both.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{Scale, SCALE_FULL, SCALE_QUICK};

@@ -1,0 +1,467 @@
+//! The FliT algorithm itself: [`FlitAtomic`] implements Algorithm 4 of the paper for a
+//! single persisted word, and [`FlitPolicy`] packages a tag scheme with a backend so
+//! data structures can be instantiated with any combination.
+//!
+//! A quick recap of Algorithm 4 (shared accesses; `X` is the word, `cnt` its
+//! flit-counter):
+//!
+//! ```text
+//! p-load(X):            val = X.load(); if cnt(X) > 0 { pwb(X) }; return val
+//! p-store(X, v):        pfence(); cnt(X)+=1; X.store(v); pwb(X); pfence(); cnt(X)-=1
+//! v-load(X):            X.load()
+//! v-store(X, v):        pfence(); X.store(v)
+//! operation_completion: pfence()
+//! ```
+//!
+//! Private accesses skip the counter and the leading fence; a private p-store is just
+//! `store; pwb; pfence`.
+//!
+//! The leading `pfence` of every shared store (persisted *or* volatile) is what
+//! discharges Condition 4 of the P-V Interface: all values the thread previously
+//! `pwb`-ed — which, by the load and store rules, include every dependency it has
+//! accumulated — are durable before the new store can be observed by others.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use flit_pmem::PmemBackend;
+
+use crate::pflag::PFlag;
+use crate::policy::{PersistWord, Policy};
+use crate::scheme::{PlainScheme, TagScheme};
+use crate::word::PWord;
+
+/// A persistence policy running the FliT algorithm with tag scheme `S` over backend
+/// `B`. The paper's evaluated variants are type aliases of this:
+/// [`PlainPolicy`], flit-adjacent (`FlitPolicy<AdjacentScheme, B>`) and flit-HT
+/// (`FlitPolicy<HashedScheme, B>`).
+#[derive(Debug, Clone)]
+pub struct FlitPolicy<S: TagScheme, B: PmemBackend> {
+    scheme: S,
+    backend: B,
+}
+
+/// The *plain* durable transformation (no tagging; every p-load flushes). This is the
+/// baseline FliT is compared against throughout the evaluation.
+pub type PlainPolicy<B> = FlitPolicy<PlainScheme, B>;
+
+impl<S: TagScheme, B: PmemBackend> FlitPolicy<S, B> {
+    /// Create a policy from a tag scheme and a backend.
+    pub fn new(scheme: S, backend: B) -> Self {
+        Self { scheme, backend }
+    }
+
+    /// The tag scheme in use.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+}
+
+impl<S: TagScheme, B: PmemBackend> Policy for FlitPolicy<S, B> {
+    type Backend = B;
+    type Word<T: PWord> = FlitAtomic<T, S, B>;
+
+    #[inline]
+    fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    fn label(&self) -> String {
+        self.scheme.describe()
+    }
+}
+
+/// One persisted word managed by the FliT algorithm.
+///
+/// The layout depends on the scheme: with [`AdjacentScheme`](crate::scheme::AdjacentScheme)
+/// the word carries its own 8-bit counter (doubling its size after padding — the
+/// effect discussed in paper §6.6 for skiplist nodes); with the table-based schemes the
+/// per-word metadata is zero-sized and the layout is identical to a plain `AtomicU64`.
+pub struct FlitAtomic<T: PWord, S: TagScheme, B: PmemBackend> {
+    repr: AtomicU64,
+    tag: S::PerWord,
+    _marker: PhantomData<fn() -> (T, S, B)>,
+}
+
+impl<T: PWord, S: TagScheme, B: PmemBackend> FlitAtomic<T, S, B> {
+    #[inline]
+    fn word_addr(&self) -> usize {
+        &self.repr as *const AtomicU64 as usize
+    }
+
+    #[inline]
+    fn word_ptr(&self) -> *const u8 {
+        &self.repr as *const AtomicU64 as *const u8
+    }
+
+    /// Read path of Algorithm 4 (lines 1-8).
+    #[inline]
+    fn flush_if_tagged(&self, ctx: &FlitPolicy<S, B>, flag: PFlag) {
+        if flag.is_persisted()
+            && ctx.backend.is_persistent()
+            && ctx.scheme.is_tagged(&self.tag, self.word_addr())
+        {
+            ctx.backend.pwb(self.word_ptr());
+            if let Some(stats) = ctx.backend.pmem_stats() {
+                stats.record_read_side_pwb();
+            }
+        }
+    }
+
+    /// Write path of Algorithm 4 (lines 10-18), shared by store/CAS/exchange/FAA:
+    /// the actual atomic update is passed in as `update`, which returns the value now
+    /// present in the word (the new value for successful updates, the unchanged
+    /// current value for failed CAS).
+    #[inline]
+    fn shared_update<R>(
+        &self,
+        ctx: &FlitPolicy<S, B>,
+        flag: PFlag,
+        update: impl FnOnce() -> (R, u64),
+    ) -> R {
+        let backend = &ctx.backend;
+        if !backend.is_persistent() {
+            let (result, _now) = update();
+            return result;
+        }
+        // Leading fence: every dependency this thread accumulated (all its prior
+        // pwbs) must be durable before this store can linearize (Condition 4).
+        backend.pfence();
+        if flag.is_persisted() {
+            let addr = self.word_addr();
+            ctx.scheme.begin_store(&self.tag, addr);
+            let (result, now) = update();
+            backend.record_store(self.word_ptr(), now);
+            backend.pwb(self.word_ptr());
+            backend.pfence();
+            ctx.scheme.end_store(&self.tag, addr);
+            result
+        } else {
+            let (result, now) = update();
+            backend.record_store(self.word_ptr(), now);
+            result
+        }
+    }
+}
+
+impl<T: PWord, S: TagScheme, B: PmemBackend> PersistWord<T, FlitPolicy<S, B>>
+    for FlitAtomic<T, S, B>
+{
+    fn new(val: T) -> Self {
+        Self {
+            repr: AtomicU64::new(val.to_word()),
+            tag: Default::default(),
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn load(&self, ctx: &FlitPolicy<S, B>, flag: PFlag) -> T {
+        let val = self.repr.load(Ordering::SeqCst);
+        self.flush_if_tagged(ctx, flag);
+        T::from_word(val)
+    }
+
+    #[inline]
+    fn store(&self, ctx: &FlitPolicy<S, B>, val: T, flag: PFlag) {
+        let word = val.to_word();
+        self.shared_update(ctx, flag, || {
+            self.repr.store(word, Ordering::SeqCst);
+            ((), word)
+        });
+    }
+
+    #[inline]
+    fn compare_exchange(
+        &self,
+        ctx: &FlitPolicy<S, B>,
+        current: T,
+        new: T,
+        flag: PFlag,
+    ) -> Result<T, T> {
+        let cur = current.to_word();
+        let new = new.to_word();
+        self.shared_update(ctx, flag, || {
+            match self
+                .repr
+                .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(prev) => (Ok(T::from_word(prev)), new),
+                Err(actual) => (Err(T::from_word(actual)), actual),
+            }
+        })
+    }
+
+    #[inline]
+    fn exchange(&self, ctx: &FlitPolicy<S, B>, val: T, flag: PFlag) -> T {
+        let word = val.to_word();
+        self.shared_update(ctx, flag, || {
+            (T::from_word(self.repr.swap(word, Ordering::SeqCst)), word)
+        })
+    }
+
+    #[inline]
+    fn fetch_add(&self, ctx: &FlitPolicy<S, B>, delta: u64, flag: PFlag) -> T {
+        self.shared_update(ctx, flag, || {
+            let prev = self.repr.fetch_add(delta, Ordering::SeqCst);
+            (T::from_word(prev), prev.wrapping_add(delta))
+        })
+    }
+
+    #[inline]
+    fn load_private(&self, _ctx: &FlitPolicy<S, B>, _flag: PFlag) -> T {
+        // A private location cannot have a pending p-store by another thread, so the
+        // counter check and flush are unnecessary (paper §5).
+        T::from_word(self.repr.load(Ordering::SeqCst))
+    }
+
+    #[inline]
+    fn store_private(&self, ctx: &FlitPolicy<S, B>, val: T, flag: PFlag) {
+        let word = val.to_word();
+        self.repr.store(word, Ordering::SeqCst);
+        let backend = &ctx.backend;
+        if !backend.is_persistent() {
+            return;
+        }
+        backend.record_store(self.word_ptr(), word);
+        if flag.is_persisted() {
+            backend.pwb(self.word_ptr());
+            backend.pfence();
+        }
+    }
+
+    #[inline]
+    fn load_direct(&self) -> T {
+        T::from_word(self.repr.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn store_direct(&self, val: T) {
+        self.repr.store(val.to_word(), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self.word_addr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{AdjacentScheme, CacheLineScheme, HashedScheme};
+    use flit_pmem::{LatencyModel, SimNvram};
+
+    type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
+
+    fn ht_policy() -> HtPolicy {
+        FlitPolicy::new(
+            HashedScheme::with_bytes(1 << 16),
+            SimNvram::builder().latency(LatencyModel::none()).build(),
+        )
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let p = ht_policy();
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(5);
+        assert_eq!(w.load(&p, PFlag::Persisted), 5);
+        w.store(&p, 9, PFlag::Persisted);
+        assert_eq!(w.load(&p, PFlag::Volatile), 9);
+        assert_eq!(w.load_direct(), 9);
+    }
+
+    #[test]
+    fn p_store_costs_one_pwb_and_two_pfences() {
+        let p = ht_policy();
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
+        w.store(&p, 1, PFlag::Persisted);
+        let snap = p.stats_snapshot().unwrap();
+        assert_eq!(snap.pwbs, 1);
+        assert_eq!(snap.pfences, 2);
+    }
+
+    #[test]
+    fn v_store_costs_only_the_leading_pfence() {
+        let p = ht_policy();
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
+        w.store(&p, 1, PFlag::Volatile);
+        let snap = p.stats_snapshot().unwrap();
+        assert_eq!(snap.pwbs, 0);
+        assert_eq!(snap.pfences, 1);
+    }
+
+    #[test]
+    fn p_load_of_untagged_location_does_not_flush() {
+        let p = ht_policy();
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(3);
+        for _ in 0..100 {
+            assert_eq!(w.load(&p, PFlag::Persisted), 3);
+        }
+        assert_eq!(p.stats_snapshot().unwrap().pwbs, 0);
+    }
+
+    #[test]
+    fn p_load_of_tagged_location_flushes() {
+        let p = ht_policy();
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(3);
+        // Tag the location by hand, as if a p-store were pending.
+        p.scheme().begin_store(&(), w.addr());
+        let _ = w.load(&p, PFlag::Persisted);
+        let snap = p.stats_snapshot().unwrap();
+        assert_eq!(snap.pwbs, 1);
+        assert_eq!(snap.read_side_pwbs, 1);
+        p.scheme().end_store(&(), w.addr());
+        // Once untagged, loads stop flushing.
+        let _ = w.load(&p, PFlag::Persisted);
+        assert_eq!(p.stats_snapshot().unwrap().pwbs, 1);
+    }
+
+    #[test]
+    fn plain_policy_flushes_on_every_p_load() {
+        let p: PlainPolicy<SimNvram> = FlitPolicy::new(
+            PlainScheme,
+            SimNvram::builder().latency(LatencyModel::none()).build(),
+        );
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(3);
+        for _ in 0..10 {
+            let _ = w.load(&p, PFlag::Persisted);
+        }
+        assert_eq!(p.stats_snapshot().unwrap().pwbs, 10);
+        // ...but never on v-loads.
+        for _ in 0..10 {
+            let _ = w.load(&p, PFlag::Volatile);
+        }
+        assert_eq!(p.stats_snapshot().unwrap().pwbs, 10);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let p = ht_policy();
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(10);
+        assert_eq!(w.compare_exchange(&p, 10, 20, PFlag::Persisted), Ok(10));
+        assert_eq!(w.compare_exchange(&p, 10, 30, PFlag::Persisted), Err(20));
+        assert_eq!(w.load(&p, PFlag::Volatile), 20);
+    }
+
+    #[test]
+    fn exchange_and_fetch_add() {
+        let p = ht_policy();
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(100);
+        assert_eq!(w.exchange(&p, 200, PFlag::Persisted), 100);
+        assert_eq!(w.fetch_add(&p, 5, PFlag::Persisted), 200);
+        assert_eq!(w.load(&p, PFlag::Persisted), 205);
+    }
+
+    #[test]
+    fn counter_returns_to_zero_after_every_store() {
+        // Lemma 5.1: the flit-counter balance of a completed p-store is zero.
+        let scheme = HashedScheme::with_bytes(1 << 12);
+        let p = FlitPolicy::new(
+            scheme.clone(),
+            SimNvram::builder().latency(LatencyModel::none()).build(),
+        );
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
+        for i in 0..100 {
+            w.store(&p, i, PFlag::Persisted);
+            let _ = w.compare_exchange(&p, i, i + 1, PFlag::Persisted);
+        }
+        assert_eq!(scheme.table().tagged_count(), 0);
+    }
+
+    #[test]
+    fn pointers_can_be_stored() {
+        let p = ht_policy();
+        let boxed = Box::into_raw(Box::new(77u64));
+        let w: FlitAtomic<*mut u64, _, _> = FlitAtomic::new(std::ptr::null_mut());
+        w.store(&p, boxed, PFlag::Persisted);
+        let back = w.load(&p, PFlag::Persisted);
+        assert_eq!(back, boxed);
+        unsafe { drop(Box::from_raw(back)) };
+    }
+
+    #[test]
+    fn private_accesses_skip_the_counter_and_leading_fence() {
+        let p = ht_policy();
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
+        w.store_private(&p, 42, PFlag::Persisted);
+        let snap = p.stats_snapshot().unwrap();
+        assert_eq!(snap.pwbs, 1);
+        assert_eq!(snap.pfences, 1, "private p-store has no leading fence");
+        assert_eq!(w.load_private(&p, PFlag::Persisted), 42);
+        assert_eq!(snap.read_side_pwbs, 0);
+    }
+
+    #[test]
+    fn adjacent_scheme_embeds_the_counter() {
+        let p = FlitPolicy::new(
+            AdjacentScheme,
+            SimNvram::builder().latency(LatencyModel::none()).build(),
+        );
+        let w: FlitAtomic<u64, AdjacentScheme, SimNvram> = FlitAtomic::new(1);
+        w.store(&p, 2, PFlag::Persisted);
+        assert_eq!(w.load(&p, PFlag::Persisted), 2);
+        // Layout check backing the paper's §6.6 discussion: the adjacent variant makes
+        // the word bigger than a bare AtomicU64, the table variants do not.
+        assert!(std::mem::size_of::<FlitAtomic<u64, AdjacentScheme, SimNvram>>() > 8);
+        assert_eq!(std::mem::size_of::<FlitAtomic<u64, HashedScheme, SimNvram>>(), 8);
+        assert_eq!(std::mem::size_of::<FlitAtomic<u64, PlainScheme, SimNvram>>(), 8);
+    }
+
+    #[test]
+    fn cache_line_scheme_works_end_to_end() {
+        let p = FlitPolicy::new(
+            CacheLineScheme::with_bytes(1 << 12),
+            SimNvram::builder().latency(LatencyModel::none()).build(),
+        );
+        let w: FlitAtomic<u64, CacheLineScheme, SimNvram> = FlitAtomic::new(0);
+        w.store(&p, 5, PFlag::Persisted);
+        assert_eq!(w.load(&p, PFlag::Persisted), 5);
+        assert_eq!(p.stats_snapshot().unwrap().pwbs, 1);
+    }
+
+    #[test]
+    fn stores_feed_the_persistence_tracker() {
+        let backend = SimNvram::for_crash_testing();
+        let p = FlitPolicy::new(HashedScheme::with_bytes(1 << 12), backend.clone());
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
+        w.store(&p, 11, PFlag::Persisted);
+        // A completed p-store must already be durable.
+        assert_eq!(
+            backend.tracker().unwrap().persisted_value(w.addr()),
+            Some(11)
+        );
+        w.store(&p, 12, PFlag::Volatile);
+        // A v-store is visible in volatile memory but not persisted.
+        assert_eq!(backend.tracker().unwrap().volatile_value(w.addr()), Some(12));
+        assert_eq!(
+            backend.tracker().unwrap().persisted_value(w.addr()),
+            Some(11)
+        );
+    }
+
+    #[test]
+    fn concurrent_counter_discipline() {
+        let scheme = HashedScheme::with_bytes(1 << 12);
+        let p = std::sync::Arc::new(FlitPolicy::new(
+            scheme.clone(),
+            SimNvram::builder().latency(LatencyModel::none()).build(),
+        ));
+        let w = std::sync::Arc::new(FlitAtomic::<u64, HashedScheme, SimNvram>::new(0));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let p = std::sync::Arc::clone(&p);
+                let w = std::sync::Arc::clone(&w);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        w.fetch_add(&p, 1, PFlag::Persisted);
+                        let _ = w.load(&p, PFlag::Persisted);
+                        let _ = w.compare_exchange(&p, t * i, i, PFlag::Persisted);
+                    }
+                });
+            }
+        });
+        assert_eq!(scheme.table().tagged_count(), 0);
+        assert!(w.load_direct() >= 4000);
+    }
+}

@@ -1,0 +1,163 @@
+//! The non-persistent baseline policy.
+//!
+//! Every data structure in the evaluation is also run in its original, non-durable
+//! form (the grey dotted line in the paper's plots): no `pwb`, no `pfence`, no
+//! tagging — just the underlying atomic instruction. [`NoPersistPolicy`] provides that
+//! baseline through the same [`Policy`] interface so the identical data-structure code
+//! can be measured with and without persistence.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use flit_pmem::NullPmem;
+
+use crate::pflag::PFlag;
+use crate::policy::{PersistWord, Policy};
+use crate::word::PWord;
+
+/// Policy with no persistence whatsoever (the non-persistent baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPersistPolicy {
+    backend: NullPmem,
+}
+
+impl NoPersistPolicy {
+    /// Create the baseline policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for NoPersistPolicy {
+    type Backend = NullPmem;
+    type Word<T: PWord> = VolatileAtomic<T>;
+    const PERSISTENT: bool = false;
+
+    #[inline]
+    fn backend(&self) -> &NullPmem {
+        &self.backend
+    }
+
+    #[inline]
+    fn operation_completion(&self) {}
+
+    #[inline]
+    fn persist_range(&self, _start: *const u8, _len: usize, _flag: PFlag) {}
+
+    fn label(&self) -> String {
+        "non-persistent".to_string()
+    }
+}
+
+/// A plain atomic word: ignores `pflag` entirely.
+pub struct VolatileAtomic<T: PWord> {
+    repr: AtomicU64,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: PWord> PersistWord<T, NoPersistPolicy> for VolatileAtomic<T> {
+    fn new(val: T) -> Self {
+        Self {
+            repr: AtomicU64::new(val.to_word()),
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn load(&self, _ctx: &NoPersistPolicy, _flag: PFlag) -> T {
+        T::from_word(self.repr.load(Ordering::SeqCst))
+    }
+
+    #[inline]
+    fn store(&self, _ctx: &NoPersistPolicy, val: T, _flag: PFlag) {
+        self.repr.store(val.to_word(), Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn compare_exchange(
+        &self,
+        _ctx: &NoPersistPolicy,
+        current: T,
+        new: T,
+        _flag: PFlag,
+    ) -> Result<T, T> {
+        self.repr
+            .compare_exchange(
+                current.to_word(),
+                new.to_word(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .map(T::from_word)
+            .map_err(T::from_word)
+    }
+
+    #[inline]
+    fn exchange(&self, _ctx: &NoPersistPolicy, val: T, _flag: PFlag) -> T {
+        T::from_word(self.repr.swap(val.to_word(), Ordering::SeqCst))
+    }
+
+    #[inline]
+    fn fetch_add(&self, _ctx: &NoPersistPolicy, delta: u64, _flag: PFlag) -> T {
+        T::from_word(self.repr.fetch_add(delta, Ordering::SeqCst))
+    }
+
+    #[inline]
+    fn load_private(&self, ctx: &NoPersistPolicy, flag: PFlag) -> T {
+        self.load(ctx, flag)
+    }
+
+    #[inline]
+    fn store_private(&self, ctx: &NoPersistPolicy, val: T, flag: PFlag) {
+        self.store(ctx, val, flag)
+    }
+
+    #[inline]
+    fn load_direct(&self) -> T {
+        T::from_word(self.repr.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn store_direct(&self, val: T) {
+        self.repr.store(val.to_word(), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        &self.repr as *const AtomicU64 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_operations() {
+        let p = NoPersistPolicy::new();
+        let w: VolatileAtomic<u64> = VolatileAtomic::new(1);
+        assert_eq!(w.load(&p, PFlag::Persisted), 1);
+        w.store(&p, 2, PFlag::Persisted);
+        assert_eq!(w.compare_exchange(&p, 2, 3, PFlag::Persisted), Ok(2));
+        assert_eq!(w.exchange(&p, 4, PFlag::Persisted), 3);
+        assert_eq!(w.fetch_add(&p, 6, PFlag::Persisted), 4);
+        assert_eq!(w.load_direct(), 10);
+    }
+
+    #[test]
+    fn no_persistence_side_effects() {
+        let p = NoPersistPolicy::new();
+        assert!(!NoPersistPolicy::PERSISTENT);
+        assert!(p.stats_snapshot().is_none());
+        p.operation_completion();
+        let w: VolatileAtomic<u64> = VolatileAtomic::new(0);
+        p.persist_object(&w, PFlag::Persisted);
+        assert_eq!(p.label(), "non-persistent");
+    }
+
+    #[test]
+    fn word_is_exactly_eight_bytes() {
+        assert_eq!(std::mem::size_of::<VolatileAtomic<u64>>(), 8);
+        assert_eq!(std::mem::size_of::<VolatileAtomic<*mut u64>>(), 8);
+    }
+}

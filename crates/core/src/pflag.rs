@@ -1,0 +1,105 @@
+//! The per-instruction persistence flag (`pflag`) of the FliT interface.
+//!
+//! Every flit-instruction takes, besides the arguments of the underlying memory
+//! instruction, a flag saying whether it is a *p-instruction* (its value must be
+//! persisted, and it participates in the dependency tracking of the P-V Interface) or
+//! a *v-instruction* (its persistence has been reasoned away by the algorithm
+//! designer).
+
+/// Whether a flit-instruction is persisted (`p-`) or volatile (`v-`).
+///
+/// Mirrors the `pflag` boolean of the paper's interface (Figure 1) and the
+/// `flush_option::persisted` / `flush_option::volatile` defaults of the C++ syntax
+/// (Algorithm 2 / Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PFlag {
+    /// A p-instruction: its effect must reach persistent memory according to the P-V
+    /// Interface conditions. This is the default, matching the paper's "automatic"
+    /// transformation in which *every* instruction is a p-instruction.
+    #[default]
+    Persisted,
+    /// A v-instruction: the library may skip all persistence work for it.
+    Volatile,
+}
+
+impl PFlag {
+    /// `true` for [`PFlag::Persisted`].
+    #[inline]
+    pub const fn is_persisted(self) -> bool {
+        matches!(self, PFlag::Persisted)
+    }
+
+    /// `true` for [`PFlag::Volatile`].
+    #[inline]
+    pub const fn is_volatile(self) -> bool {
+        matches!(self, PFlag::Volatile)
+    }
+
+    /// Convert from the boolean convention of the paper's pseudocode
+    /// (`true` = persisted).
+    #[inline]
+    pub const fn from_bool(persisted: bool) -> Self {
+        if persisted {
+            PFlag::Persisted
+        } else {
+            PFlag::Volatile
+        }
+    }
+}
+
+impl From<bool> for PFlag {
+    fn from(persisted: bool) -> Self {
+        PFlag::from_bool(persisted)
+    }
+}
+
+/// Whether the memory location being accessed is *shared* (reachable by other
+/// threads) or *private* (exclusively owned by the calling thread), following the
+/// model of paper §2.1.
+///
+/// Private flit-instructions admit a cheaper implementation (paper §5): they skip the
+/// flit-counter entirely and p-stores skip the leading `pfence`, because no concurrent
+/// flit-instruction can observe an intermediate state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Visibility {
+    /// The location may be accessed concurrently by other threads.
+    #[default]
+    Shared,
+    /// The location is exclusively owned by the calling thread (e.g. a freshly
+    /// allocated node that has not yet been published).
+    Private,
+}
+
+impl Visibility {
+    /// `true` for [`Visibility::Shared`].
+    #[inline]
+    pub const fn is_shared(self) -> bool {
+        matches!(self, Visibility::Shared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_automatic_transformation() {
+        assert_eq!(PFlag::default(), PFlag::Persisted);
+        assert_eq!(Visibility::default(), Visibility::Shared);
+    }
+
+    #[test]
+    fn bool_conversion() {
+        assert_eq!(PFlag::from(true), PFlag::Persisted);
+        assert_eq!(PFlag::from(false), PFlag::Volatile);
+        assert!(PFlag::Persisted.is_persisted());
+        assert!(!PFlag::Persisted.is_volatile());
+        assert!(PFlag::Volatile.is_volatile());
+    }
+
+    #[test]
+    fn visibility_predicates() {
+        assert!(Visibility::Shared.is_shared());
+        assert!(!Visibility::Private.is_shared());
+    }
+}

@@ -1,0 +1,265 @@
+//! The [`Policy`] abstraction: *how* p-instructions are implemented.
+//!
+//! The P-V Interface (paper §3) specifies *what* p- and v-instructions guarantee; a
+//! policy is one concrete implementation of that interface. The paper's evaluation
+//! compares four:
+//!
+//! | paper name        | policy type here                                   |
+//! |--------------------|----------------------------------------------------|
+//! | plain              | [`PlainPolicy<B>`] (= FliT with the always-tagged scheme) |
+//! | flit-adjacent      | [`FlitPolicy<AdjacentScheme, B>`]                  |
+//! | flit-HT            | [`FlitPolicy<HashedScheme, B>`]                    |
+//! | link-and-persist   | [`LinkAndPersistPolicy<B>`](crate::link_persist::LinkAndPersistPolicy) |
+//! | non-persistent     | [`NoPersistPolicy`](crate::no_persist::NoPersistPolicy) |
+//!
+//! Data structures are written once, generic over `P: Policy`, and every word they
+//! declare as `P::Word<T>` behaves according to the chosen policy — this is the Rust
+//! equivalent of the paper's `persist<T>` template declaration.
+
+use flit_pmem::{cache_line_of, PmemBackend, StatsSnapshot, CACHE_LINE_SIZE};
+
+use crate::pflag::PFlag;
+use crate::word::PWord;
+
+/// One persisted word as exposed to data-structure code: the Rust counterpart of the
+/// paper's `persist<T>` member functions (Figure 1).
+///
+/// Every method takes the owning [`Policy`] as an explicit context argument (`ctx`):
+/// schemes that keep their flit-counters in a shared table, and backends that carry
+/// statistics, live in the policy rather than in each word, so the word itself stays
+/// as small as the scheme allows.
+///
+/// The `*_private` variants implement the cheaper code path the paper describes for
+/// locations not yet (or no longer) reachable by other threads.
+pub trait PersistWord<T: PWord, P: Policy>: Send + Sync + 'static {
+    /// Create a word holding `val`. No persistence actions are taken: a freshly
+    /// created word is private until it is published, and the publishing code decides
+    /// how to persist the initial value (typically [`Policy::persist_object`]).
+    fn new(val: T) -> Self;
+
+    /// Shared load (`persist<T>::load(pflag)`).
+    fn load(&self, ctx: &P, flag: PFlag) -> T;
+
+    /// Shared store (`persist<T>::write(value, pflag)`).
+    fn store(&self, ctx: &P, val: T, flag: PFlag);
+
+    /// Shared compare-and-swap. Returns `Ok(previous)` on success and `Err(actual)`
+    /// when the current value did not match `current`.
+    fn compare_exchange(&self, ctx: &P, current: T, new: T, flag: PFlag) -> Result<T, T>;
+
+    /// Shared atomic exchange (`persist<T>::exchange`). Returns the previous value.
+    fn exchange(&self, ctx: &P, val: T, flag: PFlag) -> T;
+
+    /// Shared fetch-and-add on the word's 64-bit representation
+    /// (`persist<T>::FAA`; only meaningful for integer `T`). Returns the previous
+    /// value.
+    fn fetch_add(&self, ctx: &P, delta: u64, flag: PFlag) -> T;
+
+    /// Private load: the location cannot be concurrently accessed.
+    fn load_private(&self, ctx: &P, flag: PFlag) -> T;
+
+    /// Private store: the location cannot be concurrently accessed, so the
+    /// flit-counter and the leading fence are skipped (paper §5).
+    fn store_private(&self, ctx: &P, val: T, flag: PFlag);
+
+    /// Raw load with no persistence semantics whatsoever. Intended for `Drop`
+    /// implementations and single-threaded teardown/validation code.
+    fn load_direct(&self) -> T;
+
+    /// Raw store with no persistence semantics whatsoever (initialisation helpers).
+    fn store_direct(&self, val: T);
+
+    /// The address of the underlying word (used by schemes, flushes and tests).
+    fn addr(&self) -> usize;
+}
+
+/// A persistence policy: a [`TagScheme`](crate::scheme::TagScheme) (or other tagging
+/// mechanism) plus a [`PmemBackend`], packaged so that data structures can be written
+/// once and instantiated with any combination.
+pub trait Policy: Send + Sync + Sized + 'static {
+    /// The persistent-memory backend in use.
+    type Backend: PmemBackend;
+
+    /// The persisted-word cell type for values of type `T`.
+    type Word<T: PWord>: PersistWord<T, Self>;
+
+    /// `false` only for the non-persistent baseline, which lets generic code skip
+    /// persistence work entirely.
+    const PERSISTENT: bool = true;
+
+    /// Access the backend (for statistics and direct flushing).
+    fn backend(&self) -> &Self::Backend;
+
+    /// The paper's `persist::operation_completion()`: must be called at the end of
+    /// every data-structure operation. Issues a `pfence` so that every dependency of
+    /// the completed operation is persisted before the operation returns
+    /// (P-V Interface, Condition 4).
+    fn operation_completion(&self) {
+        if Self::PERSISTENT {
+            self.backend().pfence();
+        }
+    }
+
+    /// Flush `len` bytes starting at `start` (every cache line they touch) and fence.
+    ///
+    /// Used to persist freshly initialised objects before they are published by a
+    /// shared p-store; a no-op when `flag` is volatile or the policy is
+    /// non-persistent.
+    fn persist_range(&self, start: *const u8, len: usize, flag: PFlag) {
+        if !Self::PERSISTENT || flag.is_volatile() || len == 0 {
+            return;
+        }
+        let backend = self.backend();
+        let first = cache_line_of(start as usize);
+        let last = cache_line_of(start as usize + len - 1);
+        let mut line = first;
+        loop {
+            backend.pwb(line as *const u8);
+            if line == last {
+                break;
+            }
+            line += CACHE_LINE_SIZE;
+        }
+        backend.pfence();
+    }
+
+    /// Persist an entire object (all cache lines it occupies). Typically called on a
+    /// freshly allocated node right before the compare-and-swap that publishes it.
+    fn persist_object<T>(&self, obj: &T, flag: PFlag) {
+        self.persist_range(obj as *const T as *const u8, std::mem::size_of::<T>(), flag);
+    }
+
+    /// Human-readable label for benchmark output (e.g. `"flit-HT (1MB)"`).
+    fn label(&self) -> String;
+
+    /// Snapshot of the backend's persistence-instruction counters, if it keeps any.
+    fn stats_snapshot(&self) -> Option<StatsSnapshot> {
+        self.backend().pmem_stats().map(|s| s.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The concrete policies have their own test modules; here we only check the
+    // default method implementations through a minimal hand-rolled policy.
+    use super::*;
+    use flit_pmem::{LatencyModel, SimNvram};
+    use std::marker::PhantomData;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct DummyWord<T> {
+        repr: AtomicU64,
+        _t: PhantomData<fn() -> T>,
+    }
+
+    impl<T: PWord> PersistWord<T, DummyPolicy> for DummyWord<T> {
+        fn new(val: T) -> Self {
+            Self {
+                repr: AtomicU64::new(val.to_word()),
+                _t: PhantomData,
+            }
+        }
+        fn load(&self, _ctx: &DummyPolicy, _flag: PFlag) -> T {
+            T::from_word(self.repr.load(Ordering::SeqCst))
+        }
+        fn store(&self, _ctx: &DummyPolicy, val: T, _flag: PFlag) {
+            self.repr.store(val.to_word(), Ordering::SeqCst)
+        }
+        fn compare_exchange(
+            &self,
+            _ctx: &DummyPolicy,
+            current: T,
+            new: T,
+            _flag: PFlag,
+        ) -> Result<T, T> {
+            self.repr
+                .compare_exchange(current.to_word(), new.to_word(), Ordering::SeqCst, Ordering::SeqCst)
+                .map(T::from_word)
+                .map_err(T::from_word)
+        }
+        fn exchange(&self, _ctx: &DummyPolicy, val: T, _flag: PFlag) -> T {
+            T::from_word(self.repr.swap(val.to_word(), Ordering::SeqCst))
+        }
+        fn fetch_add(&self, _ctx: &DummyPolicy, delta: u64, _flag: PFlag) -> T {
+            T::from_word(self.repr.fetch_add(delta, Ordering::SeqCst))
+        }
+        fn load_private(&self, ctx: &DummyPolicy, flag: PFlag) -> T {
+            self.load(ctx, flag)
+        }
+        fn store_private(&self, ctx: &DummyPolicy, val: T, flag: PFlag) {
+            self.store(ctx, val, flag)
+        }
+        fn load_direct(&self) -> T {
+            T::from_word(self.repr.load(Ordering::Relaxed))
+        }
+        fn store_direct(&self, val: T) {
+            self.repr.store(val.to_word(), Ordering::Relaxed)
+        }
+        fn addr(&self) -> usize {
+            &self.repr as *const AtomicU64 as usize
+        }
+    }
+
+    struct DummyPolicy {
+        backend: SimNvram,
+    }
+
+    impl Policy for DummyPolicy {
+        type Backend = SimNvram;
+        type Word<T: PWord> = DummyWord<T>;
+        fn backend(&self) -> &SimNvram {
+            &self.backend
+        }
+        fn label(&self) -> String {
+            "dummy".into()
+        }
+    }
+
+    #[test]
+    fn operation_completion_issues_one_pfence() {
+        let p = DummyPolicy {
+            backend: SimNvram::builder().latency(LatencyModel::none()).build(),
+        };
+        p.operation_completion();
+        p.operation_completion();
+        assert_eq!(p.stats_snapshot().unwrap().pfences, 2);
+    }
+
+    #[test]
+    fn persist_range_flushes_every_touched_line() {
+        let p = DummyPolicy {
+            backend: SimNvram::builder().latency(LatencyModel::none()).build(),
+        };
+        // 130 bytes starting at an arbitrary heap address touch 3 or 4 cache lines.
+        let buf = vec![0u8; 256];
+        p.persist_range(buf.as_ptr(), 130, PFlag::Persisted);
+        let snap = p.stats_snapshot().unwrap();
+        assert!(snap.pwbs >= 3 && snap.pwbs <= 4, "got {} pwbs", snap.pwbs);
+        assert_eq!(snap.pfences, 1);
+    }
+
+    #[test]
+    fn persist_range_is_a_noop_for_volatile_flag() {
+        let p = DummyPolicy {
+            backend: SimNvram::builder().latency(LatencyModel::none()).build(),
+        };
+        let buf = vec![0u8; 64];
+        p.persist_range(buf.as_ptr(), 64, PFlag::Volatile);
+        p.persist_range(buf.as_ptr(), 0, PFlag::Persisted);
+        assert_eq!(p.stats_snapshot().unwrap().pwbs, 0);
+        assert_eq!(p.stats_snapshot().unwrap().pfences, 0);
+    }
+
+    #[test]
+    fn persist_object_covers_the_whole_object() {
+        let p = DummyPolicy {
+            backend: SimNvram::builder().latency(LatencyModel::none()).build(),
+        };
+        #[repr(align(64))]
+        #[allow(dead_code)]
+        struct Big([u8; 256]);
+        let big = Big([0; 256]);
+        p.persist_object(&big, PFlag::Persisted);
+        assert_eq!(p.stats_snapshot().unwrap().pwbs, 4);
+    }
+}

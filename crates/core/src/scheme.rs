@@ -1,0 +1,446 @@
+//! Flit-counter placement strategies ("tag schemes").
+//!
+//! The FliT algorithm (paper §5) associates a small counter with every persisted
+//! memory word: a pending p-store increments it ("tags" the location) and decrements
+//! it after flushing; a p-load flushes the location only when the counter is non-zero.
+//! Where those counters live is deliberately left open by the paper (§5.1) — this
+//! module implements every placement the evaluation studies plus the future-work
+//! option of one counter per cache line:
+//!
+//! * [`PlainScheme`] — no counters at all; every location always reports "tagged", so
+//!   p-loads always flush. This is the *plain* comparator of the evaluation.
+//! * [`AdjacentScheme`] — an 8-bit counter stored next to each word (the
+//!   *flit-adjacent* variant). Cheapest to access, but doubles the footprint of every
+//!   persisted word.
+//! * [`HashedScheme`] — a shared table of counters indexed by a hash of the address
+//!   (the *flit-HT* variant). Several locations may share one counter; that is safe
+//!   (at worst a spurious read-side flush) and keeps the data structure layout
+//!   unchanged. Figure 5 of the paper tunes the table size.
+//! * [`CacheLineScheme`] — one counter per 64-byte cache line, the variant paper §8
+//!   suggests as future work. Implemented here as an extension.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use flit_pmem::cache_line::cache_line_of;
+
+/// How p-stores tag locations and p-loads query tags. See the module docs.
+///
+/// `PerWord` is the metadata embedded in every persisted word: the adjacent scheme
+/// stores its counter there, while table-based schemes keep it zero-sized so that the
+/// memory layout of data-structure nodes is unchanged (one of the paper's key
+/// flexibility arguments versus link-and-persist).
+pub trait TagScheme: Send + Sync + Clone + 'static {
+    /// Metadata stored inline in each persisted word.
+    type PerWord: Default + Send + Sync;
+
+    /// Short static name used in benchmark output (e.g. `"flit-adjacent"`).
+    const NAME: &'static str;
+
+    /// A p-store is about to write to `addr`: tag the location.
+    fn begin_store(&self, per_word: &Self::PerWord, addr: usize);
+
+    /// The p-store to `addr` has been flushed and fenced: untag the location.
+    fn end_store(&self, per_word: &Self::PerWord, addr: usize);
+
+    /// Is the location currently tagged (i.e. might a p-store be pending)?
+    fn is_tagged(&self, per_word: &Self::PerWord, addr: usize) -> bool;
+
+    /// Human-readable label including instance parameters (e.g. the table size).
+    fn describe(&self) -> String {
+        Self::NAME.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Plain: no tagging, always flush on p-load.
+// ---------------------------------------------------------------------------------
+
+/// The *plain* transformation: p-loads always flush their location, exactly as in the
+/// Izraelevitz et al. construction the paper compares against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainScheme;
+
+impl TagScheme for PlainScheme {
+    type PerWord = ();
+    const NAME: &'static str = "plain";
+
+    #[inline]
+    fn begin_store(&self, _per_word: &(), _addr: usize) {}
+
+    #[inline]
+    fn end_store(&self, _per_word: &(), _addr: usize) {}
+
+    #[inline]
+    fn is_tagged(&self, _per_word: &(), _addr: usize) -> bool {
+        // Treat every location as permanently tagged: a p-load can never skip its
+        // flush. This turns Algorithm 4 into the naive persist-everything scheme.
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Adjacent: one 8-bit counter physically next to each word.
+// ---------------------------------------------------------------------------------
+
+/// The *flit-adjacent* placement: each persisted word carries its own 8-bit
+/// flit-counter, so checking or updating the tag never incurs an extra cache miss —
+/// at the cost of changing the memory layout of every node (paper §5.1, §6.6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdjacentScheme;
+
+impl TagScheme for AdjacentScheme {
+    type PerWord = AtomicU8;
+    const NAME: &'static str = "flit-adjacent";
+
+    #[inline]
+    fn begin_store(&self, per_word: &AtomicU8, _addr: usize) {
+        let prev = per_word.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev < u8::MAX, "flit-counter overflow: more than 254 concurrent p-stores");
+    }
+
+    #[inline]
+    fn end_store(&self, per_word: &AtomicU8, _addr: usize) {
+        let prev = per_word.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "flit-counter underflow");
+    }
+
+    #[inline]
+    fn is_tagged(&self, per_word: &AtomicU8, _addr: usize) -> bool {
+        per_word.load(Ordering::Acquire) > 0
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Hashed: a shared table of counters.
+// ---------------------------------------------------------------------------------
+
+/// Shared table of 8-bit flit-counters indexed by a hash of the word address
+/// (the *flit-HT* placement). The table size is the experiment knob of Figure 5.
+///
+/// Collisions are benign: two locations sharing a counter can at worst cause a
+/// spurious read-side flush while an unrelated p-store is pending (paper §5.1).
+#[derive(Clone)]
+pub struct HashedScheme {
+    table: Arc<CounterTable>,
+    /// Right-shift applied to the address before hashing: 3 for word granularity,
+    /// 6 to map every word of a cache line to the same counter.
+    granularity_shift: u32,
+}
+
+impl std::fmt::Debug for HashedScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HashedScheme")
+            .field("bytes", &self.table.len())
+            .field("granularity_shift", &self.granularity_shift)
+            .finish()
+    }
+}
+
+/// The backing store of a [`HashedScheme`] / [`CacheLineScheme`]: a power-of-two array
+/// of 8-bit counters (one byte per counter, so a "1MB table" holds 2^20 counters —
+/// the packing the paper describes in §5.1).
+pub struct CounterTable {
+    counters: Box<[AtomicU8]>,
+    mask: usize,
+}
+
+impl CounterTable {
+    /// Create a table occupying `bytes` bytes (rounded up to a power of two, minimum
+    /// 64 bytes / one cache line).
+    pub fn new(bytes: usize) -> Self {
+        let len = bytes.next_power_of_two().max(64);
+        let counters: Box<[AtomicU8]> = (0..len).map(|_| AtomicU8::new(0)).collect();
+        Self { counters, mask: len - 1 }
+    }
+
+    /// Size of the table in bytes (== number of counters).
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// `true` when the table has no counters (never the case for constructed tables).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Number of counters currently non-zero (diagnostic, O(n)).
+    pub fn tagged_count(&self) -> usize {
+        self.counters
+            .iter()
+            .filter(|c| c.load(Ordering::Relaxed) > 0)
+            .count()
+    }
+
+    #[inline]
+    fn slot(&self, key: usize) -> &AtomicU8 {
+        &self.counters[Self::mix(key) & self.mask]
+    }
+
+    /// Fibonacci-style multiplicative hash: spreads nearby addresses across the table
+    /// so that a hot cache line of the data structure does not keep hitting the same
+    /// counter cache line (the collision type (2) discussed for Figure 5).
+    #[inline]
+    fn mix(key: usize) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 17
+    }
+}
+
+impl HashedScheme {
+    /// Default table size used throughout the paper's plots after Figure 5: 1 MB.
+    pub const DEFAULT_BYTES: usize = 1 << 20;
+
+    /// A 1 MB table at word granularity (the configuration used for most figures).
+    pub fn new_default() -> Self {
+        Self::with_bytes(Self::DEFAULT_BYTES)
+    }
+
+    /// A table of the given size (bytes = number of counters) at word granularity.
+    pub fn with_bytes(bytes: usize) -> Self {
+        Self {
+            table: Arc::new(CounterTable::new(bytes)),
+            granularity_shift: 3,
+        }
+    }
+
+    /// Size of the backing table in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Access to the backing table (diagnostics and tests).
+    pub fn table(&self) -> &CounterTable {
+        &self.table
+    }
+
+    #[inline]
+    fn key(&self, addr: usize) -> usize {
+        addr >> self.granularity_shift
+    }
+}
+
+impl TagScheme for HashedScheme {
+    type PerWord = ();
+    const NAME: &'static str = "flit-HT";
+
+    #[inline]
+    fn begin_store(&self, _per_word: &(), addr: usize) {
+        let prev = self.table.slot(self.key(addr)).fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev < u8::MAX, "flit-counter overflow");
+    }
+
+    #[inline]
+    fn end_store(&self, _per_word: &(), addr: usize) {
+        let prev = self.table.slot(self.key(addr)).fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "flit-counter underflow");
+    }
+
+    #[inline]
+    fn is_tagged(&self, _per_word: &(), addr: usize) -> bool {
+        self.table.slot(self.key(addr)).load(Ordering::Acquire) > 0
+    }
+
+    fn describe(&self) -> String {
+        format!("{} ({})", Self::NAME, human_bytes(self.table.len()))
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Cache-line granularity (paper §8 future work).
+// ---------------------------------------------------------------------------------
+
+/// One shared counter per 64-byte cache line, hashed into a table — the counter
+/// allocation strategy the paper's conclusion lists as unexplored future work.
+/// Compared to [`HashedScheme`] it reduces the number of distinct counters touched by
+/// a multi-word object at the price of more sharing-induced spurious flushes.
+#[derive(Clone)]
+pub struct CacheLineScheme {
+    inner: HashedScheme,
+}
+
+impl std::fmt::Debug for CacheLineScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheLineScheme")
+            .field("bytes", &self.inner.table.len())
+            .finish()
+    }
+}
+
+impl CacheLineScheme {
+    /// A table of the given size with one counter per cache line of the tracked data.
+    pub fn with_bytes(bytes: usize) -> Self {
+        Self {
+            inner: HashedScheme {
+                table: Arc::new(CounterTable::new(bytes)),
+                granularity_shift: 6,
+            },
+        }
+    }
+
+    /// A 1 MB table (same default as [`HashedScheme`]).
+    pub fn new_default() -> Self {
+        Self::with_bytes(HashedScheme::DEFAULT_BYTES)
+    }
+
+    /// Size of the backing table in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.inner.table.len()
+    }
+}
+
+impl TagScheme for CacheLineScheme {
+    type PerWord = ();
+    const NAME: &'static str = "flit-cacheline";
+
+    #[inline]
+    fn begin_store(&self, per_word: &(), addr: usize) {
+        self.inner.begin_store(per_word, cache_line_of(addr));
+    }
+
+    #[inline]
+    fn end_store(&self, per_word: &(), addr: usize) {
+        self.inner.end_store(per_word, cache_line_of(addr));
+    }
+
+    #[inline]
+    fn is_tagged(&self, per_word: &(), addr: usize) -> bool {
+        self.inner.is_tagged(per_word, cache_line_of(addr))
+    }
+
+    fn describe(&self) -> String {
+        format!("{} ({})", Self::NAME, human_bytes(self.inner.table.len()))
+    }
+}
+
+/// Render a byte count the way the paper labels its hash-table sizes (4KB, 1MB, ...).
+pub fn human_bytes(bytes: usize) -> String {
+    if bytes >= 1 << 30 {
+        format!("{}GB", bytes >> 30)
+    } else if bytes >= 1 << 20 {
+        format!("{}MB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}KB", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_is_always_tagged() {
+        let s = PlainScheme;
+        assert!(s.is_tagged(&(), 0x1000));
+        s.begin_store(&(), 0x1000);
+        s.end_store(&(), 0x1000);
+        assert!(s.is_tagged(&(), 0x1000));
+        assert_eq!(s.describe(), "plain");
+    }
+
+    #[test]
+    fn adjacent_counter_tags_and_untags() {
+        let s = AdjacentScheme;
+        let c = AtomicU8::new(0);
+        assert!(!s.is_tagged(&c, 0x40));
+        s.begin_store(&c, 0x40);
+        assert!(s.is_tagged(&c, 0x40));
+        s.begin_store(&c, 0x40); // a second concurrent p-store
+        s.end_store(&c, 0x40);
+        assert!(s.is_tagged(&c, 0x40), "still tagged while one store is pending");
+        s.end_store(&c, 0x40);
+        assert!(!s.is_tagged(&c, 0x40));
+    }
+
+    #[test]
+    fn hashed_counter_tags_by_address() {
+        let s = HashedScheme::with_bytes(1 << 16);
+        let a = 0xA000usize;
+        assert!(!s.is_tagged(&(), a));
+        s.begin_store(&(), a);
+        assert!(s.is_tagged(&(), a));
+        s.end_store(&(), a);
+        assert!(!s.is_tagged(&(), a));
+    }
+
+    #[test]
+    fn hashed_collisions_are_possible_but_balanced() {
+        // With a tiny table every counter is shared by many addresses; with a large
+        // table distinct addresses rarely collide.
+        let tiny = HashedScheme::with_bytes(64);
+        let large = HashedScheme::with_bytes(1 << 20);
+        let addrs: Vec<usize> = (0..512).map(|i| 0x10_0000 + i * 8).collect();
+        for &a in &addrs {
+            tiny.begin_store(&(), a);
+            large.begin_store(&(), a);
+        }
+        assert!(tiny.table().tagged_count() <= 64);
+        // The large table should spread 512 addresses over hundreds of counters.
+        assert!(large.table().tagged_count() > 256, "hash should spread addresses");
+        for &a in &addrs {
+            tiny.end_store(&(), a);
+            large.end_store(&(), a);
+        }
+        assert_eq!(tiny.table().tagged_count(), 0);
+        assert_eq!(large.table().tagged_count(), 0);
+    }
+
+    #[test]
+    fn cache_line_scheme_shares_counters_within_a_line() {
+        let s = CacheLineScheme::with_bytes(1 << 16);
+        let base = 0x4_0000usize;
+        s.begin_store(&(), base);
+        // Every word of the same cache line must observe the tag.
+        for off in (0..64).step_by(8) {
+            assert!(s.is_tagged(&(), base + off));
+        }
+        // A different line should (almost certainly) not be tagged.
+        assert!(!s.is_tagged(&(), base + 4096));
+        s.end_store(&(), base);
+        assert!(!s.is_tagged(&(), base));
+    }
+
+    #[test]
+    fn table_sizes_round_to_powers_of_two() {
+        assert_eq!(CounterTable::new(1000).len(), 1024);
+        assert_eq!(CounterTable::new(4096).len(), 4096);
+        assert_eq!(CounterTable::new(1).len(), 64);
+    }
+
+    #[test]
+    fn describe_labels_match_the_paper() {
+        assert_eq!(HashedScheme::with_bytes(4 << 10).describe(), "flit-HT (4KB)");
+        assert_eq!(HashedScheme::with_bytes(1 << 20).describe(), "flit-HT (1MB)");
+        assert_eq!(AdjacentScheme.describe(), "flit-adjacent");
+        assert!(CacheLineScheme::new_default().describe().contains("flit-cacheline"));
+    }
+
+    #[test]
+    fn human_bytes_formatting() {
+        assert_eq!(human_bytes(64), "64B");
+        assert_eq!(human_bytes(4096), "4KB");
+        assert_eq!(human_bytes(1 << 20), "1MB");
+        assert_eq!(human_bytes(64 << 20), "64MB");
+        assert_eq!(human_bytes(1 << 30), "1GB");
+    }
+
+    #[test]
+    fn concurrent_tagging_stress() {
+        let s = HashedScheme::with_bytes(1 << 12);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..2000usize {
+                        let addr = 0x100000 + ((t * 7919 + i * 13) % 1024) * 8;
+                        s.begin_store(&(), addr);
+                        std::hint::black_box(s.is_tagged(&(), addr));
+                        s.end_store(&(), addr);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.table().tagged_count(), 0, "all counters must return to zero");
+    }
+}

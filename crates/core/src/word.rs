@@ -1,0 +1,131 @@
+//! The [`PWord`] trait: types that can live inside a `persist<T>` word.
+//!
+//! The FliT algorithm operates on individual machine words (the paper's
+//! flit-instructions wrap single loads, stores, CAS, FAA and exchange on one memory
+//! word). This trait captures "fits losslessly in a `u64`", which is what the
+//! underlying `AtomicU64` representation requires.
+
+/// A value representable as a single 64-bit machine word.
+///
+/// Note that raw pointers implement this trait even though they are not `Send`/`Sync`:
+/// the persistence cells store only the `u64` representation, and it is the *data
+/// structure* built on top that carries the safety argument for sharing pointers
+/// across threads (as is conventional for lock-free structures).
+///
+/// # Safety-adjacent contract
+/// `from_word(to_word(x)) == x` must hold for every value `x`; the conversion must be
+/// a pure bijection onto the used subset of `u64`. All implementations below are
+/// simple casts.
+pub trait PWord: Copy + 'static {
+    /// Convert to the canonical 64-bit representation.
+    fn to_word(self) -> u64;
+    /// Convert back from the canonical 64-bit representation.
+    fn from_word(word: u64) -> Self;
+}
+
+impl PWord for u64 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        word
+    }
+}
+
+impl PWord for usize {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        word as usize
+    }
+}
+
+impl PWord for i64 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        word as i64
+    }
+}
+
+impl PWord for u32 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        word as u32
+    }
+}
+
+impl PWord for bool {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        word != 0
+    }
+}
+
+impl<T: 'static> PWord for *mut T {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as usize as u64
+    }
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        word as usize as *mut T
+    }
+}
+
+impl<T: 'static> PWord for *const T {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as usize as u64
+    }
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        word as usize as *const T
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: PWord + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(T::from_word(v.to_word()), v);
+    }
+
+    #[test]
+    fn integers_round_trip() {
+        round_trip(0u64);
+        round_trip(u64::MAX);
+        round_trip(usize::MAX);
+        round_trip(-1i64);
+        round_trip(i64::MIN);
+        round_trip(u32::MAX);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn pointers_round_trip() {
+        let x = Box::into_raw(Box::new(123u32));
+        round_trip(x);
+        round_trip(x as *const u32);
+        round_trip(std::ptr::null_mut::<u64>());
+        unsafe { drop(Box::from_raw(x)) };
+    }
+}

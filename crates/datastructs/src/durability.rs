@@ -1,0 +1,123 @@
+//! Durability methods: which instructions of a data-structure operation are
+//! p-instructions and which are v-instructions.
+//!
+//! The paper evaluates each data structure under three methods (§6):
+//!
+//! * [`Automatic`] — the Theorem 3.1 transformation: *every* load and store is a
+//!   p-instruction. Zero algorithm-specific reasoning required.
+//! * [`NvTraverse`] — the NVTraverse methodology (Friedman et al., PLDI'20): the
+//!   read-only traversal phase uses v-loads; just before entering the critical phase
+//!   the operation p-loads the nodes the critical phase depends on (the *transition*);
+//!   everything in the critical phase is a p-instruction.
+//! * [`Manual`] — a hand-tuned placement following David et al. (ATC'18): traversal
+//!   *and* critical-phase loads stay volatile, only the specific link being modified
+//!   is persisted (via a p-load transition of depth 1 plus p-stores).
+//!
+//! All three are expressed as compile-time constants consumed by the generic
+//! data-structure code, so each (structure × method × policy) combination is a fully
+//! monomorphised instantiation with no runtime dispatch on the hot path.
+
+use flit::PFlag;
+
+/// A durability method: a static assignment of p-/v-flags to the instruction classes
+/// that appear in the four evaluated data structures.
+pub trait Durability: Send + Sync + Default + Clone + 'static {
+    /// Name used in benchmark output (`"automatic"`, `"nvtraverse"`, `"manual"`).
+    const NAME: &'static str;
+
+    /// Flag for loads issued while traversing towards the operation's target.
+    const TRAVERSAL_LOAD: PFlag;
+
+    /// Flag for loads issued in the critical phase (at or next to the modification
+    /// point, after the traversal).
+    const CRITICAL_LOAD: PFlag;
+
+    /// Flag for shared stores (CAS/exchange) that modify the structure.
+    const STORE: PFlag;
+
+    /// Flag for stores to auxiliary "index" state that does not define the abstract
+    /// set — e.g. marking or linking the upper levels of a skiplist tower. Only the
+    /// automatic transformation persists these; the optimised methods reason that the
+    /// bottom level alone determines membership after a crash.
+    const INDEX_STORE: PFlag;
+
+    /// How many of the most recently traversed links are re-read with a p-load right
+    /// before the critical phase (the NVTraverse "transition"). Zero disables the
+    /// transition (Automatic: traversal loads were already persisted; see each
+    /// structure's use).
+    const TRANSITION_DEPTH: usize;
+}
+
+/// Every instruction is a p-instruction (paper Theorem 3.1).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Automatic;
+
+impl Durability for Automatic {
+    const NAME: &'static str = "automatic";
+    const TRAVERSAL_LOAD: PFlag = PFlag::Persisted;
+    const CRITICAL_LOAD: PFlag = PFlag::Persisted;
+    const STORE: PFlag = PFlag::Persisted;
+    const INDEX_STORE: PFlag = PFlag::Persisted;
+    const TRANSITION_DEPTH: usize = 0;
+}
+
+/// NVTraverse: volatile traversal, persisted transition + critical phase.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NvTraverse;
+
+impl Durability for NvTraverse {
+    const NAME: &'static str = "nvtraverse";
+    const TRAVERSAL_LOAD: PFlag = PFlag::Volatile;
+    const CRITICAL_LOAD: PFlag = PFlag::Persisted;
+    const STORE: PFlag = PFlag::Persisted;
+    const INDEX_STORE: PFlag = PFlag::Volatile;
+    const TRANSITION_DEPTH: usize = 2;
+}
+
+/// Hand-tuned: volatile loads everywhere, persistence confined to the modified link.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Manual;
+
+impl Durability for Manual {
+    const NAME: &'static str = "manual";
+    const TRAVERSAL_LOAD: PFlag = PFlag::Volatile;
+    const CRITICAL_LOAD: PFlag = PFlag::Volatile;
+    const STORE: PFlag = PFlag::Persisted;
+    const INDEX_STORE: PFlag = PFlag::Volatile;
+    const TRANSITION_DEPTH: usize = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn methods_are_ordered_by_how_much_they_persist() {
+        // Automatic persists the most, Manual the least; the constants must reflect
+        // that ordering or the Figure 7 comparison loses its meaning.
+        assert!(Automatic::TRAVERSAL_LOAD.is_persisted());
+        assert!(NvTraverse::TRAVERSAL_LOAD.is_volatile());
+        assert!(Manual::TRAVERSAL_LOAD.is_volatile());
+
+        assert!(Automatic::CRITICAL_LOAD.is_persisted());
+        assert!(NvTraverse::CRITICAL_LOAD.is_persisted());
+        assert!(Manual::CRITICAL_LOAD.is_volatile());
+
+        // All three persist their updates — none of them can skip store persistence
+        // and remain durably linearizable.
+        assert!(Automatic::STORE.is_persisted());
+        assert!(NvTraverse::STORE.is_persisted());
+        assert!(Manual::STORE.is_persisted());
+
+        assert_eq!(Automatic::TRANSITION_DEPTH, 0);
+        assert_eq!(NvTraverse::TRANSITION_DEPTH, 2);
+        assert_eq!(Manual::TRANSITION_DEPTH, 1);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [Automatic::NAME, NvTraverse::NAME, Manual::NAME];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! The [`ConcurrentMap`] interface shared by all four evaluated data structures, plus
+//! a sequential reference model used by correctness tests.
+//!
+//! The paper benchmarks set-like maps with 64-bit keys; `insert` does not overwrite an
+//! existing key (it returns `false`), matching the behaviour of the original
+//! implementations used in the evaluation.
+
+use flit::Policy;
+
+/// A concurrent ordered or unordered map from `u64` keys to `u64` values, generic
+/// over the persistence [`Policy`].
+///
+/// Keys must be strictly smaller than `u64::MAX - 16`: the top few key values are
+/// reserved for the sentinel nodes of the tree and list structures.
+pub trait ConcurrentMap<P: Policy>: Send + Sync {
+    /// Short name used in benchmark output (`"list"`, `"bst"`, ...).
+    const NAME: &'static str;
+
+    /// Build an empty map expected to hold roughly `capacity_hint` keys (used by the
+    /// hash table to size its bucket array; ignored by the others), using `policy`
+    /// for all persistence decisions.
+    fn with_capacity(policy: P, capacity_hint: usize) -> Self;
+
+    /// Look up `key`, returning its value if present.
+    fn get(&self, key: u64) -> Option<u64>;
+
+    /// Insert `(key, value)`; returns `false` (without modifying the map) when the key
+    /// is already present.
+    fn insert(&self, key: u64, value: u64) -> bool;
+
+    /// Remove `key`; returns `false` when it was not present.
+    fn remove(&self, key: u64) -> bool;
+
+    /// `true` if `key` is present.
+    fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of keys currently present. Only meaningful in quiescent states; intended
+    /// for tests and for validating pre-fill.
+    fn len(&self) -> usize;
+
+    /// `true` when the map holds no keys (quiescent states only).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Access the persistence policy (e.g. to read its statistics).
+    fn policy(&self) -> &P;
+}
+
+/// Largest key value usable by callers (larger values are reserved for sentinels).
+pub const MAX_USER_KEY: u64 = u64::MAX - 16;
+
+/// A trivially correct sequential map used as the model in property-based tests: a
+/// `BTreeMap` behind a mutex, exposing the same insert-does-not-overwrite semantics.
+#[derive(Debug, Default)]
+pub struct SequentialMap {
+    inner: std::sync::Mutex<std::collections::BTreeMap<u64, u64>>,
+}
+
+impl SequentialMap {
+    /// Create an empty model map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Model lookup.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.inner.lock().unwrap().get(&key).copied()
+    }
+
+    /// Model insert (no overwrite).
+    pub fn insert(&self, key: u64, value: u64) -> bool {
+        let mut m = self.inner.lock().unwrap();
+        if m.contains_key(&key) {
+            false
+        } else {
+            m.insert(key, value);
+            true
+        }
+    }
+
+    /// Model remove.
+    pub fn remove(&self, key: u64) -> bool {
+        self.inner.lock().unwrap().remove(&key).is_some()
+    }
+
+    /// Model size.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Model emptiness.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_model_semantics() {
+        let m = SequentialMap::new();
+        assert!(m.is_empty());
+        assert!(m.insert(1, 10));
+        assert!(!m.insert(1, 20), "insert must not overwrite");
+        assert_eq!(m.get(1), Some(10));
+        assert!(m.remove(1));
+        assert!(!m.remove(1));
+        assert_eq!(m.len(), 0);
+    }
+}

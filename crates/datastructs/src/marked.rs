@@ -1,0 +1,104 @@
+//! Marked-pointer helpers.
+//!
+//! The lock-free list, skiplist and BST store their child/next pointers as `usize`
+//! words whose low-order bits (always zero for heap pointers) carry logical-deletion
+//! marks: one bit for the Harris list and skiplist, two bits (flag + tag) for the
+//! Natarajan–Mittal BST. These helpers pack and unpack those words.
+//!
+//! Link-and-persist additionally uses bit 63 of the same words; the two never collide
+//! because heap addresses on x86-64 use at most 48 bits.
+
+/// Logical-deletion mark (Harris list, skiplist) and the BST's "flag" bit.
+pub const MARK_BIT: usize = 0b01;
+
+/// The BST's "tag" bit (edge about to be spliced out).
+pub const TAG_BIT: usize = 0b10;
+
+/// Mask selecting the pointer part of a marked word.
+pub const PTR_MASK: usize = !(MARK_BIT | TAG_BIT);
+
+/// Extract the raw pointer from a marked word.
+#[inline]
+pub fn address<T>(word: usize) -> *mut T {
+    (word & PTR_MASK) as *mut T
+}
+
+/// Pack a raw pointer into an unmarked word.
+#[inline]
+pub fn pack<T>(ptr: *mut T) -> usize {
+    let word = ptr as usize;
+    debug_assert_eq!(word & !PTR_MASK, 0, "pointer uses the mark bits");
+    word
+}
+
+/// Pack a raw pointer with explicit mark/flag and tag bits.
+#[inline]
+pub fn pack_with<T>(ptr: *mut T, marked: bool, tagged: bool) -> usize {
+    pack(ptr) | if marked { MARK_BIT } else { 0 } | if tagged { TAG_BIT } else { 0 }
+}
+
+/// Is the mark (or flag) bit set?
+#[inline]
+pub fn is_marked(word: usize) -> bool {
+    word & MARK_BIT != 0
+}
+
+/// Is the tag bit set?
+#[inline]
+pub fn is_tagged(word: usize) -> bool {
+    word & TAG_BIT != 0
+}
+
+/// Clear all mark bits.
+#[inline]
+pub fn unmark(word: usize) -> usize {
+    word & PTR_MASK
+}
+
+/// Set the mark (or flag) bit.
+#[inline]
+pub fn with_mark(word: usize) -> usize {
+    word | MARK_BIT
+}
+
+/// Set the tag bit.
+#[inline]
+pub fn with_tag(word: usize) -> usize {
+    word | TAG_BIT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_pointer() {
+        let b = Box::into_raw(Box::new(5u64));
+        let w = pack(b);
+        assert_eq!(address::<u64>(w), b);
+        assert!(!is_marked(w));
+        assert!(!is_tagged(w));
+        unsafe { drop(Box::from_raw(b)) };
+    }
+
+    #[test]
+    fn mark_and_tag_bits_are_independent() {
+        let b = Box::into_raw(Box::new(5u64));
+        let w = pack_with(b, true, false);
+        assert!(is_marked(w) && !is_tagged(w));
+        let w = pack_with(b, false, true);
+        assert!(!is_marked(w) && is_tagged(w));
+        let w = pack_with(b, true, true);
+        assert!(is_marked(w) && is_tagged(w));
+        assert_eq!(address::<u64>(w), b);
+        assert_eq!(unmark(w), b as usize);
+        unsafe { drop(Box::from_raw(b)) };
+    }
+
+    #[test]
+    fn null_is_representable() {
+        let w = pack(std::ptr::null_mut::<u64>());
+        assert_eq!(w, 0);
+        assert!(address::<u64>(with_mark(w)).is_null());
+    }
+}

@@ -1,0 +1,603 @@
+//! The Natarajan–Mittal lock-free external binary search tree (PPoPP 2014), made
+//! durable through FliT.
+//!
+//! This is the BST used throughout the paper's evaluation (its Figure 5/6 experiments
+//! are all run on this structure). It is *leaf-oriented*: internal nodes only route,
+//! every key in the set lives in a leaf. Updates never lock; deletion coordinates
+//! through two bits stored in the child-edge words:
+//!
+//! * the **flag** bit (here [`MARK_BIT`](crate::marked::MARK_BIT)) set on the edge
+//!   `parent → leaf` announces that the leaf is being deleted;
+//! * the **tag** bit set on the sibling edge prevents new insertions below the parent
+//!   while it is being spliced out.
+//!
+//! Because both low-order pointer bits are in use, the link-and-persist technique
+//! (which needs a spare bit *and* CAS-only updates) cannot be applied to this
+//! structure — exactly the limitation the paper uses it to illustrate (§6.6). FliT,
+//! whose counters live outside the word, works unchanged.
+
+use std::marker::PhantomData;
+
+use flit::{PFlag, PersistWord, Policy};
+use flit_ebr::{Collector, Guard};
+
+use crate::durability::Durability;
+use crate::map::ConcurrentMap;
+use crate::marked::{address, is_marked, is_tagged, pack, pack_with, with_tag};
+
+/// Sentinel keys, all larger than any user key (paper notation ∞₀ < ∞₁ < ∞₂).
+const INF0: u64 = u64::MAX - 2;
+const INF1: u64 = u64::MAX - 1;
+const INF2: u64 = u64::MAX;
+
+/// A tree node. Leaves have both child words equal to zero.
+struct Node<P: Policy> {
+    key: u64,
+    value: u64,
+    left: P::Word<usize>,
+    right: P::Word<usize>,
+}
+
+impl<P: Policy> Node<P> {
+    fn leaf(key: u64, value: u64) -> *mut Self {
+        Box::into_raw(Box::new(Node {
+            key,
+            value,
+            left: P::Word::<usize>::new(0),
+            right: P::Word::<usize>::new(0),
+        }))
+    }
+
+    fn internal(key: u64, left: *mut Self, right: *mut Self) -> *mut Self {
+        Box::into_raw(Box::new(Node {
+            key,
+            value: 0,
+            left: P::Word::<usize>::new(pack(left)),
+            right: P::Word::<usize>::new(pack(right)),
+        }))
+    }
+}
+
+/// The result of a traversal: the four nodes the update protocol needs.
+struct SeekRecord<P: Policy> {
+    ancestor: *mut Node<P>,
+    successor: *mut Node<P>,
+    parent: *mut Node<P>,
+    leaf: *mut Node<P>,
+}
+
+/// Which phase a delete operation is in.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum DeleteMode {
+    Injection,
+    Cleanup,
+}
+
+/// Natarajan–Mittal lock-free external BST over policy `P` and durability method `D`.
+pub struct NatarajanTree<P: Policy, D: Durability> {
+    root: *mut Node<P>,
+    policy: P,
+    collector: Collector,
+    _durability: PhantomData<D>,
+}
+
+// SAFETY: standard lock-free structure; see `HarrisList`.
+unsafe impl<P: Policy, D: Durability> Send for NatarajanTree<P, D> {}
+unsafe impl<P: Policy, D: Durability> Sync for NatarajanTree<P, D> {}
+
+impl<P: Policy, D: Durability> NatarajanTree<P, D> {
+    /// Create an empty tree (the three-sentinel initial shape of the original paper).
+    pub fn new(policy: P) -> Self {
+        let leaf_inf0 = Node::<P>::leaf(INF0, 0);
+        let leaf_inf1 = Node::<P>::leaf(INF1, 0);
+        let leaf_inf2 = Node::<P>::leaf(INF2, 0);
+        let s = Node::<P>::internal(INF1, leaf_inf0, leaf_inf1);
+        let r = Node::<P>::internal(INF2, s, leaf_inf2);
+        for node in [leaf_inf0, leaf_inf1, leaf_inf2, s, r] {
+            policy.persist_object(unsafe { &*node }, PFlag::Persisted);
+        }
+        Self {
+            root: r,
+            policy,
+            collector: Collector::new(),
+            _durability: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn s_node(&self) -> *mut Node<P> {
+        address(unsafe { &*self.root }.left.load_direct())
+    }
+
+    /// The child-edge word of `node` on the side `key` would descend to.
+    #[inline]
+    fn child_edge(&self, node: *mut Node<P>, key: u64) -> &P::Word<usize> {
+        let node_ref = unsafe { &*node };
+        if key < node_ref.key {
+            &node_ref.left
+        } else {
+            &node_ref.right
+        }
+    }
+
+    /// The child-edge word of `node` on the *opposite* side of `key`.
+    #[inline]
+    fn sibling_edge(&self, node: *mut Node<P>, key: u64) -> &P::Word<usize> {
+        let node_ref = unsafe { &*node };
+        if key < node_ref.key {
+            &node_ref.right
+        } else {
+            &node_ref.left
+        }
+    }
+
+    /// Traverse from the root towards `key` (paper's `seek`), recording ancestor,
+    /// successor, parent and leaf.
+    fn seek(&self, key: u64) -> SeekRecord<P> {
+        let r = self.root;
+        let s = self.s_node();
+        let mut record = SeekRecord {
+            ancestor: r,
+            successor: s,
+            parent: s,
+            leaf: address(unsafe { &*s }.left.load(&self.policy, D::TRAVERSAL_LOAD)),
+        };
+        // The edge we followed to reach `record.leaf`.
+        let mut parent_field = unsafe { &*s }.left.load(&self.policy, D::TRAVERSAL_LOAD);
+        let mut current_field = unsafe { &*record.leaf }
+            .left
+            .load(&self.policy, D::TRAVERSAL_LOAD);
+        let mut current = address::<Node<P>>(current_field);
+        // Leaves have null children, so the loop stops at a leaf.
+        while !current.is_null() {
+            if !is_tagged(parent_field) {
+                record.ancestor = record.parent;
+                record.successor = record.leaf;
+            }
+            record.parent = record.leaf;
+            record.leaf = current;
+            parent_field = current_field;
+            let current_ref = unsafe { &*current };
+            current_field = if key < current_ref.key {
+                current_ref.left.load(&self.policy, D::TRAVERSAL_LOAD)
+            } else {
+                current_ref.right.load(&self.policy, D::TRAVERSAL_LOAD)
+            };
+            current = address(current_field);
+        }
+        record
+    }
+
+    /// Set the tag bit of `edge`, preserving the flag bit (the original algorithm uses
+    /// an atomic bit-test-and-set; emulated here with a CAS loop).
+    fn tag_edge(&self, edge: &P::Word<usize>) {
+        loop {
+            let w = edge.load(&self.policy, D::CRITICAL_LOAD);
+            if is_tagged(w) {
+                return;
+            }
+            if edge
+                .compare_exchange(&self.policy, w, with_tag(w), D::STORE)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Splice the flagged leaf (and its parent) out of the tree (paper's `cleanup`).
+    /// Returns `true` when this call performed the splice.
+    fn cleanup(&self, key: u64, record: &SeekRecord<P>, guard: &Guard<'_>) -> bool {
+        let ancestor = record.ancestor;
+        let successor = record.successor;
+        let parent = record.parent;
+
+        let successor_edge = self.child_edge(ancestor, key);
+        let child_edge = self.child_edge(parent, key);
+        let sibling_edge = self.sibling_edge(parent, key);
+
+        // If the edge towards our key is not flagged, we are helping a delete whose
+        // flag sits on the other child; in that case the subtree that survives is the
+        // one on our side.
+        let child_word = child_edge.load(&self.policy, D::CRITICAL_LOAD);
+        let (surviving_edge, removed_edge) = if is_marked(child_word) {
+            (sibling_edge, child_edge)
+        } else {
+            (child_edge, sibling_edge)
+        };
+
+        // Prevent further updates below the parent on the surviving side.
+        self.tag_edge(surviving_edge);
+        let surviving_word = surviving_edge.load(&self.policy, D::CRITICAL_LOAD);
+
+        if D::TRANSITION_DEPTH >= 1 {
+            let _ = self.child_edge(ancestor, key).load(&self.policy, PFlag::Persisted);
+        }
+
+        // Splice: the ancestor's edge to `successor` now points at the surviving
+        // subtree. The surviving subtree's flag bit is carried over (a pending delete
+        // of that leaf must not be lost); the tag bit is cleared.
+        let new_word = pack_with(
+            address::<Node<P>>(surviving_word),
+            is_marked(surviving_word),
+            false,
+        );
+        let result = successor_edge
+            .compare_exchange(&self.policy, pack(successor), new_word, D::STORE)
+            .is_ok();
+        if result {
+            // The spliced-out parent and the removed leaf are now unreachable.
+            let removed_leaf = address::<Node<P>>(removed_edge.load_direct());
+            // SAFETY: both nodes were unlinked by the successful CAS above. The
+            // `successor` subtree root equals `parent` except when helping an older
+            // splice; retiring `parent` (reachable only through the removed edge
+            // chain) is safe in both cases because it is no longer reachable.
+            unsafe {
+                if !removed_leaf.is_null() {
+                    guard.defer_destroy(removed_leaf);
+                }
+                guard.defer_destroy(parent);
+            }
+        }
+        result
+    }
+
+    fn get_impl(&self, key: u64) -> Option<u64> {
+        let _guard = self.collector.pin();
+        let record = self.seek(key);
+        let leaf = unsafe { &*record.leaf };
+        let result = if leaf.key == key {
+            if D::TRANSITION_DEPTH > 0 {
+                let _ = self
+                    .child_edge(record.parent, key)
+                    .load(&self.policy, PFlag::Persisted);
+            }
+            Some(leaf.value)
+        } else {
+            None
+        };
+        self.policy.operation_completion();
+        result
+    }
+
+    fn insert_impl(&self, key: u64, value: u64) -> bool {
+        assert!(key < INF0, "key space reserved for sentinels");
+        let guard = self.collector.pin();
+        loop {
+            let record = self.seek(key);
+            let leaf = record.leaf;
+            let leaf_key = unsafe { &*leaf }.key;
+            if leaf_key == key {
+                self.policy.operation_completion();
+                return false;
+            }
+            let parent = record.parent;
+            let child_edge = self.child_edge(parent, key);
+
+            // Build the replacement subtree: a new internal node whose children are
+            // the existing leaf and a new leaf holding the key.
+            let new_leaf = Node::<P>::leaf(key, value);
+            let internal = if key < leaf_key {
+                Node::<P>::internal(leaf_key, new_leaf, leaf)
+            } else {
+                Node::<P>::internal(key, leaf, new_leaf)
+            };
+            self.policy.persist_object(unsafe { &*new_leaf }, D::STORE);
+            self.policy.persist_object(unsafe { &*internal }, D::STORE);
+
+            if D::TRANSITION_DEPTH >= 1 {
+                let _ = child_edge.load(&self.policy, PFlag::Persisted);
+            }
+
+            match child_edge.compare_exchange(&self.policy, pack(leaf), pack(internal), D::STORE)
+            {
+                Ok(_) => {
+                    self.policy.operation_completion();
+                    return true;
+                }
+                Err(actual) => {
+                    // SAFETY: neither node was published.
+                    unsafe {
+                        drop(Box::from_raw(new_leaf));
+                        drop(Box::from_raw(internal));
+                    }
+                    // Help an in-progress delete of this very leaf before retrying.
+                    if address::<Node<P>>(actual) == leaf
+                        && (is_marked(actual) || is_tagged(actual))
+                    {
+                        let _ = self.cleanup(key, &record, &guard);
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove_impl(&self, key: u64) -> bool {
+        let guard = self.collector.pin();
+        let mut mode = DeleteMode::Injection;
+        let mut target_leaf: *mut Node<P> = std::ptr::null_mut();
+        loop {
+            let record = self.seek(key);
+            let parent = record.parent;
+            let child_edge = self.child_edge(parent, key);
+
+            match mode {
+                DeleteMode::Injection => {
+                    let leaf = record.leaf;
+                    if unsafe { &*leaf }.key != key {
+                        self.policy.operation_completion();
+                        return false;
+                    }
+                    if D::TRANSITION_DEPTH >= 1 {
+                        let _ = child_edge.load(&self.policy, PFlag::Persisted);
+                    }
+                    // Flag the edge to the leaf: this is the linearization point of a
+                    // successful delete.
+                    match child_edge.compare_exchange(
+                        &self.policy,
+                        pack(leaf),
+                        pack_with(leaf, true, false),
+                        D::STORE,
+                    ) {
+                        Ok(_) => {
+                            mode = DeleteMode::Cleanup;
+                            target_leaf = leaf;
+                            if self.cleanup(key, &record, &guard) {
+                                self.policy.operation_completion();
+                                return true;
+                            }
+                        }
+                        Err(actual) => {
+                            if address::<Node<P>>(actual) == leaf
+                                && (is_marked(actual) || is_tagged(actual))
+                            {
+                                let _ = self.cleanup(key, &record, &guard);
+                            }
+                        }
+                    }
+                }
+                DeleteMode::Cleanup => {
+                    if record.leaf != target_leaf {
+                        // Some helper finished the physical removal for us.
+                        self.policy.operation_completion();
+                        return true;
+                    }
+                    if self.cleanup(key, &record, &guard) {
+                        self.policy.operation_completion();
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn count_leaves(&self, node: *mut Node<P>) -> usize {
+        if node.is_null() {
+            return 0;
+        }
+        let node_ref = unsafe { &*node };
+        let left = address::<Node<P>>(node_ref.left.load_direct());
+        let right = address::<Node<P>>(node_ref.right.load_direct());
+        if left.is_null() && right.is_null() {
+            // A leaf: count it only if it holds a user key.
+            usize::from(node_ref.key < INF0)
+        } else {
+            self.count_leaves(left) + self.count_leaves(right)
+        }
+    }
+
+    fn free_subtree(node: *mut Node<P>) {
+        if node.is_null() {
+            return;
+        }
+        let node_ref = unsafe { &*node };
+        let left = address::<Node<P>>(node_ref.left.load_direct());
+        let right = address::<Node<P>>(node_ref.right.load_direct());
+        Self::free_subtree(left);
+        Self::free_subtree(right);
+        // SAFETY: single-threaded teardown, each reachable node freed once.
+        unsafe { drop(Box::from_raw(node)) };
+    }
+}
+
+impl<P: Policy, D: Durability> ConcurrentMap<P> for NatarajanTree<P, D> {
+    const NAME: &'static str = "bst";
+
+    fn with_capacity(policy: P, _capacity_hint: usize) -> Self {
+        Self::new(policy)
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        self.get_impl(key)
+    }
+
+    fn insert(&self, key: u64, value: u64) -> bool {
+        self.insert_impl(key, value)
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        self.remove_impl(key)
+    }
+
+    fn len(&self) -> usize {
+        self.count_leaves(self.root)
+    }
+
+    fn policy(&self) -> &P {
+        &self.policy
+    }
+}
+
+impl<P: Policy, D: Durability> Drop for NatarajanTree<P, D> {
+    fn drop(&mut self) {
+        Self::free_subtree(self.root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durability::{Automatic, Manual, NvTraverse};
+    use flit::presets;
+    use flit::{FlitPolicy, HashedScheme};
+    use flit_pmem::{LatencyModel, SimNvram};
+    use std::sync::Arc;
+
+    fn backend() -> SimNvram {
+        SimNvram::builder().latency(LatencyModel::none()).build()
+    }
+
+    type Bst<D> = NatarajanTree<FlitPolicy<HashedScheme, SimNvram>, D>;
+
+    #[test]
+    fn empty_tree() {
+        let t: Bst<Automatic> = NatarajanTree::new(presets::flit_ht(backend()));
+        assert!(t.is_empty());
+        assert_eq!(t.get(1), None);
+        assert!(!t.remove(1));
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let t: Bst<Automatic> = NatarajanTree::new(presets::flit_ht(backend()));
+        assert!(t.insert(50, 500));
+        assert!(t.insert(30, 300));
+        assert!(t.insert(70, 700));
+        assert!(!t.insert(50, 999));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(50), Some(500));
+        assert_eq!(t.get(30), Some(300));
+        assert_eq!(t.get(70), Some(700));
+        assert_eq!(t.get(60), None);
+        assert!(t.remove(50));
+        assert!(!t.remove(50));
+        assert_eq!(t.get(50), None);
+        assert_eq!(t.get(30), Some(300));
+        assert_eq!(t.get(70), Some(700));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ascending_and_descending_insertions() {
+        let t: Bst<Automatic> = NatarajanTree::new(presets::flit_ht(backend()));
+        for k in 0..200u64 {
+            assert!(t.insert(k, k));
+        }
+        for k in (200..400u64).rev() {
+            assert!(t.insert(k, k));
+        }
+        assert_eq!(t.len(), 400);
+        for k in 0..400u64 {
+            assert_eq!(t.get(k), Some(k));
+        }
+        for k in 0..400u64 {
+            assert!(t.remove(k), "failed to remove {k}");
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_then_reinsert() {
+        let t: Bst<NvTraverse> = NatarajanTree::new(presets::flit_ht(backend()));
+        for round in 0..5 {
+            for k in 0..50u64 {
+                assert!(t.insert(k, k + round), "round {round}, key {k}");
+            }
+            for k in 0..50u64 {
+                assert!(t.remove(k));
+            }
+            assert!(t.is_empty());
+        }
+    }
+
+    #[test]
+    fn works_with_every_durability_method() {
+        fn exercise<D: Durability>() {
+            let t: Bst<D> = NatarajanTree::new(presets::flit_ht(backend()));
+            for k in [5u64, 2, 8, 1, 3, 7, 9, 4, 6] {
+                assert!(t.insert(k, k * 10));
+            }
+            assert_eq!(t.len(), 9);
+            for k in 1..=9u64 {
+                assert_eq!(t.get(k), Some(k * 10));
+            }
+            for k in [2u64, 8, 5] {
+                assert!(t.remove(k));
+            }
+            assert_eq!(t.len(), 6);
+        }
+        exercise::<Automatic>();
+        exercise::<NvTraverse>();
+        exercise::<Manual>();
+    }
+
+    #[test]
+    fn works_with_plain_and_baseline_policies() {
+        let t: NatarajanTree<_, Automatic> = NatarajanTree::new(presets::plain(backend()));
+        for k in 0..64u64 {
+            assert!(t.insert(k, k));
+        }
+        assert_eq!(t.len(), 64);
+        let t: NatarajanTree<_, Automatic> = NatarajanTree::new(presets::no_persist());
+        for k in 0..64u64 {
+            assert!(t.insert(k, k));
+        }
+        for k in 0..64u64 {
+            assert!(t.remove(k));
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_and_removes() {
+        let t: Arc<Bst<Automatic>> = Arc::new(NatarajanTree::new(presets::flit_ht(backend())));
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    let base = tid * 10_000;
+                    for k in base..base + 400 {
+                        assert!(t.insert(k, k));
+                    }
+                    for k in (base..base + 400).step_by(2) {
+                        assert!(t.remove(k));
+                    }
+                    for k in base..base + 400 {
+                        assert_eq!(t.get(k).is_some(), k % 2 == 1, "key {k}");
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 4 * 200);
+    }
+
+    #[test]
+    fn concurrent_contended_stress() {
+        let t: Arc<Bst<Manual>> = Arc::new(NatarajanTree::new(presets::flit_ht(backend())));
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..600u64 {
+                        let k = (tid * 17 + i * 5) % 24;
+                        match i % 3 {
+                            0 => {
+                                t.insert(k, i);
+                            }
+                            1 => {
+                                t.remove(k);
+                            }
+                            _ => {
+                                t.get(k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert!(t.len() <= 24);
+        // The sentinel skeleton must be intact.
+        assert_eq!(unsafe { &*t.root }.key, INF2);
+        assert_eq!(unsafe { &*t.s_node() }.key, INF1);
+    }
+}

@@ -1,0 +1,455 @@
+//! # `flit-ebr` — epoch-based memory reclamation
+//!
+//! The lock-free data structures used in the FliT paper's evaluation (Harris linked
+//! list, Natarajan–Mittal BST, skiplist, hash table) physically unlink nodes that other
+//! threads may still be traversing. Freeing such a node immediately would be a
+//! use-after-free; this crate provides the standard solution, *epoch-based
+//! reclamation* (EBR), as an independent substrate so the data-structure crate does not
+//! depend on any external reclamation library.
+//!
+//! ## How it works
+//!
+//! A [`Collector`] maintains a global epoch counter and a fixed table of participant
+//! slots. Before touching shared nodes, a thread [`pin`](Collector::pin)s itself: it
+//! claims a slot (once per thread per collector) and publishes the epoch it observed.
+//! Nodes removed from the structure are not freed; they are handed to
+//! [`Guard::defer_destroy`], which records them together with the epoch at retirement.
+//! The global epoch only advances when every pinned thread has caught up with it, so a
+//! node retired in epoch *e* can be reclaimed safely once the global epoch reaches
+//! *e + 2*: every thread that could possibly hold a reference has unpinned since.
+//!
+//! ## Guarantees and limits
+//!
+//! * Memory is reclaimed only when provably unreachable (two-epoch rule).
+//! * A thread that stays pinned forever blocks reclamation but never correctness.
+//! * At most [`MAX_PARTICIPANTS`] distinct threads may ever pin a given collector
+//!   (slots are claimed per thread and never recycled); exceeding it panics. This is a
+//!   deliberate simplification — the evaluation harness never spawns more than a few
+//!   dozen threads per structure.
+//! * Dropping the collector runs every remaining deferred destructor.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crossbeam_utils::CachePadded;
+
+/// Maximum number of distinct threads that may pin a single collector over its
+/// lifetime.
+pub const MAX_PARTICIPANTS: usize = 256;
+
+/// Slot state meaning "not currently pinned".
+const INACTIVE: u64 = u64::MAX;
+
+/// How many unpins a slot performs between attempts to advance the global epoch and
+/// collect its local garbage.
+const COLLECT_INTERVAL: u64 = 32;
+
+/// A deferred destructor: a raw pointer plus the function that frees it.
+struct Deferred {
+    ptr: *mut u8,
+    destroy: unsafe fn(*mut u8),
+}
+
+// SAFETY: a Deferred is only ever executed once, by whichever thread happens to run
+// collection, and the pointed-to object is unreachable by the time it runs.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    /// Build a deferred destructor that reclaims `ptr` as a `Box<T>`.
+    ///
+    /// # Safety
+    /// `ptr` must have been produced by `Box::into_raw` and must not be freed by any
+    /// other path.
+    unsafe fn destroy_box<T>(ptr: *mut T) -> Self {
+        unsafe fn destroy<T>(p: *mut u8) {
+            // SAFETY: guaranteed by the contract of `destroy_box`.
+            drop(unsafe { Box::from_raw(p as *mut T) });
+        }
+        Deferred {
+            ptr: ptr as *mut u8,
+            destroy: destroy::<T>,
+        }
+    }
+
+    fn run(self) {
+        // SAFETY: by construction, `destroy` matches the provenance of `ptr`.
+        unsafe { (self.destroy)(self.ptr) }
+    }
+}
+
+struct Slot {
+    /// Either `INACTIVE` or the epoch the owning thread pinned at.
+    state: CachePadded<AtomicU64>,
+    /// Garbage retired through this slot: `(retirement epoch, destructor)`.
+    garbage: Mutex<Vec<(u64, Deferred)>>,
+    /// Unpin counter used to pace collection attempts.
+    unpins: AtomicU64,
+}
+
+impl Default for Slot {
+    fn default() -> Self {
+        Self {
+            state: CachePadded::new(AtomicU64::new(INACTIVE)),
+            garbage: Mutex::new(Vec::new()),
+            unpins: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Global {
+    id: u64,
+    epoch: CachePadded<AtomicU64>,
+    slots: Vec<Slot>,
+    claimed: AtomicUsize,
+}
+
+impl Drop for Global {
+    fn drop(&mut self) {
+        // No guards can exist at this point (they borrow the collector), so all
+        // remaining garbage is unreachable and safe to destroy.
+        for slot in &self.slots {
+            let mut garbage = slot.garbage.lock().unwrap();
+            for (_, deferred) in garbage.drain(..) {
+                deferred.run();
+            }
+        }
+    }
+}
+
+/// An epoch-based garbage collector shared by all threads operating on one data
+/// structure. Cloning is cheap (reference-counted) and clones share all state.
+#[derive(Clone)]
+pub struct Collector {
+    global: Arc<Global>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("epoch", &self.global.epoch.load(Ordering::Relaxed))
+            .field("participants", &self.global.claimed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+thread_local! {
+    /// Per-thread cache of "which slot do I own in collector N".
+    static SLOT_CACHE: RefCell<HashMap<u64, usize>> = RefCell::new(HashMap::new());
+}
+
+static NEXT_COLLECTOR_ID: AtomicU64 = AtomicU64::new(1);
+
+impl Collector {
+    /// Create a new collector.
+    pub fn new() -> Self {
+        Self {
+            global: Arc::new(Global {
+                id: NEXT_COLLECTOR_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: CachePadded::new(AtomicU64::new(0)),
+                slots: (0..MAX_PARTICIPANTS).map(|_| Slot::default()).collect(),
+                claimed: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// The current global epoch (diagnostic; monotonically non-decreasing).
+    pub fn epoch(&self) -> u64 {
+        self.global.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Number of threads that have registered with this collector so far.
+    pub fn participants(&self) -> usize {
+        self.global.claimed.load(Ordering::Relaxed)
+    }
+
+    /// Total retired-but-not-yet-freed objects (diagnostic; approximate under
+    /// concurrency).
+    pub fn garbage_len(&self) -> usize {
+        self.global
+            .slots
+            .iter()
+            .map(|s| s.garbage.lock().unwrap().len())
+            .sum()
+    }
+
+    fn slot_index(&self) -> usize {
+        SLOT_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(&idx) = cache.get(&self.global.id) {
+                return idx;
+            }
+            let idx = self.global.claimed.fetch_add(1, Ordering::Relaxed);
+            assert!(
+                idx < MAX_PARTICIPANTS,
+                "flit-ebr: more than {MAX_PARTICIPANTS} threads pinned one collector"
+            );
+            cache.insert(self.global.id, idx);
+            idx
+        })
+    }
+
+    /// Pin the current thread: while the returned [`Guard`] is alive, no node retired
+    /// after this call will be reclaimed, so shared pointers read under the guard stay
+    /// valid.
+    pub fn pin(&self) -> Guard<'_> {
+        let idx = self.slot_index();
+        let slot = &self.global.slots[idx];
+        let epoch = self.global.epoch.load(Ordering::SeqCst);
+        slot.state.store(epoch, Ordering::SeqCst);
+        // On x86 the SeqCst store above already provides the required
+        // store-load ordering against subsequent reads of shared pointers.
+        Guard {
+            collector: self,
+            slot_idx: idx,
+        }
+    }
+
+    /// Try to advance the global epoch. Succeeds only if every currently pinned thread
+    /// has observed the current epoch.
+    fn try_advance(&self) -> u64 {
+        let epoch = self.global.epoch.load(Ordering::SeqCst);
+        for slot in &self.global.slots {
+            let state = slot.state.load(Ordering::SeqCst);
+            if state != INACTIVE && state != epoch {
+                return epoch;
+            }
+        }
+        let _ = self.global.epoch.compare_exchange(
+            epoch,
+            epoch + 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        self.global.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Free everything in `slot_idx`'s garbage bag that was retired at least two
+    /// epochs ago.
+    fn collect(&self, slot_idx: usize) {
+        let global_epoch = self.try_advance();
+        let slot = &self.global.slots[slot_idx];
+        let ready: Vec<Deferred> = {
+            let mut garbage = match slot.garbage.try_lock() {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+            let mut ready = Vec::new();
+            garbage.retain_mut(|(epoch, deferred)| {
+                if *epoch + 2 <= global_epoch {
+                    ready.push(Deferred {
+                        ptr: deferred.ptr,
+                        destroy: deferred.destroy,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            ready
+        };
+        for deferred in ready {
+            deferred.run();
+        }
+    }
+
+    /// Eagerly attempt to reclaim garbage from every slot. Useful in tests and when a
+    /// data structure is about to be dropped.
+    pub fn flush(&self) {
+        for idx in 0..MAX_PARTICIPANTS {
+            self.collect(idx);
+        }
+    }
+}
+
+/// A pinned-thread token. Shared nodes may be dereferenced and retired only while a
+/// guard is alive.
+pub struct Guard<'c> {
+    collector: &'c Collector,
+    slot_idx: usize,
+}
+
+impl Guard<'_> {
+    /// Defer destruction of `ptr` (obtained from `Box::into_raw`) until no pinned
+    /// thread can still hold a reference to it.
+    ///
+    /// # Safety
+    /// * `ptr` must have been created by `Box::into_raw::<T>`.
+    /// * `ptr` must be unreachable for threads that pin *after* this call (i.e. it has
+    ///   been unlinked from the shared structure).
+    /// * No other code may free `ptr`.
+    pub unsafe fn defer_destroy<T>(&self, ptr: *mut T) {
+        let epoch = self.collector.global.epoch.load(Ordering::SeqCst);
+        let deferred = unsafe { Deferred::destroy_box(ptr) };
+        let slot = &self.collector.global.slots[self.slot_idx];
+        slot.garbage.lock().unwrap().push((epoch, deferred));
+    }
+
+    /// The collector this guard belongs to.
+    pub fn collector(&self) -> &Collector {
+        self.collector
+    }
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        let slot = &self.collector.global.slots[self.slot_idx];
+        slot.state.store(INACTIVE, Ordering::SeqCst);
+        let unpins = slot.unpins.fetch_add(1, Ordering::Relaxed) + 1;
+        if unpins % COLLECT_INTERVAL == 0 {
+            self.collector.collect(self.slot_idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A payload that counts how many times it is dropped.
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn pin_unpin_advances_epoch_eventually() {
+        let c = Collector::new();
+        let start = c.epoch();
+        for _ in 0..(COLLECT_INTERVAL * 4) {
+            drop(c.pin());
+        }
+        assert!(c.epoch() >= start, "epoch must never go backwards");
+    }
+
+    #[test]
+    fn deferred_destruction_runs_exactly_once() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Collector::new();
+        {
+            let guard = c.pin();
+            let node = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
+            unsafe { guard.defer_destroy(node) };
+        }
+        // Unpin repeatedly so the epoch can advance and garbage gets collected.
+        for _ in 0..(COLLECT_INTERVAL * 6) {
+            drop(c.pin());
+        }
+        c.flush();
+        c.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nothing_is_freed_while_a_guard_is_pinned() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Collector::new();
+        let other = c.clone();
+
+        // A long-lived guard pins the current epoch.
+        let long_lived = c.pin();
+
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let guard = other.pin();
+                let node = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
+                unsafe { guard.defer_destroy(node) };
+                drop(guard);
+                for _ in 0..(COLLECT_INTERVAL * 6) {
+                    drop(other.pin());
+                }
+                other.flush();
+            });
+        });
+
+        // The long-lived guard observed the retirement epoch, so the node must not
+        // have been reclaimed yet.
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(long_lived);
+        for _ in 0..(COLLECT_INTERVAL * 6) {
+            drop(c.pin());
+        }
+        c.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn collector_drop_reclaims_leftovers() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let c = Collector::new();
+            let guard = c.pin();
+            for _ in 0..10 {
+                let node = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
+                unsafe { guard.defer_destroy(node) };
+            }
+            drop(guard);
+            // No flushing: dropping the collector must clean everything up.
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn concurrent_retirement_stress() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 500;
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let c = Collector::new();
+            std::thread::scope(|s| {
+                for _ in 0..THREADS {
+                    let c = c.clone();
+                    let drops = Arc::clone(&drops);
+                    s.spawn(move || {
+                        for _ in 0..PER_THREAD {
+                            let guard = c.pin();
+                            let node =
+                                Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
+                            unsafe { guard.defer_destroy(node) };
+                            drop(guard);
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn participants_are_counted_once_per_thread() {
+        let c = Collector::new();
+        drop(c.pin());
+        drop(c.pin());
+        assert_eq!(c.participants(), 1);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                drop(c.pin());
+                drop(c.pin());
+            });
+        });
+        assert_eq!(c.participants(), 2);
+    }
+
+    #[test]
+    fn garbage_len_reports_pending_items() {
+        let c = Collector::new();
+        let guard = c.pin();
+        let node = Box::into_raw(Box::new(17u64));
+        unsafe { guard.defer_destroy(node) };
+        assert_eq!(c.garbage_len(), 1);
+        drop(guard);
+    }
+}

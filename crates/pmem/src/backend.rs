@@ -1,0 +1,148 @@
+//! The [`PmemBackend`] trait: the minimal instruction set the FliT library needs from
+//! the persistent-memory substrate (`pwb` + `pfence`), plus hooks for statistics and
+//! crash tracking.
+
+use crate::stats::PmemStats;
+use crate::tracker::PersistenceTracker;
+
+/// Abstraction over the two persistence instructions of the paper's model (§2):
+///
+/// * `pwb` (*persistent write-back*) — asynchronously writes the cache line containing
+///   the given address back towards persistent media. Does not block and does not, by
+///   itself, guarantee the data has reached the media.
+/// * `pfence` — orders and completes: after a `pfence` by thread *t* returns, every
+///   location `pwb`-ed by *t* before the fence is durably in persistent memory.
+///
+/// Backends may additionally observe every store performed through the FliT library
+/// (via [`record_store`](PmemBackend::record_store)) so that a software model of the
+/// persisted image can be maintained; hardware backends ignore this hook.
+///
+/// All methods take `&self`: backends are shared across every thread of a data
+/// structure and must be internally synchronised.
+pub trait PmemBackend: Send + Sync + 'static {
+    /// Issue a persistent write-back for the cache line containing `addr`.
+    fn pwb(&self, addr: *const u8);
+
+    /// Issue a persist fence: block until every previously `pwb`-ed line issued by the
+    /// calling thread is durable, and order it before subsequent stores.
+    fn pfence(&self);
+
+    /// Notify the backend that an 8-byte word at `addr` now holds `val` in volatile
+    /// memory. Called by the FliT library immediately after every store it performs on
+    /// a tracked (`persist<T>`) variable.
+    ///
+    /// The default implementation does nothing; only tracking backends (e.g.
+    /// [`SimNvram`](crate::SimNvram) with a [`PersistenceTracker`]) use it.
+    #[inline]
+    fn record_store(&self, _addr: *const u8, _val: u64) {}
+
+    /// Statistics collected by this backend, if any.
+    #[inline]
+    fn pmem_stats(&self) -> Option<&PmemStats> {
+        None
+    }
+
+    /// The persistence tracker attached to this backend, if any.
+    #[inline]
+    fn persistence_tracker(&self) -> Option<&PersistenceTracker> {
+        None
+    }
+
+    /// `true` when `pwb`/`pfence` issued through this backend actually cost something
+    /// (hardware instruction or simulated latency). The non-persistent baseline
+    /// returns `false`, which lets higher layers skip work entirely.
+    #[inline]
+    fn is_persistent(&self) -> bool {
+        true
+    }
+}
+
+/// A backend where every persistence instruction is a no-op.
+///
+/// This models the *non-persistent* version of each data structure: the grey dotted
+/// baseline in the paper's plots, which no durable implementation can significantly
+/// outperform.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullPmem;
+
+impl PmemBackend for NullPmem {
+    #[inline]
+    fn pwb(&self, _addr: *const u8) {}
+
+    #[inline]
+    fn pfence(&self) {}
+
+    #[inline]
+    fn is_persistent(&self) -> bool {
+        false
+    }
+}
+
+/// Blanket implementation so an `Arc<B>` can be used wherever a backend is expected
+/// without an extra newtype at every call site.
+impl<B: PmemBackend + ?Sized> PmemBackend for std::sync::Arc<B> {
+    #[inline]
+    fn pwb(&self, addr: *const u8) {
+        (**self).pwb(addr)
+    }
+
+    #[inline]
+    fn pfence(&self) {
+        (**self).pfence()
+    }
+
+    #[inline]
+    fn record_store(&self, addr: *const u8, val: u64) {
+        (**self).record_store(addr, val)
+    }
+
+    #[inline]
+    fn pmem_stats(&self) -> Option<&PmemStats> {
+        (**self).pmem_stats()
+    }
+
+    #[inline]
+    fn persistence_tracker(&self) -> Option<&PersistenceTracker> {
+        (**self).persistence_tracker()
+    }
+
+    #[inline]
+    fn is_persistent(&self) -> bool {
+        (**self).is_persistent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn null_backend_is_a_noop_and_not_persistent() {
+        let b = NullPmem;
+        let x = 7u64;
+        b.pwb(&x as *const u64 as *const u8);
+        b.pfence();
+        b.record_store(&x as *const u64 as *const u8, 7);
+        assert!(!b.is_persistent());
+        assert!(b.pmem_stats().is_none());
+        assert!(b.persistence_tracker().is_none());
+    }
+
+    #[test]
+    fn arc_backend_delegates() {
+        let b: Arc<NullPmem> = Arc::new(NullPmem);
+        let x = 9u64;
+        b.pwb(&x as *const u64 as *const u8);
+        b.pfence();
+        assert!(!b.is_persistent());
+    }
+
+    #[test]
+    fn dyn_backend_object_safety() {
+        // The trait must stay object-safe: the workload runner stores `Arc<dyn PmemBackend>`.
+        let b: Arc<dyn PmemBackend> = Arc::new(NullPmem);
+        b.pfence();
+        assert!(!b.is_persistent());
+    }
+}

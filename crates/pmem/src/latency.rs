@@ -1,0 +1,174 @@
+//! Latency model for the simulated NVRAM backend.
+//!
+//! The reproduction environment has no Optane DIMMs, so [`SimNvram`](crate::SimNvram)
+//! charges every `pwb`/`pfence` a configurable cost by spinning for a calibrated number
+//! of iterations. The defaults approximate the costs reported for Cascade Lake +
+//! Optane DC: a non-blocking cache-line write-back in the tens of nanoseconds and a
+//! fence that drains write-pending queues in the low hundreds.
+//!
+//! Spinning (rather than `thread::sleep`) matters: the costs being modelled are far
+//! below OS timer resolution, and sleeping would also deschedule the thread, which the
+//! real instructions do not do.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Per-instruction costs charged by the simulated backend, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Cost of one `pwb` (cache-line write-back towards the persistence domain).
+    pub pwb_ns: u64,
+    /// Cost of one `pfence` (waiting for previously written-back lines to become
+    /// durable and ordering subsequent stores).
+    pub pfence_ns: u64,
+}
+
+impl LatencyModel {
+    /// No cost at all. Used by correctness tests and by the crash tracker, where only
+    /// the *bookkeeping* matters, not the time.
+    pub const fn none() -> Self {
+        Self {
+            pwb_ns: 0,
+            pfence_ns: 0,
+        }
+    }
+
+    /// Costs approximating Intel Optane DC persistent memory behind an ADR domain:
+    /// `clwb` is cheap to issue but the store must travel to the DIMM's write-pending
+    /// queue, and `sfence` after a write-back stalls for the drain.
+    pub const fn optane() -> Self {
+        Self {
+            pwb_ns: 60,
+            pfence_ns: 150,
+        }
+    }
+
+    /// Costs approximating battery-backed DRAM (eADR-style platforms), where
+    /// write-backs are cheap and fences only pay the store-buffer drain.
+    pub const fn dram() -> Self {
+        Self {
+            pwb_ns: 15,
+            pfence_ns: 30,
+        }
+    }
+
+    /// A custom model.
+    pub const fn new(pwb_ns: u64, pfence_ns: u64) -> Self {
+        Self { pwb_ns, pfence_ns }
+    }
+
+    /// `true` when both costs are zero (the spin loop can be skipped entirely).
+    pub const fn is_free(&self) -> bool {
+        self.pwb_ns == 0 && self.pfence_ns == 0
+    }
+
+    /// Busy-wait for the configured `pwb` cost.
+    #[inline]
+    pub fn charge_pwb(&self) {
+        if self.pwb_ns > 0 {
+            busy_wait_ns(self.pwb_ns);
+        }
+    }
+
+    /// Busy-wait for the configured `pfence` cost.
+    #[inline]
+    pub fn charge_pfence(&self) {
+        if self.pfence_ns > 0 {
+            busy_wait_ns(self.pfence_ns);
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::optane()
+    }
+}
+
+/// Spin-loop iterations executed per nanosecond, measured once per process.
+fn spins_per_ns() -> f64 {
+    static CALIBRATION: OnceLock<f64> = OnceLock::new();
+    *CALIBRATION.get_or_init(|| {
+        // Calibrate against the monotonic clock. The measurement is repeated and the
+        // maximum rate kept, so descheduling during calibration only makes the model
+        // conservative (it will never under-charge by a large factor).
+        let mut best = 0.0f64;
+        for _ in 0..3 {
+            let iters: u64 = 2_000_000;
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::spin_loop();
+            }
+            let elapsed = start.elapsed().as_nanos().max(1) as f64;
+            let rate = iters as f64 / elapsed;
+            if rate > best {
+                best = rate;
+            }
+        }
+        // Guard against clock anomalies: assume at least 0.05 and at most 100
+        // iterations per nanosecond.
+        best.clamp(0.05, 100.0)
+    })
+}
+
+/// Busy-wait for approximately `ns` nanoseconds using the calibrated spin loop.
+#[inline]
+pub fn busy_wait_ns(ns: u64) {
+    let iters = (ns as f64 * spins_per_ns()) as u64;
+    for _ in 0..iters {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_ordering() {
+        let none = LatencyModel::none();
+        let dram = LatencyModel::dram();
+        let optane = LatencyModel::optane();
+        assert!(none.is_free());
+        assert!(!dram.is_free());
+        assert!(dram.pwb_ns < optane.pwb_ns);
+        assert!(dram.pfence_ns < optane.pfence_ns);
+    }
+
+    #[test]
+    fn default_is_optane() {
+        assert_eq!(LatencyModel::default(), LatencyModel::optane());
+    }
+
+    #[test]
+    fn calibration_is_sane() {
+        let rate = spins_per_ns();
+        assert!(rate >= 0.05);
+        assert!(rate <= 100.0);
+        // Second call must return the cached value.
+        assert_eq!(rate, spins_per_ns());
+    }
+
+    #[test]
+    fn busy_wait_takes_roughly_the_requested_time() {
+        // Warm up calibration first.
+        let _ = spins_per_ns();
+        let start = Instant::now();
+        busy_wait_ns(200_000); // 200 microseconds: large enough to measure reliably
+        let elapsed = start.elapsed().as_nanos() as u64;
+        // Extremely loose bounds: we only need the order of magnitude to be right for
+        // the benchmark shapes to hold, and CI machines can be noisy.
+        assert!(elapsed >= 20_000, "busy_wait returned far too quickly: {elapsed}ns");
+    }
+
+    #[test]
+    fn charging_a_free_model_is_instant() {
+        let m = LatencyModel::none();
+        let start = Instant::now();
+        for _ in 0..10_000 {
+            m.charge_pwb();
+            m.charge_pfence();
+        }
+        assert!(start.elapsed().as_millis() < 500);
+    }
+}

@@ -1,0 +1,77 @@
+//! # `flit-pmem` — persistent-memory substrate for the FliT reproduction
+//!
+//! The FliT paper (PPoPP 2022) targets machines with Intel Optane DC persistent
+//! memory, where stores land in a *volatile* cache hierarchy and must be pushed to the
+//! *persistent* media with explicit write-back (`pwb`, i.e. `clwb`/`clflushopt`) and
+//! ordering (`pfence`, i.e. `sfence`) instructions.
+//!
+//! This crate provides that substrate in three interchangeable forms behind the
+//! [`PmemBackend`] trait:
+//!
+//! * [`HardwarePmem`] — issues real x86-64 cache-line write-back instructions
+//!   (`clwb`, `clflushopt` or `clflush`, chosen by runtime feature detection) and
+//!   `sfence`. Use this on a machine with actual persistent memory.
+//! * [`SimNvram`] — a *simulated* NVRAM: ordinary heap memory plus
+//!   - a configurable [`LatencyModel`] that charges an Optane-like cost to every
+//!     `pwb`/`pfence`,
+//!   - global [`PmemStats`] counting every `pwb` and `pfence` (used to reproduce
+//!     Figure 9 of the paper), and
+//!   - an optional [`PersistenceTracker`] that maintains the volatile image and the
+//!     persisted image of every tracked word so tests can take an adversarial
+//!     [`CrashImage`] ("only what was explicitly flushed *and* fenced survives").
+//! * [`NullPmem`] — everything is a no-op; used by the non-persistent baseline
+//!   (the grey dotted line in the paper's plots).
+//!
+//! The unit of flushing is a 64-byte cache line ([`CACHE_LINE_SIZE`]); the unit of
+//! tracking is an 8-byte word, matching the granularity at which the FliT library
+//! operates.
+//!
+//! ## Why a simulated backend?
+//!
+//! The reproduction environment has no NVDIMMs. The behaviour FliT's evaluation
+//! depends on is (a) *how many* write-backs and fences each variant executes per
+//! operation and (b) that each one has a substantial, roughly-constant cost. Both are
+//! captured by [`SimNvram`]; see `DESIGN.md` for the full substitution argument.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod backend;
+pub mod cache_line;
+pub mod hardware;
+pub mod latency;
+pub mod sim;
+pub mod stats;
+pub mod tracker;
+
+pub use backend::{NullPmem, PmemBackend};
+pub use cache_line::{cache_line_of, word_of, CACHE_LINE_SIZE, WORD_SIZE};
+pub use hardware::{FlushInstruction, HardwarePmem};
+pub use latency::LatencyModel;
+pub use sim::SimNvram;
+pub use stats::{PmemStats, StatsSnapshot};
+pub use tracker::{CrashImage, PersistenceTracker};
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn public_api_smoke() {
+        let sim = SimNvram::builder().latency(LatencyModel::none()).build();
+        let x: u64 = 42;
+        sim.pwb(&x as *const u64 as *const u8);
+        sim.pfence();
+        let snap = sim.stats().snapshot();
+        assert_eq!(snap.pwbs, 1);
+        assert_eq!(snap.pfences, 1);
+
+        let null = NullPmem;
+        null.pwb(&x as *const u64 as *const u8);
+        null.pfence();
+
+        let shared: Arc<dyn PmemBackend> = Arc::new(SimNvram::default());
+        shared.pfence();
+    }
+}

@@ -1,0 +1,268 @@
+//! Simulated NVRAM backend.
+//!
+//! [`SimNvram`] is the substitute for the Intel Optane DC persistent memory used in
+//! the paper's evaluation. It combines three orthogonal pieces, each optional:
+//!
+//! * a [`LatencyModel`] charging a cost to every `pwb`/`pfence` (this is what makes
+//!   the benchmark *shapes* of the paper reproducible on ordinary hardware);
+//! * [`PmemStats`] counting every persistence instruction (Figure 9);
+//! * a [`PersistenceTracker`] maintaining the persisted image for crash testing
+//!   (disabled by default — it is far too slow for throughput runs).
+//!
+//! `SimNvram` is internally reference counted, so it can be cloned cheaply and shared
+//! between a data structure, the workload runner and the test harness.
+
+use std::sync::Arc;
+
+use crate::backend::PmemBackend;
+use crate::latency::LatencyModel;
+use crate::stats::PmemStats;
+use crate::tracker::PersistenceTracker;
+
+struct Inner {
+    latency: LatencyModel,
+    stats: PmemStats,
+    tracker: Option<PersistenceTracker>,
+    count_stats: bool,
+}
+
+/// Simulated NVRAM: ordinary memory plus modelled persistence costs, statistics and
+/// optional crash tracking. See the module docs.
+#[derive(Clone)]
+pub struct SimNvram {
+    inner: Arc<Inner>,
+}
+
+impl Default for SimNvram {
+    /// An Optane-like latency model with statistics and no crash tracking.
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl std::fmt::Debug for SimNvram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNvram")
+            .field("latency", &self.inner.latency)
+            .field("tracking", &self.inner.tracker.is_some())
+            .field("pwbs", &self.inner.stats.pwbs())
+            .field("pfences", &self.inner.stats.pfences())
+            .finish()
+    }
+}
+
+impl SimNvram {
+    /// Start building a simulated NVRAM instance.
+    pub fn builder() -> SimNvramBuilder {
+        SimNvramBuilder::default()
+    }
+
+    /// A zero-latency, tracking-enabled instance — the configuration used by
+    /// durability (crash) tests, where only the bookkeeping matters.
+    pub fn for_crash_testing() -> Self {
+        Self::builder()
+            .latency(LatencyModel::none())
+            .tracking(true)
+            .build()
+    }
+
+    /// A zero-latency, non-tracking instance — useful for functional tests that only
+    /// care about instruction counts.
+    pub fn for_counting() -> Self {
+        Self::builder().latency(LatencyModel::none()).build()
+    }
+
+    /// The latency model in effect.
+    pub fn latency(&self) -> LatencyModel {
+        self.inner.latency
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &PmemStats {
+        &self.inner.stats
+    }
+
+    /// The persistence tracker, if tracking was enabled.
+    pub fn tracker(&self) -> Option<&PersistenceTracker> {
+        self.inner.tracker.as_ref()
+    }
+
+    /// Record a read-side `pwb` (a flush triggered by a tagged p-load). The FliT
+    /// library calls this *in addition to* [`pwb`](PmemBackend::pwb) so Figure 9's
+    /// read-side flush breakdown can be reported.
+    pub fn note_read_side_pwb(&self) {
+        if self.inner.count_stats {
+            self.inner.stats.record_read_side_pwb();
+        }
+    }
+}
+
+impl PmemBackend for SimNvram {
+    #[inline]
+    fn pwb(&self, addr: *const u8) {
+        if self.inner.count_stats {
+            self.inner.stats.record_pwb();
+        }
+        if let Some(tracker) = &self.inner.tracker {
+            tracker.on_pwb(addr as usize);
+        }
+        self.inner.latency.charge_pwb();
+    }
+
+    #[inline]
+    fn pfence(&self) {
+        if self.inner.count_stats {
+            self.inner.stats.record_pfence();
+        }
+        if let Some(tracker) = &self.inner.tracker {
+            tracker.on_pfence();
+        }
+        self.inner.latency.charge_pfence();
+    }
+
+    #[inline]
+    fn record_store(&self, addr: *const u8, val: u64) {
+        if let Some(tracker) = &self.inner.tracker {
+            tracker.record_store(addr as usize, val);
+        }
+    }
+
+    #[inline]
+    fn pmem_stats(&self) -> Option<&PmemStats> {
+        Some(&self.inner.stats)
+    }
+
+    #[inline]
+    fn persistence_tracker(&self) -> Option<&PersistenceTracker> {
+        self.inner.tracker.as_ref()
+    }
+}
+
+/// Builder for [`SimNvram`].
+#[derive(Debug, Clone)]
+pub struct SimNvramBuilder {
+    latency: LatencyModel,
+    tracking: bool,
+    count_stats: bool,
+}
+
+impl Default for SimNvramBuilder {
+    fn default() -> Self {
+        Self {
+            latency: LatencyModel::optane(),
+            tracking: false,
+            count_stats: true,
+        }
+    }
+}
+
+impl SimNvramBuilder {
+    /// Set the latency model (default: [`LatencyModel::optane`]).
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Enable or disable word-granularity persistence tracking (default: disabled).
+    pub fn tracking(mut self, tracking: bool) -> Self {
+        self.tracking = tracking;
+        self
+    }
+
+    /// Enable or disable statistics counters (default: enabled).
+    pub fn count_stats(mut self, count: bool) -> Self {
+        self.count_stats = count;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> SimNvram {
+        SimNvram {
+            inner: Arc::new(Inner {
+                latency: self.latency,
+                stats: PmemStats::new(),
+                tracker: if self.tracking {
+                    Some(PersistenceTracker::new())
+                } else {
+                    None
+                },
+                count_stats: self.count_stats,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_counted() {
+        let sim = SimNvram::for_counting();
+        let x = 3u64;
+        for _ in 0..10 {
+            sim.pwb(&x as *const u64 as *const u8);
+        }
+        sim.pfence();
+        assert_eq!(sim.stats().pwbs(), 10);
+        assert_eq!(sim.stats().pfences(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let sim = SimNvram::for_counting();
+        let clone = sim.clone();
+        let x = 3u64;
+        clone.pwb(&x as *const u64 as *const u8);
+        assert_eq!(sim.stats().pwbs(), 1);
+    }
+
+    #[test]
+    fn tracking_round_trip() {
+        let sim = SimNvram::for_crash_testing();
+        let x = 0u64;
+        let addr = &x as *const u64 as *const u8;
+        sim.record_store(addr, 123);
+        assert_eq!(sim.tracker().unwrap().volatile_value(addr as usize), Some(123));
+        assert!(sim.tracker().unwrap().crash_image().is_empty());
+        sim.pwb(addr);
+        sim.pfence();
+        assert_eq!(sim.tracker().unwrap().crash_image().read(addr as usize), Some(123));
+    }
+
+    #[test]
+    fn non_tracking_instance_ignores_record_store() {
+        let sim = SimNvram::for_counting();
+        let x = 0u64;
+        sim.record_store(&x as *const u64 as *const u8, 5);
+        assert!(sim.tracker().is_none());
+    }
+
+    #[test]
+    fn counting_can_be_disabled() {
+        let sim = SimNvram::builder()
+            .latency(LatencyModel::none())
+            .count_stats(false)
+            .build();
+        let x = 0u64;
+        sim.pwb(&x as *const u64 as *const u8);
+        sim.pfence();
+        assert_eq!(sim.stats().pwbs(), 0);
+        assert_eq!(sim.stats().pfences(), 0);
+    }
+
+    #[test]
+    fn read_side_pwb_notes_accumulate() {
+        let sim = SimNvram::for_counting();
+        sim.note_read_side_pwb();
+        sim.note_read_side_pwb();
+        assert_eq!(sim.stats().read_side_pwbs(), 2);
+    }
+
+    #[test]
+    fn latency_model_is_exposed() {
+        let sim = SimNvram::builder().latency(LatencyModel::dram()).build();
+        assert_eq!(sim.latency(), LatencyModel::dram());
+        assert!(sim.is_persistent());
+    }
+}

@@ -1,0 +1,330 @@
+//! Word-granularity persistence tracking and adversarial crash images.
+//!
+//! The durability arguments of the paper (Theorem 3.1, the P-V Interface conditions)
+//! are statements about *which stores have reached persistent memory* at given points
+//! in an execution. To test them without NVRAM, the [`PersistenceTracker`] maintains a
+//! software model of both memories:
+//!
+//! * the **volatile image** — the latest value stored to every tracked word (this is
+//!   what caches + DRAM hold);
+//! * per-thread **pending sets** — values whose cache line has been `pwb`-ed by that
+//!   thread but not yet fenced;
+//! * the **persisted image** — values that have been `pwb`-ed *and* covered by a
+//!   subsequent `pfence` of the flushing thread.
+//!
+//! [`crash_image`](PersistenceTracker::crash_image) returns the persisted image only.
+//! This is the *adversarial* ("loss") model: a store survives a crash **only** when it
+//! was explicitly written back and fenced. Real hardware may additionally persist
+//! lines early through cache evictions, but early persistence can only add durable
+//! state, never remove it, so any durable-linearizability violation found under this
+//! model is a genuine bug and the absence of violations under it is the strongest
+//! statement the test can make.
+//!
+//! The tracker is intended for correctness tests and crash experiments; benchmarks run
+//! with tracking disabled.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::ThreadId;
+
+use parking_lot::Mutex;
+
+use crate::cache_line::{cache_line_of, word_of, WORDS_PER_LINE, WORD_SIZE};
+
+const SHARDS: usize = 64;
+
+fn shard_of(line: usize) -> usize {
+    // Lines are 64-byte aligned; mix the meaningful bits so consecutive lines spread
+    // across shards.
+    let x = line >> 6;
+    (x ^ (x >> 7) ^ (x >> 13)) & (SHARDS - 1)
+}
+
+/// One cache line's worth of tracked words.
+type LineWords = [Option<u64>; WORDS_PER_LINE];
+
+#[derive(Default)]
+struct Shard {
+    /// line base address -> latest volatile value of each word in the line
+    volatile: HashMap<usize, LineWords>,
+    /// word address -> persisted value
+    persisted: HashMap<usize, u64>,
+}
+
+/// Software model of the volatile/persistent memory split. See the module docs.
+pub struct PersistenceTracker {
+    shards: Vec<Mutex<Shard>>,
+    /// word values written back (pwb) but not yet fenced, per thread
+    pending: Mutex<HashMap<ThreadId, Vec<(usize, u64)>>>,
+    stores_recorded: AtomicU64,
+}
+
+impl Default for PersistenceTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PersistenceTracker {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            pending: Mutex::new(HashMap::new()),
+            stores_recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Record that the 8-byte word at `addr` now holds `val` in volatile memory.
+    pub fn record_store(&self, addr: usize, val: u64) {
+        let word = word_of(addr);
+        let line = cache_line_of(word);
+        let idx = (word - line) / WORD_SIZE;
+        let mut shard = self.shards[shard_of(line)].lock();
+        shard.volatile.entry(line).or_default()[idx] = Some(val);
+        self.stores_recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Model a `pwb` of the cache line containing `addr` by the calling thread: the
+    /// line's current volatile contents become *pending* for this thread.
+    pub fn on_pwb(&self, addr: usize) {
+        let line = cache_line_of(addr);
+        let snapshot: Vec<(usize, u64)> = {
+            let shard = self.shards[shard_of(line)].lock();
+            match shard.volatile.get(&line) {
+                None => Vec::new(),
+                Some(words) => words
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, w)| w.map(|v| (line + i * WORD_SIZE, v)))
+                    .collect(),
+            }
+        };
+        if snapshot.is_empty() {
+            return;
+        }
+        let tid = std::thread::current().id();
+        let mut pending = self.pending.lock();
+        pending.entry(tid).or_default().extend(snapshot);
+    }
+
+    /// Model a `pfence` by the calling thread: everything this thread has `pwb`-ed
+    /// since its previous fence becomes persisted.
+    pub fn on_pfence(&self) {
+        let tid = std::thread::current().id();
+        let drained: Vec<(usize, u64)> = {
+            let mut pending = self.pending.lock();
+            match pending.get_mut(&tid) {
+                None => return,
+                Some(v) => std::mem::take(v),
+            }
+        };
+        for (word, val) in drained {
+            let line = cache_line_of(word);
+            let mut shard = self.shards[shard_of(line)].lock();
+            shard.persisted.insert(word, val);
+        }
+    }
+
+    /// The latest value stored to `addr` in volatile memory, if the word is tracked.
+    pub fn volatile_value(&self, addr: usize) -> Option<u64> {
+        let word = word_of(addr);
+        let line = cache_line_of(word);
+        let idx = (word - line) / WORD_SIZE;
+        let shard = self.shards[shard_of(line)].lock();
+        shard.volatile.get(&line).and_then(|w| w[idx])
+    }
+
+    /// The persisted value of `addr`, if any store to it has been flushed and fenced.
+    pub fn persisted_value(&self, addr: usize) -> Option<u64> {
+        let word = word_of(addr);
+        let line = cache_line_of(word);
+        let shard = self.shards[shard_of(line)].lock();
+        shard.persisted.get(&word).copied()
+    }
+
+    /// Number of stores recorded so far (diagnostic).
+    pub fn stores_recorded(&self) -> u64 {
+        self.stores_recorded.load(Ordering::Relaxed)
+    }
+
+    /// Take an adversarial crash snapshot: only flushed-and-fenced values survive.
+    pub fn crash_image(&self) -> CrashImage {
+        let mut words = HashMap::new();
+        for shard in &self.shards {
+            let s = shard.lock();
+            for (addr, val) in &s.persisted {
+                words.insert(*addr, *val);
+            }
+        }
+        CrashImage { words }
+    }
+
+    /// Take a snapshot of the volatile image (what a crash-free reader would see).
+    pub fn volatile_image(&self) -> CrashImage {
+        let mut words = HashMap::new();
+        for shard in &self.shards {
+            let s = shard.lock();
+            for (line, vals) in &s.volatile {
+                for (i, v) in vals.iter().enumerate() {
+                    if let Some(v) = v {
+                        words.insert(line + i * WORD_SIZE, *v);
+                    }
+                }
+            }
+        }
+        CrashImage { words }
+    }
+
+    /// Forget everything. Used between test cases sharing a backend.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.volatile.clear();
+            s.persisted.clear();
+        }
+        self.pending.lock().clear();
+        self.stores_recorded.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable snapshot of tracked memory (either the persisted image after a
+/// simulated crash, or the volatile image), keyed by word address.
+#[derive(Debug, Clone, Default)]
+pub struct CrashImage {
+    words: HashMap<usize, u64>,
+}
+
+impl CrashImage {
+    /// Read the 8-byte word at `addr`, if present in the image.
+    pub fn read(&self, addr: usize) -> Option<u64> {
+        self.words.get(&word_of(addr)).copied()
+    }
+
+    /// Read the word holding the value of a typed location.
+    pub fn read_of<T>(&self, loc: *const T) -> Option<u64> {
+        self.read(loc as usize)
+    }
+
+    /// Number of words captured in the image.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when the image holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterate over `(word address, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.words.iter().map(|(a, v)| (*a, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr_of(x: &u64) -> usize {
+        x as *const u64 as usize
+    }
+
+    #[test]
+    fn unflushed_store_does_not_survive_a_crash() {
+        let t = PersistenceTracker::new();
+        let x = 0u64;
+        t.record_store(addr_of(&x), 42);
+        assert_eq!(t.volatile_value(addr_of(&x)), Some(42));
+        assert_eq!(t.persisted_value(addr_of(&x)), None);
+        assert_eq!(t.crash_image().read(addr_of(&x)), None);
+    }
+
+    #[test]
+    fn pwb_without_pfence_is_not_enough() {
+        let t = PersistenceTracker::new();
+        let x = 0u64;
+        t.record_store(addr_of(&x), 7);
+        t.on_pwb(addr_of(&x));
+        assert_eq!(t.crash_image().read(addr_of(&x)), None);
+        t.on_pfence();
+        assert_eq!(t.crash_image().read(addr_of(&x)), Some(7));
+    }
+
+    #[test]
+    fn pfence_persists_the_value_at_pwb_time_not_later_writes() {
+        let t = PersistenceTracker::new();
+        let x = 0u64;
+        t.record_store(addr_of(&x), 1);
+        t.on_pwb(addr_of(&x));
+        // A later store that is never flushed must not leak into the persisted image.
+        t.record_store(addr_of(&x), 2);
+        t.on_pfence();
+        assert_eq!(t.persisted_value(addr_of(&x)), Some(1));
+        assert_eq!(t.volatile_value(addr_of(&x)), Some(2));
+    }
+
+    #[test]
+    fn pwb_covers_the_whole_cache_line() {
+        let t = PersistenceTracker::new();
+        // Two words guaranteed to share a cache line: elements 0 and 1 of an aligned
+        // array occupying one line.
+        #[repr(align(64))]
+        struct Line([u64; 8]);
+        let line = Line([0; 8]);
+        let a0 = addr_of(&line.0[0]);
+        let a1 = addr_of(&line.0[1]);
+        assert!(crate::cache_line::same_cache_line(a0, a1));
+        t.record_store(a0, 10);
+        t.record_store(a1, 11);
+        t.on_pwb(a0); // flushing either address writes back the whole line
+        t.on_pfence();
+        assert_eq!(t.persisted_value(a0), Some(10));
+        assert_eq!(t.persisted_value(a1), Some(11));
+    }
+
+    #[test]
+    fn pending_sets_are_per_thread() {
+        let t = std::sync::Arc::new(PersistenceTracker::new());
+        let x = Box::leak(Box::new(0u64));
+        let addr = addr_of(x);
+        t.record_store(addr, 99);
+        t.on_pwb(addr);
+        // A fence on another thread must not commit this thread's pending set.
+        {
+            let t2 = std::sync::Arc::clone(&t);
+            std::thread::spawn(move || t2.on_pfence()).join().unwrap();
+        }
+        assert_eq!(t.persisted_value(addr), None);
+        t.on_pfence();
+        assert_eq!(t.persisted_value(addr), Some(99));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let t = PersistenceTracker::new();
+        let x = 0u64;
+        t.record_store(addr_of(&x), 5);
+        t.on_pwb(addr_of(&x));
+        t.on_pfence();
+        t.clear();
+        assert!(t.crash_image().is_empty());
+        assert_eq!(t.volatile_value(addr_of(&x)), None);
+        assert_eq!(t.stores_recorded(), 0);
+    }
+
+    #[test]
+    fn volatile_image_sees_everything() {
+        let t = PersistenceTracker::new();
+        let xs = vec![0u64; 16];
+        for (i, x) in xs.iter().enumerate() {
+            t.record_store(addr_of(x), i as u64);
+        }
+        let vol = t.volatile_image();
+        assert_eq!(vol.len(), 16);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(vol.read(addr_of(x)), Some(i as u64));
+        }
+        assert!(t.crash_image().is_empty());
+    }
+}

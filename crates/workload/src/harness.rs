@@ -1,0 +1,288 @@
+//! The experiment dispatcher: every (data structure × durability method × policy)
+//! combination of the paper's evaluation, addressable by value so the `repro` binary
+//! and the Criterion benches can enumerate them.
+//!
+//! Each call to [`run_case`] builds a fresh structure, prefills it, runs the
+//! configured workload and returns the measured [`RunResult`]. The simulated-NVRAM
+//! backend (and therefore the latency model and statistics) is created per case, so
+//! cases never share counters.
+
+use flit::presets;
+use flit::{NoPersistPolicy, Policy};
+use flit_datastructs::{
+    Automatic, ConcurrentMap, HarrisList, HashTable, Manual, NatarajanTree, NvTraverse, SkipList,
+};
+use flit_pmem::{LatencyModel, SimNvram};
+
+use crate::config::WorkloadConfig;
+use crate::runner::{prefill, run_workload, RunResult};
+
+/// Which data structure to benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DsKind {
+    /// Harris linked list.
+    List,
+    /// Hash table with Harris-list buckets.
+    HashTable,
+    /// Natarajan–Mittal external BST.
+    Bst,
+    /// Lock-free skiplist.
+    SkipList,
+}
+
+impl DsKind {
+    /// All four structures, in the order of the paper's Figure 7.
+    pub const ALL: [DsKind; 4] = [DsKind::Bst, DsKind::HashTable, DsKind::List, DsKind::SkipList];
+
+    /// Display name matching the paper's plot captions.
+    pub fn name(self) -> &'static str {
+        match self {
+            DsKind::List => "list",
+            DsKind::HashTable => "hashtable",
+            DsKind::Bst => "bst",
+            DsKind::SkipList => "skiplist",
+        }
+    }
+}
+
+/// Which durability method to apply (paper §6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurKind {
+    /// Every instruction is a p-instruction.
+    Automatic,
+    /// NVTraverse: volatile traversal + persisted transition/critical phase.
+    NvTraverse,
+    /// Hand-tuned placement.
+    Manual,
+}
+
+impl DurKind {
+    /// All three methods.
+    pub const ALL: [DurKind; 3] = [DurKind::Automatic, DurKind::NvTraverse, DurKind::Manual];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DurKind::Automatic => "automatic",
+            DurKind::NvTraverse => "nvtraverse",
+            DurKind::Manual => "manual",
+        }
+    }
+}
+
+/// Which implementation of the P-V Interface to use (paper §6's compared variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Non-persistent baseline (grey dotted line).
+    NoPersist,
+    /// Durable transformation without read-side flush elision.
+    Plain,
+    /// FliT with the counter adjacent to every word.
+    FlitAdjacent,
+    /// FliT with a hashed counter table of the given size in bytes.
+    FlitHt(usize),
+    /// FliT with one counter per cache line (paper §8 future work).
+    FlitCacheLine,
+    /// The link-and-persist comparator (not applicable to the BST).
+    LinkAndPersist,
+}
+
+impl PolicyKind {
+    /// The variants shown in Figure 7 for a given structure (link-and-persist is shown
+    /// only where applicable).
+    pub fn figure7_set(ds: DsKind) -> Vec<PolicyKind> {
+        let mut v = vec![
+            PolicyKind::Plain,
+            PolicyKind::FlitAdjacent,
+            PolicyKind::FlitHt(1 << 20),
+        ];
+        if ds != DsKind::Bst {
+            v.push(PolicyKind::LinkAndPersist);
+        }
+        v
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> String {
+        match self {
+            PolicyKind::NoPersist => "non-persistent".into(),
+            PolicyKind::Plain => "plain".into(),
+            PolicyKind::FlitAdjacent => "flit-adjacent".into(),
+            PolicyKind::FlitHt(bytes) => format!("flit-HT ({})", flit::human_bytes(bytes)),
+            PolicyKind::FlitCacheLine => "flit-cacheline".into(),
+            PolicyKind::LinkAndPersist => "link-and-persist".into(),
+        }
+    }
+
+    /// Whether this variant can be applied to the given structure (the paper cannot
+    /// apply link-and-persist to the Natarajan–Mittal BST because it uses both low
+    /// pointer bits and non-CAS updates).
+    pub fn applicable_to(self, ds: DsKind) -> bool {
+        !(self == PolicyKind::LinkAndPersist && ds == DsKind::Bst)
+    }
+}
+
+/// One fully specified experiment case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Data structure under test.
+    pub ds: DsKind,
+    /// Durability method.
+    pub dur: DurKind,
+    /// Persistence policy variant.
+    pub policy: PolicyKind,
+    /// Workload parameters.
+    pub config: WorkloadConfig,
+    /// Latency model for the simulated NVRAM.
+    pub latency: LatencyModel,
+}
+
+impl Case {
+    /// Human-readable label, e.g. `bst/automatic/flit-HT (1MB)`.
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.ds.name(), self.dur.name(), self.policy.name())
+    }
+}
+
+fn run_map<P, M>(policy: P, case: &Case) -> RunResult
+where
+    P: Policy,
+    M: ConcurrentMap<P>,
+{
+    let map = M::with_capacity(policy, case.config.key_range as usize);
+    prefill(&map, &case.config);
+    run_workload(&map, &case.config)
+}
+
+fn run_with_policy<P: Policy + Clone>(policy: P, case: &Case) -> RunResult {
+    match (case.ds, case.dur) {
+        (DsKind::List, DurKind::Automatic) => run_map::<P, HarrisList<P, Automatic>>(policy, case),
+        (DsKind::List, DurKind::NvTraverse) => {
+            run_map::<P, HarrisList<P, NvTraverse>>(policy, case)
+        }
+        (DsKind::List, DurKind::Manual) => run_map::<P, HarrisList<P, Manual>>(policy, case),
+        (DsKind::HashTable, DurKind::Automatic) => {
+            run_map::<P, HashTable<P, Automatic>>(policy, case)
+        }
+        (DsKind::HashTable, DurKind::NvTraverse) => {
+            run_map::<P, HashTable<P, NvTraverse>>(policy, case)
+        }
+        (DsKind::HashTable, DurKind::Manual) => run_map::<P, HashTable<P, Manual>>(policy, case),
+        (DsKind::Bst, DurKind::Automatic) => {
+            run_map::<P, NatarajanTree<P, Automatic>>(policy, case)
+        }
+        (DsKind::Bst, DurKind::NvTraverse) => {
+            run_map::<P, NatarajanTree<P, NvTraverse>>(policy, case)
+        }
+        (DsKind::Bst, DurKind::Manual) => run_map::<P, NatarajanTree<P, Manual>>(policy, case),
+        (DsKind::SkipList, DurKind::Automatic) => {
+            run_map::<P, SkipList<P, Automatic>>(policy, case)
+        }
+        (DsKind::SkipList, DurKind::NvTraverse) => {
+            run_map::<P, SkipList<P, NvTraverse>>(policy, case)
+        }
+        (DsKind::SkipList, DurKind::Manual) => run_map::<P, SkipList<P, Manual>>(policy, case),
+    }
+}
+
+/// Build the structure described by `case`, prefill it, run the workload and return
+/// the measurement.
+///
+/// # Panics
+/// Panics when the case combines link-and-persist with the BST (the combination the
+/// paper also excludes); use [`PolicyKind::applicable_to`] to filter.
+pub fn run_case(case: &Case) -> RunResult {
+    assert!(
+        case.policy.applicable_to(case.ds),
+        "{} cannot be applied to {}",
+        case.policy.name(),
+        case.ds.name()
+    );
+    let backend = || SimNvram::builder().latency(case.latency).build();
+    match case.policy {
+        PolicyKind::NoPersist => run_with_policy(NoPersistPolicy::new(), case),
+        PolicyKind::Plain => run_with_policy(presets::plain(backend()), case),
+        PolicyKind::FlitAdjacent => run_with_policy(presets::flit_adjacent(backend()), case),
+        PolicyKind::FlitHt(bytes) => {
+            run_with_policy(presets::flit_ht_sized(backend(), bytes), case)
+        }
+        PolicyKind::FlitCacheLine => run_with_policy(presets::flit_cacheline(backend()), case),
+        PolicyKind::LinkAndPersist => run_with_policy(presets::link_and_persist(backend()), case),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> WorkloadConfig {
+        WorkloadConfig::new(128, 20, 2, 200)
+    }
+
+    #[test]
+    fn every_combination_runs() {
+        for ds in DsKind::ALL {
+            for dur in DurKind::ALL {
+                for policy in [
+                    PolicyKind::NoPersist,
+                    PolicyKind::Plain,
+                    PolicyKind::FlitAdjacent,
+                    PolicyKind::FlitHt(1 << 16),
+                    PolicyKind::FlitCacheLine,
+                    PolicyKind::LinkAndPersist,
+                ] {
+                    if !policy.applicable_to(ds) {
+                        continue;
+                    }
+                    let case = Case {
+                        ds,
+                        dur,
+                        policy,
+                        config: tiny_config(),
+                        latency: LatencyModel::none(),
+                    };
+                    let result = run_case(&case);
+                    assert_eq!(result.total_ops, 400, "case {}", case.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flit_beats_plain_on_pwbs() {
+        // The core claim of the paper in miniature: for the same workload, flit-HT
+        // executes far fewer pwbs than plain, because p-loads stop flushing.
+        let mk = |policy| Case {
+            ds: DsKind::Bst,
+            dur: DurKind::Automatic,
+            policy,
+            config: WorkloadConfig::new(1_000, 5, 2, 2_000),
+            latency: LatencyModel::none(),
+        };
+        let plain = run_case(&mk(PolicyKind::Plain));
+        let flit = run_case(&mk(PolicyKind::FlitHt(1 << 20)));
+        assert!(
+            plain.pwbs_per_op() > 5.0 * flit.pwbs_per_op(),
+            "plain {} vs flit {}",
+            plain.pwbs_per_op(),
+            flit.pwbs_per_op()
+        );
+    }
+
+    #[test]
+    fn labels_and_applicability() {
+        assert!(!PolicyKind::LinkAndPersist.applicable_to(DsKind::Bst));
+        assert!(PolicyKind::LinkAndPersist.applicable_to(DsKind::List));
+        assert_eq!(PolicyKind::FlitHt(1 << 20).name(), "flit-HT (1MB)");
+        assert_eq!(PolicyKind::figure7_set(DsKind::Bst).len(), 3);
+        assert_eq!(PolicyKind::figure7_set(DsKind::List).len(), 4);
+        let case = Case {
+            ds: DsKind::List,
+            dur: DurKind::Manual,
+            policy: PolicyKind::Plain,
+            config: tiny_config(),
+            latency: LatencyModel::none(),
+        };
+        assert_eq!(case.label(), "list/manual/plain");
+    }
+}

@@ -1,0 +1,23 @@
+//! # `flit-workload` — workload generation and measurement harness
+//!
+//! This crate drives the data structures of [`flit_datastructs`] with the workloads of
+//! the paper's evaluation (§6.1): a prefilled map, a uniform key distribution, and a
+//! mix of lookups and updates (updates split 50/50 between inserts and deletes). It
+//! measures operation throughput and the persistence-instruction counts needed to
+//! reproduce every figure.
+//!
+//! * [`WorkloadConfig`] — key range, update ratio, thread count, operation count.
+//! * [`run_workload`] — run one configuration against any [`ConcurrentMap`].
+//! * [`harness`] — a string/enum-addressable dispatcher over every
+//!   (data structure × durability method × policy) combination of the evaluation,
+//!   used by the `repro` binary, the Criterion benches and the examples.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod harness;
+pub mod runner;
+
+pub use config::WorkloadConfig;
+pub use harness::{run_case, Case, DsKind, DurKind, PolicyKind};
+pub use runner::{run_workload, RunResult};

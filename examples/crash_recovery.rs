@@ -1,0 +1,60 @@
+//! Crash-consistency demo: what survives a power failure under each policy?
+//!
+//! The simulated NVRAM backend can track, per 8-byte word, both the volatile image
+//! (what the caches + DRAM held) and the persisted image (what was explicitly written
+//! back and fenced). Taking an adversarial "crash image" shows the difference between
+//! writing through FliT p-stores, v-stores, and not using the library at all.
+//!
+//! Run with: `cargo run --example crash_recovery`
+
+use flit::{presets, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
+use flit_pmem::SimNvram;
+
+type Word = <FlitPolicy<HashedScheme, SimNvram> as Policy>::Word<u64>;
+
+fn main() {
+    // A tracking backend with zero simulated latency: we only care about the
+    // bookkeeping here.
+    let nvram = SimNvram::for_crash_testing();
+    let policy = presets::flit_ht(nvram.clone());
+
+    // Three "database fields".
+    let balance = Word::new(0);
+    let sequence = Word::new(0);
+    let scratch = Word::new(0);
+
+    // A committed update: both stores are p-stores, so by the time the operation
+    // completes they are durable (P-V Interface condition 4).
+    balance.store(&policy, 1_000, PFlag::Persisted);
+    sequence.store(&policy, 1, PFlag::Persisted);
+    policy.operation_completion();
+
+    // An uncommitted update: a v-store is visible to other threads but nothing forces
+    // it to persistent memory.
+    scratch.store(&policy, 42, PFlag::Volatile);
+
+    // ---- power failure ----
+    let crash = nvram.tracker().unwrap().crash_image();
+    let volatile = nvram.tracker().unwrap().volatile_image();
+
+    println!("state at the moment of the crash (volatile memory):");
+    println!("  balance  = {:?}", volatile.read(balance.addr()));
+    println!("  sequence = {:?}", volatile.read(sequence.addr()));
+    println!("  scratch  = {:?}", volatile.read(scratch.addr()));
+
+    println!("\nstate recovered from NVRAM after the crash:");
+    println!("  balance  = {:?}", crash.read(balance.addr()));
+    println!("  sequence = {:?}", crash.read(sequence.addr()));
+    println!("  scratch  = {:?}  (v-store: correctly lost)", crash.read(scratch.addr()));
+
+    assert_eq!(crash.read(balance.addr()), Some(1_000));
+    assert_eq!(crash.read(sequence.addr()), Some(1));
+    assert_eq!(crash.read(scratch.addr()), None);
+
+    println!(
+        "\npersistence instructions issued: {} pwbs, {} pfences",
+        nvram.stats().pwbs(),
+        nvram.stats().pfences()
+    );
+    println!("every p-store was durable before its operation completed; the v-store cost nothing.");
+}

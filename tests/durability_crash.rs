@@ -1,0 +1,108 @@
+//! Crash-consistency integration tests using the adversarial persistence tracker:
+//! only stores that were explicitly written back *and* fenced survive the simulated
+//! crash. These exercise Theorem 3.1's guarantee from the outside: anything an
+//! operation depended on when it completed must be in the crash image.
+
+use flit::{presets, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
+use flit_pmem::SimNvram;
+
+type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
+type Word = <HtPolicy as Policy>::Word<u64>;
+
+/// Multi-threaded: each thread performs a chain of p-stores on its own slots, calling
+/// `operation_completion` after each. After the crash, for every thread the *prefix
+/// property* must hold: if operation i's value survived, every operation j < i that it
+/// depended on (its own earlier stores) must have survived too — and every operation
+/// that completed before the crash must be present.
+#[test]
+fn completed_operations_survive_an_adversarial_crash() {
+    const THREADS: usize = 4;
+    const SLOTS: usize = 32;
+
+    let nvram = SimNvram::for_crash_testing();
+    let policy = std::sync::Arc::new(presets::flit_ht(nvram.clone()));
+    let slots: Vec<Vec<Word>> = (0..THREADS)
+        .map(|_| (0..SLOTS).map(|_| Word::new(0)).collect())
+        .collect();
+    let slots = std::sync::Arc::new(slots);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let policy = std::sync::Arc::clone(&policy);
+            let slots = std::sync::Arc::clone(&slots);
+            s.spawn(move || {
+                for (i, slot) in slots[t].iter().enumerate() {
+                    // Each operation reads the previous slot (p-load) and writes its
+                    // own (p-store): a dependency chain.
+                    if i > 0 {
+                        let _ = slots[t][i - 1].load(&policy, PFlag::Persisted);
+                    }
+                    slot.store(&policy, (t * 1000 + i + 1) as u64, PFlag::Persisted);
+                    policy.operation_completion();
+                }
+            });
+        }
+    });
+
+    // Crash: all threads completed all operations, so every slot must be durable with
+    // its final value.
+    let image = nvram.tracker().unwrap().crash_image();
+    for (t, thread_slots) in slots.iter().enumerate() {
+        for (i, slot) in thread_slots.iter().enumerate() {
+            assert_eq!(
+                image.read(slot.addr()),
+                Some((t * 1000 + i + 1) as u64),
+                "thread {t} operation {i} completed but its value did not survive"
+            );
+        }
+    }
+}
+
+/// An operation interrupted *before* completion may lose its last store, but a prefix
+/// of its work must still be consistent: a later store never survives while an
+/// earlier store of the same thread (a dependency) is lost.
+#[test]
+fn dependency_order_is_never_inverted() {
+    let nvram = SimNvram::for_crash_testing();
+    let policy = presets::flit_ht(nvram.clone());
+    let a = Word::new(0);
+    let b = Word::new(0);
+
+    // a is written and persisted by the p-store protocol; then b is written as a
+    // v-store (no persistence), then the "crash" happens before any further fence.
+    a.store(&policy, 1, PFlag::Persisted);
+    b.store(&policy, 2, PFlag::Volatile);
+
+    let image = nvram.tracker().unwrap().crash_image();
+    let a_survived = image.read(a.addr()).is_some();
+    let b_survived = image.read(b.addr()).is_some();
+    assert!(a_survived, "the persisted dependency must survive");
+    assert!(!b_survived, "the volatile store must not outlive its dependency");
+}
+
+/// The same inversion check through the plain policy: even without tagging, the
+/// p-store protocol itself (fence before store) prevents a later store from being
+/// durable while an earlier dependency is not.
+#[test]
+fn plain_policy_also_preserves_dependency_order() {
+    let nvram = SimNvram::for_crash_testing();
+    let policy = presets::plain(nvram.clone());
+    type PlainWord = <flit::PlainPolicy<SimNvram> as Policy>::Word<u64>;
+    let chain: Vec<PlainWord> = (0..16).map(|_| PlainWord::new(0)).collect();
+    for (i, w) in chain.iter().enumerate() {
+        if i > 0 {
+            let _ = chain[i - 1].load(&policy, PFlag::Persisted);
+        }
+        w.store(&policy, i as u64 + 1, PFlag::Persisted);
+    }
+    // No operation_completion: still, each completed p-store is durable.
+    let image = nvram.tracker().unwrap().crash_image();
+    let survived: Vec<bool> = chain.iter().map(|w| image.read(w.addr()).is_some()).collect();
+    // The survivors must form a prefix (no inversion).
+    let first_lost = survived.iter().position(|s| !s).unwrap_or(survived.len());
+    assert!(
+        survived[first_lost..].iter().all(|s| !s),
+        "a later store survived while an earlier dependency was lost: {survived:?}"
+    );
+    assert!(first_lost >= 15, "completed p-stores should essentially all survive");
+}
