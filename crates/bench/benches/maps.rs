@@ -5,9 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use flit::{presets, FlitPolicy, HashedScheme, PlainScheme};
-use flit_datastructs::{
-    Automatic, ConcurrentMap, HarrisList, HashTable, NatarajanTree, SkipList,
-};
+use flit_datastructs::{Automatic, ConcurrentMap, HarrisList, HashTable, NatarajanTree, SkipList};
 use flit_pmem::{LatencyModel, SimNvram};
 use std::hint::black_box;
 
@@ -20,10 +18,7 @@ fn backend() -> SimNvram {
 
 const KEYS: u64 = 1024;
 
-fn bench_map<M: ConcurrentMap<FlitPolicy<HashedScheme, SimNvram>>>(
-    c: &mut Criterion,
-    label: &str,
-) {
+fn bench_map<M: ConcurrentMap<FlitPolicy<HashedScheme, SimNvram>>>(c: &mut Criterion, label: &str) {
     let map = M::with_capacity(presets::flit_ht(backend()), KEYS as usize);
     for k in (0..KEYS).step_by(2) {
         map.insert(k, k);

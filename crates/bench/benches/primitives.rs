@@ -1,12 +1,17 @@
-//! Criterion micro-benchmarks of the primitive flit-instructions.
+//! Criterion micro-benchmarks of the primitive flit-instructions and of single queue
+//! operations.
 //!
 //! These measure the library's own overhead (tag check, counter update), so the
 //! simulated-NVRAM latency is set to zero: what remains is exactly the cost a data
-//! structure pays per instrumented instruction on top of the raw atomic.
+//! structure pays per instrumented instruction on top of the raw atomic. The
+//! `queue-ops` group measures one enqueue+dequeue pair and the dequeue-of-empty
+//! read-only path per policy preset.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use flit::{presets, FlitPolicy, HashedScheme, PFlag, PersistWord, PlainPolicy, Policy};
+use flit_datastructs::Automatic;
 use flit_pmem::{LatencyModel, SimNvram};
+use flit_queues::{ConcurrentQueue, MsQueue};
 use std::hint::black_box;
 
 fn backend() -> SimNvram {
@@ -78,5 +83,54 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_primitives);
+fn bench_queue_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue-ops");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+
+    // Enqueue+dequeue pair: the steady-state cost of one value through the queue.
+    let ht: MsQueue<FlitPolicy<HashedScheme, SimNvram>, Automatic> =
+        MsQueue::with_policy(presets::flit_ht(backend()));
+    group.bench_function("flit-HT/enqueue-dequeue", |b| {
+        b.iter(|| {
+            ht.enqueue(black_box(7));
+            black_box(ht.dequeue())
+        })
+    });
+
+    let plain: MsQueue<PlainPolicy<SimNvram>, Automatic> =
+        MsQueue::with_policy(presets::plain(backend()));
+    group.bench_function("plain/enqueue-dequeue", |b| {
+        b.iter(|| {
+            plain.enqueue(black_box(7));
+            black_box(plain.dequeue())
+        })
+    });
+
+    let np: MsQueue<flit::NoPersistPolicy, Automatic> = MsQueue::with_policy(presets::no_persist());
+    group.bench_function("non-persistent/enqueue-dequeue", |b| {
+        b.iter(|| {
+            np.enqueue(black_box(7));
+            black_box(np.dequeue())
+        })
+    });
+
+    // Dequeue-of-empty: pure read-side path, where FliT elides every flush and the
+    // plain transformation pays a pwb per p-load.
+    let ht_empty: MsQueue<FlitPolicy<HashedScheme, SimNvram>, Automatic> =
+        MsQueue::with_policy(presets::flit_ht(backend()));
+    group.bench_function("flit-HT/dequeue-empty", |b| {
+        b.iter(|| black_box(ht_empty.dequeue()))
+    });
+    let plain_empty: MsQueue<PlainPolicy<SimNvram>, Automatic> =
+        MsQueue::with_policy(presets::plain(backend()));
+    group.bench_function("plain/dequeue-empty", |b| {
+        b.iter(|| black_box(plain_empty.dequeue()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_queue_ops);
 criterion_main!(benches);

@@ -1,15 +1,22 @@
 //! `repro` — regenerate the figures of the FliT paper's evaluation (§6).
 //!
 //! ```text
-//! cargo run -p flit-bench --release --bin repro -- [fig5|fig6|fig7|fig8|fig9|summary|all] [--full]
+//! cargo run -p flit-bench --release --bin repro -- [fig5|fig6|fig7|fig8|fig9|queues|summary|all] [--full]
 //! ```
+//!
+//! `queues` runs the queue workload family (not part of the paper's evaluation):
+//! enqueue/dequeue mixes, producer:consumer ratios and the dequeue-of-empty
+//! read-elision experiment over the Michael–Scott queue of `flit-queues`.
 //!
 //! By default the quick scale is used (sized for the single-core reproduction
 //! container); `--full` switches to settings close to the paper's. The output is a
 //! set of plain-text tables, one series per line; `EXPERIMENTS.md` records a captured
 //! run next to the paper's reported numbers.
 
-use flit_bench::experiments::{figure5, figure6, figure7, figure8, figure9, Row, Scale};
+use flit_bench::experiments::{
+    figure5, figure6, figure7, figure8, figure9, queue_dequeue_empty, queue_mix,
+    queue_producer_consumer, Row, Scale,
+};
 use flit_bench::{SCALE_FULL, SCALE_QUICK};
 use flit_pmem::LatencyModel;
 use flit_workload::{run_case, Case, DsKind, DurKind, PolicyKind, WorkloadConfig};
@@ -124,8 +131,12 @@ fn main() {
         scale.ops_per_thread
     );
 
-    let run_fig5 =
-        || print_rows("Figure 5: flit-HT size tuning (automatic BST, 10K keys)", &figure5(&scale));
+    let run_fig5 = || {
+        print_rows(
+            "Figure 5: flit-HT size tuning (automatic BST, 10K keys)",
+            &figure5(&scale),
+        )
+    };
     let run_fig6 = || {
         print_rows(
             "Figure 6: scalability (automatic BST, 10K keys, 5% updates)",
@@ -140,13 +151,38 @@ fn main() {
     };
     let run_fig8 = || {
         let small = figure8(&scale, false);
-        print_rows("Figure 8 (top): update-ratio sweep, small sizes, automatic", &small);
+        print_rows(
+            "Figure 8 (top): update-ratio sweep, small sizes, automatic",
+            &small,
+        );
         normalised(&small);
         let large = figure8(&scale, true);
-        print_rows("Figure 8 (bottom): update-ratio sweep, large sizes, automatic", &large);
+        print_rows(
+            "Figure 8 (bottom): update-ratio sweep, large sizes, automatic",
+            &large,
+        );
         normalised(&large);
     };
-    let run_fig9 = || print_rows("Figure 9: pwbs per operation (5% updates)", &figure9(&scale));
+    let run_fig9 = || {
+        print_rows(
+            "Figure 9: pwbs per operation (5% updates)",
+            &figure9(&scale),
+        )
+    };
+    let run_queues = || {
+        print_rows(
+            "Queues: 50/50 enqueue/dequeue mix (MS queue, per-policy pwb/pfence per op)",
+            &queue_mix(&scale),
+        );
+        print_rows(
+            "Queues: producer:consumer ratios (bursty producers, automatic durability)",
+            &queue_producer_consumer(&scale),
+        );
+        print_rows(
+            "Queues: dequeue-of-empty (read-side flush elision; plain pays pwbs, FliT none)",
+            &queue_dequeue_empty(&scale),
+        );
+    };
 
     match what.as_str() {
         "fig5" => run_fig5(),
@@ -154,6 +190,7 @@ fn main() {
         "fig7" => run_fig7(),
         "fig8" => run_fig8(),
         "fig9" => run_fig9(),
+        "queues" => run_queues(),
         "summary" => summary(&scale),
         "all" => {
             run_fig5();
@@ -161,11 +198,12 @@ fn main() {
             run_fig7();
             run_fig8();
             run_fig9();
+            run_queues();
             summary(&scale);
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}': expected fig5|fig6|fig7|fig8|fig9|summary|all"
+                "unknown experiment '{other}': expected fig5|fig6|fig7|fig8|fig9|queues|summary|all"
             );
             std::process::exit(2);
         }

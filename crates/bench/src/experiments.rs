@@ -8,7 +8,10 @@
 //! the paper reports: who wins, by roughly what factor, and where the crossovers are.
 
 use flit_pmem::LatencyModel;
-use flit_workload::{run_case, Case, DsKind, DurKind, PolicyKind, WorkloadConfig};
+use flit_workload::{
+    run_case, run_queue_case, Case, DsKind, DurKind, PolicyKind, QueueCase, QueueWorkloadConfig,
+    WorkloadConfig, QUEUE_DURS,
+};
 
 /// How big to make each experiment.
 #[derive(Debug, Clone, Copy)]
@@ -96,8 +99,18 @@ pub fn figure5(scale: &Scale) -> Vec<Row> {
     let mut rows = Vec::new();
     for &updates in &[0u32, 5, 50] {
         for &bytes in scale.ht_sizes {
-            let cfg = WorkloadConfig::new(scale.small_keys, updates, scale.threads, scale.ops_per_thread);
-            let c = case(DsKind::Bst, DurKind::Automatic, PolicyKind::FlitHt(bytes), cfg);
+            let cfg = WorkloadConfig::new(
+                scale.small_keys,
+                updates,
+                scale.threads,
+                scale.ops_per_thread,
+            );
+            let c = case(
+                DsKind::Bst,
+                DurKind::Automatic,
+                PolicyKind::FlitHt(bytes),
+                cfg,
+            );
             rows.push(measure(
                 &c,
                 format!("{}% updates", updates),
@@ -153,7 +166,11 @@ pub fn figure7(scale: &Scale) -> Vec<Row> {
         let keys = small_key_range(scale, ds);
         let cfg = || WorkloadConfig::new(keys, 5, scale.threads, scale.ops_per_thread);
         let baseline = case(ds, DurKind::Automatic, PolicyKind::NoPersist, cfg());
-        rows.push(measure(&baseline, ds.name().to_string(), "non-persistent".into()));
+        rows.push(measure(
+            &baseline,
+            ds.name().to_string(),
+            "non-persistent".into(),
+        ));
         for dur in DurKind::ALL {
             for policy in PolicyKind::figure7_set(ds) {
                 let c = case(ds, dur, policy, cfg());
@@ -234,6 +251,94 @@ pub fn figure9(scale: &Scale) -> Vec<Row> {
     rows
 }
 
+/// The policy variants swept by the queue experiments (every one applies to the
+/// queue; the non-persistent baseline is reported as its own series).
+const QUEUE_POLICIES: [PolicyKind; 5] = [
+    PolicyKind::NoPersist,
+    PolicyKind::Plain,
+    PolicyKind::FlitAdjacent,
+    PolicyKind::FlitHt(1 << 20),
+    PolicyKind::LinkAndPersist,
+];
+
+fn queue_case(dur: DurKind, policy: PolicyKind, config: QueueWorkloadConfig) -> QueueCase {
+    QueueCase {
+        dur,
+        policy,
+        config,
+        latency: LatencyModel::optane(),
+    }
+}
+
+fn measure_queue(c: &QueueCase, series: String, x: String) -> Row {
+    let r = run_queue_case(c);
+    Row {
+        series,
+        x,
+        mops: r.mops,
+        pwbs_per_op: r.pwbs_per_op(),
+        pfences_per_op: r.pfences_per_op(),
+    }
+}
+
+/// Queue experiment A: balanced 50/50 enqueue/dequeue mix across every policy
+/// variant and both exercised durability methods, with the pwb/pfence cost per queue
+/// operation as the headline columns.
+pub fn queue_mix(scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for dur in QUEUE_DURS {
+        for policy in QUEUE_POLICIES {
+            let cfg = QueueWorkloadConfig::mixed(scale.threads, 50, scale.ops_per_thread)
+                .with_prefill(scale.small_keys / 2);
+            let c = queue_case(dur, policy, cfg);
+            let series = format!("{}/{}", c.config.shape_label(), dur.name());
+            rows.push(measure_queue(&c, series, policy.name()));
+        }
+    }
+    rows
+}
+
+/// Queue experiment B: producer:consumer thread ratios (1:1 balanced, 3:1
+/// producer-heavy, 1:3 consumer-heavy) with bursty producers, automatic durability.
+pub fn queue_producer_consumer(scale: &Scale) -> Vec<Row> {
+    // All three ratios run at (close to) the configured thread count so their
+    // throughput is comparable; `.max(1)` keeps tiny scales valid.
+    let half = (scale.threads / 2).max(1);
+    let quarter = (scale.threads / 4).max(1);
+    let ratios = [(half, half), (3 * quarter, quarter), (quarter, 3 * quarter)];
+    let mut rows = Vec::new();
+    for (producers, consumers) in ratios {
+        for policy in QUEUE_POLICIES {
+            let cfg =
+                QueueWorkloadConfig::producer_consumer(producers, consumers, scale.ops_per_thread)
+                    .with_burst(16)
+                    .with_prefill(scale.small_keys / 2);
+            let c = queue_case(DurKind::Automatic, policy, cfg);
+            let label = c.config.shape_label();
+            rows.push(measure_queue(&c, label, policy.name()));
+        }
+    }
+    rows
+}
+
+/// Queue experiment C: dequeue-of-empty — a pure read-side workload where FliT's
+/// elision is total. Plain pays a pwb per p-load (three per empty dequeue under
+/// automatic durability); the FliT variants pay none because nothing is ever tagged.
+pub fn queue_dequeue_empty(scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for policy in QUEUE_POLICIES {
+        // enqueue_percent 0 + no prefill: every operation observes an empty queue.
+        let cfg = QueueWorkloadConfig::mixed(scale.threads, 0, scale.ops_per_thread);
+        let c = queue_case(DurKind::Automatic, policy, cfg);
+        rows.push(measure_queue(
+            &c,
+            "dequeue-empty/automatic".into(),
+            policy.name(),
+        ));
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +366,37 @@ mod tests {
     fn figure6_covers_every_thread_count_and_variant() {
         let rows = figure6(&SCALE_TEST);
         assert_eq!(rows.len(), SCALE_TEST.thread_sweep.len() * 4);
+    }
+
+    #[test]
+    fn queue_mix_covers_every_policy_and_method() {
+        let rows = queue_mix(&SCALE_TEST);
+        assert_eq!(rows.len(), QUEUE_DURS.len() * QUEUE_POLICIES.len());
+        assert!(rows.iter().all(|r| r.mops > 0.0));
+    }
+
+    #[test]
+    fn queue_dequeue_empty_shows_the_elision() {
+        let rows = queue_dequeue_empty(&SCALE_TEST);
+        let pwbs = |name: &str| {
+            rows.iter()
+                .find(|r| r.x == name)
+                .map(|r| r.pwbs_per_op)
+                .unwrap()
+        };
+        // The acceptance claim of this workload family: FliT elides every read-side
+        // flush on dequeue-of-empty, plain pays one per p-load.
+        assert_eq!(pwbs("flit-HT (1MB)"), 0.0);
+        assert_eq!(pwbs("flit-adjacent"), 0.0);
+        assert!(pwbs("plain") >= 2.0, "plain={}", pwbs("plain"));
+    }
+
+    #[test]
+    fn queue_producer_consumer_sweeps_three_ratios() {
+        let rows = queue_producer_consumer(&SCALE_TEST);
+        assert_eq!(rows.len(), 3 * QUEUE_POLICIES.len());
+        let series: std::collections::HashSet<_> = rows.iter().map(|r| &r.series).collect();
+        assert_eq!(series.len(), 3, "three distinct thread ratios: {series:?}");
     }
 
     #[test]

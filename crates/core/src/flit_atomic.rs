@@ -80,6 +80,7 @@ impl<S: TagScheme, B: PmemBackend> Policy for FlitPolicy<S, B> {
 pub struct FlitAtomic<T: PWord, S: TagScheme, B: PmemBackend> {
     repr: AtomicU64,
     tag: S::PerWord,
+    #[allow(clippy::type_complexity)]
     _marker: PhantomData<fn() -> (T, S, B)>,
 }
 
@@ -404,8 +405,14 @@ mod tests {
         // Layout check backing the paper's §6.6 discussion: the adjacent variant makes
         // the word bigger than a bare AtomicU64, the table variants do not.
         assert!(std::mem::size_of::<FlitAtomic<u64, AdjacentScheme, SimNvram>>() > 8);
-        assert_eq!(std::mem::size_of::<FlitAtomic<u64, HashedScheme, SimNvram>>(), 8);
-        assert_eq!(std::mem::size_of::<FlitAtomic<u64, PlainScheme, SimNvram>>(), 8);
+        assert_eq!(
+            std::mem::size_of::<FlitAtomic<u64, HashedScheme, SimNvram>>(),
+            8
+        );
+        assert_eq!(
+            std::mem::size_of::<FlitAtomic<u64, PlainScheme, SimNvram>>(),
+            8
+        );
     }
 
     #[test]
@@ -433,7 +440,10 @@ mod tests {
         );
         w.store(&p, 12, PFlag::Volatile);
         // A v-store is visible in volatile memory but not persisted.
-        assert_eq!(backend.tracker().unwrap().volatile_value(w.addr()), Some(12));
+        assert_eq!(
+            backend.tracker().unwrap().volatile_value(w.addr()),
+            Some(12)
+        );
         assert_eq!(
             backend.tracker().unwrap().persisted_value(w.addr()),
             Some(11)

@@ -45,6 +45,20 @@
 //! | [`link_persist`] | the link-and-persist comparator ([`LinkAndPersistPolicy`]) |
 //! | [`no_persist`] | the non-persistent baseline ([`NoPersistPolicy`]) |
 //!
+//! ## Workspace layout
+//!
+//! This crate is the core of a larger workspace (see the repository `README.md`):
+//!
+//! | crate | contents |
+//! |---|---|
+//! | `flit` (this crate) | the P-V interface and its policy implementations |
+//! | `flit-pmem` | hardware and simulated persistence substrates, crash tracking |
+//! | `flit-ebr` | epoch-based reclamation for the lock-free structures |
+//! | `flit-datastructs` | the paper's set/map structures (list, hash table, BST, skiplist) |
+//! | `flit-queues` | durable FIFO queues (Michael–Scott) with crash-image recovery |
+//! | `flit-workload` | map and queue workload generators + the case dispatcher |
+//! | `flit-bench` | the `repro` figure-regeneration binary and Criterion benches |
+//!
 //! ## Quick example
 //!
 //! ```

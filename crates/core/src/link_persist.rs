@@ -120,9 +120,17 @@ impl<T: PWord, B: PmemBackend> LpAtomic<T, B> {
                 }
             }
             let new_clean = compute_new(cur_clean);
-            debug_assert_eq!(new_clean & DIRTY_BIT, 0, "link-and-persist values must not use bit 63");
+            debug_assert_eq!(
+                new_clean & DIRTY_BIT,
+                0,
+                "link-and-persist values must not use bit 63"
+            );
             let persist = backend.is_persistent() && flag.is_persisted();
-            let new_word = if persist { new_clean | DIRTY_BIT } else { new_clean };
+            let new_word = if persist {
+                new_clean | DIRTY_BIT
+            } else {
+                new_clean
+            };
             match self
                 .repr
                 .compare_exchange(cur, new_word, Ordering::SeqCst, Ordering::SeqCst)
@@ -290,7 +298,11 @@ mod tests {
         let snap = p.stats_snapshot().unwrap();
         assert_eq!(snap.pwbs, 1, "the reader must flush on its behalf");
         assert_eq!(snap.read_side_pwbs, 1);
-        assert_eq!(w.repr.load(Ordering::SeqCst) & DIRTY_BIT, 0, "and clear the bit");
+        assert_eq!(
+            w.repr.load(Ordering::SeqCst) & DIRTY_BIT,
+            0,
+            "and clear the bit"
+        );
     }
 
     #[test]
@@ -337,7 +349,10 @@ mod tests {
         let p = LinkAndPersistPolicy::new(backend.clone());
         let w: LpAtomic<u64, SimNvram> = LpAtomic::new(0);
         w.store(&p, 33, PFlag::Persisted);
-        assert_eq!(backend.tracker().unwrap().persisted_value(w.addr()), Some(33));
+        assert_eq!(
+            backend.tracker().unwrap().persisted_value(w.addr()),
+            Some(33)
+        );
     }
 
     #[test]

@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn no_persistence_side_effects() {
         let p = NoPersistPolicy::new();
-        assert!(!NoPersistPolicy::PERSISTENT);
+        const { assert!(!NoPersistPolicy::PERSISTENT) };
         assert!(p.stats_snapshot().is_none());
         p.operation_completion();
         let w: VolatileAtomic<u64> = VolatileAtomic::new(0);

@@ -173,7 +173,12 @@ mod tests {
             _flag: PFlag,
         ) -> Result<T, T> {
             self.repr
-                .compare_exchange(current.to_word(), new.to_word(), Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(
+                    current.to_word(),
+                    new.to_word(),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
                 .map(T::from_word)
                 .map_err(T::from_word)
         }
@@ -243,7 +248,7 @@ mod tests {
         let p = DummyPolicy {
             backend: SimNvram::builder().latency(LatencyModel::none()).build(),
         };
-        let buf = vec![0u8; 64];
+        let buf = [0u8; 64];
         p.persist_range(buf.as_ptr(), 64, PFlag::Volatile);
         p.persist_range(buf.as_ptr(), 0, PFlag::Persisted);
         assert_eq!(p.stats_snapshot().unwrap().pwbs, 0);

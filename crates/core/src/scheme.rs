@@ -96,7 +96,10 @@ impl TagScheme for AdjacentScheme {
     #[inline]
     fn begin_store(&self, per_word: &AtomicU8, _addr: usize) {
         let prev = per_word.fetch_add(1, Ordering::AcqRel);
-        debug_assert!(prev < u8::MAX, "flit-counter overflow: more than 254 concurrent p-stores");
+        debug_assert!(
+            prev < u8::MAX,
+            "flit-counter overflow: more than 254 concurrent p-stores"
+        );
     }
 
     #[inline]
@@ -151,7 +154,10 @@ impl CounterTable {
     pub fn new(bytes: usize) -> Self {
         let len = bytes.next_power_of_two().max(64);
         let counters: Box<[AtomicU8]> = (0..len).map(|_| AtomicU8::new(0)).collect();
-        Self { counters, mask: len - 1 }
+        Self {
+            counters,
+            mask: len - 1,
+        }
     }
 
     /// Size of the table in bytes (== number of counters).
@@ -225,13 +231,19 @@ impl TagScheme for HashedScheme {
 
     #[inline]
     fn begin_store(&self, _per_word: &(), addr: usize) {
-        let prev = self.table.slot(self.key(addr)).fetch_add(1, Ordering::AcqRel);
+        let prev = self
+            .table
+            .slot(self.key(addr))
+            .fetch_add(1, Ordering::AcqRel);
         debug_assert!(prev < u8::MAX, "flit-counter overflow");
     }
 
     #[inline]
     fn end_store(&self, _per_word: &(), addr: usize) {
-        let prev = self.table.slot(self.key(addr)).fetch_sub(1, Ordering::AcqRel);
+        let prev = self
+            .table
+            .slot(self.key(addr))
+            .fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "flit-counter underflow");
     }
 
@@ -348,7 +360,10 @@ mod tests {
         assert!(s.is_tagged(&c, 0x40));
         s.begin_store(&c, 0x40); // a second concurrent p-store
         s.end_store(&c, 0x40);
-        assert!(s.is_tagged(&c, 0x40), "still tagged while one store is pending");
+        assert!(
+            s.is_tagged(&c, 0x40),
+            "still tagged while one store is pending"
+        );
         s.end_store(&c, 0x40);
         assert!(!s.is_tagged(&c, 0x40));
     }
@@ -377,7 +392,10 @@ mod tests {
         }
         assert!(tiny.table().tagged_count() <= 64);
         // The large table should spread 512 addresses over hundreds of counters.
-        assert!(large.table().tagged_count() > 256, "hash should spread addresses");
+        assert!(
+            large.table().tagged_count() > 256,
+            "hash should spread addresses"
+        );
         for &a in &addrs {
             tiny.end_store(&(), a);
             large.end_store(&(), a);
@@ -410,10 +428,18 @@ mod tests {
 
     #[test]
     fn describe_labels_match_the_paper() {
-        assert_eq!(HashedScheme::with_bytes(4 << 10).describe(), "flit-HT (4KB)");
-        assert_eq!(HashedScheme::with_bytes(1 << 20).describe(), "flit-HT (1MB)");
+        assert_eq!(
+            HashedScheme::with_bytes(4 << 10).describe(),
+            "flit-HT (4KB)"
+        );
+        assert_eq!(
+            HashedScheme::with_bytes(1 << 20).describe(),
+            "flit-HT (1MB)"
+        );
         assert_eq!(AdjacentScheme.describe(), "flit-adjacent");
-        assert!(CacheLineScheme::new_default().describe().contains("flit-cacheline"));
+        assert!(CacheLineScheme::new_default()
+            .describe()
+            .contains("flit-cacheline"));
     }
 
     #[test]
@@ -441,6 +467,10 @@ mod tests {
                 });
             }
         });
-        assert_eq!(s.table().tagged_count(), 0, "all counters must return to zero");
+        assert_eq!(
+            s.table().tagged_count(),
+            0,
+            "all counters must return to zero"
+        );
     }
 }

@@ -125,7 +125,11 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
             // marked in the meantime, in which case start over).
             if address::<Node<P>>(left_next) == right {
                 if right != self.tail
-                    && is_marked(unsafe { &*right }.next.load(&self.policy, D::TRAVERSAL_LOAD))
+                    && is_marked(
+                        unsafe { &*right }
+                            .next
+                            .load(&self.policy, D::TRAVERSAL_LOAD),
+                    )
                 {
                     continue 'retry;
                 }
@@ -148,7 +152,11 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
                     cur = address::<Node<P>>(next);
                 }
                 if right != self.tail
-                    && is_marked(unsafe { &*right }.next.load(&self.policy, D::TRAVERSAL_LOAD))
+                    && is_marked(
+                        unsafe { &*right }
+                            .next
+                            .load(&self.policy, D::TRAVERSAL_LOAD),
+                    )
                 {
                     continue 'retry;
                 }
@@ -432,8 +440,7 @@ mod tests {
     fn concurrent_inserts_and_removes() {
         const THREADS: u64 = 4;
         const PER_THREAD: u64 = 200;
-        let list: Arc<HtList<Automatic>> =
-            Arc::new(HarrisList::new(presets::flit_ht(backend())));
+        let list: Arc<HtList<Automatic>> = Arc::new(HarrisList::new(presets::flit_ht(backend())));
         std::thread::scope(|s| {
             for t in 0..THREADS {
                 let list = Arc::clone(&list);
@@ -459,8 +466,7 @@ mod tests {
     #[test]
     fn contended_same_keys_stress() {
         // All threads fight over a tiny key range to exercise marking/helping.
-        let list: Arc<HtList<NvTraverse>> =
-            Arc::new(HarrisList::new(presets::flit_ht(backend())));
+        let list: Arc<HtList<NvTraverse>> = Arc::new(HarrisList::new(presets::flit_ht(backend())));
         std::thread::scope(|s| {
             for t in 0..4u64 {
                 let list = Arc::clone(&list);

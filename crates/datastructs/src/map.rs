@@ -73,11 +73,11 @@ impl SequentialMap {
     /// Model insert (no overwrite).
     pub fn insert(&self, key: u64, value: u64) -> bool {
         let mut m = self.inner.lock().unwrap();
-        if m.contains_key(&key) {
-            false
-        } else {
-            m.insert(key, value);
+        if let std::collections::btree_map::Entry::Vacant(e) = m.entry(key) {
+            e.insert(value);
             true
+        } else {
+            false
         }
     }
 

@@ -211,7 +211,9 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
         let surviving_word = surviving_edge.load(&self.policy, D::CRITICAL_LOAD);
 
         if D::TRANSITION_DEPTH >= 1 {
-            let _ = self.child_edge(ancestor, key).load(&self.policy, PFlag::Persisted);
+            let _ = self
+                .child_edge(ancestor, key)
+                .load(&self.policy, PFlag::Persisted);
         }
 
         // Splice: the ancestor's edge to `successor` now points at the surviving
@@ -289,8 +291,7 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
                 let _ = child_edge.load(&self.policy, PFlag::Persisted);
             }
 
-            match child_edge.compare_exchange(&self.policy, pack(leaf), pack(internal), D::STORE)
-            {
+            match child_edge.compare_exchange(&self.policy, pack(leaf), pack(internal), D::STORE) {
                 Ok(_) => {
                     self.policy.operation_completion();
                     return true;

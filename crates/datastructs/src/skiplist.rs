@@ -229,12 +229,7 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
                     // Point the tower at the current successor if it changed.
                     if address::<Node<P>>(cur_tower) != succ
                         && unsafe { &*node }.next[level]
-                            .compare_exchange(
-                                &self.policy,
-                                cur_tower,
-                                pack(succ),
-                                D::INDEX_STORE,
-                            )
+                            .compare_exchange(&self.policy, cur_tower, pack(succ), D::INDEX_STORE)
                             .is_err()
                     {
                         break;
@@ -436,7 +431,10 @@ mod tests {
             s.insert(k, k);
         }
         let seen = bottom_level_keys(&s);
-        assert!(seen.windows(2).all(|w| w[0] <= w[1]), "not sorted: {seen:?}");
+        assert!(
+            seen.windows(2).all(|w| w[0] <= w[1]),
+            "not sorted: {seen:?}"
+        );
         assert_eq!(seen, vec![1, 2, 3, 4, 7, 8, 9]);
     }
 

@@ -306,7 +306,7 @@ impl Drop for Guard<'_> {
         let slot = &self.collector.global.slots[self.slot_idx];
         slot.state.store(INACTIVE, Ordering::SeqCst);
         let unpins = slot.unpins.fetch_add(1, Ordering::Relaxed) + 1;
-        if unpins % COLLECT_INTERVAL == 0 {
+        if unpins.is_multiple_of(COLLECT_INTERVAL) {
             self.collector.collect(self.slot_idx);
         }
     }
@@ -416,8 +416,7 @@ mod tests {
                     s.spawn(move || {
                         for _ in 0..PER_THREAD {
                             let guard = c.pin();
-                            let node =
-                                Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
+                            let node = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
                             unsafe { guard.defer_destroy(node) };
                             drop(guard);
                         }

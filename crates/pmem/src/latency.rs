@@ -158,7 +158,10 @@ mod tests {
         let elapsed = start.elapsed().as_nanos() as u64;
         // Extremely loose bounds: we only need the order of magnitude to be right for
         // the benchmark shapes to hold, and CI machines can be noisy.
-        assert!(elapsed >= 20_000, "busy_wait returned far too quickly: {elapsed}ns");
+        assert!(
+            elapsed >= 20_000,
+            "busy_wait returned far too quickly: {elapsed}ns"
+        );
     }
 
     #[test]

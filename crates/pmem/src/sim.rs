@@ -223,11 +223,17 @@ mod tests {
         let x = 0u64;
         let addr = &x as *const u64 as *const u8;
         sim.record_store(addr, 123);
-        assert_eq!(sim.tracker().unwrap().volatile_value(addr as usize), Some(123));
+        assert_eq!(
+            sim.tracker().unwrap().volatile_value(addr as usize),
+            Some(123)
+        );
         assert!(sim.tracker().unwrap().crash_image().is_empty());
         sim.pwb(addr);
         sim.pfence();
-        assert_eq!(sim.tracker().unwrap().crash_image().read(addr as usize), Some(123));
+        assert_eq!(
+            sim.tracker().unwrap().crash_image().read(addr as usize),
+            Some(123)
+        );
     }
 
     #[test]

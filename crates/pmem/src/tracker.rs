@@ -316,7 +316,7 @@ mod tests {
     #[test]
     fn volatile_image_sees_everything() {
         let t = PersistenceTracker::new();
-        let xs = vec![0u64; 16];
+        let xs = [0u64; 16];
         for (i, x) in xs.iter().enumerate() {
             t.record_store(addr_of(x), i as u64);
         }

@@ -1,0 +1,98 @@
+//! # `flit-queues` — durable lock-free FIFO queues
+//!
+//! The FliT paper evaluates its P-V interface on set/map structures; this crate opens
+//! the second canonical NVM workload family, producer/consumer FIFO traffic
+//! ("Highly-Efficient Persistent FIFO Queues", Fatourou et al.; the durable queue of
+//! Friedman et al., PPoPP 2018). Like the map crate, everything is generic over two
+//! type parameters:
+//!
+//! * `P:` [`flit::Policy`] — *how* p-instructions are implemented (plain,
+//!   flit-adjacent, flit-HT, flit-cacheline, link-and-persist, or the non-persistent
+//!   baseline);
+//! * `D:` [`Durability`](flit_datastructs::Durability) — *which* instructions are
+//!   p-instructions. [`Automatic`](flit_datastructs::Automatic) (every instruction,
+//!   Theorem 3.1) and [`Manual`](flit_datastructs::Manual) (only the
+//!   linearization-point stores) are the two variants the queue harness exercises.
+//!
+//! | structure | module | paper reference |
+//! |---|---|---|
+//! | Michael–Scott queue | [`ms_queue`] | Michael & Scott, PODC'96 |
+//!
+//! [`ConcurrentQueue`] mirrors [`flit_datastructs::ConcurrentMap`] as the interface
+//! the workload generator and benchmark harness drive; [`SequentialQueue`] is the
+//! reference model for the property-based tests; [`RecoveredQueue`] is what
+//! [`MsQueue::recover`] reconstructs from an adversarial
+//! [`CrashImage`](flit_pmem::CrashImage).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod ms_queue;
+pub mod queue;
+
+pub use ms_queue::{MsQueue, RecoveredQueue};
+pub use queue::{ConcurrentQueue, SequentialQueue};
+
+// Re-export the durability methods so queue users need not depend on the map crate
+// for the `D` parameter.
+pub use flit_datastructs::{Automatic, Durability, Manual, NvTraverse};
+
+#[cfg(test)]
+mod proptests {
+    //! Property-based tests: the queue, under every durability method, agrees with
+    //! the [`SequentialQueue`] reference model on arbitrary operation sequences.
+
+    use super::*;
+    use flit::presets;
+    use flit::{FlitPolicy, HashedScheme};
+    use flit_pmem::{LatencyModel, SimNvram};
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Enqueue(u64),
+        Dequeue,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // Enqueues slightly outnumber dequeues so runs exercise both non-empty and
+        // drained-empty states.
+        prop_oneof![
+            (0u64..1000).prop_map(Op::Enqueue),
+            (0u64..1000).prop_map(Op::Enqueue),
+            (0u64..1).prop_map(|_| Op::Dequeue),
+        ]
+    }
+
+    fn backend() -> SimNvram {
+        SimNvram::builder().latency(LatencyModel::none()).build()
+    }
+
+    fn check_against_model<D: Durability>(ops: &[Op]) {
+        let q: MsQueue<FlitPolicy<HashedScheme, SimNvram>, D> =
+            MsQueue::new(presets::flit_ht(backend()));
+        let model = SequentialQueue::new();
+        for op in ops {
+            match *op {
+                Op::Enqueue(v) => {
+                    q.enqueue(v);
+                    model.enqueue(v);
+                }
+                Op::Dequeue => assert_eq!(q.dequeue(), model.dequeue()),
+            }
+        }
+        assert_eq!(q.len(), model.len());
+        assert_eq!(q.volatile_contents(), model.snapshot());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn msqueue_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            check_against_model::<Automatic>(&ops);
+            check_against_model::<NvTraverse>(&ops);
+            check_against_model::<Manual>(&ops);
+        }
+    }
+}

@@ -1,0 +1,604 @@
+//! The Michael–Scott lock-free FIFO queue (PODC 1996), made durable through FliT.
+//!
+//! The queue is the canonical producer/consumer structure of the persistent-memory
+//! literature ("Highly-Efficient Persistent FIFO Queues", Fatourou et al.; the
+//! log-free durable queue of Friedman et al., PPoPP 2018). This implementation is
+//! textbook Michael–Scott — a singly linked list with a permanent sentinel, a `head`
+//! pointer for dequeuers and a lazily swung `tail` pointer for enqueuers — with
+//! persistence injected entirely through the [`Policy`] / [`Durability`] type
+//! parameters, exactly like the map structures of [`flit_datastructs`].
+//!
+//! ## P-marking
+//!
+//! | instruction | flag | why |
+//! |---|---|---|
+//! | node initialisation | [`Durability::STORE`], private path | the publishing CAS depends on the node's contents |
+//! | link CAS (`tail.next`: null → node) | [`Durability::STORE`] | the linearization point of enqueue: the persisted `next` chain *is* the durable queue |
+//! | `tail` swings (publish + helping) | [`Durability::INDEX_STORE`] | auxiliary index state — after a crash `tail` is recoverable by walking `next` links from `head`, so the optimised methods leave it volatile |
+//! | `head` CAS (dequeue) | [`Durability::STORE`] | the linearization point of dequeue: a completed dequeue must not resurrect its value after a crash |
+//! | `head`/`tail` reads | [`Durability::TRAVERSAL_LOAD`] | positioning reads |
+//! | `next`/value reads | [`Durability::CRITICAL_LOAD`] | the reads the operation's result depends on |
+//!
+//! Under [`Automatic`](flit_datastructs::Automatic) every one of these is a
+//! p-instruction (Theorem 3.1); under
+//! [`Manual`](flit_datastructs::Manual) only the two linearization-point CASes and
+//! the node initialisation are persisted, which matches the hand-tuned durable
+//! queues of the literature. In every variant, dequeue-of-empty is a read-only
+//! operation — with FliT its p-loads flush nothing (no store is pending), while the
+//! plain transformation pays a `pwb` per p-load; that asymmetry is the queue-shaped
+//! version of the paper's read-elision headline.
+//!
+//! ## Crash recovery
+//!
+//! [`MsQueue::recover`] replays a [`CrashImage`] — the adversarial
+//! flushed-and-fenced-only snapshot of the persistence tracker — by reading the
+//! persisted `head` word and walking persisted `next` links, collecting persisted
+//! value words. For any variant whose `STORE` flag is persisted, the recovered
+//! sequence is exactly the durably linearized queue contents at the crash point.
+
+use std::marker::PhantomData;
+
+use flit::{PFlag, PersistWord, Policy};
+use flit_datastructs::Durability;
+use flit_ebr::Collector;
+use flit_pmem::CrashImage;
+
+use crate::queue::ConcurrentQueue;
+
+/// A node of the queue. Both fields are written once through the private-store path
+/// before the node is published, so they are recorded with the persistence tracker
+/// and recoverable from a crash image; `next` is additionally CAS-ed by enqueuers.
+pub(crate) struct Node<P: Policy> {
+    pub(crate) value: P::Word<u64>,
+    pub(crate) next: P::Word<usize>,
+}
+
+impl<P: Policy> Node<P> {
+    /// Allocate a node and persist its initial contents (value + null `next`)
+    /// according to `flag`, so the publishing CAS can depend on them.
+    fn alloc(policy: &P, value: u64, flag: PFlag) -> *mut Self {
+        let node: *mut Self = Box::into_raw(Box::new(Node {
+            value: P::Word::<u64>::new(value),
+            next: P::Word::<usize>::new(0),
+        }));
+        let node_ref = unsafe { &*node };
+        // The node is still private: volatile private stores record the words with
+        // the backend (for crash tracking) without flushing, then one persist of the
+        // whole node (a single flush + fence — both words share its cache lines)
+        // makes it durable before the publishing CAS can depend on it.
+        node_ref.value.store_private(policy, value, PFlag::Volatile);
+        node_ref.next.store_private(policy, 0, PFlag::Volatile);
+        policy.persist_object(node_ref, flag);
+        node
+    }
+}
+
+/// The queue's root pointers. Boxed so their addresses are stable from the moment
+/// they are first persisted (the `MsQueue` struct itself may move after `new`).
+struct Roots<P: Policy> {
+    head: P::Word<usize>,
+    tail: P::Word<usize>,
+}
+
+/// Michael–Scott lock-free FIFO queue over persistence policy `P` and durability
+/// method `D`.
+pub struct MsQueue<P: Policy, D: Durability> {
+    roots: Box<Roots<P>>,
+    policy: P,
+    collector: Collector,
+    _durability: PhantomData<D>,
+}
+
+// SAFETY: all shared mutable state is accessed through atomic persist-words, and node
+// lifetime is managed by the EBR collector, as in the map structures.
+unsafe impl<P: Policy, D: Durability> Send for MsQueue<P, D> {}
+unsafe impl<P: Policy, D: Durability> Sync for MsQueue<P, D> {}
+
+/// What [`MsQueue::recover`] reconstructs from a [`CrashImage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredQueue {
+    /// The queue contents in FIFO order, head first.
+    pub values: Vec<u64>,
+    /// `true` when a node was reachable through a persisted `next` link but its value
+    /// word was missing from the image. For any durability method whose `STORE` flag
+    /// is persisted this indicates a durability bug: nodes are persisted before the
+    /// link that publishes them.
+    pub truncated: bool,
+}
+
+impl<P: Policy, D: Durability> MsQueue<P, D> {
+    /// Create an empty queue using `policy` for persistence. The sentinel node and
+    /// the root pointers are persisted immediately, so a crash right after
+    /// construction recovers to an empty queue rather than garbage.
+    pub fn new(policy: P) -> Self {
+        let sentinel = Node::<P>::alloc(&policy, 0, PFlag::Persisted) as usize;
+        let roots: Box<Roots<P>> = Box::new(Roots {
+            head: P::Word::<usize>::new(sentinel),
+            tail: P::Word::<usize>::new(sentinel),
+        });
+        roots.head.store_private(&policy, sentinel, PFlag::Volatile);
+        roots.tail.store_private(&policy, sentinel, PFlag::Volatile);
+        policy.persist_object(roots.as_ref(), PFlag::Persisted);
+        Self {
+            roots,
+            policy,
+            collector: Collector::new(),
+            _durability: PhantomData,
+        }
+    }
+
+    /// The EBR collector used by this queue. Crash tests pin a guard on it for the
+    /// duration of a run so that recovery can dereference nodes that concurrent
+    /// dequeuers have already retired.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// The address of the persisted `head` root word (used by crash tests).
+    pub fn head_addr(&self) -> usize {
+        self.roots.head.addr()
+    }
+
+    /// The address of the persisted `tail` root word (used by crash tests).
+    pub fn tail_addr(&self) -> usize {
+        self.roots.tail.addr()
+    }
+
+    fn enqueue_impl(&self, value: u64) {
+        let _guard = self.collector.pin();
+        let node = Node::<P>::alloc(&self.policy, value, D::STORE) as usize;
+        loop {
+            let tail = self.roots.tail.load(&self.policy, D::TRAVERSAL_LOAD);
+            let tail_node = unsafe { &*(tail as *const Node<P>) };
+            let next = tail_node.next.load(&self.policy, D::CRITICAL_LOAD);
+            if tail != self.roots.tail.load(&self.policy, D::TRAVERSAL_LOAD) {
+                continue;
+            }
+            if next != 0 {
+                // Tail is lagging: help swing it forward and retry.
+                let _ = self
+                    .roots
+                    .tail
+                    .compare_exchange(&self.policy, tail, next, D::INDEX_STORE);
+                continue;
+            }
+            if tail_node
+                .next
+                .compare_exchange(&self.policy, 0, node, D::STORE)
+                .is_ok()
+            {
+                // Linearization point. The tail swing is best-effort index
+                // maintenance; any thread can complete it.
+                let _ = self
+                    .roots
+                    .tail
+                    .compare_exchange(&self.policy, tail, node, D::INDEX_STORE);
+                self.policy.operation_completion();
+                return;
+            }
+        }
+    }
+
+    fn dequeue_impl(&self) -> Option<u64> {
+        let guard = self.collector.pin();
+        loop {
+            let head = self.roots.head.load(&self.policy, D::TRAVERSAL_LOAD);
+            let head_node = unsafe { &*(head as *const Node<P>) };
+            let next = head_node.next.load(&self.policy, D::CRITICAL_LOAD);
+            if head != self.roots.head.load(&self.policy, D::TRAVERSAL_LOAD) {
+                continue;
+            }
+            if next == 0 {
+                // Empty: a read-only operation. NVTraverse-style methods re-read the
+                // link that determines the result as a p-load before returning.
+                if D::TRANSITION_DEPTH > 0 {
+                    let _ = head_node.next.load(&self.policy, PFlag::Persisted);
+                }
+                self.policy.operation_completion();
+                return None;
+            }
+            let tail = self.roots.tail.load(&self.policy, D::TRAVERSAL_LOAD);
+            if head == tail {
+                // Tail is lagging behind the node we are about to expose: help.
+                let _ = self
+                    .roots
+                    .tail
+                    .compare_exchange(&self.policy, tail, next, D::INDEX_STORE);
+                continue;
+            }
+            let next_node = unsafe { &*(next as *const Node<P>) };
+            let value = next_node.value.load(&self.policy, D::CRITICAL_LOAD);
+            if self
+                .roots
+                .head
+                .compare_exchange(&self.policy, head, next, D::STORE)
+                .is_ok()
+            {
+                // Linearization point: `next` is the new sentinel, the old one is
+                // unreachable for new operations.
+                // SAFETY: `head` was just unlinked by the CAS above.
+                unsafe { guard.defer_destroy(head as *mut Node<P>) };
+                self.policy.operation_completion();
+                return Some(value);
+            }
+        }
+    }
+
+    fn len_impl(&self) -> usize {
+        // Quiescent-state traversal: counts nodes after the sentinel.
+        let mut count = 0;
+        let mut cur = unsafe { &*(self.roots.head.load_direct() as *const Node<P>) }
+            .next
+            .load_direct();
+        while cur != 0 {
+            count += 1;
+            cur = unsafe { &*(cur as *const Node<P>) }.next.load_direct();
+        }
+        count
+    }
+
+    /// The queue contents in FIFO order, read from volatile memory. Quiescent states
+    /// only; used by tests to compare against [`recover`](Self::recover).
+    pub fn volatile_contents(&self) -> Vec<u64> {
+        let mut values = Vec::new();
+        let mut cur = unsafe { &*(self.roots.head.load_direct() as *const Node<P>) }
+            .next
+            .load_direct();
+        while cur != 0 {
+            let node = unsafe { &*(cur as *const Node<P>) };
+            values.push(node.value.load_direct());
+            cur = node.next.load_direct();
+        }
+        values
+    }
+
+    /// Reconstruct the durable queue from an adversarial crash image: read the
+    /// persisted `head` word, then walk persisted `next` links collecting persisted
+    /// value words, stopping at the first link the image does not contain (the end of
+    /// the persisted prefix).
+    ///
+    /// # Safety
+    /// Every node pointer stored in the image's `head`/`next` words must still be a
+    /// live allocation of this queue. That holds when the caller (a) runs in
+    /// quiescence and (b) has pinned [`Self::collector`] since before the first
+    /// operation, so that no retired sentinel has been reclaimed.
+    pub unsafe fn recover(&self, image: &CrashImage) -> RecoveredQueue {
+        let mut values = Vec::new();
+        let Some(head) = image.read(self.roots.head.addr()) else {
+            // The head root was never persisted: nothing can be recovered. Flagged as
+            // truncation so tests on persistent variants catch it.
+            return RecoveredQueue {
+                values,
+                truncated: true,
+            };
+        };
+        let mut cur = head as usize as *const Node<P>;
+        loop {
+            let next = match image.read(unsafe { &*cur }.next.addr()) {
+                // Link never persisted (or persisted as null): the persisted prefix
+                // ends here.
+                None | Some(0) => {
+                    return RecoveredQueue {
+                        values,
+                        truncated: false,
+                    }
+                }
+                Some(ptr) => ptr as usize,
+            };
+            let node = next as *const Node<P>;
+            match image.read(unsafe { &*node }.value.addr()) {
+                Some(v) => values.push(v),
+                None => {
+                    // Reachable through a persisted link but value not persisted:
+                    // the persist-before-publish invariant was violated.
+                    return RecoveredQueue {
+                        values,
+                        truncated: true,
+                    };
+                }
+            }
+            cur = node;
+        }
+    }
+}
+
+impl<P: Policy, D: Durability> ConcurrentQueue<P> for MsQueue<P, D> {
+    const NAME: &'static str = "msqueue";
+
+    fn with_policy(policy: P) -> Self {
+        Self::new(policy)
+    }
+
+    fn enqueue(&self, value: u64) {
+        self.enqueue_impl(value)
+    }
+
+    fn dequeue(&self) -> Option<u64> {
+        self.dequeue_impl()
+    }
+
+    fn len(&self) -> usize {
+        self.len_impl()
+    }
+
+    fn policy(&self) -> &P {
+        &self.policy
+    }
+}
+
+impl<P: Policy, D: Durability> Drop for MsQueue<P, D> {
+    fn drop(&mut self) {
+        // Single-threaded teardown: free the sentinel and every queued node. Retired
+        // (already dequeued) nodes are freed by the collector's own drop.
+        let mut cur = self.roots.head.load_direct();
+        while cur != 0 {
+            let next = unsafe { &*(cur as *const Node<P>) }.next.load_direct();
+            // SAFETY: teardown is single-threaded and each reachable node is freed
+            // exactly once.
+            unsafe { drop(Box::from_raw(cur as *mut Node<P>)) };
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flit::presets;
+    use flit::{FlitPolicy, HashedScheme, NoPersistPolicy, PlainPolicy};
+    use flit_datastructs::{Automatic, Manual, NvTraverse};
+    use flit_pmem::{LatencyModel, SimNvram};
+    use std::sync::Arc;
+
+    fn backend() -> SimNvram {
+        SimNvram::builder().latency(LatencyModel::none()).build()
+    }
+
+    type HtQueue<D> = MsQueue<FlitPolicy<HashedScheme, SimNvram>, D>;
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let q: HtQueue<Automatic> = MsQueue::new(presets::flit_ht(backend()));
+        assert!(q.is_empty());
+        assert_eq!(q.dequeue(), None);
+        assert_eq!(q.len(), 0);
+        assert!(q.volatile_contents().is_empty());
+    }
+
+    #[test]
+    fn fifo_round_trip() {
+        let q: HtQueue<Automatic> = MsQueue::new(presets::flit_ht(backend()));
+        for v in 10..20u64 {
+            q.enqueue(v);
+        }
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.volatile_contents(), (10..20).collect::<Vec<_>>());
+        for v in 10..20u64 {
+            assert_eq!(q.dequeue(), Some(v));
+        }
+        assert_eq!(q.dequeue(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_enqueue_dequeue() {
+        let q: HtQueue<Automatic> = MsQueue::new(presets::flit_ht(backend()));
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.dequeue(), Some(1));
+        q.enqueue(3);
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(4);
+        assert_eq!(q.dequeue(), Some(4));
+    }
+
+    #[test]
+    fn works_with_every_durability_method() {
+        fn exercise<D: Durability>() {
+            let q: HtQueue<D> = MsQueue::new(presets::flit_ht(backend()));
+            for v in 0..100u64 {
+                q.enqueue(v);
+            }
+            for v in 0..50u64 {
+                assert_eq!(q.dequeue(), Some(v));
+            }
+            assert_eq!(q.len(), 50);
+        }
+        exercise::<Automatic>();
+        exercise::<NvTraverse>();
+        exercise::<Manual>();
+    }
+
+    #[test]
+    fn works_with_every_policy() {
+        fn exercise<P: Policy>(policy: P) {
+            let q: MsQueue<P, Automatic> = MsQueue::new(policy);
+            q.enqueue(7);
+            q.enqueue(8);
+            assert_eq!(q.dequeue(), Some(7));
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.dequeue(), Some(8));
+            assert_eq!(q.dequeue(), None);
+        }
+        exercise(presets::plain(backend()));
+        exercise(presets::flit_adjacent(backend()));
+        exercise(presets::flit_ht(backend()));
+        exercise(presets::flit_cacheline(backend()));
+        exercise(presets::link_and_persist(backend()));
+        exercise(NoPersistPolicy::new());
+    }
+
+    #[test]
+    fn dequeue_of_empty_flushes_under_plain_but_not_flit() {
+        // The queue-shaped version of the paper's read-elision headline: a dequeue of
+        // an empty queue is read-only, so FliT pays no pwbs while the plain
+        // transformation pays one per p-load.
+        let plain_sim = backend();
+        let plain: MsQueue<PlainPolicy<SimNvram>, Automatic> =
+            MsQueue::new(presets::plain(plain_sim.clone()));
+        let flit_sim = backend();
+        let flit: HtQueue<Automatic> = MsQueue::new(presets::flit_ht(flit_sim.clone()));
+
+        let plain_before = plain_sim.stats().snapshot();
+        let flit_before = flit_sim.stats().snapshot();
+        for _ in 0..100 {
+            assert_eq!(plain.dequeue(), None);
+            assert_eq!(flit.dequeue(), None);
+        }
+        let plain_delta = plain_sim.stats().snapshot().delta_since(&plain_before);
+        let flit_delta = flit_sim.stats().snapshot().delta_since(&flit_before);
+
+        assert_eq!(flit_delta.pwbs, 0, "FliT must elide all read-side flushes");
+        assert!(
+            plain_delta.pwbs >= 300,
+            "plain pays a pwb per p-load (3 per empty dequeue), got {}",
+            plain_delta.pwbs
+        );
+        assert_eq!(
+            flit_delta.pfences, 100,
+            "one completion fence per operation"
+        );
+    }
+
+    #[test]
+    fn mpmc_stress_conserves_values() {
+        const PRODUCERS: u64 = 3;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: u64 = 2_000;
+        let q: Arc<HtQueue<Automatic>> = Arc::new(MsQueue::new(presets::flit_ht(backend())));
+        let popped = std::sync::Mutex::new(Vec::new());
+
+        std::thread::scope(|s| {
+            for t in 0..PRODUCERS {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.enqueue((t << 32) | i);
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = Arc::clone(&q);
+                let popped = &popped;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut misses = 0u32;
+                    // Keep consuming until producers are clearly done and the queue
+                    // stays empty.
+                    while misses < 1_000 {
+                        match q.dequeue() {
+                            Some(v) => {
+                                local.push(v);
+                                misses = 0;
+                            }
+                            None => {
+                                misses += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    popped.lock().unwrap().extend(local);
+                });
+            }
+        });
+
+        let mut drained = popped.into_inner().unwrap();
+        while let Some(v) = q.dequeue() {
+            drained.push(v);
+        }
+        assert_eq!(drained.len() as u64, PRODUCERS * PER_PRODUCER);
+
+        // Every value appears exactly once, and each producer's values are popped in
+        // FIFO order relative to each other.
+        let mut sorted = drained.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len() as u64, PRODUCERS * PER_PRODUCER);
+        for t in 0..PRODUCERS {
+            let seqs: Vec<u64> = drained
+                .iter()
+                .filter(|v| (*v >> 32) == t)
+                .map(|v| v & 0xFFFF_FFFF)
+                .collect();
+            // NOTE: `drained` concatenates per-consumer pops, so global order is not
+            // FIFO; but the multiset must be complete. FIFO order per producer is
+            // checked in the single-consumer test below.
+            assert_eq!(seqs.len() as u64, PER_PRODUCER);
+        }
+    }
+
+    #[test]
+    fn single_consumer_sees_each_producer_in_order() {
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 1_000;
+        let q: Arc<HtQueue<Manual>> = Arc::new(MsQueue::new(presets::flit_ht(backend())));
+        let mut popped = Vec::new();
+
+        std::thread::scope(|s| {
+            for t in 0..PRODUCERS {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.enqueue((t << 32) | i);
+                    }
+                });
+            }
+            let total = (PRODUCERS * PER_PRODUCER) as usize;
+            while popped.len() < total {
+                if let Some(v) = q.dequeue() {
+                    popped.push(v);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+
+        for t in 0..PRODUCERS {
+            let seqs: Vec<u64> = popped
+                .iter()
+                .filter(|v| (*v >> 32) == t)
+                .map(|v| v & 0xFFFF_FFFF)
+                .collect();
+            assert_eq!(seqs, (0..PER_PRODUCER).collect::<Vec<_>>(), "producer {t}");
+        }
+    }
+
+    #[test]
+    fn crash_image_recovers_the_exact_queue_when_quiescent() {
+        let nvram = SimNvram::for_crash_testing();
+        let q: HtQueue<Automatic> = MsQueue::new(presets::flit_ht(nvram.clone()));
+        let _guard = q.collector().pin();
+        for v in [3u64, 1, 4, 1, 5, 9, 2, 6] {
+            q.enqueue(v);
+        }
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), Some(1));
+
+        let image = nvram.tracker().unwrap().crash_image();
+        let recovered = unsafe { q.recover(&image) };
+        assert!(!recovered.truncated);
+        assert_eq!(recovered.values, vec![4, 1, 5, 9, 2, 6]);
+        assert_eq!(recovered.values, q.volatile_contents());
+    }
+
+    #[test]
+    fn manual_variant_recovers_despite_volatile_tail() {
+        // Manual leaves the tail swings volatile (INDEX_STORE); the persisted next
+        // chain alone must still recover every completed enqueue.
+        let nvram = SimNvram::for_crash_testing();
+        let q: HtQueue<Manual> = MsQueue::new(presets::flit_ht(nvram.clone()));
+        let _guard = q.collector().pin();
+        for v in 100..150u64 {
+            q.enqueue(v);
+        }
+        let image = nvram.tracker().unwrap().crash_image();
+        let recovered = unsafe { q.recover(&image) };
+        assert!(!recovered.truncated);
+        assert_eq!(recovered.values, (100..150).collect::<Vec<_>>());
+        // The tail root may well be stale in the image — that is the point of
+        // treating it as index state. Head must be present.
+        assert!(image.read(q.head_addr()).is_some());
+    }
+}

@@ -1,0 +1,111 @@
+//! The [`ConcurrentQueue`] interface shared by the durable queues, plus a sequential
+//! reference model used by correctness tests.
+//!
+//! This mirrors [`flit_datastructs::ConcurrentMap`]: values are single machine words
+//! (`u64`), construction takes the persistence policy, and the policy is reachable
+//! from the structure so harnesses can read its statistics.
+
+use flit::Policy;
+
+/// A concurrent FIFO queue of `u64` values, generic over the persistence [`Policy`].
+///
+/// `enqueue` always succeeds (the queue is unbounded); `dequeue` returns `None` when
+/// the queue is observed empty. Both are linearizable, and durably linearizable when
+/// instantiated with a persistent policy and a durability method that persists the
+/// result-defining stores.
+pub trait ConcurrentQueue<P: Policy>: Send + Sync {
+    /// Short name used in benchmark output (`"msqueue"`, ...).
+    const NAME: &'static str;
+
+    /// Build an empty queue using `policy` for all persistence decisions.
+    fn with_policy(policy: P) -> Self;
+
+    /// Append `value` at the tail.
+    fn enqueue(&self, value: u64);
+
+    /// Remove and return the value at the head, or `None` if the queue is empty.
+    fn dequeue(&self) -> Option<u64>;
+
+    /// Number of values currently queued. Only meaningful in quiescent states;
+    /// intended for tests and for validating pre-fill.
+    fn len(&self) -> usize;
+
+    /// `true` when the queue holds no values (quiescent states only).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Access the persistence policy (e.g. to read its statistics).
+    fn policy(&self) -> &P;
+}
+
+/// A trivially correct sequential queue used as the model in property-based tests: a
+/// `VecDeque` behind a mutex.
+#[derive(Debug, Default)]
+pub struct SequentialQueue {
+    inner: std::sync::Mutex<std::collections::VecDeque<u64>>,
+}
+
+impl SequentialQueue {
+    /// Create an empty model queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Model enqueue.
+    pub fn enqueue(&self, value: u64) {
+        self.inner.lock().unwrap().push_back(value);
+    }
+
+    /// Model dequeue.
+    pub fn dequeue(&self) -> Option<u64> {
+        self.inner.lock().unwrap().pop_front()
+    }
+
+    /// Model size.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Model emptiness.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The queued values in FIFO order (used to compare against a concurrent
+    /// queue's quiescent contents).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.inner.lock().unwrap().iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_model_is_fifo() {
+        let q = SequentialQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn snapshot_preserves_order() {
+        let q = SequentialQueue::new();
+        for v in [5u64, 7, 9] {
+            q.enqueue(v);
+        }
+        assert_eq!(q.snapshot(), vec![5, 7, 9]);
+        q.dequeue();
+        assert_eq!(q.snapshot(), vec![7, 9]);
+    }
+}

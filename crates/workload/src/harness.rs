@@ -13,8 +13,11 @@ use flit_datastructs::{
     Automatic, ConcurrentMap, HarrisList, HashTable, Manual, NatarajanTree, NvTraverse, SkipList,
 };
 use flit_pmem::{LatencyModel, SimNvram};
+use flit_queues::{ConcurrentQueue, MsQueue};
 
 use crate::config::WorkloadConfig;
+use crate::queue_config::QueueWorkloadConfig;
+use crate::queue_runner::{prefill_queue, run_queue_workload, QueueRunResult};
 use crate::runner::{prefill, run_workload, RunResult};
 
 /// Which data structure to benchmark.
@@ -32,7 +35,12 @@ pub enum DsKind {
 
 impl DsKind {
     /// All four structures, in the order of the paper's Figure 7.
-    pub const ALL: [DsKind; 4] = [DsKind::Bst, DsKind::HashTable, DsKind::List, DsKind::SkipList];
+    pub const ALL: [DsKind; 4] = [
+        DsKind::Bst,
+        DsKind::HashTable,
+        DsKind::List,
+        DsKind::SkipList,
+    ];
 
     /// Display name matching the paper's plot captions.
     pub fn name(self) -> &'static str {
@@ -140,7 +148,12 @@ pub struct Case {
 impl Case {
     /// Human-readable label, e.g. `bst/automatic/flit-HT (1MB)`.
     pub fn label(&self) -> String {
-        format!("{}/{}/{}", self.ds.name(), self.dur.name(), self.policy.name())
+        format!(
+            "{}/{}/{}",
+            self.ds.name(),
+            self.dur.name(),
+            self.policy.name()
+        )
     }
 }
 
@@ -211,6 +224,81 @@ pub fn run_case(case: &Case) -> RunResult {
     }
 }
 
+/// One fully specified queue experiment case.
+///
+/// The queue analogue of [`Case`]: the paper's P-V interface applies to any
+/// linearizable structure, so the same policy variants are swept; the durability
+/// methods exercised by the harness are `Automatic` and `Manual` (see
+/// [`QUEUE_DURS`]), matching how hand-tuned durable queues place their persistence
+/// in the literature.
+#[derive(Debug, Clone)]
+pub struct QueueCase {
+    /// Durability method.
+    pub dur: DurKind,
+    /// Persistence policy variant.
+    pub policy: PolicyKind,
+    /// Workload parameters.
+    pub config: QueueWorkloadConfig,
+    /// Latency model for the simulated NVRAM.
+    pub latency: LatencyModel,
+}
+
+/// The durability methods the queue harness sweeps. (NVTraverse instantiates too,
+/// but the Michael–Scott queue has no traversal phase for it to optimise, so the
+/// experiments report the two ends of the spectrum.)
+pub const QUEUE_DURS: [DurKind; 2] = [DurKind::Automatic, DurKind::Manual];
+
+impl QueueCase {
+    /// Human-readable label, e.g. `msqueue/automatic/flit-HT (1MB)/mixed-50%`.
+    pub fn label(&self) -> String {
+        format!(
+            "msqueue/{}/{}/{}",
+            self.dur.name(),
+            self.policy.name(),
+            self.config.shape_label()
+        )
+    }
+}
+
+fn run_queue<P, Q>(policy: P, case: &QueueCase) -> QueueRunResult
+where
+    P: Policy,
+    Q: ConcurrentQueue<P>,
+{
+    let queue = Q::with_policy(policy);
+    prefill_queue(&queue, &case.config);
+    run_queue_workload(&queue, &case.config)
+}
+
+fn run_queue_with_policy<P: Policy>(policy: P, case: &QueueCase) -> QueueRunResult {
+    match case.dur {
+        DurKind::Automatic => run_queue::<P, MsQueue<P, Automatic>>(policy, case),
+        DurKind::NvTraverse => run_queue::<P, MsQueue<P, NvTraverse>>(policy, case),
+        DurKind::Manual => run_queue::<P, MsQueue<P, Manual>>(policy, case),
+    }
+}
+
+/// Build the queue described by `case`, prefill it, run the workload and return the
+/// measurement. Every policy variant applies to the queue (its updates are plain
+/// CAS on word-aligned pointers, so even link-and-persist is usable).
+pub fn run_queue_case(case: &QueueCase) -> QueueRunResult {
+    let backend = || SimNvram::builder().latency(case.latency).build();
+    match case.policy {
+        PolicyKind::NoPersist => run_queue_with_policy(NoPersistPolicy::new(), case),
+        PolicyKind::Plain => run_queue_with_policy(presets::plain(backend()), case),
+        PolicyKind::FlitAdjacent => run_queue_with_policy(presets::flit_adjacent(backend()), case),
+        PolicyKind::FlitHt(bytes) => {
+            run_queue_with_policy(presets::flit_ht_sized(backend(), bytes), case)
+        }
+        PolicyKind::FlitCacheLine => {
+            run_queue_with_policy(presets::flit_cacheline(backend()), case)
+        }
+        PolicyKind::LinkAndPersist => {
+            run_queue_with_policy(presets::link_and_persist(backend()), case)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +355,67 @@ mod tests {
             plain.pwbs_per_op(),
             flit.pwbs_per_op()
         );
+    }
+
+    #[test]
+    fn every_queue_combination_runs() {
+        for dur in DurKind::ALL {
+            for policy in [
+                PolicyKind::NoPersist,
+                PolicyKind::Plain,
+                PolicyKind::FlitAdjacent,
+                PolicyKind::FlitHt(1 << 16),
+                PolicyKind::FlitCacheLine,
+                PolicyKind::LinkAndPersist,
+            ] {
+                let case = QueueCase {
+                    dur,
+                    policy,
+                    config: QueueWorkloadConfig::mixed(2, 50, 200).with_prefill(16),
+                    latency: LatencyModel::none(),
+                };
+                let result = run_queue_case(&case);
+                assert_eq!(result.total_ops, 400, "case {}", case.label());
+                assert_eq!(
+                    result.enqueues + result.dequeues_hit + result.dequeues_empty,
+                    400,
+                    "case {}",
+                    case.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queue_flit_beats_plain_on_pwbs() {
+        // The paper's claim carried over to the queue workload family: same traffic,
+        // far fewer write-backs with FliT than with the plain transformation.
+        let mk = |policy| QueueCase {
+            dur: DurKind::Automatic,
+            policy,
+            config: QueueWorkloadConfig::producer_consumer(1, 3, 2_000),
+            latency: LatencyModel::none(),
+        };
+        let plain = run_queue_case(&mk(PolicyKind::Plain));
+        let flit = run_queue_case(&mk(PolicyKind::FlitHt(1 << 20)));
+        assert!(
+            plain.pwbs_per_op() > 1.5 * flit.pwbs_per_op(),
+            "plain {} vs flit {}",
+            plain.pwbs_per_op(),
+            flit.pwbs_per_op()
+        );
+    }
+
+    #[test]
+    fn queue_case_labels() {
+        let case = QueueCase {
+            dur: DurKind::Manual,
+            policy: PolicyKind::Plain,
+            config: QueueWorkloadConfig::producer_consumer(3, 1, 10),
+            latency: LatencyModel::none(),
+        };
+        assert_eq!(case.label(), "msqueue/manual/plain/pc-3:1");
+        assert_eq!(QUEUE_DURS.len(), 2);
     }
 
     #[test]

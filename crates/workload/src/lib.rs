@@ -1,23 +1,48 @@
 //! # `flit-workload` — workload generation and measurement harness
 //!
-//! This crate drives the data structures of [`flit_datastructs`] with the workloads of
-//! the paper's evaluation (§6.1): a prefilled map, a uniform key distribution, and a
-//! mix of lookups and updates (updates split 50/50 between inserts and deletes). It
-//! measures operation throughput and the persistence-instruction counts needed to
-//! reproduce every figure.
+//! This crate drives the data structures of [`flit_datastructs`] and the queues of
+//! [`flit_queues`] with benchmark workloads, measuring operation throughput and the
+//! persistence-instruction counts needed to reproduce the paper's figures.
+//!
+//! ## Map workloads (paper §6.1)
+//!
+//! A prefilled map, a uniform key distribution, and a mix of lookups and updates
+//! (updates split 50/50 between inserts and deletes).
 //!
 //! * [`WorkloadConfig`] — key range, update ratio, thread count, operation count.
 //! * [`run_workload`] — run one configuration against any [`ConcurrentMap`].
-//! * [`harness`] — a string/enum-addressable dispatcher over every
-//!   (data structure × durability method × policy) combination of the evaluation,
-//!   used by the `repro` binary, the Criterion benches and the examples.
+//!
+//! ## Queue workloads
+//!
+//! Producer/consumer FIFO traffic — the shape of real serving pipelines — in two
+//! flavours: a per-thread enqueue/dequeue mix, and dedicated producer:consumer
+//! thread ratios, both with configurable burst lengths.
+//!
+//! * [`QueueWorkloadConfig`] / [`QueueShape`] — mix, ratio, bursts, prefill.
+//! * [`run_queue_workload`] — run one configuration against any [`ConcurrentQueue`].
+//!
+//! ## Dispatch
+//!
+//! [`harness`] is a value-addressable dispatcher over every
+//! (structure × durability method × policy) combination of the evaluation — maps via
+//! [`run_case`] and queues via [`run_queue_case`] — used by the `repro` binary, the
+//! Criterion benches and the examples.
+//!
+//! [`ConcurrentMap`]: flit_datastructs::ConcurrentMap
+//! [`ConcurrentQueue`]: flit_queues::ConcurrentQueue
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod harness;
+pub mod queue_config;
+pub mod queue_runner;
 pub mod runner;
 
 pub use config::WorkloadConfig;
-pub use harness::{run_case, Case, DsKind, DurKind, PolicyKind};
+pub use harness::{
+    run_case, run_queue_case, Case, DsKind, DurKind, PolicyKind, QueueCase, QUEUE_DURS,
+};
+pub use queue_config::{QueueShape, QueueWorkloadConfig};
+pub use queue_runner::{prefill_queue, run_queue_workload, QueueRunResult};
 pub use runner::{run_workload, RunResult};

@@ -1,0 +1,169 @@
+//! Queue workload configuration.
+//!
+//! Producer/consumer traffic has a different shape from the map workloads of the
+//! paper's evaluation: what matters is the *mix* of enqueues and dequeues, the
+//! *ratio* of dedicated producer to consumer threads, and how *bursty* each thread's
+//! operation stream is. [`QueueWorkloadConfig`] captures all three.
+
+/// How the worker threads of a queue workload are organised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueShape {
+    /// Every thread flips between enqueue and dequeue: each burst is an enqueue
+    /// burst with probability `enqueue_percent`%, otherwise a dequeue burst.
+    Mixed {
+        /// Number of worker threads.
+        threads: usize,
+        /// Percentage of bursts that enqueue (50 = classic balanced mix).
+        enqueue_percent: u32,
+    },
+    /// Dedicated producer threads (only enqueue) and consumer threads (only
+    /// dequeue) — the shape of real serving pipelines.
+    ProducerConsumer {
+        /// Threads that only enqueue.
+        producers: usize,
+        /// Threads that only dequeue.
+        consumers: usize,
+    },
+}
+
+/// One queue benchmark workload.
+///
+/// Mirrors [`WorkloadConfig`](crate::WorkloadConfig) for queues: a fixed per-thread
+/// operation count (deterministic, single-core friendly) with throughput still
+/// reported as operations per second.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueWorkloadConfig {
+    /// Thread organisation and operation mix.
+    pub shape: QueueShape,
+    /// Operations executed by each thread during the measured interval.
+    pub ops_per_thread: u64,
+    /// Burst length: consecutive operations of the same kind before the thread
+    /// re-draws (Mixed) or yields (ProducerConsumer). 1 = no burstiness.
+    pub burst: u64,
+    /// Number of values enqueued before measurement starts.
+    pub prefill: u64,
+    /// RNG seed; every thread derives its own stream from it.
+    pub seed: u64,
+}
+
+impl QueueWorkloadConfig {
+    /// A balanced-mix configuration: `threads` workers, each flipping between
+    /// enqueue and dequeue bursts with the given enqueue percentage.
+    pub fn mixed(threads: usize, enqueue_percent: u32, ops_per_thread: u64) -> Self {
+        assert!(threads > 0);
+        assert!(enqueue_percent <= 100);
+        Self {
+            shape: QueueShape::Mixed {
+                threads,
+                enqueue_percent,
+            },
+            ops_per_thread,
+            burst: 1,
+            prefill: 0,
+            seed: 0xF1F0_5EED,
+        }
+    }
+
+    /// A producer/consumer configuration with dedicated thread roles.
+    pub fn producer_consumer(producers: usize, consumers: usize, ops_per_thread: u64) -> Self {
+        assert!(producers > 0);
+        assert!(consumers > 0);
+        Self {
+            shape: QueueShape::ProducerConsumer {
+                producers,
+                consumers,
+            },
+            ops_per_thread,
+            burst: 1,
+            prefill: 0,
+            seed: 0xF1F0_5EED,
+        }
+    }
+
+    /// Override the burst length.
+    pub fn with_burst(mut self, burst: u64) -> Self {
+        assert!(burst > 0);
+        self.burst = burst;
+        self
+    }
+
+    /// Override the prefill size.
+    pub fn with_prefill(mut self, prefill: u64) -> Self {
+        self.prefill = prefill;
+        self
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total number of worker threads.
+    pub fn threads(&self) -> usize {
+        match self.shape {
+            QueueShape::Mixed { threads, .. } => threads,
+            QueueShape::ProducerConsumer {
+                producers,
+                consumers,
+            } => producers + consumers,
+        }
+    }
+
+    /// Total number of measured operations across all threads.
+    pub fn total_ops(&self) -> u64 {
+        self.ops_per_thread * self.threads() as u64
+    }
+
+    /// Short label for benchmark output, e.g. `mixed-50%` or `pc-3:1`.
+    pub fn shape_label(&self) -> String {
+        match self.shape {
+            QueueShape::Mixed {
+                enqueue_percent, ..
+            } => format!("mixed-{enqueue_percent}%"),
+            QueueShape::ProducerConsumer {
+                producers,
+                consumers,
+            } => format!("pc-{producers}:{consumers}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_constructor_and_builders() {
+        let c = QueueWorkloadConfig::mixed(4, 50, 1_000)
+            .with_burst(8)
+            .with_prefill(64)
+            .with_seed(7);
+        assert_eq!(c.threads(), 4);
+        assert_eq!(c.total_ops(), 4_000);
+        assert_eq!(c.burst, 8);
+        assert_eq!(c.prefill, 64);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.shape_label(), "mixed-50%");
+    }
+
+    #[test]
+    fn producer_consumer_counts_both_roles() {
+        let c = QueueWorkloadConfig::producer_consumer(3, 1, 500);
+        assert_eq!(c.threads(), 4);
+        assert_eq!(c.total_ops(), 2_000);
+        assert_eq!(c.shape_label(), "pc-3:1");
+    }
+
+    #[test]
+    #[should_panic]
+    fn enqueue_percent_must_be_a_percentage() {
+        let _ = QueueWorkloadConfig::mixed(1, 101, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn burst_must_be_positive() {
+        let _ = QueueWorkloadConfig::mixed(1, 50, 1).with_burst(0);
+    }
+}

@@ -62,10 +62,7 @@ pub fn prefill<P: Policy, M: ConcurrentMap<P>>(map: &M, cfg: &WorkloadConfig) {
 /// Threads are spawned for the measured interval only; the map must already be
 /// prefilled (see [`prefill`]) if a warm structure is wanted.
 pub fn run_workload<P: Policy, M: ConcurrentMap<P>>(map: &M, cfg: &WorkloadConfig) -> RunResult {
-    let before = map
-        .policy()
-        .stats_snapshot()
-        .unwrap_or_default();
+    let before = map.policy().stats_snapshot().unwrap_or_default();
     let hits = AtomicU64::new(0);
     let inserts_ok = AtomicU64::new(0);
     let removes_ok = AtomicU64::new(0);
@@ -150,7 +147,10 @@ mod tests {
         prefill(&map, &cfg);
         let result = run_workload(&map, &cfg);
         assert_eq!(result.total_ops, 4_000);
-        assert_eq!(result.pmem.pwbs, 0, "0% updates must execute no pwbs with FliT");
+        assert_eq!(
+            result.pmem.pwbs, 0,
+            "0% updates must execute no pwbs with FliT"
+        );
         assert!(result.hits > 0, "prefilled keys should be found");
         assert!(result.mops > 0.0);
     }

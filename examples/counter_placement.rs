@@ -22,7 +22,10 @@ fn run(policy: PolicyKind, updates: u32) -> f64 {
 
 fn main() {
     println!("automatic BST, 10K keys, 4 threads — throughput in Mops/s\n");
-    println!("{:<22} {:>12} {:>12}", "placement", "0% updates", "50% updates");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "placement", "0% updates", "50% updates"
+    );
     for bytes in [4 << 10, 64 << 10, 1 << 20, 16 << 20] {
         let label = format!("flit-HT ({})", flit::human_bytes(bytes));
         println!(

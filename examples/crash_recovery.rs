@@ -45,7 +45,10 @@ fn main() {
     println!("\nstate recovered from NVRAM after the crash:");
     println!("  balance  = {:?}", crash.read(balance.addr()));
     println!("  sequence = {:?}", crash.read(sequence.addr()));
-    println!("  scratch  = {:?}  (v-store: correctly lost)", crash.read(scratch.addr()));
+    println!(
+        "  scratch  = {:?}  (v-store: correctly lost)",
+        crash.read(scratch.addr())
+    );
 
     assert_eq!(crash.read(balance.addr()), Some(1_000));
     assert_eq!(crash.read(sequence.addr()), Some(1));

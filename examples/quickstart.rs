@@ -8,7 +8,6 @@
 //! Run with: `cargo run --example quickstart`
 
 use flit::presets;
-use flit::Policy;
 use flit_datastructs::{Automatic, ConcurrentMap, NatarajanTree};
 use flit_pmem::SimNvram;
 

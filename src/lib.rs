@@ -10,4 +10,5 @@ pub use flit;
 pub use flit_datastructs as datastructs;
 pub use flit_ebr as ebr;
 pub use flit_pmem as pmem;
+pub use flit_queues as queues;
 pub use flit_workload as workload;

@@ -77,7 +77,10 @@ fn dependency_order_is_never_inverted() {
     let a_survived = image.read(a.addr()).is_some();
     let b_survived = image.read(b.addr()).is_some();
     assert!(a_survived, "the persisted dependency must survive");
-    assert!(!b_survived, "the volatile store must not outlive its dependency");
+    assert!(
+        !b_survived,
+        "the volatile store must not outlive its dependency"
+    );
 }
 
 /// The same inversion check through the plain policy: even without tagging, the
@@ -97,12 +100,18 @@ fn plain_policy_also_preserves_dependency_order() {
     }
     // No operation_completion: still, each completed p-store is durable.
     let image = nvram.tracker().unwrap().crash_image();
-    let survived: Vec<bool> = chain.iter().map(|w| image.read(w.addr()).is_some()).collect();
+    let survived: Vec<bool> = chain
+        .iter()
+        .map(|w| image.read(w.addr()).is_some())
+        .collect();
     // The survivors must form a prefix (no inversion).
     let first_lost = survived.iter().position(|s| !s).unwrap_or(survived.len());
     assert!(
         survived[first_lost..].iter().all(|s| !s),
         "a later store survived while an earlier dependency was lost: {survived:?}"
     );
-    assert!(first_lost >= 15, "completed p-stores should essentially all survive");
+    assert!(
+        first_lost >= 15,
+        "completed p-stores should essentially all survive"
+    );
 }

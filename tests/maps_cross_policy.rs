@@ -4,8 +4,8 @@
 
 use flit::{presets, NoPersistPolicy, Policy};
 use flit_datastructs::{
-    Automatic, ConcurrentMap, Durability, HarrisList, HashTable, Manual, NatarajanTree,
-    NvTraverse, SequentialMap, SkipList,
+    Automatic, ConcurrentMap, Durability, HarrisList, HashTable, Manual, NatarajanTree, NvTraverse,
+    SequentialMap, SkipList,
 };
 use flit_pmem::{LatencyModel, SimNvram};
 use rand::rngs::SmallRng;

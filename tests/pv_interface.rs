@@ -37,7 +37,10 @@ fn v_stores_are_not_forced_to_persist() {
     word.store(&policy, 7, PFlag::Volatile);
     policy.operation_completion();
     assert_eq!(nvram.tracker().unwrap().persisted_value(word.addr()), None);
-    assert_eq!(nvram.tracker().unwrap().volatile_value(word.addr()), Some(7));
+    assert_eq!(
+        nvram.tracker().unwrap().volatile_value(word.addr()),
+        Some(7)
+    );
 }
 
 /// Condition 3: a p-load that observes a concurrent p-store's value flushes the
@@ -62,7 +65,10 @@ fn tagged_p_load_flushes_the_location() {
     let observed = word.load(&policy, PFlag::Persisted);
     policy.backend().pfence();
     assert_eq!(observed, 9);
-    assert_eq!(nvram.tracker().unwrap().persisted_value(word.addr()), Some(9));
+    assert_eq!(
+        nvram.tracker().unwrap().persisted_value(word.addr()),
+        Some(9)
+    );
     scheme.end_store(&(), word.addr());
 }
 

@@ -1,0 +1,177 @@
+//! Adversarial crash-recovery tests for the durable Michael–Scott queue: the
+//! persistence tracker's [`CrashImage`] contains only stores that were explicitly
+//! written back *and* fenced, and recovery must reconstruct a queue state that is a
+//! linearizable continuation of the completed operations.
+//!
+//! Durable linearizability for a queue means: after a crash, (a) every completed
+//! enqueue's value is in the recovered queue unless a completed dequeue removed it,
+//! (b) no completed dequeue's value reappears, and (c) FIFO order is preserved.
+//! In quiescent states (all operations complete) this pins the recovered sequence
+//! exactly; the tests below check that pin at every operation boundary and after
+//! multi-threaded producer/consumer runs.
+
+use std::sync::Arc;
+
+use flit::{presets, FlitPolicy, HashedScheme};
+use flit_pmem::SimNvram;
+use flit_queues::{Automatic, ConcurrentQueue, Manual, MsQueue};
+
+type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
+
+/// Single-threaded, fully deterministic: after *every* completed operation, the
+/// adversarial crash image must recover to exactly the abstract queue state — i.e.
+/// the persisted prefix is the linearized history itself, at every boundary.
+#[test]
+fn persisted_prefix_matches_the_linearized_history_at_every_boundary() {
+    let nvram = SimNvram::for_crash_testing();
+    let queue: MsQueue<HtPolicy, Automatic> = MsQueue::new(presets::flit_ht(nvram.clone()));
+    // Pin reclamation off so recovery may walk retired sentinels.
+    let _guard = queue.collector().pin();
+    let mut model = std::collections::VecDeque::new();
+
+    let check = |queue: &MsQueue<HtPolicy, Automatic>, model: &std::collections::VecDeque<u64>| {
+        let image = nvram.tracker().unwrap().crash_image();
+        let recovered = unsafe { queue.recover(&image) };
+        assert!(
+            !recovered.truncated,
+            "reachable node with unpersisted value"
+        );
+        assert_eq!(
+            recovered.values,
+            model.iter().copied().collect::<Vec<_>>(),
+            "crash image diverged from the linearized queue"
+        );
+    };
+
+    // A deterministic interleaving that grows, drains to empty, and regrows.
+    let script: Vec<Option<u64>> = (0..40u64)
+        .map(Some)
+        .chain((0..45).map(|_| None))
+        .chain((100..120u64).map(Some))
+        .chain((0..10).map(|_| None))
+        .collect();
+    for step in script {
+        match step {
+            Some(v) => {
+                queue.enqueue(v);
+                model.push_back(v);
+            }
+            None => {
+                assert_eq!(queue.dequeue(), model.pop_front());
+            }
+        }
+        check(&queue, &model);
+    }
+}
+
+/// Multi-threaded producer/consumer traffic, then quiescence: the recovered queue
+/// must equal the volatile queue exactly (every surviving operation was completed),
+/// preserve per-producer FIFO order, and contain no value any consumer dequeued.
+#[test]
+fn recovered_queue_is_linearizable_after_concurrent_producer_consumer_run() {
+    const PRODUCERS: u64 = 2;
+    const CONSUMERS: usize = 2;
+    const PER_PRODUCER: u64 = 500;
+
+    let nvram = SimNvram::for_crash_testing();
+    let queue: Arc<MsQueue<HtPolicy, Automatic>> =
+        Arc::new(MsQueue::new(presets::flit_ht(nvram.clone())));
+    // Pin from the main thread before any operation so no retired node is reclaimed
+    // and recovery can safely dereference stale persisted pointers.
+    let _guard = queue.collector().pin();
+
+    let dequeued = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for t in 0..PRODUCERS {
+            let queue = Arc::clone(&queue);
+            s.spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    queue.enqueue((t << 32) | i);
+                }
+            });
+        }
+        for _ in 0..CONSUMERS {
+            let queue = Arc::clone(&queue);
+            let dequeued = &dequeued;
+            s.spawn(move || {
+                // Consume only part of the stream so the final queue is non-empty.
+                // Producers enqueue far more than the combined consumer quota, so
+                // this terminates.
+                let quota = (PER_PRODUCER / 4) as usize;
+                let mut local = Vec::new();
+                while local.len() < quota {
+                    match queue.dequeue() {
+                        Some(v) => local.push(v),
+                        None => std::thread::yield_now(),
+                    }
+                }
+                dequeued.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let image = nvram.tracker().unwrap().crash_image();
+    let recovered = unsafe { queue.recover(&image) };
+    assert!(!recovered.truncated);
+
+    // (1) Quiescence: recovery equals the volatile queue exactly.
+    assert_eq!(recovered.values, queue.volatile_contents());
+
+    // (2) No completed dequeue resurfaces.
+    let dequeued = dequeued.into_inner().unwrap();
+    for v in &dequeued {
+        assert!(
+            !recovered.values.contains(v),
+            "dequeued value {v:#x} reappeared after the crash"
+        );
+    }
+
+    // (3) Conservation + per-producer FIFO order within the recovered suffix.
+    assert_eq!(
+        recovered.values.len() + dequeued.len(),
+        (PRODUCERS * PER_PRODUCER) as usize
+    );
+    for t in 0..PRODUCERS {
+        let seqs: Vec<u64> = recovered
+            .values
+            .iter()
+            .filter(|v| (*v >> 32) == t)
+            .map(|v| v & 0xFFFF_FFFF)
+            .collect();
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "producer {t} out of FIFO order after recovery: {seqs:?}"
+        );
+        // The recovered values of each producer are a contiguous tail of its stream:
+        // everything before them was dequeued, nothing in the middle is missing.
+        if let Some(&first) = seqs.first() {
+            assert_eq!(
+                seqs,
+                (first..first + seqs.len() as u64).collect::<Vec<_>>(),
+                "producer {t} lost interior values"
+            );
+        }
+    }
+}
+
+/// The manual p-marking variant persists only the linearization-point stores; the
+/// tail swings stay volatile. A crash image taken mid-stream must still recover
+/// every completed enqueue by walking the persisted `next` chain from `head`.
+#[test]
+fn manual_variant_survives_without_a_persisted_tail() {
+    let nvram = SimNvram::for_crash_testing();
+    let queue: MsQueue<HtPolicy, Manual> = MsQueue::new(presets::flit_ht(nvram.clone()));
+    let _guard = queue.collector().pin();
+
+    for v in 0..64u64 {
+        queue.enqueue(v);
+    }
+    for expected in 0..16u64 {
+        assert_eq!(queue.dequeue(), Some(expected));
+    }
+
+    let image = nvram.tracker().unwrap().crash_image();
+    let recovered = unsafe { queue.recover(&image) };
+    assert!(!recovered.truncated);
+    assert_eq!(recovered.values, (16..64).collect::<Vec<_>>());
+}

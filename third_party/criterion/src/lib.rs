@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking surface this workspace's benches use — groups,
+//! `bench_function`, `Bencher::iter`, the `criterion_group!`/`criterion_main!`
+//! macros — with a plain wall-clock measurement loop: warm up for the configured
+//! warm-up time, then measure for the configured measurement time, then print the
+//! mean ns/iter. No statistical analysis, outlier detection, plots or baseline
+//! comparison; for regression tracking, diff the printed table between runs.
+//!
+//! Bench targets must set `harness = false` in `Cargo.toml` (as with the real
+//! criterion), since [`criterion_main!`] defines `main`.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Upper bound on measured iterations per benchmark, so accidentally-instant
+/// closures cannot spin for billions of iterations.
+const MAX_ITERS: u64 = 1_000_000;
+
+/// The benchmark context handed to the functions listed in [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for call-compatibility with the real criterion; this shim has no
+    /// command-line options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {}", name.as_ref());
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(id.as_ref(), self.warm_up, self.measurement, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim's measurement loop is time-bounded, not
+    /// sample-bounded.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Time spent running the closure before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Time spent measuring.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.as_ref());
+        run_bench(&label, self.warm_up, self.measurement, f);
+        self
+    }
+
+    /// End the group (prints nothing extra in this shim).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        warm_up,
+        measurement,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("  {label:<48} (no iterations run)");
+        return;
+    }
+    let ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    println!(
+        "  {label:<48} {ns:>12.1} ns/iter  ({} iters)",
+        bencher.iters
+    );
+}
+
+/// Runs the benchmarked closure and records timing.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly: first for the warm-up period, then for the measurement
+    /// period (at most a fixed iteration cap), recording the measured time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            std::hint::black_box(f());
+        }
+
+        let start = Instant::now();
+        let measure_end = start + self.measurement;
+        let mut iters = 0u64;
+        while iters < MAX_ITERS && Instant::now() < measure_end {
+            // Batch 16 iterations per clock check to keep timer overhead small.
+            for _ in 0..16 {
+                std::hint::black_box(f());
+            }
+            iters += 16;
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+}
+
+/// Collect benchmark functions into one runner function, mirroring the real
+/// criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut counter = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                counter += 1;
+                counter
+            })
+        });
+        group.finish();
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn group_ids_accept_str_and_string() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(1),
+        };
+        let label = String::from("owned");
+        let mut group = c.benchmark_group(format!("g/{label}"));
+        group.bench_function(&label, |b| b.iter(|| 1 + 1));
+        group.bench_function("literal", |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The reproduction container has no network access, so this crate vendors the
+//! property-testing surface the workspace actually uses:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` and multiple
+//!   `#[test] fn name(pat in strategy) { .. }` items);
+//! * [`prop_oneof!`] and the [`Strategy`] trait with `prop_map`;
+//! * strategies for integer ranges, tuples, and [`collection::vec`];
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Semantics: each test function runs `cases` iterations with freshly generated
+//! inputs from a generator seeded deterministically from the test's name, so failures
+//! reproduce across runs. **No shrinking** is performed — a failing case panics with
+//! the generated value via the assertion message, which for the small op-sequences
+//! used in this workspace is adequate to debug from. Swapping the real crate back in
+//! (on a networked machine) requires no source changes for the API subset above.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a `use proptest::prelude::*;` call site expects to find.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Combine several strategies with the same value type, choosing one uniformly at
+/// random for each generated value. (The real proptest also accepts `weight =>`
+/// arms; this shim supports the unweighted form used in this workspace.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expand each test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) #[test] fn $name:ident $args:tt $body:block $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $crate::__proptest_case! { __rng, $args, $body }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: strip the parens around the bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident, ($($bindings:tt)+), $body:block) => {
+        $crate::__proptest_bind! { $rng, $body, $($bindings)+ }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: bind `pat in strategy` pairs, innermost
+/// binding last, then run the body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $body:block, $parm:pat in $strat:expr) => {{
+        let $parm = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $body
+    }};
+    ($rng:ident, $body:block, $parm:pat in $strat:expr, $($rest:tt)+) => {{
+        let $parm = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind! { $rng, $body, $($rest)+ }
+    }};
+}
+
+/// Assert inside a property body (alias of `assert!` — this shim has no rejection
+/// bookkeeping to thread a `Result` through).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a property body (alias of `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Put(u64, u64),
+        Del(u64),
+    }
+
+    #[test]
+    fn ranges_tuples_and_map_generate_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        let strat = (0u64..32, 0u64..1000).prop_map(|(k, v)| Op::Put(k, v));
+        for _ in 0..500 {
+            match strat.generate(&mut rng) {
+                Op::Put(k, v) => {
+                    assert!(k < 32);
+                    assert!(v < 1000);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::for_test("oneof");
+        let strat = prop_oneof![
+            (0u64..8, 0u64..8).prop_map(|(k, v)| Op::Put(k, v)),
+            (0u64..8).prop_map(Op::Del),
+        ];
+        let mut puts = 0;
+        let mut dels = 0;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                Op::Put(..) => puts += 1,
+                Op::Del(..) => dels += 1,
+            }
+        }
+        assert!(puts > 0 && dels > 0, "puts={puts} dels={dels}");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = TestRng::for_test("vec");
+        let strat = crate::collection::vec(0u64..10, 1..50);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((1..50).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let strat = crate::collection::vec(0u64..1000, 1..20);
+        let mut a = TestRng::for_test("determinism");
+        let mut b = TestRng::for_test("determinism");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    // The macro itself, exercised end-to-end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_single_binding(x in 0u64..100) {
+            assert!(x < 100);
+        }
+
+        #[test]
+        fn macro_multiple_bindings(x in 0u64..10, y in 10u64..20) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(y / 10, 1);
+        }
+
+        #[test]
+        fn macro_vec_binding(ops in crate::collection::vec(0u64..5, 1..30)) {
+            assert!(!ops.is_empty() && ops.len() < 30);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Test configuration and the deterministic generator behind the [`proptest!`]
+//! macro.
+//!
+//! [`proptest!`]: crate::proptest
+
+/// How many generated cases each property test runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per test function.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// The generator driving value production. Seeded from the test's name (FNV-1a), so
+/// every run of a given test sees the same input sequence and failures reproduce.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Deterministic generator for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name; any stable hash works.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h | 1 }
+    }
+
+    /// Next raw 64-bit word (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample below `bound` (rejection-free multiply-shift).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample below 0");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_carries_cases() {
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+        assert!(ProptestConfig::default().cases > 0);
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_name_sensitive() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let mut c = TestRng::for_test("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_below() {
+        let mut rng = TestRng::for_test("below");
+        for _ in 0..10_000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+}
