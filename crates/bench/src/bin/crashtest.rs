@@ -1,0 +1,316 @@
+//! `crashtest` — bounded crash-injection sweeps from the command line and CI.
+//!
+//! ```text
+//! cargo run -p flit-bench --release --bin crashtest -- [flags]
+//!
+//!   --structures a,b,..   list|hashtable|bst|skiplist|msqueue   (default: all)
+//!   --methods a,b,..      automatic|nvtraverse|manual|volatile-broken
+//!                         (default: the three correct methods)
+//!   --policies a,b,..     plain|flit-ht|flit-adjacent|flit-cacheline|link-persist
+//!                         (default: plain,flit-ht,flit-adjacent,link-persist)
+//!   --history KIND        scripted|random                       (default: scripted)
+//!   --seed N              random-history seed (0x.. accepted)   (default: 0x2a)
+//!   --ops N               random-history length                 (default: 48)
+//!   --key-range N         random-history key universe           (default: 12)
+//!   --budget N            max crash points per case, 0 = every event (default: 64)
+//!   --crash-at K          inject exactly one crash point (repro mode)
+//!   --json PATH           write a machine-readable report (CI artifact)
+//!   --skip-control        do not run the deliberately broken control
+//! ```
+//!
+//! Exit status is `0` only when every correct-method sweep found zero violations
+//! **and** the broken control (unless skipped) found at least one — a control that
+//! fails to fail means the harness itself is broken. Violations print complete
+//! repro strings: paste the flags after `crashtest` to replay one crash point.
+
+use flit_crashtest::{
+    run_case, run_matrix, HistorySpec, MethodKind, PolicyKind, StructureKind, SweepReport,
+    SweepSettings,
+};
+
+struct Args {
+    structures: Vec<StructureKind>,
+    methods: Vec<MethodKind>,
+    policies: Vec<PolicyKind>,
+    history: HistorySpec,
+    settings: SweepSettings,
+    json: Option<String>,
+    skip_control: bool,
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_list<T>(value: &str, parse: impl Fn(&str) -> Option<T>, what: &str) -> Vec<T> {
+    value
+        .split(',')
+        .map(|item| {
+            parse(item.trim()).unwrap_or_else(|| {
+                eprintln!("unknown {what} {item:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn parse_args() -> Args {
+    let mut structures = StructureKind::ALL.to_vec();
+    let mut methods = MethodKind::CORRECT.to_vec();
+    let mut policies = vec![
+        PolicyKind::Plain,
+        PolicyKind::FlitHt,
+        PolicyKind::FlitAdjacent,
+        PolicyKind::LinkPersist,
+    ];
+    let mut history_kind = "scripted".to_string();
+    let mut seed = 0x2au64;
+    let mut ops = 48usize;
+    let mut key_range = 12u64;
+    let mut budget = 64usize;
+    let mut crash_at = None;
+    let mut json = None;
+    let mut skip_control = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("flag {} needs a value", argv[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--structures" => {
+                structures = parse_list(&value(&mut i), StructureKind::parse, "structure")
+            }
+            "--methods" => methods = parse_list(&value(&mut i), MethodKind::parse, "method"),
+            "--policies" => policies = parse_list(&value(&mut i), PolicyKind::parse, "policy"),
+            "--history" => history_kind = value(&mut i),
+            "--seed" => seed = parse_u64(&value(&mut i)).expect("numeric --seed"),
+            "--ops" => ops = value(&mut i).parse().expect("numeric --ops"),
+            "--key-range" => key_range = parse_u64(&value(&mut i)).expect("numeric --key-range"),
+            "--budget" => budget = value(&mut i).parse().expect("numeric --budget"),
+            "--crash-at" => crash_at = Some(parse_u64(&value(&mut i)).expect("numeric --crash-at")),
+            "--json" => json = Some(value(&mut i)),
+            "--skip-control" => skip_control = true,
+            other => {
+                eprintln!("unknown flag {other:?} (see the module docs for usage)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let history = match history_kind.as_str() {
+        "scripted" => HistorySpec::Scripted,
+        "random" => HistorySpec::Random {
+            seed,
+            ops,
+            key_range,
+        },
+        other => {
+            eprintln!("unknown --history {other:?}: expected scripted|random");
+            std::process::exit(2);
+        }
+    };
+    Args {
+        structures,
+        methods,
+        policies,
+        history,
+        settings: SweepSettings { budget, crash_at },
+        json,
+        skip_control,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn report_json(report: &SweepReport, expected_violations: bool) -> String {
+    let violations: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| {
+            format!(
+                r#"{{"crash_event":{},"on":"{}","completed_ops":{},"detail":"{}","repro":"{}"}}"#,
+                v.crash_event,
+                v.triggered_on,
+                v.completed_ops,
+                json_escape(&v.detail),
+                json_escape(&v.repro)
+            )
+        })
+        .collect();
+    let ok = if expected_violations {
+        !report.clean()
+    } else {
+        report.clean()
+    };
+    format!(
+        r#"{{"case":"{}","structure":"{}","method":"{}","policy":"{}","events_construction":{},"events_total":{},"points_tested":{},"expected_violations":{},"ok":{},"violations":[{}]}}"#,
+        json_escape(&report.case.id()),
+        report.case.structure,
+        report.case.method,
+        report.case.policy,
+        report.events_construction,
+        report.events_total,
+        report.points_tested,
+        expected_violations,
+        ok,
+        violations.join(",")
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let started = std::time::Instant::now();
+
+    println!(
+        "flit-crashtest sweep — history {}, budget {} point(s){}",
+        args.history.label(),
+        if args.settings.budget == 0 {
+            "every-event".to_string()
+        } else {
+            args.settings.budget.to_string()
+        },
+        match args.settings.crash_at {
+            Some(k) => format!(", single crash offset {k}"),
+            None => String::new(),
+        }
+    );
+
+    // The main matrix: correct methods must sweep clean.
+    let reports = run_matrix(
+        &args.structures,
+        &args.methods,
+        &args.policies,
+        args.history,
+        &args.settings,
+    );
+    let mut failed = false;
+    println!("\n=== sweep matrix ===");
+    for report in &reports {
+        let expected = MethodKind::parse(report.case.method)
+            .map(|m| m.expects_violations())
+            .unwrap_or(false);
+        println!("{}", report.summary_line());
+        if expected {
+            // Explicitly requested broken method: it must fail, like the control.
+            if report.clean() {
+                failed = true;
+                println!(
+                    "  HARNESS BUG: {} swept clean although its durability method is \
+                     deliberately broken",
+                    report.case.id()
+                );
+            } else {
+                println!("  failed as expected, e.g.: {}", report.violations[0]);
+            }
+            continue;
+        }
+        if !report.clean() {
+            failed = true;
+            for v in &report.violations {
+                println!("  VIOLATION: {v}");
+            }
+        }
+    }
+
+    // The broken control: it must FAIL, proving the harness can catch bugs.
+    let mut control_reports = Vec::new();
+    if !args.skip_control {
+        println!("\n=== broken control (volatile-broken: violations are EXPECTED) ===");
+        for &structure in &args.structures {
+            // Pick a control policy the structure supports; flit-HT supports every
+            // structure, so the control is never silently skipped.
+            let policy = args
+                .policies
+                .iter()
+                .copied()
+                .find(|p| p.supports(structure))
+                .unwrap_or(PolicyKind::FlitHt);
+            let report = run_case(
+                structure,
+                MethodKind::VolatileBroken,
+                policy,
+                args.history,
+                &args.settings,
+            )
+            .expect("a supported control policy was selected");
+            println!("{}", report.summary_line());
+            if report.clean() {
+                failed = true;
+                println!(
+                    "  HARNESS BUG: the broken control swept clean on {} — crash injection is \
+                     not detecting lost operations",
+                    report.case.id()
+                );
+            } else {
+                println!(
+                    "  control failed as expected, e.g.: {}",
+                    report.violations[0]
+                );
+            }
+            control_reports.push(report);
+        }
+        if control_reports.is_empty() {
+            // The control is the harness's self-check: running zero control cases
+            // (e.g. an empty --structures list) must not be mistaken for success.
+            failed = true;
+            println!("HARNESS BUG: no broken-control case ran — the self-check was skipped");
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let mut entries: Vec<String> = reports
+            .iter()
+            .map(|r| {
+                let expected = MethodKind::parse(r.case.method)
+                    .map(|m| m.expects_violations())
+                    .unwrap_or(false);
+                report_json(r, expected)
+            })
+            .collect();
+        entries.extend(control_reports.iter().map(|r| report_json(r, true)));
+        let doc = format!(
+            r#"{{"history":"{}","budget":{},"ok":{},"elapsed_ms":{},"reports":[{}]}}"#,
+            json_escape(&args.history.label()),
+            args.settings.budget,
+            !failed,
+            started.elapsed().as_millis(),
+            entries.join(",")
+        );
+        std::fs::write(path, doc).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("\nwrote JSON report to {path}");
+    }
+
+    println!(
+        "\n{} case(s) swept in {:.1}s — {}",
+        reports.len() + control_reports.len(),
+        started.elapsed().as_secs_f64(),
+        if failed { "FAILED" } else { "OK" }
+    );
+    std::process::exit(i32::from(failed));
+}

@@ -56,8 +56,9 @@
 //! | `flit-ebr` | epoch-based reclamation for the lock-free structures |
 //! | `flit-datastructs` | the paper's set/map structures (list, hash table, BST, skiplist) |
 //! | `flit-queues` | durable FIFO queues (Michael–Scott) with crash-image recovery |
-//! | `flit-workload` | map and queue workload generators + the case dispatcher |
-//! | `flit-bench` | the `repro` figure-regeneration binary and Criterion benches |
+//! | `flit-workload` | map and queue workload generators, crash-test histories, the case dispatcher |
+//! | `flit-crashtest` | deterministic crash-injection sweeps: crash at every persistence event, recover, verify prefix consistency |
+//! | `flit-bench` | the `repro` figure-regeneration and `crashtest` sweep binaries, Criterion benches |
 //!
 //! ## Quick example
 //!

@@ -6,9 +6,9 @@
 //!
 //! | paper name        | policy type here                                   |
 //! |--------------------|----------------------------------------------------|
-//! | plain              | [`PlainPolicy<B>`] (= FliT with the always-tagged scheme) |
-//! | flit-adjacent      | [`FlitPolicy<AdjacentScheme, B>`]                  |
-//! | flit-HT            | [`FlitPolicy<HashedScheme, B>`]                    |
+//! | plain              | [`PlainPolicy<B>`](crate::flit_atomic::PlainPolicy) (= FliT with the always-tagged scheme) |
+//! | flit-adjacent      | [`FlitPolicy<AdjacentScheme, B>`](crate::flit_atomic::FlitPolicy) |
+//! | flit-HT            | [`FlitPolicy<HashedScheme, B>`](crate::flit_atomic::FlitPolicy) |
 //! | link-and-persist   | [`LinkAndPersistPolicy<B>`](crate::link_persist::LinkAndPersistPolicy) |
 //! | non-persistent     | [`NoPersistPolicy`](crate::no_persist::NoPersistPolicy) |
 //!

@@ -1,0 +1,530 @@
+//! The crash-point sweep engine.
+//!
+//! For one *case* (structure × durability method × policy × history) the engine:
+//!
+//! 1. runs a **counting pass**: replay the history against a fresh tracking backend
+//!    with a counting [`CrashPlan`], recording how many persistence events
+//!    construction generates, where every operation boundary falls, and the total
+//!    event count;
+//! 2. selects crash points as **offsets from the end of construction** across
+//!    `0..=span` (every event, or an evenly spaced subset under a budget);
+//! 3. for each offset `o`, replays the identical history against a fresh backend,
+//!    arms the plan `o` events past construction
+//!    ([`CrashPlan::arm_after`]) — the plan freezes the adversarial image the
+//!    instant that event would have applied — recovers the structure from the
+//!    frozen [`CrashImage`], and checks **prefix
+//!    consistency**: with `c` operations completed before the crash and at most one
+//!    in flight, the recovered abstract state must equal the model state after `c`
+//!    or after `c + 1` operations — and the recovery walk must not be truncated.
+//!
+//! Crash points are offsets rather than absolute event indices because absolute
+//! counts drift between replays: `persist_object`'s pwb count depends on whether an
+//! allocation happens to straddle a cache line. Offsets are anchored per run, and
+//! each replay records its *own* operation boundaries, so the consistency check is
+//! exact regardless of drift. The offset `o = span` (nothing lost) is always
+//! included as a control: there the recovered state must equal the full history's
+//! final state.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use flit::Policy;
+use flit_datastructs::{ConcurrentMap, Durability, MapCrashRecovery, RecoveredMap};
+use flit_pmem::{CrashImage, CrashPlan, SimNvram};
+use flit_queues::{ConcurrentQueue, MsQueue};
+use flit_workload::{MapOp, QueueOp};
+
+use crate::report::{CaseMeta, SweepReport, Violation};
+
+/// How much of the event span a sweep covers. The default (`budget: 0`, no pinned
+/// crash point) sweeps every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepSettings {
+    /// Maximum number of crash points to inject (`0` = every event in the span).
+    pub budget: usize,
+    /// Inject exactly this one crash point instead of sweeping (repro mode).
+    pub crash_at: Option<u64>,
+}
+
+/// Evenly spaced crash points over `base..=total`, at most `budget` of them
+/// (`budget == 0` selects every point). The first and last points are always
+/// included.
+fn select_points(base: u64, total: u64, budget: usize) -> Vec<u64> {
+    let span = total - base + 1;
+    if budget == 0 || budget as u64 >= span {
+        return (base..=total).collect();
+    }
+    if budget == 1 {
+        return vec![total];
+    }
+    let mut points: Vec<u64> = (0..budget as u64)
+        .map(|i| base + i * (span - 1) / (budget as u64 - 1))
+        .collect();
+    points.dedup();
+    points
+}
+
+/// The label used for the nothing-lost control point (`k == total`).
+const END_EVENT: &str = "end";
+
+/// Outcome of one replay. `boundaries` are *offsets from the end of construction*
+/// recorded by this very run, so the consistency check is exact even though
+/// absolute event counts drift with allocator layout between replays.
+struct Replay<R> {
+    base: u64,
+    boundaries: Vec<u64>,
+    total: u64,
+    recovered: Option<(R, &'static str)>,
+    /// First operation whose *return value* diverged from the sequential model
+    /// during the replay (linearizability, not durability — the injected crash
+    /// never perturbs execution, so any mismatch is a real structure/policy bug).
+    functional: Option<String>,
+}
+
+/// Replay `history` against a fresh `M`; when `crash_offset` is set, freeze the
+/// image that many events past the end of construction and recover from it.
+fn replay_map<P, M, F>(
+    factory: &F,
+    history: &[MapOp],
+    crash_offset: Option<u64>,
+) -> Replay<RecoveredMap>
+where
+    P: Policy<Backend = SimNvram>,
+    M: ConcurrentMap<P> + MapCrashRecovery<P>,
+    F: Fn(SimNvram) -> P,
+{
+    let plan = CrashPlan::counting();
+    let backend = SimNvram::for_crash_testing_with_plan(plan.clone());
+    let map = M::with_capacity(factory(backend.clone()), 64);
+    // Pin every collector for the whole run: crash images hold stale pointers to
+    // logically deleted nodes, and recovery must be able to dereference them.
+    let guards = map.pin_for_recovery();
+    let base = plan.events_seen();
+    if let Some(offset) = crash_offset {
+        plan.arm_after(offset);
+    }
+    let mut boundaries = Vec::with_capacity(history.len());
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut functional = None;
+    for (i, op) in history.iter().enumerate() {
+        let mismatch = |got: &dyn std::fmt::Debug, want: &dyn std::fmt::Debug| {
+            format!("op {i} ({op:?}) returned {got:?} but the model says {want:?}")
+        };
+        match *op {
+            MapOp::Insert(k, v) => {
+                let got = map.insert(k, v);
+                let want = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                    e.insert(v);
+                    true
+                } else {
+                    false
+                };
+                if got != want && functional.is_none() {
+                    functional = Some(mismatch(&got, &want));
+                }
+            }
+            MapOp::Remove(k) => {
+                let got = map.remove(k);
+                let want = model.remove(&k).is_some();
+                if got != want && functional.is_none() {
+                    functional = Some(mismatch(&got, &want));
+                }
+            }
+            MapOp::Get(k) => {
+                let got = map.get(k);
+                let want = model.get(&k).copied();
+                if got != want && functional.is_none() {
+                    functional = Some(mismatch(&got, &want));
+                }
+            }
+        }
+        boundaries.push(plan.events_seen() - base);
+    }
+    let total = plan.events_seen();
+    let recovered = frozen_image(&plan, &backend, crash_offset).map(|(image, kind)| {
+        // SAFETY: the run is quiescent and `guards` has pinned every collector
+        // since before the first operation, so image pointers are live.
+        (unsafe { map.recover_from_image(&image) }, kind)
+    });
+    drop(guards);
+    Replay {
+        base,
+        boundaries,
+        total,
+        recovered,
+        functional,
+    }
+}
+
+/// Replay a queue history; mirrors [`replay_map`] over [`MsQueue`].
+fn replay_queue<P, D, F>(
+    factory: &F,
+    history: &[QueueOp],
+    crash_offset: Option<u64>,
+) -> Replay<flit_queues::RecoveredQueue>
+where
+    P: Policy<Backend = SimNvram>,
+    D: Durability,
+    F: Fn(SimNvram) -> P,
+{
+    let plan = CrashPlan::counting();
+    let backend = SimNvram::for_crash_testing_with_plan(plan.clone());
+    let queue: MsQueue<P, D> = MsQueue::new(factory(backend.clone()));
+    let guard = queue.collector().pin();
+    let base = plan.events_seen();
+    if let Some(offset) = crash_offset {
+        plan.arm_after(offset);
+    }
+    let mut boundaries = Vec::with_capacity(history.len());
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut functional = None;
+    for (i, op) in history.iter().enumerate() {
+        match *op {
+            QueueOp::Enqueue(v) => {
+                queue.enqueue(v);
+                model.push_back(v);
+            }
+            QueueOp::Dequeue => {
+                let got = queue.dequeue();
+                let want = model.pop_front();
+                if got != want && functional.is_none() {
+                    functional = Some(format!(
+                        "op {i} (Dequeue) returned {got:?} but the model says {want:?}"
+                    ));
+                }
+            }
+        }
+        boundaries.push(plan.events_seen() - base);
+    }
+    let total = plan.events_seen();
+    let recovered = frozen_image(&plan, &backend, crash_offset).map(|(image, kind)| {
+        // SAFETY: quiescent, collector pinned since before the first operation.
+        (unsafe { queue.recover(&image) }, kind)
+    });
+    drop(guard);
+    Replay {
+        base,
+        boundaries,
+        total,
+        recovered,
+        functional,
+    }
+}
+
+/// The image a crash freezes: the plan's capture when the armed offset fell inside
+/// this run's event span, the tracker's final (nothing lost) state when it fell at
+/// or past the end — the always-included full-history control point.
+fn frozen_image(
+    plan: &CrashPlan,
+    backend: &SimNvram,
+    crash_offset: Option<u64>,
+) -> Option<(CrashImage, &'static str)> {
+    crash_offset?;
+    match plan.crash_image() {
+        Some(image) => Some((image, plan.triggered_on().map(|e| e.name()).unwrap_or("?"))),
+        None => Some((
+            backend
+                .tracker()
+                .expect("crash backend tracks")
+                .crash_image(),
+            END_EVENT,
+        )),
+    }
+}
+
+/// The model map state after the first `n` operations of `history`, as sorted
+/// `(key, value)` pairs (insert does not overwrite, mirroring `ConcurrentMap`).
+fn map_state(history: &[MapOp], n: usize) -> Vec<(u64, u64)> {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in &history[..n] {
+        match *op {
+            MapOp::Insert(k, v) => {
+                model.entry(k).or_insert(v);
+            }
+            MapOp::Remove(k) => {
+                model.remove(&k);
+            }
+            MapOp::Get(_) => {}
+        }
+    }
+    model.into_iter().collect()
+}
+
+/// The model queue state after the first `n` operations of `history`.
+fn queue_state(history: &[QueueOp], n: usize) -> Vec<u64> {
+    let mut model: VecDeque<u64> = VecDeque::new();
+    for op in &history[..n] {
+        match *op {
+            QueueOp::Enqueue(v) => model.push_back(v),
+            QueueOp::Dequeue => {
+                model.pop_front();
+            }
+        }
+    }
+    model.into_iter().collect()
+}
+
+/// Bounded rendering of an abstract state for violation messages.
+fn digest<T: std::fmt::Debug>(items: &[T]) -> String {
+    const SHOWN: usize = 12;
+    if items.len() <= SHOWN {
+        format!("{items:?}")
+    } else {
+        format!("{:?}… ({} total)", &items[..SHOWN], items.len())
+    }
+}
+
+/// Number of operations whose completion boundary lies at or before event `k`
+/// (the plan captures *before* event `k` applies, so a boundary of exactly `k`
+/// means every event of that operation applied).
+fn completed_before(boundaries: &[u64], k: u64) -> usize {
+    boundaries.partition_point(|&b| b <= k)
+}
+
+/// Prefix-consistency check shared by maps and queues: the recovered state must
+/// equal the model state after `c` or `c + 1` operations.
+fn check_prefix<S: PartialEq + std::fmt::Debug>(
+    actual: &[S],
+    truncated: bool,
+    state: impl Fn(usize) -> Vec<S>,
+    history_len: usize,
+    completed: usize,
+) -> Option<String> {
+    if truncated {
+        return Some(
+            "recovery walk truncated: a node was reachable through persisted links but its own \
+             link words were not in the image (persist-before-publish violated)"
+                .to_string(),
+        );
+    }
+    let before = state(completed);
+    if actual == before.as_slice() {
+        return None;
+    }
+    if completed < history_len {
+        let after = state(completed + 1);
+        if actual == after.as_slice() {
+            return None;
+        }
+        return Some(format!(
+            "recovered {} but expected the state after {} ops {} or after the in-flight op {}",
+            digest(actual),
+            completed,
+            digest(&before),
+            digest(&after)
+        ));
+    }
+    Some(format!(
+        "recovered {} but expected the state after all {} ops {}",
+        digest(actual),
+        completed,
+        digest(&before)
+    ))
+}
+
+/// Sweep crash points across `history` for a map structure `M` built by `factory`.
+pub fn sweep_map<P, M, F>(
+    case: CaseMeta,
+    factory: F,
+    history: &[MapOp],
+    settings: &SweepSettings,
+) -> SweepReport
+where
+    P: Policy<Backend = SimNvram>,
+    M: ConcurrentMap<P> + MapCrashRecovery<P>,
+    F: Fn(SimNvram) -> P,
+{
+    let counting = replay_map::<P, M, F>(&factory, history, None);
+    let span = counting.total - counting.base;
+    let points = match settings.crash_at {
+        Some(offset) => vec![offset.min(span)],
+        None => select_points(0, span, settings.budget),
+    };
+    let mut violations = Vec::new();
+    if let Some(detail) = counting.functional {
+        // The live return values diverged from the sequential model even without a
+        // crash: a linearizability bug, reported before any durability verdicts.
+        violations.push(Violation {
+            crash_event: 0,
+            triggered_on: "live-run",
+            completed_ops: 0,
+            detail,
+            repro: case.repro(0),
+        });
+    }
+    for &offset in &points {
+        let run = replay_map::<P, M, F>(&factory, history, Some(offset));
+        let (recovered, kind) = run.recovered.expect("crash point was armed");
+        let completed = completed_before(&run.boundaries, offset);
+        let actual = recovered.sorted_pairs();
+        if let Some(detail) = run.functional {
+            violations.push(Violation {
+                crash_event: offset,
+                triggered_on: "live-run",
+                completed_ops: completed,
+                detail,
+                repro: case.repro(offset),
+            });
+        }
+        if let Some(detail) = check_prefix(
+            &actual,
+            recovered.truncated,
+            |n| map_state(history, n),
+            history.len(),
+            completed,
+        ) {
+            violations.push(Violation {
+                crash_event: offset,
+                triggered_on: kind,
+                completed_ops: completed,
+                detail,
+                repro: case.repro(offset),
+            });
+        }
+    }
+    SweepReport {
+        case,
+        events_construction: counting.base,
+        events_total: counting.total,
+        points_tested: points.len(),
+        violations,
+    }
+}
+
+/// Sweep crash points across `history` for the Michael–Scott queue under durability
+/// method `D` and the policy built by `factory`.
+pub fn sweep_queue<P, D, F>(
+    case: CaseMeta,
+    factory: F,
+    history: &[QueueOp],
+    settings: &SweepSettings,
+) -> SweepReport
+where
+    P: Policy<Backend = SimNvram>,
+    D: Durability,
+    F: Fn(SimNvram) -> P,
+{
+    let counting = replay_queue::<P, D, F>(&factory, history, None);
+    let span = counting.total - counting.base;
+    let points = match settings.crash_at {
+        Some(offset) => vec![offset.min(span)],
+        None => select_points(0, span, settings.budget),
+    };
+    let mut violations = Vec::new();
+    if let Some(detail) = counting.functional {
+        violations.push(Violation {
+            crash_event: 0,
+            triggered_on: "live-run",
+            completed_ops: 0,
+            detail,
+            repro: case.repro(0),
+        });
+    }
+    for &offset in &points {
+        let run = replay_queue::<P, D, F>(&factory, history, Some(offset));
+        let (recovered, kind) = run.recovered.expect("crash point was armed");
+        let completed = completed_before(&run.boundaries, offset);
+        if let Some(detail) = run.functional {
+            violations.push(Violation {
+                crash_event: offset,
+                triggered_on: "live-run",
+                completed_ops: completed,
+                detail,
+                repro: case.repro(offset),
+            });
+        }
+        if let Some(detail) = check_prefix(
+            &recovered.values,
+            recovered.truncated,
+            |n| queue_state(history, n),
+            history.len(),
+            completed,
+        ) {
+            violations.push(Violation {
+                crash_event: offset,
+                triggered_on: kind,
+                completed_ops: completed,
+                detail,
+                repro: case.repro(offset),
+            });
+        }
+    }
+    SweepReport {
+        case,
+        events_construction: counting.base,
+        events_total: counting.total,
+        points_tested: points.len(),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_selection_covers_the_span_or_respects_the_budget() {
+        assert_eq!(select_points(3, 7, 0), vec![3, 4, 5, 6, 7]);
+        assert_eq!(select_points(3, 7, 100), vec![3, 4, 5, 6, 7]);
+        let pts = select_points(0, 1000, 5);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(*pts.first().unwrap(), 0);
+        assert_eq!(*pts.last().unwrap(), 1000);
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(select_points(10, 10, 0), vec![10]);
+        assert_eq!(select_points(0, 9, 1), vec![9]);
+    }
+
+    #[test]
+    fn model_states_apply_map_semantics() {
+        let hist = vec![
+            MapOp::Insert(1, 10),
+            MapOp::Insert(1, 99), // no overwrite
+            MapOp::Insert(2, 20),
+            MapOp::Remove(1),
+            MapOp::Get(2),
+        ];
+        assert_eq!(map_state(&hist, 0), vec![]);
+        assert_eq!(map_state(&hist, 2), vec![(1, 10)]);
+        assert_eq!(map_state(&hist, 3), vec![(1, 10), (2, 20)]);
+        assert_eq!(map_state(&hist, 5), vec![(2, 20)]);
+    }
+
+    #[test]
+    fn model_states_apply_queue_semantics() {
+        let hist = vec![
+            QueueOp::Enqueue(1),
+            QueueOp::Enqueue(2),
+            QueueOp::Dequeue,
+            QueueOp::Dequeue,
+            QueueOp::Dequeue, // empty
+            QueueOp::Enqueue(3),
+        ];
+        assert_eq!(queue_state(&hist, 2), vec![1, 2]);
+        assert_eq!(queue_state(&hist, 4), vec![] as Vec<u64>);
+        assert_eq!(queue_state(&hist, 6), vec![3]);
+    }
+
+    #[test]
+    fn completed_before_uses_the_capture_before_semantics() {
+        let boundaries = vec![4, 9, 9, 15];
+        assert_eq!(completed_before(&boundaries, 0), 0);
+        assert_eq!(completed_before(&boundaries, 4), 1, "boundary == k counts");
+        assert_eq!(completed_before(&boundaries, 8), 1);
+        assert_eq!(completed_before(&boundaries, 9), 3);
+        assert_eq!(completed_before(&boundaries, 99), 4);
+    }
+
+    #[test]
+    fn check_prefix_accepts_both_adjacent_states() {
+        let hist_len = 2;
+        let state = |n: usize| match n {
+            0 => vec![],
+            1 => vec![(1u64, 10u64)],
+            _ => vec![(1, 10), (2, 20)],
+        };
+        assert!(check_prefix(&state(1), false, state, hist_len, 1).is_none());
+        assert!(check_prefix(&state(2), false, state, hist_len, 1).is_none());
+        assert!(check_prefix(&state(0), false, state, hist_len, 1).is_some());
+        assert!(check_prefix(&state(1), true, state, hist_len, 1).is_some());
+    }
+}

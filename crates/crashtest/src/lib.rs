@@ -1,0 +1,93 @@
+//! # `flit-crashtest` — deterministic crash injection and recovery verification
+//!
+//! FliT's whole claim (paper §3–4) is that the P-V interface makes any linearizable
+//! structure *durably* linearizable. The seed repo tested that claim only at
+//! hand-picked operation boundaries; this crate tests it the way the systematic
+//! crash-consistency literature does (MOD, Memento, the persistent-FIFO work):
+//! inject a simulated crash at **every persistence event** of a history and verify
+//! that the state recovered from the frozen [`CrashImage`](flit_pmem::CrashImage)
+//! is a prefix-consistent linearization of the operations issued so far.
+//!
+//! ## How a sweep works
+//!
+//! For each case (structure × durability method × policy × history) the
+//! [`engine`]:
+//!
+//! 1. replays the history once with a counting [`CrashPlan`](flit_pmem::CrashPlan)
+//!    to learn the event span and per-operation boundaries;
+//! 2. for each selected crash point `k`, replays against a fresh backend with a
+//!    plan armed at `k` — the plan freezes the adversarial persisted image the
+//!    instant event `k` would have applied (the event is lost, exactly as if power
+//!    failed during it);
+//! 3. recovers the structure from the frozen image
+//!    ([`MapCrashRecovery`](flit_datastructs::MapCrashRecovery) /
+//!    [`MsQueue::recover`](flit_queues::MsQueue::recover)) and checks the result
+//!    equals the model state after `c` or `c + 1` operations, where `c` operations
+//!    had completed before the crash.
+//!
+//! Replays are single-threaded and the vendored RNG is deterministic, so every
+//! violation comes with a complete repro string: the `crashtest` CLI invocation
+//! that replays exactly that structure, policy, seed and crash event.
+//!
+//! ## Catching bugs, not just confirming correctness
+//!
+//! A harness that never fails proves nothing. [`VolatileStores`] is a deliberately
+//! broken durability method — every instruction is a v-instruction, so nothing
+//! after construction persists — and sweeps over it **must** report violations
+//! (lost completed inserts, resurrected dequeues). The `crashtest` binary and the
+//! integration tests treat "the broken control found nothing" as a failure of the
+//! harness itself.
+//!
+//! ## Entry points
+//!
+//! * [`matrix::run_matrix`] / [`matrix::run_case`] — value-addressable sweeps over
+//!   the full combination space (what the binary and CI drive);
+//! * [`engine::sweep_map`] / [`engine::sweep_queue`] — generic sweeps for one
+//!   concrete instantiation (what the integration tests drive directly).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod engine;
+pub mod matrix;
+pub mod report;
+
+pub use engine::{sweep_map, sweep_queue, SweepSettings};
+pub use matrix::{run_case, run_matrix, MethodKind, PolicyKind, StructureKind};
+pub use report::{CaseMeta, HistorySpec, SweepReport, Violation};
+
+use flit::PFlag;
+use flit_datastructs::Durability;
+
+/// A deliberately broken durability method: **every** instruction is a
+/// v-instruction, so no store after construction is ever written back or fenced.
+///
+/// Any structure instantiated with this method is linearizable but *not* durably
+/// linearizable — completed operations vanish in a crash. The crashtest engine uses
+/// it as a control: a sweep over `VolatileStores` that reports zero violations
+/// means the harness (not the structure) is broken.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VolatileStores;
+
+impl Durability for VolatileStores {
+    const NAME: &'static str = "volatile-broken";
+    const TRAVERSAL_LOAD: PFlag = PFlag::Volatile;
+    const CRITICAL_LOAD: PFlag = PFlag::Volatile;
+    const STORE: PFlag = PFlag::Volatile;
+    const INDEX_STORE: PFlag = PFlag::Volatile;
+    const TRANSITION_DEPTH: usize = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volatile_stores_persists_nothing() {
+        assert!(VolatileStores::TRAVERSAL_LOAD.is_volatile());
+        assert!(VolatileStores::CRITICAL_LOAD.is_volatile());
+        assert!(VolatileStores::STORE.is_volatile());
+        assert!(VolatileStores::INDEX_STORE.is_volatile());
+        assert_eq!(VolatileStores::TRANSITION_DEPTH, 0);
+    }
+}

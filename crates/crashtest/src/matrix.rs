@@ -1,0 +1,313 @@
+//! Value-addressable dispatch over the full sweep matrix: every structure ×
+//! durability method × policy combination, named by the same keys the `crashtest`
+//! CLI accepts.
+
+use flit::{presets, Policy};
+use flit_datastructs::{
+    Automatic, Durability, HarrisList, HashTable, Manual, NatarajanTree, NvTraverse, SkipList,
+};
+use flit_pmem::SimNvram;
+
+use crate::engine::{sweep_map, sweep_queue, SweepSettings};
+use crate::report::{CaseMeta, HistorySpec, SweepReport};
+use crate::VolatileStores;
+
+/// flit-HT counter-table size used by sweeps. Smaller than the paper's 1 MB default
+/// because every crash point rebuilds the policy from scratch; table size only
+/// affects counter collisions, not durability semantics.
+const FLIT_HT_SWEEP_BYTES: usize = 1 << 16;
+
+/// The structures the engine can sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructureKind {
+    /// Harris sorted linked list.
+    List,
+    /// Hash table with Harris-list buckets.
+    HashTable,
+    /// Natarajan–Mittal external BST.
+    Bst,
+    /// Lock-free skiplist.
+    SkipList,
+    /// Michael–Scott FIFO queue.
+    MsQueue,
+}
+
+impl StructureKind {
+    /// Every structure, in sweep order.
+    pub const ALL: [StructureKind; 5] = [
+        StructureKind::List,
+        StructureKind::HashTable,
+        StructureKind::Bst,
+        StructureKind::SkipList,
+        StructureKind::MsQueue,
+    ];
+
+    /// CLI key.
+    pub fn name(self) -> &'static str {
+        match self {
+            StructureKind::List => "list",
+            StructureKind::HashTable => "hashtable",
+            StructureKind::Bst => "bst",
+            StructureKind::SkipList => "skiplist",
+            StructureKind::MsQueue => "msqueue",
+        }
+    }
+
+    /// Parse a CLI key.
+    pub fn parse(s: &str) -> Option<StructureKind> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// The persistence policies the engine can sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The plain durable transformation (every p-load flushes).
+    Plain,
+    /// FliT with the hashed counter table.
+    FlitHt,
+    /// FliT with an adjacent per-word counter.
+    FlitAdjacent,
+    /// FliT with one counter per cache line.
+    FlitCacheLine,
+    /// The link-and-persist comparator (dirty bit inside the word).
+    LinkPersist,
+}
+
+impl PolicyKind {
+    /// Every policy, in sweep order.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::Plain,
+        PolicyKind::FlitHt,
+        PolicyKind::FlitAdjacent,
+        PolicyKind::FlitCacheLine,
+        PolicyKind::LinkPersist,
+    ];
+
+    /// CLI key.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Plain => "plain",
+            PolicyKind::FlitHt => "flit-ht",
+            PolicyKind::FlitAdjacent => "flit-adjacent",
+            PolicyKind::FlitCacheLine => "flit-cacheline",
+            PolicyKind::LinkPersist => "link-persist",
+        }
+    }
+
+    /// Parse a CLI key.
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// `false` for combinations the policy cannot express: link-and-persist needs a
+    /// spare bit and CAS-only updates, which the Natarajan–Mittal BST's two-bit
+    /// edges rule out (paper §6.6).
+    pub fn supports(self, structure: StructureKind) -> bool {
+        !(self == PolicyKind::LinkPersist && structure == StructureKind::Bst)
+    }
+}
+
+/// The durability methods the engine can sweep — the paper's three plus the
+/// deliberately broken control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// Theorem 3.1: every instruction is a p-instruction.
+    Automatic,
+    /// NVTraverse: volatile traversal, persisted transition + critical phase.
+    NvTraverse,
+    /// Hand-tuned: persistence confined to the modified link.
+    Manual,
+    /// The broken control ([`VolatileStores`]): nothing persists; sweeps over it
+    /// *must* find violations, proving the harness can catch durability bugs.
+    VolatileBroken,
+}
+
+impl MethodKind {
+    /// The correct methods (a sweep over these must find zero violations).
+    pub const CORRECT: [MethodKind; 3] = [
+        MethodKind::Automatic,
+        MethodKind::NvTraverse,
+        MethodKind::Manual,
+    ];
+
+    /// Every method including the broken control.
+    pub const ALL: [MethodKind; 4] = [
+        MethodKind::Automatic,
+        MethodKind::NvTraverse,
+        MethodKind::Manual,
+        MethodKind::VolatileBroken,
+    ];
+
+    /// CLI key.
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodKind::Automatic => "automatic",
+            MethodKind::NvTraverse => "nvtraverse",
+            MethodKind::Manual => "manual",
+            MethodKind::VolatileBroken => "volatile-broken",
+        }
+    }
+
+    /// Parse a CLI key.
+    pub fn parse(s: &str) -> Option<MethodKind> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// `true` for the broken control, whose violations are expected.
+    pub fn expects_violations(self) -> bool {
+        self == MethodKind::VolatileBroken
+    }
+}
+
+/// Sweep one case. Returns `None` for combinations the policy cannot express
+/// (see [`PolicyKind::supports`]).
+pub fn run_case(
+    structure: StructureKind,
+    method: MethodKind,
+    policy: PolicyKind,
+    history: HistorySpec,
+    settings: &SweepSettings,
+) -> Option<SweepReport> {
+    if !policy.supports(structure) {
+        return None;
+    }
+    let case = CaseMeta {
+        structure: structure.name(),
+        method: method.name(),
+        policy: policy.name(),
+        history,
+    };
+    Some(match policy {
+        PolicyKind::Plain => with_policy(case, structure, method, settings, presets::plain),
+        PolicyKind::FlitHt => with_policy(case, structure, method, settings, |b| {
+            presets::flit_ht_sized(b, FLIT_HT_SWEEP_BYTES)
+        }),
+        PolicyKind::FlitAdjacent => {
+            with_policy(case, structure, method, settings, presets::flit_adjacent)
+        }
+        PolicyKind::FlitCacheLine => {
+            with_policy(case, structure, method, settings, presets::flit_cacheline)
+        }
+        PolicyKind::LinkPersist => {
+            with_policy(case, structure, method, settings, presets::link_and_persist)
+        }
+    })
+}
+
+fn with_policy<P, F>(
+    case: CaseMeta,
+    structure: StructureKind,
+    method: MethodKind,
+    settings: &SweepSettings,
+    factory: F,
+) -> SweepReport
+where
+    P: Policy<Backend = SimNvram> + Clone,
+    F: Fn(SimNvram) -> P,
+{
+    match method {
+        MethodKind::Automatic => with_method::<P, Automatic, F>(case, structure, settings, factory),
+        MethodKind::NvTraverse => {
+            with_method::<P, NvTraverse, F>(case, structure, settings, factory)
+        }
+        MethodKind::Manual => with_method::<P, Manual, F>(case, structure, settings, factory),
+        MethodKind::VolatileBroken => {
+            with_method::<P, VolatileStores, F>(case, structure, settings, factory)
+        }
+    }
+}
+
+fn with_method<P, D, F>(
+    case: CaseMeta,
+    structure: StructureKind,
+    settings: &SweepSettings,
+    factory: F,
+) -> SweepReport
+where
+    P: Policy<Backend = SimNvram> + Clone,
+    D: Durability,
+    F: Fn(SimNvram) -> P,
+{
+    let history = case.history;
+    match structure {
+        StructureKind::List => {
+            sweep_map::<P, HarrisList<P, D>, F>(case, factory, &history.map_history(), settings)
+        }
+        StructureKind::HashTable => {
+            sweep_map::<P, HashTable<P, D>, F>(case, factory, &history.map_history(), settings)
+        }
+        StructureKind::Bst => {
+            sweep_map::<P, NatarajanTree<P, D>, F>(case, factory, &history.map_history(), settings)
+        }
+        StructureKind::SkipList => {
+            sweep_map::<P, SkipList<P, D>, F>(case, factory, &history.map_history(), settings)
+        }
+        StructureKind::MsQueue => {
+            sweep_queue::<P, D, F>(case, factory, &history.queue_history(), settings)
+        }
+    }
+}
+
+/// Sweep the cartesian product of the given kinds, skipping unsupported
+/// combinations.
+pub fn run_matrix(
+    structures: &[StructureKind],
+    methods: &[MethodKind],
+    policies: &[PolicyKind],
+    history: HistorySpec,
+    settings: &SweepSettings,
+) -> Vec<SweepReport> {
+    let mut reports = Vec::new();
+    for &structure in structures {
+        for &method in methods {
+            for &policy in policies {
+                if let Some(report) = run_case(structure, method, policy, history, settings) {
+                    reports.push(report);
+                }
+            }
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_parse_and_round_trip() {
+        for s in StructureKind::ALL {
+            assert_eq!(StructureKind::parse(s.name()), Some(s));
+        }
+        for p in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(p.name()), Some(p));
+        }
+        for m in MethodKind::ALL {
+            assert_eq!(MethodKind::parse(m.name()), Some(m));
+        }
+        assert_eq!(StructureKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn bst_cannot_run_link_and_persist() {
+        assert!(!PolicyKind::LinkPersist.supports(StructureKind::Bst));
+        assert!(PolicyKind::LinkPersist.supports(StructureKind::List));
+        assert!(run_case(
+            StructureKind::Bst,
+            MethodKind::Automatic,
+            PolicyKind::LinkPersist,
+            HistorySpec::Scripted,
+            &SweepSettings::default(),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn broken_method_is_flagged_as_expecting_violations() {
+        assert!(MethodKind::VolatileBroken.expects_violations());
+        for m in MethodKind::CORRECT {
+            assert!(!m.expects_violations());
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end sweeps: every-event crash injection over the scripted histories must
+//! find zero violations for the correct durability methods across every structure
+//! and policy, and the deliberately broken control must fail with a repro string.
+
+use flit_crashtest::{
+    run_case, run_matrix, HistorySpec, MethodKind, PolicyKind, StructureKind, SweepSettings,
+};
+
+fn exhaustive() -> SweepSettings {
+    SweepSettings {
+        budget: 0,
+        crash_at: None,
+    }
+}
+
+fn budgeted(budget: usize) -> SweepSettings {
+    SweepSettings {
+        budget,
+        crash_at: None,
+    }
+}
+
+/// The core acceptance sweep: every structure × every correct method × flit-HT,
+/// crashing at every single event of the scripted history.
+#[test]
+fn scripted_every_event_sweep_is_clean_under_flit_ht() {
+    let reports = run_matrix(
+        &StructureKind::ALL,
+        &MethodKind::CORRECT,
+        &[PolicyKind::FlitHt],
+        HistorySpec::Scripted,
+        &exhaustive(),
+    );
+    assert_eq!(
+        reports.len(),
+        StructureKind::ALL.len() * MethodKind::CORRECT.len()
+    );
+    for report in &reports {
+        assert!(
+            report.clean(),
+            "{}: {} violations, first: {}",
+            report.case.id(),
+            report.violations.len(),
+            report.violations[0]
+        );
+        // Every post-construction event plus the nothing-lost control was injected.
+        assert_eq!(
+            report.points_tested as u64,
+            report.events_total - report.events_construction + 1
+        );
+    }
+}
+
+/// Policy coverage: the remaining policies on the two list-shaped structures with a
+/// budget (their event streams are the longest; semantics identical across points).
+#[test]
+fn scripted_sweep_is_clean_under_every_policy() {
+    let reports = run_matrix(
+        &[StructureKind::List, StructureKind::MsQueue],
+        &[MethodKind::Automatic, MethodKind::Manual],
+        &PolicyKind::ALL,
+        HistorySpec::Scripted,
+        &budgeted(160),
+    );
+    for report in &reports {
+        assert!(
+            report.clean(),
+            "{}: first violation: {}",
+            report.case.id(),
+            report.violations[0]
+        );
+    }
+}
+
+/// Seeded random histories across the map structures and the queue.
+#[test]
+fn random_histories_sweep_clean() {
+    for seed in [0x2a, 0xf117] {
+        let spec = HistorySpec::Random {
+            seed,
+            ops: 48,
+            key_range: 12,
+        };
+        let reports = run_matrix(
+            &StructureKind::ALL,
+            &[MethodKind::Automatic],
+            &[PolicyKind::FlitHt, PolicyKind::Plain],
+            spec,
+            &budgeted(120),
+        );
+        for report in &reports {
+            assert!(
+                report.clean(),
+                "{}: first violation: {}",
+                report.case.id(),
+                report.violations[0]
+            );
+        }
+    }
+}
+
+/// The harness must be able to catch durability bugs: the all-volatile control
+/// loses completed operations, and the sweep must say so with a usable repro.
+#[test]
+fn broken_control_fails_with_a_repro_string() {
+    for structure in StructureKind::ALL {
+        let report = run_case(
+            structure,
+            MethodKind::VolatileBroken,
+            PolicyKind::FlitHt,
+            HistorySpec::Scripted,
+            &budgeted(40),
+        )
+        .expect("combination supported");
+        assert!(
+            !report.clean(),
+            "{}: the broken control found no violations — the harness cannot catch bugs",
+            report.case.id()
+        );
+        let v = &report.violations[0];
+        assert!(
+            v.repro.contains("--crash-at") && v.repro.contains("volatile-broken"),
+            "repro not reproducible: {}",
+            v.repro
+        );
+    }
+}
+
+/// Repro mode: re-running a single crash point from a violation's coordinates
+/// reproduces exactly that violation.
+#[test]
+fn single_crash_point_repro_reproduces_the_violation() {
+    let sweep = run_case(
+        StructureKind::List,
+        MethodKind::VolatileBroken,
+        PolicyKind::FlitHt,
+        HistorySpec::Scripted,
+        &budgeted(25),
+    )
+    .unwrap();
+    let first = &sweep.violations[0];
+    let repro = run_case(
+        StructureKind::List,
+        MethodKind::VolatileBroken,
+        PolicyKind::FlitHt,
+        HistorySpec::Scripted,
+        &SweepSettings {
+            budget: 0,
+            crash_at: Some(first.crash_event),
+        },
+    )
+    .unwrap();
+    assert_eq!(repro.points_tested, 1);
+    assert_eq!(repro.violations.len(), 1);
+    assert_eq!(repro.violations[0].crash_event, first.crash_event);
+    assert_eq!(repro.violations[0].detail, first.detail);
+}

@@ -16,10 +16,12 @@ use std::marker::PhantomData;
 
 use flit::{PFlag, PersistWord, Policy};
 use flit_ebr::{Collector, Guard};
+use flit_pmem::CrashImage;
 
 use crate::durability::Durability;
 use crate::map::ConcurrentMap;
 use crate::marked::{address, is_marked, pack, unmark, with_mark};
+use crate::recovery::RecoveredMap;
 
 /// A node of the list. `key` and `value` are immutable after construction (the node is
 /// persisted wholesale before being published), so only the `next` link is a
@@ -61,10 +63,17 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
     pub fn new(policy: P) -> Self {
         let tail = Node::<P>::new(u64::MAX, 0, 0);
         let head = Node::<P>::new(0, 0, pack(tail));
-        // Persist the initial (empty) structure so a crash immediately after
-        // construction recovers to an empty list rather than garbage.
-        policy.persist_object(unsafe { &*tail }, PFlag::Persisted);
-        policy.persist_object(unsafe { &*head }, PFlag::Persisted);
+        // Re-issue the sentinels' link values as private volatile stores so the
+        // tracking backend records them, then persist the initial (empty) structure
+        // so a crash immediately after construction recovers to an empty list
+        // rather than garbage.
+        for node in [tail, head] {
+            let node_ref = unsafe { &*node };
+            node_ref
+                .next
+                .store_private(&policy, node_ref.next.load_direct(), PFlag::Volatile);
+            policy.persist_object(node_ref, PFlag::Persisted);
+        }
         Self {
             head,
             tail,
@@ -198,9 +207,14 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
             }
             self.transition(left, right);
             let node = Node::<P>::new(key, value, pack(right));
-            // Persist the new node's contents before it becomes reachable: the
-            // publishing CAS below depends on them.
-            self.policy.persist_object(unsafe { &*node }, D::STORE);
+            // Record the private link value with the backend, then persist the new
+            // node's contents before it becomes reachable: the publishing CAS below
+            // depends on them, and recovery walks the persisted `next` words.
+            let node_ref = unsafe { &*node };
+            node_ref
+                .next
+                .store_private(&self.policy, pack(right), PFlag::Volatile);
+            self.policy.persist_object(node_ref, D::STORE);
             match unsafe { &*left }.next.compare_exchange(
                 &self.policy,
                 pack(right),
@@ -257,6 +271,43 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
                 return true;
             }
         }
+    }
+
+    /// Reconstruct the durable set from an adversarial crash image: walk the
+    /// persisted `next` chain from the head sentinel, skipping nodes whose own
+    /// persisted `next` carries the deletion mark. A node reachable through a
+    /// persisted link whose own `next` word is absent from the image flags
+    /// [`truncated`](RecoveredMap::truncated) — the persist-before-publish
+    /// invariant was violated.
+    ///
+    /// # Safety
+    /// Every node pointer stored in the image's `next` words must still be a live
+    /// allocation of this list: the caller must run in quiescence and have pinned
+    /// [`Self::collector`] since before the first operation.
+    pub unsafe fn recover(&self, image: &CrashImage) -> RecoveredMap {
+        let mut rec = RecoveredMap::default();
+        let mut cur = self.head;
+        while cur != self.tail {
+            let cur_ref = unsafe { &*cur };
+            let Some(word) = image.read(cur_ref.next.addr()) else {
+                rec.truncated = true;
+                break;
+            };
+            let word = word as usize;
+            // A marked `next` means `cur` itself is logically deleted.
+            if cur != self.head && !is_marked(word) {
+                rec.pairs.push((cur_ref.key, cur_ref.value));
+            }
+            let next = address::<Node<P>>(word);
+            if next.is_null() {
+                // Only the tail has a null link; a persisted null anywhere else
+                // means the image is internally inconsistent.
+                rec.truncated = true;
+                break;
+            }
+            cur = next;
+        }
+        rec
     }
 
     fn len_impl(&self) -> usize {

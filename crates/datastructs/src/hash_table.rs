@@ -7,10 +7,13 @@
 //! statistics and counter tables are global to the structure.
 
 use flit::Policy;
+use flit_ebr::Collector;
+use flit_pmem::CrashImage;
 
 use crate::durability::Durability;
 use crate::harris_list::HarrisList;
 use crate::map::ConcurrentMap;
+use crate::recovery::RecoveredMap;
 
 /// Fixed-size lock-free hash table with Harris-list buckets.
 pub struct HashTable<P: Policy + Clone, D: Durability> {
@@ -37,6 +40,28 @@ impl<P: Policy + Clone, D: Durability> HashTable<P, D> {
     /// Number of buckets in the table.
     pub fn bucket_count(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// The EBR collector of every bucket list (each Harris list retires through its
+    /// own). Crash tests pin all of them for the duration of a run.
+    pub fn bucket_collectors(&self) -> impl Iterator<Item = &Collector> {
+        self.buckets.iter().map(|b| b.collector())
+    }
+
+    /// Reconstruct the durable map from an adversarial crash image: the union of
+    /// every bucket's [`HarrisList::recover`].
+    ///
+    /// # Safety
+    /// Same contract as [`HarrisList::recover`], for every bucket: quiescence, and
+    /// all [`bucket_collectors`](Self::bucket_collectors) pinned since before the
+    /// first operation.
+    pub unsafe fn recover(&self, image: &CrashImage) -> RecoveredMap {
+        let mut rec = RecoveredMap::default();
+        for bucket in &self.buckets {
+            // SAFETY: forwarded contract.
+            rec.absorb(unsafe { bucket.recover(image) });
+        }
+        rec
     }
 
     #[inline]

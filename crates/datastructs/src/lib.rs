@@ -19,7 +19,10 @@
 //!
 //! All four expose the common [`ConcurrentMap`] interface used by the workload
 //! generator and the benchmark harness; [`SequentialMap`] is the reference model used
-//! by the property-based tests.
+//! by the property-based tests. Every structure can additionally rebuild its durable
+//! abstract state from an adversarial [`CrashImage`](flit_pmem::CrashImage) through
+//! the [`MapCrashRecovery`] trait ([`recovery`]) — the interface the
+//! `flit-crashtest` crash-point sweep engine drives.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -30,6 +33,7 @@ pub mod hash_table;
 pub mod map;
 pub mod marked;
 pub mod natarajan;
+pub mod recovery;
 pub mod skiplist;
 
 pub use durability::{Automatic, Durability, Manual, NvTraverse};
@@ -37,6 +41,7 @@ pub use harris_list::HarrisList;
 pub use hash_table::HashTable;
 pub use map::{ConcurrentMap, SequentialMap, MAX_USER_KEY};
 pub use natarajan::NatarajanTree;
+pub use recovery::{MapCrashRecovery, RecoveredMap};
 pub use skiplist::SkipList;
 
 #[cfg(test)]

@@ -20,10 +20,12 @@ use std::marker::PhantomData;
 
 use flit::{PFlag, PersistWord, Policy};
 use flit_ebr::{Collector, Guard};
+use flit_pmem::CrashImage;
 
 use crate::durability::Durability;
 use crate::map::ConcurrentMap;
 use crate::marked::{address, is_marked, is_tagged, pack, pack_with, with_tag};
+use crate::recovery::RecoveredMap;
 
 /// Sentinel keys, all larger than any user key (paper notation ∞₀ < ∞₁ < ∞₂).
 const INF0: u64 = u64::MAX - 2;
@@ -94,6 +96,7 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
         let s = Node::<P>::internal(INF1, leaf_inf0, leaf_inf1);
         let r = Node::<P>::internal(INF2, s, leaf_inf2);
         for node in [leaf_inf0, leaf_inf1, leaf_inf2, s, r] {
+            Self::record_node(&policy, node);
             policy.persist_object(unsafe { &*node }, PFlag::Persisted);
         }
         Self {
@@ -102,6 +105,25 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
             collector: Collector::new(),
             _durability: PhantomData,
         }
+    }
+
+    /// The EBR collector used by this tree (crash tests pin it for the duration of
+    /// a run so recovery may dereference retired nodes).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Re-issue a freshly built node's child words as private volatile stores so a
+    /// tracking backend records them; `persist_object` alone flushes cache lines the
+    /// tracker knows nothing about.
+    fn record_node(policy: &P, node: *mut Node<P>) {
+        let node_ref = unsafe { &*node };
+        node_ref
+            .left
+            .store_private(policy, node_ref.left.load_direct(), PFlag::Volatile);
+        node_ref
+            .right
+            .store_private(policy, node_ref.right.load_direct(), PFlag::Volatile);
     }
 
     #[inline]
@@ -284,6 +306,8 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
             } else {
                 Node::<P>::internal(key, leaf, new_leaf)
             };
+            Self::record_node(&self.policy, new_leaf);
+            Self::record_node(&self.policy, internal);
             self.policy.persist_object(unsafe { &*new_leaf }, D::STORE);
             self.policy.persist_object(unsafe { &*internal }, D::STORE);
 
@@ -369,6 +393,62 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
                     }
                 }
             }
+        }
+    }
+
+    /// Reconstruct the durable set from an adversarial crash image: descend the
+    /// persisted child-edge words from the root and collect every reachable leaf
+    /// holding a user key whose incoming edge does not carry the deletion flag (the
+    /// flag CAS is the linearization point of a successful remove). Tag bits only
+    /// protect in-flight splices and are ignored.
+    ///
+    /// # Safety
+    /// Every node pointer stored in the image's child words must still be a live
+    /// allocation of this tree: the caller must run in quiescence and have pinned
+    /// [`Self::collector`] since before the first operation.
+    pub unsafe fn recover(&self, image: &CrashImage) -> RecoveredMap {
+        let mut rec = RecoveredMap::default();
+        // SAFETY: forwarded contract; the root is never retired.
+        unsafe { self.recover_node(self.root, false, image, &mut rec) };
+        rec
+    }
+
+    /// Recursive helper for [`recover`](Self::recover): `deleted` carries the flag
+    /// bit of the edge that led here.
+    unsafe fn recover_node(
+        &self,
+        node: *mut Node<P>,
+        deleted: bool,
+        image: &CrashImage,
+        rec: &mut RecoveredMap,
+    ) {
+        if node.is_null() {
+            // A persisted edge to null never occurs in this tree (leaves are
+            // detected below, before recursing): flag the inconsistency.
+            rec.truncated = true;
+            return;
+        }
+        let node_ref = unsafe { &*node };
+        let (Some(left), Some(right)) = (
+            image.read(node_ref.left.addr()),
+            image.read(node_ref.right.addr()),
+        ) else {
+            // Reachable through a persisted edge but its own child words never
+            // persisted: persist-before-publish violated.
+            rec.truncated = true;
+            return;
+        };
+        let (left, right) = (left as usize, right as usize);
+        if address::<Node<P>>(left).is_null() && address::<Node<P>>(right).is_null() {
+            if !deleted && node_ref.key < INF0 {
+                rec.pairs.push((node_ref.key, node_ref.value));
+            }
+            return;
+        }
+        // SAFETY: forwarded contract.
+        unsafe {
+            self.recover_node(address(left), is_marked(left), image, rec);
+            self.recover_node(address(right), is_marked(right), image, rec);
         }
     }
 

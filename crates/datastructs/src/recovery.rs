@@ -1,0 +1,159 @@
+//! Crash recovery for the map structures: rebuild the abstract key→value set from an
+//! adversarial [`CrashImage`].
+//!
+//! Each structure defines its abstract state through a specific set of persisted
+//! link words:
+//!
+//! * **Harris list** — the chain of `next` words from the head sentinel; a node whose
+//!   own `next` is marked is logically deleted.
+//! * **hash table** — the union of its bucket lists.
+//! * **Natarajan–Mittal BST** — the tree of child-edge words from the root; a
+//!   flagged edge announces the logical deletion of the leaf below it.
+//! * **skiplist** — the bottom-level `next` chain (upper levels are index state and
+//!   deliberately unrecoverable under the optimised durability methods).
+//!
+//! Recovery walks exactly those words in the image. Node *contents* (`key`/`value`,
+//! immutable after publication) are read from live memory: the persist-before-publish
+//! protocol makes their durable values equal to the live ones whenever the link that
+//! publishes the node is itself in the image, and the walk flags
+//! [`truncated`](RecoveredMap::truncated) when it reaches a node whose own link words
+//! are absent — the signature of a violated persist-before-publish invariant.
+//!
+//! # Safety contract
+//!
+//! All `recover_from_image` implementations dereference node pointers found in the
+//! image, so every such pointer must still be a live allocation: the caller must run
+//! in quiescence **and** have held the guards returned by
+//! [`pin_for_recovery`](MapCrashRecovery::pin_for_recovery) since before the first
+//! operation, so no retired node has been reclaimed. The `flit-crashtest` engine
+//! does exactly this.
+
+use flit::Policy;
+use flit_ebr::Guard;
+use flit_pmem::CrashImage;
+
+use crate::harris_list::HarrisList;
+use crate::hash_table::HashTable;
+use crate::natarajan::NatarajanTree;
+use crate::skiplist::SkipList;
+use crate::Durability;
+
+/// What map recovery reconstructs from a [`CrashImage`]: the durable key→value
+/// pairs, plus a flag for walks that hit un-persisted territory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveredMap {
+    /// The recovered pairs, in structure-walk order (use
+    /// [`sorted_pairs`](Self::sorted_pairs) to compare against a model).
+    pub pairs: Vec<(u64, u64)>,
+    /// `true` when a node was reachable through persisted links but its own link
+    /// words were missing from the image. For any durability method whose `STORE`
+    /// flag is persisted this indicates a durability bug: node initialisation is
+    /// persisted before the store that publishes the node.
+    pub truncated: bool,
+}
+
+impl RecoveredMap {
+    /// The recovered pairs sorted by key — the canonical form compared against a
+    /// sequential model.
+    pub fn sorted_pairs(&self) -> Vec<(u64, u64)> {
+        let mut pairs = self.pairs.clone();
+        pairs.sort_unstable_by_key(|(k, _)| *k);
+        pairs
+    }
+
+    /// Fold another partial recovery (e.g. one hash bucket) into this one.
+    pub fn absorb(&mut self, other: RecoveredMap) {
+        self.pairs.extend(other.pairs);
+        self.truncated |= other.truncated;
+    }
+}
+
+/// Uniform crash-recovery interface over the four map structures, used by the
+/// `flit-crashtest` sweep engine. See the module docs for the safety contract.
+pub trait MapCrashRecovery<P: Policy> {
+    /// Rebuild the durable abstract state from `image`.
+    ///
+    /// # Safety
+    /// Every node pointer in the image must still be a live allocation of this
+    /// structure: quiescence + guards from [`pin_for_recovery`] held since before
+    /// the first operation.
+    ///
+    /// [`pin_for_recovery`]: MapCrashRecovery::pin_for_recovery
+    unsafe fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap;
+
+    /// Pin every EBR collector this structure retires nodes through. Hold the
+    /// returned guards for the whole run to keep crash images dereferenceable.
+    fn pin_for_recovery(&self) -> Vec<Guard<'_>>;
+}
+
+impl<P: Policy, D: Durability> MapCrashRecovery<P> for HarrisList<P, D> {
+    unsafe fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
+        // SAFETY: forwarded contract.
+        unsafe { self.recover(image) }
+    }
+
+    fn pin_for_recovery(&self) -> Vec<Guard<'_>> {
+        vec![self.collector().pin()]
+    }
+}
+
+impl<P: Policy + Clone, D: Durability> MapCrashRecovery<P> for HashTable<P, D> {
+    unsafe fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
+        // SAFETY: forwarded contract.
+        unsafe { self.recover(image) }
+    }
+
+    fn pin_for_recovery(&self) -> Vec<Guard<'_>> {
+        self.bucket_collectors().map(|c| c.pin()).collect()
+    }
+}
+
+impl<P: Policy, D: Durability> MapCrashRecovery<P> for NatarajanTree<P, D> {
+    unsafe fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
+        // SAFETY: forwarded contract.
+        unsafe { self.recover(image) }
+    }
+
+    fn pin_for_recovery(&self) -> Vec<Guard<'_>> {
+        vec![self.collector().pin()]
+    }
+}
+
+impl<P: Policy, D: Durability> MapCrashRecovery<P> for SkipList<P, D> {
+    unsafe fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
+        // SAFETY: forwarded contract.
+        unsafe { self.recover(image) }
+    }
+
+    fn pin_for_recovery(&self) -> Vec<Guard<'_>> {
+        vec![self.collector().pin()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_pairs_orders_by_key() {
+        let rec = RecoveredMap {
+            pairs: vec![(3, 30), (1, 10), (2, 20)],
+            truncated: false,
+        };
+        assert_eq!(rec.sorted_pairs(), vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn absorb_merges_pairs_and_truncation() {
+        let mut a = RecoveredMap {
+            pairs: vec![(1, 10)],
+            truncated: false,
+        };
+        a.absorb(RecoveredMap {
+            pairs: vec![(2, 20)],
+            truncated: true,
+        });
+        assert_eq!(a.pairs.len(), 2);
+        assert!(a.truncated);
+    }
+}

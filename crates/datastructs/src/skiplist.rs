@@ -18,10 +18,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use flit::{PFlag, PersistWord, Policy};
 use flit_ebr::{Collector, Guard};
+use flit_pmem::CrashImage;
 
 use crate::durability::Durability;
 use crate::map::ConcurrentMap;
 use crate::marked::{address, is_marked, pack, unmark, with_mark};
+use crate::recovery::RecoveredMap;
 
 /// Maximum tower height. 2^20 expected elements per probability 1/2 level is ample for
 /// the evaluation sizes.
@@ -66,14 +68,23 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
     /// Create an empty skiplist.
     pub fn new(policy: P) -> Self {
         let head = Node::<P>::new(0, 0, MAX_LEVEL - 1, &[]);
-        policy.persist_object(unsafe { &*head }, PFlag::Persisted);
-        Self {
+        let list = Self {
             head,
             policy,
             collector: Collector::new(),
             rng: AtomicU64::new(0x9E3779B97F4A7C15),
             _durability: PhantomData,
-        }
+        };
+        // Record + persist the head tower (including its heap-allocated links) so a
+        // crash right after construction recovers to an empty list.
+        list.persist_new_node(head, PFlag::Persisted);
+        list
+    }
+
+    /// The EBR collector used by this skiplist (crash tests pin it for the duration
+    /// of a run so recovery may dereference retired nodes).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
     }
 
     /// Geometric tower height in `0..MAX_LEVEL` (p = 1/2).
@@ -86,9 +97,14 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
         (r.trailing_ones() as usize).min(MAX_LEVEL - 1)
     }
 
-    /// Persist a freshly created node, including its heap-allocated tower.
+    /// Persist a freshly created node, including its heap-allocated tower. The tower
+    /// words are first re-issued as private volatile stores so a tracking backend
+    /// records them (recovery walks the persisted bottom-level links).
     fn persist_new_node(&self, node: *mut Node<P>, flag: PFlag) {
         let node_ref = unsafe { &*node };
+        for word in &node_ref.next {
+            word.store_private(&self.policy, word.load_direct(), PFlag::Volatile);
+        }
         self.policy.persist_object(node_ref, flag);
         self.policy.persist_range(
             node_ref.next.as_ptr() as *const u8,
@@ -305,6 +321,40 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
                 return true;
             }
         }
+    }
+
+    /// Reconstruct the durable set from an adversarial crash image: walk the
+    /// persisted bottom-level `next` chain from the head sentinel (the bottom level
+    /// alone defines membership; the upper levels are volatile index state under the
+    /// optimised durability methods). A node whose own persisted bottom link carries
+    /// the deletion mark is skipped; a reachable node whose bottom link is absent
+    /// from the image flags [`truncated`](RecoveredMap::truncated).
+    ///
+    /// # Safety
+    /// Every node pointer stored in the image's bottom-level words must still be a
+    /// live allocation of this skiplist: the caller must run in quiescence and have
+    /// pinned [`Self::collector`] since before the first operation.
+    pub unsafe fn recover(&self, image: &CrashImage) -> RecoveredMap {
+        let mut rec = RecoveredMap::default();
+        let head_ref = unsafe { &*self.head };
+        let Some(first) = image.read(head_ref.next[0].addr()) else {
+            rec.truncated = true;
+            return rec;
+        };
+        let mut cur = address::<Node<P>>(first as usize);
+        while !cur.is_null() {
+            let cur_ref = unsafe { &*cur };
+            let Some(word) = image.read(cur_ref.next[0].addr()) else {
+                rec.truncated = true;
+                break;
+            };
+            let word = word as usize;
+            if !is_marked(word) {
+                rec.pairs.push((cur_ref.key, cur_ref.value));
+            }
+            cur = address(word);
+        }
+        rec
     }
 
     fn len_impl(&self) -> usize {

@@ -306,7 +306,7 @@ impl Drop for Guard<'_> {
         let slot = &self.collector.global.slots[self.slot_idx];
         slot.state.store(INACTIVE, Ordering::SeqCst);
         let unpins = slot.unpins.fetch_add(1, Ordering::Relaxed) + 1;
-        if unpins.is_multiple_of(COLLECT_INTERVAL) {
+        if unpins % COLLECT_INTERVAL == 0 {
             self.collector.collect(self.slot_idx);
         }
     }

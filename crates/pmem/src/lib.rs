@@ -18,7 +18,10 @@
 //!     Figure 9 of the paper), and
 //!   - an optional [`PersistenceTracker`] that maintains the volatile image and the
 //!     persisted image of every tracked word so tests can take an adversarial
-//!     [`CrashImage`] ("only what was explicitly flushed *and* fenced survives").
+//!     [`CrashImage`] ("only what was explicitly flushed *and* fenced survives"), and
+//!   - an optional [`CrashPlan`] that deterministically freezes a [`CrashImage`] at
+//!     the Nth store/pwb/pfence event, so a harness can sweep a simulated crash
+//!     across *every* persistence boundary of a history (see `flit-crashtest`).
 //! * [`NullPmem`] — everything is a no-op; used by the non-persistent baseline
 //!   (the grey dotted line in the paper's plots).
 //!
@@ -38,6 +41,7 @@
 
 pub mod backend;
 pub mod cache_line;
+pub mod crash;
 pub mod hardware;
 pub mod latency;
 pub mod sim;
@@ -46,6 +50,7 @@ pub mod tracker;
 
 pub use backend::{NullPmem, PmemBackend};
 pub use cache_line::{cache_line_of, word_of, CACHE_LINE_SIZE, WORD_SIZE};
+pub use crash::{CrashEventKind, CrashPlan};
 pub use hardware::{FlushInstruction, HardwarePmem};
 pub use latency::LatencyModel;
 pub use sim::SimNvram;

@@ -15,6 +15,7 @@
 use std::sync::Arc;
 
 use crate::backend::PmemBackend;
+use crate::crash::{CrashEventKind, CrashPlan};
 use crate::latency::LatencyModel;
 use crate::stats::PmemStats;
 use crate::tracker::PersistenceTracker;
@@ -23,6 +24,7 @@ struct Inner {
     latency: LatencyModel,
     stats: PmemStats,
     tracker: Option<PersistenceTracker>,
+    crash_plan: Option<CrashPlan>,
     count_stats: bool,
 }
 
@@ -66,6 +68,17 @@ impl SimNvram {
             .build()
     }
 
+    /// Like [`for_crash_testing`](Self::for_crash_testing), with a [`CrashPlan`]
+    /// observing every persistence event. This is the configuration the
+    /// `flit-crashtest` sweep engine runs under.
+    pub fn for_crash_testing_with_plan(plan: CrashPlan) -> Self {
+        Self::builder()
+            .latency(LatencyModel::none())
+            .tracking(true)
+            .crash_plan(plan)
+            .build()
+    }
+
     /// A zero-latency, non-tracking instance — useful for functional tests that only
     /// care about instruction counts.
     pub fn for_counting() -> Self {
@@ -87,6 +100,11 @@ impl SimNvram {
         self.inner.tracker.as_ref()
     }
 
+    /// The crash plan observing this backend's events, if one was attached.
+    pub fn crash_plan(&self) -> Option<&CrashPlan> {
+        self.inner.crash_plan.as_ref()
+    }
+
     /// Record a read-side `pwb` (a flush triggered by a tagged p-load). The FliT
     /// library calls this *in addition to* [`pwb`](PmemBackend::pwb) so Figure 9's
     /// read-side flush breakdown can be reported.
@@ -103,6 +121,11 @@ impl PmemBackend for SimNvram {
         if self.inner.count_stats {
             self.inner.stats.record_pwb();
         }
+        // The plan observes the event *before* the tracker applies it, so a trigger
+        // at index n models a power failure during event n (the event is lost).
+        if let Some(plan) = &self.inner.crash_plan {
+            plan.observe(CrashEventKind::Pwb, self.inner.tracker.as_ref());
+        }
         if let Some(tracker) = &self.inner.tracker {
             tracker.on_pwb(addr as usize);
         }
@@ -114,6 +137,9 @@ impl PmemBackend for SimNvram {
         if self.inner.count_stats {
             self.inner.stats.record_pfence();
         }
+        if let Some(plan) = &self.inner.crash_plan {
+            plan.observe(CrashEventKind::Pfence, self.inner.tracker.as_ref());
+        }
         if let Some(tracker) = &self.inner.tracker {
             tracker.on_pfence();
         }
@@ -122,6 +148,9 @@ impl PmemBackend for SimNvram {
 
     #[inline]
     fn record_store(&self, addr: *const u8, val: u64) {
+        if let Some(plan) = &self.inner.crash_plan {
+            plan.observe(CrashEventKind::Store, self.inner.tracker.as_ref());
+        }
         if let Some(tracker) = &self.inner.tracker {
             tracker.record_store(addr as usize, val);
         }
@@ -143,6 +172,7 @@ impl PmemBackend for SimNvram {
 pub struct SimNvramBuilder {
     latency: LatencyModel,
     tracking: bool,
+    crash_plan: Option<CrashPlan>,
     count_stats: bool,
 }
 
@@ -151,6 +181,7 @@ impl Default for SimNvramBuilder {
         Self {
             latency: LatencyModel::optane(),
             tracking: false,
+            crash_plan: None,
             count_stats: true,
         }
     }
@@ -166,6 +197,14 @@ impl SimNvramBuilder {
     /// Enable or disable word-granularity persistence tracking (default: disabled).
     pub fn tracking(mut self, tracking: bool) -> Self {
         self.tracking = tracking;
+        self
+    }
+
+    /// Attach a [`CrashPlan`] that observes every store/pwb/pfence event flowing
+    /// through the backend (default: none). Usually combined with
+    /// [`tracking`](Self::tracking) so the plan has an image to freeze.
+    pub fn crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = Some(plan);
         self
     }
 
@@ -186,6 +225,7 @@ impl SimNvramBuilder {
                 } else {
                     None
                 },
+                crash_plan: self.crash_plan,
                 count_stats: self.count_stats,
             }),
         }
@@ -263,6 +303,33 @@ mod tests {
         sim.note_read_side_pwb();
         sim.note_read_side_pwb();
         assert_eq!(sim.stats().read_side_pwbs(), 2);
+    }
+
+    #[test]
+    fn crash_plan_sees_the_event_stream() {
+        use crate::crash::CrashPlan;
+        // Crash at event 4 (0-based): store, pwb, pfence for x persist x; the second
+        // store survives volatile-only; the pwb at index 4 is lost.
+        let plan = CrashPlan::armed_at(4);
+        let sim = SimNvram::for_crash_testing_with_plan(plan.clone());
+        let x = 0u64;
+        let addr = &x as *const u64 as *const u8;
+        sim.record_store(addr, 1); // event 0
+        sim.pwb(addr); // event 1
+        sim.pfence(); // event 2
+        sim.record_store(addr, 2); // event 3
+        sim.pwb(addr); // event 4 <- crash here (lost)
+        sim.pfence(); // event 5
+        assert_eq!(plan.events_seen(), 6);
+        assert!(plan.triggered());
+        let frozen = plan.crash_image().unwrap();
+        assert_eq!(frozen.read(addr as usize), Some(1), "only the fenced value");
+        // The live tracker saw everything.
+        assert_eq!(
+            sim.tracker().unwrap().crash_image().read(addr as usize),
+            Some(2)
+        );
+        assert!(sim.crash_plan().is_some());
     }
 
     #[test]

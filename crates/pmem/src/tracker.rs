@@ -20,6 +20,18 @@
 //! model is a genuine bug and the absence of violations under it is the strongest
 //! statement the test can make.
 //!
+//! ## Monotone commits (version tagging)
+//!
+//! Pending values carry the *version* (a global store counter) of the store they
+//! snapshot, and a fence only commits a pending value whose version is at least the
+//! persisted one. Without this, a slow thread's fence could commit a stale pwb-time
+//! snapshot *over* a newer value that another thread had already flushed and fenced
+//! — a regression that cache coherence makes impossible on real hardware (a line
+//! write-back always writes the line's current contents, so later write-backs never
+//! carry older data). Within one thread the adversarial semantics are unchanged: a
+//! store issued *after* a pwb still does not ride along on the following fence,
+//! because only the snapshotted (value, version) pair is committed.
+//!
 //! The tracker is intended for correctness tests and crash experiments; benchmarks run
 //! with tracking disabled.
 
@@ -40,22 +52,29 @@ fn shard_of(line: usize) -> usize {
     (x ^ (x >> 7) ^ (x >> 13)) & (SHARDS - 1)
 }
 
+/// A tracked value plus the global store version that produced it.
+type Versioned = (u64, u64);
+
+/// A pending write-back: (word address, value, version) snapshotted at pwb time.
+type PendingWrite = (usize, u64, u64);
+
 /// One cache line's worth of tracked words.
-type LineWords = [Option<u64>; WORDS_PER_LINE];
+type LineWords = [Option<Versioned>; WORDS_PER_LINE];
 
 #[derive(Default)]
 struct Shard {
-    /// line base address -> latest volatile value of each word in the line
+    /// line base address -> latest volatile (value, version) of each word in the line
     volatile: HashMap<usize, LineWords>,
-    /// word address -> persisted value
-    persisted: HashMap<usize, u64>,
+    /// word address -> persisted (value, version)
+    persisted: HashMap<usize, Versioned>,
 }
 
 /// Software model of the volatile/persistent memory split. See the module docs.
 pub struct PersistenceTracker {
     shards: Vec<Mutex<Shard>>,
-    /// word values written back (pwb) but not yet fenced, per thread
-    pending: Mutex<HashMap<ThreadId, Vec<(usize, u64)>>>,
+    /// (word, value, version) triples written back (pwb) but not yet fenced, per thread
+    pending: Mutex<HashMap<ThreadId, Vec<PendingWrite>>>,
+    /// Global store counter; doubles as the version source for monotone commits.
     stores_recorded: AtomicU64,
 }
 
@@ -77,26 +96,26 @@ impl PersistenceTracker {
 
     /// Record that the 8-byte word at `addr` now holds `val` in volatile memory.
     pub fn record_store(&self, addr: usize, val: u64) {
+        let version = self.stores_recorded.fetch_add(1, Ordering::Relaxed) + 1;
         let word = word_of(addr);
         let line = cache_line_of(word);
         let idx = (word - line) / WORD_SIZE;
         let mut shard = self.shards[shard_of(line)].lock();
-        shard.volatile.entry(line).or_default()[idx] = Some(val);
-        self.stores_recorded.fetch_add(1, Ordering::Relaxed);
+        shard.volatile.entry(line).or_default()[idx] = Some((val, version));
     }
 
     /// Model a `pwb` of the cache line containing `addr` by the calling thread: the
     /// line's current volatile contents become *pending* for this thread.
     pub fn on_pwb(&self, addr: usize) {
         let line = cache_line_of(addr);
-        let snapshot: Vec<(usize, u64)> = {
+        let snapshot: Vec<PendingWrite> = {
             let shard = self.shards[shard_of(line)].lock();
             match shard.volatile.get(&line) {
                 None => Vec::new(),
                 Some(words) => words
                     .iter()
                     .enumerate()
-                    .filter_map(|(i, w)| w.map(|v| (line + i * WORD_SIZE, v)))
+                    .filter_map(|(i, w)| w.map(|(val, ver)| (line + i * WORD_SIZE, val, ver)))
                     .collect(),
             }
         };
@@ -109,20 +128,24 @@ impl PersistenceTracker {
     }
 
     /// Model a `pfence` by the calling thread: everything this thread has `pwb`-ed
-    /// since its previous fence becomes persisted.
+    /// since its previous fence becomes persisted — unless a newer version of the
+    /// word is already persisted (see the module docs on monotone commits).
     pub fn on_pfence(&self) {
         let tid = std::thread::current().id();
-        let drained: Vec<(usize, u64)> = {
+        let drained: Vec<PendingWrite> = {
             let mut pending = self.pending.lock();
             match pending.get_mut(&tid) {
                 None => return,
                 Some(v) => std::mem::take(v),
             }
         };
-        for (word, val) in drained {
+        for (word, val, ver) in drained {
             let line = cache_line_of(word);
             let mut shard = self.shards[shard_of(line)].lock();
-            shard.persisted.insert(word, val);
+            let entry = shard.persisted.entry(word).or_insert((val, ver));
+            if ver >= entry.1 {
+                *entry = (val, ver);
+            }
         }
     }
 
@@ -132,7 +155,10 @@ impl PersistenceTracker {
         let line = cache_line_of(word);
         let idx = (word - line) / WORD_SIZE;
         let shard = self.shards[shard_of(line)].lock();
-        shard.volatile.get(&line).and_then(|w| w[idx])
+        shard
+            .volatile
+            .get(&line)
+            .and_then(|w| w[idx].map(|(val, _)| val))
     }
 
     /// The persisted value of `addr`, if any store to it has been flushed and fenced.
@@ -140,7 +166,7 @@ impl PersistenceTracker {
         let word = word_of(addr);
         let line = cache_line_of(word);
         let shard = self.shards[shard_of(line)].lock();
-        shard.persisted.get(&word).copied()
+        shard.persisted.get(&word).map(|(val, _)| *val)
     }
 
     /// Number of stores recorded so far (diagnostic).
@@ -153,7 +179,7 @@ impl PersistenceTracker {
         let mut words = HashMap::new();
         for shard in &self.shards {
             let s = shard.lock();
-            for (addr, val) in &s.persisted {
+            for (addr, (val, _)) in &s.persisted {
                 words.insert(*addr, *val);
             }
         }
@@ -167,8 +193,8 @@ impl PersistenceTracker {
             let s = shard.lock();
             for (line, vals) in &s.volatile {
                 for (i, v) in vals.iter().enumerate() {
-                    if let Some(v) = v {
-                        words.insert(line + i * WORD_SIZE, *v);
+                    if let Some((val, _)) = v {
+                        words.insert(line + i * WORD_SIZE, *val);
                     }
                 }
             }
@@ -298,6 +324,42 @@ mod tests {
         assert_eq!(t.persisted_value(addr), None);
         t.on_pfence();
         assert_eq!(t.persisted_value(addr), Some(99));
+    }
+
+    #[test]
+    fn stale_cross_thread_fence_cannot_clobber_a_newer_persisted_value() {
+        // Thread B snapshots the line (value 1) with a pwb, then stalls. The main
+        // thread stores 2, flushes and fences — persisted value 2. When B finally
+        // fences, its stale snapshot must NOT regress the persisted image: on real
+        // hardware a write-back carries the line's current contents, so later
+        // write-backs never carry older data.
+        use std::sync::mpsc;
+        let t = std::sync::Arc::new(PersistenceTracker::new());
+        let x = Box::leak(Box::new(0u64));
+        let addr = addr_of(x);
+        t.record_store(addr, 1);
+
+        let (to_b, b_gate) = mpsc::channel::<()>();
+        let (b_ready, from_b) = mpsc::channel::<()>();
+        let t2 = std::sync::Arc::clone(&t);
+        let handle = std::thread::spawn(move || {
+            t2.on_pwb(addr); // snapshot: value 1
+            b_ready.send(()).unwrap();
+            b_gate.recv().unwrap(); // stall until main has persisted value 2
+            t2.on_pfence(); // stale commit attempt
+        });
+        from_b.recv().unwrap();
+        t.record_store(addr, 2);
+        t.on_pwb(addr);
+        t.on_pfence();
+        assert_eq!(t.persisted_value(addr), Some(2));
+        to_b.send(()).unwrap();
+        handle.join().unwrap();
+        assert_eq!(
+            t.persisted_value(addr),
+            Some(2),
+            "a stale fence regressed the persisted image"
+        );
     }
 
     #[test]

@@ -9,9 +9,9 @@
 //! * `P:` [`flit::Policy`] — *how* p-instructions are implemented (plain,
 //!   flit-adjacent, flit-HT, flit-cacheline, link-and-persist, or the non-persistent
 //!   baseline);
-//! * `D:` [`Durability`](flit_datastructs::Durability) — *which* instructions are
-//!   p-instructions. [`Automatic`](flit_datastructs::Automatic) (every instruction,
-//!   Theorem 3.1) and [`Manual`](flit_datastructs::Manual) (only the
+//! * `D:` [`Durability`] — *which* instructions are
+//!   p-instructions. [`Automatic`] (every instruction,
+//!   Theorem 3.1) and [`Manual`] (only the
 //!   linearization-point stores) are the two variants the queue harness exercises.
 //!
 //! | structure | module | paper reference |

@@ -1,0 +1,160 @@
+//! Operation histories for crash-injection testing.
+//!
+//! The `flit-crashtest` engine replays a *history* — a fixed, single-threaded
+//! sequence of operations — against a structure, once per crash point. The histories
+//! here come in two flavours:
+//!
+//! * **scripted** — a fixed sequence that grows, drains and regrows the structure so
+//!   the sweep crosses inserts into empty/non-empty states, removes of present/absent
+//!   keys, and reads of both (the deterministic backbone every CI run exercises);
+//! * **seeded random** — generated from a [`SmallRng`] seed, so a failing run is
+//!   fully reproduced by `(seed, length, key range, crash event)`.
+//!
+//! Determinism is the whole point: a history replayed against a fresh tracking
+//! backend produces the identical persistence-event stream every time, which is what
+//! makes "crash at event N" a complete reproduction recipe.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One map operation of a crash-test history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapOp {
+    /// Insert `(key, value)` (no overwrite, mirroring `ConcurrentMap::insert`).
+    Insert(u64, u64),
+    /// Remove a key.
+    Remove(u64),
+    /// Look a key up (reads matter: they can *help* unlink logically deleted nodes).
+    Get(u64),
+}
+
+/// One queue operation of a crash-test history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOp {
+    /// Enqueue a value at the tail.
+    Enqueue(u64),
+    /// Dequeue from the head (possibly observing empty).
+    Dequeue,
+}
+
+/// The fixed scripted map history: grow, mixed churn, drain, regrow. Small enough
+/// that a full every-event sweep stays fast, varied enough to cross every state
+/// transition the map structures have.
+pub fn scripted_map_history() -> Vec<MapOp> {
+    let mut ops = Vec::new();
+    for k in 0..10u64 {
+        ops.push(MapOp::Insert(k, 100 + k));
+    }
+    for k in (0..10u64).step_by(2) {
+        ops.push(MapOp::Remove(k));
+    }
+    // Reads of present and absent keys (these help-unlink marked nodes).
+    ops.push(MapOp::Get(1));
+    ops.push(MapOp::Get(2));
+    // Re-insert over a removed key, duplicate insert, remove of absent key.
+    ops.push(MapOp::Insert(2, 222));
+    ops.push(MapOp::Insert(3, 333));
+    ops.push(MapOp::Remove(6));
+    ops.push(MapOp::Remove(6));
+    for k in 1..10u64 {
+        ops.push(MapOp::Remove(k));
+    }
+    for k in 20..26u64 {
+        ops.push(MapOp::Insert(k, 2000 + k));
+    }
+    ops
+}
+
+/// A seeded random map history over keys `0..key_range`: ~40% inserts, ~30%
+/// removes, ~30% gets. Identical `(seed, len, key_range)` always yields the
+/// identical history.
+pub fn random_map_history(seed: u64, len: usize, key_range: u64) -> Vec<MapOp> {
+    assert!(key_range > 0, "key range must be non-empty");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|i| {
+            let key = rng.gen_range(0..key_range);
+            match rng.gen_range(0..10u32) {
+                0..=3 => MapOp::Insert(key, (i as u64) << 16 | key),
+                4..=6 => MapOp::Remove(key),
+                _ => MapOp::Get(key),
+            }
+        })
+        .collect()
+}
+
+/// The fixed scripted queue history: fill, partially drain, drain to empty (and
+/// beyond — dequeue-of-empty is a distinct read-only path), refill.
+pub fn scripted_queue_history() -> Vec<QueueOp> {
+    let mut ops = Vec::new();
+    for v in 0..12u64 {
+        ops.push(QueueOp::Enqueue(v));
+    }
+    for _ in 0..6 {
+        ops.push(QueueOp::Dequeue);
+    }
+    for v in 100..104u64 {
+        ops.push(QueueOp::Enqueue(v));
+    }
+    // Drain past empty: two extra dequeues observe the empty queue.
+    for _ in 0..12 {
+        ops.push(QueueOp::Dequeue);
+    }
+    for v in 200..204u64 {
+        ops.push(QueueOp::Enqueue(v));
+    }
+    ops
+}
+
+/// A seeded random queue history: ~55% enqueues, ~45% dequeues, so runs cross both
+/// non-empty and drained-empty states. Identical `(seed, len)` always yields the
+/// identical history.
+pub fn random_queue_history(seed: u64, len: usize) -> Vec<QueueOp> {
+    // Domain-separate from the map generator so the same seed does not correlate.
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    (0..len)
+        .map(|i| {
+            if rng.gen_range(0..100u32) < 55 {
+                QueueOp::Enqueue((i as u64) + 1)
+            } else {
+                QueueOp::Dequeue
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_histories_are_fixed_and_nonempty() {
+        assert_eq!(scripted_map_history(), scripted_map_history());
+        assert_eq!(scripted_queue_history(), scripted_queue_history());
+        assert!(scripted_map_history().len() >= 30);
+        assert!(scripted_queue_history().len() >= 30);
+    }
+
+    #[test]
+    fn random_histories_are_deterministic_per_seed() {
+        assert_eq!(random_map_history(7, 50, 16), random_map_history(7, 50, 16));
+        assert_ne!(random_map_history(7, 50, 16), random_map_history(8, 50, 16));
+        assert_eq!(random_queue_history(7, 50), random_queue_history(7, 50));
+        assert_ne!(random_queue_history(7, 50), random_queue_history(9, 50));
+    }
+
+    #[test]
+    fn random_map_history_mixes_op_kinds() {
+        let ops = random_map_history(3, 300, 8);
+        let inserts = ops
+            .iter()
+            .filter(|o| matches!(o, MapOp::Insert(..)))
+            .count();
+        let removes = ops.iter().filter(|o| matches!(o, MapOp::Remove(_))).count();
+        let gets = ops.iter().filter(|o| matches!(o, MapOp::Get(_))).count();
+        assert!(inserts > 0 && removes > 0 && gets > 0);
+        assert!(ops.iter().all(|o| match o {
+            MapOp::Insert(k, _) | MapOp::Remove(k) | MapOp::Get(k) => *k < 8,
+        }));
+    }
+}

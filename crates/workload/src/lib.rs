@@ -21,6 +21,12 @@
 //! * [`QueueWorkloadConfig`] / [`QueueShape`] — mix, ratio, bursts, prefill.
 //! * [`run_queue_workload`] — run one configuration against any [`ConcurrentQueue`].
 //!
+//! ## Crash-test histories
+//!
+//! [`crash_history`] generates the deterministic single-threaded operation
+//! sequences (scripted and seeded-random) that the `flit-crashtest` engine replays
+//! once per crash point.
+//!
 //! ## Dispatch
 //!
 //! [`harness`] is a value-addressable dispatcher over every
@@ -34,12 +40,17 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod crash_history;
 pub mod harness;
 pub mod queue_config;
 pub mod queue_runner;
 pub mod runner;
 
 pub use config::WorkloadConfig;
+pub use crash_history::{
+    random_map_history, random_queue_history, scripted_map_history, scripted_queue_history, MapOp,
+    QueueOp,
+};
 pub use harness::{
     run_case, run_queue_case, Case, DsKind, DurKind, PolicyKind, QueueCase, QUEUE_DURS,
 };

@@ -34,7 +34,7 @@ fn run<M: ConcurrentMap<P>, P: flit::Policy>(label: &str, map: M) {
         x ^= x << 17;
         let key = x % KEYS;
         if i % 10 == 0 {
-            if key.is_multiple_of(2) {
+            if key % 2 == 0 {
                 map.remove(key);
             } else {
                 map.insert(key, key);

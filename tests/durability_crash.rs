@@ -1,10 +1,14 @@
-//! Crash-consistency integration tests using the adversarial persistence tracker:
-//! only stores that were explicitly written back *and* fenced survive the simulated
+//! Crash-consistency integration tests at the P-V interface level, driven by the
+//! adversarial persistence tracker and the [`CrashPlan`] crash-injection hook: only
+//! stores that were explicitly written back *and* fenced survive the simulated
 //! crash. These exercise Theorem 3.1's guarantee from the outside: anything an
 //! operation depended on when it completed must be in the crash image.
+//!
+//! (Whole-structure crash sweeps live in `flit-crashtest` and the per-structure
+//! crash tests; this file covers the raw word-level interface.)
 
 use flit::{presets, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
-use flit_pmem::SimNvram;
+use flit_pmem::{CrashPlan, SimNvram};
 
 type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
 type Word = <HtPolicy as Policy>::Word<u64>;
@@ -83,35 +87,68 @@ fn dependency_order_is_never_inverted() {
     );
 }
 
-/// The same inversion check through the plain policy: even without tagging, the
-/// p-store protocol itself (fence before store) prevents a later store from being
-/// durable while an earlier dependency is not.
-#[test]
-fn plain_policy_also_preserves_dependency_order() {
-    let nvram = SimNvram::for_crash_testing();
-    let policy = presets::plain(nvram.clone());
-    type PlainWord = <flit::PlainPolicy<SimNvram> as Policy>::Word<u64>;
-    let chain: Vec<PlainWord> = (0..16).map(|_| PlainWord::new(0)).collect();
+/// Run a dependency chain of p-stores under `policy_factory` with a [`CrashPlan`]
+/// armed at `crash_at`, and return which chain slots survived the frozen image.
+fn chain_survivors<P, F>(policy_factory: F, crash_at: Option<u64>) -> (Vec<bool>, u64)
+where
+    P: Policy<Backend = SimNvram>,
+    F: FnOnce(SimNvram) -> P,
+{
+    const CHAIN: usize = 16;
+    let plan = match crash_at {
+        Some(k) => CrashPlan::armed_at(k),
+        None => CrashPlan::counting(),
+    };
+    let nvram = SimNvram::for_crash_testing_with_plan(plan.clone());
+    let policy = policy_factory(nvram.clone());
+    let chain: Vec<P::Word<u64>> = (0..CHAIN).map(|_| P::Word::<u64>::new(0)).collect();
     for (i, w) in chain.iter().enumerate() {
         if i > 0 {
             let _ = chain[i - 1].load(&policy, PFlag::Persisted);
         }
         w.store(&policy, i as u64 + 1, PFlag::Persisted);
     }
-    // No operation_completion: still, each completed p-store is durable.
-    let image = nvram.tracker().unwrap().crash_image();
-    let survived: Vec<bool> = chain
+    let image = match crash_at {
+        Some(_) => plan
+            .crash_image()
+            .unwrap_or_else(|| nvram.tracker().unwrap().crash_image()),
+        None => nvram.tracker().unwrap().crash_image(),
+    };
+    let survivors = chain
         .iter()
         .map(|w| image.read(w.addr()).is_some())
         .collect();
-    // The survivors must form a prefix (no inversion).
-    let first_lost = survived.iter().position(|s| !s).unwrap_or(survived.len());
-    assert!(
-        survived[first_lost..].iter().all(|s| !s),
-        "a later store survived while an earlier dependency was lost: {survived:?}"
-    );
-    assert!(
-        first_lost >= 15,
-        "completed p-stores should essentially all survive"
-    );
+    (survivors, plan.events_seen())
+}
+
+/// Sweep a crash across *every* persistence event of a p-store dependency chain,
+/// through both the plain transformation and FliT: at every crash point the
+/// survivors must form a prefix of the chain (a later store must never be durable
+/// while an earlier dependency is lost). This is the word-level version of the
+/// structure sweeps in `flit-crashtest`, driving the `CrashPlan` hook directly.
+#[test]
+fn dependency_chains_survive_as_prefixes_at_every_crash_point() {
+    fn sweep<P, F>(label: &str, factory: F)
+    where
+        P: Policy<Backend = SimNvram>,
+        F: Fn(SimNvram) -> P,
+    {
+        let (all, total) = chain_survivors(&factory, None);
+        assert!(
+            all.iter().all(|s| *s),
+            "{label}: crash-free run persists all"
+        );
+        for k in 0..total {
+            let (survived, _) = chain_survivors(&factory, Some(k));
+            let first_lost = survived.iter().position(|s| !s).unwrap_or(survived.len());
+            assert!(
+                survived[first_lost..].iter().all(|s| !s),
+                "{label}, crash at event {k}: a later store survived while an earlier \
+                 dependency was lost: {survived:?}"
+            );
+        }
+    }
+    sweep("plain", presets::plain);
+    sweep("flit-ht", presets::flit_ht);
+    sweep("link-and-persist", presets::link_and_persist);
 }

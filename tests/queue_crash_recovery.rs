@@ -1,67 +1,111 @@
-//! Adversarial crash-recovery tests for the durable Michael–Scott queue: the
-//! persistence tracker's [`CrashImage`] contains only stores that were explicitly
-//! written back *and* fenced, and recovery must reconstruct a queue state that is a
-//! linearizable continuation of the completed operations.
+//! Adversarial crash-recovery tests for the durable Michael–Scott queue.
 //!
-//! Durable linearizability for a queue means: after a crash, (a) every completed
-//! enqueue's value is in the recovered queue unless a completed dequeue removed it,
-//! (b) no completed dequeue's value reappears, and (c) FIFO order is preserved.
-//! In quiescent states (all operations complete) this pins the recovered sequence
-//! exactly; the tests below check that pin at every operation boundary and after
-//! multi-threaded producer/consumer runs.
+//! The single-threaded cases are driven by the `flit-crashtest` engine, which is
+//! strictly stronger than the hand-rolled op-boundary checks it replaced: it
+//! injects a simulated crash at **every persistence event** (store/pwb/pfence) of
+//! the history — including mid-operation windows — rebuilds the queue from the
+//! frozen [`CrashImage`](flit_pmem::CrashImage), and checks the recovered state is
+//! a prefix-consistent linearization of the issued history.
+//!
+//! The multi-threaded case keeps its direct tracker usage: the sweep engine is
+//! deliberately single-threaded (that is what makes event indices deterministic),
+//! so concurrent traffic is validated at quiescence instead.
 
 use std::sync::Arc;
 
 use flit::{presets, FlitPolicy, HashedScheme};
+use flit_crashtest::{run_case, HistorySpec, MethodKind, PolicyKind, StructureKind, SweepSettings};
 use flit_pmem::SimNvram;
-use flit_queues::{Automatic, ConcurrentQueue, Manual, MsQueue};
+use flit_queues::{Automatic, ConcurrentQueue, MsQueue};
 
 type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
 
-/// Single-threaded, fully deterministic: after *every* completed operation, the
-/// adversarial crash image must recover to exactly the abstract queue state — i.e.
-/// the persisted prefix is the linearized history itself, at every boundary.
+const EVERY_EVENT: SweepSettings = SweepSettings {
+    budget: 0,
+    crash_at: None,
+};
+
+/// Single-threaded, fully deterministic: crash at *every* persistence event of the
+/// scripted grow/drain/regrow history. At each point the recovered queue must equal
+/// the model queue after the completed operations (± the one in flight), i.e. the
+/// persisted prefix is the linearized history at every boundary — and inside every
+/// operation.
 #[test]
-fn persisted_prefix_matches_the_linearized_history_at_every_boundary() {
-    let nvram = SimNvram::for_crash_testing();
-    let queue: MsQueue<HtPolicy, Automatic> = MsQueue::new(presets::flit_ht(nvram.clone()));
-    // Pin reclamation off so recovery may walk retired sentinels.
-    let _guard = queue.collector().pin();
-    let mut model = std::collections::VecDeque::new();
-
-    let check = |queue: &MsQueue<HtPolicy, Automatic>, model: &std::collections::VecDeque<u64>| {
-        let image = nvram.tracker().unwrap().crash_image();
-        let recovered = unsafe { queue.recover(&image) };
+fn persisted_prefix_matches_the_linearized_history_at_every_crash_point() {
+    for method in MethodKind::CORRECT {
+        let report = run_case(
+            StructureKind::MsQueue,
+            method,
+            PolicyKind::FlitHt,
+            HistorySpec::Scripted,
+            &EVERY_EVENT,
+        )
+        .expect("supported combination");
         assert!(
-            !recovered.truncated,
-            "reachable node with unpersisted value"
+            report.clean(),
+            "{}: first violation: {}",
+            report.case.id(),
+            report.violations[0]
         );
+        // The sweep really covered the whole event span plus the end control.
         assert_eq!(
-            recovered.values,
-            model.iter().copied().collect::<Vec<_>>(),
-            "crash image diverged from the linearized queue"
+            report.points_tested as u64,
+            report.events_total - report.events_construction + 1
         );
-    };
-
-    // A deterministic interleaving that grows, drains to empty, and regrows.
-    let script: Vec<Option<u64>> = (0..40u64)
-        .map(Some)
-        .chain((0..45).map(|_| None))
-        .chain((100..120u64).map(Some))
-        .chain((0..10).map(|_| None))
-        .collect();
-    for step in script {
-        match step {
-            Some(v) => {
-                queue.enqueue(v);
-                model.push_back(v);
-            }
-            None => {
-                assert_eq!(queue.dequeue(), model.pop_front());
-            }
-        }
-        check(&queue, &model);
     }
+}
+
+/// The same every-event sweep through seeded random histories: different seeds
+/// exercise different enqueue/dequeue interleavings, and each failure (if any)
+/// would print a `(seed, crash offset)` repro string.
+#[test]
+fn random_histories_recover_at_every_crash_point() {
+    for seed in [1u64, 0xdead] {
+        let report = run_case(
+            StructureKind::MsQueue,
+            MethodKind::Automatic,
+            PolicyKind::FlitHt,
+            HistorySpec::Random {
+                seed,
+                ops: 40,
+                key_range: 8,
+            },
+            &EVERY_EVENT,
+        )
+        .unwrap();
+        assert!(
+            report.clean(),
+            "{}: first violation: {}",
+            report.case.id(),
+            report.violations[0]
+        );
+    }
+}
+
+/// The manual p-marking variant persists only the linearization-point stores; the
+/// tail swings stay volatile. The every-event sweep proves a crash image taken at
+/// any moment still recovers every completed enqueue by walking the persisted
+/// `next` chain from `head`.
+#[test]
+fn manual_variant_survives_without_a_persisted_tail() {
+    let report = run_case(
+        StructureKind::MsQueue,
+        MethodKind::Manual,
+        PolicyKind::FlitHt,
+        HistorySpec::Random {
+            seed: 7,
+            ops: 64,
+            key_range: 8,
+        },
+        &EVERY_EVENT,
+    )
+    .unwrap();
+    assert!(
+        report.clean(),
+        "{}: first violation: {}",
+        report.case.id(),
+        report.violations[0]
+    );
 }
 
 /// Multi-threaded producer/consumer traffic, then quiescence: the recovered queue
@@ -152,26 +196,4 @@ fn recovered_queue_is_linearizable_after_concurrent_producer_consumer_run() {
             );
         }
     }
-}
-
-/// The manual p-marking variant persists only the linearization-point stores; the
-/// tail swings stay volatile. A crash image taken mid-stream must still recover
-/// every completed enqueue by walking the persisted `next` chain from `head`.
-#[test]
-fn manual_variant_survives_without_a_persisted_tail() {
-    let nvram = SimNvram::for_crash_testing();
-    let queue: MsQueue<HtPolicy, Manual> = MsQueue::new(presets::flit_ht(nvram.clone()));
-    let _guard = queue.collector().pin();
-
-    for v in 0..64u64 {
-        queue.enqueue(v);
-    }
-    for expected in 0..16u64 {
-        assert_eq!(queue.dequeue(), Some(expected));
-    }
-
-    let image = nvram.tracker().unwrap().crash_image();
-    let recovered = unsafe { queue.recover(&image) };
-    assert!(!recovered.truncated);
-    assert_eq!(recovered.values, (16..64).collect::<Vec<_>>());
 }

@@ -1,4 +1,4 @@
-//! Collection strategies ([`vec`]).
+//! Collection strategies ([`vec()`]).
 
 use std::ops::Range;
 
@@ -12,7 +12,7 @@ pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, size }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

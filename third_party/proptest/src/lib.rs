@@ -5,9 +5,9 @@
 //!
 //! * the [`proptest!`] macro (with `#![proptest_config(...)]` and multiple
 //!   `#[test] fn name(pat in strategy) { .. }` items);
-//! * [`prop_oneof!`] and the [`Strategy`] trait with `prop_map`;
+//! * [`prop_oneof!`] and the [`Strategy`](strategy::Strategy) trait with `prop_map`;
 //! * strategies for integer ranges, tuples, and [`collection::vec`];
-//! * [`ProptestConfig::with_cases`].
+//! * [`ProptestConfig::with_cases`](test_runner::ProptestConfig::with_cases).
 //!
 //! Semantics: each test function runs `cases` iterations with freshly generated
 //! inputs from a generator seeded deterministically from the test's name, so failures
