@@ -13,6 +13,10 @@
 //!   --ops N               random-history length                 (default: 48)
 //!   --key-range N         random-history key universe           (default: 12)
 //!   --budget N            max crash points per case, 0 = every event (default: 64)
+//!   --elision MODE        on|off|both: persist-epoch elision of the replayed
+//!                         backend (default: both — sweep the elided stream AND
+//!                         the paper-literal one; with --crash-at the default is
+//!                         `on` only, because crash offsets are stream-specific)
 //!   --crash-at K          inject exactly one crash point (repro mode)
 //!   --json PATH           write a machine-readable report (CI artifact)
 //!   --skip-control        do not run the deliberately broken control
@@ -27,6 +31,7 @@ use flit_crashtest::{
     run_case, run_matrix, HistorySpec, MethodKind, PolicyKind, StructureKind, SweepReport,
     SweepSettings,
 };
+use flit_pmem::ElisionMode;
 
 struct Args {
     structures: Vec<StructureKind>,
@@ -34,6 +39,7 @@ struct Args {
     policies: Vec<PolicyKind>,
     history: HistorySpec,
     settings: SweepSettings,
+    elisions: Vec<ElisionMode>,
     json: Option<String>,
     skip_control: bool,
 }
@@ -73,6 +79,7 @@ fn parse_args() -> Args {
     let mut key_range = 12u64;
     let mut budget = 64usize;
     let mut crash_at = None;
+    let mut elisions = None;
     let mut json = None;
     let mut skip_control = false;
 
@@ -98,6 +105,16 @@ fn parse_args() -> Args {
             "--key-range" => key_range = parse_u64(&value(&mut i)).expect("numeric --key-range"),
             "--budget" => budget = value(&mut i).parse().expect("numeric --budget"),
             "--crash-at" => crash_at = Some(parse_u64(&value(&mut i)).expect("numeric --crash-at")),
+            "--elision" => {
+                let v = value(&mut i);
+                elisions = Some(match v.as_str() {
+                    "both" => vec![ElisionMode::Enabled, ElisionMode::Disabled],
+                    other => vec![ElisionMode::parse(other).unwrap_or_else(|| {
+                        eprintln!("unknown --elision {other:?}: expected on|off|both");
+                        std::process::exit(2);
+                    })],
+                });
+            }
             "--json" => json = Some(value(&mut i)),
             "--skip-control" => skip_control = true,
             other => {
@@ -120,12 +137,28 @@ fn parse_args() -> Args {
             std::process::exit(2);
         }
     };
+    // Crash offsets are stream-specific (elision removes fence events), so repro
+    // mode must not silently replay the offset under both streams: default to the
+    // elided stream and let the repro string's explicit --elision pin the right one.
+    let elisions = elisions.unwrap_or_else(|| {
+        if crash_at.is_some() {
+            eprintln!("note: --crash-at without --elision replays the elision-on stream only");
+            vec![ElisionMode::Enabled]
+        } else {
+            vec![ElisionMode::Enabled, ElisionMode::Disabled]
+        }
+    });
     Args {
         structures,
         methods,
         policies,
         history,
-        settings: SweepSettings { budget, crash_at },
+        settings: SweepSettings {
+            budget,
+            crash_at,
+            elision: ElisionMode::Enabled,
+        },
+        elisions,
         json,
         skip_control,
     }
@@ -166,11 +199,12 @@ fn report_json(report: &SweepReport, expected_violations: bool) -> String {
         report.clean()
     };
     format!(
-        r#"{{"case":"{}","structure":"{}","method":"{}","policy":"{}","events_construction":{},"events_total":{},"points_tested":{},"expected_violations":{},"ok":{},"violations":[{}]}}"#,
+        r#"{{"case":"{}","structure":"{}","method":"{}","policy":"{}","elision":"{}","events_construction":{},"events_total":{},"points_tested":{},"expected_violations":{},"ok":{},"violations":[{}]}}"#,
         json_escape(&report.case.id()),
         report.case.structure,
         report.case.method,
         report.case.policy,
+        report.case.elision.name(),
         report.events_construction,
         report.events_total,
         report.points_tested,
@@ -198,14 +232,22 @@ fn main() {
         }
     );
 
-    // The main matrix: correct methods must sweep clean.
-    let reports = run_matrix(
-        &args.structures,
-        &args.methods,
-        &args.policies,
-        args.history,
-        &args.settings,
-    );
+    // The main matrix: correct methods must sweep clean, under every requested
+    // elision mode (the two modes replay different instruction streams).
+    let mut reports = Vec::new();
+    for &elision in &args.elisions {
+        let settings = SweepSettings {
+            elision,
+            ..args.settings
+        };
+        reports.extend(run_matrix(
+            &args.structures,
+            &args.methods,
+            &args.policies,
+            args.history,
+            &settings,
+        ));
+    }
     let mut failed = false;
     println!("\n=== sweep matrix ===");
     for report in &reports {
@@ -240,37 +282,43 @@ fn main() {
     if !args.skip_control {
         println!("\n=== broken control (volatile-broken: violations are EXPECTED) ===");
         for &structure in &args.structures {
-            // Pick a control policy the structure supports; flit-HT supports every
-            // structure, so the control is never silently skipped.
-            let policy = args
-                .policies
-                .iter()
-                .copied()
-                .find(|p| p.supports(structure))
-                .unwrap_or(PolicyKind::FlitHt);
-            let report = run_case(
-                structure,
-                MethodKind::VolatileBroken,
-                policy,
-                args.history,
-                &args.settings,
-            )
-            .expect("a supported control policy was selected");
-            println!("{}", report.summary_line());
-            if report.clean() {
-                failed = true;
-                println!(
-                    "  HARNESS BUG: the broken control swept clean on {} — crash injection is \
+            for &elision in &args.elisions {
+                // Pick a control policy the structure supports; flit-HT supports every
+                // structure, so the control is never silently skipped.
+                let policy = args
+                    .policies
+                    .iter()
+                    .copied()
+                    .find(|p| p.supports(structure))
+                    .unwrap_or(PolicyKind::FlitHt);
+                let settings = SweepSettings {
+                    elision,
+                    ..args.settings
+                };
+                let report = run_case(
+                    structure,
+                    MethodKind::VolatileBroken,
+                    policy,
+                    args.history,
+                    &settings,
+                )
+                .expect("a supported control policy was selected");
+                println!("{}", report.summary_line());
+                if report.clean() {
+                    failed = true;
+                    println!(
+                        "  HARNESS BUG: the broken control swept clean on {} — crash injection is \
                      not detecting lost operations",
-                    report.case.id()
-                );
-            } else {
-                println!(
-                    "  control failed as expected, e.g.: {}",
-                    report.violations[0]
-                );
+                        report.case.id()
+                    );
+                } else {
+                    println!(
+                        "  control failed as expected, e.g.: {}",
+                        report.violations[0]
+                    );
+                }
+                control_reports.push(report);
             }
-            control_reports.push(report);
         }
         if control_reports.is_empty() {
             // The control is the harness's self-check: running zero control cases

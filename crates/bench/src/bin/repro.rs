@@ -1,12 +1,18 @@
 //! `repro` — regenerate the figures of the FliT paper's evaluation (§6).
 //!
 //! ```text
-//! cargo run -p flit-bench --release --bin repro -- [fig5|fig6|fig7|fig8|fig9|queues|summary|all] [--full]
+//! cargo run -p flit-bench --release --bin repro -- [fig5|fig6|fig7|fig8|fig9|queues|bench|summary|all] [--full] [--out PATH]
 //! ```
 //!
 //! `queues` runs the queue workload family (not part of the paper's evaluation):
 //! enqueue/dequeue mixes, producer:consumer ratios and the dequeue-of-empty
 //! read-elision experiment over the Michael–Scott queue of `flit-queues`.
+//!
+//! `bench` runs the machine-readable benchmark baseline — every map structure ×
+//! policy on the read-mostly (95/5) workload, with persist-epoch elision on *and*
+//! off — and writes it to `BENCH_flit.json` (or `--out PATH`). The committed
+//! baseline at the repository root is regenerated this way, so the perf trajectory
+//! (throughput, pwbs/op, pfences/op) is tracked per change.
 //!
 //! By default the quick scale is used (sized for the single-core reproduction
 //! container); `--full` switches to settings close to the paper's. The output is a
@@ -14,11 +20,11 @@
 //! run next to the paper's reported numbers.
 
 use flit_bench::experiments::{
-    figure5, figure6, figure7, figure8, figure9, queue_dequeue_empty, queue_mix,
-    queue_producer_consumer, Row, Scale,
+    bench_baseline, figure5, figure6, figure7, figure8, figure9, queue_dequeue_empty, queue_mix,
+    queue_producer_consumer, BenchRecord, Row, Scale, BENCH_UPDATE_PERCENT,
 };
 use flit_bench::{SCALE_FULL, SCALE_QUICK};
-use flit_pmem::LatencyModel;
+use flit_pmem::{ElisionMode, LatencyModel};
 use flit_workload::{run_case, Case, DsKind, DurKind, PolicyKind, WorkloadConfig};
 
 fn print_rows(title: &str, rows: &[Row]) {
@@ -72,6 +78,7 @@ fn summary(scale: &Scale) {
             policy,
             config: cfg(),
             latency: LatencyModel::optane(),
+            elision: ElisionMode::default(),
         };
         let plain = run_case(&mk(PolicyKind::Plain));
         let flit = run_case(&mk(PolicyKind::FlitHt(1 << 20)));
@@ -101,6 +108,7 @@ fn summary(scale: &Scale) {
                 policy,
                 config: cfg(),
                 latency: LatencyModel::optane(),
+                elision: ElisionMode::default(),
             };
             let plain = run_case(&mk(PolicyKind::Plain));
             let flit = run_case(&mk(PolicyKind::FlitHt(1 << 20)));
@@ -114,15 +122,94 @@ fn summary(scale: &Scale) {
     }
 }
 
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render the benchmark baseline as the `BENCH_flit.json` document. Hand-rolled
+/// (no serde in the offline container); every field is a number or a plain label.
+fn bench_json(scale: &Scale, quick: bool, records: &[BenchRecord]) -> String {
+    let entries: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                r#"    {{"structure":"{}","policy":"{}","durability":"{}","elision":"{}","mops":{},"pwbs_per_op":{},"pfences_per_op":{},"elided_pfences_per_op":{}}}"#,
+                r.structure,
+                r.policy,
+                r.durability,
+                r.elision,
+                json_f64(r.mops),
+                json_f64(r.pwbs_per_op),
+                json_f64(r.pfences_per_op),
+                json_f64(r.elided_pfences_per_op),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"flit-bench-v1\",\n  \"scale\": \"{}\",\n  \"workload\": {{\"update_percent\": {}, \"threads\": {}, \"ops_per_thread\": {}}},\n  \"records\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        BENCH_UPDATE_PERCENT,
+        scale.threads,
+        scale.ops_per_thread,
+        entries.join(",\n")
+    )
+}
+
+fn run_bench(scale: &Scale, quick: bool, out: &str) {
+    let records = bench_baseline(scale);
+    println!(
+        "\n=== Benchmark baseline: read-mostly ({}% updates) map workload, elision A/B ===",
+        BENCH_UPDATE_PERCENT
+    );
+    println!(
+        "{:<12} {:<18} {:<8} {:>10} {:>10} {:>12} {:>14}",
+        "structure", "policy", "elision", "Mops/s", "pwbs/op", "pfences/op", "elided-pf/op"
+    );
+    for r in &records {
+        println!(
+            "{:<12} {:<18} {:<8} {:>10.3} {:>10.3} {:>12.3} {:>14.3}",
+            r.structure,
+            r.policy,
+            r.elision,
+            r.mops,
+            r.pwbs_per_op,
+            r.pfences_per_op,
+            r.elided_pfences_per_op
+        );
+    }
+    let doc = bench_json(scale, quick, &records);
+    std::fs::write(out, doc).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    println!("\nwrote benchmark baseline to {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = !args.iter().any(|a| a == "--full");
     let scale = if quick { SCALE_QUICK } else { SCALE_FULL };
+    let out_flag = args.iter().position(|a| a == "--out");
+    let out = match out_flag {
+        Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--out needs a path");
+            std::process::exit(2);
+        }),
+        None => "BENCH_flit.json".to_string(),
+    };
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[*i - 1] != "--out"))
+        .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_string());
+    if out_flag.is_some() && what != "bench" {
+        eprintln!("warning: --out only applies to the 'bench' subcommand; nothing will be written");
+    }
 
     println!(
         "FliT reproduction — scale: {} ({} threads, {} ops/thread, simulated Optane latency)",
@@ -191,6 +278,7 @@ fn main() {
         "fig8" => run_fig8(),
         "fig9" => run_fig9(),
         "queues" => run_queues(),
+        "bench" => run_bench(&scale, quick, &out),
         "summary" => summary(&scale),
         "all" => {
             run_fig5();
@@ -203,7 +291,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}': expected fig5|fig6|fig7|fig8|fig9|queues|summary|all"
+                "unknown experiment '{other}': expected fig5|fig6|fig7|fig8|fig9|queues|bench|summary|all"
             );
             std::process::exit(2);
         }

@@ -7,7 +7,7 @@
 //! numbers are not comparable; the functions exist to reproduce the *relationships*
 //! the paper reports: who wins, by roughly what factor, and where the crossovers are.
 
-use flit_pmem::LatencyModel;
+use flit_pmem::{ElisionMode, LatencyModel};
 use flit_workload::{
     run_case, run_queue_case, Case, DsKind, DurKind, PolicyKind, QueueCase, QueueWorkloadConfig,
     WorkloadConfig, QUEUE_DURS,
@@ -80,6 +80,7 @@ fn case(ds: DsKind, dur: DurKind, policy: PolicyKind, cfg: WorkloadConfig) -> Ca
         policy,
         config: cfg,
         latency: LatencyModel::optane(),
+        elision: ElisionMode::default(),
     }
 }
 
@@ -251,6 +252,80 @@ pub fn figure9(scale: &Scale) -> Vec<Row> {
     rows
 }
 
+/// One record of the machine-readable benchmark baseline (`BENCH_flit.json`).
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Structure key (`bst`, `hashtable`, `list`, `skiplist`).
+    pub structure: String,
+    /// Policy label (e.g. `flit-HT (1MB)`).
+    pub policy: String,
+    /// Durability method key.
+    pub durability: String,
+    /// Persist-epoch elision mode of the run (`on` / `off`).
+    pub elision: &'static str,
+    /// Throughput in Mops/s (machine-dependent; tracked for trend, not truth).
+    pub mops: f64,
+    /// `pwb` instructions per operation (deterministic up to scheduling).
+    pub pwbs_per_op: f64,
+    /// `pfence` instructions per operation.
+    pub pfences_per_op: f64,
+    /// Fences skipped by elision, per operation.
+    pub elided_pfences_per_op: f64,
+}
+
+/// The update percentage of the benchmark baseline: the read-mostly (95% lookup)
+/// map workload where fence elision matters most.
+pub const BENCH_UPDATE_PERCENT: u32 = 5;
+
+/// The benchmark baseline behind `BENCH_flit.json`: every map structure × the four
+/// persistent policy variants × both elision modes on the read-mostly (95/5)
+/// workload with automatic durability. The A/B pair per (structure, policy) is what
+/// makes the per-op instruction savings of persist-epoch elision machine-readable.
+pub fn bench_baseline(scale: &Scale) -> Vec<BenchRecord> {
+    let variants = [
+        PolicyKind::Plain,
+        PolicyKind::FlitAdjacent,
+        PolicyKind::FlitHt(1 << 20),
+        PolicyKind::LinkAndPersist,
+    ];
+    let mut records = Vec::new();
+    for ds in DsKind::ALL {
+        let keys = small_key_range(scale, ds);
+        for policy in variants {
+            if !policy.applicable_to(ds) {
+                continue;
+            }
+            for elision in [ElisionMode::Enabled, ElisionMode::Disabled] {
+                let c = Case {
+                    ds,
+                    dur: DurKind::Automatic,
+                    policy,
+                    config: WorkloadConfig::new(
+                        keys,
+                        BENCH_UPDATE_PERCENT,
+                        scale.threads,
+                        scale.ops_per_thread,
+                    ),
+                    latency: LatencyModel::optane(),
+                    elision,
+                };
+                let r = run_case(&c);
+                records.push(BenchRecord {
+                    structure: ds.name().to_string(),
+                    policy: policy.name(),
+                    durability: DurKind::Automatic.name().to_string(),
+                    elision: elision.name(),
+                    mops: r.mops,
+                    pwbs_per_op: r.pwbs_per_op(),
+                    pfences_per_op: r.pfences_per_op(),
+                    elided_pfences_per_op: r.pmem.elided_pfences as f64 / r.total_ops as f64,
+                });
+            }
+        }
+    }
+    records
+}
+
 /// The policy variants swept by the queue experiments (every one applies to the
 /// queue; the non-persistent baseline is reported as its own series).
 const QUEUE_POLICIES: [PolicyKind; 5] = [
@@ -267,6 +342,7 @@ fn queue_case(dur: DurKind, policy: PolicyKind, config: QueueWorkloadConfig) -> 
         policy,
         config,
         latency: LatencyModel::optane(),
+        elision: ElisionMode::default(),
     }
 }
 
@@ -397,6 +473,44 @@ mod tests {
         assert_eq!(rows.len(), 3 * QUEUE_POLICIES.len());
         let series: std::collections::HashSet<_> = rows.iter().map(|r| &r.series).collect();
         assert_eq!(series.len(), 3, "three distinct thread ratios: {series:?}");
+    }
+
+    #[test]
+    fn bench_baseline_shows_the_fence_savings() {
+        let records = bench_baseline(&SCALE_TEST);
+        // 4 structures × 4 policies (minus lp/bst) × 2 elision modes.
+        assert_eq!(records.len(), (4 * 4 - 1) * 2);
+        let get = |structure: &str, policy: &str, elision: &str| {
+            records
+                .iter()
+                .find(|r| r.structure == structure && r.policy == policy && r.elision == elision)
+                .unwrap()
+        };
+        for structure in ["bst", "hashtable", "list", "skiplist"] {
+            let on = get(structure, "flit-HT (1MB)", "on");
+            let off = get(structure, "flit-HT (1MB)", "off");
+            assert!(
+                on.pfences_per_op < off.pfences_per_op,
+                "{structure}: elision must drop pfences/op ({} vs {})",
+                on.pfences_per_op,
+                off.pfences_per_op
+            );
+            assert!(on.elided_pfences_per_op > 0.0);
+            // Figure 9 invariance: the plain baseline's pwb stream is identical in
+            // both modes (it opts out of read-flush dedup). Concurrent CAS retries
+            // add scheduling noise, so compare with a small tolerance here; the
+            // exact single-threaded identity is asserted in `tests/elision.rs`.
+            let plain_on = get(structure, "plain", "on");
+            let plain_off = get(structure, "plain", "off");
+            let rel = (plain_on.pwbs_per_op - plain_off.pwbs_per_op).abs()
+                / plain_off.pwbs_per_op.max(1e-12);
+            assert!(
+                rel < 0.05,
+                "{structure}: plain pwbs/op changed under elision ({} vs {})",
+                plain_on.pwbs_per_op,
+                plain_off.pwbs_per_op
+            );
+        }
     }
 
     #[test]

@@ -20,6 +20,21 @@
 //! discharges Condition 4 of the P-V Interface: all values the thread previously
 //! `pwb`-ed — which, by the load and store rules, include every dependency it has
 //! accumulated — are durable before the new store can be observed by others.
+//!
+//! ## Persist-epoch elision
+//!
+//! Algorithm 4 issues its fences *unconditionally*; this implementation issues them
+//! through [`PmemBackend::pfence_if_dirty`], which skips the fence when the calling
+//! thread has issued zero `pwb`s since its previous fence — in that state the
+//! thread holds no unpersisted dependency, so the fence is a no-op by the P-V
+//! Interface's own semantics (Condition 4 is vacuously discharged). Likewise a
+//! tagged p-load re-flushing a word the thread already flushed, with the same
+//! observed value, in its current epoch goes through
+//! [`PmemBackend::pwb_dedup`] and is skipped (the plain baseline opts out — see
+//! [`TagScheme::dedups_read_flushes`]). On read-mostly workloads this removes
+//! nearly every fence of the hot path; `flit_pmem::epoch` documents the model and
+//! its soundness boundary, and building the backend with
+//! `ElisionMode::Disabled` restores the paper-literal stream.
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -95,16 +110,26 @@ impl<T: PWord, S: TagScheme, B: PmemBackend> FlitAtomic<T, S, B> {
         &self.repr as *const AtomicU64 as *const u8
     }
 
-    /// Read path of Algorithm 4 (lines 1-8).
+    /// Read path of Algorithm 4 (lines 1-8). `observed` is the word value the load
+    /// returned: it keys the duplicate-flush elision (a tagged word the thread
+    /// already flushed with this exact value in its current persist epoch is
+    /// already pending, so re-flushing it buys nothing).
     #[inline]
-    fn flush_if_tagged(&self, ctx: &FlitPolicy<S, B>, flag: PFlag) {
+    fn flush_if_tagged(&self, ctx: &FlitPolicy<S, B>, flag: PFlag, observed: u64) {
         if flag.is_persisted()
             && ctx.backend.is_persistent()
             && ctx.scheme.is_tagged(&self.tag, self.word_addr())
         {
-            ctx.backend.pwb(self.word_ptr());
-            if let Some(stats) = ctx.backend.pmem_stats() {
-                stats.record_read_side_pwb();
+            let flushed = if ctx.scheme.dedups_read_flushes() {
+                ctx.backend.pwb_dedup(self.word_ptr(), observed)
+            } else {
+                // The plain baseline stays paper-literal (see
+                // `TagScheme::dedups_read_flushes`).
+                ctx.backend.pwb(self.word_ptr());
+                true
+            };
+            if flushed {
+                ctx.backend.note_read_side_pwb();
             }
         }
     }
@@ -126,8 +151,11 @@ impl<T: PWord, S: TagScheme, B: PmemBackend> FlitAtomic<T, S, B> {
             return result;
         }
         // Leading fence: every dependency this thread accumulated (all its prior
-        // pwbs) must be durable before this store can linearize (Condition 4).
-        backend.pfence();
+        // pwbs) must be durable before this store can linearize (Condition 4). A
+        // *clean* thread has no outstanding pwbs — every dependency it holds was
+        // persisted by an earlier fence (its own trailing fences, or the writer's
+        // fence for untagged words it read) — so the fence is elided.
+        backend.pfence_if_dirty();
         if flag.is_persisted() {
             let addr = self.word_addr();
             ctx.scheme.begin_store(&self.tag, addr);
@@ -159,7 +187,7 @@ impl<T: PWord, S: TagScheme, B: PmemBackend> PersistWord<T, FlitPolicy<S, B>>
     #[inline]
     fn load(&self, ctx: &FlitPolicy<S, B>, flag: PFlag) -> T {
         let val = self.repr.load(Ordering::SeqCst);
-        self.flush_if_tagged(ctx, flag);
+        self.flush_if_tagged(ctx, flag, val);
         T::from_word(val)
     }
 
@@ -273,22 +301,66 @@ mod tests {
     }
 
     #[test]
-    fn p_store_costs_one_pwb_and_two_pfences() {
+    fn clean_thread_p_store_costs_one_pwb_and_one_trailing_pfence() {
+        // With persist-epoch elision (the default), a clean thread's leading fence
+        // would persist nothing and is skipped: only the trailing fence remains.
         let p = ht_policy();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
         w.store(&p, 1, PFlag::Persisted);
         let snap = p.stats_snapshot().unwrap();
         assert_eq!(snap.pwbs, 1);
-        assert_eq!(snap.pfences, 2);
+        assert_eq!(snap.pfences, 1, "leading fence elided on a clean thread");
+        assert_eq!(snap.elided_pfences, 1);
     }
 
     #[test]
-    fn v_store_costs_only_the_leading_pfence() {
+    fn dirty_thread_p_store_still_pays_both_pfences() {
+        let p = ht_policy();
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
+        // Dirty the thread: an unfenced pwb (as a tagged p-load would leave behind).
+        p.backend().pwb(w.word_ptr());
+        let before = p.stats_snapshot().unwrap();
+        w.store(&p, 1, PFlag::Persisted);
+        let delta = p.stats_snapshot().unwrap().delta_since(&before);
+        assert_eq!(delta.pfences, 2, "dirty thread: leading fence must fire");
+    }
+
+    #[test]
+    fn literal_mode_p_store_costs_two_pfences() {
+        // ElisionMode::Disabled restores the paper's exact instruction stream.
+        let p: HtPolicy = FlitPolicy::new(
+            HashedScheme::with_bytes(1 << 16),
+            SimNvram::builder()
+                .latency(LatencyModel::none())
+                .elision(flit_pmem::ElisionMode::Disabled)
+                .build(),
+        );
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
+        w.store(&p, 1, PFlag::Persisted);
+        let snap = p.stats_snapshot().unwrap();
+        assert_eq!(snap.pwbs, 1);
+        assert_eq!(snap.pfences, 2);
+        assert_eq!(snap.elided_pfences, 0);
+    }
+
+    #[test]
+    fn clean_thread_v_store_costs_no_persistence_instructions() {
         let p = ht_policy();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
         w.store(&p, 1, PFlag::Volatile);
         let snap = p.stats_snapshot().unwrap();
         assert_eq!(snap.pwbs, 0);
+        assert_eq!(snap.pfences, 0, "the v-store's only fence was a no-op");
+        assert_eq!(snap.elided_pfences, 1);
+    }
+
+    #[test]
+    fn dirty_thread_v_store_pays_the_leading_pfence() {
+        let p = ht_policy();
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
+        p.backend().pwb(w.word_ptr());
+        w.store(&p, 1, PFlag::Volatile);
+        let snap = p.stats_snapshot().unwrap();
         assert_eq!(snap.pfences, 1);
     }
 
@@ -316,6 +388,27 @@ mod tests {
         // Once untagged, loads stop flushing.
         let _ = w.load(&p, PFlag::Persisted);
         assert_eq!(p.stats_snapshot().unwrap().pwbs, 1);
+    }
+
+    #[test]
+    fn repeated_tagged_loads_flush_once_per_epoch() {
+        // A CAS-retry loop re-reading the same tagged, unchanged word pays one pwb
+        // per epoch instead of one per read.
+        let p = ht_policy();
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(3);
+        p.scheme().begin_store(&(), w.addr());
+        for _ in 0..10 {
+            let _ = w.load(&p, PFlag::Persisted);
+        }
+        let snap = p.stats_snapshot().unwrap();
+        assert_eq!(snap.pwbs, 1, "nine duplicate flushes deduped");
+        assert_eq!(snap.elided_pwbs, 9);
+        assert_eq!(snap.read_side_pwbs, 1, "only real flushes are read-side");
+        // A fence closes the epoch; the next tagged load flushes again.
+        p.backend().pfence();
+        let _ = w.load(&p, PFlag::Persisted);
+        assert_eq!(p.stats_snapshot().unwrap().pwbs, 2);
+        p.scheme().end_store(&(), w.addr());
     }
 
     #[test]

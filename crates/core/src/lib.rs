@@ -33,6 +33,21 @@
 //! phase) recover the performance of hand-optimised persistent data structures while
 //! staying within the same interface.
 //!
+//! ## Persist-epoch elision
+//!
+//! Condition 4 only obliges a fence when the thread actually *has* unpersisted
+//! dependencies. The hot path therefore issues its fences (the leading fence of
+//! every shared store, the [`Policy::operation_completion`] fence) through
+//! `flit_pmem::PmemBackend::pfence_if_dirty`, which skips the fence whenever the
+//! calling thread has issued zero `pwb`s since its previous fence — an exact
+//! marker for "no unpersisted dependencies": every dependency is acquired either
+//! by a p-load of a *tagged* word (which flushes, dirtying the thread) or of an
+//! *untagged* word (whose value the writer persisted before untagging). Duplicate
+//! read-side flushes within one epoch are likewise elided for the FliT schemes
+//! (never for the plain baseline). See `flit_pmem::epoch` for the model, the
+//! soundness argument and the `ElisionMode::Disabled` escape hatch that restores
+//! the paper-literal instruction stream.
+//!
 //! ## Crate layout
 //!
 //! | module | contents |

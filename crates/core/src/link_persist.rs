@@ -71,13 +71,16 @@ impl<T: PWord, B: PmemBackend> LpAtomic<T, B> {
     }
 
     /// Flush a value observed with the dirty bit set, then help clear the bit.
+    ///
+    /// Deliberately *not* routed through `pwb_dedup`: every flush in this policy is
+    /// immediately followed by a fence (which empties the epoch's dedup set), so a
+    /// dedup could never hit here. The only live persist-epoch elision in
+    /// link-and-persist is the leading fence of [`dirty_write`](Self::dirty_write).
     #[inline]
     fn flush_and_clear(&self, ctx: &LinkAndPersistPolicy<B>, observed: u64) {
         let backend = &ctx.backend;
         backend.pwb(self.word_ptr());
-        if let Some(stats) = backend.pmem_stats() {
-            stats.record_read_side_pwb();
-        }
+        backend.note_read_side_pwb();
         backend.pfence();
         // Helping is best-effort: if the writer (or another reader) already cleared
         // the bit — or the word changed entirely — there is nothing left to do.
@@ -102,8 +105,10 @@ impl<T: PWord, B: PmemBackend> LpAtomic<T, B> {
         let backend = &ctx.backend;
         if backend.is_persistent() {
             // Dependencies must be durable before this store can linearize
-            // (P-V Interface Condition 4), exactly as in the FliT write path.
-            backend.pfence();
+            // (P-V Interface Condition 4), exactly as in the FliT write path — and
+            // exactly as there, a clean thread has no unpersisted dependency and
+            // skips the fence.
+            backend.pfence_if_dirty();
         }
         loop {
             let cur = self.repr.load(Ordering::SeqCst);
@@ -269,7 +274,25 @@ mod tests {
 
     #[test]
     fn p_store_costs_match_flit() {
+        // Clean thread: the leading fence is elided here exactly as in the FliT
+        // write path, leaving one pwb and the trailing fence.
         let p = policy();
+        let w: LpAtomic<u64, SimNvram> = LpAtomic::new(0);
+        w.store(&p, 1, PFlag::Persisted);
+        let snap = p.stats_snapshot().unwrap();
+        assert_eq!(snap.pwbs, 1);
+        assert_eq!(snap.pfences, 1);
+        assert_eq!(snap.elided_pfences, 1);
+    }
+
+    #[test]
+    fn literal_mode_p_store_costs_two_pfences() {
+        let p = LinkAndPersistPolicy::new(
+            SimNvram::builder()
+                .latency(LatencyModel::none())
+                .elision(flit_pmem::ElisionMode::Disabled)
+                .build(),
+        );
         let w: LpAtomic<u64, SimNvram> = LpAtomic::new(0);
         w.store(&p, 1, PFlag::Persisted);
         let snap = p.stats_snapshot().unwrap();

@@ -94,9 +94,16 @@ pub trait Policy: Send + Sync + Sized + 'static {
     /// every data-structure operation. Issues a `pfence` so that every dependency of
     /// the completed operation is persisted before the operation returns
     /// (P-V Interface, Condition 4).
+    ///
+    /// The fence goes through
+    /// [`pfence_if_dirty`](flit_pmem::PmemBackend::pfence_if_dirty): a thread that
+    /// issued no `pwb` during the operation (e.g. a read-only operation over
+    /// untagged words) holds no unpersisted dependency — every value it read was
+    /// persisted by its writer's trailing fence before the word was untagged — so
+    /// the completion fence is elided entirely.
     fn operation_completion(&self) {
         if Self::PERSISTENT {
-            self.backend().pfence();
+            self.backend().pfence_if_dirty();
         }
     }
 
@@ -221,9 +228,28 @@ mod tests {
     }
 
     #[test]
-    fn operation_completion_issues_one_pfence() {
+    fn operation_completion_fences_only_dirty_threads() {
         let p = DummyPolicy {
             backend: SimNvram::builder().latency(LatencyModel::none()).build(),
+        };
+        // A clean thread's completion fence would persist nothing: elided.
+        p.operation_completion();
+        assert_eq!(p.stats_snapshot().unwrap().pfences, 0);
+        assert_eq!(p.stats_snapshot().unwrap().elided_pfences, 1);
+        // After a pwb the completion fence must fire.
+        let x = 1u64;
+        p.backend().pwb(&x as *const u64 as *const u8);
+        p.operation_completion();
+        assert_eq!(p.stats_snapshot().unwrap().pfences, 1);
+    }
+
+    #[test]
+    fn operation_completion_is_literal_when_elision_is_disabled() {
+        let p = DummyPolicy {
+            backend: SimNvram::builder()
+                .latency(LatencyModel::none())
+                .elision(flit_pmem::ElisionMode::Disabled)
+                .build(),
         };
         p.operation_completion();
         p.operation_completion();

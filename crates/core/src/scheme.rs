@@ -46,6 +46,19 @@ pub trait TagScheme: Send + Sync + Clone + 'static {
     /// Is the location currently tagged (i.e. might a p-store be pending)?
     fn is_tagged(&self, per_word: &Self::PerWord, addr: usize) -> bool;
 
+    /// Whether read-side flushes issued for this scheme may be deduplicated within
+    /// the reading thread's persist epoch
+    /// ([`PmemBackend::pwb_dedup`](flit_pmem::PmemBackend::pwb_dedup)).
+    ///
+    /// `true` for the real FliT schemes. [`PlainScheme`] returns `false`: *plain*
+    /// is the evaluation's baseline, whose defining cost is one `pwb` per p-load —
+    /// deduplicating it would silently change the Figure 9 quantity the comparison
+    /// is about.
+    #[inline]
+    fn dedups_read_flushes(&self) -> bool {
+        true
+    }
+
     /// Human-readable label including instance parameters (e.g. the table size).
     fn describe(&self) -> String {
         Self::NAME.to_string()
@@ -76,6 +89,13 @@ impl TagScheme for PlainScheme {
         // Treat every location as permanently tagged: a p-load can never skip its
         // flush. This turns Algorithm 4 into the naive persist-everything scheme.
         true
+    }
+
+    #[inline]
+    fn dedups_read_flushes(&self) -> bool {
+        // The baseline's one-pwb-per-p-load cost is the point of the comparison;
+        // keep it paper-literal even when the backend elides.
+        false
     }
 }
 
@@ -349,6 +369,14 @@ mod tests {
         s.end_store(&(), 0x1000);
         assert!(s.is_tagged(&(), 0x1000));
         assert_eq!(s.describe(), "plain");
+    }
+
+    #[test]
+    fn only_plain_opts_out_of_read_flush_dedup() {
+        assert!(!PlainScheme.dedups_read_flushes());
+        assert!(AdjacentScheme.dedups_read_flushes());
+        assert!(HashedScheme::with_bytes(64).dedups_read_flushes());
+        assert!(CacheLineScheme::with_bytes(64).dedups_read_flushes());
     }
 
     #[test]

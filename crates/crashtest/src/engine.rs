@@ -29,20 +29,38 @@ use std::collections::{BTreeMap, VecDeque};
 
 use flit::Policy;
 use flit_datastructs::{ConcurrentMap, Durability, MapCrashRecovery, RecoveredMap};
-use flit_pmem::{CrashImage, CrashPlan, SimNvram};
+use flit_pmem::{CrashImage, CrashPlan, ElisionMode, LatencyModel, SimNvram};
 use flit_queues::{ConcurrentQueue, MsQueue};
 use flit_workload::{MapOp, QueueOp};
 
 use crate::report::{CaseMeta, SweepReport, Violation};
 
 /// How much of the event span a sweep covers. The default (`budget: 0`, no pinned
-/// crash point) sweeps every event.
+/// crash point) sweeps every event of the elision-enabled instruction stream.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SweepSettings {
     /// Maximum number of crash points to inject (`0` = every event in the span).
     pub budget: usize,
     /// Inject exactly this one crash point instead of sweeping (repro mode).
     pub crash_at: Option<u64>,
+    /// Persist-epoch elision mode of the replayed backend. The default
+    /// ([`ElisionMode::Enabled`]) sweeps the elided instruction stream — the one
+    /// production runs execute; [`ElisionMode::Disabled`] sweeps the
+    /// paper-literal stream. Note the two streams have different event spans
+    /// (elision removes fence events), so crash offsets are not comparable
+    /// across modes.
+    pub elision: ElisionMode,
+}
+
+/// The backend a replay runs against: zero latency, tracking, the given plan, and
+/// the sweep's elision mode.
+fn replay_backend(plan: CrashPlan, elision: ElisionMode) -> SimNvram {
+    SimNvram::builder()
+        .latency(LatencyModel::none())
+        .tracking(true)
+        .crash_plan(plan)
+        .elision(elision)
+        .build()
 }
 
 /// Evenly spaced crash points over `base..=total`, at most `budget` of them
@@ -86,6 +104,7 @@ fn replay_map<P, M, F>(
     factory: &F,
     history: &[MapOp],
     crash_offset: Option<u64>,
+    elision: ElisionMode,
 ) -> Replay<RecoveredMap>
 where
     P: Policy<Backend = SimNvram>,
@@ -93,7 +112,7 @@ where
     F: Fn(SimNvram) -> P,
 {
     let plan = CrashPlan::counting();
-    let backend = SimNvram::for_crash_testing_with_plan(plan.clone());
+    let backend = replay_backend(plan.clone(), elision);
     let map = M::with_capacity(factory(backend.clone()), 64);
     // Pin every collector for the whole run: crash images hold stale pointers to
     // logically deleted nodes, and recovery must be able to dereference them.
@@ -160,6 +179,7 @@ fn replay_queue<P, D, F>(
     factory: &F,
     history: &[QueueOp],
     crash_offset: Option<u64>,
+    elision: ElisionMode,
 ) -> Replay<flit_queues::RecoveredQueue>
 where
     P: Policy<Backend = SimNvram>,
@@ -167,7 +187,7 @@ where
     F: Fn(SimNvram) -> P,
 {
     let plan = CrashPlan::counting();
-    let backend = SimNvram::for_crash_testing_with_plan(plan.clone());
+    let backend = replay_backend(plan.clone(), elision);
     let queue: MsQueue<P, D> = MsQueue::new(factory(backend.clone()));
     let guard = queue.collector().pin();
     let base = plan.events_seen();
@@ -333,7 +353,7 @@ where
     M: ConcurrentMap<P> + MapCrashRecovery<P>,
     F: Fn(SimNvram) -> P,
 {
-    let counting = replay_map::<P, M, F>(&factory, history, None);
+    let counting = replay_map::<P, M, F>(&factory, history, None, settings.elision);
     let span = counting.total - counting.base;
     let points = match settings.crash_at {
         Some(offset) => vec![offset.min(span)],
@@ -352,7 +372,7 @@ where
         });
     }
     for &offset in &points {
-        let run = replay_map::<P, M, F>(&factory, history, Some(offset));
+        let run = replay_map::<P, M, F>(&factory, history, Some(offset), settings.elision);
         let (recovered, kind) = run.recovered.expect("crash point was armed");
         let completed = completed_before(&run.boundaries, offset);
         let actual = recovered.sorted_pairs();
@@ -403,7 +423,7 @@ where
     D: Durability,
     F: Fn(SimNvram) -> P,
 {
-    let counting = replay_queue::<P, D, F>(&factory, history, None);
+    let counting = replay_queue::<P, D, F>(&factory, history, None, settings.elision);
     let span = counting.total - counting.base;
     let points = match settings.crash_at {
         Some(offset) => vec![offset.min(span)],
@@ -420,7 +440,7 @@ where
         });
     }
     for &offset in &points {
-        let run = replay_queue::<P, D, F>(&factory, history, Some(offset));
+        let run = replay_queue::<P, D, F>(&factory, history, Some(offset), settings.elision);
         let (recovered, kind) = run.recovered.expect("crash point was armed");
         let completed = completed_before(&run.boundaries, offset);
         if let Some(detail) = run.functional {

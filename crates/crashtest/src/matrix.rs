@@ -177,6 +177,7 @@ pub fn run_case(
         method: method.name(),
         policy: policy.name(),
         history,
+        elision: settings.elision,
     };
     Some(match policy {
         PolicyKind::Plain => with_policy(case, structure, method, settings, presets::plain),

@@ -70,7 +70,8 @@ impl HistorySpec {
     }
 }
 
-/// The coordinates of one sweep: structure × durability method × policy × history.
+/// The coordinates of one sweep: structure × durability method × policy ×
+/// history × elision mode.
 #[derive(Debug, Clone)]
 pub struct CaseMeta {
     /// Structure key (`list`, `hashtable`, `bst`, `skiplist`, `msqueue`).
@@ -82,28 +83,33 @@ pub struct CaseMeta {
     pub policy: &'static str,
     /// The history replayed.
     pub history: HistorySpec,
+    /// Persist-epoch elision mode the backend ran with (`on` sweeps the elided
+    /// instruction stream, `off` the paper-literal one).
+    pub elision: flit_pmem::ElisionMode,
 }
 
 impl CaseMeta {
-    /// Compact identifier, e.g. `list/automatic/flit-ht/scripted`.
+    /// Compact identifier, e.g. `list/automatic/flit-ht/scripted/elision-on`.
     pub fn id(&self) -> String {
         format!(
-            "{}/{}/{}/{}",
+            "{}/{}/{}/{}/elision-{}",
             self.structure,
             self.method,
             self.policy,
-            self.history.label()
+            self.history.label(),
+            self.elision.name()
         )
     }
 
     /// A complete `crashtest` invocation replaying one crash point of this case.
     pub fn repro(&self, crash_event: u64) -> String {
         format!(
-            "crashtest --structures {} --methods {} --policies {} {} --crash-at {}",
+            "crashtest --structures {} --methods {} --policies {} {} --elision {} --crash-at {}",
             self.structure,
             self.method,
             self.policy,
             self.history.cli_flags(),
+            self.elision.name(),
             crash_event
         )
     }
@@ -191,6 +197,7 @@ mod tests {
                 ops: 64,
                 key_range: 16,
             },
+            elision: flit_pmem::ElisionMode::Enabled,
         }
     }
 
@@ -205,10 +212,12 @@ mod tests {
             "--seed 0x2a",
             "--ops 64",
             "--key-range 16",
+            "--elision on",
             "--crash-at 17",
         ] {
             assert!(repro.contains(needle), "missing {needle:?} in {repro:?}");
         }
+        assert!(case().id().ends_with("/elision-on"));
     }
 
     #[test]

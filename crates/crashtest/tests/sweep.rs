@@ -5,11 +5,13 @@
 use flit_crashtest::{
     run_case, run_matrix, HistorySpec, MethodKind, PolicyKind, StructureKind, SweepSettings,
 };
+use flit_pmem::ElisionMode;
 
 fn exhaustive() -> SweepSettings {
     SweepSettings {
         budget: 0,
         crash_at: None,
+        elision: ElisionMode::default(),
     }
 }
 
@@ -17,6 +19,14 @@ fn budgeted(budget: usize) -> SweepSettings {
     SweepSettings {
         budget,
         crash_at: None,
+        elision: ElisionMode::default(),
+    }
+}
+
+fn with_elision(settings: SweepSettings, elision: ElisionMode) -> SweepSettings {
+    SweepSettings {
+        elision,
+        ..settings
     }
 }
 
@@ -147,6 +157,7 @@ fn single_crash_point_repro_reproduces_the_violation() {
         &SweepSettings {
             budget: 0,
             crash_at: Some(first.crash_event),
+            elision: ElisionMode::default(),
         },
     )
     .unwrap();
@@ -154,4 +165,69 @@ fn single_crash_point_repro_reproduces_the_violation() {
     assert_eq!(repro.violations.len(), 1);
     assert_eq!(repro.violations[0].crash_event, first.crash_event);
     assert_eq!(repro.violations[0].detail, first.detail);
+}
+
+/// The elision dimension: the default sweeps above already exercise the elided
+/// instruction stream (it is the default); this sweep pins the *paper-literal*
+/// stream and must be equally clean, and the two streams must actually differ
+/// (the literal one carries the fence events elision removes).
+#[test]
+fn literal_stream_sweeps_clean_and_differs_from_elided() {
+    let structures = [StructureKind::List, StructureKind::MsQueue];
+    let literal = run_matrix(
+        &structures,
+        &[MethodKind::Automatic],
+        &[PolicyKind::FlitHt],
+        HistorySpec::Scripted,
+        &with_elision(exhaustive(), ElisionMode::Disabled),
+    );
+    let elided = run_matrix(
+        &structures,
+        &[MethodKind::Automatic],
+        &[PolicyKind::FlitHt],
+        HistorySpec::Scripted,
+        &exhaustive(),
+    );
+    for (lit, eli) in literal.iter().zip(&elided) {
+        assert!(
+            lit.clean(),
+            "{}: first violation: {}",
+            lit.case.id(),
+            lit.violations[0]
+        );
+        assert!(eli.clean(), "{}: not clean", eli.case.id());
+        assert!(lit.case.id().ends_with("elision-off"));
+        assert!(eli.case.id().ends_with("elision-on"));
+        let lit_span = lit.events_total - lit.events_construction;
+        let eli_span = eli.events_total - eli.events_construction;
+        assert!(
+            eli_span < lit_span,
+            "{}: elision must shrink the event span ({eli_span} vs {lit_span})",
+            eli.case.id()
+        );
+    }
+}
+
+/// The broken control must keep failing under the elided instruction stream: fewer
+/// fence events must not blind the harness to lost operations.
+#[test]
+fn broken_control_still_fails_with_elision_on() {
+    for elision in [ElisionMode::Enabled, ElisionMode::Disabled] {
+        let report = run_case(
+            StructureKind::List,
+            MethodKind::VolatileBroken,
+            PolicyKind::FlitHt,
+            HistorySpec::Scripted,
+            &with_elision(budgeted(40), elision),
+        )
+        .expect("combination supported");
+        assert!(
+            !report.clean(),
+            "{}: broken control swept clean",
+            report.case.id()
+        );
+        assert!(report.violations[0]
+            .repro
+            .contains(&format!("--elision {}", elision.name())));
+    }
 }

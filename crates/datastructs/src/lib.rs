@@ -23,6 +23,12 @@
 //! abstract state from an adversarial [`CrashImage`](flit_pmem::CrashImage) through
 //! the [`MapCrashRecovery`] trait ([`recovery`]) — the interface the
 //! `flit-crashtest` crash-point sweep engine drives.
+//!
+//! Every operation ends with [`Policy::operation_completion`](flit::Policy::operation_completion),
+//! which since the persist-epoch work is *epoch-aware*: a read-only operation over
+//! untagged words leaves its thread clean, so the completion fence (and with it the
+//! entire persistence cost of the operation) is elided. The structures themselves
+//! needed no changes — the elision lives below the `Policy` interface.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]

@@ -27,6 +27,49 @@ pub trait PmemBackend: Send + Sync + 'static {
     /// calling thread is durable, and order it before subsequent stores.
     fn pfence(&self);
 
+    /// Issue a persist fence *unless the calling thread's persist epoch is clean*
+    /// (zero `pwb`s through this backend since its last fence), in which case the
+    /// fence would persist nothing and may be skipped.
+    ///
+    /// The default implementation is the conservative paper-literal behaviour: it
+    /// always fences. Backends that track per-thread persist epochs
+    /// ([`SimNvram`](crate::SimNvram), [`HardwarePmem`](crate::HardwarePmem))
+    /// override it and elide the no-op fences (see [`crate::epoch`]); their
+    /// [`ElisionMode::Disabled`](crate::ElisionMode) toggle restores this default.
+    #[inline]
+    fn pfence_if_dirty(&self) {
+        self.pfence();
+    }
+
+    /// Epoch-aware read-side flush: issue a `pwb` for the cache line containing
+    /// `addr`, unless the calling thread already flushed the word at `addr` holding
+    /// exactly `observed` in its current persist epoch (the value is then already in
+    /// the thread's pending set and the next fence commits it). Returns `true` when
+    /// a `pwb` was actually issued.
+    ///
+    /// The default implementation always flushes — the conservative paper-literal
+    /// behaviour. See [`crate::epoch`] for the dedup's soundness boundary.
+    #[inline]
+    fn pwb_dedup(&self, addr: *const u8, observed: u64) -> bool {
+        let _ = observed;
+        self.pwb(addr);
+        true
+    }
+
+    /// Record that a `pwb` just issued by the FliT library was a *read-side* flush
+    /// (triggered by a tagged p-load rather than a store), so Figure 9's read-side
+    /// breakdown can be reported. Called *in addition to* the flush itself.
+    ///
+    /// The default implementation records into [`pmem_stats`](Self::pmem_stats) when
+    /// the backend keeps statistics; backends with a statistics kill-switch override
+    /// it to honour that gate.
+    #[inline]
+    fn note_read_side_pwb(&self) {
+        if let Some(stats) = self.pmem_stats() {
+            stats.record_read_side_pwb();
+        }
+    }
+
     /// Notify the backend that an 8-byte word at `addr` now holds `val` in volatile
     /// memory. Called by the FliT library immediately after every store it performs on
     /// a tracked (`persist<T>`) variable.
@@ -92,6 +135,21 @@ impl<B: PmemBackend + ?Sized> PmemBackend for std::sync::Arc<B> {
     }
 
     #[inline]
+    fn pfence_if_dirty(&self) {
+        (**self).pfence_if_dirty()
+    }
+
+    #[inline]
+    fn pwb_dedup(&self, addr: *const u8, observed: u64) -> bool {
+        (**self).pwb_dedup(addr, observed)
+    }
+
+    #[inline]
+    fn note_read_side_pwb(&self) {
+        (**self).note_read_side_pwb()
+    }
+
+    #[inline]
     fn record_store(&self, addr: *const u8, val: u64) {
         (**self).record_store(addr, val)
     }
@@ -136,6 +194,40 @@ mod tests {
         b.pwb(&x as *const u64 as *const u8);
         b.pfence();
         assert!(!b.is_persistent());
+    }
+
+    #[test]
+    fn default_epoch_methods_are_conservative() {
+        // A backend that does not track persist epochs must behave paper-literally:
+        // pfence_if_dirty always fences, pwb_dedup always flushes.
+        use crate::sim::SimNvram;
+        use crate::LatencyModel;
+
+        struct PassThrough(SimNvram);
+        impl PmemBackend for PassThrough {
+            fn pwb(&self, addr: *const u8) {
+                self.0.pwb(addr)
+            }
+            fn pfence(&self) {
+                self.0.pfence()
+            }
+            fn pmem_stats(&self) -> Option<&crate::PmemStats> {
+                self.0.pmem_stats()
+            }
+        }
+
+        let b = PassThrough(SimNvram::builder().latency(LatencyModel::none()).build());
+        let x = 5u64;
+        b.pfence_if_dirty(); // clean thread, but the default must still fence
+        assert!(b.pwb_dedup(&x as *const u64 as *const u8, 5));
+        assert!(b.pwb_dedup(&x as *const u64 as *const u8, 5), "no dedup");
+        b.note_read_side_pwb();
+        let stats = b.pmem_stats().unwrap();
+        assert_eq!(stats.pfences(), 1);
+        assert_eq!(stats.pwbs(), 2);
+        assert_eq!(stats.read_side_pwbs(), 1);
+        assert_eq!(stats.elided_pfences(), 0);
+        assert_eq!(stats.elided_pwbs(), 0);
     }
 
     #[test]

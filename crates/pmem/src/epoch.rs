@@ -1,0 +1,407 @@
+//! Per-thread **persist epochs**: the bookkeeping behind redundant-fence and
+//! duplicate-flush elision.
+//!
+//! ## The observation
+//!
+//! A `pfence` only has an effect when the calling thread has issued at least one
+//! `pwb` since its previous fence — the adversarial tracker model makes this
+//! explicit (its `on_pfence` early-returns on an empty pending set), and real
+//! hardware agrees: an `sfence` with no outstanding `clwb`s orders nothing that
+//! x86-TSO had not already ordered. FliT's hot path issues fences *pessimistically*
+//! (a leading fence before every shared store, a completion fence after every
+//! operation), so on read-mostly workloads nearly every fence is such a no-op.
+//!
+//! A **persist epoch** is the interval between two consecutive `pfence`s of one
+//! thread *through one backend instance*. Within an epoch the thread tracks:
+//!
+//! * `pwbs_since_fence` — how many write-backs it has issued ("is it *dirty*?");
+//! * a small *recently-flushed* set of `(word address, observed value)` pairs.
+//!
+//! Backends with elision enabled use this to implement two optimisations:
+//!
+//! 1. **Fence elision** ([`PersistEpoch::is_clean`]): a fence requested through
+//!    `pfence_if_dirty` by a *clean* thread (zero `pwb`s this epoch) is skipped.
+//!    This is sound unconditionally: a clean thread has no pending write-backs, so
+//!    by the P-V Interface's own semantics the fence would persist nothing. The
+//!    dirty count can only *over*-approximate the tracker's pending set (a `pwb` of
+//!    a line with no tracked words still counts), so elision is conservative.
+//! 2. **Duplicate-flush elision** ([`PersistEpoch::recently_flushed`]): a read-side
+//!    flush of a word the thread already flushed *with the same observed value* in
+//!    the current epoch is skipped — the value is already in the thread's pending
+//!    set and the next (now unavoidable) fence commits it. A dedup hit implies the
+//!    thread is dirty, so every fence the skipped flush relied on still fires.
+//!
+//! ## Soundness boundary of the dedup
+//!
+//! Keying the recently-flushed set by `(address, value)` assumes the word was not
+//! overwritten-and-restored (ABA) by *other* threads between the recorded flush and
+//! the dedup hit. The window is narrow — the set is cleared on every fence of the
+//! reader, and FliT's completion fence closes each operation of a dirty thread — so
+//! an ABA would need a full remote p-store of a different value *and* a second
+//! in-flight p-store of the original value, all within one operation of the reader.
+//! The single-location crash sweeps (`flit-crashtest`) exercise every persistence
+//! event of the elided stream and stay violation-free; workloads that cannot accept
+//! the residual multi-writer ABA window should run with
+//! [`ElisionMode::Disabled`], which restores the paper-literal instruction stream.
+//! Fence elision (point 1) carries no such caveat.
+//!
+//! ## Keying
+//!
+//! Epoch state is keyed by *(thread, backend instance)*: each [`PersistEpoch`]
+//! handle owns a process-unique id, and every thread lazily materialises its own
+//! counter/set per id in thread-local storage. Two backends driven by one thread
+//! therefore never cross-contaminate (a fence through backend A does not clean the
+//! thread's epoch on backend B), and each entry holds a liveness token of its
+//! backend so long-lived threads can purge state for dropped instances.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use crate::stats::PmemStats;
+
+/// Whether a backend applies persist-epoch elision or issues the paper-literal
+/// instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ElisionMode {
+    /// Skip no-op fences and duplicate read-side flushes (the default).
+    #[default]
+    Enabled,
+    /// Issue every fence and flush exactly as Algorithm 4 writes them. Used for
+    /// A/B statistics (`BENCH_flit.json` records both streams) and for workloads
+    /// that reject the dedup's ABA caveat (see the module docs).
+    Disabled,
+}
+
+impl ElisionMode {
+    /// `true` when elision is enabled.
+    #[inline]
+    pub fn is_enabled(self) -> bool {
+        self == ElisionMode::Enabled
+    }
+
+    /// CLI-friendly key (`on` / `off`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ElisionMode::Enabled => "on",
+            ElisionMode::Disabled => "off",
+        }
+    }
+
+    /// Parse a CLI key (`on` / `off`).
+    pub fn parse(s: &str) -> Option<ElisionMode> {
+        match s {
+            "on" => Some(ElisionMode::Enabled),
+            "off" => Some(ElisionMode::Disabled),
+            _ => None,
+        }
+    }
+}
+
+/// Capacity of the per-thread recently-flushed set. Small on purpose: the set only
+/// needs to cover the reads of one operation (it is cleared on every fence), and a
+/// bounded ring keeps the lookup a handful of compares.
+const RECENT_FLUSHES: usize = 8;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Number of live per-thread entries above which a lookup first purges entries
+/// whose backing [`PersistEpoch`] has been dropped.
+const PURGE_THRESHOLD: usize = 16;
+
+struct ThreadState {
+    id: u64,
+    /// Dead when the owning [`PersistEpoch`] was dropped; purge passes use this to
+    /// discard the entry without any global bookkeeping.
+    alive: Weak<()>,
+    pwbs_since_fence: u64,
+    /// Ring buffer of `(word address, observed value)` pairs flushed this epoch.
+    recent: [(usize, u64); RECENT_FLUSHES],
+    recent_len: usize,
+    next_slot: usize,
+}
+
+impl ThreadState {
+    fn new(id: u64, alive: Weak<()>) -> Self {
+        Self {
+            id,
+            alive,
+            pwbs_since_fence: 0,
+            recent: [(0, 0); RECENT_FLUSHES],
+            recent_len: 0,
+            next_slot: 0,
+        }
+    }
+
+    fn note_flushed(&mut self, word: usize, val: u64) {
+        self.recent[self.next_slot] = (word, val);
+        self.next_slot = (self.next_slot + 1) % RECENT_FLUSHES;
+        self.recent_len = (self.recent_len + 1).min(RECENT_FLUSHES);
+    }
+}
+
+thread_local! {
+    static STATES: RefCell<Vec<ThreadState>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Per-backend-instance handle to the per-thread epoch state. See the module docs.
+///
+/// The handle is cheap to create and thread-safe to share; all per-thread state is
+/// materialised lazily in thread-local storage on first use.
+pub struct PersistEpoch {
+    id: u64,
+    /// Liveness token: thread-local entries hold a [`Weak`] to it, so dropping the
+    /// epoch (i.e. its backend) makes every thread's state for it purgeable.
+    alive: Arc<()>,
+}
+
+impl Default for PersistEpoch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for PersistEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistEpoch")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl PersistEpoch {
+    /// Create a handle with a fresh process-unique id.
+    pub fn new() -> Self {
+        Self {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            alive: Arc::new(()),
+        }
+    }
+
+    /// Run `f` on the calling thread's state for this backend, creating it on
+    /// first use. The table is scanned newest-first (the most recently created
+    /// backend is almost always the active one).
+    fn with_state<R>(&self, f: impl FnOnce(&mut ThreadState) -> R) -> R {
+        STATES.with(|states| {
+            let mut states = states.borrow_mut();
+            if let Some(pos) = states.iter().rposition(|s| s.id == self.id) {
+                return f(&mut states[pos]);
+            }
+            // Slow path (first use of this backend on this thread): purge entries
+            // of dropped backends before growing the table, so the hot path above
+            // never pays for the scan.
+            if states.len() > PURGE_THRESHOLD {
+                states.retain(|s| s.alive.strong_count() > 0);
+            }
+            states.push(ThreadState::new(self.id, Arc::downgrade(&self.alive)));
+            let last = states.last_mut().expect("just pushed");
+            f(last)
+        })
+    }
+
+    /// Record a `pwb` by the calling thread: the thread is dirty until its next
+    /// fence.
+    #[inline]
+    pub fn note_pwb(&self) {
+        self.with_state(|s| s.pwbs_since_fence += 1);
+    }
+
+    /// Record a `pfence` by the calling thread: close the epoch (clean the dirty
+    /// count and forget the recently-flushed set).
+    #[inline]
+    pub fn note_pfence(&self) {
+        self.with_state(|s| {
+            s.pwbs_since_fence = 0;
+            s.recent_len = 0;
+            s.next_slot = 0;
+        });
+    }
+
+    /// `true` when the calling thread has issued no `pwb` through this backend
+    /// since its last `pfence` — i.e. a fence right now would persist nothing.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        self.with_state(|s| s.pwbs_since_fence == 0)
+    }
+
+    /// Number of `pwb`s the calling thread has issued this epoch (diagnostic).
+    pub fn pending_pwbs(&self) -> u64 {
+        self.with_state(|s| s.pwbs_since_fence)
+    }
+
+    /// Record that the calling thread flushed `word` while it held `val`.
+    #[inline]
+    pub fn note_flushed(&self, word: usize, val: u64) {
+        self.with_state(|s| s.note_flushed(word, val));
+    }
+
+    /// Record a read-side `pwb` of `word` holding `val` in one table access:
+    /// equivalent to [`note_pwb`](Self::note_pwb) + [`note_flushed`](Self::note_flushed),
+    /// for the `pwb_dedup` miss path.
+    #[inline]
+    pub fn note_pwb_flushed(&self, word: usize, val: u64) {
+        self.with_state(|s| {
+            s.pwbs_since_fence += 1;
+            s.note_flushed(word, val);
+        });
+    }
+
+    /// `true` when the calling thread already flushed `word` holding exactly `val`
+    /// in the current epoch (see the module docs for the soundness boundary).
+    #[inline]
+    pub fn recently_flushed(&self, word: usize, val: u64) -> bool {
+        self.with_state(|s| s.recent[..s.recent_len].contains(&(word, val)))
+    }
+}
+
+/// Shared elision driver for [`pfence_if_dirty`](crate::PmemBackend::pfence_if_dirty)
+/// implementations: `true` when the fence should be *skipped* (elision on and the
+/// calling thread clean), recording the elision stat when counting is on.
+#[inline]
+pub(crate) fn try_elide_pfence(
+    elision: ElisionMode,
+    epoch: &PersistEpoch,
+    stats: Option<&PmemStats>,
+) -> bool {
+    if elision.is_enabled() && epoch.is_clean() {
+        if let Some(stats) = stats {
+            stats.record_elided_pfence();
+        }
+        return true;
+    }
+    false
+}
+
+/// Shared elision driver for [`pwb_dedup`](crate::PmemBackend::pwb_dedup)
+/// implementations: `true` when the flush should be *skipped* (elision on and the
+/// word already flushed with this value in the current epoch), recording the
+/// elision stat when counting is on. On a miss the caller issues the `pwb` and
+/// then calls [`note_flushed_if`].
+#[inline]
+pub(crate) fn try_dedup_pwb(
+    elision: ElisionMode,
+    epoch: &PersistEpoch,
+    word: usize,
+    observed: u64,
+    stats: Option<&PmemStats>,
+) -> bool {
+    if elision.is_enabled() && epoch.recently_flushed(word, observed) {
+        if let Some(stats) = stats {
+            stats.record_elided_pwb();
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_thread_is_clean() {
+        let e = PersistEpoch::new();
+        assert!(e.is_clean());
+        assert_eq!(e.pending_pwbs(), 0);
+    }
+
+    #[test]
+    fn pwb_dirties_and_pfence_cleans() {
+        let e = PersistEpoch::new();
+        e.note_pwb();
+        e.note_pwb();
+        assert!(!e.is_clean());
+        assert_eq!(e.pending_pwbs(), 2);
+        e.note_pfence();
+        assert!(e.is_clean());
+    }
+
+    #[test]
+    fn recently_flushed_is_keyed_by_word_and_value() {
+        let e = PersistEpoch::new();
+        e.note_flushed(0x1000, 7);
+        assert!(e.recently_flushed(0x1000, 7));
+        assert!(
+            !e.recently_flushed(0x1000, 8),
+            "value mismatch must reflush"
+        );
+        assert!(!e.recently_flushed(0x1008, 7), "other word must reflush");
+    }
+
+    #[test]
+    fn pfence_forgets_the_recent_set() {
+        let e = PersistEpoch::new();
+        e.note_pwb();
+        e.note_flushed(0x40, 1);
+        e.note_pfence();
+        assert!(!e.recently_flushed(0x40, 1));
+    }
+
+    #[test]
+    fn recent_set_is_a_bounded_ring() {
+        let e = PersistEpoch::new();
+        for i in 0..RECENT_FLUSHES + 2 {
+            e.note_flushed(0x1000 + i * 8, i as u64);
+        }
+        // The two oldest entries were evicted, the rest are still present.
+        assert!(!e.recently_flushed(0x1000, 0));
+        assert!(!e.recently_flushed(0x1008, 1));
+        assert!(e.recently_flushed(0x1010, 2));
+        assert!(e.recently_flushed(
+            0x1000 + (RECENT_FLUSHES + 1) * 8,
+            (RECENT_FLUSHES + 1) as u64
+        ));
+    }
+
+    #[test]
+    fn instances_do_not_cross_contaminate() {
+        // The satellite invariant: two backends on one thread keep separate epochs.
+        let a = PersistEpoch::new();
+        let b = PersistEpoch::new();
+        a.note_pwb();
+        assert!(!a.is_clean());
+        assert!(b.is_clean(), "backend B must not see backend A's pwb");
+        b.note_pfence();
+        assert!(!a.is_clean(), "a fence through B must not clean A");
+    }
+
+    #[test]
+    fn state_is_per_thread() {
+        let e = std::sync::Arc::new(PersistEpoch::new());
+        e.note_pwb();
+        let e2 = std::sync::Arc::clone(&e);
+        std::thread::spawn(move || {
+            assert!(e2.is_clean(), "another thread starts its own epoch");
+            e2.note_pwb();
+            e2.note_pfence();
+        })
+        .join()
+        .unwrap();
+        assert!(!e.is_clean(), "remote fences must not clean this thread");
+    }
+
+    #[test]
+    fn dropped_instances_are_purged_from_thread_state() {
+        // Create enough short-lived instances to cross the purge threshold, then
+        // confirm the thread-local table does not keep growing without bound: the
+        // dead entries' liveness tokens are gone, so a purge pass discards them.
+        for _ in 0..4 * PURGE_THRESHOLD {
+            let e = PersistEpoch::new();
+            e.note_pwb();
+        }
+        let live = PersistEpoch::new();
+        live.note_pwb(); // triggers a purge pass
+        let len = STATES.with(|s| s.borrow().len());
+        assert!(len <= PURGE_THRESHOLD + 2, "table grew to {len}");
+    }
+
+    #[test]
+    fn elision_mode_round_trips() {
+        assert_eq!(ElisionMode::parse("on"), Some(ElisionMode::Enabled));
+        assert_eq!(ElisionMode::parse("off"), Some(ElisionMode::Disabled));
+        assert_eq!(ElisionMode::parse("maybe"), None);
+        assert_eq!(ElisionMode::Enabled.name(), "on");
+        assert_eq!(ElisionMode::Disabled.name(), "off");
+        assert!(ElisionMode::default().is_enabled());
+    }
+}

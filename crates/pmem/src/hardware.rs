@@ -10,6 +10,8 @@
 //! reproduction environment is x86-64 only.
 
 use crate::backend::PmemBackend;
+use crate::cache_line::word_of;
+use crate::epoch::{self, ElisionMode, PersistEpoch};
 use crate::stats::PmemStats;
 
 /// Which flush instruction the hardware backend issues for `pwb`.
@@ -27,11 +29,19 @@ pub enum FlushInstruction {
 }
 
 /// Persistence backend issuing real flush/fence instructions.
+///
+/// Like [`SimNvram`](crate::SimNvram), the backend keeps per-thread
+/// [persist epochs](crate::epoch) and by default elides `sfence`s requested through
+/// [`pfence_if_dirty`](PmemBackend::pfence_if_dirty) when the calling thread has no
+/// outstanding flush — the same "minimal ordering" discipline, applied to the real
+/// instruction stream. [`with_elision`](Self::with_elision) disables it.
 #[derive(Debug)]
 pub struct HardwarePmem {
     instr: FlushInstruction,
     stats: PmemStats,
     count_stats: bool,
+    epoch: PersistEpoch,
+    elision: ElisionMode,
 }
 
 impl HardwarePmem {
@@ -47,6 +57,17 @@ impl HardwarePmem {
             instr: Self::detect(),
             stats: PmemStats::new(),
             count_stats,
+            epoch: PersistEpoch::new(),
+            elision: ElisionMode::default(),
+        }
+    }
+
+    /// Create a backend with an explicit persist-epoch elision mode
+    /// ([`ElisionMode::Disabled`] issues the paper-literal instruction stream).
+    pub fn with_elision(elision: ElisionMode) -> Self {
+        Self {
+            elision,
+            ..Self::new()
         }
     }
 
@@ -69,14 +90,23 @@ impl HardwarePmem {
         );
         Self {
             instr,
-            stats: PmemStats::new(),
-            count_stats: true,
+            ..Self::new()
         }
     }
 
     /// The flush instruction this backend issues.
     pub fn instruction(&self) -> FlushInstruction {
         self.instr
+    }
+
+    /// The persist-epoch elision mode in effect.
+    pub fn elision(&self) -> ElisionMode {
+        self.elision
+    }
+
+    /// The stats block, only when counting is enabled (elision stat recording).
+    fn counted_stats(&self) -> Option<&PmemStats> {
+        self.count_stats.then_some(&self.stats)
     }
 
     #[cfg(target_arch = "x86_64")]
@@ -157,7 +187,33 @@ impl PmemBackend for HardwarePmem {
         if self.count_stats {
             self.stats.record_pwb();
         }
+        if self.elision.is_enabled() {
+            self.epoch.note_pwb();
+        }
         self.flush(addr);
+    }
+
+    #[inline]
+    fn pwb_dedup(&self, addr: *const u8, observed: u64) -> bool {
+        let word = word_of(addr as usize);
+        if epoch::try_dedup_pwb(
+            self.elision,
+            &self.epoch,
+            word,
+            observed,
+            self.counted_stats(),
+        ) {
+            return false;
+        }
+        if self.count_stats {
+            self.stats.record_pwb();
+        }
+        // One combined epoch access (pwb note + dedup record) instead of two.
+        if self.elision.is_enabled() {
+            self.epoch.note_pwb_flushed(word, observed);
+        }
+        self.flush(addr);
+        true
     }
 
     #[inline]
@@ -165,7 +221,27 @@ impl PmemBackend for HardwarePmem {
         if self.count_stats {
             self.stats.record_pfence();
         }
+        if self.elision.is_enabled() {
+            self.epoch.note_pfence();
+        }
         self.fence();
+    }
+
+    #[inline]
+    fn pfence_if_dirty(&self) {
+        // No clwb/clflushopt outstanding from this thread: the sfence would order
+        // nothing x86-TSO has not already ordered.
+        if epoch::try_elide_pfence(self.elision, &self.epoch, self.counted_stats()) {
+            return;
+        }
+        self.pfence();
+    }
+
+    #[inline]
+    fn note_read_side_pwb(&self) {
+        if self.count_stats {
+            self.stats.record_read_side_pwb();
+        }
     }
 
     #[inline]
@@ -218,5 +294,26 @@ mod tests {
         let x = 1u64;
         b.pwb(&x as *const u64 as *const u8);
         assert_eq!(b.pmem_stats().unwrap().pwbs(), 0);
+    }
+
+    #[test]
+    fn clean_thread_sfence_is_elided() {
+        let b = HardwarePmem::new();
+        b.pfence_if_dirty(); // clean: skipped
+        assert_eq!(b.pmem_stats().unwrap().pfences(), 0);
+        assert_eq!(b.pmem_stats().unwrap().elided_pfences(), 1);
+        let x = 1u64;
+        b.pwb(&x as *const u64 as *const u8);
+        b.pfence_if_dirty(); // dirty: a real sfence executes
+        assert_eq!(b.pmem_stats().unwrap().pfences(), 1);
+    }
+
+    #[test]
+    fn elision_can_be_disabled() {
+        let b = HardwarePmem::with_elision(ElisionMode::Disabled);
+        assert_eq!(b.elision(), ElisionMode::Disabled);
+        b.pfence_if_dirty();
+        assert_eq!(b.pmem_stats().unwrap().pfences(), 1);
+        assert_eq!(b.pmem_stats().unwrap().elided_pfences(), 0);
     }
 }

@@ -29,6 +29,18 @@
 //! tracking is an 8-byte word, matching the granularity at which the FliT library
 //! operates.
 //!
+//! ## Persist epochs
+//!
+//! Both instruction-issuing backends additionally keep per-thread, per-instance
+//! [persist epochs](crate::epoch) — "how many `pwb`s has this thread issued since
+//! its last `pfence`, and which words did it flush" — behind two epoch-aware
+//! [`PmemBackend`] methods: [`pfence_if_dirty`](PmemBackend::pfence_if_dirty)
+//! (skip a fence that would persist nothing) and
+//! [`pwb_dedup`](PmemBackend::pwb_dedup) (skip a duplicate read-side flush). The
+//! FliT hot path is written against these; [`ElisionMode::Disabled`] restores the
+//! paper-literal instruction stream for A/B comparison, and the trait's default
+//! implementations are conservative so third-party backends are unaffected.
+//!
 //! ## Why a simulated backend?
 //!
 //! The reproduction environment has no NVDIMMs. The behaviour FliT's evaluation
@@ -42,6 +54,7 @@
 pub mod backend;
 pub mod cache_line;
 pub mod crash;
+pub mod epoch;
 pub mod hardware;
 pub mod latency;
 pub mod sim;
@@ -51,6 +64,7 @@ pub mod tracker;
 pub use backend::{NullPmem, PmemBackend};
 pub use cache_line::{cache_line_of, word_of, CACHE_LINE_SIZE, WORD_SIZE};
 pub use crash::{CrashEventKind, CrashPlan};
+pub use epoch::{ElisionMode, PersistEpoch};
 pub use hardware::{FlushInstruction, HardwarePmem};
 pub use latency::LatencyModel;
 pub use sim::SimNvram;

@@ -20,6 +20,12 @@ pub struct PmemStats {
     /// `pwb`s that the FliT read path executed because the location was tagged
     /// (i.e. read-side flushes that the plain transformation would always pay).
     read_side_pwbs: CachePadded<AtomicU64>,
+    /// `pfence`s requested through `pfence_if_dirty` but skipped because the calling
+    /// thread's persist epoch was clean (the fence would have persisted nothing).
+    elided_pfences: CachePadded<AtomicU64>,
+    /// Read-side `pwb`s skipped because the word was already flushed with the same
+    /// observed value in the calling thread's current persist epoch.
+    elided_pwbs: CachePadded<AtomicU64>,
 }
 
 impl PmemStats {
@@ -46,6 +52,18 @@ impl PmemStats {
         self.read_side_pwbs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one fence skipped by persist-epoch elision.
+    #[inline]
+    pub fn record_elided_pfence(&self) {
+        self.elided_pfences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one duplicate read-side flush skipped by persist-epoch elision.
+    #[inline]
+    pub fn record_elided_pwb(&self) {
+        self.elided_pwbs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total `pwb`s so far.
     #[inline]
     pub fn pwbs(&self) -> u64 {
@@ -64,12 +82,26 @@ impl PmemStats {
         self.read_side_pwbs.load(Ordering::Relaxed)
     }
 
+    /// Total fences skipped by persist-epoch elision so far.
+    #[inline]
+    pub fn elided_pfences(&self) -> u64 {
+        self.elided_pfences.load(Ordering::Relaxed)
+    }
+
+    /// Total duplicate read-side flushes skipped by persist-epoch elision so far.
+    #[inline]
+    pub fn elided_pwbs(&self) -> u64 {
+        self.elided_pwbs.load(Ordering::Relaxed)
+    }
+
     /// Capture a point-in-time copy of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             pwbs: self.pwbs(),
             pfences: self.pfences(),
             read_side_pwbs: self.read_side_pwbs(),
+            elided_pfences: self.elided_pfences(),
+            elided_pwbs: self.elided_pwbs(),
         }
     }
 
@@ -79,6 +111,8 @@ impl PmemStats {
         self.pwbs.store(0, Ordering::Relaxed);
         self.pfences.store(0, Ordering::Relaxed);
         self.read_side_pwbs.store(0, Ordering::Relaxed);
+        self.elided_pfences.store(0, Ordering::Relaxed);
+        self.elided_pwbs.store(0, Ordering::Relaxed);
     }
 }
 
@@ -92,6 +126,10 @@ pub struct StatsSnapshot {
     pub pfences: u64,
     /// `pwb`s triggered by tagged p-loads.
     pub read_side_pwbs: u64,
+    /// Fences skipped by persist-epoch elision.
+    pub elided_pfences: u64,
+    /// Duplicate read-side flushes skipped by persist-epoch elision.
+    pub elided_pwbs: u64,
 }
 
 impl StatsSnapshot {
@@ -101,6 +139,8 @@ impl StatsSnapshot {
             pwbs: self.pwbs.saturating_sub(earlier.pwbs),
             pfences: self.pfences.saturating_sub(earlier.pfences),
             read_side_pwbs: self.read_side_pwbs.saturating_sub(earlier.read_side_pwbs),
+            elided_pfences: self.elided_pfences.saturating_sub(earlier.elided_pfences),
+            elided_pwbs: self.elided_pwbs.saturating_sub(earlier.elided_pwbs),
         }
     }
 
@@ -164,6 +204,7 @@ mod tests {
             pwbs: 100,
             pfences: 50,
             read_side_pwbs: 10,
+            ..Default::default()
         };
         assert!((snap.pwbs_per_op(50) - 2.0).abs() < 1e-12);
         assert!((snap.pfences_per_op(50) - 1.0).abs() < 1e-12);
@@ -176,8 +217,25 @@ mod tests {
         s.record_pwb();
         s.record_pfence();
         s.record_read_side_pwb();
+        s.record_elided_pfence();
+        s.record_elided_pwb();
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn elided_counters_accumulate_and_delta() {
+        let s = PmemStats::new();
+        s.record_elided_pfence();
+        s.record_elided_pfence();
+        s.record_elided_pwb();
+        let a = s.snapshot();
+        assert_eq!(a.elided_pfences, 2);
+        assert_eq!(a.elided_pwbs, 1);
+        s.record_elided_pfence();
+        let d = s.snapshot().delta_since(&a);
+        assert_eq!(d.elided_pfences, 1);
+        assert_eq!(d.elided_pwbs, 0);
     }
 
     #[test]

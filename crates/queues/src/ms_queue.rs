@@ -456,9 +456,32 @@ mod tests {
             "plain pays a pwb per p-load (3 per empty dequeue), got {}",
             plain_delta.pwbs
         );
+        // With persist-epoch elision (the default), the thread stays clean through
+        // a read-only dequeue of untagged words, so even the completion fence goes:
+        // an empty dequeue costs zero persistence instructions under FliT.
         assert_eq!(
-            flit_delta.pfences, 100,
-            "one completion fence per operation"
+            flit_delta.pfences, 0,
+            "completion fences of clean read-only ops are elided"
+        );
+        assert_eq!(flit_delta.elided_pfences, 100, "one elided fence per op");
+    }
+
+    #[test]
+    fn dequeue_of_empty_pays_completion_fences_in_literal_mode() {
+        use flit_pmem::ElisionMode;
+        let sim = SimNvram::builder()
+            .latency(flit_pmem::LatencyModel::none())
+            .elision(ElisionMode::Disabled)
+            .build();
+        let flit: HtQueue<Automatic> = MsQueue::new(presets::flit_ht(sim.clone()));
+        let before = sim.stats().snapshot();
+        for _ in 0..100 {
+            assert_eq!(flit.dequeue(), None);
+        }
+        let delta = sim.stats().snapshot().delta_since(&before);
+        assert_eq!(
+            delta.pfences, 100,
+            "paper-literal: one completion fence per operation"
         );
     }
 

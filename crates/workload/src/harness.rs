@@ -12,7 +12,7 @@ use flit::{NoPersistPolicy, Policy};
 use flit_datastructs::{
     Automatic, ConcurrentMap, HarrisList, HashTable, Manual, NatarajanTree, NvTraverse, SkipList,
 };
-use flit_pmem::{LatencyModel, SimNvram};
+use flit_pmem::{ElisionMode, LatencyModel, SimNvram};
 use flit_queues::{ConcurrentQueue, MsQueue};
 
 use crate::config::WorkloadConfig;
@@ -143,6 +143,9 @@ pub struct Case {
     pub config: WorkloadConfig,
     /// Latency model for the simulated NVRAM.
     pub latency: LatencyModel,
+    /// Persist-epoch elision mode of the simulated NVRAM
+    /// ([`ElisionMode::Disabled`] measures the paper-literal instruction stream).
+    pub elision: ElisionMode,
 }
 
 impl Case {
@@ -211,7 +214,12 @@ pub fn run_case(case: &Case) -> RunResult {
         case.policy.name(),
         case.ds.name()
     );
-    let backend = || SimNvram::builder().latency(case.latency).build();
+    let backend = || {
+        SimNvram::builder()
+            .latency(case.latency)
+            .elision(case.elision)
+            .build()
+    };
     match case.policy {
         PolicyKind::NoPersist => run_with_policy(NoPersistPolicy::new(), case),
         PolicyKind::Plain => run_with_policy(presets::plain(backend()), case),
@@ -241,6 +249,8 @@ pub struct QueueCase {
     pub config: QueueWorkloadConfig,
     /// Latency model for the simulated NVRAM.
     pub latency: LatencyModel,
+    /// Persist-epoch elision mode of the simulated NVRAM.
+    pub elision: ElisionMode,
 }
 
 /// The durability methods the queue harness sweeps. (NVTraverse instantiates too,
@@ -282,7 +292,12 @@ fn run_queue_with_policy<P: Policy>(policy: P, case: &QueueCase) -> QueueRunResu
 /// measurement. Every policy variant applies to the queue (its updates are plain
 /// CAS on word-aligned pointers, so even link-and-persist is usable).
 pub fn run_queue_case(case: &QueueCase) -> QueueRunResult {
-    let backend = || SimNvram::builder().latency(case.latency).build();
+    let backend = || {
+        SimNvram::builder()
+            .latency(case.latency)
+            .elision(case.elision)
+            .build()
+    };
     match case.policy {
         PolicyKind::NoPersist => run_queue_with_policy(NoPersistPolicy::new(), case),
         PolicyKind::Plain => run_queue_with_policy(presets::plain(backend()), case),
@@ -328,6 +343,7 @@ mod tests {
                         policy,
                         config: tiny_config(),
                         latency: LatencyModel::none(),
+                        elision: ElisionMode::default(),
                     };
                     let result = run_case(&case);
                     assert_eq!(result.total_ops, 400, "case {}", case.label());
@@ -346,6 +362,7 @@ mod tests {
             policy,
             config: WorkloadConfig::new(1_000, 5, 2, 2_000),
             latency: LatencyModel::none(),
+            elision: ElisionMode::default(),
         };
         let plain = run_case(&mk(PolicyKind::Plain));
         let flit = run_case(&mk(PolicyKind::FlitHt(1 << 20)));
@@ -373,6 +390,7 @@ mod tests {
                     policy,
                     config: QueueWorkloadConfig::mixed(2, 50, 200).with_prefill(16),
                     latency: LatencyModel::none(),
+                    elision: ElisionMode::default(),
                 };
                 let result = run_queue_case(&case);
                 assert_eq!(result.total_ops, 400, "case {}", case.label());
@@ -395,6 +413,7 @@ mod tests {
             policy,
             config: QueueWorkloadConfig::producer_consumer(1, 3, 2_000),
             latency: LatencyModel::none(),
+            elision: ElisionMode::default(),
         };
         let plain = run_queue_case(&mk(PolicyKind::Plain));
         let flit = run_queue_case(&mk(PolicyKind::FlitHt(1 << 20)));
@@ -413,6 +432,7 @@ mod tests {
             policy: PolicyKind::Plain,
             config: QueueWorkloadConfig::producer_consumer(3, 1, 10),
             latency: LatencyModel::none(),
+            elision: ElisionMode::default(),
         };
         assert_eq!(case.label(), "msqueue/manual/plain/pc-3:1");
         assert_eq!(QUEUE_DURS.len(), 2);
@@ -431,6 +451,7 @@ mod tests {
             policy: PolicyKind::Plain,
             config: tiny_config(),
             latency: LatencyModel::none(),
+            elision: ElisionMode::default(),
         };
         assert_eq!(case.label(), "list/manual/plain");
     }

@@ -216,7 +216,11 @@ mod tests {
         let r = run_queue_workload(&q, &cfg);
         assert_eq!(r.dequeues_empty, 1_000);
         assert_eq!(r.pmem.pwbs, 0, "FliT pays no pwbs on read-only traffic");
-        assert_eq!(r.pmem.pfences as u64, 1_000, "one completion fence per op");
+        assert_eq!(
+            r.pmem.pfences, 0,
+            "clean completion fences are elided: read-only traffic is free"
+        );
+        assert_eq!(r.pmem.elided_pfences, 1_000, "one elided fence per op");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example counter_placement`
 
-use flit_pmem::LatencyModel;
+use flit_pmem::{ElisionMode, LatencyModel};
 use flit_workload::{run_case, Case, DsKind, DurKind, PolicyKind, WorkloadConfig};
 
 fn run(policy: PolicyKind, updates: u32) -> f64 {
@@ -16,6 +16,7 @@ fn run(policy: PolicyKind, updates: u32) -> f64 {
         policy,
         config: WorkloadConfig::new(10_000, updates, 4, 3_000),
         latency: LatencyModel::optane(),
+        elision: ElisionMode::default(),
     };
     run_case(&case).mops
 }

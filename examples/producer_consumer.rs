@@ -10,7 +10,7 @@
 //! demonstrates crash recovery from an adversarial crash image.
 
 use flit::{presets, FlitPolicy, HashedScheme};
-use flit_pmem::{LatencyModel, SimNvram};
+use flit_pmem::{ElisionMode, LatencyModel, SimNvram};
 use flit_queues::{Automatic, ConcurrentQueue, MsQueue};
 use flit_workload::{run_queue_case, PolicyKind, QueueCase, QueueWorkloadConfig};
 
@@ -32,6 +32,7 @@ fn main() {
                 .with_burst(32)
                 .with_prefill(1_000),
             latency: LatencyModel::optane(),
+            elision: ElisionMode::default(),
         };
         let r = run_queue_case(&case);
         // Remaining length counts the prefilled values too (dequeues drain them

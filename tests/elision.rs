@@ -1,0 +1,152 @@
+//! Invariants of persist-epoch elision (redundant-fence and duplicate-flush
+//! elision), exercised through the public API end to end.
+//!
+//! These are the acceptance checks of the elision work:
+//! * a clean thread's shared p-store costs exactly one `pfence` (trailing only),
+//!   a dirty thread's still costs two;
+//! * `operation_completion` after an untagged read-only operation costs zero
+//!   fences;
+//! * the plain baseline's `pwb` stream (the Figure 9 quantity) is identical with
+//!   and without elision;
+//! * epoch state is keyed per backend instance, so two backends driven by one
+//!   thread never cross-contaminate;
+//! * elision adds no per-word layout cost: `FlitAtomic` with a table scheme stays
+//!   exactly one machine word.
+
+use flit::{presets, FlitAtomic, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
+use flit_datastructs::{Automatic, ConcurrentMap, HashTable};
+use flit_pmem::{ElisionMode, LatencyModel, PmemBackend, SimNvram};
+use flit_workload::runner::prefill;
+use flit_workload::{run_workload, WorkloadConfig};
+
+type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
+
+fn backend_with(elision: ElisionMode) -> SimNvram {
+    SimNvram::builder()
+        .latency(LatencyModel::none())
+        .elision(elision)
+        .build()
+}
+
+#[test]
+fn clean_thread_p_store_pays_one_fence_dirty_thread_two() {
+    let nvram = backend_with(ElisionMode::Enabled);
+    let policy = presets::flit_ht(nvram.clone());
+    let word = <HtPolicy as Policy>::Word::<u64>::new(0);
+
+    // Clean thread: the leading fence of Algorithm 4 would persist nothing.
+    word.store(&policy, 1, PFlag::Persisted);
+    let clean = nvram.stats().snapshot();
+    assert_eq!(clean.pwbs, 1);
+    assert_eq!(clean.pfences, 1, "trailing fence only");
+    assert_eq!(clean.elided_pfences, 1, "the leading fence was elided");
+
+    // Dirty thread (an unfenced pwb outstanding): the leading fence must fire.
+    nvram.pwb(&word as *const _ as *const u8);
+    word.store(&policy, 2, PFlag::Persisted);
+    let dirty = nvram.stats().snapshot().delta_since(&clean);
+    assert_eq!(dirty.pfences, 2, "leading + trailing");
+}
+
+#[test]
+fn untagged_read_only_operation_completes_with_zero_fences() {
+    let nvram = backend_with(ElisionMode::Enabled);
+    let policy = presets::flit_ht(nvram.clone());
+    let word = <HtPolicy as Policy>::Word::<u64>::new(7);
+    policy.operation_completion(); // settle anything construction did
+    let before = nvram.stats().snapshot();
+    for _ in 0..10 {
+        assert_eq!(word.load(&policy, PFlag::Persisted), 7);
+        policy.operation_completion();
+    }
+    let delta = nvram.stats().snapshot().delta_since(&before);
+    assert_eq!(delta.pwbs, 0, "untagged loads never flush");
+    assert_eq!(delta.pfences, 0, "clean completion fences are elided");
+    assert_eq!(delta.elided_pfences, 10);
+}
+
+/// Figure 9 invariance: plain opts out of read-flush dedup, so its `pwb` stream is
+/// bit-identical across elision modes. Driven on bare words (map runs are not
+/// byte-identical across processes because `persist_object` flush counts depend on
+/// allocator cache-line straddling).
+#[test]
+fn plain_pwbs_per_op_are_unchanged_by_elision() {
+    let run = |elision| {
+        let nvram = backend_with(elision);
+        let policy = presets::plain(nvram.clone());
+        let words: Vec<_> = (0..8u64)
+            .map(<flit::PlainPolicy<SimNvram> as Policy>::Word::<u64>::new)
+            .collect();
+        for round in 0..100u64 {
+            for w in &words {
+                // Repeated p-loads of the same unchanged word: exactly the pattern
+                // the FliT schemes dedup — plain must keep flushing every time.
+                let _ = w.load(&policy, PFlag::Persisted);
+                let _ = w.load(&policy, PFlag::Persisted);
+                if round % 10 == 0 {
+                    w.store(&policy, round, PFlag::Persisted);
+                }
+                policy.operation_completion();
+            }
+        }
+        nvram.stats().snapshot().pwbs
+    };
+    let pwbs_on = run(ElisionMode::Enabled);
+    let pwbs_off = run(ElisionMode::Disabled);
+    assert_eq!(
+        pwbs_on, pwbs_off,
+        "plain's pwb stream (the Figure 9 quantity) must not change under elision"
+    );
+    // 2 read flushes per word per round + 1 store flush per word every 10th round.
+    assert_eq!(pwbs_on, 8 * (2 * 100 + 10));
+}
+
+/// And the counterpart: flit-HT's *fence* stream does change — that is the point.
+#[test]
+fn flit_ht_pfences_per_op_drop_under_elision() {
+    let run = |elision| {
+        let nvram = backend_with(elision);
+        let policy = presets::flit_ht(nvram.clone());
+        let map: HashTable<_, Automatic> = HashTable::with_capacity(policy, 256);
+        // Read-mostly (95/5), the workload where elision shines.
+        let cfg = WorkloadConfig::new(256, 5, 1, 4_000);
+        prefill(&map, &cfg);
+        let r = run_workload(&map, &cfg);
+        r.pfences_per_op()
+    };
+    let on = run(ElisionMode::Enabled);
+    let off = run(ElisionMode::Disabled);
+    assert!(
+        on < off / 2.0,
+        "expected a large drop in pfences/op: elision {on:.3} vs literal {off:.3}"
+    );
+}
+
+#[test]
+fn epoch_state_is_keyed_per_backend_instance() {
+    let a = backend_with(ElisionMode::Enabled);
+    let b = backend_with(ElisionMode::Enabled);
+    let pa = presets::flit_ht(a.clone());
+    let pb = presets::flit_ht(b.clone());
+    let wa = <HtPolicy as Policy>::Word::<u64>::new(0);
+
+    // Dirty backend A on this thread (a tagged-read flush with no fence yet).
+    a.pwb(&wa as *const _ as *const u8);
+    // Backend B is clean: its completion fence must elide…
+    pb.operation_completion();
+    assert_eq!(b.stats().pfences(), 0, "B must not see A's pwb");
+    // …while A's must fire.
+    pa.operation_completion();
+    assert_eq!(a.stats().pfences(), 1);
+    // And B's fence must not have cleaned A's epoch before A fenced.
+    assert_eq!(a.stats().elided_pfences(), 0);
+}
+
+#[test]
+fn elision_adds_no_per_word_layout_cost() {
+    assert_eq!(
+        std::mem::size_of::<FlitAtomic<u64, HashedScheme, SimNvram>>(),
+        8,
+        "table-scheme FliT words must stay exactly one machine word"
+    );
+}

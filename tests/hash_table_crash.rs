@@ -58,6 +58,7 @@ fn hash_table_survives_a_crash_at_every_event() {
             &SweepSettings {
                 budget: 0,
                 crash_at: None,
+                elision: Default::default(),
             },
         )
         .unwrap();
@@ -87,6 +88,7 @@ fn random_histories_recover_under_plain_and_flit() {
             &SweepSettings {
                 budget: 100,
                 crash_at: None,
+                elision: Default::default(),
             },
         )
         .unwrap();
@@ -111,6 +113,7 @@ fn broken_durability_is_caught_on_the_hash_table() {
         &SweepSettings {
             budget: 30,
             crash_at: None,
+            elision: Default::default(),
         },
     )
     .unwrap();

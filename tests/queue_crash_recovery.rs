@@ -23,6 +23,7 @@ type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
 const EVERY_EVENT: SweepSettings = SweepSettings {
     budget: 0,
     crash_at: None,
+    elision: flit_pmem::ElisionMode::Enabled,
 };
 
 /// Single-threaded, fully deterministic: crash at *every* persistence event of the
