@@ -1,0 +1,798 @@
+//! # `flit-alloc` — persistent arena allocation with recovery roots
+//!
+//! FliT persists individual *words*; it deliberately says nothing about where those
+//! words live. The seed reproduction allocated every data-structure node on the
+//! volatile Rust heap, which left three structural holes (ROADMAP):
+//!
+//! * **Event-stream drift.** `Policy::persist_object` flushes every cache line an
+//!   object touches, so its `pwb` count depends on whether the allocator happened
+//!   to straddle a line. Absolute persistence-event indices therefore differed
+//!   between two replays of the *same* history, and crash points had to be
+//!   expressed as fragile construction-relative offsets.
+//! * **Live-memory recovery.** Node keys and values were plain fields the tracker
+//!   never saw, so crash recovery had to read them from live memory, walking from
+//!   a pointer into the *live* structure — impossible after a real crash, and
+//!   impossible to even simulate for a crash *during construction*.
+//! * **Straddle flushes.** An unaligned node occupying two cache lines costs two
+//!   `pwb`s where one would do (MOD — Haria et al., ASPLOS 2019 — identifies
+//!   layout control as a first-order persistence-cost lever).
+//!
+//! This crate closes all three with the standard companion of a persistence
+//! library (Memento builds on exactly such a layer): a **persistent arena** that
+//! carves fixed-size, cache-line-aligned slots out of reserved
+//! [`PmemRegion`] address ranges, plus a small named
+//! **recovery-root table** through which structures publish where their durable
+//! state begins.
+//!
+//! ## Arena layout
+//!
+//! ```text
+//! header region (5 cache lines, reserved at construction)
+//! ┌──────────┬───────────┬────────────┬───────────┬─────────────────────────────┐
+//! │ magic    │ slot size │ high-water │ free head │ root table (16 × key,off+1) │
+//! │ +0       │ +8        │ +16        │ +24       │ +64 .. +320                 │
+//! └──────────┴───────────┴────────────┴───────────┴─────────────────────────────┘
+//! chunk 0, chunk 1, ... (appended on demand, never moved)
+//! ┌────────┬────────┬────────┬─── slot_size bytes each, 64-aligned
+//! │ slot 0 │ slot 1 │ slot 2 │ ...
+//! └────────┴────────┴────────┴───
+//! ```
+//!
+//! Every header and root-table word is written **through the normal
+//! store/`pwb`/`pfence` interface** of the owning structure's
+//! [`PmemBackend`] — so the crashtest tracker sees every allocator event, the
+//! event stream stays deterministic, and a frozen
+//! [`CrashImage`] contains the allocator's own metadata
+//! exactly as far as it had durably progressed.
+//!
+//! A slot is identified by its **offset** (a global slot index, stable under the
+//! append-only chunk list); the root table stores offsets rather than addresses,
+//! which is what a DAX-remapped recovery would need and what keeps the table's
+//! *contents* machine-independent.
+//!
+//! ## Image-only recovery
+//!
+//! Because nodes live in arena slots and structures record every node word
+//! (including keys and values) with the backend, recovery after a crash needs
+//! exactly two things: the frozen `CrashImage` and this arena. The root table is
+//! reachable from the arena header (offset 0 of the header region), each root
+//! names the slot where a structure's durable state begins, and every word the
+//! recovery walk reads comes out of the image — **no live-structure pointer and no
+//! live-memory reads**. A structure whose root is absent from the image simply was
+//! not durably constructed yet: recovery yields the empty structure, which is what
+//! makes construction-window crash sweeps possible at all.
+//!
+//! ## Free lists and reuse
+//!
+//! Two free lists feed allocation before the bump pointer:
+//!
+//! * the **durable free list** — freed slots threaded through their first word,
+//!   with the head in the persisted header. [`Arena::free`] links a slot here; it
+//!   is used for nodes that were never published (failed CAS), where the freeing
+//!   thread still holds the backend.
+//! * the **volatile recycle list** — [`Arena::recycle`], used by epoch-based
+//!   reclamation callbacks that run without backend context. After a crash these
+//!   slots are unreachable garbage below the high-water mark; reclaiming them
+//!   would take a root-walk GC pass (conservative leak, the standard trade-off of
+//!   log-free persistent allocators).
+//!
+//! ## Determinism contract
+//!
+//! Slots are cache-line aligned and slot sizes are multiples of the line size, so
+//! the number of lines an object flush touches is a pure function of its type —
+//! never of where the arena landed in the address space. Single-threaded replays
+//! of one history therefore produce *identical absolute event streams* across
+//! runs, processes and machines; `flit-crashtest` relies on this to express crash
+//! points as stable absolute event indices and to make repro strings portable.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use flit_ebr::Guard;
+use parking_lot::{Mutex, RwLock};
+
+use flit_pmem::{CrashImage, PmemBackend, PmemRegion, CACHE_LINE_SIZE, WORD_SIZE};
+
+/// Arena header magic ("FLITARNA"): a persisted header whose first word does not
+/// read back as this value is uninitialised or torn.
+pub const ARENA_MAGIC: u64 = 0x464C_4954_4152_4E41;
+
+/// Number of named recovery roots an arena can hold.
+pub const ROOT_CAPACITY: usize = 16;
+
+/// Byte offset of the root table inside the header region.
+const ROOT_TABLE_OFFSET: usize = CACHE_LINE_SIZE;
+
+/// Bytes per root-table entry: a key word and an offset word.
+const ROOT_ENTRY_BYTES: usize = 2 * WORD_SIZE;
+
+/// Total header-region bytes: one line of header words + the root table.
+const HEADER_BYTES: usize = ROOT_TABLE_OFFSET + ROOT_CAPACITY * ROOT_ENTRY_BYTES;
+
+/// Header word offsets (bytes from the header-region base).
+const MAGIC_OFFSET: usize = 0;
+const SLOT_SIZE_OFFSET: usize = 8;
+const HIGH_WATER_OFFSET: usize = 16;
+const FREE_HEAD_OFFSET: usize = 24;
+
+/// Well-known root keys used by the workspace's data structures. Any `u64` except
+/// `0` (the empty-entry sentinel) is a valid key; these constants only prevent
+/// collisions between the structures that share an arena.
+pub mod roots {
+    /// Head sentinel of a standalone Harris list.
+    pub const LIST_HEAD: u64 = 0x6C69_7374_5F68_6561; // "list_hea"
+    /// Bucket directory block of a hash table.
+    pub const HASH_DIRECTORY: u64 = 0x6874_5F64_6972_6563; // "ht_direc"
+    /// Root sentinel of a Natarajan–Mittal BST.
+    pub const BST_ROOT: u64 = 0x6273_745F_726F_6F74; // "bst_root"
+    /// Head tower of a skiplist.
+    pub const SKIPLIST_HEAD: u64 = 0x736B_6970_5F68_6564; // "skip_hed"
+    /// Head/tail root-pointer slot of an MS queue.
+    pub const QUEUE_ROOTS: u64 = 0x715F_726F_6F74_7321; // "q_roots!"
+}
+
+/// What the persisted arena header looks like inside a [`CrashImage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageHeader {
+    /// `true` when the magic word was durably written — i.e. the arena itself
+    /// completed construction before the crash.
+    pub initialised: bool,
+    /// The persisted slot size, if the header word reached the image.
+    pub slot_size: Option<u64>,
+    /// The persisted high-water mark (slots ever bump-allocated). Every update is
+    /// recorded with the backend, but the write-back is lazy (chunk-boundary
+    /// granularity) and unfenced until the allocating thread's next fence, so the
+    /// persisted mark may lag the true value; recovery treats it as a lower bound
+    /// — reachability is defined by the root table, never by the mark.
+    pub high_water: Option<u64>,
+    /// The persisted durable-free-list head (offset + 1; `0` = empty list).
+    pub free_head: Option<u64>,
+}
+
+/// Free-list and root-registration state, serialised under one lock (allocation
+/// itself is mostly lock-free via the bump counter).
+#[derive(Default)]
+struct AllocState {
+    /// Mirror of the durable free-list head word (offset + 1; 0 = empty).
+    durable_free: usize,
+    /// Volatile recycle list (EBR-freed slots; lost on crash).
+    recycled: Vec<usize>,
+}
+
+/// A persistent arena of fixed-size, cache-line-aligned slots with a persisted
+/// header and a named recovery-root table. See the crate docs.
+pub struct Arena {
+    header: PmemRegion,
+    slot_size: usize,
+    chunk_slots: usize,
+    chunks: RwLock<Vec<PmemRegion>>,
+    /// Bump pointer: the next never-allocated slot index (the high-water mark).
+    next_slot: AtomicUsize,
+    state: Mutex<AllocState>,
+}
+
+impl Arena {
+    /// Create an arena whose slots hold `slot_size` bytes (rounded up to whole
+    /// cache lines), growing `chunk_slots` slots at a time. The header (magic,
+    /// slot size, zero high-water, empty free list) is persisted through `backend`
+    /// before the call returns.
+    pub fn new<B: PmemBackend>(backend: &B, slot_size: usize, chunk_slots: usize) -> Self {
+        assert!(slot_size > 0, "slot size must be non-zero");
+        assert!(chunk_slots > 0, "chunks must hold at least one slot");
+        let slot_size = slot_size.div_ceil(CACHE_LINE_SIZE) * CACHE_LINE_SIZE;
+        let arena = Self {
+            header: PmemRegion::reserve(HEADER_BYTES),
+            slot_size,
+            chunk_slots,
+            chunks: RwLock::new(Vec::new()),
+            next_slot: AtomicUsize::new(0),
+            state: Mutex::new(AllocState::default()),
+        };
+        // Persist the header: content words first, magic last, each batch fenced,
+        // so a durably-visible magic implies a durably-visible header (the same
+        // persist-before-publish discipline the data structures follow).
+        arena.write_header_word(backend, SLOT_SIZE_OFFSET, slot_size as u64);
+        arena.write_header_word(backend, HIGH_WATER_OFFSET, 0);
+        arena.write_header_word(backend, FREE_HEAD_OFFSET, 0);
+        backend.pwb(arena.header_addr(SLOT_SIZE_OFFSET) as *const u8);
+        backend.pfence();
+        arena.write_header_word(backend, MAGIC_OFFSET, ARENA_MAGIC);
+        backend.pwb(arena.header_addr(MAGIC_OFFSET) as *const u8);
+        backend.pfence();
+        arena
+    }
+
+    /// The slot size an arena would use for values of type `T`: the type's size
+    /// (at least one word), rounded up to whole cache lines. The single source of
+    /// truth for callers that need to size chunks or blocks before construction.
+    pub fn slot_size_for<T>() -> usize {
+        assert!(
+            std::mem::align_of::<T>() <= CACHE_LINE_SIZE,
+            "slot types must not require more than cache-line alignment"
+        );
+        std::mem::size_of::<T>()
+            .max(WORD_SIZE)
+            .div_ceil(CACHE_LINE_SIZE)
+            * CACHE_LINE_SIZE
+    }
+
+    /// Create an arena sized for slots of type `T` (one `T` per slot, padded to
+    /// whole cache lines).
+    pub fn for_slots_of<T, B: PmemBackend>(backend: &B, chunk_slots: usize) -> Self {
+        Self::new(backend, Self::slot_size_for::<T>(), chunk_slots)
+    }
+
+    /// The slot size in bytes (a multiple of the cache-line size).
+    #[inline]
+    pub fn slot_size(&self) -> usize {
+        self.slot_size
+    }
+
+    /// Number of slots ever bump-allocated (the live high-water mark).
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.next_slot.load(Ordering::Relaxed)
+    }
+
+    /// The address of the arena header's base (the magic word) — "offset 0" of
+    /// the recovery story: everything durable is reachable from here.
+    #[inline]
+    pub fn header_base(&self) -> usize {
+        self.header.base_addr()
+    }
+
+    #[inline]
+    fn header_addr(&self, byte_offset: usize) -> usize {
+        debug_assert!(byte_offset < HEADER_BYTES);
+        self.header.base_addr() + byte_offset
+    }
+
+    /// Header/root words are shared mutable state: go through `AtomicU64` views so
+    /// live reads never race the raw region memory.
+    #[inline]
+    fn header_word(&self, byte_offset: usize) -> &AtomicU64 {
+        // SAFETY: the offset is in bounds (debug-asserted), 8-aligned (all callers
+        // use word offsets), and the region memory outlives `self`.
+        unsafe { &*(self.header_addr(byte_offset) as *const AtomicU64) }
+    }
+
+    /// Store a header word and record it with the backend (no flush — callers
+    /// batch their own `pwb`/`pfence`).
+    fn write_header_word<B: PmemBackend>(&self, backend: &B, byte_offset: usize, val: u64) {
+        self.header_word(byte_offset).store(val, Ordering::SeqCst);
+        backend.record_store(self.header_addr(byte_offset) as *const u8, val);
+    }
+
+    // ---- offsets ----------------------------------------------------------
+
+    /// The base address of the slot at `offset`, which must have been allocated.
+    pub fn addr_of_offset(&self, offset: usize) -> usize {
+        let chunks = self.chunks.read();
+        let chunk = offset / self.chunk_slots;
+        assert!(chunk < chunks.len(), "offset {offset} beyond the arena");
+        chunks[chunk].base_addr() + (offset % self.chunk_slots) * self.slot_size
+    }
+
+    /// The slot offset containing `addr`, or `None` when `addr` is outside every
+    /// chunk of this arena.
+    pub fn offset_of_addr(&self, addr: usize) -> Option<usize> {
+        let chunks = self.chunks.read();
+        for (i, chunk) in chunks.iter().enumerate() {
+            if chunk.contains(addr) {
+                return Some(i * self.chunk_slots + (addr - chunk.base_addr()) / self.slot_size);
+            }
+        }
+        None
+    }
+
+    /// `true` when `addr` falls inside this arena's slot storage.
+    pub fn contains(&self, addr: usize) -> bool {
+        self.chunks.read().iter().any(|c| c.contains(addr))
+    }
+
+    // ---- allocation -------------------------------------------------------
+
+    /// Allocate one slot. Reuses recycled/freed slots first, then bumps the
+    /// high-water mark. The new mark is always *recorded* with the backend (a
+    /// store event: the crash tracker sees every allocator event), but its
+    /// write-back is **lazy** — flushed only when the mark crosses a chunk
+    /// boundary — so steady-state allocation costs zero `pwb`s. Recovery already
+    /// treats the persisted mark as a lower bound (roots, not the mark, define
+    /// reachability), and the lazy flush is what keeps cache-line alignment a net
+    /// `pwbs/op` win on single-line-node structures.
+    pub fn alloc<B: PmemBackend>(&self, backend: &B) -> *mut u8 {
+        {
+            let mut state = self.state.lock();
+            if let Some(offset) = state.recycled.pop() {
+                return self.addr_of_offset(offset) as *mut u8;
+            }
+            if state.durable_free != 0 {
+                let offset = state.durable_free - 1;
+                let addr = self.addr_of_offset(offset);
+                // SAFETY: a freed slot's first word holds the next free offset + 1
+                // (written by `free`), and the slot is not in use.
+                let next = unsafe { *(addr as *const u64) };
+                state.durable_free = next as usize;
+                self.write_header_word(backend, FREE_HEAD_OFFSET, next);
+                backend.pwb(self.header_addr(FREE_HEAD_OFFSET) as *const u8);
+                return addr as *mut u8;
+            }
+        }
+        let index = self.next_slot.fetch_add(1, Ordering::Relaxed);
+        self.ensure_chunk(index);
+        self.write_header_word(backend, HIGH_WATER_OFFSET, (index + 1) as u64);
+        if (index + 1) % self.chunk_slots == 0 {
+            // Chunk boundary: flush the durable mark (fenced by the caller's next
+            // fence — every allocation is followed by a node persist).
+            backend.pwb(self.header_addr(HIGH_WATER_OFFSET) as *const u8);
+        }
+        self.addr_of_offset(index) as *mut u8
+    }
+
+    /// Allocate one slot and move `value` into it. The write is raw
+    /// initialisation: callers record the node's words with the backend and
+    /// persist them before publishing, exactly as with heap allocation.
+    pub fn alloc_init<T, B: PmemBackend>(&self, backend: &B, value: T) -> *mut T {
+        assert!(
+            std::mem::size_of::<T>() <= self.slot_size,
+            "{} does not fit a {}-byte slot",
+            std::any::type_name::<T>(),
+            self.slot_size
+        );
+        debug_assert!(std::mem::align_of::<T>() <= CACHE_LINE_SIZE);
+        let ptr = self.alloc(backend) as *mut T;
+        // SAFETY: `ptr` is a freshly allocated, exclusively owned, cache-line
+        // aligned slot of at least `size_of::<T>()` bytes.
+        unsafe { ptr.write(value) };
+        ptr
+    }
+
+    /// Allocate `bytes` of *contiguous* slots (for blocks larger than one slot,
+    /// e.g. a hash table's bucket directory). Always bump-allocated; if the block
+    /// does not fit the current chunk's remainder, the gap is skipped (the skipped
+    /// slots leak — blocks are expected to be allocated once, at construction).
+    pub fn alloc_block<B: PmemBackend>(&self, backend: &B, bytes: usize) -> *mut u8 {
+        let nslots = bytes.div_ceil(self.slot_size).max(1);
+        assert!(
+            nslots <= self.chunk_slots,
+            "block of {nslots} slots exceeds the chunk size {}",
+            self.chunk_slots
+        );
+        loop {
+            let cur = self.next_slot.load(Ordering::Relaxed);
+            // If the block would straddle a chunk boundary, start it at the next
+            // chunk instead (the gap slots are never handed out).
+            let index = if cur % self.chunk_slots + nslots > self.chunk_slots {
+                (cur / self.chunk_slots + 1) * self.chunk_slots
+            } else {
+                cur
+            };
+            if self
+                .next_slot
+                .compare_exchange(cur, index + nslots, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            self.ensure_chunk(index + nslots - 1);
+            self.write_header_word(backend, HIGH_WATER_OFFSET, (index + nslots) as u64);
+            backend.pwb(self.header_addr(HIGH_WATER_OFFSET) as *const u8);
+            return self.addr_of_offset(index) as *mut u8;
+        }
+    }
+
+    /// Materialise chunks so that slot `index` is addressable.
+    fn ensure_chunk(&self, index: usize) {
+        let needed = index / self.chunk_slots + 1;
+        if self.chunks.read().len() >= needed {
+            return;
+        }
+        let mut chunks = self.chunks.write();
+        while chunks.len() < needed {
+            chunks.push(PmemRegion::reserve(self.chunk_slots * self.slot_size));
+        }
+    }
+
+    /// Return a slot to the **durable** free list: the slot's first word becomes
+    /// the next-free link and the header's free-list head points at it, both
+    /// recorded and flushed through `backend` (committed by the freeing thread's
+    /// next fence).
+    ///
+    /// # Safety
+    /// `ptr` must be the base of a slot previously returned by
+    /// [`alloc`](Self::alloc)/[`alloc_init`](Self::alloc_init) of this arena, the
+    /// slot must be unreachable from any live or durable structure state, and it
+    /// must not be freed (or recycled) again.
+    pub unsafe fn free<B: PmemBackend>(&self, backend: &B, ptr: *mut u8) {
+        let offset = self
+            .offset_of_addr(ptr as usize)
+            .expect("freed pointer belongs to this arena");
+        let mut state = self.state.lock();
+        let old_head = state.durable_free as u64;
+        // SAFETY: caller guarantees the slot is dead; its first word is ours.
+        unsafe { (ptr as *mut u64).write(old_head) };
+        backend.record_store(ptr as *const u8, old_head);
+        backend.pwb(ptr as *const u8);
+        state.durable_free = offset + 1;
+        self.write_header_word(backend, FREE_HEAD_OFFSET, (offset + 1) as u64);
+        backend.pwb(self.header_addr(FREE_HEAD_OFFSET) as *const u8);
+    }
+
+    /// Return a slot to the **volatile** recycle list (no backend required; used
+    /// by reclamation callbacks). The slot is reused by later allocations of this
+    /// process but leaks across a crash until a GC pass reclaims it.
+    ///
+    /// # Safety
+    /// Same contract as [`free`](Self::free).
+    pub unsafe fn recycle(&self, ptr: *mut u8) {
+        let offset = self
+            .offset_of_addr(ptr as usize)
+            .expect("recycled pointer belongs to this arena");
+        self.state.lock().recycled.push(offset);
+    }
+
+    /// Retire the slot at `addr` through an EBR guard: once the two-epoch rule
+    /// proves quiescence, the slot is [`recycle`](Self::recycle)d. This is the
+    /// one reclamation hook every arena-allocated structure uses in place of
+    /// dropping a `Box`.
+    ///
+    /// # Safety
+    /// `addr` must be the base of a slot of this arena that has been unlinked
+    /// from all shared (and durable-reachable) state before this call, and it
+    /// must be retired exactly once.
+    pub unsafe fn defer_recycle(self: &Arc<Self>, guard: &Guard<'_>, addr: usize) {
+        let arena = Arc::clone(self);
+        guard.defer(move || {
+            // SAFETY: caller's contract (unlinked + unique retirement) plus EBR
+            // quiescence make the slot dead by the time this runs.
+            unsafe { arena.recycle(addr as *mut u8) };
+        });
+    }
+
+    // ---- recovery roots ---------------------------------------------------
+
+    /// Register (or update) the named recovery root `key` to point at the slot
+    /// containing `addr`. The offset word is persisted *before* the key word
+    /// (each with its own fence), so an image containing the key always contains
+    /// the offset. Panics when the table is full or `key` is zero.
+    pub fn register_root<B: PmemBackend>(&self, backend: &B, key: u64, addr: usize) {
+        assert_ne!(key, 0, "root key 0 is the empty-entry sentinel");
+        let offset = self
+            .offset_of_addr(addr)
+            .expect("root address belongs to this arena");
+        let _state = self.state.lock(); // serialise table scans + writes
+        let mut slot = None;
+        for i in 0..ROOT_CAPACITY {
+            let key_off = ROOT_TABLE_OFFSET + i * ROOT_ENTRY_BYTES;
+            match self.header_word(key_off).load(Ordering::SeqCst) {
+                k if k == key => {
+                    slot = Some(i);
+                    break;
+                }
+                0 if slot.is_none() => slot = Some(i),
+                _ => {}
+            }
+        }
+        let i = slot.expect("recovery-root table is full");
+        let key_off = ROOT_TABLE_OFFSET + i * ROOT_ENTRY_BYTES;
+        let val_off = key_off + WORD_SIZE;
+        self.write_header_word(backend, val_off, (offset + 1) as u64);
+        backend.pwb(self.header_addr(val_off) as *const u8);
+        backend.pfence();
+        self.write_header_word(backend, key_off, key);
+        backend.pwb(self.header_addr(key_off) as *const u8);
+        backend.pfence();
+    }
+
+    /// The live root registered under `key`, as a slot base address.
+    pub fn root(&self, key: u64) -> Option<usize> {
+        for i in 0..ROOT_CAPACITY {
+            let key_off = ROOT_TABLE_OFFSET + i * ROOT_ENTRY_BYTES;
+            if self.header_word(key_off).load(Ordering::SeqCst) == key {
+                let off = self.header_word(key_off + WORD_SIZE).load(Ordering::SeqCst);
+                return (off != 0).then(|| self.addr_of_offset(off as usize - 1));
+            }
+        }
+        None
+    }
+
+    /// The root registered under `key` **as persisted in `image`**, as a slot
+    /// base address. `None` when the key (or its offset) never became durable —
+    /// the structure was not durably constructed at the crash point, and recovery
+    /// must treat it as empty.
+    pub fn root_in_image(&self, image: &CrashImage, key: u64) -> Option<usize> {
+        for i in 0..ROOT_CAPACITY {
+            let key_off = ROOT_TABLE_OFFSET + i * ROOT_ENTRY_BYTES;
+            if image.read(self.header_addr(key_off)) == Some(key) {
+                let off = image.read(self.header_addr(key_off + WORD_SIZE))?;
+                return (off != 0).then(|| self.addr_of_offset(off as usize - 1));
+            }
+        }
+        None
+    }
+
+    /// The arena header as persisted in `image`. The header is reachable from
+    /// offset 0 unconditionally, so this view is meaningful at *every* crash
+    /// point, including mid-construction.
+    pub fn image_header(&self, image: &CrashImage) -> ImageHeader {
+        ImageHeader {
+            initialised: image.read(self.header_addr(MAGIC_OFFSET)) == Some(ARENA_MAGIC),
+            slot_size: image.read(self.header_addr(SLOT_SIZE_OFFSET)),
+            high_water: image.read(self.header_addr(HIGH_WATER_OFFSET)),
+            free_head: image.read(self.header_addr(FREE_HEAD_OFFSET)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Arena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena")
+            .field("slot_size", &self.slot_size)
+            .field("chunk_slots", &self.chunk_slots)
+            .field("chunks", &self.chunks.read().len())
+            .field("high_water", &self.high_water())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flit_pmem::{LatencyModel, NullPmem, SimNvram};
+
+    fn tracking() -> SimNvram {
+        SimNvram::for_crash_testing()
+    }
+
+    fn counting() -> SimNvram {
+        SimNvram::builder().latency(LatencyModel::none()).build()
+    }
+
+    #[test]
+    fn slots_are_aligned_disjoint_and_stable() {
+        let b = counting();
+        let arena = Arena::new(&b, 24, 4); // rounds to 64-byte slots
+        assert_eq!(arena.slot_size(), 64);
+        let mut seen = std::collections::HashSet::new();
+        let mut addrs = Vec::new();
+        for _ in 0..10 {
+            let p = arena.alloc(&b) as usize;
+            assert_eq!(p % CACHE_LINE_SIZE, 0);
+            assert!(seen.insert(p), "slot handed out twice");
+            addrs.push(p);
+        }
+        assert_eq!(arena.high_water(), 10);
+        // Growth must not move earlier slots.
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(arena.offset_of_addr(a), Some(i));
+            assert_eq!(arena.addr_of_offset(i), a);
+            assert!(arena.contains(a));
+        }
+        assert!(!arena.contains(arena.header_base()));
+    }
+
+    #[test]
+    fn header_is_persisted_and_always_reachable() {
+        let b = tracking();
+        let arena = Arena::new(&b, 64, 8);
+        let image = b.tracker().unwrap().crash_image();
+        let header = arena.image_header(&image);
+        assert!(header.initialised);
+        assert_eq!(header.slot_size, Some(64));
+        assert_eq!(header.high_water, Some(0));
+        assert_eq!(header.free_head, Some(0));
+    }
+
+    #[test]
+    fn high_water_is_flushed_lazily_at_chunk_boundaries() {
+        let b = tracking();
+        let arena = Arena::new(&b, 64, 4);
+        for _ in 0..3 {
+            let _ = arena.alloc(&b);
+        }
+        b.pfence();
+        // Mid-chunk allocations record the mark but do not flush it.
+        let header = arena.image_header(&b.tracker().unwrap().crash_image());
+        assert_eq!(
+            header.high_water,
+            Some(0),
+            "lazy: mid-chunk marks unflushed"
+        );
+        // Crossing the chunk boundary flushes; the caller's next fence commits.
+        let _ = arena.alloc(&b);
+        let header = arena.image_header(&b.tracker().unwrap().crash_image());
+        assert_eq!(header.high_water, Some(0), "flushed but not yet fenced");
+        b.pfence();
+        let header = arena.image_header(&b.tracker().unwrap().crash_image());
+        assert_eq!(header.high_water, Some(4));
+        assert_eq!(arena.high_water(), 4);
+    }
+
+    #[test]
+    fn root_registration_round_trips_live_and_in_image() {
+        let b = tracking();
+        let arena = Arena::new(&b, 64, 8);
+        let node = arena.alloc(&b) as usize;
+        assert_eq!(arena.root(roots::LIST_HEAD), None);
+        arena.register_root(&b, roots::LIST_HEAD, node);
+        assert_eq!(arena.root(roots::LIST_HEAD), Some(node));
+        let image = b.tracker().unwrap().crash_image();
+        assert_eq!(arena.root_in_image(&image, roots::LIST_HEAD), Some(node));
+        assert_eq!(arena.root_in_image(&image, roots::BST_ROOT), None);
+        // Re-registration updates in place.
+        let other = arena.alloc(&b) as usize;
+        arena.register_root(&b, roots::LIST_HEAD, other);
+        assert_eq!(arena.root(roots::LIST_HEAD), Some(other));
+    }
+
+    #[test]
+    fn root_registration_persists_the_offset_before_the_key_at_every_crash_point() {
+        // The ordering contract `register_root` documents, checked mechanically:
+        // arm a crash at *every* event of construction + registration, and in each
+        // frozen image a durable key word must come with a durable non-zero offset
+        // word (scanned raw in the header region, because `root_in_image` maps the
+        // broken state to `None` and would mask the regression).
+        let total = {
+            let plan = flit_pmem::CrashPlan::counting();
+            let b = SimNvram::for_crash_testing_with_plan(plan.clone());
+            let arena = Arena::new(&b, 64, 8);
+            let node = arena.alloc(&b) as usize;
+            arena.register_root(&b, roots::LIST_HEAD, node);
+            plan.events_seen()
+        };
+        for k in 0..=total {
+            let plan = flit_pmem::CrashPlan::armed_at(k);
+            let b = SimNvram::for_crash_testing_with_plan(plan.clone());
+            let arena = Arena::new(&b, 64, 8);
+            let node = arena.alloc(&b) as usize;
+            arena.register_root(&b, roots::LIST_HEAD, node);
+            let image = plan
+                .crash_image()
+                .unwrap_or_else(|| b.tracker().unwrap().crash_image());
+            let base = arena.header_base();
+            for off in (ROOT_TABLE_OFFSET..HEADER_BYTES).step_by(ROOT_ENTRY_BYTES) {
+                if image.read(base + off) == Some(roots::LIST_HEAD) {
+                    let offset_word = image.read(base + off + WORD_SIZE);
+                    assert!(
+                        matches!(offset_word, Some(v) if v != 0),
+                        "crash at event {k}: root key durable without its offset"
+                    );
+                }
+            }
+            // And through the public API the entry is all-or-nothing.
+            match arena.root_in_image(&image, roots::LIST_HEAD) {
+                None => {}
+                Some(addr) => assert_eq!(addr, node),
+            }
+        }
+    }
+
+    #[test]
+    fn durable_free_list_reuses_slots_lifo() {
+        let b = tracking();
+        let arena = Arena::new(&b, 64, 8);
+        let a = arena.alloc(&b);
+        let c = arena.alloc(&b);
+        // SAFETY: both slots are unreachable test allocations.
+        unsafe {
+            arena.free(&b, a);
+            arena.free(&b, c);
+        }
+        b.pfence();
+        let header = arena.image_header(&b.tracker().unwrap().crash_image());
+        assert_eq!(header.free_head, Some(2), "head = offset of `c` + 1");
+        assert_eq!(arena.alloc(&b), c, "LIFO reuse");
+        assert_eq!(arena.alloc(&b), a);
+        assert_eq!(arena.high_water(), 2, "no new slots were bumped");
+    }
+
+    #[test]
+    fn recycle_reuses_without_backend_events() {
+        let b = counting();
+        let arena = Arena::new(&b, 64, 8);
+        let a = arena.alloc(&b);
+        let before = b.stats().snapshot();
+        // SAFETY: unreachable test allocation.
+        unsafe { arena.recycle(a) };
+        assert_eq!(arena.alloc(&b), a);
+        let delta = b.stats().snapshot().delta_since(&before);
+        assert_eq!(delta.pwbs, 0, "recycling is free of persistence events");
+    }
+
+    #[test]
+    fn chunks_grow_on_demand() {
+        let b = counting();
+        let arena = Arena::new(&b, 64, 2);
+        let addrs: Vec<usize> = (0..7).map(|_| arena.alloc(&b) as usize).collect();
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(arena.offset_of_addr(a), Some(i));
+        }
+        assert_eq!(arena.addr_of_offset(6), addrs[6]);
+    }
+
+    #[test]
+    fn blocks_are_contiguous_and_chunk_local() {
+        let b = counting();
+        let arena = Arena::new(&b, 64, 8);
+        let _ = arena.alloc(&b); // misalign the bump pointer
+        let block = arena.alloc_block(&b, 64 * 3) as usize;
+        assert_eq!(arena.offset_of_addr(block), Some(1));
+        assert!(arena.contains(block + 64 * 3 - 1));
+        // A block that cannot fit the current chunk's remainder skips the gap.
+        let _ = arena.alloc(&b);
+        let big = arena.alloc_block(&b, 64 * 6) as usize;
+        let off = arena.offset_of_addr(big).unwrap();
+        assert_eq!(off % 8, 0, "skipped to the next chunk boundary");
+    }
+
+    #[test]
+    fn typed_allocation_round_trips() {
+        #[repr(C)]
+        struct Node {
+            key: u64,
+            value: u64,
+        }
+        let b = counting();
+        let arena = Arena::for_slots_of::<Node, _>(&b, 8);
+        assert_eq!(arena.slot_size(), 64);
+        let n = arena.alloc_init(&b, Node { key: 7, value: 70 });
+        // SAFETY: just allocated and initialised.
+        unsafe {
+            assert_eq!((*n).key, 7);
+            assert_eq!((*n).value, 70);
+        }
+    }
+
+    #[test]
+    fn works_over_a_null_backend() {
+        // The non-persistent baseline must be able to use the arena as a plain
+        // allocator: no tracker, no stats, no panic.
+        let b = NullPmem;
+        let arena = Arena::new(&b, 64, 4);
+        let p = arena.alloc(&b);
+        arena.register_root(&b, roots::LIST_HEAD, p as usize);
+        assert_eq!(arena.root(roots::LIST_HEAD), Some(p as usize));
+    }
+
+    #[test]
+    fn allocation_event_stream_is_deterministic() {
+        // Two identical allocation sequences against fresh backends must generate
+        // identical persistence-event counts — the property that makes absolute
+        // crash indices stable.
+        let run = || {
+            let plan = flit_pmem::CrashPlan::counting();
+            let backend = SimNvram::for_crash_testing_with_plan(plan.clone());
+            let arena = Arena::new(&backend, 128, 4);
+            for _ in 0..9 {
+                let _ = arena.alloc(&backend);
+            }
+            arena.register_root(&backend, roots::BST_ROOT, arena.addr_of_offset(3));
+            plan.events_seen()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn concurrent_allocation_is_disjoint() {
+        let b = std::sync::Arc::new(counting());
+        let arena = std::sync::Arc::new(Arena::new(&*b, 64, 16));
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let arena = std::sync::Arc::clone(&arena);
+                let b = std::sync::Arc::clone(&b);
+                let seen = &seen;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let p = arena.alloc(&*b) as usize;
+                        assert!(seen.lock().unwrap().insert(p), "slot {p:#x} reused");
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.high_water(), 800);
+    }
+}

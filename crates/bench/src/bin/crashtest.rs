@@ -16,11 +16,19 @@
 //!   --elision MODE        on|off|both: persist-epoch elision of the replayed
 //!                         backend (default: both — sweep the elided stream AND
 //!                         the paper-literal one; with --crash-at the default is
-//!                         `on` only, because crash offsets are stream-specific)
-//!   --crash-at K          inject exactly one crash point (repro mode)
+//!                         `on` only, because crash indices are stream-specific)
+//!   --crash-at K          inject exactly one crash point (repro mode). K is a
+//!                         stable ABSOLUTE event index — construction events
+//!                         included — portable across runs and machines thanks
+//!                         to arena allocation (flit-alloc)
 //!   --json PATH           write a machine-readable report (CI artifact)
 //!   --skip-control        do not run the deliberately broken control
 //! ```
+//!
+//! Sweeps cover the full absolute event span `0..=events_total`, *including the
+//! construction window*: a crash before the structure's recovery root became
+//! durable must recover to the empty structure, purely from the frozen image and
+//! the arena's root table.
 //!
 //! Exit status is `0` only when every correct-method sweep found zero violations
 //! **and** the broken control (unless skipped) found at least one — a control that
@@ -137,8 +145,8 @@ fn parse_args() -> Args {
             std::process::exit(2);
         }
     };
-    // Crash offsets are stream-specific (elision removes fence events), so repro
-    // mode must not silently replay the offset under both streams: default to the
+    // Crash indices are stream-specific (elision removes fence events), so repro
+    // mode must not silently replay the index under both streams: default to the
     // elided stream and let the repro string's explicit --elision pin the right one.
     let elisions = elisions.unwrap_or_else(|| {
         if crash_at.is_some() {
@@ -227,7 +235,7 @@ fn main() {
             args.settings.budget.to_string()
         },
         match args.settings.crash_at {
-            Some(k) => format!(", single crash offset {k}"),
+            Some(k) => format!(", single crash index {k}"),
             None => String::new(),
         }
     );

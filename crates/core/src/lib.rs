@@ -67,12 +67,13 @@
 //! | crate | contents |
 //! |---|---|
 //! | `flit` (this crate) | the P-V interface and its policy implementations |
-//! | `flit-pmem` | hardware and simulated persistence substrates, crash tracking |
+//! | `flit-pmem` | hardware and simulated persistence substrates, crash tracking, reserved regions, the recording decorator |
 //! | `flit-ebr` | epoch-based reclamation for the lock-free structures |
-//! | `flit-datastructs` | the paper's set/map structures (list, hash table, BST, skiplist) |
-//! | `flit-queues` | durable FIFO queues (Michael–Scott) with crash-image recovery |
+//! | `flit-alloc` | persistent arena allocator: aligned node slots, persisted header, recovery-root table |
+//! | `flit-datastructs` | the paper's set/map structures (list, hash table, BST, skiplist), arena-allocated with image-only recovery |
+//! | `flit-queues` | durable FIFO queues (Michael–Scott) with image-only crash recovery |
 //! | `flit-workload` | map and queue workload generators, crash-test histories, the case dispatcher |
-//! | `flit-crashtest` | deterministic crash-injection sweeps: crash at every persistence event, recover, verify prefix consistency |
+//! | `flit-crashtest` | deterministic crash-injection sweeps: crash at every absolute persistence event (construction included), recover image-only, verify prefix consistency |
 //! | `flit-bench` | the `repro` figure-regeneration and `crashtest` sweep binaries, Criterion benches |
 //!
 //! ## Quick example

@@ -6,24 +6,29 @@
 //!    with a counting [`CrashPlan`], recording how many persistence events
 //!    construction generates, where every operation boundary falls, and the total
 //!    event count;
-//! 2. selects crash points as **offsets from the end of construction** across
-//!    `0..=span` (every event, or an evenly spaced subset under a budget);
-//! 3. for each offset `o`, replays the identical history against a fresh backend,
-//!    arms the plan `o` events past construction
-//!    ([`CrashPlan::arm_after`]) — the plan freezes the adversarial image the
-//!    instant that event would have applied — recovers the structure from the
-//!    frozen [`CrashImage`], and checks **prefix
-//!    consistency**: with `c` operations completed before the crash and at most one
-//!    in flight, the recovered abstract state must equal the model state after `c`
-//!    or after `c + 1` operations — and the recovery walk must not be truncated.
+//! 2. selects crash points across the **full absolute event span** `0..=total` —
+//!    *including the construction window* `0..construction` — every event, or an
+//!    evenly spaced subset under a budget;
+//! 3. for each absolute index `k`, replays the identical history against a fresh
+//!    backend with a plan armed at `k` — the plan freezes the adversarial image
+//!    the instant that event would have applied — recovers the structure **purely
+//!    from the frozen [`CrashImage`] + the arena's recovery-root table** (no live
+//!    pointer, no live-memory reads), and checks **prefix consistency**: with `c`
+//!    operations completed before the crash and at most one in flight, the
+//!    recovered abstract state must equal the model state after `c` or after
+//!    `c + 1` operations — and the recovery walk must not be truncated. A crash
+//!    inside the construction window must recover to exactly the empty structure
+//!    (either "no durable root yet" or the empty, fully-constructed skeleton).
 //!
-//! Crash points are offsets rather than absolute event indices because absolute
-//! counts drift between replays: `persist_object`'s pwb count depends on whether an
-//! allocation happens to straddle a cache line. Offsets are anchored per run, and
-//! each replay records its *own* operation boundaries, so the consistency check is
-//! exact regardless of drift. The offset `o = span` (nothing lost) is always
-//! included as a control: there the recovered state must equal the full history's
-//! final state.
+//! Crash points are **stable absolute event indices**: arena allocation
+//! (`flit-alloc`) makes every object flush cover a layout-independent number of
+//! cache lines, so two replays of one history produce byte-identical event
+//! streams — across runs, processes and machines. A repro string is therefore a
+//! complete, portable reproduction recipe. The index `k = total` (nothing lost)
+//! is always included as a control: there the recovered state must equal the full
+//! history's final state. Replays that crash inside the construction window skip
+//! the (irrelevant) history for speed: the image was frozen before any operation
+//! began.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -36,18 +41,20 @@ use flit_workload::{MapOp, QueueOp};
 use crate::report::{CaseMeta, SweepReport, Violation};
 
 /// How much of the event span a sweep covers. The default (`budget: 0`, no pinned
-/// crash point) sweeps every event of the elision-enabled instruction stream.
+/// crash point) sweeps every absolute event of the elision-enabled instruction
+/// stream, construction included.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SweepSettings {
     /// Maximum number of crash points to inject (`0` = every event in the span).
     pub budget: usize,
-    /// Inject exactly this one crash point instead of sweeping (repro mode).
+    /// Inject exactly this one absolute crash index instead of sweeping
+    /// (repro mode).
     pub crash_at: Option<u64>,
     /// Persist-epoch elision mode of the replayed backend. The default
     /// ([`ElisionMode::Enabled`]) sweeps the elided instruction stream — the one
     /// production runs execute; [`ElisionMode::Disabled`] sweeps the
     /// paper-literal stream. Note the two streams have different event spans
-    /// (elision removes fence events), so crash offsets are not comparable
+    /// (elision removes fence events), so crash indices are not comparable
     /// across modes.
     pub elision: ElisionMode,
 }
@@ -84,9 +91,9 @@ fn select_points(base: u64, total: u64, budget: usize) -> Vec<u64> {
 /// The label used for the nothing-lost control point (`k == total`).
 const END_EVENT: &str = "end";
 
-/// Outcome of one replay. `boundaries` are *offsets from the end of construction*
-/// recorded by this very run, so the consistency check is exact even though
-/// absolute event counts drift with allocator layout between replays.
+/// Outcome of one replay. `boundaries` are *absolute event indices* recorded by
+/// this very run; arena allocation makes them identical across replays of one
+/// history, which is what lets crash points be absolute in the first place.
 struct Replay<R> {
     base: u64,
     boundaries: Vec<u64>,
@@ -98,12 +105,15 @@ struct Replay<R> {
     functional: Option<String>,
 }
 
-/// Replay `history` against a fresh `M`; when `crash_offset` is set, freeze the
-/// image that many events past the end of construction and recover from it.
+/// Replay `history` against a fresh `M`; when `crash_at` is set, freeze the image
+/// the instant that absolute event would have applied and recover from it.
+/// `run_history` is false for construction-window replays, where the image is
+/// frozen before any operation begins and the history cannot affect it.
 fn replay_map<P, M, F>(
     factory: &F,
     history: &[MapOp],
-    crash_offset: Option<u64>,
+    crash_at: Option<u64>,
+    run_history: bool,
     elision: ElisionMode,
 ) -> Replay<RecoveredMap>
 where
@@ -111,60 +121,56 @@ where
     M: ConcurrentMap<P> + MapCrashRecovery<P>,
     F: Fn(SimNvram) -> P,
 {
-    let plan = CrashPlan::counting();
+    let plan = match crash_at {
+        Some(k) => CrashPlan::armed_at(k),
+        None => CrashPlan::counting(),
+    };
     let backend = replay_backend(plan.clone(), elision);
     let map = M::with_capacity(factory(backend.clone()), 64);
-    // Pin every collector for the whole run: crash images hold stale pointers to
-    // logically deleted nodes, and recovery must be able to dereference them.
-    let guards = map.pin_for_recovery();
     let base = plan.events_seen();
-    if let Some(offset) = crash_offset {
-        plan.arm_after(offset);
-    }
     let mut boundaries = Vec::with_capacity(history.len());
     let mut model: BTreeMap<u64, u64> = BTreeMap::new();
     let mut functional = None;
-    for (i, op) in history.iter().enumerate() {
-        let mismatch = |got: &dyn std::fmt::Debug, want: &dyn std::fmt::Debug| {
-            format!("op {i} ({op:?}) returned {got:?} but the model says {want:?}")
-        };
-        match *op {
-            MapOp::Insert(k, v) => {
-                let got = map.insert(k, v);
-                let want = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
-                    e.insert(v);
-                    true
-                } else {
-                    false
-                };
-                if got != want && functional.is_none() {
-                    functional = Some(mismatch(&got, &want));
+    if run_history {
+        for (i, op) in history.iter().enumerate() {
+            let mismatch = |got: &dyn std::fmt::Debug, want: &dyn std::fmt::Debug| {
+                format!("op {i} ({op:?}) returned {got:?} but the model says {want:?}")
+            };
+            match *op {
+                MapOp::Insert(k, v) => {
+                    let got = map.insert(k, v);
+                    let want = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k)
+                    {
+                        e.insert(v);
+                        true
+                    } else {
+                        false
+                    };
+                    if got != want && functional.is_none() {
+                        functional = Some(mismatch(&got, &want));
+                    }
+                }
+                MapOp::Remove(k) => {
+                    let got = map.remove(k);
+                    let want = model.remove(&k).is_some();
+                    if got != want && functional.is_none() {
+                        functional = Some(mismatch(&got, &want));
+                    }
+                }
+                MapOp::Get(k) => {
+                    let got = map.get(k);
+                    let want = model.get(&k).copied();
+                    if got != want && functional.is_none() {
+                        functional = Some(mismatch(&got, &want));
+                    }
                 }
             }
-            MapOp::Remove(k) => {
-                let got = map.remove(k);
-                let want = model.remove(&k).is_some();
-                if got != want && functional.is_none() {
-                    functional = Some(mismatch(&got, &want));
-                }
-            }
-            MapOp::Get(k) => {
-                let got = map.get(k);
-                let want = model.get(&k).copied();
-                if got != want && functional.is_none() {
-                    functional = Some(mismatch(&got, &want));
-                }
-            }
+            boundaries.push(plan.events_seen());
         }
-        boundaries.push(plan.events_seen() - base);
     }
     let total = plan.events_seen();
-    let recovered = frozen_image(&plan, &backend, crash_offset).map(|(image, kind)| {
-        // SAFETY: the run is quiescent and `guards` has pinned every collector
-        // since before the first operation, so image pointers are live.
-        (unsafe { map.recover_from_image(&image) }, kind)
-    });
-    drop(guards);
+    let recovered = frozen_image(&plan, &backend, crash_at)
+        .map(|(image, kind)| (map.recover_from_image(&image), kind));
     Replay {
         base,
         boundaries,
@@ -178,7 +184,8 @@ where
 fn replay_queue<P, D, F>(
     factory: &F,
     history: &[QueueOp],
-    crash_offset: Option<u64>,
+    crash_at: Option<u64>,
+    run_history: bool,
     elision: ElisionMode,
 ) -> Replay<flit_queues::RecoveredQueue>
 where
@@ -186,41 +193,39 @@ where
     D: Durability,
     F: Fn(SimNvram) -> P,
 {
-    let plan = CrashPlan::counting();
+    let plan = match crash_at {
+        Some(k) => CrashPlan::armed_at(k),
+        None => CrashPlan::counting(),
+    };
     let backend = replay_backend(plan.clone(), elision);
     let queue: MsQueue<P, D> = MsQueue::new(factory(backend.clone()));
-    let guard = queue.collector().pin();
     let base = plan.events_seen();
-    if let Some(offset) = crash_offset {
-        plan.arm_after(offset);
-    }
     let mut boundaries = Vec::with_capacity(history.len());
     let mut model: VecDeque<u64> = VecDeque::new();
     let mut functional = None;
-    for (i, op) in history.iter().enumerate() {
-        match *op {
-            QueueOp::Enqueue(v) => {
-                queue.enqueue(v);
-                model.push_back(v);
-            }
-            QueueOp::Dequeue => {
-                let got = queue.dequeue();
-                let want = model.pop_front();
-                if got != want && functional.is_none() {
-                    functional = Some(format!(
-                        "op {i} (Dequeue) returned {got:?} but the model says {want:?}"
-                    ));
+    if run_history {
+        for (i, op) in history.iter().enumerate() {
+            match *op {
+                QueueOp::Enqueue(v) => {
+                    queue.enqueue(v);
+                    model.push_back(v);
+                }
+                QueueOp::Dequeue => {
+                    let got = queue.dequeue();
+                    let want = model.pop_front();
+                    if got != want && functional.is_none() {
+                        functional = Some(format!(
+                            "op {i} (Dequeue) returned {got:?} but the model says {want:?}"
+                        ));
+                    }
                 }
             }
+            boundaries.push(plan.events_seen());
         }
-        boundaries.push(plan.events_seen() - base);
     }
     let total = plan.events_seen();
-    let recovered = frozen_image(&plan, &backend, crash_offset).map(|(image, kind)| {
-        // SAFETY: quiescent, collector pinned since before the first operation.
-        (unsafe { queue.recover(&image) }, kind)
-    });
-    drop(guard);
+    let recovered =
+        frozen_image(&plan, &backend, crash_at).map(|(image, kind)| (queue.recover(&image), kind));
     Replay {
         base,
         boundaries,
@@ -230,15 +235,15 @@ where
     }
 }
 
-/// The image a crash freezes: the plan's capture when the armed offset fell inside
+/// The image a crash freezes: the plan's capture when the armed index fell inside
 /// this run's event span, the tracker's final (nothing lost) state when it fell at
 /// or past the end — the always-included full-history control point.
 fn frozen_image(
     plan: &CrashPlan,
     backend: &SimNvram,
-    crash_offset: Option<u64>,
+    crash_at: Option<u64>,
 ) -> Option<(CrashImage, &'static str)> {
-    crash_offset?;
+    crash_at?;
     match plan.crash_image() {
         Some(image) => Some((image, plan.triggered_on().map(|e| e.name()).unwrap_or("?"))),
         None => Some((
@@ -301,18 +306,21 @@ fn completed_before(boundaries: &[u64], k: u64) -> usize {
 }
 
 /// Prefix-consistency check shared by maps and queues: the recovered state must
-/// equal the model state after `c` or `c + 1` operations.
+/// equal the model state after `completed` operations — or, when an operation may
+/// have been in flight at the crash (`in_flight`, false for construction-window
+/// points where no operation had started), after `completed + 1`.
 fn check_prefix<S: PartialEq + std::fmt::Debug>(
     actual: &[S],
     truncated: bool,
     state: impl Fn(usize) -> Vec<S>,
     history_len: usize,
     completed: usize,
+    in_flight: bool,
 ) -> Option<String> {
     if truncated {
         return Some(
             "recovery walk truncated: a node was reachable through persisted links but its own \
-             link words were not in the image (persist-before-publish violated)"
+             recovery words were not in the image (persist-before-publish violated)"
                 .to_string(),
         );
     }
@@ -320,7 +328,7 @@ fn check_prefix<S: PartialEq + std::fmt::Debug>(
     if actual == before.as_slice() {
         return None;
     }
-    if completed < history_len {
+    if in_flight && completed < history_len {
         let after = state(completed + 1);
         if actual == after.as_slice() {
             return None;
@@ -334,10 +342,15 @@ fn check_prefix<S: PartialEq + std::fmt::Debug>(
         ));
     }
     Some(format!(
-        "recovered {} but expected the state after all {} ops {}",
+        "recovered {} but expected the state after {} ops {}{}",
         digest(actual),
         completed,
-        digest(&before)
+        digest(&before),
+        if in_flight {
+            ""
+        } else {
+            " (crash inside the construction window: only the empty structure is admissible)"
+        }
     ))
 }
 
@@ -353,11 +366,10 @@ where
     M: ConcurrentMap<P> + MapCrashRecovery<P>,
     F: Fn(SimNvram) -> P,
 {
-    let counting = replay_map::<P, M, F>(&factory, history, None, settings.elision);
-    let span = counting.total - counting.base;
+    let counting = replay_map::<P, M, F>(&factory, history, None, true, settings.elision);
     let points = match settings.crash_at {
-        Some(offset) => vec![offset.min(span)],
-        None => select_points(0, span, settings.budget),
+        Some(k) => vec![k.min(counting.total)],
+        None => select_points(0, counting.total, settings.budget),
     };
     let mut violations = Vec::new();
     if let Some(detail) = counting.functional {
@@ -371,18 +383,32 @@ where
             repro: case.repro(0),
         });
     }
-    for &offset in &points {
-        let run = replay_map::<P, M, F>(&factory, history, Some(offset), settings.elision);
+    for &k in &points {
+        let in_flight = k >= counting.base;
+        let run = replay_map::<P, M, F>(&factory, history, Some(k), in_flight, settings.elision);
+        // The PR-4 core invariant, asserted rather than assumed: every replay of
+        // one case reproduces the counting pass's absolute event stream exactly
+        // (a drift would silently misclassify construction-window points).
+        assert_eq!(
+            run.base, counting.base,
+            "event-stream determinism broke: construction span drifted between replays"
+        );
+        if in_flight {
+            assert_eq!(
+                run.total, counting.total,
+                "event-stream determinism broke: total span drifted between replays"
+            );
+        }
         let (recovered, kind) = run.recovered.expect("crash point was armed");
-        let completed = completed_before(&run.boundaries, offset);
+        let completed = completed_before(&run.boundaries, k);
         let actual = recovered.sorted_pairs();
         if let Some(detail) = run.functional {
             violations.push(Violation {
-                crash_event: offset,
+                crash_event: k,
                 triggered_on: "live-run",
                 completed_ops: completed,
                 detail,
-                repro: case.repro(offset),
+                repro: case.repro(k),
             });
         }
         if let Some(detail) = check_prefix(
@@ -391,13 +417,14 @@ where
             |n| map_state(history, n),
             history.len(),
             completed,
+            in_flight,
         ) {
             violations.push(Violation {
-                crash_event: offset,
+                crash_event: k,
                 triggered_on: kind,
                 completed_ops: completed,
                 detail,
-                repro: case.repro(offset),
+                repro: case.repro(k),
             });
         }
     }
@@ -423,11 +450,10 @@ where
     D: Durability,
     F: Fn(SimNvram) -> P,
 {
-    let counting = replay_queue::<P, D, F>(&factory, history, None, settings.elision);
-    let span = counting.total - counting.base;
+    let counting = replay_queue::<P, D, F>(&factory, history, None, true, settings.elision);
     let points = match settings.crash_at {
-        Some(offset) => vec![offset.min(span)],
-        None => select_points(0, span, settings.budget),
+        Some(k) => vec![k.min(counting.total)],
+        None => select_points(0, counting.total, settings.budget),
     };
     let mut violations = Vec::new();
     if let Some(detail) = counting.functional {
@@ -439,17 +465,29 @@ where
             repro: case.repro(0),
         });
     }
-    for &offset in &points {
-        let run = replay_queue::<P, D, F>(&factory, history, Some(offset), settings.elision);
+    for &k in &points {
+        let in_flight = k >= counting.base;
+        let run = replay_queue::<P, D, F>(&factory, history, Some(k), in_flight, settings.elision);
+        // See sweep_map: replays must reproduce the counting pass's event stream.
+        assert_eq!(
+            run.base, counting.base,
+            "event-stream determinism broke: construction span drifted between replays"
+        );
+        if in_flight {
+            assert_eq!(
+                run.total, counting.total,
+                "event-stream determinism broke: total span drifted between replays"
+            );
+        }
         let (recovered, kind) = run.recovered.expect("crash point was armed");
-        let completed = completed_before(&run.boundaries, offset);
+        let completed = completed_before(&run.boundaries, k);
         if let Some(detail) = run.functional {
             violations.push(Violation {
-                crash_event: offset,
+                crash_event: k,
                 triggered_on: "live-run",
                 completed_ops: completed,
                 detail,
-                repro: case.repro(offset),
+                repro: case.repro(k),
             });
         }
         if let Some(detail) = check_prefix(
@@ -458,13 +496,14 @@ where
             |n| queue_state(history, n),
             history.len(),
             completed,
+            in_flight,
         ) {
             violations.push(Violation {
-                crash_event: offset,
+                crash_event: k,
                 triggered_on: kind,
                 completed_ops: completed,
                 detail,
-                repro: case.repro(offset),
+                repro: case.repro(k),
             });
         }
     }
@@ -542,9 +581,23 @@ mod tests {
             1 => vec![(1u64, 10u64)],
             _ => vec![(1, 10), (2, 20)],
         };
-        assert!(check_prefix(&state(1), false, state, hist_len, 1).is_none());
-        assert!(check_prefix(&state(2), false, state, hist_len, 1).is_none());
-        assert!(check_prefix(&state(0), false, state, hist_len, 1).is_some());
-        assert!(check_prefix(&state(1), true, state, hist_len, 1).is_some());
+        assert!(check_prefix(&state(1), false, state, hist_len, 1, true).is_none());
+        assert!(check_prefix(&state(2), false, state, hist_len, 1, true).is_none());
+        assert!(check_prefix(&state(0), false, state, hist_len, 1, true).is_some());
+        assert!(check_prefix(&state(1), true, state, hist_len, 1, true).is_some());
+    }
+
+    #[test]
+    fn construction_window_points_admit_only_the_empty_state() {
+        let hist_len = 2;
+        let state = |n: usize| match n {
+            0 => vec![],
+            _ => vec![(1u64, 10u64)],
+        };
+        // No operation can be in flight during construction: state(1) is a bug.
+        assert!(check_prefix(&state(0), false, state, hist_len, 0, false).is_none());
+        let verdict = check_prefix(&state(1), false, state, hist_len, 0, false);
+        assert!(verdict.is_some());
+        assert!(verdict.unwrap().contains("construction window"));
     }
 }

@@ -118,9 +118,10 @@ impl CaseMeta {
 /// One durability violation found by a sweep.
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// The crash point: how many persistence events past the end of structure
-    /// construction the crash was injected (offsets stay meaningful across runs;
-    /// absolute event counts drift with allocator layout).
+    /// The crash point as a **stable absolute event index** (construction events
+    /// included). Arena allocation makes the event stream layout-independent, so
+    /// the index — and with it the repro string — is portable across runs and
+    /// machines.
     pub crash_event: u64,
     /// The kind of persistence event the crash landed on (`store`/`pwb`/`pfence`),
     /// `end` for the nothing-lost control point after the final event, or
@@ -152,13 +153,15 @@ pub struct SweepReport {
     /// The case's coordinates.
     pub case: CaseMeta,
     /// Events generated by structure construction alone, as measured by the
-    /// counting pass (crash offsets are relative to this point: mid-construction
-    /// crashes are not part of the issued history).
+    /// counting pass. Crash indices below this value fall in the *construction
+    /// window*, which the sweep covers too: there recovery must yield exactly the
+    /// empty structure.
     pub events_construction: u64,
     /// Total events generated by construction + the full history (counting pass).
+    /// The sweep's absolute crash indices range over `0..=events_total`.
     pub events_total: u64,
-    /// Crash points actually injected (≤ the post-construction event span when a
-    /// budget applies).
+    /// Crash points actually injected (≤ the full event span when a budget
+    /// applies).
     pub points_tested: usize,
     /// Violations found, in crash-event order.
     pub violations: Vec<Violation>,

@@ -31,7 +31,8 @@ fn with_elision(settings: SweepSettings, elision: ElisionMode) -> SweepSettings 
 }
 
 /// The core acceptance sweep: every structure × every correct method × flit-HT,
-/// crashing at every single event of the scripted history.
+/// crashing at every single absolute event of the run — the construction window
+/// included.
 #[test]
 fn scripted_every_event_sweep_is_clean_under_flit_ht() {
     let reports = run_matrix(
@@ -53,10 +54,12 @@ fn scripted_every_event_sweep_is_clean_under_flit_ht() {
             report.violations.len(),
             report.violations[0]
         );
-        // Every post-construction event plus the nothing-lost control was injected.
-        assert_eq!(
-            report.points_tested as u64,
-            report.events_total - report.events_construction + 1
+        // Every absolute event (index 0 through the nothing-lost control at
+        // `events_total`) was injected, construction window included.
+        assert_eq!(report.points_tested as u64, report.events_total + 1);
+        assert!(
+            report.events_construction > 0,
+            "construction generates events; the sweep must cover them"
         );
     }
 }

@@ -11,17 +11,34 @@
 //! every load and store below is a p-instruction; in `NvTraverse`/`Manual` the search
 //! loop issues v-loads and the links touched by the critical phase are persisted via
 //! the transition (see [`Durability::TRANSITION_DEPTH`]).
+//!
+//! ## Arena allocation and image-only recovery
+//!
+//! Nodes live in cache-line-aligned slots of a [`Arena`] — one arena per
+//! standalone list, or the owning hash table's shared arena when the list serves as
+//! a bucket. Every node word (including the immutable `key`/`value`) is recorded
+//! with the backend before the node is persisted and published, and a standalone
+//! list registers its head sentinel in the arena's recovery-root table under
+//! [`roots::LIST_HEAD`]. Recovery ([`HarrisList::recover_in_image`]) therefore
+//! walks **purely from the `CrashImage` plus the root table**: it never reads live
+//! memory, needs no pointer into the live structure, and yields the empty list for
+//! a crash that predates durable construction.
 
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 use flit::{PFlag, PersistWord, Policy};
+use flit_alloc::{roots, Arena};
 use flit_ebr::{Collector, Guard};
-use flit_pmem::CrashImage;
+use flit_pmem::{CrashImage, PmemBackend};
 
 use crate::durability::Durability;
 use crate::map::ConcurrentMap;
 use crate::marked::{address, is_marked, pack, unmark, with_mark};
 use crate::recovery::RecoveredMap;
+
+/// Slots per arena chunk for list-shaped structures.
+pub(crate) const LIST_CHUNK_SLOTS: usize = 1024;
 
 /// A node of the list. `key` and `value` are immutable after construction (the node is
 /// persisted wholesale before being published), so only the `next` link is a
@@ -32,13 +49,28 @@ pub(crate) struct Node<P: Policy> {
     pub(crate) next: P::Word<usize>,
 }
 
+/// Byte offsets of a node's recovery-relevant words within its arena slot, obtained
+/// by probing a stack dummy (field layout depends on the policy's word type, and the
+/// MSRV predates `offset_of!`).
+pub(crate) struct NodeLayout {
+    pub(crate) key: usize,
+    pub(crate) value: usize,
+    pub(crate) next: usize,
+}
+
 impl<P: Policy> Node<P> {
-    fn new(key: u64, value: u64, next: usize) -> *mut Self {
-        Box::into_raw(Box::new(Node {
-            key,
-            value,
-            next: P::Word::<usize>::new(next),
-        }))
+    pub(crate) fn layout() -> NodeLayout {
+        let probe = Node::<P> {
+            key: 0,
+            value: 0,
+            next: P::Word::<usize>::new(0),
+        };
+        let base = &probe as *const Node<P> as usize;
+        NodeLayout {
+            key: &probe.key as *const u64 as usize - base,
+            value: &probe.value as *const u64 as usize - base,
+            next: probe.next.addr() - base,
+        }
     }
 }
 
@@ -47,6 +79,7 @@ impl<P: Policy> Node<P> {
 pub struct HarrisList<P: Policy, D: Durability> {
     head: *mut Node<P>,
     tail: *mut Node<P>,
+    arena: Arc<Arena>,
     policy: P,
     collector: Collector,
     _durability: PhantomData<D>,
@@ -54,39 +87,90 @@ pub struct HarrisList<P: Policy, D: Durability> {
 
 // SAFETY: the list is a standard lock-free structure — all shared mutable state is
 // accessed through atomic persist-words, and node lifetime is managed by the EBR
-// collector. The raw sentinel pointers are only written during construction/drop.
+// collector + the shared arena. The raw sentinel pointers are only written during
+// construction.
 unsafe impl<P: Policy, D: Durability> Send for HarrisList<P, D> {}
 unsafe impl<P: Policy, D: Durability> Sync for HarrisList<P, D> {}
 
 impl<P: Policy, D: Durability> HarrisList<P, D> {
-    /// Create an empty list using `policy` for persistence.
+    /// Create an empty list with its own arena, registered under
+    /// [`roots::LIST_HEAD`].
     pub fn new(policy: P) -> Self {
-        let tail = Node::<P>::new(u64::MAX, 0, 0);
-        let head = Node::<P>::new(0, 0, pack(tail));
-        // Re-issue the sentinels' link values as private volatile stores so the
-        // tracking backend records them, then persist the initial (empty) structure
-        // so a crash immediately after construction recovers to an empty list
-        // rather than garbage.
+        let arena = Arc::new(Arena::for_slots_of::<Node<P>, _>(
+            policy.backend(),
+            LIST_CHUNK_SLOTS,
+        ));
+        Self::with_arena(policy, arena, Some(roots::LIST_HEAD))
+    }
+
+    /// Create an empty list inside `arena` (shared by the hash table's buckets).
+    /// When `root_key` is set, the head sentinel is registered in the arena's
+    /// recovery-root table once construction is durable.
+    pub(crate) fn with_arena(policy: P, arena: Arc<Arena>, root_key: Option<u64>) -> Self {
+        // Persist-before-publish at construction: both sentinels become durable
+        // (including their key/value words) before the root that makes the list
+        // recoverable is registered, so a crash at *any* construction event
+        // recovers to either "no list yet" or the empty list — never garbage.
+        let tail = Self::alloc_node(&policy, &arena, u64::MAX, 0, 0);
+        let head = Self::alloc_node(&policy, &arena, 0, 0, pack(tail));
         for node in [tail, head] {
-            let node_ref = unsafe { &*node };
-            node_ref
-                .next
-                .store_private(&policy, node_ref.next.load_direct(), PFlag::Volatile);
-            policy.persist_object(node_ref, PFlag::Persisted);
+            policy.persist_object(unsafe { &*node }, PFlag::Persisted);
+        }
+        if let Some(key) = root_key {
+            arena.register_root(policy.backend(), key, head as usize);
         }
         Self {
             head,
             tail,
+            arena,
             policy,
             collector: Collector::new(),
             _durability: PhantomData,
         }
     }
 
-    /// The EBR collector used by this list (shared with the hash table when the list
-    /// serves as a bucket).
+    /// Allocate a node from the arena and record **all** of its words (key, value,
+    /// link) with the backend, so the node is fully reconstructible from a crash
+    /// image. The caller persists and publishes it.
+    fn alloc_node(policy: &P, arena: &Arena, key: u64, value: u64, next: usize) -> *mut Node<P> {
+        let backend = policy.backend();
+        let node: *mut Node<P> = arena.alloc_init(
+            backend,
+            Node {
+                key,
+                value,
+                next: P::Word::<usize>::new(next),
+            },
+        );
+        let node_ref = unsafe { &*node };
+        backend.record_store(&node_ref.key as *const u64 as *const u8, key);
+        backend.record_store(&node_ref.value as *const u64 as *const u8, value);
+        node_ref.next.store_private(policy, next, PFlag::Volatile);
+        node
+    }
+
+    /// The EBR collector used by this list (each hash-table bucket retires through
+    /// its own).
     pub fn collector(&self) -> &Collector {
         &self.collector
+    }
+
+    /// The arena this list allocates nodes from.
+    pub fn arena(&self) -> &Arc<Arena> {
+        &self.arena
+    }
+
+    /// The address of the head sentinel's slot (buckets publish it in the hash
+    /// table's directory block).
+    pub(crate) fn head_addr(&self) -> usize {
+        self.head as usize
+    }
+
+    /// Retire `node` through the collector: its slot returns to the arena's
+    /// recycle list once no pinned thread can still reach it.
+    fn retire(&self, guard: &Guard<'_>, node: *mut Node<P>) {
+        // SAFETY: the node was unlinked before retirement and is retired once.
+        unsafe { self.arena.defer_recycle(guard, node as usize) };
     }
 
     /// NVTraverse-style transition: re-read the links the critical phase depends on
@@ -155,9 +239,7 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
                 let mut cur = address::<Node<P>>(left_next);
                 while cur != right {
                     let next = unmark(unsafe { &*cur }.next.load_direct());
-                    // SAFETY: `cur` was just unlinked by the CAS above and can no
-                    // longer be reached by new traversals.
-                    unsafe { guard.defer_destroy(cur) };
+                    self.retire(guard, cur);
                     cur = address::<Node<P>>(next);
                 }
                 if right != self.tail
@@ -206,15 +288,11 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
                 return false;
             }
             self.transition(left, right);
-            let node = Node::<P>::new(key, value, pack(right));
-            // Record the private link value with the backend, then persist the new
-            // node's contents before it becomes reachable: the publishing CAS below
-            // depends on them, and recovery walks the persisted `next` words.
-            let node_ref = unsafe { &*node };
-            node_ref
-                .next
-                .store_private(&self.policy, pack(right), PFlag::Volatile);
-            self.policy.persist_object(node_ref, D::STORE);
+            // Allocate, record and persist the new node's contents before it
+            // becomes reachable: the publishing CAS below depends on them, and
+            // recovery walks the persisted words.
+            let node = Self::alloc_node(&self.policy, &self.arena, key, value, pack(right));
+            self.policy.persist_object(unsafe { &*node }, D::STORE);
             match unsafe { &*left }.next.compare_exchange(
                 &self.policy,
                 pack(right),
@@ -226,9 +304,9 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
                     return true;
                 }
                 Err(_) => {
-                    // Never published: safe to free immediately.
+                    // Never published: return the slot to the durable free list.
                     // SAFETY: `node` was allocated above and never became reachable.
-                    unsafe { drop(Box::from_raw(node)) };
+                    unsafe { self.arena.free(self.policy.backend(), node as *mut u8) };
                 }
             }
         }
@@ -262,8 +340,7 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
                     .compare_exchange(&self.policy, pack(right), unmark(right_next), D::STORE)
                     .is_ok()
                 {
-                    // SAFETY: `right` is marked and now unlinked.
-                    unsafe { guard.defer_destroy(right) };
+                    self.retire(&guard, right);
                 } else {
                     let _ = self.search(key, &guard);
                 }
@@ -273,41 +350,81 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
         }
     }
 
-    /// Reconstruct the durable set from an adversarial crash image: walk the
-    /// persisted `next` chain from the head sentinel, skipping nodes whose own
-    /// persisted `next` carries the deletion mark. A node reachable through a
-    /// persisted link whose own `next` word is absent from the image flags
-    /// [`truncated`](RecoveredMap::truncated) — the persist-before-publish
+    /// Reconstruct the durable set **purely from the crash image and the arena's
+    /// root table**: read the head sentinel's slot from the root table, then walk
+    /// the persisted `next` chain, reading every key/value out of the image. No
+    /// live memory is touched. An absent root means the list was not durably
+    /// constructed at the crash point: the result is the empty list.
+    pub fn recover_in_image(arena: &Arena, image: &CrashImage) -> RecoveredMap {
+        match arena.root_in_image(image, roots::LIST_HEAD) {
+            Some(head) => Self::walk_chain_in_image(arena, image, head),
+            None => RecoveredMap::default(),
+        }
+    }
+
+    /// Image-only walk of one persisted chain starting at the head-sentinel slot
+    /// `head` (shared with the hash table, whose directory stores one head per
+    /// bucket). A node whose own persisted `next` carries the deletion mark is
+    /// skipped; a reachable node with any recovery word absent from the image
+    /// flags [`truncated`](RecoveredMap::truncated) — the persist-before-publish
     /// invariant was violated.
-    ///
-    /// # Safety
-    /// Every node pointer stored in the image's `next` words must still be a live
-    /// allocation of this list: the caller must run in quiescence and have pinned
-    /// [`Self::collector`] since before the first operation.
-    pub unsafe fn recover(&self, image: &CrashImage) -> RecoveredMap {
+    pub(crate) fn walk_chain_in_image(
+        arena: &Arena,
+        image: &CrashImage,
+        head: usize,
+    ) -> RecoveredMap {
+        let layout = Node::<P>::layout();
         let mut rec = RecoveredMap::default();
-        let mut cur = self.head;
-        while cur != self.tail {
-            let cur_ref = unsafe { &*cur };
-            let Some(word) = image.read(cur_ref.next.addr()) else {
+        // Corrupt images (the broken control's) can contain pointer loops; bound
+        // the walk by the image size so recovery always terminates.
+        let mut budget = image.len() + 2;
+        let mut cur = head;
+        let mut at_head = true;
+        loop {
+            if budget == 0 {
+                rec.truncated = true;
+                break;
+            }
+            budget -= 1;
+            let Some(next_word) = image.read(cur + layout.next) else {
                 rec.truncated = true;
                 break;
             };
-            let word = word as usize;
-            // A marked `next` means `cur` itself is logically deleted.
-            if cur != self.head && !is_marked(word) {
-                rec.pairs.push((cur_ref.key, cur_ref.value));
+            let next_word = next_word as usize;
+            if !at_head {
+                let Some(key) = image.read(cur + layout.key) else {
+                    rec.truncated = true;
+                    break;
+                };
+                if key == u64::MAX {
+                    // The tail sentinel: the end of the chain.
+                    break;
+                }
+                if !is_marked(next_word) {
+                    let Some(value) = image.read(cur + layout.value) else {
+                        rec.truncated = true;
+                        break;
+                    };
+                    rec.pairs.push((key, value));
+                }
             }
-            let next = address::<Node<P>>(word);
-            if next.is_null() {
-                // Only the tail has a null link; a persisted null anywhere else
-                // means the image is internally inconsistent.
+            at_head = false;
+            let next = unmark(next_word);
+            if next == 0 || !arena.contains(next) {
+                // Only the tail (detected by key above) legitimately ends a chain;
+                // a null or out-of-arena link is an inconsistent image.
                 rec.truncated = true;
                 break;
             }
             cur = next;
         }
         rec
+    }
+
+    /// Image-only recovery through this list's own arena; see
+    /// [`recover_in_image`](Self::recover_in_image).
+    pub fn recover(&self, image: &CrashImage) -> RecoveredMap {
+        Self::recover_in_image(&self.arena, image)
     }
 
     fn len_impl(&self) -> usize {
@@ -353,24 +470,9 @@ impl<P: Policy, D: Durability> ConcurrentMap<P> for HarrisList<P, D> {
     }
 }
 
-impl<P: Policy, D: Durability> Drop for HarrisList<P, D> {
-    fn drop(&mut self) {
-        // Single-threaded teardown: free every node still reachable from head,
-        // including both sentinels. Retired (already unlinked) nodes are freed by the
-        // collector's own drop.
-        let mut cur = self.head;
-        while !cur.is_null() {
-            let next = address::<Node<P>>(unsafe { &*cur }.next.load_direct());
-            // SAFETY: teardown is single-threaded and each reachable node is freed
-            // exactly once.
-            unsafe { drop(Box::from_raw(cur)) };
-            if cur == self.tail {
-                break;
-            }
-            cur = next;
-        }
-    }
-}
+// No `Drop` impl: nodes are plain data in arena slots, reclaimed wholesale when the
+// last `Arc<Arena>` (and the collector, whose deferred recycles hold clones of it)
+// goes away.
 
 #[cfg(test)]
 mod tests {
@@ -379,7 +481,6 @@ mod tests {
     use flit::presets;
     use flit::{FlitPolicy, HashedScheme, NoPersistPolicy};
     use flit_pmem::{LatencyModel, SimNvram};
-    use std::sync::Arc;
 
     fn backend() -> SimNvram {
         SimNvram::builder().latency(LatencyModel::none()).build()
@@ -429,6 +530,17 @@ mod tests {
             prev = node.key;
             cur = address::<Node<_>>(unmark(node.next.load_direct()));
         }
+    }
+
+    #[test]
+    fn nodes_live_in_cache_line_aligned_arena_slots() {
+        let list: HtList<Automatic> = HarrisList::new(presets::flit_ht(backend()));
+        list.insert(1, 10);
+        let head_next = unsafe { &*list.head }.next.load_direct();
+        let node = address::<Node<FlitPolicy<HashedScheme, SimNvram>>>(head_next) as usize;
+        assert_eq!(node % flit_pmem::CACHE_LINE_SIZE, 0, "slot misaligned");
+        assert!(list.arena().contains(node));
+        assert!(list.arena().contains(list.head as usize));
     }
 
     #[test]
@@ -491,6 +603,23 @@ mod tests {
     }
 
     #[test]
+    fn image_only_recovery_matches_the_quiescent_list() {
+        let sim = SimNvram::for_crash_testing();
+        let list: HtList<Automatic> = HarrisList::new(presets::flit_ht(sim.clone()));
+        for k in [4u64, 1, 9, 6] {
+            assert!(list.insert(k, k * 10));
+        }
+        assert!(list.remove(9));
+        let image = sim.tracker().unwrap().crash_image();
+        let rec = list.recover(&image);
+        assert!(!rec.truncated);
+        assert_eq!(rec.sorted_pairs(), vec![(1, 10), (4, 40), (6, 60)]);
+        // The associated form needs only the arena + the image.
+        let rec2 = HtList::<Automatic>::recover_in_image(list.arena(), &image);
+        assert_eq!(rec2.sorted_pairs(), rec.sorted_pairs());
+    }
+
+    #[test]
     fn concurrent_inserts_and_removes() {
         const THREADS: u64 = 4;
         const PER_THREAD: u64 = 200;
@@ -519,7 +648,8 @@ mod tests {
 
     #[test]
     fn contended_same_keys_stress() {
-        // All threads fight over a tiny key range to exercise marking/helping.
+        // All threads fight over a tiny key range to exercise marking/helping (and,
+        // through the arena, failed-CAS frees and slot recycling).
         let list: Arc<HtList<NvTraverse>> = Arc::new(HarrisList::new(presets::flit_ht(backend())));
         std::thread::scope(|s| {
             for t in 0..4u64 {

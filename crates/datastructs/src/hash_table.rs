@@ -5,19 +5,34 @@
 //! The bucket array is sized once at construction (there is no resizing, matching the
 //! evaluated implementation); every bucket shares the same persistence policy, so all
 //! statistics and counter tables are global to the structure.
+//!
+//! ## Arena layout and recovery
+//!
+//! All buckets allocate their nodes from **one shared arena**, and the table
+//! publishes a persisted **bucket directory** block in that arena:
+//! `[bucket_count, head-slot-offset+1 of bucket 0, …]`. The directory is persisted
+//! after every bucket's sentinels (persist-before-publish at construction scale)
+//! and registered in the arena's root table under
+//! [`roots::HASH_DIRECTORY`], so
+//! [`HashTable::recover_in_image`] rebuilds the durable map purely from a
+//! [`CrashImage`]: root table → directory → one image-only chain walk per bucket.
+
+use std::sync::Arc;
 
 use flit::Policy;
+use flit_alloc::{roots, Arena};
 use flit_ebr::Collector;
-use flit_pmem::CrashImage;
+use flit_pmem::{CrashImage, PmemBackend, CACHE_LINE_SIZE, WORD_SIZE};
 
 use crate::durability::Durability;
-use crate::harris_list::HarrisList;
+use crate::harris_list::{HarrisList, Node};
 use crate::map::ConcurrentMap;
 use crate::recovery::RecoveredMap;
 
 /// Fixed-size lock-free hash table with Harris-list buckets.
 pub struct HashTable<P: Policy + Clone, D: Durability> {
     buckets: Vec<HarrisList<P, D>>,
+    arena: Arc<Arena>,
     policy: P,
     mask: u64,
 }
@@ -27,11 +42,46 @@ impl<P: Policy + Clone, D: Durability> HashTable<P, D> {
     /// rounded up to a power of two and at least 64 buckets.
     pub fn new(policy: P, capacity_hint: usize) -> Self {
         let buckets_len = capacity_hint.next_power_of_two().max(64);
-        let buckets = (0..buckets_len)
-            .map(|_| HarrisList::new(policy.clone()))
+        // One shared arena for every bucket's nodes plus the directory block. The
+        // chunk size must fit the directory contiguously.
+        let dir_bytes = (buckets_len + 1) * WORD_SIZE;
+        let node_slot = Arena::slot_size_for::<Node<P>>();
+        let chunk_slots = 1024usize.max(2 * dir_bytes.div_ceil(node_slot));
+        let arena = Arc::new(Arena::new(policy.backend(), node_slot, chunk_slots));
+        let buckets: Vec<HarrisList<P, D>> = (0..buckets_len)
+            .map(|_| HarrisList::with_arena(policy.clone(), Arc::clone(&arena), None))
             .collect();
+
+        // Publish the directory: bucket count, then each bucket's head-slot offset
+        // (+1, so 0 stays "absent"). Every word is recorded with the backend and
+        // the whole block is flushed + fenced *before* the root that makes the
+        // table recoverable is registered.
+        let backend = policy.backend();
+        let dir = arena.alloc_block(backend, dir_bytes) as *mut u64;
+        let write_word = |i: usize, val: u64| {
+            // SAFETY: in-bounds write inside the freshly allocated, exclusively
+            // owned directory block.
+            unsafe { dir.add(i).write(val) };
+            backend.record_store(unsafe { dir.add(i) } as *const u8, val);
+        };
+        write_word(0, buckets_len as u64);
+        for (i, bucket) in buckets.iter().enumerate() {
+            let offset = arena
+                .offset_of_addr(bucket.head_addr())
+                .expect("bucket heads live in the shared arena");
+            write_word(i + 1, (offset + 1) as u64);
+        }
+        let mut line = dir as usize;
+        while line < dir as usize + dir_bytes {
+            backend.pwb(line as *const u8);
+            line += CACHE_LINE_SIZE;
+        }
+        backend.pfence();
+        arena.register_root(backend, roots::HASH_DIRECTORY, dir as usize);
+
         Self {
             buckets,
+            arena,
             policy,
             mask: (buckets_len - 1) as u64,
         }
@@ -42,26 +92,49 @@ impl<P: Policy + Clone, D: Durability> HashTable<P, D> {
         self.buckets.len()
     }
 
+    /// The shared arena every bucket allocates from.
+    pub fn arena(&self) -> &Arc<Arena> {
+        &self.arena
+    }
+
     /// The EBR collector of every bucket list (each Harris list retires through its
-    /// own). Crash tests pin all of them for the duration of a run.
+    /// own).
     pub fn bucket_collectors(&self) -> impl Iterator<Item = &Collector> {
         self.buckets.iter().map(|b| b.collector())
     }
 
-    /// Reconstruct the durable map from an adversarial crash image: the union of
-    /// every bucket's [`HarrisList::recover`].
-    ///
-    /// # Safety
-    /// Same contract as [`HarrisList::recover`], for every bucket: quiescence, and
-    /// all [`bucket_collectors`](Self::bucket_collectors) pinned since before the
-    /// first operation.
-    pub unsafe fn recover(&self, image: &CrashImage) -> RecoveredMap {
+    /// Reconstruct the durable map **purely from the crash image and the arena's
+    /// root table**: read the directory block (bucket count + per-bucket head
+    /// offsets) out of the image, then run the image-only chain walk per bucket.
+    /// An absent root means the table was not durably constructed: empty map.
+    pub fn recover_in_image(arena: &Arena, image: &CrashImage) -> RecoveredMap {
+        let Some(dir) = arena.root_in_image(image, roots::HASH_DIRECTORY) else {
+            return RecoveredMap::default();
+        };
         let mut rec = RecoveredMap::default();
-        for bucket in &self.buckets {
-            // SAFETY: forwarded contract.
-            rec.absorb(unsafe { bucket.recover(image) });
+        let Some(len) = image.read(dir) else {
+            rec.truncated = true;
+            return rec;
+        };
+        for i in 0..len as usize {
+            let Some(head_off) = image.read(dir + (i + 1) * WORD_SIZE) else {
+                rec.truncated = true;
+                return rec;
+            };
+            if head_off == 0 {
+                rec.truncated = true;
+                return rec;
+            }
+            let head = arena.addr_of_offset(head_off as usize - 1);
+            rec.absorb(HarrisList::<P, D>::walk_chain_in_image(arena, image, head));
         }
         rec
+    }
+
+    /// Image-only recovery through this table's own arena; see
+    /// [`recover_in_image`](Self::recover_in_image).
+    pub fn recover(&self, image: &CrashImage) -> RecoveredMap {
+        Self::recover_in_image(&self.arena, image)
     }
 
     #[inline]
@@ -108,7 +181,6 @@ mod tests {
     use flit::presets;
     use flit::{FlitPolicy, HashedScheme};
     use flit_pmem::{LatencyModel, SimNvram};
-    use std::sync::Arc;
 
     fn backend() -> SimNvram {
         SimNvram::builder().latency(LatencyModel::none()).build()
@@ -152,6 +224,25 @@ mod tests {
             assert!(t.remove(k));
         }
         assert_eq!(t.len(), 2000 - 2000u64.div_ceil(3) as usize);
+    }
+
+    #[test]
+    fn buckets_share_one_arena_and_the_directory_is_recoverable() {
+        let sim = SimNvram::for_crash_testing();
+        let t: Ht<Automatic> = HashTable::new(presets::flit_ht(sim.clone()), 64);
+        for k in 0..40u64 {
+            assert!(t.insert(k, k + 7));
+        }
+        assert!(t.remove(3));
+        let image = sim.tracker().unwrap().crash_image();
+        let rec = t.recover(&image);
+        assert!(!rec.truncated);
+        let expected: Vec<(u64, u64)> =
+            (0..40u64).filter(|k| *k != 3).map(|k| (k, k + 7)).collect();
+        assert_eq!(rec.sorted_pairs(), expected);
+        // The associated form needs only the arena + the image.
+        let rec2 = Ht::<Automatic>::recover_in_image(t.arena(), &image);
+        assert_eq!(rec2.sorted_pairs(), expected);
     }
 
     #[test]

@@ -19,10 +19,22 @@
 //!
 //! All four expose the common [`ConcurrentMap`] interface used by the workload
 //! generator and the benchmark harness; [`SequentialMap`] is the reference model used
-//! by the property-based tests. Every structure can additionally rebuild its durable
-//! abstract state from an adversarial [`CrashImage`](flit_pmem::CrashImage) through
-//! the [`MapCrashRecovery`] trait ([`recovery`]) — the interface the
-//! `flit-crashtest` crash-point sweep engine drives.
+//! by the property-based tests.
+//!
+//! ## Allocation and recovery
+//!
+//! Every structure allocates its nodes from a per-structure
+//! [`Arena`](flit_alloc::Arena): fixed-size, cache-line-aligned slots whose *every* word
+//! (links and the immutable key/value contents alike) is recorded with the
+//! backend before the node is persisted and published, and whose durable entry
+//! point is registered in the arena's recovery-root table. Recovery
+//! ([`MapCrashRecovery`], module [`recovery`]) is therefore **image-only**: it
+//! rebuilds the durable abstract state from an adversarial
+//! [`CrashImage`](flit_pmem::CrashImage) plus the root table, with no pointer
+//! into the live structure and no live-memory reads — so it works for crashes at
+//! *any* point, including mid-construction (an absent root recovers to the empty
+//! structure), and it is safe code (nothing from the image is ever dereferenced).
+//! This is the interface the `flit-crashtest` crash-point sweep engine drives.
 //!
 //! Every operation ends with [`Policy::operation_completion`](flit::Policy::operation_completion),
 //! which since the persist-epoch work is *epoch-aware*: a read-only operation over

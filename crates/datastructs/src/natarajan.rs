@@ -17,12 +17,15 @@
 //! whose counters live outside the word, works unchanged.
 
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 use flit::{PFlag, PersistWord, Policy};
+use flit_alloc::{roots, Arena};
 use flit_ebr::{Collector, Guard};
-use flit_pmem::CrashImage;
+use flit_pmem::{CrashImage, PmemBackend};
 
 use crate::durability::Durability;
+use crate::harris_list::LIST_CHUNK_SLOTS;
 use crate::map::ConcurrentMap;
 use crate::marked::{address, is_marked, is_tagged, pack, pack_with, with_tag};
 use crate::recovery::RecoveredMap;
@@ -40,23 +43,29 @@ struct Node<P: Policy> {
     right: P::Word<usize>,
 }
 
+/// Byte offsets of a node's recovery-relevant words within its arena slot.
+struct NodeLayout {
+    key: usize,
+    value: usize,
+    left: usize,
+    right: usize,
+}
+
 impl<P: Policy> Node<P> {
-    fn leaf(key: u64, value: u64) -> *mut Self {
-        Box::into_raw(Box::new(Node {
-            key,
-            value,
+    fn layout() -> NodeLayout {
+        let probe = Node::<P> {
+            key: 0,
+            value: 0,
             left: P::Word::<usize>::new(0),
             right: P::Word::<usize>::new(0),
-        }))
-    }
-
-    fn internal(key: u64, left: *mut Self, right: *mut Self) -> *mut Self {
-        Box::into_raw(Box::new(Node {
-            key,
-            value: 0,
-            left: P::Word::<usize>::new(pack(left)),
-            right: P::Word::<usize>::new(pack(right)),
-        }))
+        };
+        let base = &probe as *const Node<P> as usize;
+        NodeLayout {
+            key: &probe.key as *const u64 as usize - base,
+            value: &probe.value as *const u64 as usize - base,
+            left: probe.left.addr() - base,
+            right: probe.right.addr() - base,
+        }
     }
 }
 
@@ -78,6 +87,7 @@ enum DeleteMode {
 /// Natarajan–Mittal lock-free external BST over policy `P` and durability method `D`.
 pub struct NatarajanTree<P: Policy, D: Durability> {
     root: *mut Node<P>,
+    arena: Arc<Arena>,
     policy: P,
     collector: Collector,
     _durability: PhantomData<D>,
@@ -88,42 +98,77 @@ unsafe impl<P: Policy, D: Durability> Send for NatarajanTree<P, D> {}
 unsafe impl<P: Policy, D: Durability> Sync for NatarajanTree<P, D> {}
 
 impl<P: Policy, D: Durability> NatarajanTree<P, D> {
-    /// Create an empty tree (the three-sentinel initial shape of the original paper).
+    /// Create an empty tree (the three-sentinel initial shape of the original
+    /// paper), with its own arena, registered under [`roots::BST_ROOT`].
     pub fn new(policy: P) -> Self {
-        let leaf_inf0 = Node::<P>::leaf(INF0, 0);
-        let leaf_inf1 = Node::<P>::leaf(INF1, 0);
-        let leaf_inf2 = Node::<P>::leaf(INF2, 0);
-        let s = Node::<P>::internal(INF1, leaf_inf0, leaf_inf1);
-        let r = Node::<P>::internal(INF2, s, leaf_inf2);
+        let arena = Arc::new(Arena::for_slots_of::<Node<P>, _>(
+            policy.backend(),
+            LIST_CHUNK_SLOTS,
+        ));
+        // Persist-before-publish at construction: the sentinel skeleton becomes
+        // durable before the root registration makes the tree recoverable.
+        let leaf_inf0 = Self::alloc_node(&policy, &arena, INF0, 0, 0, 0);
+        let leaf_inf1 = Self::alloc_node(&policy, &arena, INF1, 0, 0, 0);
+        let leaf_inf2 = Self::alloc_node(&policy, &arena, INF2, 0, 0, 0);
+        let s = Self::alloc_node(&policy, &arena, INF1, 0, pack(leaf_inf0), pack(leaf_inf1));
+        let r = Self::alloc_node(&policy, &arena, INF2, 0, pack(s), pack(leaf_inf2));
         for node in [leaf_inf0, leaf_inf1, leaf_inf2, s, r] {
-            Self::record_node(&policy, node);
             policy.persist_object(unsafe { &*node }, PFlag::Persisted);
         }
+        arena.register_root(policy.backend(), roots::BST_ROOT, r as usize);
         Self {
             root: r,
+            arena,
             policy,
             collector: Collector::new(),
             _durability: PhantomData,
         }
     }
 
-    /// The EBR collector used by this tree (crash tests pin it for the duration of
-    /// a run so recovery may dereference retired nodes).
+    /// The EBR collector used by this tree.
     pub fn collector(&self) -> &Collector {
         &self.collector
     }
 
-    /// Re-issue a freshly built node's child words as private volatile stores so a
-    /// tracking backend records them; `persist_object` alone flushes cache lines the
-    /// tracker knows nothing about.
-    fn record_node(policy: &P, node: *mut Node<P>) {
+    /// The arena this tree allocates nodes from.
+    pub fn arena(&self) -> &Arc<Arena> {
+        &self.arena
+    }
+
+    /// Allocate a node from the arena and record **all** of its words (key, value,
+    /// both child edges) with the backend, so the node is fully reconstructible
+    /// from a crash image. The caller persists and publishes it.
+    fn alloc_node(
+        policy: &P,
+        arena: &Arena,
+        key: u64,
+        value: u64,
+        left: usize,
+        right: usize,
+    ) -> *mut Node<P> {
+        let backend = policy.backend();
+        let node: *mut Node<P> = arena.alloc_init(
+            backend,
+            Node {
+                key,
+                value,
+                left: P::Word::<usize>::new(left),
+                right: P::Word::<usize>::new(right),
+            },
+        );
         let node_ref = unsafe { &*node };
-        node_ref
-            .left
-            .store_private(policy, node_ref.left.load_direct(), PFlag::Volatile);
-        node_ref
-            .right
-            .store_private(policy, node_ref.right.load_direct(), PFlag::Volatile);
+        backend.record_store(&node_ref.key as *const u64 as *const u8, key);
+        backend.record_store(&node_ref.value as *const u64 as *const u8, value);
+        node_ref.left.store_private(policy, left, PFlag::Volatile);
+        node_ref.right.store_private(policy, right, PFlag::Volatile);
+        node
+    }
+
+    /// Retire `node` through the collector: its slot returns to the arena's
+    /// recycle list once no pinned thread can still reach it.
+    fn retire(&self, guard: &Guard<'_>, node: *mut Node<P>) {
+        // SAFETY: the node was unlinked before retirement and is retired once.
+        unsafe { self.arena.defer_recycle(guard, node as usize) };
     }
 
     #[inline]
@@ -250,18 +295,15 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
             .compare_exchange(&self.policy, pack(successor), new_word, D::STORE)
             .is_ok();
         if result {
-            // The spliced-out parent and the removed leaf are now unreachable.
-            let removed_leaf = address::<Node<P>>(removed_edge.load_direct());
-            // SAFETY: both nodes were unlinked by the successful CAS above. The
+            // The spliced-out parent and the removed leaf are now unreachable. The
             // `successor` subtree root equals `parent` except when helping an older
             // splice; retiring `parent` (reachable only through the removed edge
             // chain) is safe in both cases because it is no longer reachable.
-            unsafe {
-                if !removed_leaf.is_null() {
-                    guard.defer_destroy(removed_leaf);
-                }
-                guard.defer_destroy(parent);
+            let removed_leaf = address::<Node<P>>(removed_edge.load_direct());
+            if !removed_leaf.is_null() {
+                self.retire(guard, removed_leaf);
             }
+            self.retire(guard, parent);
         }
         result
     }
@@ -300,14 +342,26 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
 
             // Build the replacement subtree: a new internal node whose children are
             // the existing leaf and a new leaf holding the key.
-            let new_leaf = Node::<P>::leaf(key, value);
+            let new_leaf = Self::alloc_node(&self.policy, &self.arena, key, value, 0, 0);
             let internal = if key < leaf_key {
-                Node::<P>::internal(leaf_key, new_leaf, leaf)
+                Self::alloc_node(
+                    &self.policy,
+                    &self.arena,
+                    leaf_key,
+                    0,
+                    pack(new_leaf),
+                    pack(leaf),
+                )
             } else {
-                Node::<P>::internal(key, leaf, new_leaf)
+                Self::alloc_node(
+                    &self.policy,
+                    &self.arena,
+                    key,
+                    0,
+                    pack(leaf),
+                    pack(new_leaf),
+                )
             };
-            Self::record_node(&self.policy, new_leaf);
-            Self::record_node(&self.policy, internal);
             self.policy.persist_object(unsafe { &*new_leaf }, D::STORE);
             self.policy.persist_object(unsafe { &*internal }, D::STORE);
 
@@ -321,10 +375,11 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
                     return true;
                 }
                 Err(actual) => {
-                    // SAFETY: neither node was published.
+                    // Never published: return both slots to the durable free list.
+                    // SAFETY: neither node became reachable.
                     unsafe {
-                        drop(Box::from_raw(new_leaf));
-                        drop(Box::from_raw(internal));
+                        self.arena.free(self.policy.backend(), new_leaf as *mut u8);
+                        self.arena.free(self.policy.backend(), internal as *mut u8);
                     }
                     // Help an in-progress delete of this very leaf before retrying.
                     if address::<Node<P>>(actual) == leaf
@@ -396,42 +451,49 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
         }
     }
 
-    /// Reconstruct the durable set from an adversarial crash image: descend the
-    /// persisted child-edge words from the root and collect every reachable leaf
-    /// holding a user key whose incoming edge does not carry the deletion flag (the
-    /// flag CAS is the linearization point of a successful remove). Tag bits only
-    /// protect in-flight splices and are ignored.
-    ///
-    /// # Safety
-    /// Every node pointer stored in the image's child words must still be a live
-    /// allocation of this tree: the caller must run in quiescence and have pinned
-    /// [`Self::collector`] since before the first operation.
-    pub unsafe fn recover(&self, image: &CrashImage) -> RecoveredMap {
+    /// Reconstruct the durable set **purely from the crash image and the arena's
+    /// root table**: read the root sentinel's slot from the root table, then
+    /// descend the persisted child-edge words, collecting every reachable leaf
+    /// holding a user key whose incoming edge does not carry the deletion flag
+    /// (the flag CAS is the linearization point of a successful remove). Tag bits
+    /// only protect in-flight splices and are ignored. Leaf keys and values are
+    /// read out of the image — no live memory is touched. An absent root means
+    /// the tree was not durably constructed: empty set.
+    pub fn recover_in_image(arena: &Arena, image: &CrashImage) -> RecoveredMap {
         let mut rec = RecoveredMap::default();
-        // SAFETY: forwarded contract; the root is never retired.
-        unsafe { self.recover_node(self.root, false, image, &mut rec) };
+        let Some(root) = arena.root_in_image(image, roots::BST_ROOT) else {
+            return rec;
+        };
+        let layout = Node::<P>::layout();
+        // Corrupt images (the broken control's) can contain edge loops; bound the
+        // walk by the image size so recovery always terminates.
+        let mut budget = image.len() + 2;
+        Self::recover_node_in_image(arena, image, &layout, root, false, &mut budget, &mut rec);
         rec
     }
 
-    /// Recursive helper for [`recover`](Self::recover): `deleted` carries the flag
-    /// bit of the edge that led here.
-    unsafe fn recover_node(
-        &self,
-        node: *mut Node<P>,
-        deleted: bool,
+    /// Recursive helper for [`recover_in_image`](Self::recover_in_image):
+    /// `deleted` carries the flag bit of the edge that led here.
+    fn recover_node_in_image(
+        arena: &Arena,
         image: &CrashImage,
+        layout: &NodeLayout,
+        node: usize,
+        deleted: bool,
+        budget: &mut usize,
         rec: &mut RecoveredMap,
     ) {
-        if node.is_null() {
-            // A persisted edge to null never occurs in this tree (leaves are
-            // detected below, before recursing): flag the inconsistency.
+        if node == 0 || !arena.contains(node) || *budget == 0 {
+            // A persisted edge to null (or out of the arena) never occurs in this
+            // tree — leaves are detected below, before recursing — and a walk that
+            // exhausts its budget is cyclic: flag the inconsistency.
             rec.truncated = true;
             return;
         }
-        let node_ref = unsafe { &*node };
+        *budget -= 1;
         let (Some(left), Some(right)) = (
-            image.read(node_ref.left.addr()),
-            image.read(node_ref.right.addr()),
+            image.read(node + layout.left),
+            image.read(node + layout.right),
         ) else {
             // Reachable through a persisted edge but its own child words never
             // persisted: persist-before-publish violated.
@@ -440,16 +502,44 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
         };
         let (left, right) = (left as usize, right as usize);
         if address::<Node<P>>(left).is_null() && address::<Node<P>>(right).is_null() {
-            if !deleted && node_ref.key < INF0 {
-                rec.pairs.push((node_ref.key, node_ref.value));
+            if !deleted {
+                let (Some(key), Some(value)) = (
+                    image.read(node + layout.key),
+                    image.read(node + layout.value),
+                ) else {
+                    rec.truncated = true;
+                    return;
+                };
+                if key < INF0 {
+                    rec.pairs.push((key, value));
+                }
             }
             return;
         }
-        // SAFETY: forwarded contract.
-        unsafe {
-            self.recover_node(address(left), is_marked(left), image, rec);
-            self.recover_node(address(right), is_marked(right), image, rec);
-        }
+        Self::recover_node_in_image(
+            arena,
+            image,
+            layout,
+            address::<Node<P>>(left) as usize,
+            is_marked(left),
+            budget,
+            rec,
+        );
+        Self::recover_node_in_image(
+            arena,
+            image,
+            layout,
+            address::<Node<P>>(right) as usize,
+            is_marked(right),
+            budget,
+            rec,
+        );
+    }
+
+    /// Image-only recovery through this tree's own arena; see
+    /// [`recover_in_image`](Self::recover_in_image).
+    pub fn recover(&self, image: &CrashImage) -> RecoveredMap {
+        Self::recover_in_image(&self.arena, image)
     }
 
     fn count_leaves(&self, node: *mut Node<P>) -> usize {
@@ -465,19 +555,6 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
         } else {
             self.count_leaves(left) + self.count_leaves(right)
         }
-    }
-
-    fn free_subtree(node: *mut Node<P>) {
-        if node.is_null() {
-            return;
-        }
-        let node_ref = unsafe { &*node };
-        let left = address::<Node<P>>(node_ref.left.load_direct());
-        let right = address::<Node<P>>(node_ref.right.load_direct());
-        Self::free_subtree(left);
-        Self::free_subtree(right);
-        // SAFETY: single-threaded teardown, each reachable node freed once.
-        unsafe { drop(Box::from_raw(node)) };
     }
 }
 
@@ -509,11 +586,9 @@ impl<P: Policy, D: Durability> ConcurrentMap<P> for NatarajanTree<P, D> {
     }
 }
 
-impl<P: Policy, D: Durability> Drop for NatarajanTree<P, D> {
-    fn drop(&mut self) {
-        Self::free_subtree(self.root);
-    }
-}
+// No `Drop` impl: nodes are plain data in arena slots, reclaimed wholesale when the
+// last `Arc<Arena>` (and the collector, whose deferred recycles hold clones of it)
+// goes away.
 
 #[cfg(test)]
 mod tests {

@@ -1,35 +1,42 @@
 //! Crash recovery for the map structures: rebuild the abstract key→value set from an
-//! adversarial [`CrashImage`].
+//! adversarial [`CrashImage`] — and from *nothing else*.
 //!
-//! Each structure defines its abstract state through a specific set of persisted
-//! link words:
+//! Recovery is **image-only**. Every structure allocates its nodes from a
+//! [`flit_alloc::Arena`] and records all node words (links *and* the immutable
+//! key/value contents) with the backend, and each structure registers where its
+//! durable state begins in the arena's recovery-root table. A recovery walk
+//! therefore consists of: root table (in the image) → root slot → persisted words
+//! (in the image), with the live structure contributing nothing but its arena
+//! handle. In particular:
 //!
-//! * **Harris list** — the chain of `next` words from the head sentinel; a node whose
-//!   own `next` is marked is logically deleted.
-//! * **hash table** — the union of its bucket lists.
-//! * **Natarajan–Mittal BST** — the tree of child-edge words from the root; a
-//!   flagged edge announces the logical deletion of the leaf below it.
-//! * **skiplist** — the bottom-level `next` chain (upper levels are index state and
-//!   deliberately unrecoverable under the optimised durability methods).
+//! * **no live-structure pointer** is needed — each structure exposes an
+//!   associated `recover_in_image(arena, image)` beside the trait method;
+//! * **no live-memory reads** happen — keys and values come out of the image, so
+//!   the persist-before-publish argument is *checked*, not assumed;
+//! * a structure whose root never became durable recovers to the **empty**
+//!   structure, which is what makes crash sweeps over the *construction window*
+//!   meaningful (the arena header itself is always reachable from offset 0).
 //!
-//! Recovery walks exactly those words in the image. Node *contents* (`key`/`value`,
-//! immutable after publication) are read from live memory: the persist-before-publish
-//! protocol makes their durable values equal to the live ones whenever the link that
-//! publishes the node is itself in the image, and the walk flags
-//! [`truncated`](RecoveredMap::truncated) when it reaches a node whose own link words
-//! are absent — the signature of a violated persist-before-publish invariant.
+//! The walks define each structure's durable abstract state:
 //!
-//! # Safety contract
+//! * **Harris list** — the chain of `next` words from the head sentinel; a node
+//!   whose own `next` is marked is logically deleted; the tail is recognised by
+//!   its persisted sentinel key.
+//! * **hash table** — the persisted bucket directory block, then the union of its
+//!   bucket chains.
+//! * **Natarajan–Mittal BST** — the tree of child-edge words from the root
+//!   sentinel; a flagged edge announces the logical deletion of the leaf below it.
+//! * **skiplist** — the bottom-level `next` chain (upper levels are index state
+//!   and deliberately unrecoverable under the optimised durability methods).
 //!
-//! All `recover_from_image` implementations dereference node pointers found in the
-//! image, so every such pointer must still be a live allocation: the caller must run
-//! in quiescence **and** have held the guards returned by
-//! [`pin_for_recovery`](MapCrashRecovery::pin_for_recovery) since before the first
-//! operation, so no retired node has been reclaimed. The `flit-crashtest` engine
-//! does exactly this.
+//! A node reachable through persisted links whose own recovery words are absent
+//! from the image flags [`truncated`](RecoveredMap::truncated) — the signature of
+//! a violated persist-before-publish invariant. Since no pointer found in the
+//! image is ever dereferenced (every read goes through the image, bounds-checked
+//! against the arena), recovery is *safe* code and needs no quiescence or pinning
+//! contract.
 
 use flit::Policy;
-use flit_ebr::Guard;
 use flit_pmem::CrashImage;
 
 use crate::harris_list::HarrisList;
@@ -45,10 +52,10 @@ pub struct RecoveredMap {
     /// The recovered pairs, in structure-walk order (use
     /// [`sorted_pairs`](Self::sorted_pairs) to compare against a model).
     pub pairs: Vec<(u64, u64)>,
-    /// `true` when a node was reachable through persisted links but its own link
-    /// words were missing from the image. For any durability method whose `STORE`
-    /// flag is persisted this indicates a durability bug: node initialisation is
-    /// persisted before the store that publishes the node.
+    /// `true` when a node was reachable through persisted links but its own
+    /// recovery words were missing from the image. For any durability method whose
+    /// `STORE` flag is persisted this indicates a durability bug: node
+    /// initialisation is persisted before the store that publishes the node.
     pub truncated: bool,
 }
 
@@ -69,64 +76,35 @@ impl RecoveredMap {
 }
 
 /// Uniform crash-recovery interface over the four map structures, used by the
-/// `flit-crashtest` sweep engine. See the module docs for the safety contract.
+/// `flit-crashtest` sweep engine. Recovery is image-only and safe: see the module
+/// docs.
 pub trait MapCrashRecovery<P: Policy> {
-    /// Rebuild the durable abstract state from `image`.
-    ///
-    /// # Safety
-    /// Every node pointer in the image must still be a live allocation of this
-    /// structure: quiescence + guards from [`pin_for_recovery`] held since before
-    /// the first operation.
-    ///
-    /// [`pin_for_recovery`]: MapCrashRecovery::pin_for_recovery
-    unsafe fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap;
-
-    /// Pin every EBR collector this structure retires nodes through. Hold the
-    /// returned guards for the whole run to keep crash images dereferenceable.
-    fn pin_for_recovery(&self) -> Vec<Guard<'_>>;
+    /// Rebuild the durable abstract state from `image`, reading only the image and
+    /// the structure's arena root table (never live memory).
+    fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap;
 }
 
 impl<P: Policy, D: Durability> MapCrashRecovery<P> for HarrisList<P, D> {
-    unsafe fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
-        // SAFETY: forwarded contract.
-        unsafe { self.recover(image) }
-    }
-
-    fn pin_for_recovery(&self) -> Vec<Guard<'_>> {
-        vec![self.collector().pin()]
+    fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
+        self.recover(image)
     }
 }
 
 impl<P: Policy + Clone, D: Durability> MapCrashRecovery<P> for HashTable<P, D> {
-    unsafe fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
-        // SAFETY: forwarded contract.
-        unsafe { self.recover(image) }
-    }
-
-    fn pin_for_recovery(&self) -> Vec<Guard<'_>> {
-        self.bucket_collectors().map(|c| c.pin()).collect()
+    fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
+        self.recover(image)
     }
 }
 
 impl<P: Policy, D: Durability> MapCrashRecovery<P> for NatarajanTree<P, D> {
-    unsafe fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
-        // SAFETY: forwarded contract.
-        unsafe { self.recover(image) }
-    }
-
-    fn pin_for_recovery(&self) -> Vec<Guard<'_>> {
-        vec![self.collector().pin()]
+    fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
+        self.recover(image)
     }
 }
 
 impl<P: Policy, D: Durability> MapCrashRecovery<P> for SkipList<P, D> {
-    unsafe fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
-        // SAFETY: forwarded contract.
-        unsafe { self.recover(image) }
-    }
-
-    fn pin_for_recovery(&self) -> Vec<Guard<'_>> {
-        vec![self.collector().pin()]
+    fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
+        self.recover(image)
     }
 }
 

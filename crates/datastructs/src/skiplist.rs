@@ -12,15 +12,30 @@
 //! structurally here (`FlitAtomic` with `AdjacentScheme` is 16 bytes instead of 8),
 //! even though the microarchitectural penalty is not modelled by the simulated
 //! backend.
+//!
+//! ## Arena allocation and image-only recovery
+//!
+//! Tower links used to live in a heap `Vec` beside the node, which made the node's
+//! recovery words unreachable by address arithmetic. Nodes are now single
+//! cache-line-aligned arena slots with the tower **inline** (`[P::Word; MAX_LEVEL]`,
+//! `repr(C)`, tower last): only the occupied prefix `0..=top_level` is recorded and
+//! persisted, and the bottom-level word sits at a fixed offset from the slot base.
+//! The head tower is registered under [`roots::SKIPLIST_HEAD`], so
+//! [`SkipList::recover_in_image`] walks the persisted bottom level purely from the
+//! [`CrashImage`] + root table — closing the ROADMAP's "skiplist recovery
+//! completeness" item (keys and values now come out of the image too).
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use flit::{PFlag, PersistWord, Policy};
+use flit_alloc::{roots, Arena};
 use flit_ebr::{Collector, Guard};
-use flit_pmem::CrashImage;
+use flit_pmem::{CrashImage, PmemBackend, WORD_SIZE};
 
 use crate::durability::Durability;
+use crate::harris_list::LIST_CHUNK_SLOTS;
 use crate::map::ConcurrentMap;
 use crate::marked::{address, is_marked, pack, unmark, with_mark};
 use crate::recovery::RecoveredMap;
@@ -29,30 +44,45 @@ use crate::recovery::RecoveredMap;
 /// the evaluation sizes.
 pub const MAX_LEVEL: usize = 20;
 
+/// A tower node. `repr(C)` with the tower last, so the occupied prefix
+/// `..=top_level` is a contiguous range from the slot base (persisted as one
+/// `persist_range`) and every recovery word sits at a layout-probed offset.
+#[repr(C)]
 struct Node<P: Policy> {
     key: u64,
     value: u64,
     top_level: usize,
-    next: Vec<P::Word<usize>>,
+    next: [P::Word<usize>; MAX_LEVEL],
+}
+
+/// Byte offsets of the recovery-relevant words within a node slot.
+struct NodeLayout {
+    key: usize,
+    value: usize,
+    next0: usize,
 }
 
 impl<P: Policy> Node<P> {
-    fn new(key: u64, value: u64, top_level: usize, succs: &[usize]) -> *mut Self {
-        let next = (0..=top_level)
-            .map(|lvl| P::Word::<usize>::new(succs.get(lvl).copied().unwrap_or(0)))
-            .collect();
-        Box::into_raw(Box::new(Node {
-            key,
-            value,
-            top_level,
-            next,
-        }))
+    fn layout() -> NodeLayout {
+        let probe = Node::<P> {
+            key: 0,
+            value: 0,
+            top_level: 0,
+            next: std::array::from_fn(|_| P::Word::<usize>::new(0)),
+        };
+        let base = &probe as *const Node<P> as usize;
+        NodeLayout {
+            key: &probe.key as *const u64 as usize - base,
+            value: &probe.value as *const u64 as usize - base,
+            next0: probe.next[0].addr() - base,
+        }
     }
 }
 
 /// Lock-free skiplist over persistence policy `P` and durability method `D`.
 pub struct SkipList<P: Policy, D: Durability> {
     head: *mut Node<P>,
+    arena: Arc<Arena>,
     policy: P,
     collector: Collector,
     /// Cheap xorshift state for tower-height selection (splittable per call site).
@@ -65,26 +95,70 @@ unsafe impl<P: Policy, D: Durability> Send for SkipList<P, D> {}
 unsafe impl<P: Policy, D: Durability> Sync for SkipList<P, D> {}
 
 impl<P: Policy, D: Durability> SkipList<P, D> {
-    /// Create an empty skiplist.
+    /// Create an empty skiplist with its own arena, registered under
+    /// [`roots::SKIPLIST_HEAD`].
     pub fn new(policy: P) -> Self {
-        let head = Node::<P>::new(0, 0, MAX_LEVEL - 1, &[]);
+        let arena = Arc::new(Arena::for_slots_of::<Node<P>, _>(
+            policy.backend(),
+            LIST_CHUNK_SLOTS,
+        ));
         let list = Self {
-            head,
+            head: std::ptr::null_mut(),
+            arena,
             policy,
             collector: Collector::new(),
             rng: AtomicU64::new(0x9E3779B97F4A7C15),
             _durability: PhantomData,
         };
-        // Record + persist the head tower (including its heap-allocated links) so a
-        // crash right after construction recovers to an empty list.
+        // Persist-before-publish at construction: the full head tower becomes
+        // durable, then the root registration makes the (empty) list recoverable.
+        let head = list.alloc_node(0, 0, MAX_LEVEL - 1, &[]);
         list.persist_new_node(head, PFlag::Persisted);
-        list
+        list.arena
+            .register_root(list.policy.backend(), roots::SKIPLIST_HEAD, head as usize);
+        Self { head, ..list }
     }
 
-    /// The EBR collector used by this skiplist (crash tests pin it for the duration
-    /// of a run so recovery may dereference retired nodes).
+    /// The EBR collector used by this skiplist.
     pub fn collector(&self) -> &Collector {
         &self.collector
+    }
+
+    /// The arena this skiplist allocates towers from.
+    pub fn arena(&self) -> &Arc<Arena> {
+        &self.arena
+    }
+
+    /// Allocate a tower node from the arena and record its key/value and occupied
+    /// tower words with the backend.
+    fn alloc_node(&self, key: u64, value: u64, top_level: usize, succs: &[usize]) -> *mut Node<P> {
+        let backend = self.policy.backend();
+        let node: *mut Node<P> = self.arena.alloc_init(
+            backend,
+            Node {
+                key,
+                value,
+                top_level,
+                next: std::array::from_fn(|lvl| {
+                    P::Word::<usize>::new(succs.get(lvl).copied().unwrap_or(0))
+                }),
+            },
+        );
+        let node_ref = unsafe { &*node };
+        backend.record_store(&node_ref.key as *const u64 as *const u8, key);
+        backend.record_store(&node_ref.value as *const u64 as *const u8, value);
+        for word in &node_ref.next[..=top_level] {
+            word.store_private(&self.policy, word.load_direct(), PFlag::Volatile);
+        }
+        node
+    }
+
+    /// Retire `node` through the collector: its slot returns to the arena's
+    /// recycle list once no pinned thread can still reach it.
+    fn retire(&self, guard: &Guard<'_>, node: *mut Node<P>) {
+        // SAFETY: the node was unlinked from level 0 before retirement and is
+        // retired once.
+        unsafe { self.arena.defer_recycle(guard, node as usize) };
     }
 
     /// Geometric tower height in `0..MAX_LEVEL` (p = 1/2).
@@ -97,20 +171,15 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
         (r.trailing_ones() as usize).min(MAX_LEVEL - 1)
     }
 
-    /// Persist a freshly created node, including its heap-allocated tower. The tower
-    /// words are first re-issued as private volatile stores so a tracking backend
-    /// records them (recovery walks the persisted bottom-level links).
+    /// Persist a freshly created node: the contiguous slot prefix from the node
+    /// base through its highest occupied tower word (the unoccupied tail of the
+    /// inline tower is dead space — flushing it would only add layout-independent
+    /// but pointless `pwb`s).
     fn persist_new_node(&self, node: *mut Node<P>, flag: PFlag) {
         let node_ref = unsafe { &*node };
-        for word in &node_ref.next {
-            word.store_private(&self.policy, word.load_direct(), PFlag::Volatile);
-        }
-        self.policy.persist_object(node_ref, flag);
-        self.policy.persist_range(
-            node_ref.next.as_ptr() as *const u8,
-            node_ref.next.len() * std::mem::size_of::<P::Word<usize>>(),
-            flag,
-        );
+        let base = node as usize;
+        let len = node_ref.next[node_ref.top_level].addr() + WORD_SIZE - base;
+        self.policy.persist_range(base as *const u8, len, flag);
     }
 
     /// Find the insertion window at every level: `preds[l]` is the last node with key
@@ -152,9 +221,7 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
                         if level == 0 {
                             // The bottom-level unlink is what makes the node
                             // unreachable; only then may it be retired.
-                            // SAFETY: `curr` was just unlinked from level 0 by this
-                            // thread's successful CAS.
-                            unsafe { guard.defer_destroy(curr) };
+                            self.retire(guard, curr);
                         }
                         curr = address::<Node<P>>(unmark(succ_word));
                         if curr.is_null() {
@@ -211,7 +278,7 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
             }
             // Build the tower pointing at the successors observed by find().
             let succ_words: Vec<usize> = (0..=top_level).map(|l| pack(succs[l])).collect();
-            let node = Node::<P>::new(key, value, top_level, &succ_words);
+            let node = self.alloc_node(key, value, top_level, &succ_words);
             self.persist_new_node(node, D::STORE);
 
             // Transition: persist the bottom-level link we are about to modify.
@@ -227,8 +294,9 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
                 .compare_exchange(&self.policy, pack(succs[0]), pack(node), D::STORE)
                 .is_err()
             {
-                // SAFETY: never published.
-                unsafe { drop(Box::from_raw(node)) };
+                // Never published: return the slot to the durable free list.
+                // SAFETY: `node` was allocated above and never became reachable.
+                unsafe { self.arena.free(self.policy.backend(), node as *mut u8) };
                 continue;
             }
 
@@ -323,38 +391,53 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
         }
     }
 
-    /// Reconstruct the durable set from an adversarial crash image: walk the
-    /// persisted bottom-level `next` chain from the head sentinel (the bottom level
-    /// alone defines membership; the upper levels are volatile index state under the
-    /// optimised durability methods). A node whose own persisted bottom link carries
-    /// the deletion mark is skipped; a reachable node whose bottom link is absent
-    /// from the image flags [`truncated`](RecoveredMap::truncated).
-    ///
-    /// # Safety
-    /// Every node pointer stored in the image's bottom-level words must still be a
-    /// live allocation of this skiplist: the caller must run in quiescence and have
-    /// pinned [`Self::collector`] since before the first operation.
-    pub unsafe fn recover(&self, image: &CrashImage) -> RecoveredMap {
+    /// Reconstruct the durable set **purely from the crash image and the arena's
+    /// root table**: read the head tower's slot from the root table, then walk the
+    /// persisted bottom-level chain, reading every key/value out of the image (the
+    /// bottom level alone defines membership; upper levels are volatile index
+    /// state under the optimised durability methods). An absent root means the
+    /// skiplist was not durably constructed: empty set.
+    pub fn recover_in_image(arena: &Arena, image: &CrashImage) -> RecoveredMap {
+        let Some(head) = arena.root_in_image(image, roots::SKIPLIST_HEAD) else {
+            return RecoveredMap::default();
+        };
+        let layout = Node::<P>::layout();
         let mut rec = RecoveredMap::default();
-        let head_ref = unsafe { &*self.head };
-        let Some(first) = image.read(head_ref.next[0].addr()) else {
+        let Some(first) = image.read(head + layout.next0) else {
             rec.truncated = true;
             return rec;
         };
-        let mut cur = address::<Node<P>>(first as usize);
-        while !cur.is_null() {
-            let cur_ref = unsafe { &*cur };
-            let Some(word) = image.read(cur_ref.next[0].addr()) else {
+        let mut budget = image.len() + 2;
+        let mut cur = unmark(first as usize);
+        while cur != 0 {
+            if budget == 0 || !arena.contains(cur) {
+                rec.truncated = true;
+                break;
+            }
+            budget -= 1;
+            let Some(word) = image.read(cur + layout.next0) else {
                 rec.truncated = true;
                 break;
             };
             let word = word as usize;
             if !is_marked(word) {
-                rec.pairs.push((cur_ref.key, cur_ref.value));
+                let (Some(key), Some(value)) =
+                    (image.read(cur + layout.key), image.read(cur + layout.value))
+                else {
+                    rec.truncated = true;
+                    break;
+                };
+                rec.pairs.push((key, value));
             }
-            cur = address(word);
+            cur = unmark(word);
         }
         rec
+    }
+
+    /// Image-only recovery through this skiplist's own arena; see
+    /// [`recover_in_image`](Self::recover_in_image).
+    pub fn recover(&self, image: &CrashImage) -> RecoveredMap {
+        Self::recover_in_image(&self.arena, image)
     }
 
     fn len_impl(&self) -> usize {
@@ -399,20 +482,8 @@ impl<P: Policy, D: Durability> ConcurrentMap<P> for SkipList<P, D> {
     }
 }
 
-impl<P: Policy, D: Durability> Drop for SkipList<P, D> {
-    fn drop(&mut self) {
-        // Free every node still linked at the bottom level, then the head sentinel.
-        let mut cur = address::<Node<P>>(unsafe { &*self.head }.next[0].load_direct());
-        while !cur.is_null() {
-            let next = address::<Node<P>>(unmark(unsafe { &*cur }.next[0].load_direct()));
-            // SAFETY: single-threaded teardown.
-            unsafe { drop(Box::from_raw(cur)) };
-            cur = next;
-        }
-        // SAFETY: head was allocated in `new` and never retired.
-        unsafe { drop(Box::from_raw(self.head)) };
-    }
-}
+// No `Drop` impl: towers are plain data in arena slots, reclaimed wholesale when
+// the last `Arc<Arena>` goes away.
 
 #[cfg(test)]
 mod tests {
@@ -421,7 +492,6 @@ mod tests {
     use flit::presets;
     use flit::{FlitPolicy, HashedScheme};
     use flit_pmem::{LatencyModel, SimNvram};
-    use std::sync::Arc;
 
     fn backend() -> SimNvram {
         SimNvram::builder().latency(LatencyModel::none()).build()
@@ -498,6 +568,36 @@ mod tests {
             heights.insert(h);
         }
         assert!(heights.len() > 2, "tower heights should vary: {heights:?}");
+    }
+
+    #[test]
+    fn towers_are_inline_single_arena_slots() {
+        let s: Sl<Automatic> = SkipList::new(presets::flit_ht(backend()));
+        s.insert(5, 50);
+        let node = address::<Node<FlitPolicy<HashedScheme, SimNvram>>>(
+            unsafe { &*s.head }.next[0].load_direct(),
+        );
+        assert!(s.arena().contains(node as usize));
+        assert_eq!(node as usize % flit_pmem::CACHE_LINE_SIZE, 0);
+        // The bottom-level word must live inside the same slot as the node.
+        let n = unsafe { &*node };
+        assert!(n.next[0].addr() - (node as usize) < s.arena().slot_size());
+    }
+
+    #[test]
+    fn image_only_recovery_matches_the_quiescent_set() {
+        let sim = SimNvram::for_crash_testing();
+        let s: Sl<Automatic> = SkipList::new(presets::flit_ht(sim.clone()));
+        for k in [5u64, 1, 8, 3] {
+            assert!(s.insert(k, k + 100));
+        }
+        assert!(s.remove(8));
+        let image = sim.tracker().unwrap().crash_image();
+        let rec = s.recover(&image);
+        assert!(!rec.truncated);
+        assert_eq!(rec.sorted_pairs(), vec![(1, 101), (3, 103), (5, 105)]);
+        let rec2 = Sl::<Automatic>::recover_in_image(s.arena(), &image);
+        assert_eq!(rec2.sorted_pairs(), rec.sorted_pairs());
     }
 
     #[test]

@@ -49,38 +49,42 @@ const INACTIVE: u64 = u64::MAX;
 /// collect its local garbage.
 const COLLECT_INTERVAL: u64 = 32;
 
-/// A deferred destructor: a raw pointer plus the function that frees it.
-struct Deferred {
-    ptr: *mut u8,
-    destroy: unsafe fn(*mut u8),
-}
-
-// SAFETY: a Deferred is only ever executed once, by whichever thread happens to run
-// collection, and the pointed-to object is unreachable by the time it runs.
-unsafe impl Send for Deferred {}
+/// A deferred reclamation action: runs exactly once, by whichever thread happens
+/// to run collection, after the two-epoch rule proves the retired object
+/// unreachable.
+struct Deferred(Box<dyn FnOnce() + Send>);
 
 impl Deferred {
-    /// Build a deferred destructor that reclaims `ptr` as a `Box<T>`.
+    /// Build a deferred action that reclaims `ptr` as a `Box<T>`.
     ///
     /// # Safety
     /// `ptr` must have been produced by `Box::into_raw` and must not be freed by any
     /// other path.
-    unsafe fn destroy_box<T>(ptr: *mut T) -> Self {
-        unsafe fn destroy<T>(p: *mut u8) {
-            // SAFETY: guaranteed by the contract of `destroy_box`.
-            drop(unsafe { Box::from_raw(p as *mut T) });
-        }
-        Deferred {
-            ptr: ptr as *mut u8,
-            destroy: destroy::<T>,
-        }
+    unsafe fn destroy_box<T: 'static>(ptr: *mut T) -> Self {
+        let ptr = SendPtr(ptr);
+        Deferred(Box::new(move || {
+            // Rebind the whole wrapper so the closure captures the `Send` wrapper
+            // itself (edition-2021 disjoint capture would otherwise capture the
+            // raw-pointer field directly).
+            let wrapper = ptr;
+            let raw = wrapper.0;
+            // SAFETY: guaranteed by the contract of `destroy_box`; the two-epoch
+            // rule makes the object unreachable by the time this runs.
+            drop(unsafe { Box::from_raw(raw) });
+        }))
     }
 
     fn run(self) {
-        // SAFETY: by construction, `destroy` matches the provenance of `ptr`.
-        unsafe { (self.destroy)(self.ptr) }
+        (self.0)()
     }
 }
+
+/// Raw-pointer wrapper so reclamation closures can capture node pointers.
+/// The EBR epoch discipline is what makes moving the pointer across threads sound.
+struct SendPtr<T>(*mut T);
+// SAFETY: see the type docs — the wrapped pointer is only dereferenced by the one
+// thread that runs the deferred action, after quiescence.
+unsafe impl<T> Send for SendPtr<T> {}
 
 struct Slot {
     /// Either `INACTIVE` or the epoch the owning thread pinned at.
@@ -245,17 +249,14 @@ impl Collector {
                 Err(_) => return,
             };
             let mut ready = Vec::new();
-            garbage.retain_mut(|(epoch, deferred)| {
-                if *epoch + 2 <= global_epoch {
-                    ready.push(Deferred {
-                        ptr: deferred.ptr,
-                        destroy: deferred.destroy,
-                    });
-                    false
+            let mut i = 0;
+            while i < garbage.len() {
+                if garbage[i].0 + 2 <= global_epoch {
+                    ready.push(garbage.swap_remove(i).1);
                 } else {
-                    true
+                    i += 1;
                 }
-            });
+            }
             ready
         };
         for deferred in ready {
@@ -288,11 +289,29 @@ impl Guard<'_> {
     /// * `ptr` must be unreachable for threads that pin *after* this call (i.e. it has
     ///   been unlinked from the shared structure).
     /// * No other code may free `ptr`.
-    pub unsafe fn defer_destroy<T>(&self, ptr: *mut T) {
+    pub unsafe fn defer_destroy<T: 'static>(&self, ptr: *mut T) {
         let epoch = self.collector.global.epoch.load(Ordering::SeqCst);
         let deferred = unsafe { Deferred::destroy_box(ptr) };
         let slot = &self.collector.global.slots[self.slot_idx];
         slot.garbage.lock().unwrap().push((epoch, deferred));
+    }
+
+    /// Defer an arbitrary reclamation action until no pinned thread can still hold
+    /// a reference to whatever it frees. This is the hook arena-allocated
+    /// structures use: instead of dropping a `Box`, the action returns the node's
+    /// slot to its arena's recycle list.
+    ///
+    /// The closure itself runs exactly once, on an arbitrary thread, after the
+    /// two-epoch rule proves quiescence; any unsafety (freeing a slot, recycling
+    /// memory) lives inside the closure under the caller's unlinked-and-unique
+    /// guarantee.
+    pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
+        let epoch = self.collector.global.epoch.load(Ordering::SeqCst);
+        let slot = &self.collector.global.slots[self.slot_idx];
+        slot.garbage
+            .lock()
+            .unwrap()
+            .push((epoch, Deferred(Box::new(f))));
     }
 
     /// The collector this guard belongs to.

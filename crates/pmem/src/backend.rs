@@ -79,6 +79,21 @@ pub trait PmemBackend: Send + Sync + 'static {
     #[inline]
     fn record_store(&self, _addr: *const u8, _val: u64) {}
 
+    /// A monotone counter of the stores this backend has observed through
+    /// [`record_store`](Self::record_store). Backends implementing the
+    /// [`pwb_dedup`](Self::pwb_dedup) elision stamp each dedup entry with this
+    /// version at flush time and require the version to be *unchanged* at dedup
+    /// time, which closes the overwrite-and-restore (ABA) window: if no store at
+    /// all was recorded since the flush, the word cannot have been overwritten
+    /// (see [`crate::epoch`]).
+    ///
+    /// The default implementation returns `0` — correct for backends that also use
+    /// the default (never-eliding) `pwb_dedup`.
+    #[inline]
+    fn store_version(&self) -> u64 {
+        0
+    }
+
     /// Statistics collected by this backend, if any.
     #[inline]
     fn pmem_stats(&self) -> Option<&PmemStats> {
@@ -152,6 +167,11 @@ impl<B: PmemBackend + ?Sized> PmemBackend for std::sync::Arc<B> {
     #[inline]
     fn record_store(&self, addr: *const u8, val: u64) {
         (**self).record_store(addr, val)
+    }
+
+    #[inline]
+    fn store_version(&self) -> u64 {
+        (**self).store_version()
     }
 
     #[inline]

@@ -31,19 +31,23 @@
 //!    set and the next (now unavoidable) fence commits it. A dedup hit implies the
 //!    thread is dirty, so every fence the skipped flush relied on still fires.
 //!
-//! ## Soundness boundary of the dedup
+//! ## Why the dedup is unconditionally sound: store-version stamps
 //!
-//! Keying the recently-flushed set by `(address, value)` assumes the word was not
-//! overwritten-and-restored (ABA) by *other* threads between the recorded flush and
-//! the dedup hit. The window is narrow — the set is cleared on every fence of the
-//! reader, and FliT's completion fence closes each operation of a dirty thread — so
-//! an ABA would need a full remote p-store of a different value *and* a second
-//! in-flight p-store of the original value, all within one operation of the reader.
-//! The single-location crash sweeps (`flit-crashtest`) exercise every persistence
-//! event of the elided stream and stay violation-free; workloads that cannot accept
-//! the residual multi-writer ABA window should run with
-//! [`ElisionMode::Disabled`], which restores the paper-literal instruction stream.
-//! Fence elision (point 1) carries no such caveat.
+//! Keying the recently-flushed set by `(address, value)` alone would admit a narrow
+//! overwrite-and-restore (ABA) hole: a remote thread stores a different value and a
+//! second remote store restores the original, all between the recorded flush and
+//! the dedup hit — the reader's pending set then holds a snapshot that is
+//! value-equal but *persistence*-stale. Each dedup entry therefore additionally
+//! carries the backend's [`store_version`](crate::PmemBackend::store_version) — a
+//! monotone counter of every store recorded through the backend — at flush time,
+//! and a dedup hit requires the version to be **unchanged**. If no store at all was
+//! recorded since the flush, no overwrite (let alone an overwrite-and-restore) can
+//! have happened, so the pending snapshot is exactly the current value and skipping
+//! the re-flush is sound with no caveat. The price is one relaxed counter load per
+//! tagged read and a coarser dedup (any concurrent store, to any word, invalidates
+//! the entry — on read-mostly workloads, where the dedup matters, stores are rare
+//! by definition). Fence elision (point 1) never needed a caveat: a clean thread's
+//! fence persists nothing under any interleaving.
 //!
 //! ## Keying
 //!
@@ -68,8 +72,8 @@ pub enum ElisionMode {
     #[default]
     Enabled,
     /// Issue every fence and flush exactly as Algorithm 4 writes them. Used for
-    /// A/B statistics (`BENCH_flit.json` records both streams) and for workloads
-    /// that reject the dedup's ABA caveat (see the module docs).
+    /// A/B statistics (`BENCH_flit.json` records both streams) and for sweeping
+    /// the paper-literal instruction stream in `flit-crashtest`.
     Disabled,
 }
 
@@ -115,8 +119,10 @@ struct ThreadState {
     /// discard the entry without any global bookkeeping.
     alive: Weak<()>,
     pwbs_since_fence: u64,
-    /// Ring buffer of `(word address, observed value)` pairs flushed this epoch.
-    recent: [(usize, u64); RECENT_FLUSHES],
+    /// Ring buffer of `(word address, observed value, store-version stamp)` triples
+    /// flushed this epoch. The stamp is the backend's store version at flush time;
+    /// a dedup hit requires it to be unchanged (see the module docs).
+    recent: [(usize, u64, u64); RECENT_FLUSHES],
     recent_len: usize,
     next_slot: usize,
 }
@@ -127,14 +133,14 @@ impl ThreadState {
             id,
             alive,
             pwbs_since_fence: 0,
-            recent: [(0, 0); RECENT_FLUSHES],
+            recent: [(0, 0, 0); RECENT_FLUSHES],
             recent_len: 0,
             next_slot: 0,
         }
     }
 
-    fn note_flushed(&mut self, word: usize, val: u64) {
-        self.recent[self.next_slot] = (word, val);
+    fn note_flushed(&mut self, word: usize, val: u64, stamp: u64) {
+        self.recent[self.next_slot] = (word, val, stamp);
         self.next_slot = (self.next_slot + 1) % RECENT_FLUSHES;
         self.recent_len = (self.recent_len + 1).min(RECENT_FLUSHES);
     }
@@ -229,28 +235,32 @@ impl PersistEpoch {
         self.with_state(|s| s.pwbs_since_fence)
     }
 
-    /// Record that the calling thread flushed `word` while it held `val`.
+    /// Record that the calling thread flushed `word` while it held `val`, with the
+    /// backend's store version (`stamp`) at flush time.
     #[inline]
-    pub fn note_flushed(&self, word: usize, val: u64) {
-        self.with_state(|s| s.note_flushed(word, val));
+    pub fn note_flushed(&self, word: usize, val: u64, stamp: u64) {
+        self.with_state(|s| s.note_flushed(word, val, stamp));
     }
 
-    /// Record a read-side `pwb` of `word` holding `val` in one table access:
-    /// equivalent to [`note_pwb`](Self::note_pwb) + [`note_flushed`](Self::note_flushed),
-    /// for the `pwb_dedup` miss path.
+    /// Record a read-side `pwb` of `word` holding `val` (stamped with the backend's
+    /// store version at flush time) in one table access: equivalent to
+    /// [`note_pwb`](Self::note_pwb) + [`note_flushed`](Self::note_flushed), for the
+    /// `pwb_dedup` miss path.
     #[inline]
-    pub fn note_pwb_flushed(&self, word: usize, val: u64) {
+    pub fn note_pwb_flushed(&self, word: usize, val: u64, stamp: u64) {
         self.with_state(|s| {
             s.pwbs_since_fence += 1;
-            s.note_flushed(word, val);
+            s.note_flushed(word, val, stamp);
         });
     }
 
     /// `true` when the calling thread already flushed `word` holding exactly `val`
-    /// in the current epoch (see the module docs for the soundness boundary).
+    /// in the current epoch *and* no store has been recorded through the backend
+    /// since (`stamp` equals the stamp recorded at flush time) — the condition
+    /// under which skipping the re-flush is unconditionally sound (module docs).
     #[inline]
-    pub fn recently_flushed(&self, word: usize, val: u64) -> bool {
-        self.with_state(|s| s.recent[..s.recent_len].contains(&(word, val)))
+    pub fn recently_flushed(&self, word: usize, val: u64, stamp: u64) -> bool {
+        self.with_state(|s| s.recent[..s.recent_len].contains(&(word, val, stamp)))
     }
 }
 
@@ -273,19 +283,21 @@ pub(crate) fn try_elide_pfence(
 }
 
 /// Shared elision driver for [`pwb_dedup`](crate::PmemBackend::pwb_dedup)
-/// implementations: `true` when the flush should be *skipped* (elision on and the
-/// word already flushed with this value in the current epoch), recording the
-/// elision stat when counting is on. On a miss the caller issues the `pwb` and
-/// then calls [`note_flushed_if`].
+/// implementations: `true` when the flush should be *skipped* (elision on, the
+/// word already flushed with this value in the current epoch, and the backend's
+/// store version unchanged since that flush), recording the elision stat when
+/// counting is on. On a miss the caller issues the `pwb` and then records the
+/// flush with [`PersistEpoch::note_pwb_flushed`].
 #[inline]
 pub(crate) fn try_dedup_pwb(
     elision: ElisionMode,
     epoch: &PersistEpoch,
     word: usize,
     observed: u64,
+    stamp: u64,
     stats: Option<&PmemStats>,
 ) -> bool {
-    if elision.is_enabled() && epoch.recently_flushed(word, observed) {
+    if elision.is_enabled() && epoch.recently_flushed(word, observed, stamp) {
         if let Some(stats) = stats {
             stats.record_elided_pwb();
         }
@@ -317,39 +329,44 @@ mod tests {
     }
 
     #[test]
-    fn recently_flushed_is_keyed_by_word_and_value() {
+    fn recently_flushed_is_keyed_by_word_value_and_stamp() {
         let e = PersistEpoch::new();
-        e.note_flushed(0x1000, 7);
-        assert!(e.recently_flushed(0x1000, 7));
+        e.note_flushed(0x1000, 7, 3);
+        assert!(e.recently_flushed(0x1000, 7, 3));
         assert!(
-            !e.recently_flushed(0x1000, 8),
+            !e.recently_flushed(0x1000, 8, 3),
             "value mismatch must reflush"
         );
-        assert!(!e.recently_flushed(0x1008, 7), "other word must reflush");
+        assert!(!e.recently_flushed(0x1008, 7, 3), "other word must reflush");
+        assert!(
+            !e.recently_flushed(0x1000, 7, 4),
+            "an intervening store (version bump) must reflush: ABA closed"
+        );
     }
 
     #[test]
     fn pfence_forgets_the_recent_set() {
         let e = PersistEpoch::new();
         e.note_pwb();
-        e.note_flushed(0x40, 1);
+        e.note_flushed(0x40, 1, 0);
         e.note_pfence();
-        assert!(!e.recently_flushed(0x40, 1));
+        assert!(!e.recently_flushed(0x40, 1, 0));
     }
 
     #[test]
     fn recent_set_is_a_bounded_ring() {
         let e = PersistEpoch::new();
         for i in 0..RECENT_FLUSHES + 2 {
-            e.note_flushed(0x1000 + i * 8, i as u64);
+            e.note_flushed(0x1000 + i * 8, i as u64, 0);
         }
         // The two oldest entries were evicted, the rest are still present.
-        assert!(!e.recently_flushed(0x1000, 0));
-        assert!(!e.recently_flushed(0x1008, 1));
-        assert!(e.recently_flushed(0x1010, 2));
+        assert!(!e.recently_flushed(0x1000, 0, 0));
+        assert!(!e.recently_flushed(0x1008, 1, 0));
+        assert!(e.recently_flushed(0x1010, 2, 0));
         assert!(e.recently_flushed(
             0x1000 + (RECENT_FLUSHES + 1) * 8,
-            (RECENT_FLUSHES + 1) as u64
+            (RECENT_FLUSHES + 1) as u64,
+            0
         ));
     }
 

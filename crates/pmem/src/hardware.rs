@@ -42,6 +42,9 @@ pub struct HardwarePmem {
     count_stats: bool,
     epoch: PersistEpoch,
     elision: ElisionMode,
+    /// Per-backend store counter (bumped in `record_store`) used to stamp dedup
+    /// entries, making the duplicate-flush elision ABA-proof (see `crate::epoch`).
+    store_version: std::sync::atomic::AtomicU64,
 }
 
 impl HardwarePmem {
@@ -59,6 +62,7 @@ impl HardwarePmem {
             count_stats,
             epoch: PersistEpoch::new(),
             elision: ElisionMode::default(),
+            store_version: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -196,11 +200,13 @@ impl PmemBackend for HardwarePmem {
     #[inline]
     fn pwb_dedup(&self, addr: *const u8, observed: u64) -> bool {
         let word = word_of(addr as usize);
+        let stamp = self.store_version();
         if epoch::try_dedup_pwb(
             self.elision,
             &self.epoch,
             word,
             observed,
+            stamp,
             self.counted_stats(),
         ) {
             return false;
@@ -210,7 +216,7 @@ impl PmemBackend for HardwarePmem {
         }
         // One combined epoch access (pwb note + dedup record) instead of two.
         if self.elision.is_enabled() {
-            self.epoch.note_pwb_flushed(word, observed);
+            self.epoch.note_pwb_flushed(word, observed, stamp);
         }
         self.flush(addr);
         true
@@ -242,6 +248,24 @@ impl PmemBackend for HardwarePmem {
         if self.count_stats {
             self.stats.record_read_side_pwb();
         }
+    }
+
+    #[inline]
+    fn record_store(&self, _addr: *const u8, _val: u64) {
+        // Hardware keeps no software image; the store is only counted so dedup
+        // stamps can detect intervening stores (ABA closure, see `crate::epoch`).
+        // With elision disabled nothing consumes the stamp, so the (globally
+        // shared, hence contended) counter bump is skipped on the literal stream.
+        if self.elision.is_enabled() {
+            self.store_version
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn store_version(&self) -> u64 {
+        self.store_version
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     #[inline]

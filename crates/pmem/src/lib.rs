@@ -57,6 +57,8 @@ pub mod crash;
 pub mod epoch;
 pub mod hardware;
 pub mod latency;
+pub mod recording;
+pub mod region;
 pub mod sim;
 pub mod stats;
 pub mod tracker;
@@ -67,6 +69,8 @@ pub use crash::{CrashEventKind, CrashPlan};
 pub use epoch::{ElisionMode, PersistEpoch};
 pub use hardware::{FlushInstruction, HardwarePmem};
 pub use latency::LatencyModel;
+pub use recording::RecordingBackend;
+pub use region::PmemRegion;
 pub use sim::SimNvram;
 pub use stats::{PmemStats, StatsSnapshot};
 pub use tracker::{CrashImage, PersistenceTracker};

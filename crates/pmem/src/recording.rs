@@ -1,0 +1,215 @@
+//! [`RecordingBackend`]: crash-plan event observation over *any* backend.
+//!
+//! The [`CrashPlan`] hook originally lived inside [`SimNvram`](crate::SimNvram)
+//! only, which meant [`HardwarePmem`](crate::HardwarePmem) runs could not be driven
+//! by the `flit-crashtest` sweep engine at all (ROADMAP, "Real-PM backend behind
+//! `CrashPlan`"). This decorator closes that gap: it wraps any
+//! [`PmemBackend`], maintains its own [`PersistenceTracker`] software model of the
+//! persisted image, optionally feeds a [`CrashPlan`], and forwards every
+//! instruction to the inner backend unchanged — so the wrapped backend still issues
+//! its real `clwb`/`sfence` (or charges its simulated latency) while the decorator
+//! observes the exact event stream.
+//!
+//! ## Elision is disabled through the decorator
+//!
+//! The decorator answers [`pfence_if_dirty`](PmemBackend::pfence_if_dirty) and
+//! [`pwb_dedup`](PmemBackend::pwb_dedup) with the conservative paper-literal
+//! behaviour (always fence, always flush). The inner backend's persist epochs
+//! cannot be consulted from outside, and an instruction the inner backend elides
+//! but the tracker applies (or vice versa) would make the recorded image diverge
+//! from the hardware state. Recording fidelity wins: a recorded stream is the
+//! literal stream. Sweeps that want the elided stream keep using
+//! [`SimNvram`](crate::SimNvram), whose plan hook sits *below* its epoch logic.
+
+use crate::backend::PmemBackend;
+use crate::crash::{CrashEventKind, CrashPlan};
+use crate::stats::PmemStats;
+use crate::tracker::PersistenceTracker;
+
+/// A decorator that observes every store/`pwb`/`pfence` flowing into `inner`,
+/// maintaining a [`PersistenceTracker`] image and optionally driving a
+/// [`CrashPlan`]. See the module docs.
+pub struct RecordingBackend<P: PmemBackend> {
+    inner: P,
+    tracker: PersistenceTracker,
+    plan: Option<CrashPlan>,
+}
+
+impl<P: PmemBackend> RecordingBackend<P> {
+    /// Wrap `inner` with a fresh tracker and no crash plan.
+    pub fn new(inner: P) -> Self {
+        Self {
+            inner,
+            tracker: PersistenceTracker::new(),
+            plan: None,
+        }
+    }
+
+    /// Wrap `inner` with a fresh tracker and the given crash plan.
+    pub fn with_plan(inner: P, plan: CrashPlan) -> Self {
+        Self {
+            inner,
+            tracker: PersistenceTracker::new(),
+            plan: Some(plan),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The tracker maintaining the recorded persisted image.
+    pub fn tracker(&self) -> &PersistenceTracker {
+        &self.tracker
+    }
+
+    /// The crash plan observing this backend's events, if one was attached.
+    pub fn crash_plan(&self) -> Option<&CrashPlan> {
+        self.plan.as_ref()
+    }
+
+    #[inline]
+    fn observe(&self, kind: CrashEventKind) {
+        if let Some(plan) = &self.plan {
+            plan.observe(kind, Some(&self.tracker));
+        }
+    }
+}
+
+impl<P: PmemBackend> PmemBackend for RecordingBackend<P> {
+    #[inline]
+    fn pwb(&self, addr: *const u8) {
+        self.observe(CrashEventKind::Pwb);
+        self.tracker.on_pwb(addr as usize);
+        self.inner.pwb(addr);
+    }
+
+    #[inline]
+    fn pfence(&self) {
+        self.observe(CrashEventKind::Pfence);
+        self.tracker.on_pfence();
+        self.inner.pfence();
+    }
+
+    // Deliberately conservative: see the module docs on elision through the
+    // decorator. Routing through `self.pfence()` (not `inner.pfence_if_dirty()`)
+    // keeps the recorded stream equal to the issued stream.
+    #[inline]
+    fn pfence_if_dirty(&self) {
+        self.pfence();
+    }
+
+    #[inline]
+    fn pwb_dedup(&self, addr: *const u8, _observed: u64) -> bool {
+        self.pwb(addr);
+        true
+    }
+
+    #[inline]
+    fn note_read_side_pwb(&self) {
+        self.inner.note_read_side_pwb();
+    }
+
+    #[inline]
+    fn record_store(&self, addr: *const u8, val: u64) {
+        self.observe(CrashEventKind::Store);
+        self.tracker.record_store(addr as usize, val);
+        self.inner.record_store(addr, val);
+    }
+
+    #[inline]
+    fn pmem_stats(&self) -> Option<&PmemStats> {
+        self.inner.pmem_stats()
+    }
+
+    #[inline]
+    fn persistence_tracker(&self) -> Option<&PersistenceTracker> {
+        Some(&self.tracker)
+    }
+
+    #[inline]
+    fn store_version(&self) -> u64 {
+        self.tracker.stores_recorded()
+    }
+
+    #[inline]
+    fn is_persistent(&self) -> bool {
+        self.inner.is_persistent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::HardwarePmem;
+    use crate::NullPmem;
+
+    fn addr_of(x: &u64) -> *const u8 {
+        x as *const u64 as *const u8
+    }
+
+    #[test]
+    fn records_the_image_over_hardware() {
+        // The ROADMAP gap this decorator closes: a tracker-backed image over the
+        // real-instruction backend.
+        let b = RecordingBackend::new(HardwarePmem::new());
+        let x = 0u64;
+        b.record_store(addr_of(&x), 42);
+        assert!(b.tracker().crash_image().is_empty());
+        b.pwb(addr_of(&x));
+        b.pfence();
+        assert_eq!(
+            b.tracker().crash_image().read(addr_of(&x) as usize),
+            Some(42)
+        );
+        // The inner backend issued the real instructions (its stats saw them).
+        assert_eq!(b.pmem_stats().unwrap().pwbs(), 1);
+        assert_eq!(b.pmem_stats().unwrap().pfences(), 1);
+        assert!(b.persistence_tracker().is_some());
+    }
+
+    #[test]
+    fn drives_a_crash_plan_over_any_backend() {
+        let plan = CrashPlan::armed_at(2);
+        let b = RecordingBackend::with_plan(NullPmem, plan.clone());
+        let x = 0u64;
+        b.record_store(addr_of(&x), 7); // event 0
+        b.pwb(addr_of(&x)); // event 1
+        b.pfence(); // event 2 <- crash: the fence is lost
+        assert!(plan.triggered());
+        assert_eq!(plan.crash_image().unwrap().read(addr_of(&x) as usize), None);
+        assert_eq!(
+            b.tracker().crash_image().read(addr_of(&x) as usize),
+            Some(7)
+        );
+        assert!(b.crash_plan().is_some());
+        assert!(!b.is_persistent(), "inner NullPmem is not persistent");
+    }
+
+    #[test]
+    fn decorator_is_paper_literal() {
+        // Elision must not happen at the decorator level: the recorded stream is
+        // the issued stream.
+        let b = RecordingBackend::new(HardwarePmem::new());
+        b.pfence_if_dirty(); // clean thread, but the decorator must still fence
+        assert_eq!(b.pmem_stats().unwrap().pfences(), 1);
+        let x = 5u64;
+        assert!(b.pwb_dedup(addr_of(&x), 5));
+        assert!(
+            b.pwb_dedup(addr_of(&x), 5),
+            "no dedup through the decorator"
+        );
+        assert_eq!(b.pmem_stats().unwrap().pwbs(), 2);
+    }
+
+    #[test]
+    fn store_version_counts_recorded_stores() {
+        let b = RecordingBackend::new(NullPmem);
+        assert_eq!(b.store_version(), 0);
+        let x = 0u64;
+        b.record_store(addr_of(&x), 1);
+        b.record_store(addr_of(&x), 2);
+        assert_eq!(b.store_version(), 2);
+    }
+}

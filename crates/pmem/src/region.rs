@@ -1,0 +1,155 @@
+//! Reserved persistent-memory address ranges.
+//!
+//! A [`PmemRegion`] is a pinned, cache-line-aligned, zero-initialised address range
+//! carved out of the persistence substrate — the raw-memory half of an arena
+//! allocator. The region guarantees exactly three things:
+//!
+//! * **Stability** — the base address never changes for the lifetime of the region
+//!   (objects inside it can be linked by address and flushed line by line);
+//! * **Alignment** — the base is cache-line aligned and the length is a whole number
+//!   of cache lines, so offset arithmetic within the region never changes how many
+//!   lines an object straddles (this is what makes persistence-event streams
+//!   reproducible across runs: a slot at offset *o* covers the same line span in
+//!   every process, regardless of where the region itself landed);
+//! * **Zeroing** — freshly reserved memory reads as zero, matching the "null link"
+//!   conventions of the lock-free structures.
+//!
+//! On a machine with real NVDIMMs this would be a `mmap` of a DAX file; in the
+//! reproduction environment it is an aligned heap allocation, which is exactly
+//! equivalent under [`SimNvram`](crate::SimNvram) (the tracker models persistence of
+//! arbitrary addresses). Higher-level allocation policy — slots, headers, free lists,
+//! recovery roots — lives in the `flit-alloc` crate, on top of this type.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+
+use crate::cache_line::CACHE_LINE_SIZE;
+
+/// A pinned, cache-line-aligned, zeroed address range. See the module docs.
+pub struct PmemRegion {
+    base: NonNull<u8>,
+    layout: Layout,
+}
+
+// SAFETY: the region is a plain block of memory with no interior state; all mutation
+// happens through raw pointers whose synchronisation is the caller's responsibility
+// (the arena layer serialises its metadata writes and hands out disjoint slots).
+unsafe impl Send for PmemRegion {}
+unsafe impl Sync for PmemRegion {}
+
+impl PmemRegion {
+    /// Reserve a zeroed region of at least `len` bytes, rounded up to a whole number
+    /// of cache lines. Panics on a zero-length request or allocation failure (a
+    /// persistence arena that failed to map is not a recoverable condition).
+    pub fn reserve(len: usize) -> Self {
+        assert!(len > 0, "cannot reserve an empty region");
+        let len = len.div_ceil(CACHE_LINE_SIZE) * CACHE_LINE_SIZE;
+        let layout = Layout::from_size_align(len, CACHE_LINE_SIZE)
+            .expect("region size overflows the address space");
+        // SAFETY: layout has non-zero size (asserted above).
+        let ptr = unsafe { alloc_zeroed(layout) };
+        let Some(base) = NonNull::new(ptr) else {
+            handle_alloc_error(layout);
+        };
+        Self { base, layout }
+    }
+
+    /// The base address of the region (cache-line aligned).
+    #[inline]
+    pub fn base_addr(&self) -> usize {
+        self.base.as_ptr() as usize
+    }
+
+    /// The base pointer of the region.
+    #[inline]
+    pub fn base_ptr(&self) -> *mut u8 {
+        self.base.as_ptr()
+    }
+
+    /// Length of the region in bytes (a multiple of the cache-line size).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.layout.size()
+    }
+
+    /// `false` always — regions cannot be empty — but provided for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when `addr` falls inside the region.
+    #[inline]
+    pub fn contains(&self, addr: usize) -> bool {
+        let base = self.base_addr();
+        addr >= base && addr < base + self.len()
+    }
+
+    /// `true` when the `len`-byte range starting at `addr` falls entirely inside
+    /// the region.
+    #[inline]
+    pub fn contains_range(&self, addr: usize, len: usize) -> bool {
+        len == 0
+            || (self.contains(addr)
+                && addr
+                    .checked_add(len - 1)
+                    .is_some_and(|end| self.contains(end)))
+    }
+}
+
+impl Drop for PmemRegion {
+    fn drop(&mut self) {
+        // SAFETY: `base` was produced by `alloc_zeroed(self.layout)` and is freed
+        // exactly once.
+        unsafe { dealloc(self.base.as_ptr(), self.layout) };
+    }
+}
+
+impl std::fmt::Debug for PmemRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmemRegion")
+            .field("base", &format_args!("{:#x}", self.base_addr()))
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservation_is_aligned_rounded_and_zeroed() {
+        let r = PmemRegion::reserve(100);
+        assert_eq!(r.base_addr() % CACHE_LINE_SIZE, 0);
+        assert_eq!(r.len(), 128, "rounded up to whole cache lines");
+        assert!(!r.is_empty());
+        // SAFETY: freshly reserved, exclusively owned.
+        let bytes = unsafe { std::slice::from_raw_parts(r.base_ptr(), r.len()) };
+        assert!(bytes.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn containment_checks() {
+        let r = PmemRegion::reserve(256);
+        let base = r.base_addr();
+        assert!(r.contains(base));
+        assert!(r.contains(base + 255));
+        assert!(!r.contains(base + 256));
+        assert!(!r.contains(base.wrapping_sub(1)));
+        assert!(r.contains_range(base, 256));
+        assert!(!r.contains_range(base + 1, 256));
+        assert!(r.contains_range(base + 256, 0), "empty range always fits");
+    }
+
+    #[test]
+    fn regions_are_stable_and_writable() {
+        let r = PmemRegion::reserve(64);
+        let base = r.base_ptr();
+        // SAFETY: in-bounds write to exclusively owned memory.
+        unsafe { base.cast::<u64>().write(0xDEAD_BEEF) };
+        assert_eq!(r.base_ptr(), base);
+        // SAFETY: just written above.
+        assert_eq!(unsafe { base.cast::<u64>().read() }, 0xDEAD_BEEF);
+    }
+}

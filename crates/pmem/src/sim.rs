@@ -39,6 +39,9 @@ struct Inner {
     count_stats: bool,
     epoch: PersistEpoch,
     elision: ElisionMode,
+    /// Store counter for non-tracking instances (dedup stamps); tracking instances
+    /// use the tracker's own version counter instead.
+    store_version: std::sync::atomic::AtomicU64,
 }
 
 /// Simulated NVRAM: ordinary memory plus modelled persistence costs, statistics and
@@ -135,6 +138,22 @@ impl SimNvram {
 }
 
 impl SimNvram {
+    /// The store version used to stamp dedup entries: the tracker's global store
+    /// counter when tracking is on (the counter the monotone-commit logic already
+    /// maintains), a private per-backend counter otherwise.
+    #[inline]
+    fn current_store_version(&self) -> u64 {
+        match &self.inner.tracker {
+            Some(tracker) => tracker.stores_recorded(),
+            None => self
+                .inner
+                .store_version
+                .load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+}
+
+impl SimNvram {
     /// Issue a `pwb` without touching the persist epoch (the `pwb_dedup` path
     /// folds its epoch update into one combined table access instead).
     #[inline]
@@ -196,19 +215,23 @@ impl PmemBackend for SimNvram {
         let word = word_of(addr as usize);
         // A dedup hit means the value already sits in this thread's pending set
         // and the next fence commits it; the hit also implies the thread is dirty,
-        // so that fence cannot itself be elided.
+        // so that fence cannot itself be elided. The store-version stamp makes the
+        // hit unconditionally sound: an unchanged version rules out any
+        // overwrite-and-restore since the recorded flush.
+        let stamp = self.current_store_version();
         if epoch::try_dedup_pwb(
             self.inner.elision,
             &self.inner.epoch,
             word,
             observed,
+            stamp,
             self.counted_stats(),
         ) {
             return false;
         }
         self.issue_pwb(addr);
         if self.inner.elision.is_enabled() {
-            self.inner.epoch.note_pwb_flushed(word, observed);
+            self.inner.epoch.note_pwb_flushed(word, observed, stamp);
         }
         true
     }
@@ -225,9 +248,24 @@ impl PmemBackend for SimNvram {
         if let Some(plan) = &self.inner.crash_plan {
             plan.observe(CrashEventKind::Store, self.inner.tracker.as_ref());
         }
-        if let Some(tracker) = &self.inner.tracker {
-            tracker.record_store(addr as usize, val);
+        match &self.inner.tracker {
+            // The tracker's global store counter doubles as the version source.
+            Some(tracker) => tracker.record_store(addr as usize, val),
+            None => {
+                // Nothing consumes the stamp on the literal stream: skip the
+                // shared-counter bump when elision is disabled.
+                if self.inner.elision.is_enabled() {
+                    self.inner
+                        .store_version
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
         }
+    }
+
+    #[inline]
+    fn store_version(&self) -> u64 {
+        self.current_store_version()
     }
 
     #[inline]
@@ -312,6 +350,7 @@ impl SimNvramBuilder {
                 count_stats: self.count_stats,
                 epoch: PersistEpoch::new(),
                 elision: self.elision,
+                store_version: std::sync::atomic::AtomicU64::new(0),
             }),
         }
     }

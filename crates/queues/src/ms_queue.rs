@@ -30,20 +30,29 @@
 //!
 //! ## Crash recovery
 //!
-//! [`MsQueue::recover`] replays a [`CrashImage`] — the adversarial
-//! flushed-and-fenced-only snapshot of the persistence tracker — by reading the
-//! persisted `head` word and walking persisted `next` links, collecting persisted
-//! value words. For any variant whose `STORE` flag is persisted, the recovered
-//! sequence is exactly the durably linearized queue contents at the crash point.
+//! Recovery is **image-only**: nodes and the queue's root-pointer pair live in a
+//! [`Arena`], the root pair is registered in the arena's recovery-root
+//! table under [`roots::QUEUE_ROOTS`], and
+//! [`MsQueue::recover_in_image`] reads the persisted `head` word and walks
+//! persisted `next`/value words straight out of the adversarial [`CrashImage`] —
+//! no live-structure pointer, no live-memory reads. For any variant whose `STORE`
+//! flag is persisted, the recovered sequence is exactly the durably linearized
+//! queue contents at the crash point; a crash before the root registration
+//! recovers to the empty queue.
 
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 use flit::{PFlag, PersistWord, Policy};
+use flit_alloc::{roots, Arena};
 use flit_datastructs::Durability;
-use flit_ebr::Collector;
+use flit_ebr::{Collector, Guard};
 use flit_pmem::CrashImage;
 
 use crate::queue::ConcurrentQueue;
+
+/// Slots per arena chunk for queue nodes.
+const QUEUE_CHUNK_SLOTS: usize = 1024;
 
 /// A node of the queue. Both fields are written once through the private-store path
 /// before the node is published, so they are recorded with the persistence tracker
@@ -53,19 +62,41 @@ pub(crate) struct Node<P: Policy> {
     pub(crate) next: P::Word<usize>,
 }
 
+/// Byte offsets of a node's recovery words within its arena slot.
+struct NodeLayout {
+    value: usize,
+    next: usize,
+}
+
 impl<P: Policy> Node<P> {
-    /// Allocate a node and persist its initial contents (value + null `next`)
-    /// according to `flag`, so the publishing CAS can depend on them.
-    fn alloc(policy: &P, value: u64, flag: PFlag) -> *mut Self {
-        let node: *mut Self = Box::into_raw(Box::new(Node {
-            value: P::Word::<u64>::new(value),
+    fn layout() -> NodeLayout {
+        let probe = Node::<P> {
+            value: P::Word::<u64>::new(0),
             next: P::Word::<usize>::new(0),
-        }));
+        };
+        let base = &probe as *const Node<P> as usize;
+        NodeLayout {
+            value: probe.value.addr() - base,
+            next: probe.next.addr() - base,
+        }
+    }
+
+    /// Allocate a node from the arena and persist its initial contents (value +
+    /// null `next`) according to `flag`, so the publishing CAS can depend on them.
+    fn alloc(policy: &P, arena: &Arena, value: u64, flag: PFlag) -> *mut Self {
+        let node: *mut Self = arena.alloc_init(
+            policy.backend(),
+            Node {
+                value: P::Word::<u64>::new(value),
+                next: P::Word::<usize>::new(0),
+            },
+        );
         let node_ref = unsafe { &*node };
         // The node is still private: volatile private stores record the words with
         // the backend (for crash tracking) without flushing, then one persist of the
-        // whole node (a single flush + fence — both words share its cache lines)
-        // makes it durable before the publishing CAS can depend on it.
+        // whole node (a single flush + fence — the slot is cache-line aligned, so
+        // both words always share one line) makes it durable before the publishing
+        // CAS can depend on it.
         node_ref.value.store_private(policy, value, PFlag::Volatile);
         node_ref.next.store_private(policy, 0, PFlag::Volatile);
         policy.persist_object(node_ref, flag);
@@ -73,17 +104,35 @@ impl<P: Policy> Node<P> {
     }
 }
 
-/// The queue's root pointers. Boxed so their addresses are stable from the moment
-/// they are first persisted (the `MsQueue` struct itself may move after `new`).
+/// The queue's root pointers, allocated in their own arena slot so recovery can
+/// find them through the root table.
 struct Roots<P: Policy> {
     head: P::Word<usize>,
     tail: P::Word<usize>,
 }
 
+/// Byte offsets of the root words within the roots slot.
+struct RootsLayout {
+    head: usize,
+}
+
+impl<P: Policy> Roots<P> {
+    fn layout() -> RootsLayout {
+        let probe = Roots::<P> {
+            head: P::Word::<usize>::new(0),
+            tail: P::Word::<usize>::new(0),
+        };
+        RootsLayout {
+            head: probe.head.addr() - &probe as *const Roots<P> as usize,
+        }
+    }
+}
+
 /// Michael–Scott lock-free FIFO queue over persistence policy `P` and durability
 /// method `D`.
 pub struct MsQueue<P: Policy, D: Durability> {
-    roots: Box<Roots<P>>,
+    roots: *mut Roots<P>,
+    arena: Arc<Arena>,
     policy: P,
     collector: Collector,
     _durability: PhantomData<D>,
@@ -107,59 +156,93 @@ pub struct RecoveredQueue {
 }
 
 impl<P: Policy, D: Durability> MsQueue<P, D> {
-    /// Create an empty queue using `policy` for persistence. The sentinel node and
-    /// the root pointers are persisted immediately, so a crash right after
-    /// construction recovers to an empty queue rather than garbage.
+    /// Create an empty queue using `policy` for persistence, with its own arena.
+    /// The sentinel node and the root-pointer slot are persisted — and the roots
+    /// registered under [`roots::QUEUE_ROOTS`] — before the constructor returns,
+    /// so a crash at *any* construction event recovers to either "no queue yet"
+    /// or the empty queue, never garbage.
     pub fn new(policy: P) -> Self {
-        let sentinel = Node::<P>::alloc(&policy, 0, PFlag::Persisted) as usize;
-        let roots: Box<Roots<P>> = Box::new(Roots {
-            head: P::Word::<usize>::new(sentinel),
-            tail: P::Word::<usize>::new(sentinel),
-        });
-        roots.head.store_private(&policy, sentinel, PFlag::Volatile);
-        roots.tail.store_private(&policy, sentinel, PFlag::Volatile);
-        policy.persist_object(roots.as_ref(), PFlag::Persisted);
+        let arena = Arc::new(Arena::for_slots_of::<Node<P>, _>(
+            policy.backend(),
+            QUEUE_CHUNK_SLOTS,
+        ));
+        let sentinel = Node::<P>::alloc(&policy, &arena, 0, PFlag::Persisted) as usize;
+        let roots: *mut Roots<P> = arena.alloc_init(
+            policy.backend(),
+            Roots {
+                head: P::Word::<usize>::new(sentinel),
+                tail: P::Word::<usize>::new(sentinel),
+            },
+        );
+        let roots_ref = unsafe { &*roots };
+        roots_ref
+            .head
+            .store_private(&policy, sentinel, PFlag::Volatile);
+        roots_ref
+            .tail
+            .store_private(&policy, sentinel, PFlag::Volatile);
+        policy.persist_object(roots_ref, PFlag::Persisted);
+        arena.register_root(policy.backend(), roots::QUEUE_ROOTS, roots as usize);
         Self {
             roots,
+            arena,
             policy,
             collector: Collector::new(),
             _durability: PhantomData,
         }
     }
 
-    /// The EBR collector used by this queue. Crash tests pin a guard on it for the
-    /// duration of a run so that recovery can dereference nodes that concurrent
-    /// dequeuers have already retired.
+    #[inline]
+    fn roots(&self) -> &Roots<P> {
+        // SAFETY: the roots slot is allocated in `new` and lives as long as the
+        // arena, which `self` keeps alive.
+        unsafe { &*self.roots }
+    }
+
+    /// The EBR collector used by this queue.
     pub fn collector(&self) -> &Collector {
         &self.collector
     }
 
+    /// The arena this queue allocates nodes from.
+    pub fn arena(&self) -> &Arc<Arena> {
+        &self.arena
+    }
+
     /// The address of the persisted `head` root word (used by crash tests).
     pub fn head_addr(&self) -> usize {
-        self.roots.head.addr()
+        self.roots().head.addr()
     }
 
     /// The address of the persisted `tail` root word (used by crash tests).
     pub fn tail_addr(&self) -> usize {
-        self.roots.tail.addr()
+        self.roots().tail.addr()
+    }
+
+    /// Retire the old sentinel through the collector: its slot returns to the
+    /// arena's recycle list once no pinned thread can still reach it.
+    fn retire(&self, guard: &Guard<'_>, node: *mut Node<P>) {
+        // SAFETY: the node was unlinked by the head CAS before retirement and is
+        // retired once.
+        unsafe { self.arena.defer_recycle(guard, node as usize) };
     }
 
     fn enqueue_impl(&self, value: u64) {
         let _guard = self.collector.pin();
-        let node = Node::<P>::alloc(&self.policy, value, D::STORE) as usize;
+        let node = Node::<P>::alloc(&self.policy, &self.arena, value, D::STORE) as usize;
         loop {
-            let tail = self.roots.tail.load(&self.policy, D::TRAVERSAL_LOAD);
+            let tail = self.roots().tail.load(&self.policy, D::TRAVERSAL_LOAD);
             let tail_node = unsafe { &*(tail as *const Node<P>) };
             let next = tail_node.next.load(&self.policy, D::CRITICAL_LOAD);
-            if tail != self.roots.tail.load(&self.policy, D::TRAVERSAL_LOAD) {
+            if tail != self.roots().tail.load(&self.policy, D::TRAVERSAL_LOAD) {
                 continue;
             }
             if next != 0 {
                 // Tail is lagging: help swing it forward and retry.
-                let _ = self
-                    .roots
-                    .tail
-                    .compare_exchange(&self.policy, tail, next, D::INDEX_STORE);
+                let _ =
+                    self.roots()
+                        .tail
+                        .compare_exchange(&self.policy, tail, next, D::INDEX_STORE);
                 continue;
             }
             if tail_node
@@ -169,10 +252,10 @@ impl<P: Policy, D: Durability> MsQueue<P, D> {
             {
                 // Linearization point. The tail swing is best-effort index
                 // maintenance; any thread can complete it.
-                let _ = self
-                    .roots
-                    .tail
-                    .compare_exchange(&self.policy, tail, node, D::INDEX_STORE);
+                let _ =
+                    self.roots()
+                        .tail
+                        .compare_exchange(&self.policy, tail, node, D::INDEX_STORE);
                 self.policy.operation_completion();
                 return;
             }
@@ -182,10 +265,10 @@ impl<P: Policy, D: Durability> MsQueue<P, D> {
     fn dequeue_impl(&self) -> Option<u64> {
         let guard = self.collector.pin();
         loop {
-            let head = self.roots.head.load(&self.policy, D::TRAVERSAL_LOAD);
+            let head = self.roots().head.load(&self.policy, D::TRAVERSAL_LOAD);
             let head_node = unsafe { &*(head as *const Node<P>) };
             let next = head_node.next.load(&self.policy, D::CRITICAL_LOAD);
-            if head != self.roots.head.load(&self.policy, D::TRAVERSAL_LOAD) {
+            if head != self.roots().head.load(&self.policy, D::TRAVERSAL_LOAD) {
                 continue;
             }
             if next == 0 {
@@ -197,27 +280,26 @@ impl<P: Policy, D: Durability> MsQueue<P, D> {
                 self.policy.operation_completion();
                 return None;
             }
-            let tail = self.roots.tail.load(&self.policy, D::TRAVERSAL_LOAD);
+            let tail = self.roots().tail.load(&self.policy, D::TRAVERSAL_LOAD);
             if head == tail {
                 // Tail is lagging behind the node we are about to expose: help.
-                let _ = self
-                    .roots
-                    .tail
-                    .compare_exchange(&self.policy, tail, next, D::INDEX_STORE);
+                let _ =
+                    self.roots()
+                        .tail
+                        .compare_exchange(&self.policy, tail, next, D::INDEX_STORE);
                 continue;
             }
             let next_node = unsafe { &*(next as *const Node<P>) };
             let value = next_node.value.load(&self.policy, D::CRITICAL_LOAD);
             if self
-                .roots
+                .roots()
                 .head
                 .compare_exchange(&self.policy, head, next, D::STORE)
                 .is_ok()
             {
                 // Linearization point: `next` is the new sentinel, the old one is
                 // unreachable for new operations.
-                // SAFETY: `head` was just unlinked by the CAS above.
-                unsafe { guard.defer_destroy(head as *mut Node<P>) };
+                self.retire(&guard, head as *mut Node<P>);
                 self.policy.operation_completion();
                 return Some(value);
             }
@@ -227,7 +309,7 @@ impl<P: Policy, D: Durability> MsQueue<P, D> {
     fn len_impl(&self) -> usize {
         // Quiescent-state traversal: counts nodes after the sentinel.
         let mut count = 0;
-        let mut cur = unsafe { &*(self.roots.head.load_direct() as *const Node<P>) }
+        let mut cur = unsafe { &*(self.roots().head.load_direct() as *const Node<P>) }
             .next
             .load_direct();
         while cur != 0 {
@@ -241,7 +323,7 @@ impl<P: Policy, D: Durability> MsQueue<P, D> {
     /// only; used by tests to compare against [`recover`](Self::recover).
     pub fn volatile_contents(&self) -> Vec<u64> {
         let mut values = Vec::new();
-        let mut cur = unsafe { &*(self.roots.head.load_direct() as *const Node<P>) }
+        let mut cur = unsafe { &*(self.roots().head.load_direct() as *const Node<P>) }
             .next
             .load_direct();
         while cur != 0 {
@@ -252,29 +334,44 @@ impl<P: Policy, D: Durability> MsQueue<P, D> {
         values
     }
 
-    /// Reconstruct the durable queue from an adversarial crash image: read the
-    /// persisted `head` word, then walk persisted `next` links collecting persisted
-    /// value words, stopping at the first link the image does not contain (the end of
-    /// the persisted prefix).
-    ///
-    /// # Safety
-    /// Every node pointer stored in the image's `head`/`next` words must still be a
-    /// live allocation of this queue. That holds when the caller (a) runs in
-    /// quiescence and (b) has pinned [`Self::collector`] since before the first
-    /// operation, so that no retired sentinel has been reclaimed.
-    pub unsafe fn recover(&self, image: &CrashImage) -> RecoveredQueue {
+    /// Reconstruct the durable queue **purely from the crash image and the
+    /// arena's root table**: find the root-pointer slot through
+    /// [`roots::QUEUE_ROOTS`], read the persisted `head` word, then walk persisted
+    /// `next` links collecting persisted value words, stopping at the first link
+    /// the image does not contain (the end of the persisted prefix). No live
+    /// memory is touched. An absent root means the queue was not durably
+    /// constructed at the crash point: empty queue.
+    pub fn recover_in_image(arena: &Arena, image: &CrashImage) -> RecoveredQueue {
         let mut values = Vec::new();
-        let Some(head) = image.read(self.roots.head.addr()) else {
-            // The head root was never persisted: nothing can be recovered. Flagged as
-            // truncation so tests on persistent variants catch it.
+        let Some(roots_slot) = arena.root_in_image(image, roots::QUEUE_ROOTS) else {
+            return RecoveredQueue {
+                values,
+                truncated: false,
+            };
+        };
+        let node_layout = Node::<P>::layout();
+        let roots_layout = Roots::<P>::layout();
+        let Some(head) = image.read(roots_slot + roots_layout.head) else {
+            // The roots slot is persisted before its registration; a registered
+            // root without a head word is an inconsistent image.
             return RecoveredQueue {
                 values,
                 truncated: true,
             };
         };
-        let mut cur = head as usize as *const Node<P>;
+        // Corrupt images (the broken control's) can contain pointer loops; bound
+        // the walk by the image size so recovery always terminates.
+        let mut budget = image.len() + 2;
+        let mut cur = head as usize;
         loop {
-            let next = match image.read(unsafe { &*cur }.next.addr()) {
+            if budget == 0 || !arena.contains(cur) {
+                return RecoveredQueue {
+                    values,
+                    truncated: true,
+                };
+            }
+            budget -= 1;
+            let next = match image.read(cur + node_layout.next) {
                 // Link never persisted (or persisted as null): the persisted prefix
                 // ends here.
                 None | Some(0) => {
@@ -285,8 +382,13 @@ impl<P: Policy, D: Durability> MsQueue<P, D> {
                 }
                 Some(ptr) => ptr as usize,
             };
-            let node = next as *const Node<P>;
-            match image.read(unsafe { &*node }.value.addr()) {
+            if !arena.contains(next) {
+                return RecoveredQueue {
+                    values,
+                    truncated: true,
+                };
+            }
+            match image.read(next + node_layout.value) {
                 Some(v) => values.push(v),
                 None => {
                     // Reachable through a persisted link but value not persisted:
@@ -297,8 +399,14 @@ impl<P: Policy, D: Durability> MsQueue<P, D> {
                     };
                 }
             }
-            cur = node;
+            cur = next;
         }
+    }
+
+    /// Image-only recovery through this queue's own arena; see
+    /// [`recover_in_image`](Self::recover_in_image).
+    pub fn recover(&self, image: &CrashImage) -> RecoveredQueue {
+        Self::recover_in_image(&self.arena, image)
     }
 }
 
@@ -326,20 +434,9 @@ impl<P: Policy, D: Durability> ConcurrentQueue<P> for MsQueue<P, D> {
     }
 }
 
-impl<P: Policy, D: Durability> Drop for MsQueue<P, D> {
-    fn drop(&mut self) {
-        // Single-threaded teardown: free the sentinel and every queued node. Retired
-        // (already dequeued) nodes are freed by the collector's own drop.
-        let mut cur = self.roots.head.load_direct();
-        while cur != 0 {
-            let next = unsafe { &*(cur as *const Node<P>) }.next.load_direct();
-            // SAFETY: teardown is single-threaded and each reachable node is freed
-            // exactly once.
-            unsafe { drop(Box::from_raw(cur as *mut Node<P>)) };
-            cur = next;
-        }
-    }
-}
+// No `Drop` impl: nodes and the roots slot are plain data in arena slots,
+// reclaimed wholesale when the last `Arc<Arena>` (and the collector, whose
+// deferred recycles hold clones of it) goes away.
 
 #[cfg(test)]
 mod tests {
@@ -600,7 +697,7 @@ mod tests {
         assert_eq!(q.dequeue(), Some(1));
 
         let image = nvram.tracker().unwrap().crash_image();
-        let recovered = unsafe { q.recover(&image) };
+        let recovered = q.recover(&image);
         assert!(!recovered.truncated);
         assert_eq!(recovered.values, vec![4, 1, 5, 9, 2, 6]);
         assert_eq!(recovered.values, q.volatile_contents());
@@ -617,7 +714,7 @@ mod tests {
             q.enqueue(v);
         }
         let image = nvram.tracker().unwrap().crash_image();
-        let recovered = unsafe { q.recover(&image) };
+        let recovered = q.recover(&image);
         assert!(!recovered.truncated);
         assert_eq!(recovered.values, (100..150).collect::<Vec<_>>());
         // The tail root may well be stale in the image — that is the point of

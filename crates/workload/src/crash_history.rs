@@ -12,7 +12,12 @@
 //!
 //! Determinism is the whole point: a history replayed against a fresh tracking
 //! backend produces the identical persistence-event stream every time, which is what
-//! makes "crash at event N" a complete reproduction recipe.
+//! makes "crash at event N" a complete reproduction recipe. Since the structures
+//! allocate from `flit-alloc` arenas, that stream is additionally
+//! *layout-independent* — the same history yields byte-identical absolute event
+//! indices across runs, processes and machines, and the sweep engine extends its
+//! crash points over the structure-construction window that precedes the first
+//! operation of every history here.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

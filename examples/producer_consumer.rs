@@ -60,7 +60,7 @@ fn main() {
     queue.dequeue();
     queue.dequeue();
     let image = nvram.tracker().unwrap().crash_image();
-    let recovered = unsafe { queue.recover(&image) };
+    let recovered = queue.recover(&image);
     println!("  enqueued 11,22,...,88 then dequeued twice");
     println!(
         "  recovered after crash: {:?} (truncated: {})",

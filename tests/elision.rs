@@ -66,9 +66,9 @@ fn untagged_read_only_operation_completes_with_zero_fences() {
 }
 
 /// Figure 9 invariance: plain opts out of read-flush dedup, so its `pwb` stream is
-/// bit-identical across elision modes. Driven on bare words (map runs are not
-/// byte-identical across processes because `persist_object` flush counts depend on
-/// allocator cache-line straddling).
+/// bit-identical across elision modes. Driven on bare words for a closed-form
+/// expected count (map runs go through arena slots and `operation_completion`,
+/// whose fence elision is exactly what the next test measures).
 #[test]
 fn plain_pwbs_per_op_are_unchanged_by_elision() {
     let run = |elision| {
@@ -140,6 +140,49 @@ fn epoch_state_is_keyed_per_backend_instance() {
     assert_eq!(a.stats().pfences(), 1);
     // And B's fence must not have cleaned A's epoch before A fenced.
     assert_eq!(a.stats().elided_pfences(), 0);
+}
+
+/// The dedup ABA window is closed (ROADMAP, PR 3): every dedup entry carries the
+/// backend's store version at flush time, and a hit requires the version to be
+/// unchanged. Any store recorded in between — such as a remote thread's
+/// overwrite-and-restore of the very word being deduped — invalidates the entry,
+/// so the stale-snapshot elision can no longer happen. Unconditionally sound.
+#[test]
+fn dedup_entries_are_invalidated_by_any_intervening_store() {
+    let nvram = backend_with(ElisionMode::Enabled);
+    let x = 7u64;
+    let addr = &x as *const u64 as *const u8;
+
+    assert!(nvram.pwb_dedup(addr, 7), "first flush is real");
+    assert!(
+        !nvram.pwb_dedup(addr, 7),
+        "same epoch, no intervening store: dedup hit"
+    );
+
+    // A "remote" overwrite-and-restore: two stores recorded through the backend
+    // without any fence on this thread. The observed value is unchanged, but the
+    // store version is not — the dedup entry must be dead.
+    let y = 0u64;
+    nvram.record_store(&y as *const u64 as *const u8, 1);
+    nvram.record_store(&y as *const u64 as *const u8, 7);
+    assert!(
+        nvram.pwb_dedup(addr, 7),
+        "a version bump must force a re-flush: the ABA window is closed"
+    );
+    assert_eq!(nvram.stats().elided_pwbs(), 1, "exactly one (sound) dedup");
+
+    // Version stamping composes with tracking backends too: there the stamp is
+    // the tracker's own store counter.
+    let tracked = SimNvram::for_crash_testing();
+    let z = 3u64;
+    let zaddr = &z as *const u64 as *const u8;
+    assert!(tracked.pwb_dedup(zaddr, 3));
+    assert!(!tracked.pwb_dedup(zaddr, 3));
+    tracked.record_store(&y as *const u64 as *const u8, 9);
+    assert!(
+        tracked.pwb_dedup(zaddr, 3),
+        "tracker version bump re-flushes"
+    );
 }
 
 #[test]

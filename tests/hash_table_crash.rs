@@ -6,7 +6,7 @@
 
 use flit::{presets, FlitPolicy, HashedScheme};
 use flit_crashtest::{run_case, HistorySpec, MethodKind, PolicyKind, StructureKind, SweepSettings};
-use flit_datastructs::{Automatic, ConcurrentMap, HashTable, MapCrashRecovery};
+use flit_datastructs::{Automatic, ConcurrentMap, HashTable};
 use flit_pmem::SimNvram;
 
 type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
@@ -17,7 +17,6 @@ type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
 fn quiescent_crash_image_recovers_the_exact_table() {
     let nvram = SimNvram::for_crash_testing();
     let table: HashTable<HtPolicy, Automatic> = HashTable::new(presets::flit_ht(nvram.clone()), 64);
-    let _guards: Vec<_> = table.pin_for_recovery();
 
     for k in 0..100u64 {
         assert!(table.insert(k, 1000 + k));
@@ -29,8 +28,8 @@ fn quiescent_crash_image_recovers_the_exact_table() {
     assert!(table.insert(3, 7777));
 
     let image = nvram.tracker().unwrap().crash_image();
-    // SAFETY: quiescent, all bucket collectors pinned since before the first op.
-    let recovered = unsafe { table.recover(&image) };
+    // Image-only: recovery needs nothing from the live structure but its arena.
+    let recovered = table.recover(&image);
     assert!(
         !recovered.truncated,
         "every bucket walk must stay persisted"

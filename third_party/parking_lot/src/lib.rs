@@ -1,10 +1,11 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
-//! Provides the one type this workspace uses — [`Mutex`] with `parking_lot`'s
-//! non-poisoning `lock()` signature — implemented over `std::sync::Mutex`. The real
-//! crate is faster under contention; the call sites here (the persistence tracker's
-//! shard locks) only require the API shape, so the std implementation is a faithful
-//! substitute. Swapping the real crate back in is a one-line `Cargo.toml` change.
+//! Provides the two types this workspace uses — [`Mutex`] and [`RwLock`] with
+//! `parking_lot`'s non-poisoning signatures — implemented over their `std::sync`
+//! counterparts. The real crate is faster under contention; the call sites here
+//! (the persistence tracker's shard locks, the arena allocator's chunk table) only
+//! require the API shape, so the std implementation is a faithful substitute.
+//! Swapping the real crate back in is a one-line `Cargo.toml` change.
 
 #![warn(missing_docs)]
 
@@ -65,10 +66,82 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader–writer lock with `parking_lot`'s API: `read()`/`write()` return their
+/// guards directly (a poisoned std lock is recovered transparently, matching
+/// `parking_lot`'s no-poisoning semantics).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// RAII guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// RAII guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Create a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock and return the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access, blocking until available. Never panics on
+    /// poison.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquire exclusive write access, blocking until available. Never panics on
+    /// poison.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = RwLock::new(7);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(*r1 + *r2, 14);
+        }
+        *l.write() = 8;
+        assert_eq!(*l.read(), 8);
+        assert_eq!(l.into_inner(), 8);
+    }
 
     #[test]
     fn lock_round_trip() {
