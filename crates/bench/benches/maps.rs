@@ -4,7 +4,7 @@
 //! each persistence variant on real data-structure code paths.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use flit::{presets, FlitPolicy, HashedScheme, PlainScheme};
+use flit::{FlitDb, FlitPolicy, HashedScheme, PlainScheme};
 use flit_datastructs::{Automatic, ConcurrentMap, HarrisList, HashTable, NatarajanTree, SkipList};
 use flit_pmem::{LatencyModel, SimNvram};
 use std::hint::black_box;
@@ -19,9 +19,11 @@ fn backend() -> SimNvram {
 const KEYS: u64 = 1024;
 
 fn bench_map<M: ConcurrentMap<FlitPolicy<HashedScheme, SimNvram>>>(c: &mut Criterion, label: &str) {
-    let map = M::with_capacity(presets::flit_ht(backend()), KEYS as usize);
+    let db = FlitDb::flit_ht(backend());
+    let h = db.handle();
+    let map = M::with_capacity(&db, KEYS as usize);
     for k in (0..KEYS).step_by(2) {
-        map.insert(k, k);
+        map.insert(&h, k, k);
     }
     let mut group = c.benchmark_group(format!("maps/{label}/flit-HT"));
     group.sample_size(20);
@@ -31,14 +33,14 @@ fn bench_map<M: ConcurrentMap<FlitPolicy<HashedScheme, SimNvram>>>(c: &mut Crite
     group.bench_function("get", |b| {
         b.iter(|| {
             key = (key + 7) % KEYS;
-            black_box(map.get(key))
+            black_box(map.get(&h, key))
         })
     });
     group.bench_function("insert-remove", |b| {
         b.iter(|| {
             key = (key + 13) % KEYS;
-            if !map.insert(key, key) {
-                map.remove(key);
+            if !map.insert(&h, key, key) {
+                map.remove(&h, key);
             }
         })
     });
@@ -48,10 +50,12 @@ fn bench_map<M: ConcurrentMap<FlitPolicy<HashedScheme, SimNvram>>>(c: &mut Crite
 fn bench_plain_bst(c: &mut Criterion) {
     // The same BST under the plain policy, to show the read-path flush overhead on
     // real traversals even with a free latency model removed (counter accesses only).
+    let db = FlitDb::plain(backend());
+    let h = db.handle();
     let map: NatarajanTree<FlitPolicy<PlainScheme, SimNvram>, Automatic> =
-        NatarajanTree::with_capacity(presets::plain(backend()), KEYS as usize);
+        NatarajanTree::with_capacity(&db, KEYS as usize);
     for k in (0..KEYS).step_by(2) {
-        map.insert(k, k);
+        map.insert(&h, k, k);
     }
     let mut group = c.benchmark_group("maps/bst/plain");
     group.sample_size(20);
@@ -61,7 +65,7 @@ fn bench_plain_bst(c: &mut Criterion) {
     group.bench_function("get", |b| {
         b.iter(|| {
             key = (key + 7) % KEYS;
-            black_box(map.get(key))
+            black_box(map.get(&h, key))
         })
     });
     group.finish();

@@ -8,7 +8,7 @@
 //! read-only path per policy preset.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use flit::{presets, FlitPolicy, HashedScheme, PFlag, PersistWord, PlainPolicy, Policy};
+use flit::{FlitDb, FlitPolicy, HashedScheme, PFlag, PersistWord, PlainPolicy, Policy};
 use flit_datastructs::Automatic;
 use flit_pmem::{LatencyModel, SimNvram};
 use flit_queues::{ConcurrentQueue, MsQueue};
@@ -28,7 +28,8 @@ fn bench_primitives(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(500));
 
     // flit-HT
-    let ht = presets::flit_ht(backend());
+    let ht_db = FlitDb::flit_ht(backend());
+    let ht = ht_db.handle();
     let w_ht = <FlitPolicy<HashedScheme, SimNvram> as Policy>::Word::<u64>::new(1);
     group.bench_function("flit-HT/p-load-untagged", |b| {
         b.iter(|| black_box(w_ht.load(&ht, PFlag::Persisted)))
@@ -41,7 +42,8 @@ fn bench_primitives(c: &mut Criterion) {
     });
 
     // flit-adjacent
-    let adj = presets::flit_adjacent(backend());
+    let adj_db = FlitDb::flit_adjacent(backend());
+    let adj = adj_db.handle();
     let w_adj = <flit::FlitPolicy<flit::AdjacentScheme, SimNvram> as Policy>::Word::<u64>::new(1);
     group.bench_function("flit-adjacent/p-load-untagged", |b| {
         b.iter(|| black_box(w_adj.load(&adj, PFlag::Persisted)))
@@ -51,7 +53,8 @@ fn bench_primitives(c: &mut Criterion) {
     });
 
     // plain
-    let plain = presets::plain(backend());
+    let plain_db = FlitDb::plain(backend());
+    let plain = plain_db.handle();
     let w_plain = <PlainPolicy<SimNvram> as Policy>::Word::<u64>::new(1);
     group.bench_function("plain/p-load", |b| {
         b.iter(|| black_box(w_plain.load(&plain, PFlag::Persisted)))
@@ -61,7 +64,8 @@ fn bench_primitives(c: &mut Criterion) {
     });
 
     // link-and-persist
-    let lp = presets::link_and_persist(backend());
+    let lp_db = FlitDb::link_and_persist(backend());
+    let lp = lp_db.handle();
     let w_lp = <flit::LinkAndPersistPolicy<SimNvram> as Policy>::Word::<u64>::new(1);
     group.bench_function("link-and-persist/p-load-clean", |b| {
         b.iter(|| black_box(w_lp.load(&lp, PFlag::Persisted)))
@@ -71,7 +75,8 @@ fn bench_primitives(c: &mut Criterion) {
     });
 
     // non-persistent baseline
-    let np = presets::no_persist();
+    let np_db = FlitDb::no_persist();
+    let np = np_db.handle();
     let w_np = <flit::NoPersistPolicy as Policy>::Word::<u64>::new(1);
     group.bench_function("non-persistent/load", |b| {
         b.iter(|| black_box(w_np.load(&np, PFlag::Persisted)))
@@ -90,43 +95,50 @@ fn bench_queue_ops(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(500));
 
     // Enqueue+dequeue pair: the steady-state cost of one value through the queue.
-    let ht: MsQueue<FlitPolicy<HashedScheme, SimNvram>, Automatic> =
-        MsQueue::with_policy(presets::flit_ht(backend()));
+    let ht_db = FlitDb::flit_ht(backend());
+    let h_ht = ht_db.handle();
+    let ht: MsQueue<FlitPolicy<HashedScheme, SimNvram>, Automatic> = MsQueue::in_db(&ht_db);
     group.bench_function("flit-HT/enqueue-dequeue", |b| {
         b.iter(|| {
-            ht.enqueue(black_box(7));
-            black_box(ht.dequeue())
+            ht.enqueue(&h_ht, black_box(7));
+            black_box(ht.dequeue(&h_ht))
         })
     });
 
-    let plain: MsQueue<PlainPolicy<SimNvram>, Automatic> =
-        MsQueue::with_policy(presets::plain(backend()));
+    let plain_db = FlitDb::plain(backend());
+    let h_plain = plain_db.handle();
+    let plain: MsQueue<PlainPolicy<SimNvram>, Automatic> = MsQueue::in_db(&plain_db);
     group.bench_function("plain/enqueue-dequeue", |b| {
         b.iter(|| {
-            plain.enqueue(black_box(7));
-            black_box(plain.dequeue())
+            plain.enqueue(&h_plain, black_box(7));
+            black_box(plain.dequeue(&h_plain))
         })
     });
 
-    let np: MsQueue<flit::NoPersistPolicy, Automatic> = MsQueue::with_policy(presets::no_persist());
+    let np_db = FlitDb::no_persist();
+    let h_np = np_db.handle();
+    let np: MsQueue<flit::NoPersistPolicy, Automatic> = MsQueue::in_db(&np_db);
     group.bench_function("non-persistent/enqueue-dequeue", |b| {
         b.iter(|| {
-            np.enqueue(black_box(7));
-            black_box(np.dequeue())
+            np.enqueue(&h_np, black_box(7));
+            black_box(np.dequeue(&h_np))
         })
     });
 
     // Dequeue-of-empty: pure read-side path, where FliT elides every flush and the
     // plain transformation pays a pwb per p-load.
+    let ht_empty_db = FlitDb::flit_ht(backend());
+    let h_ht_empty = ht_empty_db.handle();
     let ht_empty: MsQueue<FlitPolicy<HashedScheme, SimNvram>, Automatic> =
-        MsQueue::with_policy(presets::flit_ht(backend()));
+        MsQueue::in_db(&ht_empty_db);
     group.bench_function("flit-HT/dequeue-empty", |b| {
-        b.iter(|| black_box(ht_empty.dequeue()))
+        b.iter(|| black_box(ht_empty.dequeue(&h_ht_empty)))
     });
-    let plain_empty: MsQueue<PlainPolicy<SimNvram>, Automatic> =
-        MsQueue::with_policy(presets::plain(backend()));
+    let plain_empty_db = FlitDb::plain(backend());
+    let h_plain_empty = plain_empty_db.handle();
+    let plain_empty: MsQueue<PlainPolicy<SimNvram>, Automatic> = MsQueue::in_db(&plain_empty_db);
     group.bench_function("plain/dequeue-empty", |b| {
-        b.iter(|| black_box(plain_empty.dequeue()))
+        b.iter(|| black_box(plain_empty.dequeue(&h_plain_empty)))
     });
 
     group.finish();

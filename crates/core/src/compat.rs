@@ -1,0 +1,49 @@
+//! Compatibility shims for the pre-handle (ambient-thread) API.
+//!
+//! The explicit-handle redesign removed every `thread_local!` from the hot path:
+//! persist-epoch state and EBR participation are owned by [`FlitHandle`] values,
+//! never by OS threads. This module is the **one designated place** where
+//! thread-keyed conveniences are allowed to live — CI greps the workspace and
+//! rejects `thread_local!` anywhere outside this file, so any future ambient
+//! state has to land here, visibly, with this module's caveats.
+//!
+//! The only shim currently needed is [`pin_current_thread`], a thin alias for
+//! [`FlitDb::handle`] kept so examples and migration diffs read naturally
+//! ("give the current thread a session"). It deliberately does **not** cache the
+//! handle in a thread-local: a cached ambient handle is exactly the pattern the
+//! redesign removed (it would resurrect the slot-leak and make interleavings
+//! unsteppable). Creating a handle is cheap — no persistence events, one slot
+//! pop — so per-scope creation is the intended usage.
+
+use crate::db::{FlitDb, FlitHandle};
+use crate::policy::Policy;
+
+/// Register a session for the calling thread: a readable alias for
+/// [`FlitDb::handle`] used by examples and by code migrating from the ambient
+/// API. Create one per thread (or per scope) and thread it through operations:
+///
+/// ```
+/// use flit::{compat, FlitDb};
+/// use flit_pmem::SimNvram;
+///
+/// let db = FlitDb::flit_ht(SimNvram::default());
+/// let h = compat::pin_current_thread(&db);
+/// h.operation_completion();
+/// ```
+pub fn pin_current_thread<'db, P: Policy>(db: &'db FlitDb<P>) -> FlitHandle<'db, P> {
+    db.handle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flit_pmem::SimNvram;
+
+    #[test]
+    fn pin_current_thread_is_a_handle() {
+        let db = FlitDb::flit_ht(SimNvram::for_counting());
+        let h = pin_current_thread(&db);
+        assert_eq!(h.db_id(), db.id());
+        assert!(!h.is_dirty());
+    }
+}

@@ -1,0 +1,580 @@
+//! The explicit-handle facade: [`FlitDb`] and [`FlitHandle`].
+//!
+//! The paper's P-V Interface (§3, §5) is stated per *process*: which fences a
+//! thread may elide and which flushes it may dedup depend on per-thread
+//! persistence state. Earlier revisions of this workspace buried that state in
+//! thread-locals (`flit_pmem::epoch`, `flit-ebr`'s slot cache), which made thread
+//! identity ambient — nothing outside a thread could observe, step, or interleave
+//! its persistence events, so deterministic multi-threaded crash sweeps were
+//! structurally impossible. Memento's `PoolHandle`/`Handle` design shows the
+//! alternative, adopted here:
+//!
+//! * **[`FlitDb`]** is the facade owning everything shared: the persistence
+//!   [`Policy`] (scheme + backend), the EBR [`Collector`] all structures retire
+//!   through, and the registry of [`Arena`]s (each with its persisted header and
+//!   recovery-root table) the structures allocate from. `FlitDb::create` /
+//!   [`FlitDb::open`] replace the scattered policy/arena/root plumbing;
+//!   [`FlitDb::recover`] reports the durably-constructed roots in a
+//!   [`CrashImage`].
+//! * **[`FlitHandle`]** is an explicit per-logical-thread session: it bundles the
+//!   [`PersistEpoch`] (fence-elision dirty count + flush-dedup set) and an EBR
+//!   [`LocalHandle`] (participant slot), and exposes the backend as a
+//!   [`PmemSession`] so every persistence instruction is attributed to exactly
+//!   one handle. **Every data-structure operation takes `&FlitHandle`**
+//!   (`map.insert(&h, k, v)`).
+//!
+//! Because a handle is a value — `Send`, not `Sync`, independent of the OS
+//! thread — a controlled scheduler can own N handles and step them round-robin
+//! on one OS thread at operation granularity, with each handle's fences and
+//! flushes eliding independently, deterministically, and reproducibly. That is
+//! exactly what `flit-crashtest`'s round-robin harness does.
+//!
+//! ## Handle lifecycle
+//!
+//! * [`FlitDb::handle`] registers a fresh handle (an EBR slot is claimed, no
+//!   persistence events are generated).
+//! * Operations pin through [`FlitHandle::pin`] and issue instructions through
+//!   [`FlitHandle::pmem`].
+//! * Dropping a handle: if the handle is *dirty* (it issued `pwb`s not yet
+//!   fenced — possible only when the caller abandoned it mid-operation), a
+//!   trailing `pfence` is issued so nothing the handle flushed is left
+//!   un-committed; the EBR slot returns to the collector's free list for the
+//!   next handle. Nothing else needs cleanup — the epoch state dies with the
+//!   value (this replaces the old thread-keyed purge heuristics).
+//!
+//! ## Migration from the free-function style
+//!
+//! | old | new |
+//! |---|---|
+//! | `presets::flit_ht(backend)` + `Map::with_capacity(policy, n)` | [`FlitDb::flit_ht`]`(backend)` + `Map::with_capacity(&db, n)` |
+//! | `map.insert(k, v)` | `map.insert(&h, k, v)` with `let h = db.handle();` |
+//! | `policy.operation_completion()` | [`FlitHandle::operation_completion`] |
+//! | `policy.persist_object(&node, flag)` | [`FlitHandle::persist_object`] |
+//! | `structure.collector().pin()` | [`FlitHandle::pin`] |
+//! | (implicit per-thread epoch) | [`FlitHandle::epoch`] |
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use flit_alloc::{Arena, ImageHeader};
+use flit_ebr::{Collector, Guard, LocalHandle};
+use flit_pmem::{
+    cache_line_of, CrashImage, ElisionMode, PersistEpoch, PmemBackend, PmemSession, StatsSnapshot,
+    CACHE_LINE_SIZE,
+};
+
+use crate::pflag::PFlag;
+use crate::policy::Policy;
+
+static NEXT_DB_ID: AtomicU64 = AtomicU64::new(1);
+
+struct DbInner<P: Policy> {
+    policy: P,
+    collector: Collector,
+    arenas: Mutex<Vec<Arc<Arena>>>,
+    id: u64,
+    handles_created: AtomicU64,
+}
+
+/// The facade owning a database's shared state: policy (scheme + backend), the
+/// EBR collector, and the arena registry. Cheap to clone (reference counted);
+/// structures hold a clone, handles borrow one. See the module docs.
+pub struct FlitDb<P: Policy> {
+    inner: Arc<DbInner<P>>,
+}
+
+impl<P: Policy> Clone for FlitDb<P> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<P: Policy> std::fmt::Debug for FlitDb<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlitDb")
+            .field("id", &self.inner.id)
+            .field("policy", &self.inner.policy.label())
+            .field("arenas", &self.inner.arenas.lock().unwrap().len())
+            .field("handles_created", &self.inner.handles_created)
+            .finish()
+    }
+}
+
+impl<P: Policy> FlitDb<P> {
+    /// Create a fresh database over `policy`: a new collector, no arenas yet.
+    pub fn create(policy: P) -> Self {
+        Self {
+            inner: Arc::new(DbInner {
+                policy,
+                collector: Collector::new(),
+                arenas: Mutex::new(Vec::new()),
+                id: NEXT_DB_ID.fetch_add(1, Ordering::Relaxed),
+                handles_created: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Open a database over `policy`.
+    ///
+    /// On the simulated substrate this is [`create`](Self::create) (regions are
+    /// fresh reservations); the name marks the call sites that would re-map an
+    /// existing DAX pool on a machine with real persistent memory.
+    pub fn open(policy: P) -> Self {
+        Self::create(policy)
+    }
+
+    /// The persistence policy of this database.
+    #[inline]
+    pub fn policy(&self) -> &P {
+        &self.inner.policy
+    }
+
+    /// The backend of this database's policy.
+    #[inline]
+    pub fn backend(&self) -> &P::Backend {
+        self.inner.policy.backend()
+    }
+
+    /// The EBR collector every structure of this database retires through.
+    #[inline]
+    pub fn collector(&self) -> &Collector {
+        &self.inner.collector
+    }
+
+    /// Process-unique id of this database (handles carry it so mismatched
+    /// handle/structure pairings can be debug-asserted).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Human-readable policy label (e.g. `"flit-HT (1MB)"`).
+    pub fn label(&self) -> String {
+        self.inner.policy.label()
+    }
+
+    /// Snapshot of the backend's persistence-instruction counters, if it keeps
+    /// any.
+    pub fn stats_snapshot(&self) -> Option<StatsSnapshot> {
+        self.inner.policy.stats_snapshot()
+    }
+
+    /// Register a new per-logical-thread session. Handles are cheap (no
+    /// persistence events) and `Send`: create one per worker thread — or several
+    /// on one thread for controlled interleaving.
+    pub fn handle(&self) -> FlitHandle<'_, P> {
+        let id = self.inner.handles_created.fetch_add(1, Ordering::Relaxed);
+        FlitHandle {
+            db: self,
+            epoch: PersistEpoch::new(),
+            elision: self.backend().elision_mode(),
+            ebr: self.inner.collector.register(),
+            id,
+        }
+    }
+
+    /// Number of handles ever created on this database (diagnostic).
+    pub fn handles_created(&self) -> u64 {
+        self.inner.handles_created.load(Ordering::Relaxed)
+    }
+
+    /// Create (and register) an arena whose slots hold `slot_size` bytes,
+    /// growing `chunk_slots` slots at a time. The persisted header is written
+    /// through this database's backend.
+    pub fn new_arena(&self, slot_size: usize, chunk_slots: usize) -> Arc<Arena> {
+        let arena = Arc::new(Arena::new(self.backend(), slot_size, chunk_slots));
+        self.inner.arenas.lock().unwrap().push(Arc::clone(&arena));
+        arena
+    }
+
+    /// Create (and register) an arena sized for slots of type `T`.
+    pub fn new_arena_for<T>(&self, chunk_slots: usize) -> Arc<Arena> {
+        self.new_arena(Arena::slot_size_for::<T>(), chunk_slots)
+    }
+
+    /// Every arena created through this database, in creation order.
+    pub fn arenas(&self) -> Vec<Arc<Arena>> {
+        self.inner.arenas.lock().unwrap().clone()
+    }
+
+    /// Survey what `image` holds of this database: per arena, the persisted
+    /// header and the durably-registered recovery roots. This is the
+    /// type-agnostic half of recovery — each structure's
+    /// `recover_in_image(arena, image)` rebuilds its abstract state from the
+    /// roots reported here.
+    pub fn recover(&self, image: &CrashImage) -> DbRecovery {
+        DbRecovery {
+            arenas: self
+                .arenas()
+                .iter()
+                .map(|arena| ArenaRecovery {
+                    header: arena.image_header(image),
+                    durable_roots: arena.roots_in_image(image),
+                })
+                .collect(),
+        }
+    }
+}
+
+// ---- facade constructors -------------------------------------------------
+//
+// The paper's evaluated configurations, one constructor per variant: these
+// replace the old free-function `presets::*` + hand-wired plumbing at call
+// sites (`presets` remains for code that only needs the bare policy).
+
+use flit_pmem::SimNvram;
+
+use crate::flit_atomic::{FlitPolicy, PlainPolicy};
+use crate::link_persist::LinkAndPersistPolicy;
+use crate::no_persist::NoPersistPolicy;
+use crate::scheme::{AdjacentScheme, CacheLineScheme, HashedScheme, PlainScheme};
+
+impl FlitDb<PlainPolicy<SimNvram>> {
+    /// `plain`: durable transformation with no read-side flush elision.
+    pub fn plain(backend: SimNvram) -> Self {
+        Self::create(FlitPolicy::new(PlainScheme, backend))
+    }
+}
+
+impl FlitDb<FlitPolicy<AdjacentScheme, SimNvram>> {
+    /// `flit-adjacent`: FliT with a counter next to every word.
+    pub fn flit_adjacent(backend: SimNvram) -> Self {
+        Self::create(FlitPolicy::new(AdjacentScheme, backend))
+    }
+}
+
+impl FlitDb<FlitPolicy<HashedScheme, SimNvram>> {
+    /// `flit-HT`: FliT with a hashed counter table of the paper's default size
+    /// (1 MB).
+    pub fn flit_ht(backend: SimNvram) -> Self {
+        Self::create(FlitPolicy::new(HashedScheme::new_default(), backend))
+    }
+
+    /// `flit-HT` with an explicit table size in bytes (the Figure 5 sweep).
+    pub fn flit_ht_sized(backend: SimNvram, bytes: usize) -> Self {
+        Self::create(FlitPolicy::new(HashedScheme::with_bytes(bytes), backend))
+    }
+}
+
+impl FlitDb<FlitPolicy<CacheLineScheme, SimNvram>> {
+    /// `flit-cacheline`: one counter per cache line (paper §8 future work).
+    pub fn flit_cacheline(backend: SimNvram) -> Self {
+        Self::create(FlitPolicy::new(CacheLineScheme::new_default(), backend))
+    }
+}
+
+impl FlitDb<LinkAndPersistPolicy<SimNvram>> {
+    /// `link-and-persist`: the bit-tagging comparator.
+    pub fn link_and_persist(backend: SimNvram) -> Self {
+        Self::create(LinkAndPersistPolicy::new(backend))
+    }
+}
+
+impl FlitDb<NoPersistPolicy> {
+    /// The non-persistent baseline.
+    pub fn no_persist() -> Self {
+        Self::create(NoPersistPolicy::new())
+    }
+}
+
+/// What [`FlitDb::recover`] reports: the durably-constructed state of each arena
+/// in a crash image.
+#[derive(Debug, Clone)]
+pub struct DbRecovery {
+    /// One entry per arena, in creation order.
+    pub arenas: Vec<ArenaRecovery>,
+}
+
+impl DbRecovery {
+    /// `true` when `key` is durably registered in any arena's root table.
+    pub fn has_root(&self, key: u64) -> bool {
+        self.arenas
+            .iter()
+            .any(|a| a.durable_roots.iter().any(|(k, _)| *k == key))
+    }
+}
+
+/// The recoverable state of one arena as persisted in a crash image.
+#[derive(Debug, Clone)]
+pub struct ArenaRecovery {
+    /// The arena's persisted header (always reachable, even mid-construction).
+    pub header: ImageHeader,
+    /// The durably-registered `(root key, slot base address)` pairs.
+    pub durable_roots: Vec<(u64, usize)>,
+}
+
+/// An explicit per-logical-thread session on a [`FlitDb`]: the persist epoch
+/// (fence/flush elision state), the EBR participant, and backend access. Every
+/// data-structure operation takes `&FlitHandle`. See the module docs.
+///
+/// `Send` but `!Sync`: a handle may outlive (or migrate between) OS threads,
+/// but represents exactly one logical thread at a time.
+pub struct FlitHandle<'db, P: Policy> {
+    db: &'db FlitDb<P>,
+    epoch: PersistEpoch,
+    elision: ElisionMode,
+    ebr: LocalHandle,
+    id: u64,
+}
+
+impl<'db, P: Policy> std::fmt::Debug for FlitHandle<'db, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlitHandle")
+            .field("id", &self.id)
+            .field("db", &self.db.id())
+            .field("dirty", &!self.epoch.is_clean())
+            .finish()
+    }
+}
+
+impl<'db, P: Policy> FlitHandle<'db, P> {
+    /// The database this handle belongs to.
+    #[inline]
+    pub fn db(&self) -> &'db FlitDb<P> {
+        self.db
+    }
+
+    /// The database's policy (schemes consult it on the hot path).
+    #[inline]
+    pub fn policy(&self) -> &'db P {
+        self.db.policy()
+    }
+
+    /// Id of this handle within its database (diagnostic).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Id of the owning database (structures debug-assert it matches theirs).
+    #[inline]
+    pub fn db_id(&self) -> u64 {
+        self.db.id()
+    }
+
+    /// This handle's persist-epoch state (diagnostics and tests).
+    #[inline]
+    pub fn epoch(&self) -> &PersistEpoch {
+        &self.epoch
+    }
+
+    /// `true` when this handle has issued `pwb`s not yet committed by a fence.
+    #[inline]
+    pub fn is_dirty(&self) -> bool {
+        !self.epoch.is_clean()
+    }
+
+    /// The backend as seen by *this handle*: a [`PmemSession`] that attributes
+    /// every instruction to this handle's epoch and applies fence/flush elision
+    /// accordingly. All persistence instructions of an operation must go through
+    /// this view (raw [`FlitDb::backend`] calls would not be attributed).
+    #[inline]
+    pub fn pmem(&self) -> PmemSession<'_, P::Backend> {
+        PmemSession::new(self.db.backend(), &self.epoch, self.elision)
+    }
+
+    /// Pin this handle's EBR participant: shared nodes may be dereferenced and
+    /// retired only while the returned [`Guard`] is alive. Re-entrant per handle.
+    #[inline]
+    pub fn pin(&self) -> Guard<'_> {
+        self.ebr.pin()
+    }
+
+    /// The paper's `persist::operation_completion()`: must be called at the end
+    /// of every data-structure operation. Issues a `pfence` so that every
+    /// dependency of the completed operation is persisted before the operation
+    /// returns (P-V Interface, Condition 4).
+    ///
+    /// The fence goes through the session's
+    /// [`pfence_if_dirty`](flit_pmem::PmemBackend::pfence_if_dirty): a handle
+    /// that issued no `pwb` during the operation (e.g. a read-only operation
+    /// over untagged words) holds no unpersisted dependency — every value it
+    /// read was persisted by its writer's trailing fence before the word was
+    /// untagged — so the completion fence is elided entirely.
+    #[inline]
+    pub fn operation_completion(&self) {
+        if P::PERSISTENT {
+            self.pmem().pfence_if_dirty();
+        }
+    }
+
+    /// Flush `len` bytes starting at `start` (every cache line they touch) and
+    /// fence, attributed to this handle.
+    ///
+    /// Used to persist freshly initialised objects before they are published by
+    /// a shared p-store; a no-op when `flag` is volatile or the policy is
+    /// non-persistent.
+    pub fn persist_range(&self, start: *const u8, len: usize, flag: PFlag) {
+        if !P::PERSISTENT || flag.is_volatile() || len == 0 {
+            return;
+        }
+        let pm = self.pmem();
+        let first = cache_line_of(start as usize);
+        let last = cache_line_of(start as usize + len - 1);
+        let mut line = first;
+        loop {
+            pm.pwb(line as *const u8);
+            if line == last {
+                break;
+            }
+            line += CACHE_LINE_SIZE;
+        }
+        pm.pfence();
+    }
+
+    /// Persist an entire object (all cache lines it occupies). Typically called
+    /// on a freshly allocated node right before the compare-and-swap that
+    /// publishes it.
+    pub fn persist_object<T>(&self, obj: &T, flag: PFlag) {
+        self.persist_range(obj as *const T as *const u8, std::mem::size_of::<T>(), flag);
+    }
+}
+
+impl<'db, P: Policy> Drop for FlitHandle<'db, P> {
+    fn drop(&mut self) {
+        // A dirty handle holds pwbs no future fence of this logical thread will
+        // ever commit (the thread is going away): issue the trailing fence now so
+        // everything the handle flushed is durable. A clean handle (the normal
+        // case — every completed operation ends with its completion fence) costs
+        // nothing here. The EBR slot is returned by `LocalHandle`'s own drop.
+        if P::PERSISTENT && !self.epoch.is_clean() {
+            self.pmem().pfence();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit_atomic::FlitPolicy;
+    use crate::policy::PersistWord;
+    use crate::scheme::HashedScheme;
+    use flit_pmem::{LatencyModel, SimNvram};
+
+    type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
+
+    fn db() -> FlitDb<HtPolicy> {
+        FlitDb::create(FlitPolicy::new(
+            HashedScheme::with_bytes(1 << 16),
+            SimNvram::builder().latency(LatencyModel::none()).build(),
+        ))
+    }
+
+    #[test]
+    fn db_is_cloneable_and_shares_state() {
+        let db = db();
+        let clone = db.clone();
+        assert_eq!(db.id(), clone.id());
+        let _a = db.new_arena(64, 8);
+        assert_eq!(clone.arenas().len(), 1);
+    }
+
+    #[test]
+    fn handles_have_independent_epochs() {
+        let db = db();
+        let h1 = db.handle();
+        let h2 = db.handle();
+        assert_ne!(h1.id(), h2.id());
+        let x = 1u64;
+        h1.pmem().pwb(&x as *const u64 as *const u8);
+        assert!(h1.is_dirty());
+        assert!(!h2.is_dirty(), "h2 must not see h1's pwb");
+        h2.operation_completion(); // clean handle: elided
+        assert!(h1.is_dirty(), "h2's (elided) fence must not clean h1");
+        h1.operation_completion(); // dirty handle: fences
+        assert!(!h1.is_dirty());
+        let stats = db.stats_snapshot().unwrap();
+        assert_eq!(stats.pfences, 1);
+        assert_eq!(stats.elided_pfences, 1);
+    }
+
+    #[test]
+    fn dropping_a_dirty_handle_issues_the_trailing_fence() {
+        let sim = SimNvram::for_crash_testing();
+        let db = FlitDb::create(FlitPolicy::new(
+            HashedScheme::with_bytes(1 << 12),
+            sim.clone(),
+        ));
+        let x = 0u64;
+        let addr = &x as *const u64 as usize;
+        {
+            let h = db.handle();
+            let pm = h.pmem();
+            pm.record_store(addr as *const u8, 77);
+            pm.pwb(addr as *const u8);
+            assert!(h.is_dirty());
+            // No fence: the value is flushed but not committed.
+            assert_eq!(sim.tracker().unwrap().persisted_value(addr), None);
+        } // drop: the trailing fence commits the pending flush
+        assert_eq!(sim.tracker().unwrap().persisted_value(addr), Some(77));
+    }
+
+    #[test]
+    fn dropping_a_clean_handle_fences_nothing() {
+        let db = db();
+        {
+            let _h = db.handle();
+        }
+        assert_eq!(db.stats_snapshot().unwrap().pfences, 0);
+    }
+
+    #[test]
+    fn handle_drop_returns_the_ebr_slot() {
+        let db = db();
+        for _ in 0..4 * flit_ebr::MAX_PARTICIPANTS {
+            let h = db.handle();
+            drop(h.pin());
+        }
+        assert_eq!(db.collector().participants(), 0);
+    }
+
+    #[test]
+    fn persist_object_and_completion_go_through_the_handle() {
+        let db = db();
+        let h = db.handle();
+        #[repr(align(64))]
+        struct Big(#[allow(dead_code)] [u8; 128]);
+        let big = Big([0; 128]);
+        h.persist_object(&big, PFlag::Persisted);
+        let snap = db.stats_snapshot().unwrap();
+        assert_eq!(snap.pwbs, 2);
+        assert_eq!(snap.pfences, 1);
+        assert!(!h.is_dirty(), "persist_object ends fenced");
+        h.persist_range(std::ptr::null(), 0, PFlag::Persisted);
+        h.persist_object(&big, PFlag::Volatile);
+        assert_eq!(db.stats_snapshot().unwrap().pwbs, 2, "no-ops stayed no-ops");
+    }
+
+    #[test]
+    fn db_recover_reports_durable_roots() {
+        let sim = SimNvram::for_crash_testing();
+        let db = FlitDb::create(FlitPolicy::new(
+            HashedScheme::with_bytes(1 << 12),
+            sim.clone(),
+        ));
+        let arena = db.new_arena(64, 8);
+        let h = db.handle();
+        let slot = arena.alloc(&h.pmem()) as usize;
+        h.operation_completion();
+        let before = db.recover(&sim.tracker().unwrap().crash_image());
+        assert!(!before.has_root(flit_alloc::roots::LIST_HEAD));
+        assert!(before.arenas[0].header.initialised);
+        arena.register_root(&h.pmem(), flit_alloc::roots::LIST_HEAD, slot);
+        let after = db.recover(&sim.tracker().unwrap().crash_image());
+        assert!(after.has_root(flit_alloc::roots::LIST_HEAD));
+        assert_eq!(after.arenas.len(), 1);
+    }
+
+    #[test]
+    fn words_operate_through_a_handle() {
+        let db = db();
+        let h = db.handle();
+        let w = <HtPolicy as Policy>::Word::<u64>::new(1);
+        w.store(&h, 9, PFlag::Persisted);
+        assert_eq!(w.load(&h, PFlag::Persisted), 9);
+        h.operation_completion();
+        assert_eq!(db.handles_created(), 1);
+    }
+}

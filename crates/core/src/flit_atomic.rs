@@ -21,19 +21,23 @@
 //! `pwb`-ed — which, by the load and store rules, include every dependency it has
 //! accumulated — are durable before the new store can be observed by others.
 //!
-//! ## Persist-epoch elision
+//! ## Handles and persist-epoch elision
 //!
-//! Algorithm 4 issues its fences *unconditionally*; this implementation issues them
-//! through [`PmemBackend::pfence_if_dirty`], which skips the fence when the calling
-//! thread has issued zero `pwb`s since its previous fence — in that state the
-//! thread holds no unpersisted dependency, so the fence is a no-op by the P-V
+//! Every operation takes the calling thread's [`FlitHandle`]: the handle owns the
+//! persist-epoch state, and all persistence instructions are issued through its
+//! [`PmemSession`](flit_pmem::PmemSession) view so they are attributed to exactly
+//! that handle. Algorithm 4 issues its fences *unconditionally*; this
+//! implementation issues them through the session's
+//! [`pfence_if_dirty`](PmemBackend::pfence_if_dirty), which skips the fence when
+//! the handle has issued zero `pwb`s since its previous fence — in that state the
+//! handle holds no unpersisted dependency, so the fence is a no-op by the P-V
 //! Interface's own semantics (Condition 4 is vacuously discharged). Likewise a
-//! tagged p-load re-flushing a word the thread already flushed, with the same
+//! tagged p-load re-flushing a word the handle already flushed, with the same
 //! observed value, in its current epoch goes through
-//! [`PmemBackend::pwb_dedup`] and is skipped (the plain baseline opts out — see
-//! [`TagScheme::dedups_read_flushes`]). On read-mostly workloads this removes
-//! nearly every fence of the hot path; `flit_pmem::epoch` documents the model and
-//! its soundness boundary, and building the backend with
+//! [`pwb_dedup`](PmemBackend::pwb_dedup) and is skipped (the plain baseline opts
+//! out — see [`TagScheme::dedups_read_flushes`]). On read-mostly workloads this
+//! removes nearly every fence of the hot path; `flit_pmem::epoch` documents the
+//! model and its soundness boundary, and building the backend with
 //! `ElisionMode::Disabled` restores the paper-literal stream.
 
 use std::marker::PhantomData;
@@ -41,6 +45,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use flit_pmem::PmemBackend;
 
+use crate::db::FlitHandle;
 use crate::pflag::PFlag;
 use crate::policy::{PersistWord, Policy};
 use crate::scheme::{PlainScheme, TagScheme};
@@ -51,7 +56,7 @@ use crate::word::PWord;
 /// [`PlainPolicy`], flit-adjacent (`FlitPolicy<AdjacentScheme, B>`) and flit-HT
 /// (`FlitPolicy<HashedScheme, B>`).
 #[derive(Debug, Clone)]
-pub struct FlitPolicy<S: TagScheme, B: PmemBackend> {
+pub struct FlitPolicy<S: TagScheme, B: PmemBackend + Send + Sync + 'static> {
     scheme: S,
     backend: B,
 }
@@ -60,7 +65,7 @@ pub struct FlitPolicy<S: TagScheme, B: PmemBackend> {
 /// baseline FliT is compared against throughout the evaluation.
 pub type PlainPolicy<B> = FlitPolicy<PlainScheme, B>;
 
-impl<S: TagScheme, B: PmemBackend> FlitPolicy<S, B> {
+impl<S: TagScheme, B: PmemBackend + Send + Sync + 'static> FlitPolicy<S, B> {
     /// Create a policy from a tag scheme and a backend.
     pub fn new(scheme: S, backend: B) -> Self {
         Self { scheme, backend }
@@ -72,7 +77,7 @@ impl<S: TagScheme, B: PmemBackend> FlitPolicy<S, B> {
     }
 }
 
-impl<S: TagScheme, B: PmemBackend> Policy for FlitPolicy<S, B> {
+impl<S: TagScheme, B: PmemBackend + Send + Sync + 'static> Policy for FlitPolicy<S, B> {
     type Backend = B;
     type Word<T: PWord> = FlitAtomic<T, S, B>;
 
@@ -92,14 +97,14 @@ impl<S: TagScheme, B: PmemBackend> Policy for FlitPolicy<S, B> {
 /// the word carries its own 8-bit counter (doubling its size after padding — the
 /// effect discussed in paper §6.6 for skiplist nodes); with the table-based schemes the
 /// per-word metadata is zero-sized and the layout is identical to a plain `AtomicU64`.
-pub struct FlitAtomic<T: PWord, S: TagScheme, B: PmemBackend> {
+pub struct FlitAtomic<T: PWord, S: TagScheme, B: PmemBackend + Send + Sync + 'static> {
     repr: AtomicU64,
     tag: S::PerWord,
     #[allow(clippy::type_complexity)]
     _marker: PhantomData<fn() -> (T, S, B)>,
 }
 
-impl<T: PWord, S: TagScheme, B: PmemBackend> FlitAtomic<T, S, B> {
+impl<T: PWord, S: TagScheme, B: PmemBackend + Send + Sync + 'static> FlitAtomic<T, S, B> {
     #[inline]
     fn word_addr(&self) -> usize {
         &self.repr as *const AtomicU64 as usize
@@ -111,25 +116,27 @@ impl<T: PWord, S: TagScheme, B: PmemBackend> FlitAtomic<T, S, B> {
     }
 
     /// Read path of Algorithm 4 (lines 1-8). `observed` is the word value the load
-    /// returned: it keys the duplicate-flush elision (a tagged word the thread
+    /// returned: it keys the duplicate-flush elision (a tagged word the handle
     /// already flushed with this exact value in its current persist epoch is
     /// already pending, so re-flushing it buys nothing).
     #[inline]
-    fn flush_if_tagged(&self, ctx: &FlitPolicy<S, B>, flag: PFlag, observed: u64) {
+    fn flush_if_tagged(&self, h: &FlitHandle<'_, FlitPolicy<S, B>>, flag: PFlag, observed: u64) {
+        let ctx = h.policy();
         if flag.is_persisted()
             && ctx.backend.is_persistent()
             && ctx.scheme.is_tagged(&self.tag, self.word_addr())
         {
+            let pm = h.pmem();
             let flushed = if ctx.scheme.dedups_read_flushes() {
-                ctx.backend.pwb_dedup(self.word_ptr(), observed)
+                pm.pwb_dedup(self.word_ptr(), observed)
             } else {
                 // The plain baseline stays paper-literal (see
                 // `TagScheme::dedups_read_flushes`).
-                ctx.backend.pwb(self.word_ptr());
+                pm.pwb(self.word_ptr());
                 true
             };
             if flushed {
-                ctx.backend.note_read_side_pwb();
+                pm.note_read_side_pwb();
             }
         }
     }
@@ -141,40 +148,41 @@ impl<T: PWord, S: TagScheme, B: PmemBackend> FlitAtomic<T, S, B> {
     #[inline]
     fn shared_update<R>(
         &self,
-        ctx: &FlitPolicy<S, B>,
+        h: &FlitHandle<'_, FlitPolicy<S, B>>,
         flag: PFlag,
         update: impl FnOnce() -> (R, u64),
     ) -> R {
-        let backend = &ctx.backend;
-        if !backend.is_persistent() {
+        let ctx = h.policy();
+        if !ctx.backend.is_persistent() {
             let (result, _now) = update();
             return result;
         }
-        // Leading fence: every dependency this thread accumulated (all its prior
+        let pm = h.pmem();
+        // Leading fence: every dependency this handle accumulated (all its prior
         // pwbs) must be durable before this store can linearize (Condition 4). A
-        // *clean* thread has no outstanding pwbs — every dependency it holds was
+        // *clean* handle has no outstanding pwbs — every dependency it holds was
         // persisted by an earlier fence (its own trailing fences, or the writer's
         // fence for untagged words it read) — so the fence is elided.
-        backend.pfence_if_dirty();
+        pm.pfence_if_dirty();
         if flag.is_persisted() {
             let addr = self.word_addr();
             ctx.scheme.begin_store(&self.tag, addr);
             let (result, now) = update();
-            backend.record_store(self.word_ptr(), now);
-            backend.pwb(self.word_ptr());
-            backend.pfence();
+            pm.record_store(self.word_ptr(), now);
+            pm.pwb(self.word_ptr());
+            pm.pfence();
             ctx.scheme.end_store(&self.tag, addr);
             result
         } else {
             let (result, now) = update();
-            backend.record_store(self.word_ptr(), now);
+            pm.record_store(self.word_ptr(), now);
             result
         }
     }
 }
 
-impl<T: PWord, S: TagScheme, B: PmemBackend> PersistWord<T, FlitPolicy<S, B>>
-    for FlitAtomic<T, S, B>
+impl<T: PWord, S: TagScheme, B: PmemBackend + Send + Sync + 'static>
+    PersistWord<T, FlitPolicy<S, B>> for FlitAtomic<T, S, B>
 {
     fn new(val: T) -> Self {
         Self {
@@ -185,16 +193,16 @@ impl<T: PWord, S: TagScheme, B: PmemBackend> PersistWord<T, FlitPolicy<S, B>>
     }
 
     #[inline]
-    fn load(&self, ctx: &FlitPolicy<S, B>, flag: PFlag) -> T {
+    fn load(&self, h: &FlitHandle<'_, FlitPolicy<S, B>>, flag: PFlag) -> T {
         let val = self.repr.load(Ordering::SeqCst);
-        self.flush_if_tagged(ctx, flag, val);
+        self.flush_if_tagged(h, flag, val);
         T::from_word(val)
     }
 
     #[inline]
-    fn store(&self, ctx: &FlitPolicy<S, B>, val: T, flag: PFlag) {
+    fn store(&self, h: &FlitHandle<'_, FlitPolicy<S, B>>, val: T, flag: PFlag) {
         let word = val.to_word();
-        self.shared_update(ctx, flag, || {
+        self.shared_update(h, flag, || {
             self.repr.store(word, Ordering::SeqCst);
             ((), word)
         });
@@ -203,14 +211,14 @@ impl<T: PWord, S: TagScheme, B: PmemBackend> PersistWord<T, FlitPolicy<S, B>>
     #[inline]
     fn compare_exchange(
         &self,
-        ctx: &FlitPolicy<S, B>,
+        h: &FlitHandle<'_, FlitPolicy<S, B>>,
         current: T,
         new: T,
         flag: PFlag,
     ) -> Result<T, T> {
         let cur = current.to_word();
         let new = new.to_word();
-        self.shared_update(ctx, flag, || {
+        self.shared_update(h, flag, || {
             match self
                 .repr
                 .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
@@ -222,40 +230,41 @@ impl<T: PWord, S: TagScheme, B: PmemBackend> PersistWord<T, FlitPolicy<S, B>>
     }
 
     #[inline]
-    fn exchange(&self, ctx: &FlitPolicy<S, B>, val: T, flag: PFlag) -> T {
+    fn exchange(&self, h: &FlitHandle<'_, FlitPolicy<S, B>>, val: T, flag: PFlag) -> T {
         let word = val.to_word();
-        self.shared_update(ctx, flag, || {
+        self.shared_update(h, flag, || {
             (T::from_word(self.repr.swap(word, Ordering::SeqCst)), word)
         })
     }
 
     #[inline]
-    fn fetch_add(&self, ctx: &FlitPolicy<S, B>, delta: u64, flag: PFlag) -> T {
-        self.shared_update(ctx, flag, || {
+    fn fetch_add(&self, h: &FlitHandle<'_, FlitPolicy<S, B>>, delta: u64, flag: PFlag) -> T {
+        self.shared_update(h, flag, || {
             let prev = self.repr.fetch_add(delta, Ordering::SeqCst);
             (T::from_word(prev), prev.wrapping_add(delta))
         })
     }
 
     #[inline]
-    fn load_private(&self, _ctx: &FlitPolicy<S, B>, _flag: PFlag) -> T {
+    fn load_private(&self, _h: &FlitHandle<'_, FlitPolicy<S, B>>, _flag: PFlag) -> T {
         // A private location cannot have a pending p-store by another thread, so the
         // counter check and flush are unnecessary (paper §5).
         T::from_word(self.repr.load(Ordering::SeqCst))
     }
 
     #[inline]
-    fn store_private(&self, ctx: &FlitPolicy<S, B>, val: T, flag: PFlag) {
+    fn store_private(&self, h: &FlitHandle<'_, FlitPolicy<S, B>>, val: T, flag: PFlag) {
         let word = val.to_word();
         self.repr.store(word, Ordering::SeqCst);
-        let backend = &ctx.backend;
-        if !backend.is_persistent() {
+        let ctx = h.policy();
+        if !ctx.backend.is_persistent() {
             return;
         }
-        backend.record_store(self.word_ptr(), word);
+        let pm = h.pmem();
+        pm.record_store(self.word_ptr(), word);
         if flag.is_persisted() {
-            backend.pwb(self.word_ptr());
-            backend.pfence();
+            pm.pwb(self.word_ptr());
+            pm.pfence();
         }
     }
 
@@ -278,223 +287,239 @@ impl<T: PWord, S: TagScheme, B: PmemBackend> PersistWord<T, FlitPolicy<S, B>>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::db::FlitDb;
     use crate::scheme::{AdjacentScheme, CacheLineScheme, HashedScheme};
     use flit_pmem::{LatencyModel, SimNvram};
 
     type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
 
-    fn ht_policy() -> HtPolicy {
-        FlitPolicy::new(
+    fn ht_db() -> FlitDb<HtPolicy> {
+        FlitDb::create(FlitPolicy::new(
             HashedScheme::with_bytes(1 << 16),
             SimNvram::builder().latency(LatencyModel::none()).build(),
-        )
+        ))
     }
 
     #[test]
     fn load_store_round_trip() {
-        let p = ht_policy();
+        let db = ht_db();
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(5);
-        assert_eq!(w.load(&p, PFlag::Persisted), 5);
-        w.store(&p, 9, PFlag::Persisted);
-        assert_eq!(w.load(&p, PFlag::Volatile), 9);
+        assert_eq!(w.load(&h, PFlag::Persisted), 5);
+        w.store(&h, 9, PFlag::Persisted);
+        assert_eq!(w.load(&h, PFlag::Volatile), 9);
         assert_eq!(w.load_direct(), 9);
     }
 
     #[test]
-    fn clean_thread_p_store_costs_one_pwb_and_one_trailing_pfence() {
-        // With persist-epoch elision (the default), a clean thread's leading fence
+    fn clean_handle_p_store_costs_one_pwb_and_one_trailing_pfence() {
+        // With persist-epoch elision (the default), a clean handle's leading fence
         // would persist nothing and is skipped: only the trailing fence remains.
-        let p = ht_policy();
+        let db = ht_db();
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
-        w.store(&p, 1, PFlag::Persisted);
-        let snap = p.stats_snapshot().unwrap();
+        w.store(&h, 1, PFlag::Persisted);
+        let snap = db.stats_snapshot().unwrap();
         assert_eq!(snap.pwbs, 1);
-        assert_eq!(snap.pfences, 1, "leading fence elided on a clean thread");
+        assert_eq!(snap.pfences, 1, "leading fence elided on a clean handle");
         assert_eq!(snap.elided_pfences, 1);
     }
 
     #[test]
-    fn dirty_thread_p_store_still_pays_both_pfences() {
-        let p = ht_policy();
+    fn dirty_handle_p_store_still_pays_both_pfences() {
+        let db = ht_db();
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
-        // Dirty the thread: an unfenced pwb (as a tagged p-load would leave behind).
-        p.backend().pwb(w.word_ptr());
-        let before = p.stats_snapshot().unwrap();
-        w.store(&p, 1, PFlag::Persisted);
-        let delta = p.stats_snapshot().unwrap().delta_since(&before);
-        assert_eq!(delta.pfences, 2, "dirty thread: leading fence must fire");
+        // Dirty the handle: an unfenced pwb (as a tagged p-load would leave behind).
+        h.pmem().pwb(w.word_ptr());
+        let before = db.stats_snapshot().unwrap();
+        w.store(&h, 1, PFlag::Persisted);
+        let delta = db.stats_snapshot().unwrap().delta_since(&before);
+        assert_eq!(delta.pfences, 2, "dirty handle: leading fence must fire");
     }
 
     #[test]
     fn literal_mode_p_store_costs_two_pfences() {
         // ElisionMode::Disabled restores the paper's exact instruction stream.
-        let p: HtPolicy = FlitPolicy::new(
+        let db: FlitDb<HtPolicy> = FlitDb::create(FlitPolicy::new(
             HashedScheme::with_bytes(1 << 16),
             SimNvram::builder()
                 .latency(LatencyModel::none())
                 .elision(flit_pmem::ElisionMode::Disabled)
                 .build(),
-        );
+        ));
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
-        w.store(&p, 1, PFlag::Persisted);
-        let snap = p.stats_snapshot().unwrap();
+        w.store(&h, 1, PFlag::Persisted);
+        let snap = db.stats_snapshot().unwrap();
         assert_eq!(snap.pwbs, 1);
         assert_eq!(snap.pfences, 2);
         assert_eq!(snap.elided_pfences, 0);
     }
 
     #[test]
-    fn clean_thread_v_store_costs_no_persistence_instructions() {
-        let p = ht_policy();
+    fn clean_handle_v_store_costs_no_persistence_instructions() {
+        let db = ht_db();
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
-        w.store(&p, 1, PFlag::Volatile);
-        let snap = p.stats_snapshot().unwrap();
+        w.store(&h, 1, PFlag::Volatile);
+        let snap = db.stats_snapshot().unwrap();
         assert_eq!(snap.pwbs, 0);
         assert_eq!(snap.pfences, 0, "the v-store's only fence was a no-op");
         assert_eq!(snap.elided_pfences, 1);
     }
 
     #[test]
-    fn dirty_thread_v_store_pays_the_leading_pfence() {
-        let p = ht_policy();
+    fn dirty_handle_v_store_pays_the_leading_pfence() {
+        let db = ht_db();
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
-        p.backend().pwb(w.word_ptr());
-        w.store(&p, 1, PFlag::Volatile);
-        let snap = p.stats_snapshot().unwrap();
-        assert_eq!(snap.pfences, 1);
+        h.pmem().pwb(w.word_ptr());
+        w.store(&h, 1, PFlag::Volatile);
+        assert_eq!(db.stats_snapshot().unwrap().pfences, 1);
     }
 
     #[test]
     fn p_load_of_untagged_location_does_not_flush() {
-        let p = ht_policy();
+        let db = ht_db();
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(3);
         for _ in 0..100 {
-            assert_eq!(w.load(&p, PFlag::Persisted), 3);
+            assert_eq!(w.load(&h, PFlag::Persisted), 3);
         }
-        assert_eq!(p.stats_snapshot().unwrap().pwbs, 0);
+        assert_eq!(db.stats_snapshot().unwrap().pwbs, 0);
     }
 
     #[test]
     fn p_load_of_tagged_location_flushes() {
-        let p = ht_policy();
+        let db = ht_db();
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(3);
         // Tag the location by hand, as if a p-store were pending.
-        p.scheme().begin_store(&(), w.addr());
-        let _ = w.load(&p, PFlag::Persisted);
-        let snap = p.stats_snapshot().unwrap();
+        db.policy().scheme().begin_store(&(), w.addr());
+        let _ = w.load(&h, PFlag::Persisted);
+        let snap = db.stats_snapshot().unwrap();
         assert_eq!(snap.pwbs, 1);
         assert_eq!(snap.read_side_pwbs, 1);
-        p.scheme().end_store(&(), w.addr());
+        db.policy().scheme().end_store(&(), w.addr());
         // Once untagged, loads stop flushing.
-        let _ = w.load(&p, PFlag::Persisted);
-        assert_eq!(p.stats_snapshot().unwrap().pwbs, 1);
+        let _ = w.load(&h, PFlag::Persisted);
+        assert_eq!(db.stats_snapshot().unwrap().pwbs, 1);
     }
 
     #[test]
     fn repeated_tagged_loads_flush_once_per_epoch() {
         // A CAS-retry loop re-reading the same tagged, unchanged word pays one pwb
         // per epoch instead of one per read.
-        let p = ht_policy();
+        let db = ht_db();
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(3);
-        p.scheme().begin_store(&(), w.addr());
+        db.policy().scheme().begin_store(&(), w.addr());
         for _ in 0..10 {
-            let _ = w.load(&p, PFlag::Persisted);
+            let _ = w.load(&h, PFlag::Persisted);
         }
-        let snap = p.stats_snapshot().unwrap();
+        let snap = db.stats_snapshot().unwrap();
         assert_eq!(snap.pwbs, 1, "nine duplicate flushes deduped");
         assert_eq!(snap.elided_pwbs, 9);
         assert_eq!(snap.read_side_pwbs, 1, "only real flushes are read-side");
         // A fence closes the epoch; the next tagged load flushes again.
-        p.backend().pfence();
-        let _ = w.load(&p, PFlag::Persisted);
-        assert_eq!(p.stats_snapshot().unwrap().pwbs, 2);
-        p.scheme().end_store(&(), w.addr());
+        h.pmem().pfence();
+        let _ = w.load(&h, PFlag::Persisted);
+        assert_eq!(db.stats_snapshot().unwrap().pwbs, 2);
+        db.policy().scheme().end_store(&(), w.addr());
     }
 
     #[test]
     fn plain_policy_flushes_on_every_p_load() {
-        let p: PlainPolicy<SimNvram> = FlitPolicy::new(
+        let db: FlitDb<PlainPolicy<SimNvram>> = FlitDb::create(FlitPolicy::new(
             PlainScheme,
             SimNvram::builder().latency(LatencyModel::none()).build(),
-        );
+        ));
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(3);
         for _ in 0..10 {
-            let _ = w.load(&p, PFlag::Persisted);
+            let _ = w.load(&h, PFlag::Persisted);
         }
-        assert_eq!(p.stats_snapshot().unwrap().pwbs, 10);
+        assert_eq!(db.stats_snapshot().unwrap().pwbs, 10);
         // ...but never on v-loads.
         for _ in 0..10 {
-            let _ = w.load(&p, PFlag::Volatile);
+            let _ = w.load(&h, PFlag::Volatile);
         }
-        assert_eq!(p.stats_snapshot().unwrap().pwbs, 10);
+        assert_eq!(db.stats_snapshot().unwrap().pwbs, 10);
     }
 
     #[test]
     fn cas_success_and_failure() {
-        let p = ht_policy();
+        let db = ht_db();
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(10);
-        assert_eq!(w.compare_exchange(&p, 10, 20, PFlag::Persisted), Ok(10));
-        assert_eq!(w.compare_exchange(&p, 10, 30, PFlag::Persisted), Err(20));
-        assert_eq!(w.load(&p, PFlag::Volatile), 20);
+        assert_eq!(w.compare_exchange(&h, 10, 20, PFlag::Persisted), Ok(10));
+        assert_eq!(w.compare_exchange(&h, 10, 30, PFlag::Persisted), Err(20));
+        assert_eq!(w.load(&h, PFlag::Volatile), 20);
     }
 
     #[test]
     fn exchange_and_fetch_add() {
-        let p = ht_policy();
+        let db = ht_db();
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(100);
-        assert_eq!(w.exchange(&p, 200, PFlag::Persisted), 100);
-        assert_eq!(w.fetch_add(&p, 5, PFlag::Persisted), 200);
-        assert_eq!(w.load(&p, PFlag::Persisted), 205);
+        assert_eq!(w.exchange(&h, 200, PFlag::Persisted), 100);
+        assert_eq!(w.fetch_add(&h, 5, PFlag::Persisted), 200);
+        assert_eq!(w.load(&h, PFlag::Persisted), 205);
     }
 
     #[test]
     fn counter_returns_to_zero_after_every_store() {
         // Lemma 5.1: the flit-counter balance of a completed p-store is zero.
         let scheme = HashedScheme::with_bytes(1 << 12);
-        let p = FlitPolicy::new(
+        let db = FlitDb::create(FlitPolicy::new(
             scheme.clone(),
             SimNvram::builder().latency(LatencyModel::none()).build(),
-        );
+        ));
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
         for i in 0..100 {
-            w.store(&p, i, PFlag::Persisted);
-            let _ = w.compare_exchange(&p, i, i + 1, PFlag::Persisted);
+            w.store(&h, i, PFlag::Persisted);
+            let _ = w.compare_exchange(&h, i, i + 1, PFlag::Persisted);
         }
         assert_eq!(scheme.table().tagged_count(), 0);
     }
 
     #[test]
     fn pointers_can_be_stored() {
-        let p = ht_policy();
+        let db = ht_db();
+        let h = db.handle();
         let boxed = Box::into_raw(Box::new(77u64));
         let w: FlitAtomic<*mut u64, _, _> = FlitAtomic::new(std::ptr::null_mut());
-        w.store(&p, boxed, PFlag::Persisted);
-        let back = w.load(&p, PFlag::Persisted);
+        w.store(&h, boxed, PFlag::Persisted);
+        let back = w.load(&h, PFlag::Persisted);
         assert_eq!(back, boxed);
         unsafe { drop(Box::from_raw(back)) };
     }
 
     #[test]
     fn private_accesses_skip_the_counter_and_leading_fence() {
-        let p = ht_policy();
+        let db = ht_db();
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
-        w.store_private(&p, 42, PFlag::Persisted);
-        let snap = p.stats_snapshot().unwrap();
+        w.store_private(&h, 42, PFlag::Persisted);
+        let snap = db.stats_snapshot().unwrap();
         assert_eq!(snap.pwbs, 1);
         assert_eq!(snap.pfences, 1, "private p-store has no leading fence");
-        assert_eq!(w.load_private(&p, PFlag::Persisted), 42);
+        assert_eq!(w.load_private(&h, PFlag::Persisted), 42);
         assert_eq!(snap.read_side_pwbs, 0);
     }
 
     #[test]
     fn adjacent_scheme_embeds_the_counter() {
-        let p = FlitPolicy::new(
+        let db = FlitDb::create(FlitPolicy::new(
             AdjacentScheme,
             SimNvram::builder().latency(LatencyModel::none()).build(),
-        );
+        ));
+        let h = db.handle();
         let w: FlitAtomic<u64, AdjacentScheme, SimNvram> = FlitAtomic::new(1);
-        w.store(&p, 2, PFlag::Persisted);
-        assert_eq!(w.load(&p, PFlag::Persisted), 2);
+        w.store(&h, 2, PFlag::Persisted);
+        assert_eq!(w.load(&h, PFlag::Persisted), 2);
         // Layout check backing the paper's §6.6 discussion: the adjacent variant makes
         // the word bigger than a bare AtomicU64, the table variants do not.
         assert!(std::mem::size_of::<FlitAtomic<u64, AdjacentScheme, SimNvram>>() > 8);
@@ -510,28 +535,33 @@ mod tests {
 
     #[test]
     fn cache_line_scheme_works_end_to_end() {
-        let p = FlitPolicy::new(
+        let db = FlitDb::create(FlitPolicy::new(
             CacheLineScheme::with_bytes(1 << 12),
             SimNvram::builder().latency(LatencyModel::none()).build(),
-        );
+        ));
+        let h = db.handle();
         let w: FlitAtomic<u64, CacheLineScheme, SimNvram> = FlitAtomic::new(0);
-        w.store(&p, 5, PFlag::Persisted);
-        assert_eq!(w.load(&p, PFlag::Persisted), 5);
-        assert_eq!(p.stats_snapshot().unwrap().pwbs, 1);
+        w.store(&h, 5, PFlag::Persisted);
+        assert_eq!(w.load(&h, PFlag::Persisted), 5);
+        assert_eq!(db.stats_snapshot().unwrap().pwbs, 1);
     }
 
     #[test]
     fn stores_feed_the_persistence_tracker() {
         let backend = SimNvram::for_crash_testing();
-        let p = FlitPolicy::new(HashedScheme::with_bytes(1 << 12), backend.clone());
+        let db = FlitDb::create(FlitPolicy::new(
+            HashedScheme::with_bytes(1 << 12),
+            backend.clone(),
+        ));
+        let h = db.handle();
         let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
-        w.store(&p, 11, PFlag::Persisted);
+        w.store(&h, 11, PFlag::Persisted);
         // A completed p-store must already be durable.
         assert_eq!(
             backend.tracker().unwrap().persisted_value(w.addr()),
             Some(11)
         );
-        w.store(&p, 12, PFlag::Volatile);
+        w.store(&h, 12, PFlag::Volatile);
         // A v-store is visible in volatile memory but not persisted.
         assert_eq!(
             backend.tracker().unwrap().volatile_value(w.addr()),
@@ -546,20 +576,21 @@ mod tests {
     #[test]
     fn concurrent_counter_discipline() {
         let scheme = HashedScheme::with_bytes(1 << 12);
-        let p = std::sync::Arc::new(FlitPolicy::new(
+        let db = FlitDb::create(FlitPolicy::new(
             scheme.clone(),
             SimNvram::builder().latency(LatencyModel::none()).build(),
         ));
         let w = std::sync::Arc::new(FlitAtomic::<u64, HashedScheme, SimNvram>::new(0));
         std::thread::scope(|s| {
             for t in 0..4u64 {
-                let p = std::sync::Arc::clone(&p);
+                let db = &db;
                 let w = std::sync::Arc::clone(&w);
                 s.spawn(move || {
+                    let h = db.handle();
                     for i in 0..1000u64 {
-                        w.fetch_add(&p, 1, PFlag::Persisted);
-                        let _ = w.load(&p, PFlag::Persisted);
-                        let _ = w.compare_exchange(&p, t * i, i, PFlag::Persisted);
+                        w.fetch_add(&h, 1, PFlag::Persisted);
+                        let _ = w.load(&h, PFlag::Persisted);
+                        let _ = w.compare_exchange(&h, t * i, i, PFlag::Persisted);
                     }
                 });
             }

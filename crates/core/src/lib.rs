@@ -24,7 +24,7 @@
 //! 3. **Load dependencies.** A p-load on location ℓ makes the thread depend on every
 //!    p-store to ℓ linearized before it.
 //! 4. **Persisting dependencies.** Before a thread's *shared* store linearizes, and
-//!    before it completes an operation ([`Policy::operation_completion`]), all its
+//!    before it completes an operation ([`FlitHandle::operation_completion`]), all its
 //!    dependencies are persisted.
 //!
 //! Making **every** load and store a p-instruction turns any linearizable data
@@ -33,15 +33,35 @@
 //! phase) recover the performance of hand-optimised persistent data structures while
 //! staying within the same interface.
 //!
+//! ## The explicit-handle API: `FlitDb` and `FlitHandle`
+//!
+//! The P-V Interface is stated per *thread*: which fences a thread may elide and
+//! which flushes it may dedup depend on that thread's persistence state. This
+//! library makes the thread explicit instead of ambient:
+//!
+//! * [`FlitDb`] is the facade owning everything shared — the policy (scheme +
+//!   backend), the EBR collector, the arena registry with its recovery-root
+//!   tables. `FlitDb::create`/[`FlitDb::open`] replace hand-wired plumbing;
+//!   [`FlitDb::recover`] surveys a crash image.
+//! * [`FlitHandle`] is a per-logical-thread session — persist-epoch state, EBR
+//!   participation, backend access — and **every operation takes one**:
+//!   `map.insert(&h, k, v)`, `w.store(&h, v, flag)`,
+//!   [`FlitHandle::operation_completion`].
+//!
+//! There is no `thread_local!` anywhere on the hot path (CI enforces it): a
+//! handle is a `Send` value, so a controlled scheduler can own N handles and
+//! interleave them deterministically on one OS thread — the mechanism behind
+//! `flit-crashtest`'s round-robin sweeps. See [`db`] for the migration table.
+//!
 //! ## Persist-epoch elision
 //!
-//! Condition 4 only obliges a fence when the thread actually *has* unpersisted
+//! Condition 4 only obliges a fence when the handle actually *has* unpersisted
 //! dependencies. The hot path therefore issues its fences (the leading fence of
-//! every shared store, the [`Policy::operation_completion`] fence) through
-//! `flit_pmem::PmemBackend::pfence_if_dirty`, which skips the fence whenever the
-//! calling thread has issued zero `pwb`s since its previous fence — an exact
+//! every shared store, the [`FlitHandle::operation_completion`] fence) through
+//! the handle session's `pfence_if_dirty`, which skips the fence whenever the
+//! handle has issued zero `pwb`s since its previous fence — an exact
 //! marker for "no unpersisted dependencies": every dependency is acquired either
-//! by a p-load of a *tagged* word (which flushes, dirtying the thread) or of an
+//! by a p-load of a *tagged* word (which flushes, dirtying the handle) or of an
 //! *untagged* word (whose value the writer persisted before untagging). Duplicate
 //! read-side flushes within one epoch are likewise elided for the FliT schemes
 //! (never for the plain baseline). See `flit_pmem::epoch` for the model, the
@@ -52,6 +72,7 @@
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`db`] | the facade: [`FlitDb`], [`FlitHandle`], [`DbRecovery`] |
 //! | [`pflag`] | [`PFlag`] (p- vs v-instruction) and [`Visibility`] (shared vs private) |
 //! | [`word`] | [`PWord`]: types that fit in one persisted machine word |
 //! | [`scheme`] | flit-counter placements: [`PlainScheme`], [`AdjacentScheme`], [`HashedScheme`], [`CacheLineScheme`] |
@@ -59,6 +80,7 @@
 //! | [`flit_atomic`] | [`FlitAtomic`] — Algorithm 4 — and [`FlitPolicy`] / [`PlainPolicy`] |
 //! | [`link_persist`] | the link-and-persist comparator ([`LinkAndPersistPolicy`]) |
 //! | [`no_persist`] | the non-persistent baseline ([`NoPersistPolicy`]) |
+//! | [`compat`] | the one designated home for thread-keyed shims ([`compat::pin_current_thread`]) |
 //!
 //! ## Workspace layout
 //!
@@ -79,24 +101,30 @@
 //! ## Quick example
 //!
 //! ```
-//! use flit::{FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
+//! use flit::{FlitDb, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
 //! use flit_pmem::SimNvram;
 //!
-//! // Choose a variant: flit-HT (1MB counter table) over simulated NVRAM.
-//! let policy = FlitPolicy::new(HashedScheme::new_default(), SimNvram::default());
+//! // Open a database over one variant: flit-HT (1MB counter table) on
+//! // simulated NVRAM.
+//! let db = FlitDb::flit_ht(SimNvram::default());
+//!
+//! // Register a session for this thread.
+//! let h = db.handle();
 //!
 //! // Declare a persisted word (the Rust analogue of `persist<uint64_t> x;`).
 //! let x = <FlitPolicy<HashedScheme, SimNvram> as Policy>::Word::<u64>::new(0);
 //!
 //! // A p-store followed by a p-load, then operation completion.
-//! x.store(&policy, 42, PFlag::Persisted);
-//! assert_eq!(x.load(&policy, PFlag::Persisted), 42);
-//! policy.operation_completion();
+//! x.store(&h, 42, PFlag::Persisted);
+//! assert_eq!(x.load(&h, PFlag::Persisted), 42);
+//! h.operation_completion();
 //! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod compat;
+pub mod db;
 pub mod flit_atomic;
 pub mod link_persist;
 pub mod no_persist;
@@ -105,6 +133,7 @@ pub mod policy;
 pub mod scheme;
 pub mod word;
 
+pub use db::{ArenaRecovery, DbRecovery, FlitDb, FlitHandle};
 pub use flit_atomic::{FlitAtomic, FlitPolicy, PlainPolicy};
 pub use link_persist::{LinkAndPersistPolicy, LpAtomic, DIRTY_BIT};
 pub use no_persist::{NoPersistPolicy, VolatileAtomic};
@@ -179,15 +208,17 @@ mod crate_tests {
     /// sequence, plain pays a pwb per p-load while FliT pays none.
     #[test]
     fn flit_elides_read_side_flushes_plain_does_not() {
-        let plain = presets::plain(backend());
-        let flit = presets::flit_ht(backend());
+        let plain = FlitDb::plain(backend());
+        let flit = FlitDb::flit_ht(backend());
+        let hp = plain.handle();
+        let hf = flit.handle();
 
         let wp = <PlainPolicy<SimNvram> as Policy>::Word::<u64>::new(1);
         let wf = <FlitPolicy<HashedScheme, SimNvram> as Policy>::Word::<u64>::new(1);
 
         for _ in 0..1000 {
-            let _ = wp.load(&plain, PFlag::Persisted);
-            let _ = wf.load(&flit, PFlag::Persisted);
+            let _ = wp.load(&hp, PFlag::Persisted);
+            let _ = wf.load(&hf, PFlag::Persisted);
         }
         assert_eq!(plain.stats_snapshot().unwrap().pwbs, 1000);
         assert_eq!(flit.stats_snapshot().unwrap().pwbs, 0);
@@ -209,10 +240,11 @@ mod crate_tests {
 
     #[test]
     fn doc_example_compiles_and_runs() {
-        let policy = FlitPolicy::new(HashedScheme::new_default(), SimNvram::default());
+        let db = FlitDb::flit_ht(SimNvram::default());
+        let h = db.handle();
         let x = <FlitPolicy<HashedScheme, SimNvram> as Policy>::Word::<u64>::new(0);
-        x.store(&policy, 42, PFlag::Persisted);
-        assert_eq!(x.load(&policy, PFlag::Persisted), 42);
-        policy.operation_completion();
+        x.store(&h, 42, PFlag::Persisted);
+        assert_eq!(x.load(&h, PFlag::Persisted), 42);
+        h.operation_completion();
     }
 }

@@ -14,12 +14,18 @@
 //! * all stores must go through CAS so that a concurrent writer cannot accidentally
 //!   clear the dirty bit of a value that has not been persisted yet (plain stores and
 //!   hardware FAA are emulated with CAS loops here).
+//!
+//! As everywhere in the workspace, every operation takes the calling thread's
+//! [`FlitHandle`] and issues its instructions through the handle's session, so the
+//! leading fence of `LpAtomic`'s dirty-write path elides per handle exactly as in the
+//! FliT write path.
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use flit_pmem::PmemBackend;
 
+use crate::db::FlitHandle;
 use crate::pflag::PFlag;
 use crate::policy::{PersistWord, Policy};
 use crate::word::PWord;
@@ -29,18 +35,18 @@ pub const DIRTY_BIT: u64 = 1 << 63;
 
 /// Persistence policy implementing link-and-persist over backend `B`.
 #[derive(Debug, Clone)]
-pub struct LinkAndPersistPolicy<B: PmemBackend> {
+pub struct LinkAndPersistPolicy<B: PmemBackend + Send + Sync + 'static> {
     backend: B,
 }
 
-impl<B: PmemBackend> LinkAndPersistPolicy<B> {
+impl<B: PmemBackend + Send + Sync + 'static> LinkAndPersistPolicy<B> {
     /// Create a link-and-persist policy over the given backend.
     pub fn new(backend: B) -> Self {
         Self { backend }
     }
 }
 
-impl<B: PmemBackend> Policy for LinkAndPersistPolicy<B> {
+impl<B: PmemBackend + Send + Sync + 'static> Policy for LinkAndPersistPolicy<B> {
     type Backend = B;
     type Word<T: PWord> = LpAtomic<T, B>;
 
@@ -59,12 +65,12 @@ impl<B: PmemBackend> Policy for LinkAndPersistPolicy<B> {
 /// Values stored through this cell must never use bit 63 (checked with a debug
 /// assertion). Heap pointers and the integer keys/values used throughout the
 /// evaluation satisfy this.
-pub struct LpAtomic<T: PWord, B: PmemBackend> {
+pub struct LpAtomic<T: PWord, B: PmemBackend + Send + Sync + 'static> {
     repr: AtomicU64,
     _marker: PhantomData<fn() -> (T, B)>,
 }
 
-impl<T: PWord, B: PmemBackend> LpAtomic<T, B> {
+impl<T: PWord, B: PmemBackend + Send + Sync + 'static> LpAtomic<T, B> {
     #[inline]
     fn word_ptr(&self) -> *const u8 {
         &self.repr as *const AtomicU64 as *const u8
@@ -77,11 +83,11 @@ impl<T: PWord, B: PmemBackend> LpAtomic<T, B> {
     /// dedup could never hit here. The only live persist-epoch elision in
     /// link-and-persist is the leading fence of [`dirty_write`](Self::dirty_write).
     #[inline]
-    fn flush_and_clear(&self, ctx: &LinkAndPersistPolicy<B>, observed: u64) {
-        let backend = &ctx.backend;
-        backend.pwb(self.word_ptr());
-        backend.note_read_side_pwb();
-        backend.pfence();
+    fn flush_and_clear(&self, h: &FlitHandle<'_, LinkAndPersistPolicy<B>>, observed: u64) {
+        let pm = h.pmem();
+        pm.pwb(self.word_ptr());
+        pm.note_read_side_pwb();
+        pm.pfence();
         // Helping is best-effort: if the writer (or another reader) already cleared
         // the bit — or the word changed entirely — there is nothing left to do.
         let _ = self.repr.compare_exchange(
@@ -97,18 +103,19 @@ impl<T: PWord, B: PmemBackend> LpAtomic<T, B> {
     /// Returns the previous clean value, or `Err(actual)` for a failed conditional CAS.
     fn dirty_write(
         &self,
-        ctx: &LinkAndPersistPolicy<B>,
+        h: &FlitHandle<'_, LinkAndPersistPolicy<B>>,
         expected: Option<u64>,
         compute_new: impl Fn(u64) -> u64,
         flag: PFlag,
     ) -> Result<u64, u64> {
-        let backend = &ctx.backend;
-        if backend.is_persistent() {
+        let persistent = h.policy().backend.is_persistent();
+        let pm = h.pmem();
+        if persistent {
             // Dependencies must be durable before this store can linearize
             // (P-V Interface Condition 4), exactly as in the FliT write path — and
-            // exactly as there, a clean thread has no unpersisted dependency and
+            // exactly as there, a clean handle has no unpersisted dependency and
             // skips the fence.
-            backend.pfence_if_dirty();
+            pm.pfence_if_dirty();
         }
         loop {
             let cur = self.repr.load(Ordering::SeqCst);
@@ -118,8 +125,8 @@ impl<T: PWord, B: PmemBackend> LpAtomic<T, B> {
                     // Before reporting failure, make sure we are not failing against a
                     // value that is still in flight; persisting it keeps the
                     // link-and-persist invariant that observed values are durable.
-                    if cur & DIRTY_BIT != 0 && backend.is_persistent() && flag.is_persisted() {
-                        self.flush_and_clear(ctx, cur);
+                    if cur & DIRTY_BIT != 0 && persistent && flag.is_persisted() {
+                        self.flush_and_clear(h, cur);
                     }
                     return Err(cur_clean);
                 }
@@ -130,7 +137,7 @@ impl<T: PWord, B: PmemBackend> LpAtomic<T, B> {
                 0,
                 "link-and-persist values must not use bit 63"
             );
-            let persist = backend.is_persistent() && flag.is_persisted();
+            let persist = persistent && flag.is_persisted();
             let new_word = if persist {
                 new_clean | DIRTY_BIT
             } else {
@@ -141,10 +148,10 @@ impl<T: PWord, B: PmemBackend> LpAtomic<T, B> {
                 .compare_exchange(cur, new_word, Ordering::SeqCst, Ordering::SeqCst)
             {
                 Ok(_) => {
-                    backend.record_store(self.word_ptr(), new_clean);
+                    pm.record_store(self.word_ptr(), new_clean);
                     if persist {
-                        backend.pwb(self.word_ptr());
-                        backend.pfence();
+                        pm.pwb(self.word_ptr());
+                        pm.pfence();
                         let _ = self.repr.compare_exchange(
                             new_word,
                             new_clean,
@@ -160,7 +167,9 @@ impl<T: PWord, B: PmemBackend> LpAtomic<T, B> {
     }
 }
 
-impl<T: PWord, B: PmemBackend> PersistWord<T, LinkAndPersistPolicy<B>> for LpAtomic<T, B> {
+impl<T: PWord, B: PmemBackend + Send + Sync + 'static> PersistWord<T, LinkAndPersistPolicy<B>>
+    for LpAtomic<T, B>
+{
     fn new(val: T) -> Self {
         debug_assert_eq!(val.to_word() & DIRTY_BIT, 0);
         Self {
@@ -170,68 +179,68 @@ impl<T: PWord, B: PmemBackend> PersistWord<T, LinkAndPersistPolicy<B>> for LpAto
     }
 
     #[inline]
-    fn load(&self, ctx: &LinkAndPersistPolicy<B>, flag: PFlag) -> T {
+    fn load(&self, h: &FlitHandle<'_, LinkAndPersistPolicy<B>>, flag: PFlag) -> T {
         let cur = self.repr.load(Ordering::SeqCst);
-        if cur & DIRTY_BIT != 0 && flag.is_persisted() && ctx.backend.is_persistent() {
-            self.flush_and_clear(ctx, cur);
+        if cur & DIRTY_BIT != 0 && flag.is_persisted() && h.policy().backend.is_persistent() {
+            self.flush_and_clear(h, cur);
         }
         T::from_word(cur & !DIRTY_BIT)
     }
 
     #[inline]
-    fn store(&self, ctx: &LinkAndPersistPolicy<B>, val: T, flag: PFlag) {
-        let _ = self.dirty_write(ctx, None, |_| val.to_word(), flag);
+    fn store(&self, h: &FlitHandle<'_, LinkAndPersistPolicy<B>>, val: T, flag: PFlag) {
+        let _ = self.dirty_write(h, None, |_| val.to_word(), flag);
     }
 
     #[inline]
     fn compare_exchange(
         &self,
-        ctx: &LinkAndPersistPolicy<B>,
+        h: &FlitHandle<'_, LinkAndPersistPolicy<B>>,
         current: T,
         new: T,
         flag: PFlag,
     ) -> Result<T, T> {
-        self.dirty_write(ctx, Some(current.to_word()), |_| new.to_word(), flag)
+        self.dirty_write(h, Some(current.to_word()), |_| new.to_word(), flag)
             .map(T::from_word)
             .map_err(T::from_word)
     }
 
     #[inline]
-    fn exchange(&self, ctx: &LinkAndPersistPolicy<B>, val: T, flag: PFlag) -> T {
+    fn exchange(&self, h: &FlitHandle<'_, LinkAndPersistPolicy<B>>, val: T, flag: PFlag) -> T {
         T::from_word(
-            self.dirty_write(ctx, None, |_| val.to_word(), flag)
+            self.dirty_write(h, None, |_| val.to_word(), flag)
                 .expect("unconditional write cannot fail"),
         )
     }
 
     #[inline]
-    fn fetch_add(&self, ctx: &LinkAndPersistPolicy<B>, delta: u64, flag: PFlag) -> T {
+    fn fetch_add(&self, h: &FlitHandle<'_, LinkAndPersistPolicy<B>>, delta: u64, flag: PFlag) -> T {
         // The original technique cannot express hardware FAA (it needs CAS to protect
         // the dirty bit); emulate it with a CAS loop, which is exactly the restriction
         // the paper points out.
         T::from_word(
-            self.dirty_write(ctx, None, |cur| cur.wrapping_add(delta) & !DIRTY_BIT, flag)
+            self.dirty_write(h, None, |cur| cur.wrapping_add(delta) & !DIRTY_BIT, flag)
                 .expect("unconditional update cannot fail"),
         )
     }
 
     #[inline]
-    fn load_private(&self, _ctx: &LinkAndPersistPolicy<B>, _flag: PFlag) -> T {
+    fn load_private(&self, _h: &FlitHandle<'_, LinkAndPersistPolicy<B>>, _flag: PFlag) -> T {
         T::from_word(self.repr.load(Ordering::SeqCst) & !DIRTY_BIT)
     }
 
     #[inline]
-    fn store_private(&self, ctx: &LinkAndPersistPolicy<B>, val: T, flag: PFlag) {
+    fn store_private(&self, h: &FlitHandle<'_, LinkAndPersistPolicy<B>>, val: T, flag: PFlag) {
         debug_assert_eq!(val.to_word() & DIRTY_BIT, 0);
         self.repr.store(val.to_word(), Ordering::SeqCst);
-        let backend = &ctx.backend;
-        if !backend.is_persistent() {
+        if !h.policy().backend.is_persistent() {
             return;
         }
-        backend.record_store(self.word_ptr(), val.to_word());
+        let pm = h.pmem();
+        pm.record_store(self.word_ptr(), val.to_word());
         if flag.is_persisted() {
-            backend.pwb(self.word_ptr());
-            backend.pfence();
+            pm.pwb(self.word_ptr());
+            pm.pfence();
         }
     }
 
@@ -254,32 +263,37 @@ impl<T: PWord, B: PmemBackend> PersistWord<T, LinkAndPersistPolicy<B>> for LpAto
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::db::FlitDb;
     use flit_pmem::{LatencyModel, SimNvram};
 
     type Lp = LinkAndPersistPolicy<SimNvram>;
 
-    fn policy() -> Lp {
-        LinkAndPersistPolicy::new(SimNvram::builder().latency(LatencyModel::none()).build())
+    fn lp_db() -> FlitDb<Lp> {
+        FlitDb::create(LinkAndPersistPolicy::new(
+            SimNvram::builder().latency(LatencyModel::none()).build(),
+        ))
     }
 
     #[test]
     fn round_trip_and_bit_is_cleared() {
-        let p = policy();
+        let db = lp_db();
+        let h = db.handle();
         let w: LpAtomic<u64, SimNvram> = LpAtomic::new(1);
-        w.store(&p, 7, PFlag::Persisted);
-        assert_eq!(w.load(&p, PFlag::Persisted), 7);
+        w.store(&h, 7, PFlag::Persisted);
+        assert_eq!(w.load(&h, PFlag::Persisted), 7);
         // After the store completes, the dirty bit must be clear again.
         assert_eq!(w.repr.load(Ordering::SeqCst) & DIRTY_BIT, 0);
     }
 
     #[test]
     fn p_store_costs_match_flit() {
-        // Clean thread: the leading fence is elided here exactly as in the FliT
+        // Clean handle: the leading fence is elided here exactly as in the FliT
         // write path, leaving one pwb and the trailing fence.
-        let p = policy();
+        let db = lp_db();
+        let h = db.handle();
         let w: LpAtomic<u64, SimNvram> = LpAtomic::new(0);
-        w.store(&p, 1, PFlag::Persisted);
-        let snap = p.stats_snapshot().unwrap();
+        w.store(&h, 1, PFlag::Persisted);
+        let snap = db.stats_snapshot().unwrap();
         assert_eq!(snap.pwbs, 1);
         assert_eq!(snap.pfences, 1);
         assert_eq!(snap.elided_pfences, 1);
@@ -287,38 +301,41 @@ mod tests {
 
     #[test]
     fn literal_mode_p_store_costs_two_pfences() {
-        let p = LinkAndPersistPolicy::new(
+        let db = FlitDb::create(LinkAndPersistPolicy::new(
             SimNvram::builder()
                 .latency(LatencyModel::none())
                 .elision(flit_pmem::ElisionMode::Disabled)
                 .build(),
-        );
+        ));
+        let h = db.handle();
         let w: LpAtomic<u64, SimNvram> = LpAtomic::new(0);
-        w.store(&p, 1, PFlag::Persisted);
-        let snap = p.stats_snapshot().unwrap();
+        w.store(&h, 1, PFlag::Persisted);
+        let snap = db.stats_snapshot().unwrap();
         assert_eq!(snap.pwbs, 1);
         assert_eq!(snap.pfences, 2);
     }
 
     #[test]
     fn reads_of_clean_words_never_flush() {
-        let p = policy();
+        let db = lp_db();
+        let h = db.handle();
         let w: LpAtomic<u64, SimNvram> = LpAtomic::new(5);
         for _ in 0..50 {
-            let _ = w.load(&p, PFlag::Persisted);
+            let _ = w.load(&h, PFlag::Persisted);
         }
-        assert_eq!(p.stats_snapshot().unwrap().pwbs, 0);
+        assert_eq!(db.stats_snapshot().unwrap().pwbs, 0);
     }
 
     #[test]
     fn reader_helps_persist_a_dirty_word() {
-        let p = policy();
+        let db = lp_db();
+        let h = db.handle();
         let w: LpAtomic<u64, SimNvram> = LpAtomic::new(0);
         // Simulate a writer that crashed (or was delayed) between its CAS and its
         // flush: the word is visible with the dirty bit still set.
         w.repr.store(9 | DIRTY_BIT, Ordering::SeqCst);
-        assert_eq!(w.load(&p, PFlag::Persisted), 9);
-        let snap = p.stats_snapshot().unwrap();
+        assert_eq!(w.load(&h, PFlag::Persisted), 9);
+        let snap = db.stats_snapshot().unwrap();
         assert_eq!(snap.pwbs, 1, "the reader must flush on its behalf");
         assert_eq!(snap.read_side_pwbs, 1);
         assert_eq!(
@@ -330,48 +347,53 @@ mod tests {
 
     #[test]
     fn volatile_loads_ignore_the_dirty_bit() {
-        let p = policy();
+        let db = lp_db();
+        let h = db.handle();
         let w: LpAtomic<u64, SimNvram> = LpAtomic::new(0);
         w.repr.store(9 | DIRTY_BIT, Ordering::SeqCst);
-        assert_eq!(w.load(&p, PFlag::Volatile), 9);
-        assert_eq!(p.stats_snapshot().unwrap().pwbs, 0);
+        assert_eq!(w.load(&h, PFlag::Volatile), 9);
+        assert_eq!(db.stats_snapshot().unwrap().pwbs, 0);
         assert_ne!(w.repr.load(Ordering::SeqCst) & DIRTY_BIT, 0);
     }
 
     #[test]
     fn cas_success_failure_and_masking() {
-        let p = policy();
+        let db = lp_db();
+        let h = db.handle();
         let w: LpAtomic<u64, SimNvram> = LpAtomic::new(10);
-        assert_eq!(w.compare_exchange(&p, 10, 20, PFlag::Persisted), Ok(10));
-        assert_eq!(w.compare_exchange(&p, 10, 30, PFlag::Persisted), Err(20));
-        assert_eq!(w.load(&p, PFlag::Persisted), 20);
+        assert_eq!(w.compare_exchange(&h, 10, 20, PFlag::Persisted), Ok(10));
+        assert_eq!(w.compare_exchange(&h, 10, 30, PFlag::Persisted), Err(20));
+        assert_eq!(w.load(&h, PFlag::Persisted), 20);
     }
 
     #[test]
     fn exchange_and_emulated_faa() {
-        let p = policy();
+        let db = lp_db();
+        let h = db.handle();
         let w: LpAtomic<u64, SimNvram> = LpAtomic::new(100);
-        assert_eq!(w.exchange(&p, 200, PFlag::Persisted), 100);
-        assert_eq!(w.fetch_add(&p, 7, PFlag::Persisted), 200);
-        assert_eq!(w.load(&p, PFlag::Persisted), 207);
+        assert_eq!(w.exchange(&h, 200, PFlag::Persisted), 100);
+        assert_eq!(w.fetch_add(&h, 7, PFlag::Persisted), 200);
+        assert_eq!(w.load(&h, PFlag::Persisted), 207);
     }
 
     #[test]
     fn pointer_values_survive() {
-        let p = policy();
+        let db = lp_db();
+        let h = db.handle();
         let node = Box::into_raw(Box::new(3u64));
         let w: LpAtomic<*mut u64, SimNvram> = LpAtomic::new(std::ptr::null_mut());
-        w.store(&p, node, PFlag::Persisted);
-        assert_eq!(w.load(&p, PFlag::Persisted), node);
+        w.store(&h, node, PFlag::Persisted);
+        assert_eq!(w.load(&h, PFlag::Persisted), node);
         unsafe { drop(Box::from_raw(node)) };
     }
 
     #[test]
     fn completed_p_store_is_durable_in_the_tracker() {
         let backend = SimNvram::for_crash_testing();
-        let p = LinkAndPersistPolicy::new(backend.clone());
+        let db = FlitDb::create(LinkAndPersistPolicy::new(backend.clone()));
+        let h = db.handle();
         let w: LpAtomic<u64, SimNvram> = LpAtomic::new(0);
-        w.store(&p, 33, PFlag::Persisted);
+        w.store(&h, 33, PFlag::Persisted);
         assert_eq!(
             backend.tracker().unwrap().persisted_value(w.addr()),
             Some(33)
@@ -380,16 +402,17 @@ mod tests {
 
     #[test]
     fn concurrent_updates_keep_values_clean() {
-        let p = std::sync::Arc::new(policy());
+        let db = lp_db();
         let w = std::sync::Arc::new(LpAtomic::<u64, SimNvram>::new(0));
         std::thread::scope(|s| {
             for _ in 0..4 {
-                let p = std::sync::Arc::clone(&p);
+                let db = &db;
                 let w = std::sync::Arc::clone(&w);
                 s.spawn(move || {
+                    let h = db.handle();
                     for _ in 0..500 {
-                        w.fetch_add(&p, 1, PFlag::Persisted);
-                        let _ = w.load(&p, PFlag::Persisted);
+                        w.fetch_add(&h, 1, PFlag::Persisted);
+                        let _ = w.load(&h, PFlag::Persisted);
                     }
                 });
             }

@@ -4,13 +4,16 @@
 //! form (the grey dotted line in the paper's plots): no `pwb`, no `pfence`, no
 //! tagging — just the underlying atomic instruction. [`NoPersistPolicy`] provides that
 //! baseline through the same [`Policy`] interface so the identical data-structure code
-//! can be measured with and without persistence.
+//! can be measured with and without persistence. `PERSISTENT = false` short-circuits
+//! the handle-level helpers (`operation_completion`, `persist_range`) at compile
+//! time, so the baseline pays nothing for the shared interface.
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use flit_pmem::NullPmem;
 
+use crate::db::FlitHandle;
 use crate::pflag::PFlag;
 use crate::policy::{PersistWord, Policy};
 use crate::word::PWord;
@@ -38,12 +41,6 @@ impl Policy for NoPersistPolicy {
         &self.backend
     }
 
-    #[inline]
-    fn operation_completion(&self) {}
-
-    #[inline]
-    fn persist_range(&self, _start: *const u8, _len: usize, _flag: PFlag) {}
-
     fn label(&self) -> String {
         "non-persistent".to_string()
     }
@@ -64,19 +61,19 @@ impl<T: PWord> PersistWord<T, NoPersistPolicy> for VolatileAtomic<T> {
     }
 
     #[inline]
-    fn load(&self, _ctx: &NoPersistPolicy, _flag: PFlag) -> T {
+    fn load(&self, _h: &FlitHandle<'_, NoPersistPolicy>, _flag: PFlag) -> T {
         T::from_word(self.repr.load(Ordering::SeqCst))
     }
 
     #[inline]
-    fn store(&self, _ctx: &NoPersistPolicy, val: T, _flag: PFlag) {
+    fn store(&self, _h: &FlitHandle<'_, NoPersistPolicy>, val: T, _flag: PFlag) {
         self.repr.store(val.to_word(), Ordering::SeqCst);
     }
 
     #[inline]
     fn compare_exchange(
         &self,
-        _ctx: &NoPersistPolicy,
+        _h: &FlitHandle<'_, NoPersistPolicy>,
         current: T,
         new: T,
         _flag: PFlag,
@@ -93,23 +90,23 @@ impl<T: PWord> PersistWord<T, NoPersistPolicy> for VolatileAtomic<T> {
     }
 
     #[inline]
-    fn exchange(&self, _ctx: &NoPersistPolicy, val: T, _flag: PFlag) -> T {
+    fn exchange(&self, _h: &FlitHandle<'_, NoPersistPolicy>, val: T, _flag: PFlag) -> T {
         T::from_word(self.repr.swap(val.to_word(), Ordering::SeqCst))
     }
 
     #[inline]
-    fn fetch_add(&self, _ctx: &NoPersistPolicy, delta: u64, _flag: PFlag) -> T {
+    fn fetch_add(&self, _h: &FlitHandle<'_, NoPersistPolicy>, delta: u64, _flag: PFlag) -> T {
         T::from_word(self.repr.fetch_add(delta, Ordering::SeqCst))
     }
 
     #[inline]
-    fn load_private(&self, ctx: &NoPersistPolicy, flag: PFlag) -> T {
-        self.load(ctx, flag)
+    fn load_private(&self, h: &FlitHandle<'_, NoPersistPolicy>, flag: PFlag) -> T {
+        self.load(h, flag)
     }
 
     #[inline]
-    fn store_private(&self, ctx: &NoPersistPolicy, val: T, flag: PFlag) {
-        self.store(ctx, val, flag)
+    fn store_private(&self, h: &FlitHandle<'_, NoPersistPolicy>, val: T, flag: PFlag) {
+        self.store(h, val, flag)
     }
 
     #[inline]
@@ -131,28 +128,32 @@ impl<T: PWord> PersistWord<T, NoPersistPolicy> for VolatileAtomic<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::db::FlitDb;
 
     #[test]
     fn basic_operations() {
-        let p = NoPersistPolicy::new();
+        let db = FlitDb::create(NoPersistPolicy::new());
+        let h = db.handle();
         let w: VolatileAtomic<u64> = VolatileAtomic::new(1);
-        assert_eq!(w.load(&p, PFlag::Persisted), 1);
-        w.store(&p, 2, PFlag::Persisted);
-        assert_eq!(w.compare_exchange(&p, 2, 3, PFlag::Persisted), Ok(2));
-        assert_eq!(w.exchange(&p, 4, PFlag::Persisted), 3);
-        assert_eq!(w.fetch_add(&p, 6, PFlag::Persisted), 4);
+        assert_eq!(w.load(&h, PFlag::Persisted), 1);
+        w.store(&h, 2, PFlag::Persisted);
+        assert_eq!(w.compare_exchange(&h, 2, 3, PFlag::Persisted), Ok(2));
+        assert_eq!(w.exchange(&h, 4, PFlag::Persisted), 3);
+        assert_eq!(w.fetch_add(&h, 6, PFlag::Persisted), 4);
         assert_eq!(w.load_direct(), 10);
     }
 
     #[test]
     fn no_persistence_side_effects() {
-        let p = NoPersistPolicy::new();
+        let db = FlitDb::create(NoPersistPolicy::new());
+        let h = db.handle();
         const { assert!(!NoPersistPolicy::PERSISTENT) };
-        assert!(p.stats_snapshot().is_none());
-        p.operation_completion();
+        assert!(db.stats_snapshot().is_none());
+        h.operation_completion();
         let w: VolatileAtomic<u64> = VolatileAtomic::new(0);
-        p.persist_object(&w, PFlag::Persisted);
-        assert_eq!(p.label(), "non-persistent");
+        h.persist_object(&w, PFlag::Persisted);
+        assert_eq!(db.label(), "non-persistent");
+        assert!(!h.is_dirty());
     }
 
     #[test]

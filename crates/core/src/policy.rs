@@ -15,52 +15,68 @@
 //! Data structures are written once, generic over `P: Policy`, and every word they
 //! declare as `P::Word<T>` behaves according to the chosen policy — this is the Rust
 //! equivalent of the paper's `persist<T>` template declaration.
+//!
+//! ## Handles, not ambient threads
+//!
+//! Every word operation takes the calling thread's **[`FlitHandle`]** as an
+//! explicit context argument: the handle carries the policy (schemes that keep
+//! their flit-counters in a shared table live there), the backend, and the
+//! per-handle persist-epoch state that decides which fences and flushes may be
+//! elided. Per-operation bookkeeping ([`FlitHandle::operation_completion`],
+//! [`FlitHandle::persist_object`](crate::FlitHandle::persist_object)) lives on
+//! the handle too; the `Policy` itself is pure configuration.
 
-use flit_pmem::{cache_line_of, PmemBackend, StatsSnapshot, CACHE_LINE_SIZE};
+use flit_pmem::{PmemBackend, StatsSnapshot};
 
+use crate::db::FlitHandle;
 use crate::pflag::PFlag;
 use crate::word::PWord;
 
 /// One persisted word as exposed to data-structure code: the Rust counterpart of the
 /// paper's `persist<T>` member functions (Figure 1).
 ///
-/// Every method takes the owning [`Policy`] as an explicit context argument (`ctx`):
-/// schemes that keep their flit-counters in a shared table, and backends that carry
-/// statistics, live in the policy rather than in each word, so the word itself stays
-/// as small as the scheme allows.
+/// Every method takes the calling thread's [`FlitHandle`] as an explicit context
+/// argument (`h`): the handle reaches the owning policy (schemes, backend) and
+/// owns the persist-epoch state each instruction must be attributed to.
 ///
 /// The `*_private` variants implement the cheaper code path the paper describes for
 /// locations not yet (or no longer) reachable by other threads.
 pub trait PersistWord<T: PWord, P: Policy>: Send + Sync + 'static {
     /// Create a word holding `val`. No persistence actions are taken: a freshly
     /// created word is private until it is published, and the publishing code decides
-    /// how to persist the initial value (typically [`Policy::persist_object`]).
+    /// how to persist the initial value (typically [`FlitHandle::persist_object`]).
     fn new(val: T) -> Self;
 
     /// Shared load (`persist<T>::load(pflag)`).
-    fn load(&self, ctx: &P, flag: PFlag) -> T;
+    fn load(&self, h: &FlitHandle<'_, P>, flag: PFlag) -> T;
 
     /// Shared store (`persist<T>::write(value, pflag)`).
-    fn store(&self, ctx: &P, val: T, flag: PFlag);
+    fn store(&self, h: &FlitHandle<'_, P>, val: T, flag: PFlag);
 
     /// Shared compare-and-swap. Returns `Ok(previous)` on success and `Err(actual)`
     /// when the current value did not match `current`.
-    fn compare_exchange(&self, ctx: &P, current: T, new: T, flag: PFlag) -> Result<T, T>;
+    fn compare_exchange(
+        &self,
+        h: &FlitHandle<'_, P>,
+        current: T,
+        new: T,
+        flag: PFlag,
+    ) -> Result<T, T>;
 
     /// Shared atomic exchange (`persist<T>::exchange`). Returns the previous value.
-    fn exchange(&self, ctx: &P, val: T, flag: PFlag) -> T;
+    fn exchange(&self, h: &FlitHandle<'_, P>, val: T, flag: PFlag) -> T;
 
     /// Shared fetch-and-add on the word's 64-bit representation
     /// (`persist<T>::FAA`; only meaningful for integer `T`). Returns the previous
     /// value.
-    fn fetch_add(&self, ctx: &P, delta: u64, flag: PFlag) -> T;
+    fn fetch_add(&self, h: &FlitHandle<'_, P>, delta: u64, flag: PFlag) -> T;
 
     /// Private load: the location cannot be concurrently accessed.
-    fn load_private(&self, ctx: &P, flag: PFlag) -> T;
+    fn load_private(&self, h: &FlitHandle<'_, P>, flag: PFlag) -> T;
 
     /// Private store: the location cannot be concurrently accessed, so the
     /// flit-counter and the leading fence are skipped (paper §5).
-    fn store_private(&self, ctx: &P, val: T, flag: PFlag);
+    fn store_private(&self, h: &FlitHandle<'_, P>, val: T, flag: PFlag);
 
     /// Raw load with no persistence semantics whatsoever. Intended for `Drop`
     /// implementations and single-threaded teardown/validation code.
@@ -76,9 +92,16 @@ pub trait PersistWord<T: PWord, P: Policy>: Send + Sync + 'static {
 /// A persistence policy: a [`TagScheme`](crate::scheme::TagScheme) (or other tagging
 /// mechanism) plus a [`PmemBackend`], packaged so that data structures can be written
 /// once and instantiated with any combination.
+///
+/// A policy is pure configuration: per-thread session state lives in
+/// [`FlitHandle`], and the facade that owns a policy (plus the collector and
+/// arenas) is [`FlitDb`](crate::FlitDb).
 pub trait Policy: Send + Sync + Sized + 'static {
-    /// The persistent-memory backend in use.
-    type Backend: PmemBackend;
+    /// The persistent-memory backend in use. The `Send + Sync + 'static` bounds
+    /// make the *stored* backend shareable; the per-handle
+    /// [`PmemSession`](flit_pmem::PmemSession) view through which operations
+    /// issue instructions is intentionally not subject to them.
+    type Backend: PmemBackend + Send + Sync + 'static;
 
     /// The persisted-word cell type for values of type `T`.
     type Word<T: PWord>: PersistWord<T, Self>;
@@ -89,52 +112,6 @@ pub trait Policy: Send + Sync + Sized + 'static {
 
     /// Access the backend (for statistics and direct flushing).
     fn backend(&self) -> &Self::Backend;
-
-    /// The paper's `persist::operation_completion()`: must be called at the end of
-    /// every data-structure operation. Issues a `pfence` so that every dependency of
-    /// the completed operation is persisted before the operation returns
-    /// (P-V Interface, Condition 4).
-    ///
-    /// The fence goes through
-    /// [`pfence_if_dirty`](flit_pmem::PmemBackend::pfence_if_dirty): a thread that
-    /// issued no `pwb` during the operation (e.g. a read-only operation over
-    /// untagged words) holds no unpersisted dependency — every value it read was
-    /// persisted by its writer's trailing fence before the word was untagged — so
-    /// the completion fence is elided entirely.
-    fn operation_completion(&self) {
-        if Self::PERSISTENT {
-            self.backend().pfence_if_dirty();
-        }
-    }
-
-    /// Flush `len` bytes starting at `start` (every cache line they touch) and fence.
-    ///
-    /// Used to persist freshly initialised objects before they are published by a
-    /// shared p-store; a no-op when `flag` is volatile or the policy is
-    /// non-persistent.
-    fn persist_range(&self, start: *const u8, len: usize, flag: PFlag) {
-        if !Self::PERSISTENT || flag.is_volatile() || len == 0 {
-            return;
-        }
-        let backend = self.backend();
-        let first = cache_line_of(start as usize);
-        let last = cache_line_of(start as usize + len - 1);
-        let mut line = first;
-        loop {
-            backend.pwb(line as *const u8);
-            if line == last {
-                break;
-            }
-            line += CACHE_LINE_SIZE;
-        }
-        backend.pfence();
-    }
-
-    /// Persist an entire object (all cache lines it occupies). Typically called on a
-    /// freshly allocated node right before the compare-and-swap that publishes it.
-    fn persist_object<T>(&self, obj: &T, flag: PFlag) {
-        self.persist_range(obj as *const T as *const u8, std::mem::size_of::<T>(), flag);
-    }
 
     /// Human-readable label for benchmark output (e.g. `"flit-HT (1MB)"`).
     fn label(&self) -> String;
@@ -148,8 +125,10 @@ pub trait Policy: Send + Sync + Sized + 'static {
 #[cfg(test)]
 mod tests {
     // The concrete policies have their own test modules; here we only check the
-    // default method implementations through a minimal hand-rolled policy.
+    // handle-level helpers (`operation_completion`, `persist_range`,
+    // `persist_object`) through a minimal hand-rolled policy.
     use super::*;
+    use crate::db::FlitDb;
     use flit_pmem::{LatencyModel, SimNvram};
     use std::marker::PhantomData;
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -166,15 +145,15 @@ mod tests {
                 _t: PhantomData,
             }
         }
-        fn load(&self, _ctx: &DummyPolicy, _flag: PFlag) -> T {
+        fn load(&self, _h: &FlitHandle<'_, DummyPolicy>, _flag: PFlag) -> T {
             T::from_word(self.repr.load(Ordering::SeqCst))
         }
-        fn store(&self, _ctx: &DummyPolicy, val: T, _flag: PFlag) {
+        fn store(&self, _h: &FlitHandle<'_, DummyPolicy>, val: T, _flag: PFlag) {
             self.repr.store(val.to_word(), Ordering::SeqCst)
         }
         fn compare_exchange(
             &self,
-            _ctx: &DummyPolicy,
+            _h: &FlitHandle<'_, DummyPolicy>,
             current: T,
             new: T,
             _flag: PFlag,
@@ -189,17 +168,17 @@ mod tests {
                 .map(T::from_word)
                 .map_err(T::from_word)
         }
-        fn exchange(&self, _ctx: &DummyPolicy, val: T, _flag: PFlag) -> T {
+        fn exchange(&self, _h: &FlitHandle<'_, DummyPolicy>, val: T, _flag: PFlag) -> T {
             T::from_word(self.repr.swap(val.to_word(), Ordering::SeqCst))
         }
-        fn fetch_add(&self, _ctx: &DummyPolicy, delta: u64, _flag: PFlag) -> T {
+        fn fetch_add(&self, _h: &FlitHandle<'_, DummyPolicy>, delta: u64, _flag: PFlag) -> T {
             T::from_word(self.repr.fetch_add(delta, Ordering::SeqCst))
         }
-        fn load_private(&self, ctx: &DummyPolicy, flag: PFlag) -> T {
-            self.load(ctx, flag)
+        fn load_private(&self, h: &FlitHandle<'_, DummyPolicy>, flag: PFlag) -> T {
+            self.load(h, flag)
         }
-        fn store_private(&self, ctx: &DummyPolicy, val: T, flag: PFlag) {
-            self.store(ctx, val, flag)
+        fn store_private(&self, h: &FlitHandle<'_, DummyPolicy>, val: T, flag: PFlag) {
+            self.store(h, val, flag)
         }
         fn load_direct(&self) -> T {
             T::from_word(self.repr.load(Ordering::Relaxed))
@@ -227,70 +206,73 @@ mod tests {
         }
     }
 
-    #[test]
-    fn operation_completion_fences_only_dirty_threads() {
-        let p = DummyPolicy {
+    fn dummy_db() -> FlitDb<DummyPolicy> {
+        FlitDb::create(DummyPolicy {
             backend: SimNvram::builder().latency(LatencyModel::none()).build(),
-        };
-        // A clean thread's completion fence would persist nothing: elided.
-        p.operation_completion();
-        assert_eq!(p.stats_snapshot().unwrap().pfences, 0);
-        assert_eq!(p.stats_snapshot().unwrap().elided_pfences, 1);
-        // After a pwb the completion fence must fire.
+        })
+    }
+
+    #[test]
+    fn operation_completion_fences_only_dirty_handles() {
+        let db = dummy_db();
+        let h = db.handle();
+        // A clean handle's completion fence would persist nothing: elided.
+        h.operation_completion();
+        assert_eq!(db.stats_snapshot().unwrap().pfences, 0);
+        assert_eq!(db.stats_snapshot().unwrap().elided_pfences, 1);
+        // After a pwb through the handle the completion fence must fire.
         let x = 1u64;
-        p.backend().pwb(&x as *const u64 as *const u8);
-        p.operation_completion();
-        assert_eq!(p.stats_snapshot().unwrap().pfences, 1);
+        h.pmem().pwb(&x as *const u64 as *const u8);
+        h.operation_completion();
+        assert_eq!(db.stats_snapshot().unwrap().pfences, 1);
     }
 
     #[test]
     fn operation_completion_is_literal_when_elision_is_disabled() {
-        let p = DummyPolicy {
+        let db = FlitDb::create(DummyPolicy {
             backend: SimNvram::builder()
                 .latency(LatencyModel::none())
                 .elision(flit_pmem::ElisionMode::Disabled)
                 .build(),
-        };
-        p.operation_completion();
-        p.operation_completion();
-        assert_eq!(p.stats_snapshot().unwrap().pfences, 2);
+        });
+        let h = db.handle();
+        h.operation_completion();
+        h.operation_completion();
+        assert_eq!(db.stats_snapshot().unwrap().pfences, 2);
     }
 
     #[test]
     fn persist_range_flushes_every_touched_line() {
-        let p = DummyPolicy {
-            backend: SimNvram::builder().latency(LatencyModel::none()).build(),
-        };
+        let db = dummy_db();
+        let h = db.handle();
         // 130 bytes starting at an arbitrary heap address touch 3 or 4 cache lines.
         let buf = vec![0u8; 256];
-        p.persist_range(buf.as_ptr(), 130, PFlag::Persisted);
-        let snap = p.stats_snapshot().unwrap();
+        h.persist_range(buf.as_ptr(), 130, PFlag::Persisted);
+        let snap = db.stats_snapshot().unwrap();
         assert!(snap.pwbs >= 3 && snap.pwbs <= 4, "got {} pwbs", snap.pwbs);
         assert_eq!(snap.pfences, 1);
     }
 
     #[test]
     fn persist_range_is_a_noop_for_volatile_flag() {
-        let p = DummyPolicy {
-            backend: SimNvram::builder().latency(LatencyModel::none()).build(),
-        };
+        let db = dummy_db();
+        let h = db.handle();
         let buf = [0u8; 64];
-        p.persist_range(buf.as_ptr(), 64, PFlag::Volatile);
-        p.persist_range(buf.as_ptr(), 0, PFlag::Persisted);
-        assert_eq!(p.stats_snapshot().unwrap().pwbs, 0);
-        assert_eq!(p.stats_snapshot().unwrap().pfences, 0);
+        h.persist_range(buf.as_ptr(), 64, PFlag::Volatile);
+        h.persist_range(buf.as_ptr(), 0, PFlag::Persisted);
+        assert_eq!(db.stats_snapshot().unwrap().pwbs, 0);
+        assert_eq!(db.stats_snapshot().unwrap().pfences, 0);
     }
 
     #[test]
     fn persist_object_covers_the_whole_object() {
-        let p = DummyPolicy {
-            backend: SimNvram::builder().latency(LatencyModel::none()).build(),
-        };
+        let db = dummy_db();
+        let h = db.handle();
         #[repr(align(64))]
         #[allow(dead_code)]
         struct Big([u8; 256]);
         let big = Big([0; 256]);
-        p.persist_object(&big, PFlag::Persisted);
-        assert_eq!(p.stats_snapshot().unwrap().pwbs, 4);
+        h.persist_object(&big, PFlag::Persisted);
+        assert_eq!(db.stats_snapshot().unwrap().pwbs, 4);
     }
 }

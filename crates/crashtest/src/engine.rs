@@ -32,7 +32,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use flit::Policy;
+use flit::{FlitDb, Policy};
 use flit_datastructs::{ConcurrentMap, Durability, MapCrashRecovery, RecoveredMap};
 use flit_pmem::{CrashImage, CrashPlan, ElisionMode, LatencyModel, SimNvram};
 use flit_queues::{ConcurrentQueue, MsQueue};
@@ -126,7 +126,11 @@ where
         None => CrashPlan::counting(),
     };
     let backend = replay_backend(plan.clone(), elision);
-    let map = M::with_capacity(factory(backend.clone()), 64);
+    let db = FlitDb::create(factory(backend.clone()));
+    let map = M::with_capacity(&db, 64);
+    // The single replay handle: the engine owns it explicitly, which is what the
+    // round-robin harness generalises to N handles (see `roundrobin`).
+    let h = db.handle();
     let base = plan.events_seen();
     let mut boundaries = Vec::with_capacity(history.len());
     let mut model: BTreeMap<u64, u64> = BTreeMap::new();
@@ -138,7 +142,7 @@ where
             };
             match *op {
                 MapOp::Insert(k, v) => {
-                    let got = map.insert(k, v);
+                    let got = map.insert(&h, k, v);
                     let want = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k)
                     {
                         e.insert(v);
@@ -151,14 +155,14 @@ where
                     }
                 }
                 MapOp::Remove(k) => {
-                    let got = map.remove(k);
+                    let got = map.remove(&h, k);
                     let want = model.remove(&k).is_some();
                     if got != want && functional.is_none() {
                         functional = Some(mismatch(&got, &want));
                     }
                 }
                 MapOp::Get(k) => {
-                    let got = map.get(k);
+                    let got = map.get(&h, k);
                     let want = model.get(&k).copied();
                     if got != want && functional.is_none() {
                         functional = Some(mismatch(&got, &want));
@@ -198,7 +202,9 @@ where
         None => CrashPlan::counting(),
     };
     let backend = replay_backend(plan.clone(), elision);
-    let queue: MsQueue<P, D> = MsQueue::new(factory(backend.clone()));
+    let db = FlitDb::create(factory(backend.clone()));
+    let queue: MsQueue<P, D> = MsQueue::new(&db);
+    let h = db.handle();
     let base = plan.events_seen();
     let mut boundaries = Vec::with_capacity(history.len());
     let mut model: VecDeque<u64> = VecDeque::new();
@@ -207,11 +213,11 @@ where
         for (i, op) in history.iter().enumerate() {
             match *op {
                 QueueOp::Enqueue(v) => {
-                    queue.enqueue(v);
+                    queue.enqueue(&h, v);
                     model.push_back(v);
                 }
                 QueueOp::Dequeue => {
-                    let got = queue.dequeue();
+                    let got = queue.dequeue(&h);
                     let want = model.pop_front();
                     if got != want && functional.is_none() {
                         functional = Some(format!(

@@ -43,7 +43,11 @@
 //! * [`matrix::run_matrix`] / [`matrix::run_case`] — value-addressable sweeps over
 //!   the full combination space (what the binary and CI drive);
 //! * [`engine::sweep_map`] / [`engine::sweep_queue`] — generic sweeps for one
-//!   concrete instantiation (what the integration tests drive directly).
+//!   concrete instantiation (what the integration tests drive directly);
+//! * [`roundrobin::round_robin_map`] — the controlled scheduler: N explicit
+//!   `FlitHandle`s stepped round-robin on one OS thread, producing a
+//!   byte-reproducible global event stream (the explicit-handle redesign's
+//!   proof-of-concept, seeding the multi-threaded sweep roadmap item).
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -51,10 +55,12 @@
 pub mod engine;
 pub mod matrix;
 pub mod report;
+pub mod roundrobin;
 
 pub use engine::{sweep_map, sweep_queue, SweepSettings};
 pub use matrix::{run_case, run_matrix, MethodKind, PolicyKind, StructureKind};
 pub use report::{CaseMeta, HistorySpec, SweepReport, Violation};
+pub use roundrobin::{round_robin_map, round_robin_script, RoundRobinTrace, ScriptedStep};
 
 use flit::PFlag;
 use flit_datastructs::Durability;

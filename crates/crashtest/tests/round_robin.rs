@@ -1,0 +1,128 @@
+//! Proof-of-concept controlled-scheduler test (the explicit-handle redesign's
+//! acceptance criterion): **two handles stepped round-robin by the crashtest
+//! engine over a scripted history produce a deterministic, byte-identical global
+//! persistence-event stream across runs.**
+//!
+//! This seeds the ROADMAP's deterministic multi-threaded crash-sweep item: once
+//! the interleaved stream of a multi-handle history is byte-reproducible, a sweep
+//! can crash at any absolute index of it and replay exactly — the same recipe the
+//! single-handle sweeps already use.
+
+use flit::{presets, FlitPolicy, HashedScheme};
+use flit_crashtest::roundrobin::{round_robin_map, round_robin_script, ScriptedStep};
+use flit_datastructs::{Automatic, HarrisList, HashTable, NatarajanTree, SkipList};
+use flit_pmem::{ElisionMode, SimNvram};
+use flit_workload::MapOp;
+
+type P = FlitPolicy<HashedScheme, SimNvram>;
+
+fn factory(b: SimNvram) -> P {
+    presets::flit_ht_sized(b, 1 << 14)
+}
+
+/// A scripted mixed history: inserts, lookups, removes, duplicate inserts,
+/// missing removes — enough churn to cross every code path of the structures.
+fn scripted_history() -> Vec<MapOp> {
+    vec![
+        MapOp::Insert(5, 50),
+        MapOp::Insert(1, 10),
+        MapOp::Get(5),
+        MapOp::Insert(5, 999), // duplicate: must fail
+        MapOp::Remove(1),
+        MapOp::Insert(9, 90),
+        MapOp::Get(1),    // gone
+        MapOp::Remove(7), // never present
+        MapOp::Insert(3, 30),
+        MapOp::Remove(5),
+        MapOp::Get(9),
+        MapOp::Insert(1, 11),
+    ]
+}
+
+/// The headline assertion: two complete replays of the same two-handle scripted
+/// history — fresh backend, fresh db, fresh handles each time — serialise to
+/// byte-identical traces: same construction span, same per-step boundaries
+/// (attributed to the same handles), same total, and the same global
+/// store/pwb/pfence stream character for character.
+#[test]
+fn two_handle_round_robin_streams_are_byte_identical_across_runs() {
+    let script = round_robin_script(&scripted_history(), 2);
+    let run = || {
+        round_robin_map::<P, HarrisList<P, Automatic>, _>(
+            &factory,
+            2,
+            &script,
+            ElisionMode::Enabled,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.stream_string(),
+        b.stream_string(),
+        "two runs of one scripted two-handle history must serialise identically"
+    );
+    // The serialisation is faithful: the underlying traces agree field by field.
+    assert_eq!(a.kinds, b.kinds);
+    assert_eq!(a.step_boundaries, b.step_boundaries);
+    assert_eq!(a.construction_events, b.construction_events);
+    assert_eq!(a.events_total, b.events_total);
+    // And the stream is non-trivial: construction + the scripted operations.
+    assert!(a.construction_events > 0);
+    assert!(a.events_total > a.construction_events);
+}
+
+/// Determinism holds for every structure and for the paper-literal stream too
+/// (the two streams differ from each other, but each is self-reproducible).
+#[test]
+fn round_robin_determinism_holds_across_structures_and_streams() {
+    let script = round_robin_script(&scripted_history(), 2);
+    fn check<M: flit_datastructs::ConcurrentMap<P>>(
+        script: &[ScriptedStep],
+        elision: ElisionMode,
+        label: &str,
+    ) {
+        let run = || round_robin_map::<P, M, _>(&factory, 2, script, elision);
+        let (a, b) = (run(), run());
+        assert_eq!(
+            a.stream_string(),
+            b.stream_string(),
+            "{label}: stream drifted between runs"
+        );
+    }
+    for elision in [ElisionMode::Enabled, ElisionMode::Disabled] {
+        check::<HarrisList<P, Automatic>>(&script, elision, "list");
+        check::<HashTable<P, Automatic>>(&script, elision, "hashtable");
+        check::<NatarajanTree<P, Automatic>>(&script, elision, "bst");
+        check::<SkipList<P, Automatic>>(&script, elision, "skiplist");
+    }
+}
+
+/// Three handles work the same way as two — the scheduler owns N sessions, and
+/// the assignment of operations to handles is part of the reproducible recipe:
+/// changing the assignment changes the stream (elision decisions are per
+/// handle), but each assignment reproduces itself exactly.
+#[test]
+fn handle_assignment_is_part_of_the_reproducible_recipe() {
+    let history = scripted_history();
+    let two = round_robin_script(&history, 2);
+    let three = round_robin_script(&history, 3);
+    let run2 = || {
+        round_robin_map::<P, HarrisList<P, Automatic>, _>(&factory, 2, &two, ElisionMode::Enabled)
+    };
+    let run3 = || {
+        round_robin_map::<P, HarrisList<P, Automatic>, _>(&factory, 3, &three, ElisionMode::Enabled)
+    };
+    assert_eq!(run2().stream_string(), run2().stream_string());
+    assert_eq!(run3().stream_string(), run3().stream_string());
+    // Same operations, different logical-thread assignment: the interleaved
+    // fence-elision pattern (and so the stream) may differ — but the *volatile*
+    // outcome is the same sequential history either way, so total event counts
+    // can only differ through per-handle fence attribution.
+    let (t2, t3) = (run2(), run3());
+    assert_eq!(
+        t2.step_boundaries.len(),
+        t3.step_boundaries.len(),
+        "same history length"
+    );
+}

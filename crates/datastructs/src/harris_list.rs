@@ -7,29 +7,34 @@
 //! any later traversal that encounters it).
 //!
 //! Persistence is injected entirely through the [`Policy`] / [`Durability`] type
-//! parameters; the algorithm itself is textbook Harris. In the `Automatic` method
-//! every load and store below is a p-instruction; in `NvTraverse`/`Manual` the search
-//! loop issues v-loads and the links touched by the critical phase are persisted via
-//! the transition (see [`Durability::TRANSITION_DEPTH`]).
+//! parameters; the algorithm itself is textbook Harris. Every operation takes the
+//! calling thread's [`FlitHandle`]: loads/stores are issued through the handle (so
+//! fence/flush elision is per handle), EBR pinning goes through the handle's
+//! participant, and the completion fence is [`FlitHandle::operation_completion`].
+//! In the `Automatic` method every load and store below is a p-instruction; in
+//! `NvTraverse`/`Manual` the search loop issues v-loads and the links touched by
+//! the critical phase are persisted via the transition (see
+//! [`Durability::TRANSITION_DEPTH`]).
 //!
 //! ## Arena allocation and image-only recovery
 //!
 //! Nodes live in cache-line-aligned slots of a [`Arena`] — one arena per
-//! standalone list, or the owning hash table's shared arena when the list serves as
-//! a bucket. Every node word (including the immutable `key`/`value`) is recorded
-//! with the backend before the node is persisted and published, and a standalone
-//! list registers its head sentinel in the arena's recovery-root table under
-//! [`roots::LIST_HEAD`]. Recovery ([`HarrisList::recover_in_image`]) therefore
-//! walks **purely from the `CrashImage` plus the root table**: it never reads live
-//! memory, needs no pointer into the live structure, and yields the empty list for
-//! a crash that predates durable construction.
+//! standalone list (created through the owning [`FlitDb`]), or the owning hash
+//! table's shared arena when the list serves as a bucket. Every node word
+//! (including the immutable `key`/`value`) is recorded with the backend before
+//! the node is persisted and published, and a standalone list registers its head
+//! sentinel in the arena's recovery-root table under [`roots::LIST_HEAD`].
+//! Recovery ([`HarrisList::recover_in_image`]) therefore walks **purely from the
+//! `CrashImage` plus the root table**: it never reads live memory, needs no
+//! pointer into the live structure, and yields the empty list for a crash that
+//! predates durable construction.
 
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use flit::{PFlag, PersistWord, Policy};
+use flit::{FlitDb, FlitHandle, PFlag, PersistWord, Policy};
 use flit_alloc::{roots, Arena};
-use flit_ebr::{Collector, Guard};
+use flit_ebr::Guard;
 use flit_pmem::{CrashImage, PmemBackend};
 
 use crate::durability::Durability;
@@ -80,62 +85,67 @@ pub struct HarrisList<P: Policy, D: Durability> {
     head: *mut Node<P>,
     tail: *mut Node<P>,
     arena: Arc<Arena>,
-    policy: P,
-    collector: Collector,
+    db: FlitDb<P>,
     _durability: PhantomData<D>,
 }
 
 // SAFETY: the list is a standard lock-free structure — all shared mutable state is
-// accessed through atomic persist-words, and node lifetime is managed by the EBR
-// collector + the shared arena. The raw sentinel pointers are only written during
-// construction.
+// accessed through atomic persist-words, and node lifetime is managed by the db's
+// EBR collector + the shared arena. The raw sentinel pointers are only written
+// during construction.
 unsafe impl<P: Policy, D: Durability> Send for HarrisList<P, D> {}
 unsafe impl<P: Policy, D: Durability> Sync for HarrisList<P, D> {}
 
 impl<P: Policy, D: Durability> HarrisList<P, D> {
-    /// Create an empty list with its own arena, registered under
+    /// Create an empty list in `db` with its own arena, registered under
     /// [`roots::LIST_HEAD`].
-    pub fn new(policy: P) -> Self {
-        let arena = Arc::new(Arena::for_slots_of::<Node<P>, _>(
-            policy.backend(),
-            LIST_CHUNK_SLOTS,
-        ));
-        Self::with_arena(policy, arena, Some(roots::LIST_HEAD))
+    pub fn new(db: &FlitDb<P>) -> Self {
+        let arena = db.new_arena_for::<Node<P>>(LIST_CHUNK_SLOTS);
+        Self::with_arena(db, arena, Some(roots::LIST_HEAD))
     }
 
     /// Create an empty list inside `arena` (shared by the hash table's buckets).
     /// When `root_key` is set, the head sentinel is registered in the arena's
-    /// recovery-root table once construction is durable.
-    pub(crate) fn with_arena(policy: P, arena: Arc<Arena>, root_key: Option<u64>) -> Self {
+    /// recovery-root table once construction is durable. Construction runs under
+    /// a temporary handle of `db` (no caller handle needed — the constructor's
+    /// instruction stream ends fully fenced).
+    pub(crate) fn with_arena(db: &FlitDb<P>, arena: Arc<Arena>, root_key: Option<u64>) -> Self {
         // Persist-before-publish at construction: both sentinels become durable
         // (including their key/value words) before the root that makes the list
         // recoverable is registered, so a crash at *any* construction event
         // recovers to either "no list yet" or the empty list — never garbage.
-        let tail = Self::alloc_node(&policy, &arena, u64::MAX, 0, 0);
-        let head = Self::alloc_node(&policy, &arena, 0, 0, pack(tail));
+        let h = db.handle();
+        let tail = Self::alloc_node(&h, &arena, u64::MAX, 0, 0);
+        let head = Self::alloc_node(&h, &arena, 0, 0, pack(tail));
         for node in [tail, head] {
-            policy.persist_object(unsafe { &*node }, PFlag::Persisted);
+            h.persist_object(unsafe { &*node }, PFlag::Persisted);
         }
         if let Some(key) = root_key {
-            arena.register_root(policy.backend(), key, head as usize);
+            arena.register_root(&h.pmem(), key, head as usize);
         }
+        drop(h);
         Self {
             head,
             tail,
             arena,
-            policy,
-            collector: Collector::new(),
+            db: db.clone(),
             _durability: PhantomData,
         }
     }
 
     /// Allocate a node from the arena and record **all** of its words (key, value,
-    /// link) with the backend, so the node is fully reconstructible from a crash
-    /// image. The caller persists and publishes it.
-    fn alloc_node(policy: &P, arena: &Arena, key: u64, value: u64, next: usize) -> *mut Node<P> {
-        let backend = policy.backend();
+    /// link) with the backend through `h`, so the node is fully reconstructible
+    /// from a crash image. The caller persists and publishes it.
+    fn alloc_node(
+        h: &FlitHandle<'_, P>,
+        arena: &Arena,
+        key: u64,
+        value: u64,
+        next: usize,
+    ) -> *mut Node<P> {
+        let pm = h.pmem();
         let node: *mut Node<P> = arena.alloc_init(
-            backend,
+            &pm,
             Node {
                 key,
                 value,
@@ -143,16 +153,15 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
             },
         );
         let node_ref = unsafe { &*node };
-        backend.record_store(&node_ref.key as *const u64 as *const u8, key);
-        backend.record_store(&node_ref.value as *const u64 as *const u8, value);
-        node_ref.next.store_private(policy, next, PFlag::Volatile);
+        pm.record_store(&node_ref.key as *const u64 as *const u8, key);
+        pm.record_store(&node_ref.value as *const u64 as *const u8, value);
+        node_ref.next.store_private(h, next, PFlag::Volatile);
         node
     }
 
-    /// The EBR collector used by this list (each hash-table bucket retires through
-    /// its own).
-    pub fn collector(&self) -> &Collector {
-        &self.collector
+    /// The database this list lives in.
+    pub fn db(&self) -> &FlitDb<P> {
+        &self.db
     }
 
     /// The arena this list allocates nodes from.
@@ -166,8 +175,8 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
         self.head as usize
     }
 
-    /// Retire `node` through the collector: its slot returns to the arena's
-    /// recycle list once no pinned thread can still reach it.
+    /// Retire `node` through the guard's collector: its slot returns to the
+    /// arena's recycle list once no pinned participant can still reach it.
     fn retire(&self, guard: &Guard<'_>, node: *mut Node<P>) {
         // SAFETY: the node was unlinked before retirement and is retired once.
         unsafe { self.arena.defer_recycle(guard, node as usize) };
@@ -176,22 +185,27 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
     /// NVTraverse-style transition: re-read the links the critical phase depends on
     /// as p-loads, so they are flushed (if tagged) before the update CAS.
     #[inline]
-    fn transition(&self, left: *mut Node<P>, right: *mut Node<P>) {
+    fn transition(&self, h: &FlitHandle<'_, P>, left: *mut Node<P>, right: *mut Node<P>) {
         if D::TRANSITION_DEPTH >= 1 {
-            let _ = unsafe { &*left }.next.load(&self.policy, PFlag::Persisted);
+            let _ = unsafe { &*left }.next.load(h, PFlag::Persisted);
         }
         if D::TRANSITION_DEPTH >= 2 && right != self.tail {
-            let _ = unsafe { &*right }.next.load(&self.policy, PFlag::Persisted);
+            let _ = unsafe { &*right }.next.load(h, PFlag::Persisted);
         }
     }
 
     /// Harris's `search`: returns `(left, right)` such that `left.key < key <=
     /// right.key`, `left` and `right` are adjacent and unmarked at some point during
     /// the call, physically unlinking any marked nodes it encounters between them.
-    fn search(&self, key: u64, guard: &Guard<'_>) -> (*mut Node<P>, *mut Node<P>) {
+    fn search(
+        &self,
+        h: &FlitHandle<'_, P>,
+        key: u64,
+        guard: &Guard<'_>,
+    ) -> (*mut Node<P>, *mut Node<P>) {
         'retry: loop {
             let mut t = self.head;
-            let mut t_next = unsafe { &*t }.next.load(&self.policy, D::TRAVERSAL_LOAD);
+            let mut t_next = unsafe { &*t }.next.load(h, D::TRAVERSAL_LOAD);
             let mut left = t;
             let mut left_next = t_next;
 
@@ -207,7 +221,7 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
                     break;
                 }
                 let t_ref = unsafe { &*t };
-                t_next = t_ref.next.load(&self.policy, D::TRAVERSAL_LOAD);
+                t_next = t_ref.next.load(h, D::TRAVERSAL_LOAD);
                 if !is_marked(t_next) && t_ref.key >= key {
                     break;
                 }
@@ -218,11 +232,7 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
             // marked in the meantime, in which case start over).
             if address::<Node<P>>(left_next) == right {
                 if right != self.tail
-                    && is_marked(
-                        unsafe { &*right }
-                            .next
-                            .load(&self.policy, D::TRAVERSAL_LOAD),
-                    )
+                    && is_marked(unsafe { &*right }.next.load(h, D::TRAVERSAL_LOAD))
                 {
                     continue 'retry;
                 }
@@ -232,7 +242,7 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
             // Phase 3: unlink the chain of marked nodes between left and right.
             if unsafe { &*left }
                 .next
-                .compare_exchange(&self.policy, left_next, pack(right), D::STORE)
+                .compare_exchange(h, left_next, pack(right), D::STORE)
                 .is_ok()
             {
                 // The unlinked nodes are no longer reachable; retire them.
@@ -243,11 +253,7 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
                     cur = address::<Node<P>>(next);
                 }
                 if right != self.tail
-                    && is_marked(
-                        unsafe { &*right }
-                            .next
-                            .load(&self.policy, D::TRAVERSAL_LOAD),
-                    )
+                    && is_marked(unsafe { &*right }.next.load(h, D::TRAVERSAL_LOAD))
                 {
                     continue 'retry;
                 }
@@ -256,16 +262,17 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
         }
     }
 
-    fn get_impl(&self, key: u64) -> Option<u64> {
-        let guard = self.collector.pin();
-        let (_left, right) = self.search(key, &guard);
+    fn get_impl(&self, h: &FlitHandle<'_, P>, key: u64) -> Option<u64> {
+        debug_assert_eq!(h.db_id(), self.db.id(), "handle from another FlitDb");
+        let guard = h.pin();
+        let (_left, right) = self.search(h, key, &guard);
         let result = if right != self.tail {
             let right_ref = unsafe { &*right };
             if right_ref.key == key {
                 // NVTraverse: a read-only operation persists the node that determines
                 // its result before returning.
                 if D::TRANSITION_DEPTH > 0 {
-                    let _ = right_ref.next.load(&self.policy, PFlag::Persisted);
+                    let _ = right_ref.next.load(h, PFlag::Persisted);
                 }
                 Some(right_ref.value)
             } else {
@@ -274,77 +281,77 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
         } else {
             None
         };
-        self.policy.operation_completion();
+        h.operation_completion();
         result
     }
 
-    fn insert_impl(&self, key: u64, value: u64) -> bool {
+    fn insert_impl(&self, h: &FlitHandle<'_, P>, key: u64, value: u64) -> bool {
         assert!(key < u64::MAX, "key space reserved for the tail sentinel");
-        let guard = self.collector.pin();
+        debug_assert_eq!(h.db_id(), self.db.id(), "handle from another FlitDb");
+        let guard = h.pin();
         loop {
-            let (left, right) = self.search(key, &guard);
+            let (left, right) = self.search(h, key, &guard);
             if right != self.tail && unsafe { &*right }.key == key {
-                self.policy.operation_completion();
+                h.operation_completion();
                 return false;
             }
-            self.transition(left, right);
+            self.transition(h, left, right);
             // Allocate, record and persist the new node's contents before it
             // becomes reachable: the publishing CAS below depends on them, and
             // recovery walks the persisted words.
-            let node = Self::alloc_node(&self.policy, &self.arena, key, value, pack(right));
-            self.policy.persist_object(unsafe { &*node }, D::STORE);
-            match unsafe { &*left }.next.compare_exchange(
-                &self.policy,
-                pack(right),
-                pack(node),
-                D::STORE,
-            ) {
+            let node = Self::alloc_node(h, &self.arena, key, value, pack(right));
+            h.persist_object(unsafe { &*node }, D::STORE);
+            match unsafe { &*left }
+                .next
+                .compare_exchange(h, pack(right), pack(node), D::STORE)
+            {
                 Ok(_) => {
-                    self.policy.operation_completion();
+                    h.operation_completion();
                     return true;
                 }
                 Err(_) => {
                     // Never published: return the slot to the durable free list.
                     // SAFETY: `node` was allocated above and never became reachable.
-                    unsafe { self.arena.free(self.policy.backend(), node as *mut u8) };
+                    unsafe { self.arena.free(&h.pmem(), node as *mut u8) };
                 }
             }
         }
     }
 
-    fn remove_impl(&self, key: u64) -> bool {
-        let guard = self.collector.pin();
+    fn remove_impl(&self, h: &FlitHandle<'_, P>, key: u64) -> bool {
+        debug_assert_eq!(h.db_id(), self.db.id(), "handle from another FlitDb");
+        let guard = h.pin();
         loop {
-            let (left, right) = self.search(key, &guard);
+            let (left, right) = self.search(h, key, &guard);
             if right == self.tail || unsafe { &*right }.key != key {
-                self.policy.operation_completion();
+                h.operation_completion();
                 return false;
             }
             let right_ref = unsafe { &*right };
-            let right_next = right_ref.next.load(&self.policy, D::CRITICAL_LOAD);
+            let right_next = right_ref.next.load(h, D::CRITICAL_LOAD);
             if is_marked(right_next) {
                 // Another deleter is ahead of us; re-run the search (which will help
                 // unlink) and re-evaluate.
                 continue;
             }
-            self.transition(left, right);
+            self.transition(h, left, right);
             if right_ref
                 .next
-                .compare_exchange(&self.policy, right_next, with_mark(right_next), D::STORE)
+                .compare_exchange(h, right_next, with_mark(right_next), D::STORE)
                 .is_ok()
             {
                 // Logical deletion succeeded (linearization point). Try to unlink
                 // physically; if that fails, a later search will do it.
                 if unsafe { &*left }
                     .next
-                    .compare_exchange(&self.policy, pack(right), unmark(right_next), D::STORE)
+                    .compare_exchange(h, pack(right), unmark(right_next), D::STORE)
                     .is_ok()
                 {
                     self.retire(&guard, right);
                 } else {
-                    let _ = self.search(key, &guard);
+                    let _ = self.search(h, key, &guard);
                 }
-                self.policy.operation_completion();
+                h.operation_completion();
                 return true;
             }
         }
@@ -445,28 +452,28 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
 impl<P: Policy, D: Durability> ConcurrentMap<P> for HarrisList<P, D> {
     const NAME: &'static str = "list";
 
-    fn with_capacity(policy: P, _capacity_hint: usize) -> Self {
-        Self::new(policy)
+    fn with_capacity(db: &FlitDb<P>, _capacity_hint: usize) -> Self {
+        Self::new(db)
     }
 
-    fn get(&self, key: u64) -> Option<u64> {
-        self.get_impl(key)
+    fn get(&self, h: &FlitHandle<'_, P>, key: u64) -> Option<u64> {
+        self.get_impl(h, key)
     }
 
-    fn insert(&self, key: u64, value: u64) -> bool {
-        self.insert_impl(key, value)
+    fn insert(&self, h: &FlitHandle<'_, P>, key: u64, value: u64) -> bool {
+        self.insert_impl(h, key, value)
     }
 
-    fn remove(&self, key: u64) -> bool {
-        self.remove_impl(key)
+    fn remove(&self, h: &FlitHandle<'_, P>, key: u64) -> bool {
+        self.remove_impl(h, key)
     }
 
     fn len(&self) -> usize {
         self.len_impl()
     }
 
-    fn policy(&self) -> &P {
-        &self.policy
+    fn db(&self) -> &FlitDb<P> {
+        &self.db
     }
 }
 
@@ -478,47 +485,56 @@ impl<P: Policy, D: Durability> ConcurrentMap<P> for HarrisList<P, D> {
 mod tests {
     use super::*;
     use crate::durability::{Automatic, Manual, NvTraverse};
-    use flit::presets;
-    use flit::{FlitPolicy, HashedScheme, NoPersistPolicy};
+    use flit::{FlitPolicy, HashedScheme};
     use flit_pmem::{LatencyModel, SimNvram};
 
     fn backend() -> SimNvram {
         SimNvram::builder().latency(LatencyModel::none()).build()
     }
 
+    fn ht_db() -> FlitDb<FlitPolicy<HashedScheme, SimNvram>> {
+        FlitDb::flit_ht(backend())
+    }
+
     type HtList<D> = HarrisList<FlitPolicy<HashedScheme, SimNvram>, D>;
 
     #[test]
     fn empty_list_behaviour() {
-        let list: HtList<Automatic> = HarrisList::new(presets::flit_ht(backend()));
+        let db = ht_db();
+        let h = db.handle();
+        let list: HtList<Automatic> = HarrisList::new(&db);
         assert!(list.is_empty());
-        assert_eq!(list.get(5), None);
-        assert!(!list.remove(5));
+        assert_eq!(list.get(&h, 5), None);
+        assert!(!list.remove(&h, 5));
     }
 
     #[test]
     fn insert_get_remove_round_trip() {
-        let list: HtList<Automatic> = HarrisList::new(presets::flit_ht(backend()));
-        assert!(list.insert(10, 100));
-        assert!(list.insert(5, 50));
-        assert!(list.insert(20, 200));
-        assert!(!list.insert(10, 999), "duplicate insert must fail");
+        let db = ht_db();
+        let h = db.handle();
+        let list: HtList<Automatic> = HarrisList::new(&db);
+        assert!(list.insert(&h, 10, 100));
+        assert!(list.insert(&h, 5, 50));
+        assert!(list.insert(&h, 20, 200));
+        assert!(!list.insert(&h, 10, 999), "duplicate insert must fail");
         assert_eq!(list.len(), 3);
-        assert_eq!(list.get(10), Some(100));
-        assert_eq!(list.get(5), Some(50));
-        assert_eq!(list.get(20), Some(200));
-        assert_eq!(list.get(15), None);
-        assert!(list.remove(10));
-        assert!(!list.remove(10));
-        assert_eq!(list.get(10), None);
+        assert_eq!(list.get(&h, 10), Some(100));
+        assert_eq!(list.get(&h, 5), Some(50));
+        assert_eq!(list.get(&h, 20), Some(200));
+        assert_eq!(list.get(&h, 15), None);
+        assert!(list.remove(&h, 10));
+        assert!(!list.remove(&h, 10));
+        assert_eq!(list.get(&h, 10), None);
         assert_eq!(list.len(), 2);
     }
 
     #[test]
     fn keys_stay_sorted_and_unique() {
-        let list: HtList<Automatic> = HarrisList::new(presets::flit_ht(backend()));
+        let db = ht_db();
+        let h = db.handle();
+        let list: HtList<Automatic> = HarrisList::new(&db);
         for k in [5u64, 3, 9, 1, 7, 3, 9] {
-            list.insert(k, k * 10);
+            list.insert(&h, k, k * 10);
         }
         assert_eq!(list.len(), 5);
         // Walk the physical list and check ordering.
@@ -534,27 +550,32 @@ mod tests {
 
     #[test]
     fn nodes_live_in_cache_line_aligned_arena_slots() {
-        let list: HtList<Automatic> = HarrisList::new(presets::flit_ht(backend()));
-        list.insert(1, 10);
+        let db = ht_db();
+        let h = db.handle();
+        let list: HtList<Automatic> = HarrisList::new(&db);
+        list.insert(&h, 1, 10);
         let head_next = unsafe { &*list.head }.next.load_direct();
         let node = address::<Node<FlitPolicy<HashedScheme, SimNvram>>>(head_next) as usize;
         assert_eq!(node % flit_pmem::CACHE_LINE_SIZE, 0, "slot misaligned");
         assert!(list.arena().contains(node));
         assert!(list.arena().contains(list.head as usize));
+        assert_eq!(db.arenas().len(), 1, "the list registered its arena");
     }
 
     #[test]
     fn works_with_every_durability_method() {
         fn exercise<D: Durability>() {
-            let list: HtList<D> = HarrisList::new(presets::flit_ht(backend()));
+            let db = FlitDb::flit_ht(SimNvram::builder().latency(LatencyModel::none()).build());
+            let h = db.handle();
+            let list: HtList<D> = HarrisList::new(&db);
             for k in 0..50u64 {
-                assert!(list.insert(k, k));
+                assert!(list.insert(&h, k, k));
             }
             for k in 0..50u64 {
-                assert_eq!(list.get(k), Some(k));
+                assert_eq!(list.get(&h, k), Some(k));
             }
             for k in (0..50u64).step_by(2) {
-                assert!(list.remove(k));
+                assert!(list.remove(&h, k));
             }
             assert_eq!(list.len(), 25);
         }
@@ -565,20 +586,21 @@ mod tests {
 
     #[test]
     fn works_with_every_policy() {
-        fn exercise<P: Policy>(policy: P) {
-            let list: HarrisList<P, Automatic> = HarrisList::new(policy);
-            assert!(list.insert(1, 11));
-            assert!(list.insert(2, 22));
-            assert!(list.remove(1));
-            assert_eq!(list.get(2), Some(22));
+        fn exercise<P: Policy>(db: FlitDb<P>) {
+            let h = db.handle();
+            let list: HarrisList<P, Automatic> = HarrisList::new(&db);
+            assert!(list.insert(&h, 1, 11));
+            assert!(list.insert(&h, 2, 22));
+            assert!(list.remove(&h, 1));
+            assert_eq!(list.get(&h, 2), Some(22));
             assert_eq!(list.len(), 1);
         }
-        exercise(presets::plain(backend()));
-        exercise(presets::flit_adjacent(backend()));
-        exercise(presets::flit_ht(backend()));
-        exercise(presets::flit_cacheline(backend()));
-        exercise(presets::link_and_persist(backend()));
-        exercise(NoPersistPolicy::new());
+        exercise(FlitDb::plain(backend()));
+        exercise(FlitDb::flit_adjacent(backend()));
+        exercise(FlitDb::flit_ht(backend()));
+        exercise(FlitDb::flit_cacheline(backend()));
+        exercise(FlitDb::link_and_persist(backend()));
+        exercise(FlitDb::no_persist());
     }
 
     #[test]
@@ -588,13 +610,15 @@ mod tests {
         // reader's completion fences are elided too, so a lookup costs *zero*
         // persistence instructions.
         let sim = backend();
-        let list: HtList<Automatic> = HarrisList::new(presets::flit_ht(sim.clone()));
+        let db = FlitDb::flit_ht(sim.clone());
+        let h = db.handle();
+        let list: HtList<Automatic> = HarrisList::new(&db);
         for k in 0..100u64 {
-            list.insert(k, k);
+            list.insert(&h, k, k);
         }
         let before = sim.stats().snapshot();
         for k in 0..100u64 {
-            let _ = list.get(k);
+            let _ = list.get(&h, k);
         }
         let delta = sim.stats().snapshot().delta_since(&before);
         assert_eq!(delta.pwbs, 0);
@@ -605,11 +629,13 @@ mod tests {
     #[test]
     fn image_only_recovery_matches_the_quiescent_list() {
         let sim = SimNvram::for_crash_testing();
-        let list: HtList<Automatic> = HarrisList::new(presets::flit_ht(sim.clone()));
+        let db = FlitDb::flit_ht(sim.clone());
+        let h = db.handle();
+        let list: HtList<Automatic> = HarrisList::new(&db);
         for k in [4u64, 1, 9, 6] {
-            assert!(list.insert(k, k * 10));
+            assert!(list.insert(&h, k, k * 10));
         }
-        assert!(list.remove(9));
+        assert!(list.remove(&h, 9));
         let image = sim.tracker().unwrap().crash_image();
         let rec = list.recover(&image);
         assert!(!rec.truncated);
@@ -617,32 +643,38 @@ mod tests {
         // The associated form needs only the arena + the image.
         let rec2 = HtList::<Automatic>::recover_in_image(list.arena(), &image);
         assert_eq!(rec2.sorted_pairs(), rec.sorted_pairs());
+        // And the db-level survey sees the durable root.
+        assert!(db.recover(&image).has_root(roots::LIST_HEAD));
     }
 
     #[test]
     fn concurrent_inserts_and_removes() {
         const THREADS: u64 = 4;
         const PER_THREAD: u64 = 200;
-        let list: Arc<HtList<Automatic>> = Arc::new(HarrisList::new(presets::flit_ht(backend())));
+        let db = ht_db();
+        let list: Arc<HtList<Automatic>> = Arc::new(HarrisList::new(&db));
         std::thread::scope(|s| {
             for t in 0..THREADS {
                 let list = Arc::clone(&list);
+                let db = &db;
                 s.spawn(move || {
+                    let h = db.handle();
                     let base = t * PER_THREAD;
                     for k in base..base + PER_THREAD {
-                        assert!(list.insert(k, k + 1));
+                        assert!(list.insert(&h, k, k + 1));
                     }
                     for k in (base..base + PER_THREAD).step_by(2) {
-                        assert!(list.remove(k));
+                        assert!(list.remove(&h, k));
                     }
                 });
             }
         });
+        let h = db.handle();
         assert_eq!(list.len() as u64, THREADS * PER_THREAD / 2);
         for t in 0..THREADS {
             let base = t * PER_THREAD;
-            assert_eq!(list.get(base), None);
-            assert_eq!(list.get(base + 1), Some(base + 2));
+            assert_eq!(list.get(&h, base), None);
+            assert_eq!(list.get(&h, base + 1), Some(base + 2));
         }
     }
 
@@ -650,19 +682,22 @@ mod tests {
     fn contended_same_keys_stress() {
         // All threads fight over a tiny key range to exercise marking/helping (and,
         // through the arena, failed-CAS frees and slot recycling).
-        let list: Arc<HtList<NvTraverse>> = Arc::new(HarrisList::new(presets::flit_ht(backend())));
+        let db = ht_db();
+        let list: Arc<HtList<NvTraverse>> = Arc::new(HarrisList::new(&db));
         std::thread::scope(|s| {
             for t in 0..4u64 {
                 let list = Arc::clone(&list);
+                let db = &db;
                 s.spawn(move || {
+                    let h = db.handle();
                     for i in 0..500u64 {
                         let k = (t + i) % 8;
                         if i % 2 == 0 {
-                            list.insert(k, i);
+                            list.insert(&h, k, i);
                         } else {
-                            list.remove(k);
+                            list.remove(&h, k);
                         }
-                        let _ = list.get(k);
+                        let _ = list.get(&h, k);
                     }
                 });
             }

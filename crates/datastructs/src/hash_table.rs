@@ -3,8 +3,10 @@
 //! Harris's linked list to implement each bucket").
 //!
 //! The bucket array is sized once at construction (there is no resizing, matching the
-//! evaluated implementation); every bucket shares the same persistence policy, so all
-//! statistics and counter tables are global to the structure.
+//! evaluated implementation); every bucket shares the owning [`FlitDb`]'s policy and
+//! collector, so all statistics, counter tables and reclamation are global to the
+//! structure, and every operation takes the calling thread's
+//! [`flit::FlitHandle`].
 //!
 //! ## Arena layout and recovery
 //!
@@ -19,9 +21,8 @@
 
 use std::sync::Arc;
 
-use flit::Policy;
+use flit::{FlitDb, FlitHandle, Policy};
 use flit_alloc::{roots, Arena};
-use flit_ebr::Collector;
 use flit_pmem::{CrashImage, PmemBackend, CACHE_LINE_SIZE, WORD_SIZE};
 
 use crate::durability::Durability;
@@ -30,39 +31,41 @@ use crate::map::ConcurrentMap;
 use crate::recovery::RecoveredMap;
 
 /// Fixed-size lock-free hash table with Harris-list buckets.
-pub struct HashTable<P: Policy + Clone, D: Durability> {
+pub struct HashTable<P: Policy, D: Durability> {
     buckets: Vec<HarrisList<P, D>>,
     arena: Arc<Arena>,
-    policy: P,
+    db: FlitDb<P>,
     mask: u64,
 }
 
-impl<P: Policy + Clone, D: Durability> HashTable<P, D> {
-    /// Create a table with roughly one bucket per expected key (`capacity_hint`),
-    /// rounded up to a power of two and at least 64 buckets.
-    pub fn new(policy: P, capacity_hint: usize) -> Self {
+impl<P: Policy, D: Durability> HashTable<P, D> {
+    /// Create a table in `db` with roughly one bucket per expected key
+    /// (`capacity_hint`), rounded up to a power of two and at least 64 buckets.
+    pub fn new(db: &FlitDb<P>, capacity_hint: usize) -> Self {
         let buckets_len = capacity_hint.next_power_of_two().max(64);
         // One shared arena for every bucket's nodes plus the directory block. The
         // chunk size must fit the directory contiguously.
         let dir_bytes = (buckets_len + 1) * WORD_SIZE;
         let node_slot = Arena::slot_size_for::<Node<P>>();
         let chunk_slots = 1024usize.max(2 * dir_bytes.div_ceil(node_slot));
-        let arena = Arc::new(Arena::new(policy.backend(), node_slot, chunk_slots));
+        let arena = db.new_arena(node_slot, chunk_slots);
         let buckets: Vec<HarrisList<P, D>> = (0..buckets_len)
-            .map(|_| HarrisList::with_arena(policy.clone(), Arc::clone(&arena), None))
+            .map(|_| HarrisList::with_arena(db, Arc::clone(&arena), None))
             .collect();
 
         // Publish the directory: bucket count, then each bucket's head-slot offset
         // (+1, so 0 stays "absent"). Every word is recorded with the backend and
         // the whole block is flushed + fenced *before* the root that makes the
-        // table recoverable is registered.
-        let backend = policy.backend();
-        let dir = arena.alloc_block(backend, dir_bytes) as *mut u64;
+        // table recoverable is registered. Runs under a temporary handle, like
+        // the per-bucket constructions above.
+        let h = db.handle();
+        let pm = h.pmem();
+        let dir = arena.alloc_block(&pm, dir_bytes) as *mut u64;
         let write_word = |i: usize, val: u64| {
             // SAFETY: in-bounds write inside the freshly allocated, exclusively
             // owned directory block.
             unsafe { dir.add(i).write(val) };
-            backend.record_store(unsafe { dir.add(i) } as *const u8, val);
+            pm.record_store(unsafe { dir.add(i) } as *const u8, val);
         };
         write_word(0, buckets_len as u64);
         for (i, bucket) in buckets.iter().enumerate() {
@@ -73,16 +76,17 @@ impl<P: Policy + Clone, D: Durability> HashTable<P, D> {
         }
         let mut line = dir as usize;
         while line < dir as usize + dir_bytes {
-            backend.pwb(line as *const u8);
+            pm.pwb(line as *const u8);
             line += CACHE_LINE_SIZE;
         }
-        backend.pfence();
-        arena.register_root(backend, roots::HASH_DIRECTORY, dir as usize);
+        pm.pfence();
+        arena.register_root(&pm, roots::HASH_DIRECTORY, dir as usize);
+        drop(h);
 
         Self {
             buckets,
             arena,
-            policy,
+            db: db.clone(),
             mask: (buckets_len - 1) as u64,
         }
     }
@@ -95,12 +99,6 @@ impl<P: Policy + Clone, D: Durability> HashTable<P, D> {
     /// The shared arena every bucket allocates from.
     pub fn arena(&self) -> &Arc<Arena> {
         &self.arena
-    }
-
-    /// The EBR collector of every bucket list (each Harris list retires through its
-    /// own).
-    pub fn bucket_collectors(&self) -> impl Iterator<Item = &Collector> {
-        self.buckets.iter().map(|b| b.collector())
     }
 
     /// Reconstruct the durable map **purely from the crash image and the arena's
@@ -146,31 +144,31 @@ impl<P: Policy + Clone, D: Durability> HashTable<P, D> {
     }
 }
 
-impl<P: Policy + Clone, D: Durability> ConcurrentMap<P> for HashTable<P, D> {
+impl<P: Policy, D: Durability> ConcurrentMap<P> for HashTable<P, D> {
     const NAME: &'static str = "hashtable";
 
-    fn with_capacity(policy: P, capacity_hint: usize) -> Self {
-        Self::new(policy, capacity_hint)
+    fn with_capacity(db: &FlitDb<P>, capacity_hint: usize) -> Self {
+        Self::new(db, capacity_hint)
     }
 
-    fn get(&self, key: u64) -> Option<u64> {
-        self.bucket(key).get(key)
+    fn get(&self, h: &FlitHandle<'_, P>, key: u64) -> Option<u64> {
+        self.bucket(key).get(h, key)
     }
 
-    fn insert(&self, key: u64, value: u64) -> bool {
-        self.bucket(key).insert(key, value)
+    fn insert(&self, h: &FlitHandle<'_, P>, key: u64, value: u64) -> bool {
+        self.bucket(key).insert(h, key, value)
     }
 
-    fn remove(&self, key: u64) -> bool {
-        self.bucket(key).remove(key)
+    fn remove(&self, h: &FlitHandle<'_, P>, key: u64) -> bool {
+        self.bucket(key).remove(h, key)
     }
 
     fn len(&self) -> usize {
         self.buckets.iter().map(|b| b.len()).sum()
     }
 
-    fn policy(&self) -> &P {
-        &self.policy
+    fn db(&self) -> &FlitDb<P> {
+        &self.db
     }
 }
 
@@ -178,7 +176,6 @@ impl<P: Policy + Clone, D: Durability> ConcurrentMap<P> for HashTable<P, D> {
 mod tests {
     use super::*;
     use crate::durability::{Automatic, Manual, NvTraverse};
-    use flit::presets;
     use flit::{FlitPolicy, HashedScheme};
     use flit_pmem::{LatencyModel, SimNvram};
 
@@ -186,42 +183,51 @@ mod tests {
         SimNvram::builder().latency(LatencyModel::none()).build()
     }
 
+    fn ht_db() -> FlitDb<FlitPolicy<HashedScheme, SimNvram>> {
+        FlitDb::flit_ht(backend())
+    }
+
     type Ht<D> = HashTable<FlitPolicy<HashedScheme, SimNvram>, D>;
 
     #[test]
     fn bucket_count_is_a_power_of_two_with_a_floor() {
-        let t: Ht<Automatic> = HashTable::new(presets::flit_ht(backend()), 1000);
+        let db = ht_db();
+        let t: Ht<Automatic> = HashTable::new(&db, 1000);
         assert_eq!(t.bucket_count(), 1024);
-        let t: Ht<Automatic> = HashTable::new(presets::flit_ht(backend()), 1);
+        let t: Ht<Automatic> = HashTable::new(&db, 1);
         assert_eq!(t.bucket_count(), 64);
     }
 
     #[test]
     fn basic_map_semantics() {
-        let t: Ht<Automatic> = HashTable::new(presets::flit_ht(backend()), 256);
+        let db = ht_db();
+        let h = db.handle();
+        let t: Ht<Automatic> = HashTable::new(&db, 256);
         assert!(t.is_empty());
-        assert!(t.insert(1, 10));
-        assert!(t.insert(2, 20));
-        assert!(!t.insert(1, 99));
-        assert_eq!(t.get(1), Some(10));
-        assert_eq!(t.get(3), None);
-        assert!(t.remove(1));
-        assert!(!t.remove(1));
+        assert!(t.insert(&h, 1, 10));
+        assert!(t.insert(&h, 2, 20));
+        assert!(!t.insert(&h, 1, 99));
+        assert_eq!(t.get(&h, 1), Some(10));
+        assert_eq!(t.get(&h, 3), None);
+        assert!(t.remove(&h, 1));
+        assert!(!t.remove(&h, 1));
         assert_eq!(t.len(), 1);
     }
 
     #[test]
     fn many_keys_spread_over_buckets() {
-        let t: Ht<NvTraverse> = HashTable::new(presets::flit_ht(backend()), 128);
+        let db = ht_db();
+        let h = db.handle();
+        let t: Ht<NvTraverse> = HashTable::new(&db, 128);
         for k in 0..2000u64 {
-            assert!(t.insert(k, k * 2));
+            assert!(t.insert(&h, k, k * 2));
         }
         assert_eq!(t.len(), 2000);
         for k in 0..2000u64 {
-            assert_eq!(t.get(k), Some(k * 2));
+            assert_eq!(t.get(&h, k), Some(k * 2));
         }
         for k in (0..2000u64).step_by(3) {
-            assert!(t.remove(k));
+            assert!(t.remove(&h, k));
         }
         assert_eq!(t.len(), 2000 - 2000u64.div_ceil(3) as usize);
     }
@@ -229,11 +235,13 @@ mod tests {
     #[test]
     fn buckets_share_one_arena_and_the_directory_is_recoverable() {
         let sim = SimNvram::for_crash_testing();
-        let t: Ht<Automatic> = HashTable::new(presets::flit_ht(sim.clone()), 64);
+        let db = FlitDb::flit_ht(sim.clone());
+        let h = db.handle();
+        let t: Ht<Automatic> = HashTable::new(&db, 64);
         for k in 0..40u64 {
-            assert!(t.insert(k, k + 7));
+            assert!(t.insert(&h, k, k + 7));
         }
-        assert!(t.remove(3));
+        assert!(t.remove(&h, 3));
         let image = sim.tracker().unwrap().crash_image();
         let rec = t.recover(&image);
         assert!(!rec.truncated);
@@ -247,20 +255,23 @@ mod tests {
 
     #[test]
     fn concurrent_mixed_workload() {
-        let t: Arc<Ht<Manual>> = Arc::new(HashTable::new(presets::flit_ht(backend()), 512));
+        let db = ht_db();
+        let t: Arc<Ht<Manual>> = Arc::new(HashTable::new(&db, 512));
         std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let t = Arc::clone(&t);
+                let db = &db;
                 s.spawn(move || {
+                    let h = db.handle();
                     let base = tid * 1000;
                     for k in base..base + 500 {
-                        assert!(t.insert(k, k));
+                        assert!(t.insert(&h, k, k));
                     }
                     for k in base..base + 500 {
-                        assert_eq!(t.get(k), Some(k));
+                        assert_eq!(t.get(&h, k), Some(k));
                     }
                     for k in (base..base + 500).step_by(2) {
-                        assert!(t.remove(k));
+                        assert!(t.remove(&h, k));
                     }
                 });
             }
@@ -271,9 +282,11 @@ mod tests {
     #[test]
     fn policies_share_statistics_across_buckets() {
         let sim = backend();
-        let t: Ht<Automatic> = HashTable::new(presets::flit_ht(sim.clone()), 64);
+        let db = FlitDb::flit_ht(sim.clone());
+        let h = db.handle();
+        let t: Ht<Automatic> = HashTable::new(&db, 64);
         for k in 0..100u64 {
-            t.insert(k, k);
+            t.insert(&h, k, k);
         }
         // Every insert is a p-store somewhere in some bucket; the shared backend must
         // have seen them all.

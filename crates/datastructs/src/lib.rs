@@ -21,6 +21,29 @@
 //! generator and the benchmark harness; [`SequentialMap`] is the reference model used
 //! by the property-based tests.
 //!
+//! ## The explicit-handle API
+//!
+//! Structures are constructed in a [`FlitDb`](flit::FlitDb) (which owns the
+//! policy, the EBR collector and the arena registry), and **every operation takes
+//! the calling thread's [`FlitHandle`](flit::FlitHandle)**:
+//!
+//! ```
+//! use flit::FlitDb;
+//! use flit_datastructs::{Automatic, ConcurrentMap, HashTable};
+//! use flit_pmem::SimNvram;
+//!
+//! let db = FlitDb::flit_ht(SimNvram::default());
+//! let map: HashTable<_, Automatic> = HashTable::new(&db, 1024);
+//! let h = db.handle();
+//! assert!(map.insert(&h, 7, 70));
+//! assert_eq!(map.get(&h, 7), Some(70));
+//! ```
+//!
+//! The handle owns the persist-epoch state (fence/flush elision) and the EBR
+//! participant; nothing in the operation path is keyed to the OS thread, which is
+//! what lets `flit-crashtest` step several handles deterministically on one
+//! thread.
+//!
 //! ## Allocation and recovery
 //!
 //! Every structure allocates its nodes from a per-structure
@@ -36,11 +59,11 @@
 //! structure), and it is safe code (nothing from the image is ever dereferenced).
 //! This is the interface the `flit-crashtest` crash-point sweep engine drives.
 //!
-//! Every operation ends with [`Policy::operation_completion`](flit::Policy::operation_completion),
-//! which since the persist-epoch work is *epoch-aware*: a read-only operation over
-//! untagged words leaves its thread clean, so the completion fence (and with it the
-//! entire persistence cost of the operation) is elided. The structures themselves
-//! needed no changes — the elision lives below the `Policy` interface.
+//! Every operation ends with
+//! [`FlitHandle::operation_completion`](flit::FlitHandle::operation_completion),
+//! which is *epoch-aware*: a read-only operation over untagged words leaves its
+//! handle clean, so the completion fence (and with it the entire persistence cost
+//! of the operation) is elided — per handle, not per OS thread.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -68,8 +91,7 @@ mod proptests {
     //! with a sequential model on arbitrary operation sequences.
 
     use super::*;
-    use flit::presets;
-    use flit::{FlitPolicy, HashedScheme};
+    use flit::{FlitDb, FlitPolicy, HashedScheme};
     use flit_pmem::{LatencyModel, SimNvram};
     use proptest::prelude::*;
 
@@ -98,13 +120,17 @@ mod proptests {
     where
         M: ConcurrentMap<FlitPolicy<HashedScheme, SimNvram>>,
     {
-        let map = M::with_capacity(presets::flit_ht(backend()), 64);
+        let db = FlitDb::flit_ht(backend());
+        let map = M::with_capacity(&db, 64);
+        let h = db.handle();
         let model = SequentialMap::new();
         for op in ops {
             match *op {
-                Op::Insert(k, v) => assert_eq!(map.insert(k, v), model.insert(k, v), "insert {k}"),
-                Op::Remove(k) => assert_eq!(map.remove(k), model.remove(k), "remove {k}"),
-                Op::Get(k) => assert_eq!(map.get(k), model.get(k), "get {k}"),
+                Op::Insert(k, v) => {
+                    assert_eq!(map.insert(&h, k, v), model.insert(k, v), "insert {k}")
+                }
+                Op::Remove(k) => assert_eq!(map.remove(&h, k), model.remove(k), "remove {k}"),
+                Op::Get(k) => assert_eq!(map.get(&h, k), model.get(k), "get {k}"),
             }
         }
         assert_eq!(map.len(), model.len());

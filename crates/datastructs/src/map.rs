@@ -5,10 +5,17 @@
 //! existing key (it returns `false`), matching the behaviour of the original
 //! implementations used in the evaluation.
 
-use flit::Policy;
+use flit::{FlitDb, FlitHandle, Policy};
 
 /// A concurrent ordered or unordered map from `u64` keys to `u64` values, generic
 /// over the persistence [`Policy`].
+///
+/// Construction takes the owning [`FlitDb`] (the facade holding the policy, the
+/// EBR collector and the arena registry); **every operation takes the calling
+/// thread's [`FlitHandle`]** — the explicit session whose persist epoch the
+/// operation's fences and flushes are attributed to (`map.insert(&h, k, v)`).
+/// The handle must come from the same database the map was built in
+/// (debug-asserted by the implementations).
 ///
 /// Keys must be strictly smaller than `u64::MAX - 16`: the top few key values are
 /// reserved for the sentinel nodes of the tree and list structures.
@@ -16,28 +23,27 @@ pub trait ConcurrentMap<P: Policy>: Send + Sync {
     /// Short name used in benchmark output (`"list"`, `"bst"`, ...).
     const NAME: &'static str;
 
-    /// Build an empty map expected to hold roughly `capacity_hint` keys (used by the
-    /// hash table to size its bucket array; ignored by the others), using `policy`
-    /// for all persistence decisions.
-    fn with_capacity(policy: P, capacity_hint: usize) -> Self;
+    /// Build an empty map in `db`, expected to hold roughly `capacity_hint` keys
+    /// (used by the hash table to size its bucket array; ignored by the others).
+    fn with_capacity(db: &FlitDb<P>, capacity_hint: usize) -> Self;
 
     /// Look up `key`, returning its value if present.
-    fn get(&self, key: u64) -> Option<u64>;
+    fn get(&self, h: &FlitHandle<'_, P>, key: u64) -> Option<u64>;
 
     /// Insert `(key, value)`; returns `false` (without modifying the map) when the key
     /// is already present.
-    fn insert(&self, key: u64, value: u64) -> bool;
+    fn insert(&self, h: &FlitHandle<'_, P>, key: u64, value: u64) -> bool;
 
     /// Remove `key`; returns `false` when it was not present.
-    fn remove(&self, key: u64) -> bool;
+    fn remove(&self, h: &FlitHandle<'_, P>, key: u64) -> bool;
 
     /// `true` if `key` is present.
-    fn contains(&self, key: u64) -> bool {
-        self.get(key).is_some()
+    fn contains(&self, h: &FlitHandle<'_, P>, key: u64) -> bool {
+        self.get(h, key).is_some()
     }
 
     /// Number of keys currently present. Only meaningful in quiescent states; intended
-    /// for tests and for validating pre-fill.
+    /// for tests and for validating pre-fill (raw loads: no handle required).
     fn len(&self) -> usize;
 
     /// `true` when the map holds no keys (quiescent states only).
@@ -45,8 +51,14 @@ pub trait ConcurrentMap<P: Policy>: Send + Sync {
         self.len() == 0
     }
 
+    /// The database this map lives in (handles are created from it; its policy
+    /// carries the statistics).
+    fn db(&self) -> &FlitDb<P>;
+
     /// Access the persistence policy (e.g. to read its statistics).
-    fn policy(&self) -> &P;
+    fn policy(&self) -> &P {
+        self.db().policy()
+    }
 }
 
 /// Largest key value usable by callers (larger values are reserved for sentinels).

@@ -14,14 +14,15 @@
 //! Because both low-order pointer bits are in use, the link-and-persist technique
 //! (which needs a spare bit *and* CAS-only updates) cannot be applied to this
 //! structure — exactly the limitation the paper uses it to illustrate (§6.6). FliT,
-//! whose counters live outside the word, works unchanged.
+//! whose counters live outside the word, works unchanged. Every operation takes the
+//! calling thread's [`FlitHandle`], exactly as in the other structures.
 
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use flit::{PFlag, PersistWord, Policy};
+use flit::{FlitDb, FlitHandle, PFlag, PersistWord, Policy};
 use flit_alloc::{roots, Arena};
-use flit_ebr::{Collector, Guard};
+use flit_ebr::Guard;
 use flit_pmem::{CrashImage, PmemBackend};
 
 use crate::durability::Durability;
@@ -88,8 +89,7 @@ enum DeleteMode {
 pub struct NatarajanTree<P: Policy, D: Durability> {
     root: *mut Node<P>,
     arena: Arc<Arena>,
-    policy: P,
-    collector: Collector,
+    db: FlitDb<P>,
     _durability: PhantomData<D>,
 }
 
@@ -99,35 +99,33 @@ unsafe impl<P: Policy, D: Durability> Sync for NatarajanTree<P, D> {}
 
 impl<P: Policy, D: Durability> NatarajanTree<P, D> {
     /// Create an empty tree (the three-sentinel initial shape of the original
-    /// paper), with its own arena, registered under [`roots::BST_ROOT`].
-    pub fn new(policy: P) -> Self {
-        let arena = Arc::new(Arena::for_slots_of::<Node<P>, _>(
-            policy.backend(),
-            LIST_CHUNK_SLOTS,
-        ));
+    /// paper) in `db`, with its own arena, registered under [`roots::BST_ROOT`].
+    pub fn new(db: &FlitDb<P>) -> Self {
+        let arena = db.new_arena_for::<Node<P>>(LIST_CHUNK_SLOTS);
         // Persist-before-publish at construction: the sentinel skeleton becomes
         // durable before the root registration makes the tree recoverable.
-        let leaf_inf0 = Self::alloc_node(&policy, &arena, INF0, 0, 0, 0);
-        let leaf_inf1 = Self::alloc_node(&policy, &arena, INF1, 0, 0, 0);
-        let leaf_inf2 = Self::alloc_node(&policy, &arena, INF2, 0, 0, 0);
-        let s = Self::alloc_node(&policy, &arena, INF1, 0, pack(leaf_inf0), pack(leaf_inf1));
-        let r = Self::alloc_node(&policy, &arena, INF2, 0, pack(s), pack(leaf_inf2));
+        let h = db.handle();
+        let leaf_inf0 = Self::alloc_node(&h, &arena, INF0, 0, 0, 0);
+        let leaf_inf1 = Self::alloc_node(&h, &arena, INF1, 0, 0, 0);
+        let leaf_inf2 = Self::alloc_node(&h, &arena, INF2, 0, 0, 0);
+        let s = Self::alloc_node(&h, &arena, INF1, 0, pack(leaf_inf0), pack(leaf_inf1));
+        let r = Self::alloc_node(&h, &arena, INF2, 0, pack(s), pack(leaf_inf2));
         for node in [leaf_inf0, leaf_inf1, leaf_inf2, s, r] {
-            policy.persist_object(unsafe { &*node }, PFlag::Persisted);
+            h.persist_object(unsafe { &*node }, PFlag::Persisted);
         }
-        arena.register_root(policy.backend(), roots::BST_ROOT, r as usize);
+        arena.register_root(&h.pmem(), roots::BST_ROOT, r as usize);
+        drop(h);
         Self {
             root: r,
             arena,
-            policy,
-            collector: Collector::new(),
+            db: db.clone(),
             _durability: PhantomData,
         }
     }
 
-    /// The EBR collector used by this tree.
-    pub fn collector(&self) -> &Collector {
-        &self.collector
+    /// The database this tree lives in.
+    pub fn db(&self) -> &FlitDb<P> {
+        &self.db
     }
 
     /// The arena this tree allocates nodes from.
@@ -136,19 +134,19 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
     }
 
     /// Allocate a node from the arena and record **all** of its words (key, value,
-    /// both child edges) with the backend, so the node is fully reconstructible
-    /// from a crash image. The caller persists and publishes it.
+    /// both child edges) with the backend through `h`, so the node is fully
+    /// reconstructible from a crash image. The caller persists and publishes it.
     fn alloc_node(
-        policy: &P,
+        h: &FlitHandle<'_, P>,
         arena: &Arena,
         key: u64,
         value: u64,
         left: usize,
         right: usize,
     ) -> *mut Node<P> {
-        let backend = policy.backend();
+        let pm = h.pmem();
         let node: *mut Node<P> = arena.alloc_init(
-            backend,
+            &pm,
             Node {
                 key,
                 value,
@@ -157,15 +155,15 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
             },
         );
         let node_ref = unsafe { &*node };
-        backend.record_store(&node_ref.key as *const u64 as *const u8, key);
-        backend.record_store(&node_ref.value as *const u64 as *const u8, value);
-        node_ref.left.store_private(policy, left, PFlag::Volatile);
-        node_ref.right.store_private(policy, right, PFlag::Volatile);
+        pm.record_store(&node_ref.key as *const u64 as *const u8, key);
+        pm.record_store(&node_ref.value as *const u64 as *const u8, value);
+        node_ref.left.store_private(h, left, PFlag::Volatile);
+        node_ref.right.store_private(h, right, PFlag::Volatile);
         node
     }
 
-    /// Retire `node` through the collector: its slot returns to the arena's
-    /// recycle list once no pinned thread can still reach it.
+    /// Retire `node` through the guard's collector: its slot returns to the
+    /// arena's recycle list once no pinned participant can still reach it.
     fn retire(&self, guard: &Guard<'_>, node: *mut Node<P>) {
         // SAFETY: the node was unlinked before retirement and is retired once.
         unsafe { self.arena.defer_recycle(guard, node as usize) };
@@ -200,20 +198,18 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
 
     /// Traverse from the root towards `key` (paper's `seek`), recording ancestor,
     /// successor, parent and leaf.
-    fn seek(&self, key: u64) -> SeekRecord<P> {
+    fn seek(&self, h: &FlitHandle<'_, P>, key: u64) -> SeekRecord<P> {
         let r = self.root;
         let s = self.s_node();
         let mut record = SeekRecord {
             ancestor: r,
             successor: s,
             parent: s,
-            leaf: address(unsafe { &*s }.left.load(&self.policy, D::TRAVERSAL_LOAD)),
+            leaf: address(unsafe { &*s }.left.load(h, D::TRAVERSAL_LOAD)),
         };
         // The edge we followed to reach `record.leaf`.
-        let mut parent_field = unsafe { &*s }.left.load(&self.policy, D::TRAVERSAL_LOAD);
-        let mut current_field = unsafe { &*record.leaf }
-            .left
-            .load(&self.policy, D::TRAVERSAL_LOAD);
+        let mut parent_field = unsafe { &*s }.left.load(h, D::TRAVERSAL_LOAD);
+        let mut current_field = unsafe { &*record.leaf }.left.load(h, D::TRAVERSAL_LOAD);
         let mut current = address::<Node<P>>(current_field);
         // Leaves have null children, so the loop stops at a leaf.
         while !current.is_null() {
@@ -226,9 +222,9 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
             parent_field = current_field;
             let current_ref = unsafe { &*current };
             current_field = if key < current_ref.key {
-                current_ref.left.load(&self.policy, D::TRAVERSAL_LOAD)
+                current_ref.left.load(h, D::TRAVERSAL_LOAD)
             } else {
-                current_ref.right.load(&self.policy, D::TRAVERSAL_LOAD)
+                current_ref.right.load(h, D::TRAVERSAL_LOAD)
             };
             current = address(current_field);
         }
@@ -237,16 +233,13 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
 
     /// Set the tag bit of `edge`, preserving the flag bit (the original algorithm uses
     /// an atomic bit-test-and-set; emulated here with a CAS loop).
-    fn tag_edge(&self, edge: &P::Word<usize>) {
+    fn tag_edge(&self, h: &FlitHandle<'_, P>, edge: &P::Word<usize>) {
         loop {
-            let w = edge.load(&self.policy, D::CRITICAL_LOAD);
+            let w = edge.load(h, D::CRITICAL_LOAD);
             if is_tagged(w) {
                 return;
             }
-            if edge
-                .compare_exchange(&self.policy, w, with_tag(w), D::STORE)
-                .is_ok()
-            {
+            if edge.compare_exchange(h, w, with_tag(w), D::STORE).is_ok() {
                 return;
             }
         }
@@ -254,7 +247,13 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
 
     /// Splice the flagged leaf (and its parent) out of the tree (paper's `cleanup`).
     /// Returns `true` when this call performed the splice.
-    fn cleanup(&self, key: u64, record: &SeekRecord<P>, guard: &Guard<'_>) -> bool {
+    fn cleanup(
+        &self,
+        h: &FlitHandle<'_, P>,
+        key: u64,
+        record: &SeekRecord<P>,
+        guard: &Guard<'_>,
+    ) -> bool {
         let ancestor = record.ancestor;
         let successor = record.successor;
         let parent = record.parent;
@@ -266,7 +265,7 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
         // If the edge towards our key is not flagged, we are helping a delete whose
         // flag sits on the other child; in that case the subtree that survives is the
         // one on our side.
-        let child_word = child_edge.load(&self.policy, D::CRITICAL_LOAD);
+        let child_word = child_edge.load(h, D::CRITICAL_LOAD);
         let (surviving_edge, removed_edge) = if is_marked(child_word) {
             (sibling_edge, child_edge)
         } else {
@@ -274,13 +273,11 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
         };
 
         // Prevent further updates below the parent on the surviving side.
-        self.tag_edge(surviving_edge);
-        let surviving_word = surviving_edge.load(&self.policy, D::CRITICAL_LOAD);
+        self.tag_edge(h, surviving_edge);
+        let surviving_word = surviving_edge.load(h, D::CRITICAL_LOAD);
 
         if D::TRANSITION_DEPTH >= 1 {
-            let _ = self
-                .child_edge(ancestor, key)
-                .load(&self.policy, PFlag::Persisted);
+            let _ = self.child_edge(ancestor, key).load(h, PFlag::Persisted);
         }
 
         // Splice: the ancestor's edge to `successor` now points at the surviving
@@ -292,7 +289,7 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
             false,
         );
         let result = successor_edge
-            .compare_exchange(&self.policy, pack(successor), new_word, D::STORE)
+            .compare_exchange(h, pack(successor), new_word, D::STORE)
             .is_ok();
         if result {
             // The spliced-out parent and the removed leaf are now unreachable. The
@@ -308,33 +305,35 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
         result
     }
 
-    fn get_impl(&self, key: u64) -> Option<u64> {
-        let _guard = self.collector.pin();
-        let record = self.seek(key);
+    fn get_impl(&self, h: &FlitHandle<'_, P>, key: u64) -> Option<u64> {
+        debug_assert_eq!(h.db_id(), self.db.id(), "handle from another FlitDb");
+        let _guard = h.pin();
+        let record = self.seek(h, key);
         let leaf = unsafe { &*record.leaf };
         let result = if leaf.key == key {
             if D::TRANSITION_DEPTH > 0 {
                 let _ = self
                     .child_edge(record.parent, key)
-                    .load(&self.policy, PFlag::Persisted);
+                    .load(h, PFlag::Persisted);
             }
             Some(leaf.value)
         } else {
             None
         };
-        self.policy.operation_completion();
+        h.operation_completion();
         result
     }
 
-    fn insert_impl(&self, key: u64, value: u64) -> bool {
+    fn insert_impl(&self, h: &FlitHandle<'_, P>, key: u64, value: u64) -> bool {
         assert!(key < INF0, "key space reserved for sentinels");
-        let guard = self.collector.pin();
+        debug_assert_eq!(h.db_id(), self.db.id(), "handle from another FlitDb");
+        let guard = h.pin();
         loop {
-            let record = self.seek(key);
+            let record = self.seek(h, key);
             let leaf = record.leaf;
             let leaf_key = unsafe { &*leaf }.key;
             if leaf_key == key {
-                self.policy.operation_completion();
+                h.operation_completion();
                 return false;
             }
             let parent = record.parent;
@@ -342,62 +341,49 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
 
             // Build the replacement subtree: a new internal node whose children are
             // the existing leaf and a new leaf holding the key.
-            let new_leaf = Self::alloc_node(&self.policy, &self.arena, key, value, 0, 0);
+            let new_leaf = Self::alloc_node(h, &self.arena, key, value, 0, 0);
             let internal = if key < leaf_key {
-                Self::alloc_node(
-                    &self.policy,
-                    &self.arena,
-                    leaf_key,
-                    0,
-                    pack(new_leaf),
-                    pack(leaf),
-                )
+                Self::alloc_node(h, &self.arena, leaf_key, 0, pack(new_leaf), pack(leaf))
             } else {
-                Self::alloc_node(
-                    &self.policy,
-                    &self.arena,
-                    key,
-                    0,
-                    pack(leaf),
-                    pack(new_leaf),
-                )
+                Self::alloc_node(h, &self.arena, key, 0, pack(leaf), pack(new_leaf))
             };
-            self.policy.persist_object(unsafe { &*new_leaf }, D::STORE);
-            self.policy.persist_object(unsafe { &*internal }, D::STORE);
+            h.persist_object(unsafe { &*new_leaf }, D::STORE);
+            h.persist_object(unsafe { &*internal }, D::STORE);
 
             if D::TRANSITION_DEPTH >= 1 {
-                let _ = child_edge.load(&self.policy, PFlag::Persisted);
+                let _ = child_edge.load(h, PFlag::Persisted);
             }
 
-            match child_edge.compare_exchange(&self.policy, pack(leaf), pack(internal), D::STORE) {
+            match child_edge.compare_exchange(h, pack(leaf), pack(internal), D::STORE) {
                 Ok(_) => {
-                    self.policy.operation_completion();
+                    h.operation_completion();
                     return true;
                 }
                 Err(actual) => {
                     // Never published: return both slots to the durable free list.
                     // SAFETY: neither node became reachable.
                     unsafe {
-                        self.arena.free(self.policy.backend(), new_leaf as *mut u8);
-                        self.arena.free(self.policy.backend(), internal as *mut u8);
+                        self.arena.free(&h.pmem(), new_leaf as *mut u8);
+                        self.arena.free(&h.pmem(), internal as *mut u8);
                     }
                     // Help an in-progress delete of this very leaf before retrying.
                     if address::<Node<P>>(actual) == leaf
                         && (is_marked(actual) || is_tagged(actual))
                     {
-                        let _ = self.cleanup(key, &record, &guard);
+                        let _ = self.cleanup(h, key, &record, &guard);
                     }
                 }
             }
         }
     }
 
-    fn remove_impl(&self, key: u64) -> bool {
-        let guard = self.collector.pin();
+    fn remove_impl(&self, h: &FlitHandle<'_, P>, key: u64) -> bool {
+        debug_assert_eq!(h.db_id(), self.db.id(), "handle from another FlitDb");
+        let guard = h.pin();
         let mut mode = DeleteMode::Injection;
         let mut target_leaf: *mut Node<P> = std::ptr::null_mut();
         loop {
-            let record = self.seek(key);
+            let record = self.seek(h, key);
             let parent = record.parent;
             let child_edge = self.child_edge(parent, key);
 
@@ -405,16 +391,16 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
                 DeleteMode::Injection => {
                     let leaf = record.leaf;
                     if unsafe { &*leaf }.key != key {
-                        self.policy.operation_completion();
+                        h.operation_completion();
                         return false;
                     }
                     if D::TRANSITION_DEPTH >= 1 {
-                        let _ = child_edge.load(&self.policy, PFlag::Persisted);
+                        let _ = child_edge.load(h, PFlag::Persisted);
                     }
                     // Flag the edge to the leaf: this is the linearization point of a
                     // successful delete.
                     match child_edge.compare_exchange(
-                        &self.policy,
+                        h,
                         pack(leaf),
                         pack_with(leaf, true, false),
                         D::STORE,
@@ -422,8 +408,8 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
                         Ok(_) => {
                             mode = DeleteMode::Cleanup;
                             target_leaf = leaf;
-                            if self.cleanup(key, &record, &guard) {
-                                self.policy.operation_completion();
+                            if self.cleanup(h, key, &record, &guard) {
+                                h.operation_completion();
                                 return true;
                             }
                         }
@@ -431,7 +417,7 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
                             if address::<Node<P>>(actual) == leaf
                                 && (is_marked(actual) || is_tagged(actual))
                             {
-                                let _ = self.cleanup(key, &record, &guard);
+                                let _ = self.cleanup(h, key, &record, &guard);
                             }
                         }
                     }
@@ -439,11 +425,11 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
                 DeleteMode::Cleanup => {
                     if record.leaf != target_leaf {
                         // Some helper finished the physical removal for us.
-                        self.policy.operation_completion();
+                        h.operation_completion();
                         return true;
                     }
-                    if self.cleanup(key, &record, &guard) {
-                        self.policy.operation_completion();
+                    if self.cleanup(h, key, &record, &guard) {
+                        h.operation_completion();
                         return true;
                     }
                 }
@@ -561,28 +547,28 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
 impl<P: Policy, D: Durability> ConcurrentMap<P> for NatarajanTree<P, D> {
     const NAME: &'static str = "bst";
 
-    fn with_capacity(policy: P, _capacity_hint: usize) -> Self {
-        Self::new(policy)
+    fn with_capacity(db: &FlitDb<P>, _capacity_hint: usize) -> Self {
+        Self::new(db)
     }
 
-    fn get(&self, key: u64) -> Option<u64> {
-        self.get_impl(key)
+    fn get(&self, h: &FlitHandle<'_, P>, key: u64) -> Option<u64> {
+        self.get_impl(h, key)
     }
 
-    fn insert(&self, key: u64, value: u64) -> bool {
-        self.insert_impl(key, value)
+    fn insert(&self, h: &FlitHandle<'_, P>, key: u64, value: u64) -> bool {
+        self.insert_impl(h, key, value)
     }
 
-    fn remove(&self, key: u64) -> bool {
-        self.remove_impl(key)
+    fn remove(&self, h: &FlitHandle<'_, P>, key: u64) -> bool {
+        self.remove_impl(h, key)
     }
 
     fn len(&self) -> usize {
         self.count_leaves(self.root)
     }
 
-    fn policy(&self) -> &P {
-        &self.policy
+    fn db(&self) -> &FlitDb<P> {
+        &self.db
     }
 }
 
@@ -594,7 +580,6 @@ impl<P: Policy, D: Durability> ConcurrentMap<P> for NatarajanTree<P, D> {
 mod tests {
     use super::*;
     use crate::durability::{Automatic, Manual, NvTraverse};
-    use flit::presets;
     use flit::{FlitPolicy, HashedScheme};
     use flit_pmem::{LatencyModel, SimNvram};
     use std::sync::Arc;
@@ -603,64 +588,76 @@ mod tests {
         SimNvram::builder().latency(LatencyModel::none()).build()
     }
 
+    fn ht_db() -> FlitDb<FlitPolicy<HashedScheme, SimNvram>> {
+        FlitDb::flit_ht(backend())
+    }
+
     type Bst<D> = NatarajanTree<FlitPolicy<HashedScheme, SimNvram>, D>;
 
     #[test]
     fn empty_tree() {
-        let t: Bst<Automatic> = NatarajanTree::new(presets::flit_ht(backend()));
+        let db = ht_db();
+        let h = db.handle();
+        let t: Bst<Automatic> = NatarajanTree::new(&db);
         assert!(t.is_empty());
-        assert_eq!(t.get(1), None);
-        assert!(!t.remove(1));
+        assert_eq!(t.get(&h, 1), None);
+        assert!(!t.remove(&h, 1));
     }
 
     #[test]
     fn insert_lookup_remove() {
-        let t: Bst<Automatic> = NatarajanTree::new(presets::flit_ht(backend()));
-        assert!(t.insert(50, 500));
-        assert!(t.insert(30, 300));
-        assert!(t.insert(70, 700));
-        assert!(!t.insert(50, 999));
+        let db = ht_db();
+        let h = db.handle();
+        let t: Bst<Automatic> = NatarajanTree::new(&db);
+        assert!(t.insert(&h, 50, 500));
+        assert!(t.insert(&h, 30, 300));
+        assert!(t.insert(&h, 70, 700));
+        assert!(!t.insert(&h, 50, 999));
         assert_eq!(t.len(), 3);
-        assert_eq!(t.get(50), Some(500));
-        assert_eq!(t.get(30), Some(300));
-        assert_eq!(t.get(70), Some(700));
-        assert_eq!(t.get(60), None);
-        assert!(t.remove(50));
-        assert!(!t.remove(50));
-        assert_eq!(t.get(50), None);
-        assert_eq!(t.get(30), Some(300));
-        assert_eq!(t.get(70), Some(700));
+        assert_eq!(t.get(&h, 50), Some(500));
+        assert_eq!(t.get(&h, 30), Some(300));
+        assert_eq!(t.get(&h, 70), Some(700));
+        assert_eq!(t.get(&h, 60), None);
+        assert!(t.remove(&h, 50));
+        assert!(!t.remove(&h, 50));
+        assert_eq!(t.get(&h, 50), None);
+        assert_eq!(t.get(&h, 30), Some(300));
+        assert_eq!(t.get(&h, 70), Some(700));
         assert_eq!(t.len(), 2);
     }
 
     #[test]
     fn ascending_and_descending_insertions() {
-        let t: Bst<Automatic> = NatarajanTree::new(presets::flit_ht(backend()));
+        let db = ht_db();
+        let h = db.handle();
+        let t: Bst<Automatic> = NatarajanTree::new(&db);
         for k in 0..200u64 {
-            assert!(t.insert(k, k));
+            assert!(t.insert(&h, k, k));
         }
         for k in (200..400u64).rev() {
-            assert!(t.insert(k, k));
+            assert!(t.insert(&h, k, k));
         }
         assert_eq!(t.len(), 400);
         for k in 0..400u64 {
-            assert_eq!(t.get(k), Some(k));
+            assert_eq!(t.get(&h, k), Some(k));
         }
         for k in 0..400u64 {
-            assert!(t.remove(k), "failed to remove {k}");
+            assert!(t.remove(&h, k), "failed to remove {k}");
         }
         assert!(t.is_empty());
     }
 
     #[test]
     fn remove_then_reinsert() {
-        let t: Bst<NvTraverse> = NatarajanTree::new(presets::flit_ht(backend()));
+        let db = ht_db();
+        let h = db.handle();
+        let t: Bst<NvTraverse> = NatarajanTree::new(&db);
         for round in 0..5 {
             for k in 0..50u64 {
-                assert!(t.insert(k, k + round), "round {round}, key {k}");
+                assert!(t.insert(&h, k, k + round), "round {round}, key {k}");
             }
             for k in 0..50u64 {
-                assert!(t.remove(k));
+                assert!(t.remove(&h, k));
             }
             assert!(t.is_empty());
         }
@@ -669,16 +666,18 @@ mod tests {
     #[test]
     fn works_with_every_durability_method() {
         fn exercise<D: Durability>() {
-            let t: Bst<D> = NatarajanTree::new(presets::flit_ht(backend()));
+            let db = FlitDb::flit_ht(SimNvram::builder().latency(LatencyModel::none()).build());
+            let h = db.handle();
+            let t: Bst<D> = NatarajanTree::new(&db);
             for k in [5u64, 2, 8, 1, 3, 7, 9, 4, 6] {
-                assert!(t.insert(k, k * 10));
+                assert!(t.insert(&h, k, k * 10));
             }
             assert_eq!(t.len(), 9);
             for k in 1..=9u64 {
-                assert_eq!(t.get(k), Some(k * 10));
+                assert_eq!(t.get(&h, k), Some(k * 10));
             }
             for k in [2u64, 8, 5] {
-                assert!(t.remove(k));
+                assert!(t.remove(&h, k));
             }
             assert_eq!(t.len(), 6);
         }
@@ -689,37 +688,60 @@ mod tests {
 
     #[test]
     fn works_with_plain_and_baseline_policies() {
-        let t: NatarajanTree<_, Automatic> = NatarajanTree::new(presets::plain(backend()));
+        let db = FlitDb::plain(backend());
+        let h = db.handle();
+        let t: NatarajanTree<_, Automatic> = NatarajanTree::new(&db);
         for k in 0..64u64 {
-            assert!(t.insert(k, k));
+            assert!(t.insert(&h, k, k));
         }
         assert_eq!(t.len(), 64);
-        let t: NatarajanTree<_, Automatic> = NatarajanTree::new(presets::no_persist());
+        let db = FlitDb::no_persist();
+        let h = db.handle();
+        let t: NatarajanTree<_, Automatic> = NatarajanTree::new(&db);
         for k in 0..64u64 {
-            assert!(t.insert(k, k));
+            assert!(t.insert(&h, k, k));
         }
         for k in 0..64u64 {
-            assert!(t.remove(k));
+            assert!(t.remove(&h, k));
         }
         assert!(t.is_empty());
     }
 
     #[test]
+    fn image_only_recovery_matches_the_quiescent_tree() {
+        let sim = SimNvram::for_crash_testing();
+        let db = FlitDb::flit_ht(sim.clone());
+        let h = db.handle();
+        let t: Bst<Automatic> = NatarajanTree::new(&db);
+        for k in [4u64, 1, 9, 6] {
+            assert!(t.insert(&h, k, k * 11));
+        }
+        assert!(t.remove(&h, 9));
+        let image = sim.tracker().unwrap().crash_image();
+        let rec = t.recover(&image);
+        assert!(!rec.truncated);
+        assert_eq!(rec.sorted_pairs(), vec![(1, 11), (4, 44), (6, 66)]);
+    }
+
+    #[test]
     fn concurrent_disjoint_inserts_and_removes() {
-        let t: Arc<Bst<Automatic>> = Arc::new(NatarajanTree::new(presets::flit_ht(backend())));
+        let db = ht_db();
+        let t: Arc<Bst<Automatic>> = Arc::new(NatarajanTree::new(&db));
         std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let t = Arc::clone(&t);
+                let db = &db;
                 s.spawn(move || {
+                    let h = db.handle();
                     let base = tid * 10_000;
                     for k in base..base + 400 {
-                        assert!(t.insert(k, k));
+                        assert!(t.insert(&h, k, k));
                     }
                     for k in (base..base + 400).step_by(2) {
-                        assert!(t.remove(k));
+                        assert!(t.remove(&h, k));
                     }
                     for k in base..base + 400 {
-                        assert_eq!(t.get(k).is_some(), k % 2 == 1, "key {k}");
+                        assert_eq!(t.get(&h, k).is_some(), k % 2 == 1, "key {k}");
                     }
                 });
             }
@@ -729,22 +751,25 @@ mod tests {
 
     #[test]
     fn concurrent_contended_stress() {
-        let t: Arc<Bst<Manual>> = Arc::new(NatarajanTree::new(presets::flit_ht(backend())));
+        let db = ht_db();
+        let t: Arc<Bst<Manual>> = Arc::new(NatarajanTree::new(&db));
         std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let t = Arc::clone(&t);
+                let db = &db;
                 s.spawn(move || {
+                    let h = db.handle();
                     for i in 0..600u64 {
                         let k = (tid * 17 + i * 5) % 24;
                         match i % 3 {
                             0 => {
-                                t.insert(k, i);
+                                t.insert(&h, k, i);
                             }
                             1 => {
-                                t.remove(k);
+                                t.remove(&h, k);
                             }
                             _ => {
-                                t.get(k);
+                                t.get(&h, k);
                             }
                         }
                     }

@@ -90,7 +90,7 @@ impl<P: Policy, D: Durability> MapCrashRecovery<P> for HarrisList<P, D> {
     }
 }
 
-impl<P: Policy + Clone, D: Durability> MapCrashRecovery<P> for HashTable<P, D> {
+impl<P: Policy, D: Durability> MapCrashRecovery<P> for HashTable<P, D> {
     fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
         self.recover(image)
     }

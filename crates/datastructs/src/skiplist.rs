@@ -4,7 +4,8 @@
 //! bottom level, which is why the optimised durability methods treat upper-level link
 //! updates as v-instructions ([`Durability::INDEX_STORE`]). Removal marks the tower
 //! from the top down and linearizes at the bottom-level mark; physical unlinking is
-//! done by `find`, exactly as in the Harris list.
+//! done by `find`, exactly as in the Harris list. Every operation takes the calling
+//! thread's [`FlitHandle`], exactly as in the other structures.
 //!
 //! This is the structure where the paper observes the layout cost of the adjacent
 //! counter placement (§6.6): a tower node stores one next-pointer per level, so
@@ -22,16 +23,15 @@
 //! persisted, and the bottom-level word sits at a fixed offset from the slot base.
 //! The head tower is registered under [`roots::SKIPLIST_HEAD`], so
 //! [`SkipList::recover_in_image`] walks the persisted bottom level purely from the
-//! [`CrashImage`] + root table — closing the ROADMAP's "skiplist recovery
-//! completeness" item (keys and values now come out of the image too).
+//! [`CrashImage`] + root table.
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use flit::{PFlag, PersistWord, Policy};
+use flit::{FlitDb, FlitHandle, PFlag, PersistWord, Policy};
 use flit_alloc::{roots, Arena};
-use flit_ebr::{Collector, Guard};
+use flit_ebr::Guard;
 use flit_pmem::{CrashImage, PmemBackend, WORD_SIZE};
 
 use crate::durability::Durability;
@@ -83,8 +83,7 @@ impl<P: Policy> Node<P> {
 pub struct SkipList<P: Policy, D: Durability> {
     head: *mut Node<P>,
     arena: Arc<Arena>,
-    policy: P,
-    collector: Collector,
+    db: FlitDb<P>,
     /// Cheap xorshift state for tower-height selection (splittable per call site).
     rng: AtomicU64,
     _durability: PhantomData<D>,
@@ -95,33 +94,31 @@ unsafe impl<P: Policy, D: Durability> Send for SkipList<P, D> {}
 unsafe impl<P: Policy, D: Durability> Sync for SkipList<P, D> {}
 
 impl<P: Policy, D: Durability> SkipList<P, D> {
-    /// Create an empty skiplist with its own arena, registered under
+    /// Create an empty skiplist in `db` with its own arena, registered under
     /// [`roots::SKIPLIST_HEAD`].
-    pub fn new(policy: P) -> Self {
-        let arena = Arc::new(Arena::for_slots_of::<Node<P>, _>(
-            policy.backend(),
-            LIST_CHUNK_SLOTS,
-        ));
+    pub fn new(db: &FlitDb<P>) -> Self {
+        let arena = db.new_arena_for::<Node<P>>(LIST_CHUNK_SLOTS);
         let list = Self {
             head: std::ptr::null_mut(),
             arena,
-            policy,
-            collector: Collector::new(),
+            db: db.clone(),
             rng: AtomicU64::new(0x9E3779B97F4A7C15),
             _durability: PhantomData,
         };
         // Persist-before-publish at construction: the full head tower becomes
         // durable, then the root registration makes the (empty) list recoverable.
-        let head = list.alloc_node(0, 0, MAX_LEVEL - 1, &[]);
-        list.persist_new_node(head, PFlag::Persisted);
+        let h = db.handle();
+        let head = list.alloc_node(&h, 0, 0, MAX_LEVEL - 1, &[]);
+        list.persist_new_node(&h, head, PFlag::Persisted);
         list.arena
-            .register_root(list.policy.backend(), roots::SKIPLIST_HEAD, head as usize);
+            .register_root(&h.pmem(), roots::SKIPLIST_HEAD, head as usize);
+        drop(h);
         Self { head, ..list }
     }
 
-    /// The EBR collector used by this skiplist.
-    pub fn collector(&self) -> &Collector {
-        &self.collector
+    /// The database this skiplist lives in.
+    pub fn db(&self) -> &FlitDb<P> {
+        &self.db
     }
 
     /// The arena this skiplist allocates towers from.
@@ -130,11 +127,18 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
     }
 
     /// Allocate a tower node from the arena and record its key/value and occupied
-    /// tower words with the backend.
-    fn alloc_node(&self, key: u64, value: u64, top_level: usize, succs: &[usize]) -> *mut Node<P> {
-        let backend = self.policy.backend();
+    /// tower words with the backend through `h`.
+    fn alloc_node(
+        &self,
+        h: &FlitHandle<'_, P>,
+        key: u64,
+        value: u64,
+        top_level: usize,
+        succs: &[usize],
+    ) -> *mut Node<P> {
+        let pm = h.pmem();
         let node: *mut Node<P> = self.arena.alloc_init(
-            backend,
+            &pm,
             Node {
                 key,
                 value,
@@ -145,16 +149,16 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
             },
         );
         let node_ref = unsafe { &*node };
-        backend.record_store(&node_ref.key as *const u64 as *const u8, key);
-        backend.record_store(&node_ref.value as *const u64 as *const u8, value);
+        pm.record_store(&node_ref.key as *const u64 as *const u8, key);
+        pm.record_store(&node_ref.value as *const u64 as *const u8, value);
         for word in &node_ref.next[..=top_level] {
-            word.store_private(&self.policy, word.load_direct(), PFlag::Volatile);
+            word.store_private(h, word.load_direct(), PFlag::Volatile);
         }
         node
     }
 
-    /// Retire `node` through the collector: its slot returns to the arena's
-    /// recycle list once no pinned thread can still reach it.
+    /// Retire `node` through the guard's collector: its slot returns to the
+    /// arena's recycle list once no pinned participant can still reach it.
     fn retire(&self, guard: &Guard<'_>, node: *mut Node<P>) {
         // SAFETY: the node was unlinked from level 0 before retirement and is
         // retired once.
@@ -175,11 +179,11 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
     /// base through its highest occupied tower word (the unoccupied tail of the
     /// inline tower is dead space — flushing it would only add layout-independent
     /// but pointless `pwb`s).
-    fn persist_new_node(&self, node: *mut Node<P>, flag: PFlag) {
+    fn persist_new_node(&self, h: &FlitHandle<'_, P>, node: *mut Node<P>, flag: PFlag) {
         let node_ref = unsafe { &*node };
         let base = node as usize;
         let len = node_ref.next[node_ref.top_level].addr() + WORD_SIZE - base;
-        self.policy.persist_range(base as *const u8, len, flag);
+        h.persist_range(base as *const u8, len, flag);
     }
 
     /// Find the insertion window at every level: `preds[l]` is the last node with key
@@ -188,6 +192,7 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
     /// with the exact key is present at the bottom level.
     fn find(
         &self,
+        h: &FlitHandle<'_, P>,
         key: u64,
         preds: &mut [*mut Node<P>; MAX_LEVEL],
         succs: &mut [*mut Node<P>; MAX_LEVEL],
@@ -196,20 +201,18 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
         'retry: loop {
             let mut pred = self.head;
             for level in (0..MAX_LEVEL).rev() {
-                let mut curr = address::<Node<P>>(
-                    unsafe { &*pred }.next[level].load(&self.policy, D::TRAVERSAL_LOAD),
-                );
+                let mut curr =
+                    address::<Node<P>>(unsafe { &*pred }.next[level].load(h, D::TRAVERSAL_LOAD));
                 loop {
                     if curr.is_null() {
                         break;
                     }
-                    let mut succ_word =
-                        unsafe { &*curr }.next[level].load(&self.policy, D::TRAVERSAL_LOAD);
+                    let mut succ_word = unsafe { &*curr }.next[level].load(h, D::TRAVERSAL_LOAD);
                     while is_marked(succ_word) {
                         // `curr` is logically deleted at this level: unlink it.
                         if unsafe { &*pred }.next[level]
                             .compare_exchange(
-                                &self.policy,
+                                h,
                                 pack(curr),
                                 unmark(succ_word),
                                 if level == 0 { D::STORE } else { D::INDEX_STORE },
@@ -227,8 +230,7 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
                         if curr.is_null() {
                             break;
                         }
-                        succ_word =
-                            unsafe { &*curr }.next[level].load(&self.policy, D::TRAVERSAL_LOAD);
+                        succ_word = unsafe { &*curr }.next[level].load(h, D::TRAVERSAL_LOAD);
                     }
                     if curr.is_null() {
                         break;
@@ -247,56 +249,58 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
         }
     }
 
-    fn get_impl(&self, key: u64) -> Option<u64> {
-        let guard = self.collector.pin();
+    fn get_impl(&self, h: &FlitHandle<'_, P>, key: u64) -> Option<u64> {
+        debug_assert_eq!(h.db_id(), self.db.id(), "handle from another FlitDb");
+        let guard = h.pin();
         let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
         let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
-        let found = self.find(key, &mut preds, &mut succs, &guard);
+        let found = self.find(h, key, &mut preds, &mut succs, &guard);
         let result = if found {
             let node = unsafe { &*succs[0] };
             if D::TRANSITION_DEPTH > 0 {
-                let _ = node.next[0].load(&self.policy, PFlag::Persisted);
+                let _ = node.next[0].load(h, PFlag::Persisted);
             }
             Some(node.value)
         } else {
             None
         };
-        self.policy.operation_completion();
+        h.operation_completion();
         result
     }
 
-    fn insert_impl(&self, key: u64, value: u64) -> bool {
+    fn insert_impl(&self, h: &FlitHandle<'_, P>, key: u64, value: u64) -> bool {
         assert!(key < u64::MAX);
-        let guard = self.collector.pin();
+        debug_assert_eq!(h.db_id(), self.db.id(), "handle from another FlitDb");
+        let guard = h.pin();
         let top_level = self.random_level();
         let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
         let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
         loop {
-            if self.find(key, &mut preds, &mut succs, &guard) {
-                self.policy.operation_completion();
+            if self.find(h, key, &mut preds, &mut succs, &guard) {
+                h.operation_completion();
                 return false;
             }
             // Build the tower pointing at the successors observed by find().
             let succ_words: Vec<usize> = (0..=top_level).map(|l| pack(succs[l])).collect();
-            let node = self.alloc_node(key, value, top_level, &succ_words);
-            self.persist_new_node(node, D::STORE);
+            let node = self.alloc_node(h, key, value, top_level, &succ_words);
+            self.persist_new_node(h, node, D::STORE);
 
             // Transition: persist the bottom-level link we are about to modify.
             if D::TRANSITION_DEPTH >= 1 {
-                let _ = unsafe { &*preds[0] }.next[0].load(&self.policy, PFlag::Persisted);
+                let _ = unsafe { &*preds[0] }.next[0].load(h, PFlag::Persisted);
             }
             if D::TRANSITION_DEPTH >= 2 && !succs[0].is_null() {
-                let _ = unsafe { &*succs[0] }.next[0].load(&self.policy, PFlag::Persisted);
+                let _ = unsafe { &*succs[0] }.next[0].load(h, PFlag::Persisted);
             }
 
             // Linking the bottom level is the linearization point.
             if unsafe { &*preds[0] }.next[0]
-                .compare_exchange(&self.policy, pack(succs[0]), pack(node), D::STORE)
+                .compare_exchange(h, pack(succs[0]), pack(node), D::STORE)
                 .is_err()
             {
                 // Never published: return the slot to the durable free list.
                 // SAFETY: `node` was allocated above and never became reachable.
-                unsafe { self.arena.free(self.policy.backend(), node as *mut u8) };
+                unsafe { self.arena.free(&h.pmem(), node as *mut u8) };
                 continue;
             }
 
@@ -313,40 +317,41 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
                     // Point the tower at the current successor if it changed.
                     if address::<Node<P>>(cur_tower) != succ
                         && unsafe { &*node }.next[level]
-                            .compare_exchange(&self.policy, cur_tower, pack(succ), D::INDEX_STORE)
+                            .compare_exchange(h, cur_tower, pack(succ), D::INDEX_STORE)
                             .is_err()
                     {
                         break;
                     }
                     if unsafe { &*pred }.next[level]
-                        .compare_exchange(&self.policy, pack(succ), pack(node), D::INDEX_STORE)
+                        .compare_exchange(h, pack(succ), pack(node), D::INDEX_STORE)
                         .is_ok()
                     {
                         break;
                     }
                     // The window moved: recompute it and retry this level.
-                    if self.find(key, &mut preds, &mut succs, &guard) && succs[0] != node {
+                    if self.find(h, key, &mut preds, &mut succs, &guard) && succs[0] != node {
                         // Our node has already been removed; stop linking.
-                        self.policy.operation_completion();
+                        h.operation_completion();
                         return true;
                     }
                     if succs[0] != node {
-                        self.policy.operation_completion();
+                        h.operation_completion();
                         return true;
                     }
                 }
             }
-            self.policy.operation_completion();
+            h.operation_completion();
             return true;
         }
     }
 
-    fn remove_impl(&self, key: u64) -> bool {
-        let guard = self.collector.pin();
+    fn remove_impl(&self, h: &FlitHandle<'_, P>, key: u64) -> bool {
+        debug_assert_eq!(h.db_id(), self.db.id(), "handle from another FlitDb");
+        let guard = h.pin();
         let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
         let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
-        if !self.find(key, &mut preds, &mut succs, &guard) {
-            self.policy.operation_completion();
+        if !self.find(h, key, &mut preds, &mut succs, &guard) {
+            h.operation_completion();
             return false;
         }
         let node = succs[0];
@@ -355,12 +360,12 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
         // Mark the index levels top-down (auxiliary state: INDEX_STORE).
         for level in (1..=node_ref.top_level).rev() {
             loop {
-                let w = node_ref.next[level].load(&self.policy, D::CRITICAL_LOAD);
+                let w = node_ref.next[level].load(h, D::CRITICAL_LOAD);
                 if is_marked(w) {
                     break;
                 }
                 if node_ref.next[level]
-                    .compare_exchange(&self.policy, w, with_mark(w), D::INDEX_STORE)
+                    .compare_exchange(h, w, with_mark(w), D::INDEX_STORE)
                     .is_ok()
                 {
                     break;
@@ -370,22 +375,22 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
 
         // Marking the bottom level is the linearization point of a successful remove.
         loop {
-            let w = node_ref.next[0].load(&self.policy, D::CRITICAL_LOAD);
+            let w = node_ref.next[0].load(h, D::CRITICAL_LOAD);
             if is_marked(w) {
                 // Another thread won the removal race.
-                self.policy.operation_completion();
+                h.operation_completion();
                 return false;
             }
             if D::TRANSITION_DEPTH >= 1 {
-                let _ = unsafe { &*preds[0] }.next[0].load(&self.policy, PFlag::Persisted);
+                let _ = unsafe { &*preds[0] }.next[0].load(h, PFlag::Persisted);
             }
             if node_ref.next[0]
-                .compare_exchange(&self.policy, w, with_mark(w), D::STORE)
+                .compare_exchange(h, w, with_mark(w), D::STORE)
                 .is_ok()
             {
                 // Physically unlink (and retire) through find().
-                let _ = self.find(key, &mut preds, &mut succs, &guard);
-                self.policy.operation_completion();
+                let _ = self.find(h, key, &mut preds, &mut succs, &guard);
+                h.operation_completion();
                 return true;
             }
         }
@@ -457,28 +462,28 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
 impl<P: Policy, D: Durability> ConcurrentMap<P> for SkipList<P, D> {
     const NAME: &'static str = "skiplist";
 
-    fn with_capacity(policy: P, _capacity_hint: usize) -> Self {
-        Self::new(policy)
+    fn with_capacity(db: &FlitDb<P>, _capacity_hint: usize) -> Self {
+        Self::new(db)
     }
 
-    fn get(&self, key: u64) -> Option<u64> {
-        self.get_impl(key)
+    fn get(&self, h: &FlitHandle<'_, P>, key: u64) -> Option<u64> {
+        self.get_impl(h, key)
     }
 
-    fn insert(&self, key: u64, value: u64) -> bool {
-        self.insert_impl(key, value)
+    fn insert(&self, h: &FlitHandle<'_, P>, key: u64, value: u64) -> bool {
+        self.insert_impl(h, key, value)
     }
 
-    fn remove(&self, key: u64) -> bool {
-        self.remove_impl(key)
+    fn remove(&self, h: &FlitHandle<'_, P>, key: u64) -> bool {
+        self.remove_impl(h, key)
     }
 
     fn len(&self) -> usize {
         self.len_impl()
     }
 
-    fn policy(&self) -> &P {
-        &self.policy
+    fn db(&self) -> &FlitDb<P> {
+        &self.db
     }
 }
 
@@ -489,7 +494,6 @@ impl<P: Policy, D: Durability> ConcurrentMap<P> for SkipList<P, D> {
 mod tests {
     use super::*;
     use crate::durability::{Automatic, Manual, NvTraverse};
-    use flit::presets;
     use flit::{FlitPolicy, HashedScheme};
     use flit_pmem::{LatencyModel, SimNvram};
 
@@ -497,37 +501,45 @@ mod tests {
         SimNvram::builder().latency(LatencyModel::none()).build()
     }
 
+    fn ht_db() -> FlitDb<FlitPolicy<HashedScheme, SimNvram>> {
+        FlitDb::flit_ht(backend())
+    }
+
     type Sl<D> = SkipList<FlitPolicy<HashedScheme, SimNvram>, D>;
 
     #[test]
     fn empty_and_basic_ops() {
-        let s: Sl<Automatic> = SkipList::new(presets::flit_ht(backend()));
+        let db = ht_db();
+        let h = db.handle();
+        let s: Sl<Automatic> = SkipList::new(&db);
         assert!(s.is_empty());
-        assert_eq!(s.get(3), None);
-        assert!(s.insert(3, 30));
-        assert!(!s.insert(3, 31));
-        assert_eq!(s.get(3), Some(30));
-        assert!(s.remove(3));
-        assert!(!s.remove(3));
+        assert_eq!(s.get(&h, 3), None);
+        assert!(s.insert(&h, 3, 30));
+        assert!(!s.insert(&h, 3, 31));
+        assert_eq!(s.get(&h, 3), Some(30));
+        assert!(s.remove(&h, 3));
+        assert!(!s.remove(&h, 3));
         assert!(s.is_empty());
     }
 
     #[test]
     fn many_sequential_keys() {
-        let s: Sl<Automatic> = SkipList::new(presets::flit_ht(backend()));
+        let db = ht_db();
+        let h = db.handle();
+        let s: Sl<Automatic> = SkipList::new(&db);
         for k in 0..1000u64 {
-            assert!(s.insert(k, k * 3));
+            assert!(s.insert(&h, k, k * 3));
         }
         assert_eq!(s.len(), 1000);
         for k in 0..1000u64 {
-            assert_eq!(s.get(k), Some(k * 3));
+            assert_eq!(s.get(&h, k), Some(k * 3));
         }
         for k in (0..1000u64).step_by(2) {
-            assert!(s.remove(k));
+            assert!(s.remove(&h, k));
         }
         assert_eq!(s.len(), 500);
         for k in 0..1000u64 {
-            assert_eq!(s.get(k).is_some(), k % 2 == 1);
+            assert_eq!(s.get(&h, k).is_some(), k % 2 == 1);
         }
     }
 
@@ -546,9 +558,11 @@ mod tests {
 
     #[test]
     fn bottom_level_is_sorted() {
-        let s: Sl<NvTraverse> = SkipList::new(presets::flit_ht(backend()));
+        let db = ht_db();
+        let h = db.handle();
+        let s: Sl<NvTraverse> = SkipList::new(&db);
         for k in [9u64, 2, 7, 4, 1, 8, 3] {
-            s.insert(k, k);
+            s.insert(&h, k, k);
         }
         let seen = bottom_level_keys(&s);
         assert!(
@@ -560,7 +574,8 @@ mod tests {
 
     #[test]
     fn random_levels_are_bounded_and_varied() {
-        let s: Sl<Automatic> = SkipList::new(presets::flit_ht(backend()));
+        let db = ht_db();
+        let s: Sl<Automatic> = SkipList::new(&db);
         let mut heights = std::collections::HashSet::new();
         for _ in 0..512 {
             let h = s.random_level();
@@ -572,8 +587,10 @@ mod tests {
 
     #[test]
     fn towers_are_inline_single_arena_slots() {
-        let s: Sl<Automatic> = SkipList::new(presets::flit_ht(backend()));
-        s.insert(5, 50);
+        let db = ht_db();
+        let h = db.handle();
+        let s: Sl<Automatic> = SkipList::new(&db);
+        s.insert(&h, 5, 50);
         let node = address::<Node<FlitPolicy<HashedScheme, SimNvram>>>(
             unsafe { &*s.head }.next[0].load_direct(),
         );
@@ -587,11 +604,13 @@ mod tests {
     #[test]
     fn image_only_recovery_matches_the_quiescent_set() {
         let sim = SimNvram::for_crash_testing();
-        let s: Sl<Automatic> = SkipList::new(presets::flit_ht(sim.clone()));
+        let db = FlitDb::flit_ht(sim.clone());
+        let h = db.handle();
+        let s: Sl<Automatic> = SkipList::new(&db);
         for k in [5u64, 1, 8, 3] {
-            assert!(s.insert(k, k + 100));
+            assert!(s.insert(&h, k, k + 100));
         }
-        assert!(s.remove(8));
+        assert!(s.remove(&h, 8));
         let image = sim.tracker().unwrap().crash_image();
         let rec = s.recover(&image);
         assert!(!rec.truncated);
@@ -603,15 +622,17 @@ mod tests {
     #[test]
     fn works_with_every_durability_method() {
         fn exercise<D: Durability>() {
-            let s: Sl<D> = SkipList::new(presets::flit_ht(backend()));
+            let db = FlitDb::flit_ht(SimNvram::builder().latency(LatencyModel::none()).build());
+            let h = db.handle();
+            let s: Sl<D> = SkipList::new(&db);
             for k in 0..200u64 {
-                assert!(s.insert(k, k + 1));
+                assert!(s.insert(&h, k, k + 1));
             }
             for k in 0..200u64 {
-                assert_eq!(s.get(k), Some(k + 1));
+                assert_eq!(s.get(&h, k), Some(k + 1));
             }
             for k in (0..200u64).step_by(3) {
-                assert!(s.remove(k));
+                assert!(s.remove(&h, k));
             }
             assert_eq!(s.len(), 200 - 200usize.div_ceil(3));
         }
@@ -622,34 +643,41 @@ mod tests {
 
     #[test]
     fn works_with_link_and_persist_and_baseline() {
-        let s: SkipList<_, Automatic> = SkipList::new(presets::link_and_persist(backend()));
+        let db = FlitDb::link_and_persist(backend());
+        let h = db.handle();
+        let s: SkipList<_, Automatic> = SkipList::new(&db);
         for k in 0..100u64 {
-            assert!(s.insert(k, k));
+            assert!(s.insert(&h, k, k));
         }
         assert_eq!(s.len(), 100);
-        let s: SkipList<_, Automatic> = SkipList::new(presets::no_persist());
+        let db = FlitDb::no_persist();
+        let h = db.handle();
+        let s: SkipList<_, Automatic> = SkipList::new(&db);
         for k in 0..100u64 {
-            assert!(s.insert(k, k));
+            assert!(s.insert(&h, k, k));
         }
         assert_eq!(s.len(), 100);
     }
 
     #[test]
     fn concurrent_disjoint_ranges() {
-        let s: Arc<Sl<Automatic>> = Arc::new(SkipList::new(presets::flit_ht(backend())));
+        let db = ht_db();
+        let s: Arc<Sl<Automatic>> = Arc::new(SkipList::new(&db));
         std::thread::scope(|scope| {
             for t in 0..4u64 {
                 let s = Arc::clone(&s);
+                let db = &db;
                 scope.spawn(move || {
+                    let h = db.handle();
                     let base = t * 1000;
                     for k in base..base + 300 {
-                        assert!(s.insert(k, k));
+                        assert!(s.insert(&h, k, k));
                     }
                     for k in (base..base + 300).step_by(2) {
-                        assert!(s.remove(k));
+                        assert!(s.remove(&h, k));
                     }
                     for k in base..base + 300 {
-                        assert_eq!(s.get(k).is_some(), k % 2 == 1);
+                        assert_eq!(s.get(&h, k).is_some(), k % 2 == 1);
                     }
                 });
             }
@@ -659,22 +687,25 @@ mod tests {
 
     #[test]
     fn concurrent_contended_stress() {
-        let s: Arc<Sl<Manual>> = Arc::new(SkipList::new(presets::flit_ht(backend())));
+        let db = ht_db();
+        let s: Arc<Sl<Manual>> = Arc::new(SkipList::new(&db));
         std::thread::scope(|scope| {
             for t in 0..4u64 {
                 let s = Arc::clone(&s);
+                let db = &db;
                 scope.spawn(move || {
+                    let h = db.handle();
                     for i in 0..800u64 {
                         let k = (t * 31 + i * 7) % 32;
                         match i % 3 {
                             0 => {
-                                s.insert(k, i);
+                                s.insert(&h, k, i);
                             }
                             1 => {
-                                s.remove(k);
+                                s.remove(&h, k);
                             }
                             _ => {
-                                s.get(k);
+                                s.get(&h, k);
                             }
                         }
                     }

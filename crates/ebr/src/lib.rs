@@ -1,4 +1,4 @@
-//! # `flit-ebr` — epoch-based memory reclamation
+//! # `flit-ebr` — epoch-based memory reclamation with explicit participants
 //!
 //! The lock-free data structures used in the FliT paper's evaluation (Harris linked
 //! list, Natarajan–Mittal BST, skiplist, hash table) physically unlink nodes that other
@@ -10,36 +10,48 @@
 //! ## How it works
 //!
 //! A [`Collector`] maintains a global epoch counter and a fixed table of participant
-//! slots. Before touching shared nodes, a thread [`pin`](Collector::pin)s itself: it
-//! claims a slot (once per thread per collector) and publishes the epoch it observed.
-//! Nodes removed from the structure are not freed; they are handed to
-//! [`Guard::defer_destroy`], which records them together with the epoch at retirement.
-//! The global epoch only advances when every pinned thread has caught up with it, so a
-//! node retired in epoch *e* can be reclaimed safely once the global epoch reaches
-//! *e + 2*: every thread that could possibly hold a reference has unpinned since.
+//! slots. A logical thread of execution **registers** once
+//! ([`Collector::register`]), receiving a [`LocalHandle`] that owns one slot.
+//! Before touching shared nodes, the handle [`pin`](LocalHandle::pin)s itself: it
+//! publishes the epoch it observed in its slot. Nodes removed from the structure
+//! are not freed; they are handed to [`Guard::defer_destroy`] (or [`Guard::defer`]),
+//! which records them together with the epoch at retirement. The global epoch only
+//! advances when every pinned participant has caught up with it, so a node retired
+//! in epoch *e* can be reclaimed safely once the global epoch reaches *e + 2*:
+//! every participant that could possibly hold a reference has unpinned since.
+//!
+//! ## Explicit handles (no thread-locals)
+//!
+//! Earlier revisions cached "which slot does this OS thread own" in a
+//! `thread_local!` map, which made participation ambient: slots could never be
+//! recycled (a dead thread's slot stayed claimed forever), and a controlled
+//! scheduler could not represent two logical threads on one OS thread. A
+//! [`LocalHandle`] makes participation a plain value: it is `Send` (a handle may
+//! migrate between OS threads — at most one uses it at a time, which `!Sync`
+//! enforces), two handles on one OS thread are two independent participants, and
+//! **dropping a handle returns its slot to a free list** for the next
+//! registration — short-lived workers no longer leak participant slots.
 //!
 //! ## Guarantees and limits
 //!
 //! * Memory is reclaimed only when provably unreachable (two-epoch rule).
-//! * A thread that stays pinned forever blocks reclamation but never correctness.
-//! * At most [`MAX_PARTICIPANTS`] distinct threads may ever pin a given collector
-//!   (slots are claimed per thread and never recycled); exceeding it panics. This is a
-//!   deliberate simplification — the evaluation harness never spawns more than a few
-//!   dozen threads per structure.
+//! * A handle that stays pinned forever blocks reclamation but never correctness.
+//! * At most [`MAX_PARTICIPANTS`] handles may be live *simultaneously* on one
+//!   collector (slots are recycled on handle drop); exceeding it panics.
+//! * Pinning is re-entrant per handle: nested [`pin`](LocalHandle::pin)s share the
+//!   outermost pin's epoch, and only the outermost unpin deactivates the slot.
 //! * Dropping the collector runs every remaining deferred destructor.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crossbeam_utils::CachePadded;
 
-/// Maximum number of distinct threads that may pin a single collector over its
-/// lifetime.
+/// Maximum number of simultaneously live participant handles per collector.
 pub const MAX_PARTICIPANTS: usize = 256;
 
 /// Slot state meaning "not currently pinned".
@@ -49,7 +61,7 @@ const INACTIVE: u64 = u64::MAX;
 /// collect its local garbage.
 const COLLECT_INTERVAL: u64 = 32;
 
-/// A deferred reclamation action: runs exactly once, by whichever thread happens
+/// A deferred reclamation action: runs exactly once, by whichever participant happens
 /// to run collection, after the two-epoch rule proves the retired object
 /// unreachable.
 struct Deferred(Box<dyn FnOnce() + Send>);
@@ -87,9 +99,11 @@ struct SendPtr<T>(*mut T);
 unsafe impl<T> Send for SendPtr<T> {}
 
 struct Slot {
-    /// Either `INACTIVE` or the epoch the owning thread pinned at.
+    /// Either `INACTIVE` or the epoch the owning handle pinned at.
     state: CachePadded<AtomicU64>,
     /// Garbage retired through this slot: `(retirement epoch, destructor)`.
+    /// Survives slot recycling — the next owner inherits (and eventually
+    /// collects) whatever the previous owner left behind.
     garbage: Mutex<Vec<(u64, Deferred)>>,
     /// Unpin counter used to pace collection attempts.
     unpins: AtomicU64,
@@ -106,16 +120,19 @@ impl Default for Slot {
 }
 
 struct Global {
-    id: u64,
     epoch: CachePadded<AtomicU64>,
     slots: Vec<Slot>,
+    /// High-water mark of slots ever claimed.
     claimed: AtomicUsize,
+    /// Slots returned by dropped handles, ready for re-registration.
+    free_slots: Mutex<Vec<usize>>,
 }
 
 impl Drop for Global {
     fn drop(&mut self) {
-        // No guards can exist at this point (they borrow the collector), so all
-        // remaining garbage is unreachable and safe to destroy.
+        // No guards can exist at this point (they borrow handles, which borrow the
+        // collector's Arc), so all remaining garbage is unreachable and safe to
+        // destroy.
         for slot in &self.slots {
             let mut garbage = slot.garbage.lock().unwrap();
             for (_, deferred) in garbage.drain(..) {
@@ -125,8 +142,9 @@ impl Drop for Global {
     }
 }
 
-/// An epoch-based garbage collector shared by all threads operating on one data
-/// structure. Cloning is cheap (reference-counted) and clones share all state.
+/// An epoch-based garbage collector shared by all participants operating on one
+/// database's structures. Cloning is cheap (reference-counted) and clones share
+/// all state.
 #[derive(Clone)]
 pub struct Collector {
     global: Arc<Global>,
@@ -142,27 +160,20 @@ impl std::fmt::Debug for Collector {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Collector")
             .field("epoch", &self.global.epoch.load(Ordering::Relaxed))
-            .field("participants", &self.global.claimed.load(Ordering::Relaxed))
+            .field("participants", &self.participants())
             .finish()
     }
 }
-
-thread_local! {
-    /// Per-thread cache of "which slot do I own in collector N".
-    static SLOT_CACHE: RefCell<HashMap<u64, usize>> = RefCell::new(HashMap::new());
-}
-
-static NEXT_COLLECTOR_ID: AtomicU64 = AtomicU64::new(1);
 
 impl Collector {
     /// Create a new collector.
     pub fn new() -> Self {
         Self {
             global: Arc::new(Global {
-                id: NEXT_COLLECTOR_ID.fetch_add(1, Ordering::Relaxed),
                 epoch: CachePadded::new(AtomicU64::new(0)),
                 slots: (0..MAX_PARTICIPANTS).map(|_| Slot::default()).collect(),
                 claimed: AtomicUsize::new(0),
+                free_slots: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -172,9 +183,9 @@ impl Collector {
         self.global.epoch.load(Ordering::SeqCst)
     }
 
-    /// Number of threads that have registered with this collector so far.
+    /// Number of currently live participant handles.
     pub fn participants(&self) -> usize {
-        self.global.claimed.load(Ordering::Relaxed)
+        self.global.claimed.load(Ordering::Relaxed) - self.global.free_slots.lock().unwrap().len()
     }
 
     /// Total retired-but-not-yet-freed objects (diagnostic; approximate under
@@ -187,40 +198,36 @@ impl Collector {
             .sum()
     }
 
-    fn slot_index(&self) -> usize {
-        SLOT_CACHE.with(|cache| {
-            let mut cache = cache.borrow_mut();
-            if let Some(&idx) = cache.get(&self.global.id) {
-                return idx;
-            }
+    /// Register a new participant: claim a slot (reusing one returned by a
+    /// dropped handle when available) and hand out the [`LocalHandle`] that owns
+    /// it. The handle unregisters — and the slot becomes reusable — on drop.
+    ///
+    /// # Panics
+    /// Panics when more than [`MAX_PARTICIPANTS`] handles are live at once.
+    pub fn register(&self) -> LocalHandle {
+        let slot = self.global.free_slots.lock().unwrap().pop();
+        let slot = slot.unwrap_or_else(|| {
             let idx = self.global.claimed.fetch_add(1, Ordering::Relaxed);
             assert!(
                 idx < MAX_PARTICIPANTS,
-                "flit-ebr: more than {MAX_PARTICIPANTS} threads pinned one collector"
+                "flit-ebr: more than {MAX_PARTICIPANTS} live handles on one collector"
             );
-            cache.insert(self.global.id, idx);
             idx
-        })
-    }
-
-    /// Pin the current thread: while the returned [`Guard`] is alive, no node retired
-    /// after this call will be reclaimed, so shared pointers read under the guard stay
-    /// valid.
-    pub fn pin(&self) -> Guard<'_> {
-        let idx = self.slot_index();
-        let slot = &self.global.slots[idx];
-        let epoch = self.global.epoch.load(Ordering::SeqCst);
-        slot.state.store(epoch, Ordering::SeqCst);
-        // On x86 the SeqCst store above already provides the required
-        // store-load ordering against subsequent reads of shared pointers.
-        Guard {
-            collector: self,
-            slot_idx: idx,
+        });
+        debug_assert_eq!(
+            self.global.slots[slot].state.load(Ordering::SeqCst),
+            INACTIVE,
+            "a freed slot must be inactive"
+        );
+        LocalHandle {
+            collector: self.clone(),
+            slot,
+            pin_depth: Cell::new(0),
         }
     }
 
-    /// Try to advance the global epoch. Succeeds only if every currently pinned thread
-    /// has observed the current epoch.
+    /// Try to advance the global epoch. Succeeds only if every currently pinned
+    /// participant has observed the current epoch.
     fn try_advance(&self) -> u64 {
         let epoch = self.global.epoch.load(Ordering::SeqCst);
         for slot in &self.global.slots {
@@ -273,31 +280,98 @@ impl Collector {
     }
 }
 
-/// A pinned-thread token. Shared nodes may be dereferenced and retired only while a
-/// guard is alive.
-pub struct Guard<'c> {
-    collector: &'c Collector,
-    slot_idx: usize,
+/// An explicit participant in a [`Collector`]: owns one slot for as long as it
+/// lives, and returns it on drop. This is the EBR half of a `FlitHandle`; see the
+/// crate docs for why participation is a value rather than a thread-local.
+///
+/// `Send` but `!Sync`: a handle may migrate between OS threads, but only one may
+/// use it at a time (the `Cell`-based pin depth enforces this at the type level).
+pub struct LocalHandle {
+    collector: Collector,
+    slot: usize,
+    /// Re-entrancy depth: how many live [`Guard`]s this handle has handed out.
+    pin_depth: Cell<u64>,
+}
+
+impl std::fmt::Debug for LocalHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalHandle")
+            .field("slot", &self.slot)
+            .field("pin_depth", &self.pin_depth.get())
+            .finish()
+    }
+}
+
+impl LocalHandle {
+    /// Pin this participant: while the returned [`Guard`] is alive, no node
+    /// retired after this call will be reclaimed, so shared pointers read under
+    /// the guard stay valid. Nested pins are cheap (only the outermost publishes
+    /// an epoch).
+    pub fn pin(&self) -> Guard<'_> {
+        let depth = self.pin_depth.get();
+        if depth == 0 {
+            let slot = &self.collector.global.slots[self.slot];
+            let epoch = self.collector.global.epoch.load(Ordering::SeqCst);
+            slot.state.store(epoch, Ordering::SeqCst);
+            // On x86 the SeqCst store above already provides the required
+            // store-load ordering against subsequent reads of shared pointers.
+        }
+        self.pin_depth.set(depth + 1);
+        Guard { handle: self }
+    }
+
+    /// The collector this handle participates in.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// The slot index this handle owns (diagnostics).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        debug_assert_eq!(self.pin_depth.get(), 0, "handle dropped while pinned");
+        let slot = &self.collector.global.slots[self.slot];
+        slot.state.store(INACTIVE, Ordering::SeqCst);
+        // Give this slot's garbage a collection chance before the slot is handed
+        // to the next registrant (best effort — anything left is inherited).
+        self.collector.collect(self.slot);
+        self.collector
+            .global
+            .free_slots
+            .lock()
+            .unwrap()
+            .push(self.slot);
+    }
+}
+
+/// A pinned-participant token. Shared nodes may be dereferenced and retired only
+/// while a guard is alive.
+pub struct Guard<'h> {
+    handle: &'h LocalHandle,
 }
 
 impl Guard<'_> {
     /// Defer destruction of `ptr` (obtained from `Box::into_raw`) until no pinned
-    /// thread can still hold a reference to it.
+    /// participant can still hold a reference to it.
     ///
     /// # Safety
     /// * `ptr` must have been created by `Box::into_raw::<T>`.
-    /// * `ptr` must be unreachable for threads that pin *after* this call (i.e. it has
-    ///   been unlinked from the shared structure).
+    /// * `ptr` must be unreachable for participants that pin *after* this call
+    ///   (i.e. it has been unlinked from the shared structure).
     /// * No other code may free `ptr`.
     pub unsafe fn defer_destroy<T: 'static>(&self, ptr: *mut T) {
-        let epoch = self.collector.global.epoch.load(Ordering::SeqCst);
+        let epoch = self.collector().global.epoch.load(Ordering::SeqCst);
         let deferred = unsafe { Deferred::destroy_box(ptr) };
-        let slot = &self.collector.global.slots[self.slot_idx];
+        let slot = &self.collector().global.slots[self.handle.slot];
         slot.garbage.lock().unwrap().push((epoch, deferred));
     }
 
-    /// Defer an arbitrary reclamation action until no pinned thread can still hold
-    /// a reference to whatever it frees. This is the hook arena-allocated
+    /// Defer an arbitrary reclamation action until no pinned participant can still
+    /// hold a reference to whatever it frees. This is the hook arena-allocated
     /// structures use: instead of dropping a `Box`, the action returns the node's
     /// slot to its arena's recycle list.
     ///
@@ -306,8 +380,8 @@ impl Guard<'_> {
     /// memory) lives inside the closure under the caller's unlinked-and-unique
     /// guarantee.
     pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
-        let epoch = self.collector.global.epoch.load(Ordering::SeqCst);
-        let slot = &self.collector.global.slots[self.slot_idx];
+        let epoch = self.collector().global.epoch.load(Ordering::SeqCst);
+        let slot = &self.collector().global.slots[self.handle.slot];
         slot.garbage
             .lock()
             .unwrap()
@@ -316,17 +390,22 @@ impl Guard<'_> {
 
     /// The collector this guard belongs to.
     pub fn collector(&self) -> &Collector {
-        self.collector
+        &self.handle.collector
     }
 }
 
 impl Drop for Guard<'_> {
     fn drop(&mut self) {
-        let slot = &self.collector.global.slots[self.slot_idx];
+        let depth = self.handle.pin_depth.get() - 1;
+        self.handle.pin_depth.set(depth);
+        if depth > 0 {
+            return; // a nested pin: the outermost guard deactivates the slot
+        }
+        let slot = &self.handle.collector.global.slots[self.handle.slot];
         slot.state.store(INACTIVE, Ordering::SeqCst);
         let unpins = slot.unpins.fetch_add(1, Ordering::Relaxed) + 1;
         if unpins % COLLECT_INTERVAL == 0 {
-            self.collector.collect(self.slot_idx);
+            self.handle.collector.collect(self.handle.slot);
         }
     }
 }
@@ -347,9 +426,10 @@ mod tests {
     #[test]
     fn pin_unpin_advances_epoch_eventually() {
         let c = Collector::new();
+        let h = c.register();
         let start = c.epoch();
         for _ in 0..(COLLECT_INTERVAL * 4) {
-            drop(c.pin());
+            drop(h.pin());
         }
         assert!(c.epoch() >= start, "epoch must never go backwards");
     }
@@ -358,18 +438,35 @@ mod tests {
     fn deferred_destruction_runs_exactly_once() {
         let drops = Arc::new(AtomicUsize::new(0));
         let c = Collector::new();
+        let h = c.register();
         {
-            let guard = c.pin();
+            let guard = h.pin();
             let node = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
             unsafe { guard.defer_destroy(node) };
         }
         // Unpin repeatedly so the epoch can advance and garbage gets collected.
         for _ in 0..(COLLECT_INTERVAL * 6) {
-            drop(c.pin());
+            drop(h.pin());
         }
         c.flush();
         c.flush();
         assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nested_pins_share_the_outermost_epoch() {
+        let c = Collector::new();
+        let h = c.register();
+        let outer = h.pin();
+        let inner = h.pin();
+        assert_eq!(h.pin_depth.get(), 2);
+        drop(inner);
+        // Still pinned: the slot must not be INACTIVE yet.
+        let state = c.global.slots[h.slot()].state.load(Ordering::SeqCst);
+        assert_ne!(state, INACTIVE, "outer guard still pins the slot");
+        drop(outer);
+        let state = c.global.slots[h.slot()].state.load(Ordering::SeqCst);
+        assert_eq!(state, INACTIVE);
     }
 
     #[test]
@@ -379,16 +476,18 @@ mod tests {
         let other = c.clone();
 
         // A long-lived guard pins the current epoch.
-        let long_lived = c.pin();
+        let long_handle = c.register();
+        let long_lived = long_handle.pin();
 
         std::thread::scope(|s| {
             s.spawn(|| {
-                let guard = other.pin();
+                let h = other.register();
+                let guard = h.pin();
                 let node = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
                 unsafe { guard.defer_destroy(node) };
                 drop(guard);
                 for _ in 0..(COLLECT_INTERVAL * 6) {
-                    drop(other.pin());
+                    drop(h.pin());
                 }
                 other.flush();
             });
@@ -399,7 +498,7 @@ mod tests {
         assert_eq!(drops.load(Ordering::SeqCst), 0);
         drop(long_lived);
         for _ in 0..(COLLECT_INTERVAL * 6) {
-            drop(c.pin());
+            drop(long_handle.pin());
         }
         c.flush();
         assert_eq!(drops.load(Ordering::SeqCst), 1);
@@ -410,7 +509,8 @@ mod tests {
         let drops = Arc::new(AtomicUsize::new(0));
         {
             let c = Collector::new();
-            let guard = c.pin();
+            let h = c.register();
+            let guard = h.pin();
             for _ in 0..10 {
                 let node = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
                 unsafe { guard.defer_destroy(node) };
@@ -433,8 +533,9 @@ mod tests {
                     let c = c.clone();
                     let drops = Arc::clone(&drops);
                     s.spawn(move || {
+                        let h = c.register();
                         for _ in 0..PER_THREAD {
-                            let guard = c.pin();
+                            let guard = h.pin();
                             let node = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
                             unsafe { guard.defer_destroy(node) };
                             drop(guard);
@@ -447,24 +548,65 @@ mod tests {
     }
 
     #[test]
-    fn participants_are_counted_once_per_thread() {
+    fn dropped_handles_return_their_slots() {
+        // The handle-retirement fix: slots are keyed by handle, not thread, and a
+        // dropped handle's slot is reused by the next registration — short-lived
+        // workers no longer consume the participant table.
         let c = Collector::new();
-        drop(c.pin());
-        drop(c.pin());
+        let first = c.register();
+        let first_slot = first.slot();
+        drop(first);
+        assert_eq!(c.participants(), 0);
+        let second = c.register();
+        assert_eq!(second.slot(), first_slot, "slot recycled LIFO");
         assert_eq!(c.participants(), 1);
-        std::thread::scope(|s| {
-            s.spawn(|| {
-                drop(c.pin());
-                drop(c.pin());
-            });
-        });
+        // Far more handles than MAX_PARTICIPANTS, sequentially: must not panic.
+        for _ in 0..4 * MAX_PARTICIPANTS {
+            let h = c.register();
+            drop(h.pin());
+        }
+        assert_eq!(c.participants(), 1, "only `second` is still live");
+    }
+
+    #[test]
+    fn two_handles_on_one_thread_are_independent_participants() {
+        let c = Collector::new();
+        let a = c.register();
+        let b = c.register();
+        assert_ne!(a.slot(), b.slot());
         assert_eq!(c.participants(), 2);
+        // Pinning A must not pin (or unpin) B.
+        let ga = a.pin();
+        let sb = c.global.slots[b.slot()].state.load(Ordering::SeqCst);
+        assert_eq!(sb, INACTIVE);
+        drop(ga);
+    }
+
+    #[test]
+    fn a_handle_can_outlive_its_spawning_thread() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Collector::new();
+        let c2 = c.clone();
+        // Register on a worker thread, then move the handle back to this thread.
+        let h = std::thread::spawn(move || c2.register()).join().unwrap();
+        {
+            let guard = h.pin();
+            let node = Box::into_raw(Box::new(DropCounter(Arc::clone(&drops))));
+            unsafe { guard.defer_destroy(node) };
+        }
+        for _ in 0..(COLLECT_INTERVAL * 6) {
+            drop(h.pin());
+        }
+        c.flush();
+        c.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
     }
 
     #[test]
     fn garbage_len_reports_pending_items() {
         let c = Collector::new();
-        let guard = c.pin();
+        let h = c.register();
+        let guard = h.pin();
         let node = Box::into_raw(Box::new(17u64));
         unsafe { guard.defer_destroy(node) };
         assert_eq!(c.garbage_len(), 1);

@@ -2,6 +2,7 @@
 //! the persistent-memory substrate (`pwb` + `pfence`), plus hooks for statistics and
 //! crash tracking.
 
+use crate::epoch::ElisionMode;
 use crate::stats::PmemStats;
 use crate::tracker::PersistenceTracker;
 
@@ -18,8 +19,12 @@ use crate::tracker::PersistenceTracker;
 /// persisted image can be maintained; hardware backends ignore this hook.
 ///
 /// All methods take `&self`: backends are shared across every thread of a data
-/// structure and must be internally synchronised.
-pub trait PmemBackend: Send + Sync + 'static {
+/// structure and must be internally synchronised. The trait itself carries no
+/// `Send`/`Sync`/`'static` bounds, because the per-handle
+/// [`PmemSession`](crate::PmemSession) view (borrowed, handle-owned epoch state)
+/// also implements it; shared *storage* backends are required to be
+/// `Send + Sync + 'static` where they are stored (e.g. `flit::Policy::Backend`).
+pub trait PmemBackend {
     /// Issue a persistent write-back for the cache line containing `addr`.
     fn pwb(&self, addr: *const u8);
 
@@ -27,33 +32,66 @@ pub trait PmemBackend: Send + Sync + 'static {
     /// calling thread is durable, and order it before subsequent stores.
     fn pfence(&self);
 
-    /// Issue a persist fence *unless the calling thread's persist epoch is clean*
-    /// (zero `pwb`s through this backend since its last fence), in which case the
-    /// fence would persist nothing and may be skipped.
+    /// Issue a persist fence *unless the calling handle's persist epoch is clean*
+    /// (zero `pwb`s through it since its last fence), in which case the fence
+    /// would persist nothing and may be skipped.
     ///
     /// The default implementation is the conservative paper-literal behaviour: it
-    /// always fences. Backends that track per-thread persist epochs
-    /// ([`SimNvram`](crate::SimNvram), [`HardwarePmem`](crate::HardwarePmem))
-    /// override it and elide the no-op fences (see [`crate::epoch`]); their
-    /// [`ElisionMode::Disabled`](crate::ElisionMode) toggle restores this default.
+    /// always fences — a raw backend has no epoch to consult. The per-handle
+    /// [`PmemSession`](crate::PmemSession) overrides it with the real elision
+    /// (see [`crate::epoch`]); [`ElisionMode::Disabled`] restores this default
+    /// even through a session.
     #[inline]
     fn pfence_if_dirty(&self) {
         self.pfence();
     }
 
     /// Epoch-aware read-side flush: issue a `pwb` for the cache line containing
-    /// `addr`, unless the calling thread already flushed the word at `addr` holding
+    /// `addr`, unless the calling handle already flushed the word at `addr` holding
     /// exactly `observed` in its current persist epoch (the value is then already in
-    /// the thread's pending set and the next fence commits it). Returns `true` when
+    /// the handle's pending set and the next fence commits it). Returns `true` when
     /// a `pwb` was actually issued.
     ///
     /// The default implementation always flushes — the conservative paper-literal
-    /// behaviour. See [`crate::epoch`] for the dedup's soundness boundary.
+    /// behaviour; [`PmemSession`](crate::PmemSession) overrides it. See
+    /// [`crate::epoch`] for the dedup's soundness boundary.
     #[inline]
     fn pwb_dedup(&self, addr: *const u8, observed: u64) -> bool {
         let _ = observed;
         self.pwb(addr);
         true
+    }
+
+    /// The persist-epoch elision mode sessions over this backend should apply.
+    ///
+    /// The default is [`ElisionMode::Enabled`] — caller-side elision is sound
+    /// over any backend (an elided instruction is simply never issued).
+    /// Configurable backends ([`SimNvram`](crate::SimNvram),
+    /// [`HardwarePmem`](crate::HardwarePmem)) return their builder-chosen mode so
+    /// the paper-literal stream can be selected per instance.
+    #[inline]
+    fn elision_mode(&self) -> ElisionMode {
+        ElisionMode::Enabled
+    }
+
+    /// Record that a fence requested through [`pfence_if_dirty`](Self::pfence_if_dirty)
+    /// was elided (statistics only; the default records into
+    /// [`pmem_stats`](Self::pmem_stats) when present).
+    #[inline]
+    fn note_elided_pfence(&self) {
+        if let Some(stats) = self.pmem_stats() {
+            stats.record_elided_pfence();
+        }
+    }
+
+    /// Record that a flush requested through [`pwb_dedup`](Self::pwb_dedup) was
+    /// elided (statistics only; the default records into
+    /// [`pmem_stats`](Self::pmem_stats) when present).
+    #[inline]
+    fn note_elided_pwb(&self) {
+        if let Some(stats) = self.pmem_stats() {
+            stats.record_elided_pwb();
+        }
     }
 
     /// Record that a `pwb` just issued by the FliT library was a *read-side* flush
@@ -172,6 +210,21 @@ impl<B: PmemBackend + ?Sized> PmemBackend for std::sync::Arc<B> {
     #[inline]
     fn store_version(&self) -> u64 {
         (**self).store_version()
+    }
+
+    #[inline]
+    fn elision_mode(&self) -> ElisionMode {
+        (**self).elision_mode()
+    }
+
+    #[inline]
+    fn note_elided_pfence(&self) {
+        (**self).note_elided_pfence()
+    }
+
+    #[inline]
+    fn note_elided_pwb(&self) {
+        (**self).note_elided_pwb()
     }
 
     #[inline]

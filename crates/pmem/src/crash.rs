@@ -65,6 +65,10 @@ struct Inner {
     events: AtomicU64,
     /// The frozen image plus the kind of event that triggered the capture.
     captured: Mutex<Option<(CrashImage, CrashEventKind)>>,
+    /// When present, every observed event kind is appended in observation order —
+    /// the global persistence-event *stream*, not just its length. Used by the
+    /// controlled-scheduler harness to assert byte-identical streams across runs.
+    log: Option<Mutex<Vec<CrashEventKind>>>,
 }
 
 /// A deterministic crash trigger attached to a [`SimNvram`](crate::SimNvram).
@@ -96,6 +100,7 @@ impl CrashPlan {
                 trigger: AtomicU64::new(trigger),
                 events: AtomicU64::new(0),
                 captured: Mutex::new(None),
+                log: None,
             }),
         }
     }
@@ -105,6 +110,31 @@ impl CrashPlan {
     /// the unarmed state before [`arm_after`](Self::arm_after).
     pub fn counting() -> Self {
         Self::armed_at(NEVER)
+    }
+
+    /// A never-triggering plan that additionally records every observed event
+    /// *kind* in order (see [`event_log`](Self::event_log)). Used by the
+    /// controlled-scheduler round-robin harness, which asserts that two replays
+    /// of one scripted history produce byte-identical global event streams.
+    pub fn counting_logged() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                trigger: AtomicU64::new(NEVER),
+                events: AtomicU64::new(0),
+                captured: Mutex::new(None),
+                log: Some(Mutex::new(Vec::new())),
+            }),
+        }
+    }
+
+    /// The recorded event-kind stream, in observation order. Empty unless the
+    /// plan was created with [`counting_logged`](Self::counting_logged).
+    pub fn event_log(&self) -> Vec<CrashEventKind> {
+        self.inner
+            .log
+            .as_ref()
+            .map(|log| log.lock().clone())
+            .unwrap_or_default()
     }
 
     /// Arm (or re-arm) the plan to crash `offset` events from *now*: the trigger
@@ -154,6 +184,9 @@ impl CrashPlan {
     /// instruction" semantics.
     pub fn observe(&self, kind: CrashEventKind, tracker: Option<&PersistenceTracker>) {
         let index = self.inner.events.fetch_add(1, Ordering::SeqCst);
+        if let Some(log) = &self.inner.log {
+            log.lock().push(kind);
+        }
         if index == self.inner.trigger.load(Ordering::SeqCst) {
             let image = tracker.map(|t| t.crash_image()).unwrap_or_default();
             let mut captured = self.inner.captured.lock();

@@ -1,5 +1,5 @@
-//! Per-thread **persist epochs**: the bookkeeping behind redundant-fence and
-//! duplicate-flush elision.
+//! **Persist epochs**: the bookkeeping behind redundant-fence and duplicate-flush
+//! elision, owned by an explicit per-thread handle.
 //!
 //! ## The observation
 //!
@@ -12,24 +12,30 @@
 //! operation), so on read-mostly workloads nearly every fence is such a no-op.
 //!
 //! A **persist epoch** is the interval between two consecutive `pfence`s of one
-//! thread *through one backend instance*. Within an epoch the thread tracks:
+//! logical thread of execution *through one backend*. Within an epoch the thread
+//! tracks:
 //!
 //! * `pwbs_since_fence` — how many write-backs it has issued ("is it *dirty*?");
 //! * a small *recently-flushed* set of `(word address, observed value)` pairs.
 //!
-//! Backends with elision enabled use this to implement two optimisations:
+//! ## Explicit ownership (no thread-locals)
 //!
-//! 1. **Fence elision** ([`PersistEpoch::is_clean`]): a fence requested through
-//!    `pfence_if_dirty` by a *clean* thread (zero `pwb`s this epoch) is skipped.
-//!    This is sound unconditionally: a clean thread has no pending write-backs, so
-//!    by the P-V Interface's own semantics the fence would persist nothing. The
-//!    dirty count can only *over*-approximate the tracker's pending set (a `pwb` of
-//!    a line with no tracked words still counts), so elision is conservative.
-//! 2. **Duplicate-flush elision** ([`PersistEpoch::recently_flushed`]): a read-side
-//!    flush of a word the thread already flushed *with the same observed value* in
-//!    the current epoch is skipped — the value is already in the thread's pending
-//!    set and the next (now unavoidable) fence commits it. A dedup hit implies the
-//!    thread is dirty, so every fence the skipped flush relied on still fires.
+//! Earlier revisions kept this state in `thread_local!` tables keyed by backend
+//! instance, which made thread identity ambient: nothing outside the thread could
+//! observe or step its persistence state, and short-lived worker threads leaked
+//! retired entries until a purge pass ran. The state now lives in a plain
+//! [`PersistEpoch`] value **owned by whoever represents the logical thread** — in
+//! practice the `FlitHandle` of the `flit` crate, which passes it into every
+//! persistence instruction through a [`PmemSession`](crate::PmemSession). Dropping
+//! the handle drops the state: there is nothing left to purge, and a controlled
+//! scheduler can own N epochs and interleave them deterministically on one OS
+//! thread.
+//!
+//! The soundness argument is unchanged but now *per handle*: a handle is clean
+//! exactly when it has issued no `pwb` through its session since its last fence,
+//! and only instructions issued through that session are attributed to it. Code
+//! that bypasses the session (raw backend calls during construction) must fence
+//! its own write-backs before returning, which every construction path does.
 //!
 //! ## Why the dedup is unconditionally sound: store-version stamps
 //!
@@ -43,28 +49,13 @@
 //! and a dedup hit requires the version to be **unchanged**. If no store at all was
 //! recorded since the flush, no overwrite (let alone an overwrite-and-restore) can
 //! have happened, so the pending snapshot is exactly the current value and skipping
-//! the re-flush is sound with no caveat. The price is one relaxed counter load per
-//! tagged read and a coarser dedup (any concurrent store, to any word, invalidates
-//! the entry — on read-mostly workloads, where the dedup matters, stores are rare
-//! by definition). Fence elision (point 1) never needed a caveat: a clean thread's
-//! fence persists nothing under any interleaving.
-//!
-//! ## Keying
-//!
-//! Epoch state is keyed by *(thread, backend instance)*: each [`PersistEpoch`]
-//! handle owns a process-unique id, and every thread lazily materialises its own
-//! counter/set per id in thread-local storage. Two backends driven by one thread
-//! therefore never cross-contaminate (a fence through backend A does not clean the
-//! thread's epoch on backend B), and each entry holds a liveness token of its
-//! backend so long-lived threads can purge state for dropped instances.
+//! the re-flush is sound with no caveat. Fence elision never needed a caveat: a
+//! clean handle's fence persists nothing under any interleaving.
 
-use std::cell::RefCell;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Weak};
 
-use crate::stats::PmemStats;
-
-/// Whether a backend applies persist-epoch elision or issues the paper-literal
+/// Whether a session applies persist-epoch elision or issues the paper-literal
 /// instruction stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ElisionMode {
@@ -102,63 +93,32 @@ impl ElisionMode {
     }
 }
 
-/// Capacity of the per-thread recently-flushed set. Small on purpose: the set only
+/// Capacity of the per-handle recently-flushed set. Small on purpose: the set only
 /// needs to cover the reads of one operation (it is cleared on every fence), and a
 /// bounded ring keeps the lookup a handful of compares.
 const RECENT_FLUSHES: usize = 8;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
-/// Number of live per-thread entries above which a lookup first purges entries
-/// whose backing [`PersistEpoch`] has been dropped.
-const PURGE_THRESHOLD: usize = 16;
-
-struct ThreadState {
-    id: u64,
-    /// Dead when the owning [`PersistEpoch`] was dropped; purge passes use this to
-    /// discard the entry without any global bookkeeping.
-    alive: Weak<()>,
-    pwbs_since_fence: u64,
-    /// Ring buffer of `(word address, observed value, store-version stamp)` triples
-    /// flushed this epoch. The stamp is the backend's store version at flush time;
-    /// a dedup hit requires it to be unchanged (see the module docs).
-    recent: [(usize, u64, u64); RECENT_FLUSHES],
-    recent_len: usize,
-    next_slot: usize,
-}
-
-impl ThreadState {
-    fn new(id: u64, alive: Weak<()>) -> Self {
-        Self {
-            id,
-            alive,
-            pwbs_since_fence: 0,
-            recent: [(0, 0, 0); RECENT_FLUSHES],
-            recent_len: 0,
-            next_slot: 0,
-        }
-    }
-
-    fn note_flushed(&mut self, word: usize, val: u64, stamp: u64) {
-        self.recent[self.next_slot] = (word, val, stamp);
-        self.next_slot = (self.next_slot + 1) % RECENT_FLUSHES;
-        self.recent_len = (self.recent_len + 1).min(RECENT_FLUSHES);
-    }
-}
-
-thread_local! {
-    static STATES: RefCell<Vec<ThreadState>> = const { RefCell::new(Vec::new()) };
-}
-
-/// Per-backend-instance handle to the per-thread epoch state. See the module docs.
+/// Per-handle persist-epoch state: the dirty counter and the recently-flushed set
+/// of one logical thread of execution. See the module docs.
 ///
-/// The handle is cheap to create and thread-safe to share; all per-thread state is
-/// materialised lazily in thread-local storage on first use.
+/// The state is a plain value with interior mutability (`Cell`s): it is `Send` —
+/// a handle may migrate between OS threads — but deliberately **not** `Sync`,
+/// because an epoch describes exactly one logical thread. There is no global
+/// registry and no thread-local table: dropping the epoch (with its handle) is the
+/// only cleanup that exists or is needed.
 pub struct PersistEpoch {
     id: u64,
-    /// Liveness token: thread-local entries hold a [`Weak`] to it, so dropping the
-    /// epoch (i.e. its backend) makes every thread's state for it purgeable.
-    alive: Arc<()>,
+    pwbs_since_fence: Cell<u64>,
+    /// Ring buffer of `(word address, observed value, store-version stamp)` triples
+    /// flushed this epoch. The stamp is the backend's store version at flush time;
+    /// a dedup hit requires it to be unchanged (see the module docs). Per-entry
+    /// `Cell`s so a record writes one slot and a lookup scans in place (a single
+    /// whole-array `Cell` would memcpy all 192 bytes on every access).
+    recent: [Cell<(usize, u64, u64)>; RECENT_FLUSHES],
+    recent_len: Cell<usize>,
+    next_slot: Cell<usize>,
 }
 
 impl Default for PersistEpoch {
@@ -171,139 +131,86 @@ impl std::fmt::Debug for PersistEpoch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PersistEpoch")
             .field("id", &self.id)
+            .field("pending_pwbs", &self.pwbs_since_fence.get())
             .finish()
     }
 }
 
 impl PersistEpoch {
-    /// Create a handle with a fresh process-unique id.
+    /// Create a fresh (clean) epoch with a process-unique id.
     pub fn new() -> Self {
         Self {
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
-            alive: Arc::new(()),
+            pwbs_since_fence: Cell::new(0),
+            recent: std::array::from_fn(|_| Cell::new((0, 0, 0))),
+            recent_len: Cell::new(0),
+            next_slot: Cell::new(0),
         }
     }
 
-    /// Run `f` on the calling thread's state for this backend, creating it on
-    /// first use. The table is scanned newest-first (the most recently created
-    /// backend is almost always the active one).
-    fn with_state<R>(&self, f: impl FnOnce(&mut ThreadState) -> R) -> R {
-        STATES.with(|states| {
-            let mut states = states.borrow_mut();
-            if let Some(pos) = states.iter().rposition(|s| s.id == self.id) {
-                return f(&mut states[pos]);
-            }
-            // Slow path (first use of this backend on this thread): purge entries
-            // of dropped backends before growing the table, so the hot path above
-            // never pays for the scan.
-            if states.len() > PURGE_THRESHOLD {
-                states.retain(|s| s.alive.strong_count() > 0);
-            }
-            states.push(ThreadState::new(self.id, Arc::downgrade(&self.alive)));
-            let last = states.last_mut().expect("just pushed");
-            f(last)
-        })
+    /// Process-unique id of this epoch (diagnostics; doubles as the owning
+    /// handle's identity in debug output).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
-    /// Record a `pwb` by the calling thread: the thread is dirty until its next
-    /// fence.
+    /// Record a `pwb` by the owning handle: it is dirty until its next fence.
     #[inline]
     pub fn note_pwb(&self) {
-        self.with_state(|s| s.pwbs_since_fence += 1);
+        self.pwbs_since_fence.set(self.pwbs_since_fence.get() + 1);
     }
 
-    /// Record a `pfence` by the calling thread: close the epoch (clean the dirty
+    /// Record a `pfence` by the owning handle: close the epoch (clean the dirty
     /// count and forget the recently-flushed set).
     #[inline]
     pub fn note_pfence(&self) {
-        self.with_state(|s| {
-            s.pwbs_since_fence = 0;
-            s.recent_len = 0;
-            s.next_slot = 0;
-        });
+        self.pwbs_since_fence.set(0);
+        self.recent_len.set(0);
+        self.next_slot.set(0);
     }
 
-    /// `true` when the calling thread has issued no `pwb` through this backend
-    /// since its last `pfence` — i.e. a fence right now would persist nothing.
+    /// `true` when the owning handle has issued no `pwb` since its last `pfence`
+    /// — i.e. a fence right now would persist nothing.
     #[inline]
     pub fn is_clean(&self) -> bool {
-        self.with_state(|s| s.pwbs_since_fence == 0)
+        self.pwbs_since_fence.get() == 0
     }
 
-    /// Number of `pwb`s the calling thread has issued this epoch (diagnostic).
+    /// Number of `pwb`s the owning handle has issued this epoch (diagnostic).
     pub fn pending_pwbs(&self) -> u64 {
-        self.with_state(|s| s.pwbs_since_fence)
+        self.pwbs_since_fence.get()
     }
 
-    /// Record that the calling thread flushed `word` while it held `val`, with the
+    /// Record that the owning handle flushed `word` while it held `val`, with the
     /// backend's store version (`stamp`) at flush time.
     #[inline]
     pub fn note_flushed(&self, word: usize, val: u64, stamp: u64) {
-        self.with_state(|s| s.note_flushed(word, val, stamp));
+        self.recent[self.next_slot.get()].set((word, val, stamp));
+        self.next_slot
+            .set((self.next_slot.get() + 1) % RECENT_FLUSHES);
+        self.recent_len
+            .set((self.recent_len.get() + 1).min(RECENT_FLUSHES));
     }
 
     /// Record a read-side `pwb` of `word` holding `val` (stamped with the backend's
-    /// store version at flush time) in one table access: equivalent to
-    /// [`note_pwb`](Self::note_pwb) + [`note_flushed`](Self::note_flushed), for the
-    /// `pwb_dedup` miss path.
+    /// store version at flush time): equivalent to [`note_pwb`](Self::note_pwb) +
+    /// [`note_flushed`](Self::note_flushed), for the `pwb_dedup` miss path.
     #[inline]
     pub fn note_pwb_flushed(&self, word: usize, val: u64, stamp: u64) {
-        self.with_state(|s| {
-            s.pwbs_since_fence += 1;
-            s.note_flushed(word, val, stamp);
-        });
+        self.note_pwb();
+        self.note_flushed(word, val, stamp);
     }
 
-    /// `true` when the calling thread already flushed `word` holding exactly `val`
+    /// `true` when the owning handle already flushed `word` holding exactly `val`
     /// in the current epoch *and* no store has been recorded through the backend
     /// since (`stamp` equals the stamp recorded at flush time) — the condition
     /// under which skipping the re-flush is unconditionally sound (module docs).
     #[inline]
     pub fn recently_flushed(&self, word: usize, val: u64, stamp: u64) -> bool {
-        self.with_state(|s| s.recent[..s.recent_len].contains(&(word, val, stamp)))
+        self.recent[..self.recent_len.get()]
+            .iter()
+            .any(|slot| slot.get() == (word, val, stamp))
     }
-}
-
-/// Shared elision driver for [`pfence_if_dirty`](crate::PmemBackend::pfence_if_dirty)
-/// implementations: `true` when the fence should be *skipped* (elision on and the
-/// calling thread clean), recording the elision stat when counting is on.
-#[inline]
-pub(crate) fn try_elide_pfence(
-    elision: ElisionMode,
-    epoch: &PersistEpoch,
-    stats: Option<&PmemStats>,
-) -> bool {
-    if elision.is_enabled() && epoch.is_clean() {
-        if let Some(stats) = stats {
-            stats.record_elided_pfence();
-        }
-        return true;
-    }
-    false
-}
-
-/// Shared elision driver for [`pwb_dedup`](crate::PmemBackend::pwb_dedup)
-/// implementations: `true` when the flush should be *skipped* (elision on, the
-/// word already flushed with this value in the current epoch, and the backend's
-/// store version unchanged since that flush), recording the elision stat when
-/// counting is on. On a miss the caller issues the `pwb` and then records the
-/// flush with [`PersistEpoch::note_pwb_flushed`].
-#[inline]
-pub(crate) fn try_dedup_pwb(
-    elision: ElisionMode,
-    epoch: &PersistEpoch,
-    word: usize,
-    observed: u64,
-    stamp: u64,
-    stats: Option<&PmemStats>,
-) -> bool {
-    if elision.is_enabled() && epoch.recently_flushed(word, observed, stamp) {
-        if let Some(stats) = stats {
-            stats.record_elided_pwb();
-        }
-        return true;
-    }
-    false
 }
 
 #[cfg(test)]
@@ -311,7 +218,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fresh_thread_is_clean() {
+    fn fresh_epoch_is_clean() {
         let e = PersistEpoch::new();
         assert!(e.is_clean());
         assert_eq!(e.pending_pwbs(), 0);
@@ -371,45 +278,36 @@ mod tests {
     }
 
     #[test]
-    fn instances_do_not_cross_contaminate() {
-        // The satellite invariant: two backends on one thread keep separate epochs.
+    fn epochs_are_independent_values() {
+        // Two epochs on one OS thread (two handles) never cross-contaminate: the
+        // state is keyed by ownership, not by thread identity.
         let a = PersistEpoch::new();
         let b = PersistEpoch::new();
         a.note_pwb();
         assert!(!a.is_clean());
-        assert!(b.is_clean(), "backend B must not see backend A's pwb");
+        assert!(b.is_clean(), "epoch B must not see epoch A's pwb");
         b.note_pfence();
         assert!(!a.is_clean(), "a fence through B must not clean A");
+        assert_ne!(a.id(), b.id());
     }
 
     #[test]
-    fn state_is_per_thread() {
-        let e = std::sync::Arc::new(PersistEpoch::new());
+    fn epoch_state_travels_with_the_value_across_threads() {
+        // A handle outliving its spawning thread keeps its dirty state: the epoch
+        // is `Send`, and nothing about it is keyed to the OS thread.
+        let e = PersistEpoch::new();
         e.note_pwb();
-        let e2 = std::sync::Arc::clone(&e);
-        std::thread::spawn(move || {
-            assert!(e2.is_clean(), "another thread starts its own epoch");
-            e2.note_pwb();
-            e2.note_pfence();
+        let e = std::thread::spawn(move || {
+            assert!(!e.is_clean(), "dirtiness moved with the value");
+            e.note_pfence();
+            e
         })
         .join()
         .unwrap();
-        assert!(!e.is_clean(), "remote fences must not clean this thread");
-    }
-
-    #[test]
-    fn dropped_instances_are_purged_from_thread_state() {
-        // Create enough short-lived instances to cross the purge threshold, then
-        // confirm the thread-local table does not keep growing without bound: the
-        // dead entries' liveness tokens are gone, so a purge pass discards them.
-        for _ in 0..4 * PURGE_THRESHOLD {
-            let e = PersistEpoch::new();
-            e.note_pwb();
-        }
-        let live = PersistEpoch::new();
-        live.note_pwb(); // triggers a purge pass
-        let len = STATES.with(|s| s.borrow().len());
-        assert!(len <= PURGE_THRESHOLD + 2, "table grew to {len}");
+        assert!(
+            e.is_clean(),
+            "the fence on the other thread closed the epoch"
+        );
     }
 
     #[test]

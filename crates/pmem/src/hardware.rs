@@ -10,8 +10,7 @@
 //! reproduction environment is x86-64 only.
 
 use crate::backend::PmemBackend;
-use crate::cache_line::word_of;
-use crate::epoch::{self, ElisionMode, PersistEpoch};
+use crate::epoch::ElisionMode;
 use crate::stats::PmemStats;
 
 /// Which flush instruction the hardware backend issues for `pwb`.
@@ -30,17 +29,17 @@ pub enum FlushInstruction {
 
 /// Persistence backend issuing real flush/fence instructions.
 ///
-/// Like [`SimNvram`](crate::SimNvram), the backend keeps per-thread
-/// [persist epochs](crate::epoch) and by default elides `sfence`s requested through
-/// [`pfence_if_dirty`](PmemBackend::pfence_if_dirty) when the calling thread has no
-/// outstanding flush — the same "minimal ordering" discipline, applied to the real
-/// instruction stream. [`with_elision`](Self::with_elision) disables it.
+/// Like [`SimNvram`](crate::SimNvram), the backend issues every instruction it is
+/// handed; [persist-epoch elision](crate::epoch) happens in the per-handle
+/// [`PmemSession`](crate::PmemSession) layered above it, which consults this
+/// instance's configured [`ElisionMode`] (default: enabled — the same "minimal
+/// ordering" discipline, applied to the real instruction stream).
+/// [`with_elision`](Self::with_elision) disables it.
 #[derive(Debug)]
 pub struct HardwarePmem {
     instr: FlushInstruction,
     stats: PmemStats,
     count_stats: bool,
-    epoch: PersistEpoch,
     elision: ElisionMode,
     /// Per-backend store counter (bumped in `record_store`) used to stamp dedup
     /// entries, making the duplicate-flush elision ABA-proof (see `crate::epoch`).
@@ -60,7 +59,6 @@ impl HardwarePmem {
             instr: Self::detect(),
             stats: PmemStats::new(),
             count_stats,
-            epoch: PersistEpoch::new(),
             elision: ElisionMode::default(),
             store_version: std::sync::atomic::AtomicU64::new(0),
         }
@@ -103,14 +101,9 @@ impl HardwarePmem {
         self.instr
     }
 
-    /// The persist-epoch elision mode in effect.
+    /// The persist-epoch elision mode sessions over this instance apply.
     pub fn elision(&self) -> ElisionMode {
         self.elision
-    }
-
-    /// The stats block, only when counting is enabled (elision stat recording).
-    fn counted_stats(&self) -> Option<&PmemStats> {
-        self.count_stats.then_some(&self.stats)
     }
 
     #[cfg(target_arch = "x86_64")]
@@ -191,35 +184,7 @@ impl PmemBackend for HardwarePmem {
         if self.count_stats {
             self.stats.record_pwb();
         }
-        if self.elision.is_enabled() {
-            self.epoch.note_pwb();
-        }
         self.flush(addr);
-    }
-
-    #[inline]
-    fn pwb_dedup(&self, addr: *const u8, observed: u64) -> bool {
-        let word = word_of(addr as usize);
-        let stamp = self.store_version();
-        if epoch::try_dedup_pwb(
-            self.elision,
-            &self.epoch,
-            word,
-            observed,
-            stamp,
-            self.counted_stats(),
-        ) {
-            return false;
-        }
-        if self.count_stats {
-            self.stats.record_pwb();
-        }
-        // One combined epoch access (pwb note + dedup record) instead of two.
-        if self.elision.is_enabled() {
-            self.epoch.note_pwb_flushed(word, observed, stamp);
-        }
-        self.flush(addr);
-        true
     }
 
     #[inline]
@@ -227,26 +192,32 @@ impl PmemBackend for HardwarePmem {
         if self.count_stats {
             self.stats.record_pfence();
         }
-        if self.elision.is_enabled() {
-            self.epoch.note_pfence();
-        }
         self.fence();
-    }
-
-    #[inline]
-    fn pfence_if_dirty(&self) {
-        // No clwb/clflushopt outstanding from this thread: the sfence would order
-        // nothing x86-TSO has not already ordered.
-        if epoch::try_elide_pfence(self.elision, &self.epoch, self.counted_stats()) {
-            return;
-        }
-        self.pfence();
     }
 
     #[inline]
     fn note_read_side_pwb(&self) {
         if self.count_stats {
             self.stats.record_read_side_pwb();
+        }
+    }
+
+    #[inline]
+    fn elision_mode(&self) -> ElisionMode {
+        self.elision
+    }
+
+    #[inline]
+    fn note_elided_pfence(&self) {
+        if self.count_stats {
+            self.stats.record_elided_pfence();
+        }
+    }
+
+    #[inline]
+    fn note_elided_pwb(&self) {
+        if self.count_stats {
+            self.stats.record_elided_pwb();
         }
     }
 
@@ -321,22 +292,31 @@ mod tests {
     }
 
     #[test]
-    fn clean_thread_sfence_is_elided() {
+    fn clean_handle_sfence_is_elided_through_a_session() {
+        use crate::epoch::PersistEpoch;
+        use crate::session::PmemSession;
         let b = HardwarePmem::new();
-        b.pfence_if_dirty(); // clean: skipped
+        let epoch = PersistEpoch::new();
+        let s = PmemSession::for_backend(&b, &epoch);
+        s.pfence_if_dirty(); // clean: skipped
         assert_eq!(b.pmem_stats().unwrap().pfences(), 0);
         assert_eq!(b.pmem_stats().unwrap().elided_pfences(), 1);
         let x = 1u64;
-        b.pwb(&x as *const u64 as *const u8);
-        b.pfence_if_dirty(); // dirty: a real sfence executes
+        s.pwb(&x as *const u64 as *const u8);
+        s.pfence_if_dirty(); // dirty: a real sfence executes
         assert_eq!(b.pmem_stats().unwrap().pfences(), 1);
     }
 
     #[test]
     fn elision_can_be_disabled() {
+        use crate::epoch::PersistEpoch;
+        use crate::session::PmemSession;
         let b = HardwarePmem::with_elision(ElisionMode::Disabled);
         assert_eq!(b.elision(), ElisionMode::Disabled);
-        b.pfence_if_dirty();
+        assert_eq!(b.elision_mode(), ElisionMode::Disabled);
+        let epoch = PersistEpoch::new();
+        let s = PmemSession::for_backend(&b, &epoch);
+        s.pfence_if_dirty(); // literal mode: the fence executes even when clean
         assert_eq!(b.pmem_stats().unwrap().pfences(), 1);
         assert_eq!(b.pmem_stats().unwrap().elided_pfences(), 0);
     }

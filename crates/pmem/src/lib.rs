@@ -29,17 +29,20 @@
 //! tracking is an 8-byte word, matching the granularity at which the FliT library
 //! operates.
 //!
-//! ## Persist epochs
+//! ## Persist epochs and sessions
 //!
-//! Both instruction-issuing backends additionally keep per-thread, per-instance
-//! [persist epochs](crate::epoch) — "how many `pwb`s has this thread issued since
-//! its last `pfence`, and which words did it flush" — behind two epoch-aware
-//! [`PmemBackend`] methods: [`pfence_if_dirty`](PmemBackend::pfence_if_dirty)
-//! (skip a fence that would persist nothing) and
-//! [`pwb_dedup`](PmemBackend::pwb_dedup) (skip a duplicate read-side flush). The
-//! FliT hot path is written against these; [`ElisionMode::Disabled`] restores the
-//! paper-literal instruction stream for A/B comparison, and the trait's default
-//! implementations are conservative so third-party backends are unaffected.
+//! Per-handle [persist epochs](crate::epoch) — "how many `pwb`s has this handle
+//! issued since its last `pfence`, and which words did it flush" — drive two
+//! epoch-aware [`PmemBackend`] methods:
+//! [`pfence_if_dirty`](PmemBackend::pfence_if_dirty) (skip a fence that would
+//! persist nothing) and [`pwb_dedup`](PmemBackend::pwb_dedup) (skip a duplicate
+//! read-side flush). The epoch state is **owned by an explicit handle** (no
+//! thread-locals anywhere in this crate): a handle wraps the shared backend in a
+//! [`PmemSession`] — itself a `PmemBackend` — for the duration of each
+//! operation, and the session applies the elision. The FliT hot path is written
+//! against sessions; [`ElisionMode::Disabled`] restores the paper-literal
+//! instruction stream for A/B comparison, and raw backends keep the
+//! conservative (always-fence, always-flush) trait defaults.
 //!
 //! ## Why a simulated backend?
 //!
@@ -59,6 +62,7 @@ pub mod hardware;
 pub mod latency;
 pub mod recording;
 pub mod region;
+pub mod session;
 pub mod sim;
 pub mod stats;
 pub mod tracker;
@@ -71,6 +75,7 @@ pub use hardware::{FlushInstruction, HardwarePmem};
 pub use latency::LatencyModel;
 pub use recording::RecordingBackend;
 pub use region::PmemRegion;
+pub use session::PmemSession;
 pub use sim::SimNvram;
 pub use stats::{PmemStats, StatsSnapshot};
 pub use tracker::{CrashImage, PersistenceTracker};

@@ -10,16 +10,16 @@
 //! its real `clwb`/`sfence` (or charges its simulated latency) while the decorator
 //! observes the exact event stream.
 //!
-//! ## Elision is disabled through the decorator
+//! ## Recorded stream = issued stream
 //!
-//! The decorator answers [`pfence_if_dirty`](PmemBackend::pfence_if_dirty) and
-//! [`pwb_dedup`](PmemBackend::pwb_dedup) with the conservative paper-literal
-//! behaviour (always fence, always flush). The inner backend's persist epochs
-//! cannot be consulted from outside, and an instruction the inner backend elides
-//! but the tracker applies (or vice versa) would make the recorded image diverge
-//! from the hardware state. Recording fidelity wins: a recorded stream is the
-//! literal stream. Sweeps that want the elided stream keep using
-//! [`SimNvram`](crate::SimNvram), whose plan hook sits *below* its epoch logic.
+//! Persist-epoch elision lives in the per-handle
+//! [`PmemSession`](crate::PmemSession) *above* any backend: an elided
+//! instruction is never issued to the decorator at all, so the recorded stream
+//! is always exactly the issued stream — they cannot diverge by construction.
+//! The decorator itself answers the epoch-aware trait methods with the
+//! conservative defaults (always fence, always flush) and forwards the inner
+//! backend's configured [`ElisionMode`](crate::ElisionMode) so sessions over a
+//! `RecordingBackend<HardwarePmem>` honour the wrapped instance's A/B toggle.
 
 use crate::backend::PmemBackend;
 use crate::crash::{CrashEventKind, CrashPlan};
@@ -92,23 +92,24 @@ impl<P: PmemBackend> PmemBackend for RecordingBackend<P> {
         self.inner.pfence();
     }
 
-    // Deliberately conservative: see the module docs on elision through the
-    // decorator. Routing through `self.pfence()` (not `inner.pfence_if_dirty()`)
-    // keeps the recorded stream equal to the issued stream.
-    #[inline]
-    fn pfence_if_dirty(&self) {
-        self.pfence();
-    }
-
-    #[inline]
-    fn pwb_dedup(&self, addr: *const u8, _observed: u64) -> bool {
-        self.pwb(addr);
-        true
-    }
-
     #[inline]
     fn note_read_side_pwb(&self) {
         self.inner.note_read_side_pwb();
+    }
+
+    #[inline]
+    fn elision_mode(&self) -> crate::ElisionMode {
+        self.inner.elision_mode()
+    }
+
+    #[inline]
+    fn note_elided_pfence(&self) {
+        self.inner.note_elided_pfence();
+    }
+
+    #[inline]
+    fn note_elided_pwb(&self) {
+        self.inner.note_elided_pwb();
     }
 
     #[inline]

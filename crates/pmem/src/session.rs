@@ -1,0 +1,311 @@
+//! [`PmemSession`]: a per-handle view of a backend that applies persist-epoch
+//! elision on the caller's side.
+//!
+//! The elision decisions of [`crate::epoch`] depend on *whose* epoch is asked —
+//! which used to mean thread-local lookups inside each backend. With explicit
+//! handles, the handle owns its [`PersistEpoch`] and wraps the shared backend in a
+//! `PmemSession` for the duration of each operation. The session implements
+//! [`PmemBackend`] itself, so everything written against the trait (the FliT
+//! word algorithms, `flit_alloc::Arena`, `persist_range`) works unchanged while
+//! every instruction is attributed to exactly one handle:
+//!
+//! * `pwb`/`pfence` forward to the backend and update the handle's epoch;
+//! * [`pfence_if_dirty`](PmemBackend::pfence_if_dirty) elides the fence when the
+//!   handle is clean (recording the elision in the backend's stats);
+//! * [`pwb_dedup`](PmemBackend::pwb_dedup) skips a duplicate read-side flush of a
+//!   word the handle already flushed this epoch with an unchanged store version.
+//!
+//! Raw backends keep the conservative trait defaults (always fence, always
+//! flush): an instruction stream that never goes through a session is simply the
+//! paper-literal stream. The session consults the backend's configured
+//! [`ElisionMode`] (see [`PmemBackend::elision_mode`]), so building a `SimNvram`
+//! with `ElisionMode::Disabled` still yields the literal stream *through* a
+//! session — the A/B toggle the benchmarks and crash sweeps rely on.
+//!
+//! Because an elided instruction is never issued at all, any observer layered
+//! *below* the session (statistics, a `CrashPlan`, a
+//! [`RecordingBackend`](crate::RecordingBackend)) records exactly the issued
+//! stream — recorded and executed streams cannot diverge by construction.
+
+use crate::backend::PmemBackend;
+use crate::cache_line::word_of;
+use crate::epoch::{ElisionMode, PersistEpoch};
+use crate::stats::PmemStats;
+use crate::tracker::PersistenceTracker;
+
+/// A borrowed (backend, epoch) pair implementing [`PmemBackend`] with per-handle
+/// elision. Cheap to construct (two references and a mode); see the module docs.
+pub struct PmemSession<'h, B: PmemBackend + ?Sized> {
+    backend: &'h B,
+    epoch: &'h PersistEpoch,
+    elision: ElisionMode,
+}
+
+impl<'h, B: PmemBackend + ?Sized> Clone for PmemSession<'h, B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'h, B: PmemBackend + ?Sized> Copy for PmemSession<'h, B> {}
+
+impl<'h, B: PmemBackend + ?Sized> PmemSession<'h, B> {
+    /// View `backend` through `epoch` with the given elision mode.
+    ///
+    /// Most callers want [`for_backend`](Self::for_backend), which asks the
+    /// backend for its configured mode.
+    pub fn new(backend: &'h B, epoch: &'h PersistEpoch, elision: ElisionMode) -> Self {
+        Self {
+            backend,
+            epoch,
+            elision,
+        }
+    }
+
+    /// View `backend` through `epoch`, honouring the backend's configured
+    /// [`ElisionMode`].
+    pub fn for_backend(backend: &'h B, epoch: &'h PersistEpoch) -> Self {
+        Self::new(backend, epoch, backend.elision_mode())
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &'h B {
+        self.backend
+    }
+
+    /// The epoch this session attributes instructions to.
+    pub fn epoch(&self) -> &'h PersistEpoch {
+        self.epoch
+    }
+
+    /// The elision mode this session applies.
+    pub fn elision(&self) -> ElisionMode {
+        self.elision
+    }
+}
+
+impl<'h, B: PmemBackend + ?Sized> std::fmt::Debug for PmemSession<'h, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmemSession")
+            .field("epoch", &self.epoch.id())
+            .field("elision", &self.elision)
+            .finish()
+    }
+}
+
+impl<'h, B: PmemBackend + ?Sized> PmemBackend for PmemSession<'h, B> {
+    #[inline]
+    fn pwb(&self, addr: *const u8) {
+        self.backend.pwb(addr);
+        self.epoch.note_pwb();
+    }
+
+    #[inline]
+    fn pfence(&self) {
+        self.backend.pfence();
+        self.epoch.note_pfence();
+    }
+
+    #[inline]
+    fn pfence_if_dirty(&self) {
+        // A clean handle has no pending write-backs through this session: the
+        // fence would persist nothing (the tracker's `on_pfence` would
+        // early-return), so it is elided from the instruction stream entirely.
+        if self.elision.is_enabled() && self.epoch.is_clean() {
+            self.backend.note_elided_pfence();
+            return;
+        }
+        self.pfence();
+    }
+
+    #[inline]
+    fn pwb_dedup(&self, addr: *const u8, observed: u64) -> bool {
+        let word = word_of(addr as usize);
+        // A dedup hit means the value already sits in this handle's pending set
+        // and the next fence commits it; the hit also implies the handle is
+        // dirty, so that fence cannot itself be elided. The store-version stamp
+        // makes the hit unconditionally sound: an unchanged version rules out
+        // any overwrite-and-restore since the recorded flush.
+        let stamp = self.backend.store_version();
+        if self.elision.is_enabled() && self.epoch.recently_flushed(word, observed, stamp) {
+            self.backend.note_elided_pwb();
+            return false;
+        }
+        self.backend.pwb(addr);
+        self.epoch.note_pwb_flushed(word, observed, stamp);
+        true
+    }
+
+    #[inline]
+    fn note_read_side_pwb(&self) {
+        self.backend.note_read_side_pwb();
+    }
+
+    #[inline]
+    fn record_store(&self, addr: *const u8, val: u64) {
+        self.backend.record_store(addr, val);
+    }
+
+    #[inline]
+    fn store_version(&self) -> u64 {
+        self.backend.store_version()
+    }
+
+    #[inline]
+    fn elision_mode(&self) -> ElisionMode {
+        self.elision
+    }
+
+    #[inline]
+    fn note_elided_pfence(&self) {
+        self.backend.note_elided_pfence();
+    }
+
+    #[inline]
+    fn note_elided_pwb(&self) {
+        self.backend.note_elided_pwb();
+    }
+
+    #[inline]
+    fn pmem_stats(&self) -> Option<&PmemStats> {
+        self.backend.pmem_stats()
+    }
+
+    #[inline]
+    fn persistence_tracker(&self) -> Option<&PersistenceTracker> {
+        self.backend.persistence_tracker()
+    }
+
+    #[inline]
+    fn is_persistent(&self) -> bool {
+        self.backend.is_persistent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::sim::SimNvram;
+
+    fn counting() -> SimNvram {
+        SimNvram::builder().latency(LatencyModel::none()).build()
+    }
+
+    #[test]
+    fn clean_handle_fence_is_elided_and_counted() {
+        let sim = counting();
+        let epoch = PersistEpoch::new();
+        let s = PmemSession::for_backend(&sim, &epoch);
+        s.pfence_if_dirty(); // clean: elided
+        assert_eq!(sim.stats().pfences(), 0);
+        assert_eq!(sim.stats().elided_pfences(), 1);
+        let x = 1u64;
+        s.pwb(&x as *const u64 as *const u8);
+        s.pfence_if_dirty(); // dirty: must fence
+        assert_eq!(sim.stats().pfences(), 1);
+        s.pfence_if_dirty(); // the fence cleaned the epoch again
+        assert_eq!(sim.stats().pfences(), 1);
+        assert_eq!(sim.stats().elided_pfences(), 2);
+    }
+
+    #[test]
+    fn two_sessions_over_one_backend_have_independent_epochs() {
+        // The tentpole invariant: two handles on one OS thread, one backend.
+        let sim = counting();
+        let (ea, eb) = (PersistEpoch::new(), PersistEpoch::new());
+        let a = PmemSession::for_backend(&sim, &ea);
+        let b = PmemSession::for_backend(&sim, &eb);
+        let x = 1u64;
+        a.pwb(&x as *const u64 as *const u8);
+        b.pfence_if_dirty(); // B is clean even though A dirtied the backend
+        assert_eq!(sim.stats().pfences(), 0);
+        a.pfence_if_dirty(); // A must fence
+        assert_eq!(sim.stats().pfences(), 1);
+        assert!(ea.is_clean() && eb.is_clean());
+    }
+
+    #[test]
+    fn duplicate_flush_of_same_value_is_deduped_within_an_epoch() {
+        let sim = counting();
+        let epoch = PersistEpoch::new();
+        let s = PmemSession::for_backend(&sim, &epoch);
+        let x = 7u64;
+        let addr = &x as *const u64 as *const u8;
+        assert!(s.pwb_dedup(addr, 7));
+        assert!(!s.pwb_dedup(addr, 7), "same word+value: dedup");
+        assert!(s.pwb_dedup(addr, 8), "changed value: must reflush");
+        assert_eq!(sim.stats().pwbs(), 2);
+        assert_eq!(sim.stats().elided_pwbs(), 1);
+        s.pfence();
+        assert!(s.pwb_dedup(addr, 8), "a fence closes the epoch");
+        assert_eq!(sim.stats().pwbs(), 3);
+    }
+
+    #[test]
+    fn an_intervening_store_invalidates_the_dedup_entry() {
+        let sim = counting();
+        let epoch = PersistEpoch::new();
+        let s = PmemSession::for_backend(&sim, &epoch);
+        let x = 7u64;
+        let addr = &x as *const u64 as *const u8;
+        assert!(s.pwb_dedup(addr, 7));
+        // A store recorded through the backend bumps the version; the entry's
+        // stamp no longer matches, so the flush must be re-issued (ABA closed).
+        s.record_store(addr, 9);
+        assert!(s.pwb_dedup(addr, 7));
+        assert_eq!(sim.stats().pwbs(), 2);
+    }
+
+    #[test]
+    fn deduped_flush_still_reaches_the_next_fence() {
+        // The dedup invariant: a skipped flush's value is already pending, so the
+        // (unskippable) next fence persists it.
+        let sim = SimNvram::for_crash_testing();
+        let epoch = PersistEpoch::new();
+        let s = PmemSession::for_backend(&sim, &epoch);
+        let x = 0u64;
+        let addr = &x as *const u64 as *const u8;
+        s.record_store(addr, 11);
+        assert!(s.pwb_dedup(addr, 11));
+        assert!(!s.pwb_dedup(addr, 11));
+        s.pfence_if_dirty(); // dirty because of the first flush
+        assert_eq!(
+            sim.tracker().unwrap().persisted_value(addr as usize),
+            Some(11)
+        );
+    }
+
+    #[test]
+    fn literal_mode_disables_both_elisions() {
+        let sim = SimNvram::builder()
+            .latency(LatencyModel::none())
+            .elision(ElisionMode::Disabled)
+            .build();
+        let epoch = PersistEpoch::new();
+        let s = PmemSession::for_backend(&sim, &epoch);
+        assert_eq!(s.elision(), ElisionMode::Disabled);
+        s.pfence_if_dirty(); // clean, but literal mode must fence anyway
+        let x = 1u64;
+        let addr = &x as *const u64 as *const u8;
+        assert!(s.pwb_dedup(addr, 1));
+        assert!(s.pwb_dedup(addr, 1), "no dedup in literal mode");
+        assert_eq!(sim.stats().pfences(), 1);
+        assert_eq!(sim.stats().pwbs(), 2);
+        assert_eq!(sim.stats().elided_pfences(), 0);
+        assert_eq!(sim.stats().elided_pwbs(), 0);
+    }
+
+    #[test]
+    fn session_delegates_metadata() {
+        let sim = SimNvram::for_crash_testing();
+        let epoch = PersistEpoch::new();
+        let s = PmemSession::for_backend(&sim, &epoch);
+        assert!(s.is_persistent());
+        assert!(s.pmem_stats().is_some());
+        assert!(s.persistence_tracker().is_some());
+        assert_eq!(s.epoch().id(), epoch.id());
+        let x = 0u64;
+        s.record_store(&x as *const u64 as *const u8, 1);
+        assert_eq!(s.store_version(), sim.store_version());
+    }
+}

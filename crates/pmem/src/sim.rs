@@ -9,14 +9,15 @@
 //! * a [`PersistenceTracker`] maintaining the persisted image for crash testing
 //!   (disabled by default — it is far too slow for throughput runs).
 //!
-//! In addition, the backend keeps per-thread [persist epochs](crate::epoch) and (by
-//! default) *elides* fences requested through
-//! [`pfence_if_dirty`](PmemBackend::pfence_if_dirty) when the calling thread is
-//! clean, and duplicate read-side flushes requested through
-//! [`pwb_dedup`](PmemBackend::pwb_dedup). Build with
-//! [`ElisionMode::Disabled`](crate::ElisionMode) to get the paper-literal
-//! instruction stream; elided instructions are counted separately in the stats
-//! either way, so the two streams can be A/B-compared.
+//! The backend itself issues every instruction it is handed: persist-epoch
+//! **elision** happens *above* it, in the per-handle
+//! [`PmemSession`](crate::PmemSession) view that `flit`'s `FlitHandle` wraps
+//! around the backend. `SimNvram` only carries the configured [`ElisionMode`]
+//! (via [`PmemBackend::elision_mode`]) so sessions know whether to elide, and the
+//! statistics counters for elided instructions. Build with
+//! [`ElisionMode::Disabled`] to get the paper-literal instruction stream through
+//! any session; elided instructions are counted separately in the stats either
+//! way, so the two streams can be A/B-compared.
 //!
 //! `SimNvram` is internally reference counted, so it can be cloned cheaply and shared
 //! between a data structure, the workload runner and the test harness.
@@ -24,9 +25,8 @@
 use std::sync::Arc;
 
 use crate::backend::PmemBackend;
-use crate::cache_line::word_of;
 use crate::crash::{CrashEventKind, CrashPlan};
-use crate::epoch::{self, ElisionMode, PersistEpoch};
+use crate::epoch::ElisionMode;
 use crate::latency::LatencyModel;
 use crate::stats::PmemStats;
 use crate::tracker::PersistenceTracker;
@@ -37,7 +37,6 @@ struct Inner {
     tracker: Option<PersistenceTracker>,
     crash_plan: Option<CrashPlan>,
     count_stats: bool,
-    epoch: PersistEpoch,
     elision: ElisionMode,
     /// Store counter for non-tracking instances (dedup stamps); tracking instances
     /// use the tracker's own version counter instead.
@@ -121,19 +120,9 @@ impl SimNvram {
         self.inner.crash_plan.as_ref()
     }
 
-    /// The persist-epoch elision mode this instance runs with.
+    /// The persist-epoch elision mode sessions over this instance apply.
     pub fn elision(&self) -> ElisionMode {
         self.inner.elision
-    }
-
-    /// The per-thread persist-epoch state of this instance (diagnostics and tests).
-    pub fn epoch(&self) -> &PersistEpoch {
-        &self.inner.epoch
-    }
-
-    /// The stats block, only when counting is enabled (elision stat recording).
-    fn counted_stats(&self) -> Option<&PmemStats> {
-        self.inner.count_stats.then_some(&self.inner.stats)
     }
 }
 
@@ -153,11 +142,9 @@ impl SimNvram {
     }
 }
 
-impl SimNvram {
-    /// Issue a `pwb` without touching the persist epoch (the `pwb_dedup` path
-    /// folds its epoch update into one combined table access instead).
+impl PmemBackend for SimNvram {
     #[inline]
-    fn issue_pwb(&self, addr: *const u8) {
+    fn pwb(&self, addr: *const u8) {
         if self.inner.count_stats {
             self.inner.stats.record_pwb();
         }
@@ -171,16 +158,6 @@ impl SimNvram {
         }
         self.inner.latency.charge_pwb();
     }
-}
-
-impl PmemBackend for SimNvram {
-    #[inline]
-    fn pwb(&self, addr: *const u8) {
-        self.issue_pwb(addr);
-        if self.inner.elision.is_enabled() {
-            self.inner.epoch.note_pwb();
-        }
-    }
 
     #[inline]
     fn pfence(&self) {
@@ -193,47 +170,7 @@ impl PmemBackend for SimNvram {
         if let Some(tracker) = &self.inner.tracker {
             tracker.on_pfence();
         }
-        if self.inner.elision.is_enabled() {
-            self.inner.epoch.note_pfence();
-        }
         self.inner.latency.charge_pfence();
-    }
-
-    #[inline]
-    fn pfence_if_dirty(&self) {
-        // A clean thread has no pending write-backs through this backend: the
-        // fence would persist nothing (the tracker's `on_pfence` would
-        // early-return), so it is elided from the instruction stream entirely.
-        if epoch::try_elide_pfence(self.inner.elision, &self.inner.epoch, self.counted_stats()) {
-            return;
-        }
-        self.pfence();
-    }
-
-    #[inline]
-    fn pwb_dedup(&self, addr: *const u8, observed: u64) -> bool {
-        let word = word_of(addr as usize);
-        // A dedup hit means the value already sits in this thread's pending set
-        // and the next fence commits it; the hit also implies the thread is dirty,
-        // so that fence cannot itself be elided. The store-version stamp makes the
-        // hit unconditionally sound: an unchanged version rules out any
-        // overwrite-and-restore since the recorded flush.
-        let stamp = self.current_store_version();
-        if epoch::try_dedup_pwb(
-            self.inner.elision,
-            &self.inner.epoch,
-            word,
-            observed,
-            stamp,
-            self.counted_stats(),
-        ) {
-            return false;
-        }
-        self.issue_pwb(addr);
-        if self.inner.elision.is_enabled() {
-            self.inner.epoch.note_pwb_flushed(word, observed, stamp);
-        }
-        true
     }
 
     #[inline]
@@ -266,6 +203,25 @@ impl PmemBackend for SimNvram {
     #[inline]
     fn store_version(&self) -> u64 {
         self.current_store_version()
+    }
+
+    #[inline]
+    fn elision_mode(&self) -> ElisionMode {
+        self.inner.elision
+    }
+
+    #[inline]
+    fn note_elided_pfence(&self) {
+        if self.inner.count_stats {
+            self.inner.stats.record_elided_pfence();
+        }
+    }
+
+    #[inline]
+    fn note_elided_pwb(&self) {
+        if self.inner.count_stats {
+            self.inner.stats.record_elided_pwb();
+        }
     }
 
     #[inline]
@@ -328,8 +284,9 @@ impl SimNvramBuilder {
         self
     }
 
-    /// Set the persist-epoch elision mode (default: [`ElisionMode::Enabled`]).
-    /// [`ElisionMode::Disabled`] restores the paper-literal instruction stream.
+    /// Set the persist-epoch elision mode sessions over this instance apply
+    /// (default: [`ElisionMode::Enabled`]). [`ElisionMode::Disabled`] restores
+    /// the paper-literal instruction stream.
     pub fn elision(mut self, mode: ElisionMode) -> Self {
         self.elision = mode;
         self
@@ -348,7 +305,6 @@ impl SimNvramBuilder {
                 },
                 crash_plan: self.crash_plan,
                 count_stats: self.count_stats,
-                epoch: PersistEpoch::new(),
                 elision: self.elision,
                 store_version: std::sync::atomic::AtomicU64::new(0),
             }),
@@ -417,8 +373,12 @@ mod tests {
         let x = 0u64;
         sim.pwb(&x as *const u64 as *const u8);
         sim.pfence();
+        sim.note_elided_pfence();
+        sim.note_elided_pwb();
         assert_eq!(sim.stats().pwbs(), 0);
         assert_eq!(sim.stats().pfences(), 0);
+        assert_eq!(sim.stats().elided_pfences(), 0);
+        assert_eq!(sim.stats().elided_pwbs(), 0);
     }
 
     #[test]
@@ -457,32 +417,15 @@ mod tests {
     }
 
     #[test]
-    fn clean_thread_fence_is_elided_and_counted() {
+    fn raw_backend_is_paper_literal() {
+        // With no session (no handle epoch) the backend cannot elide anything:
+        // the conservative trait defaults always fence and always flush.
         let sim = SimNvram::for_counting();
-        sim.pfence_if_dirty(); // clean: elided
-        assert_eq!(sim.stats().pfences(), 0);
-        assert_eq!(sim.stats().elided_pfences(), 1);
-        let x = 1u64;
-        sim.pwb(&x as *const u64 as *const u8);
-        sim.pfence_if_dirty(); // dirty: must fence
-        assert_eq!(sim.stats().pfences(), 1);
-        sim.pfence_if_dirty(); // the fence cleaned the epoch again
-        assert_eq!(sim.stats().pfences(), 1);
-        assert_eq!(sim.stats().elided_pfences(), 2);
-    }
-
-    #[test]
-    fn elision_disabled_restores_the_literal_stream() {
-        let sim = SimNvram::builder()
-            .latency(LatencyModel::none())
-            .elision(ElisionMode::Disabled)
-            .build();
-        assert_eq!(sim.elision(), ElisionMode::Disabled);
-        sim.pfence_if_dirty(); // clean, but literal mode must fence anyway
+        sim.pfence_if_dirty();
         let x = 1u64;
         let addr = &x as *const u64 as *const u8;
         assert!(sim.pwb_dedup(addr, 1));
-        assert!(sim.pwb_dedup(addr, 1), "no dedup in literal mode");
+        assert!(sim.pwb_dedup(addr, 1), "no dedup without a session");
         assert_eq!(sim.stats().pfences(), 1);
         assert_eq!(sim.stats().pwbs(), 2);
         assert_eq!(sim.stats().elided_pfences(), 0);
@@ -490,49 +433,16 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_flush_of_same_value_is_deduped_within_an_epoch() {
-        let sim = SimNvram::for_counting();
-        let x = 7u64;
-        let addr = &x as *const u64 as *const u8;
-        assert!(sim.pwb_dedup(addr, 7));
-        assert!(!sim.pwb_dedup(addr, 7), "same word+value: dedup");
-        assert!(sim.pwb_dedup(addr, 8), "changed value: must reflush");
-        assert_eq!(sim.stats().pwbs(), 2);
-        assert_eq!(sim.stats().elided_pwbs(), 1);
-        sim.pfence();
-        assert!(sim.pwb_dedup(addr, 8), "a fence closes the epoch");
-        assert_eq!(sim.stats().pwbs(), 3);
-    }
-
-    #[test]
-    fn deduped_flush_still_reaches_the_next_fence() {
-        // The dedup invariant: a skipped flush's value is already pending, so the
-        // (unskippable) next fence persists it.
-        let sim = SimNvram::for_crash_testing();
-        let x = 0u64;
-        let addr = &x as *const u64 as *const u8;
-        sim.record_store(addr, 11);
-        assert!(sim.pwb_dedup(addr, 11));
-        assert!(!sim.pwb_dedup(addr, 11));
-        sim.pfence_if_dirty(); // dirty because of the first flush
-        assert_eq!(
-            sim.tracker().unwrap().persisted_value(addr as usize),
-            Some(11)
-        );
-    }
-
-    #[test]
-    fn epochs_are_keyed_per_backend_instance() {
-        let a = SimNvram::for_counting();
-        let b = SimNvram::for_counting();
-        let x = 1u64;
-        a.pwb(&x as *const u64 as *const u8);
-        // B is clean even though the same thread dirtied A.
-        b.pfence_if_dirty();
-        assert_eq!(b.stats().pfences(), 0);
-        // And a fence through B does not clean A.
-        a.pfence_if_dirty();
-        assert_eq!(a.stats().pfences(), 1);
+    fn elision_mode_is_exposed_to_sessions() {
+        let on = SimNvram::for_counting();
+        assert_eq!(on.elision(), ElisionMode::Enabled);
+        assert_eq!(on.elision_mode(), ElisionMode::Enabled);
+        let off = SimNvram::builder()
+            .latency(LatencyModel::none())
+            .elision(ElisionMode::Disabled)
+            .build();
+        assert_eq!(off.elision(), ElisionMode::Disabled);
+        assert_eq!(off.elision_mode(), ElisionMode::Disabled);
     }
 
     #[test]

@@ -43,8 +43,7 @@ mod proptests {
     //! the [`SequentialQueue`] reference model on arbitrary operation sequences.
 
     use super::*;
-    use flit::presets;
-    use flit::{FlitPolicy, HashedScheme};
+    use flit::{FlitDb, FlitPolicy, HashedScheme};
     use flit_pmem::{LatencyModel, SimNvram};
     use proptest::prelude::*;
 
@@ -69,16 +68,17 @@ mod proptests {
     }
 
     fn check_against_model<D: Durability>(ops: &[Op]) {
-        let q: MsQueue<FlitPolicy<HashedScheme, SimNvram>, D> =
-            MsQueue::new(presets::flit_ht(backend()));
+        let db = FlitDb::flit_ht(backend());
+        let h = db.handle();
+        let q: MsQueue<FlitPolicy<HashedScheme, SimNvram>, D> = MsQueue::new(&db);
         let model = SequentialQueue::new();
         for op in ops {
             match *op {
                 Op::Enqueue(v) => {
-                    q.enqueue(v);
+                    q.enqueue(&h, v);
                     model.enqueue(v);
                 }
-                Op::Dequeue => assert_eq!(q.dequeue(), model.dequeue()),
+                Op::Dequeue => assert_eq!(q.dequeue(&h), model.dequeue()),
             }
         }
         assert_eq!(q.len(), model.len());

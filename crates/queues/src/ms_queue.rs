@@ -43,10 +43,10 @@
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use flit::{PFlag, PersistWord, Policy};
+use flit::{FlitDb, FlitHandle, PFlag, PersistWord, Policy};
 use flit_alloc::{roots, Arena};
 use flit_datastructs::Durability;
-use flit_ebr::{Collector, Guard};
+use flit_ebr::Guard;
 use flit_pmem::CrashImage;
 
 use crate::queue::ConcurrentQueue;
@@ -83,9 +83,9 @@ impl<P: Policy> Node<P> {
 
     /// Allocate a node from the arena and persist its initial contents (value +
     /// null `next`) according to `flag`, so the publishing CAS can depend on them.
-    fn alloc(policy: &P, arena: &Arena, value: u64, flag: PFlag) -> *mut Self {
+    fn alloc(h: &FlitHandle<'_, P>, arena: &Arena, value: u64, flag: PFlag) -> *mut Self {
         let node: *mut Self = arena.alloc_init(
-            policy.backend(),
+            &h.pmem(),
             Node {
                 value: P::Word::<u64>::new(value),
                 next: P::Word::<usize>::new(0),
@@ -97,9 +97,9 @@ impl<P: Policy> Node<P> {
         // whole node (a single flush + fence — the slot is cache-line aligned, so
         // both words always share one line) makes it durable before the publishing
         // CAS can depend on it.
-        node_ref.value.store_private(policy, value, PFlag::Volatile);
-        node_ref.next.store_private(policy, 0, PFlag::Volatile);
-        policy.persist_object(node_ref, flag);
+        node_ref.value.store_private(h, value, PFlag::Volatile);
+        node_ref.next.store_private(h, 0, PFlag::Volatile);
+        h.persist_object(node_ref, flag);
         node
     }
 }
@@ -133,8 +133,7 @@ impl<P: Policy> Roots<P> {
 pub struct MsQueue<P: Policy, D: Durability> {
     roots: *mut Roots<P>,
     arena: Arc<Arena>,
-    policy: P,
-    collector: Collector,
+    db: FlitDb<P>,
     _durability: PhantomData<D>,
 }
 
@@ -156,38 +155,32 @@ pub struct RecoveredQueue {
 }
 
 impl<P: Policy, D: Durability> MsQueue<P, D> {
-    /// Create an empty queue using `policy` for persistence, with its own arena.
-    /// The sentinel node and the root-pointer slot are persisted — and the roots
-    /// registered under [`roots::QUEUE_ROOTS`] — before the constructor returns,
-    /// so a crash at *any* construction event recovers to either "no queue yet"
-    /// or the empty queue, never garbage.
-    pub fn new(policy: P) -> Self {
-        let arena = Arc::new(Arena::for_slots_of::<Node<P>, _>(
-            policy.backend(),
-            QUEUE_CHUNK_SLOTS,
-        ));
-        let sentinel = Node::<P>::alloc(&policy, &arena, 0, PFlag::Persisted) as usize;
+    /// Create an empty queue in `db`, with its own arena. The sentinel node and
+    /// the root-pointer slot are persisted — and the roots registered under
+    /// [`roots::QUEUE_ROOTS`] — before the constructor returns, so a crash at
+    /// *any* construction event recovers to either "no queue yet" or the empty
+    /// queue, never garbage. Construction runs under a temporary handle of `db`.
+    pub fn new(db: &FlitDb<P>) -> Self {
+        let arena = db.new_arena_for::<Node<P>>(QUEUE_CHUNK_SLOTS);
+        let h = db.handle();
+        let sentinel = Node::<P>::alloc(&h, &arena, 0, PFlag::Persisted) as usize;
         let roots: *mut Roots<P> = arena.alloc_init(
-            policy.backend(),
+            &h.pmem(),
             Roots {
                 head: P::Word::<usize>::new(sentinel),
                 tail: P::Word::<usize>::new(sentinel),
             },
         );
         let roots_ref = unsafe { &*roots };
-        roots_ref
-            .head
-            .store_private(&policy, sentinel, PFlag::Volatile);
-        roots_ref
-            .tail
-            .store_private(&policy, sentinel, PFlag::Volatile);
-        policy.persist_object(roots_ref, PFlag::Persisted);
-        arena.register_root(policy.backend(), roots::QUEUE_ROOTS, roots as usize);
+        roots_ref.head.store_private(&h, sentinel, PFlag::Volatile);
+        roots_ref.tail.store_private(&h, sentinel, PFlag::Volatile);
+        h.persist_object(roots_ref, PFlag::Persisted);
+        arena.register_root(&h.pmem(), roots::QUEUE_ROOTS, roots as usize);
+        drop(h);
         Self {
             roots,
             arena,
-            policy,
-            collector: Collector::new(),
+            db: db.clone(),
             _durability: PhantomData,
         }
     }
@@ -199,9 +192,9 @@ impl<P: Policy, D: Durability> MsQueue<P, D> {
         unsafe { &*self.roots }
     }
 
-    /// The EBR collector used by this queue.
-    pub fn collector(&self) -> &Collector {
-        &self.collector
+    /// The database this queue lives in.
+    pub fn db(&self) -> &FlitDb<P> {
+        &self.db
     }
 
     /// The arena this queue allocates nodes from.
@@ -227,80 +220,82 @@ impl<P: Policy, D: Durability> MsQueue<P, D> {
         unsafe { self.arena.defer_recycle(guard, node as usize) };
     }
 
-    fn enqueue_impl(&self, value: u64) {
-        let _guard = self.collector.pin();
-        let node = Node::<P>::alloc(&self.policy, &self.arena, value, D::STORE) as usize;
+    fn enqueue_impl(&self, h: &FlitHandle<'_, P>, value: u64) {
+        debug_assert_eq!(h.db_id(), self.db.id(), "handle from another FlitDb");
+        let _guard = h.pin();
+        let node = Node::<P>::alloc(h, &self.arena, value, D::STORE) as usize;
         loop {
-            let tail = self.roots().tail.load(&self.policy, D::TRAVERSAL_LOAD);
+            let tail = self.roots().tail.load(h, D::TRAVERSAL_LOAD);
             let tail_node = unsafe { &*(tail as *const Node<P>) };
-            let next = tail_node.next.load(&self.policy, D::CRITICAL_LOAD);
-            if tail != self.roots().tail.load(&self.policy, D::TRAVERSAL_LOAD) {
+            let next = tail_node.next.load(h, D::CRITICAL_LOAD);
+            if tail != self.roots().tail.load(h, D::TRAVERSAL_LOAD) {
                 continue;
             }
             if next != 0 {
                 // Tail is lagging: help swing it forward and retry.
-                let _ =
-                    self.roots()
-                        .tail
-                        .compare_exchange(&self.policy, tail, next, D::INDEX_STORE);
+                let _ = self
+                    .roots()
+                    .tail
+                    .compare_exchange(h, tail, next, D::INDEX_STORE);
                 continue;
             }
             if tail_node
                 .next
-                .compare_exchange(&self.policy, 0, node, D::STORE)
+                .compare_exchange(h, 0, node, D::STORE)
                 .is_ok()
             {
                 // Linearization point. The tail swing is best-effort index
                 // maintenance; any thread can complete it.
-                let _ =
-                    self.roots()
-                        .tail
-                        .compare_exchange(&self.policy, tail, node, D::INDEX_STORE);
-                self.policy.operation_completion();
+                let _ = self
+                    .roots()
+                    .tail
+                    .compare_exchange(h, tail, node, D::INDEX_STORE);
+                h.operation_completion();
                 return;
             }
         }
     }
 
-    fn dequeue_impl(&self) -> Option<u64> {
-        let guard = self.collector.pin();
+    fn dequeue_impl(&self, h: &FlitHandle<'_, P>) -> Option<u64> {
+        debug_assert_eq!(h.db_id(), self.db.id(), "handle from another FlitDb");
+        let guard = h.pin();
         loop {
-            let head = self.roots().head.load(&self.policy, D::TRAVERSAL_LOAD);
+            let head = self.roots().head.load(h, D::TRAVERSAL_LOAD);
             let head_node = unsafe { &*(head as *const Node<P>) };
-            let next = head_node.next.load(&self.policy, D::CRITICAL_LOAD);
-            if head != self.roots().head.load(&self.policy, D::TRAVERSAL_LOAD) {
+            let next = head_node.next.load(h, D::CRITICAL_LOAD);
+            if head != self.roots().head.load(h, D::TRAVERSAL_LOAD) {
                 continue;
             }
             if next == 0 {
                 // Empty: a read-only operation. NVTraverse-style methods re-read the
                 // link that determines the result as a p-load before returning.
                 if D::TRANSITION_DEPTH > 0 {
-                    let _ = head_node.next.load(&self.policy, PFlag::Persisted);
+                    let _ = head_node.next.load(h, PFlag::Persisted);
                 }
-                self.policy.operation_completion();
+                h.operation_completion();
                 return None;
             }
-            let tail = self.roots().tail.load(&self.policy, D::TRAVERSAL_LOAD);
+            let tail = self.roots().tail.load(h, D::TRAVERSAL_LOAD);
             if head == tail {
                 // Tail is lagging behind the node we are about to expose: help.
-                let _ =
-                    self.roots()
-                        .tail
-                        .compare_exchange(&self.policy, tail, next, D::INDEX_STORE);
+                let _ = self
+                    .roots()
+                    .tail
+                    .compare_exchange(h, tail, next, D::INDEX_STORE);
                 continue;
             }
             let next_node = unsafe { &*(next as *const Node<P>) };
-            let value = next_node.value.load(&self.policy, D::CRITICAL_LOAD);
+            let value = next_node.value.load(h, D::CRITICAL_LOAD);
             if self
                 .roots()
                 .head
-                .compare_exchange(&self.policy, head, next, D::STORE)
+                .compare_exchange(h, head, next, D::STORE)
                 .is_ok()
             {
                 // Linearization point: `next` is the new sentinel, the old one is
                 // unreachable for new operations.
                 self.retire(&guard, head as *mut Node<P>);
-                self.policy.operation_completion();
+                h.operation_completion();
                 return Some(value);
             }
         }
@@ -413,24 +408,24 @@ impl<P: Policy, D: Durability> MsQueue<P, D> {
 impl<P: Policy, D: Durability> ConcurrentQueue<P> for MsQueue<P, D> {
     const NAME: &'static str = "msqueue";
 
-    fn with_policy(policy: P) -> Self {
-        Self::new(policy)
+    fn in_db(db: &FlitDb<P>) -> Self {
+        Self::new(db)
     }
 
-    fn enqueue(&self, value: u64) {
-        self.enqueue_impl(value)
+    fn enqueue(&self, h: &FlitHandle<'_, P>, value: u64) {
+        self.enqueue_impl(h, value)
     }
 
-    fn dequeue(&self) -> Option<u64> {
-        self.dequeue_impl()
+    fn dequeue(&self, h: &FlitHandle<'_, P>) -> Option<u64> {
+        self.dequeue_impl(h)
     }
 
     fn len(&self) -> usize {
         self.len_impl()
     }
 
-    fn policy(&self) -> &P {
-        &self.policy
+    fn db(&self) -> &FlitDb<P> {
+        &self.db
     }
 }
 
@@ -441,8 +436,7 @@ impl<P: Policy, D: Durability> ConcurrentQueue<P> for MsQueue<P, D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flit::presets;
-    use flit::{FlitPolicy, HashedScheme, NoPersistPolicy, PlainPolicy};
+    use flit::{FlitPolicy, HashedScheme, PlainPolicy};
     use flit_datastructs::{Automatic, Manual, NvTraverse};
     use flit_pmem::{LatencyModel, SimNvram};
     use std::sync::Arc;
@@ -451,55 +445,67 @@ mod tests {
         SimNvram::builder().latency(LatencyModel::none()).build()
     }
 
+    fn ht_db() -> FlitDb<FlitPolicy<HashedScheme, SimNvram>> {
+        FlitDb::flit_ht(backend())
+    }
+
     type HtQueue<D> = MsQueue<FlitPolicy<HashedScheme, SimNvram>, D>;
 
     #[test]
     fn empty_queue_behaviour() {
-        let q: HtQueue<Automatic> = MsQueue::new(presets::flit_ht(backend()));
+        let db = ht_db();
+        let h = db.handle();
+        let q: HtQueue<Automatic> = MsQueue::new(&db);
         assert!(q.is_empty());
-        assert_eq!(q.dequeue(), None);
+        assert_eq!(q.dequeue(&h), None);
         assert_eq!(q.len(), 0);
         assert!(q.volatile_contents().is_empty());
     }
 
     #[test]
     fn fifo_round_trip() {
-        let q: HtQueue<Automatic> = MsQueue::new(presets::flit_ht(backend()));
+        let db = ht_db();
+        let h = db.handle();
+        let q: HtQueue<Automatic> = MsQueue::new(&db);
         for v in 10..20u64 {
-            q.enqueue(v);
+            q.enqueue(&h, v);
         }
         assert_eq!(q.len(), 10);
         assert_eq!(q.volatile_contents(), (10..20).collect::<Vec<_>>());
         for v in 10..20u64 {
-            assert_eq!(q.dequeue(), Some(v));
+            assert_eq!(q.dequeue(&h), Some(v));
         }
-        assert_eq!(q.dequeue(), None);
+        assert_eq!(q.dequeue(&h), None);
         assert!(q.is_empty());
     }
 
     #[test]
     fn interleaved_enqueue_dequeue() {
-        let q: HtQueue<Automatic> = MsQueue::new(presets::flit_ht(backend()));
-        q.enqueue(1);
-        q.enqueue(2);
-        assert_eq!(q.dequeue(), Some(1));
-        q.enqueue(3);
-        assert_eq!(q.dequeue(), Some(2));
-        assert_eq!(q.dequeue(), Some(3));
-        assert_eq!(q.dequeue(), None);
-        q.enqueue(4);
-        assert_eq!(q.dequeue(), Some(4));
+        let db = ht_db();
+        let h = db.handle();
+        let q: HtQueue<Automatic> = MsQueue::new(&db);
+        q.enqueue(&h, 1);
+        q.enqueue(&h, 2);
+        assert_eq!(q.dequeue(&h), Some(1));
+        q.enqueue(&h, 3);
+        assert_eq!(q.dequeue(&h), Some(2));
+        assert_eq!(q.dequeue(&h), Some(3));
+        assert_eq!(q.dequeue(&h), None);
+        q.enqueue(&h, 4);
+        assert_eq!(q.dequeue(&h), Some(4));
     }
 
     #[test]
     fn works_with_every_durability_method() {
         fn exercise<D: Durability>() {
-            let q: HtQueue<D> = MsQueue::new(presets::flit_ht(backend()));
+            let db = FlitDb::flit_ht(SimNvram::builder().latency(LatencyModel::none()).build());
+            let h = db.handle();
+            let q: HtQueue<D> = MsQueue::new(&db);
             for v in 0..100u64 {
-                q.enqueue(v);
+                q.enqueue(&h, v);
             }
             for v in 0..50u64 {
-                assert_eq!(q.dequeue(), Some(v));
+                assert_eq!(q.dequeue(&h), Some(v));
             }
             assert_eq!(q.len(), 50);
         }
@@ -510,21 +516,22 @@ mod tests {
 
     #[test]
     fn works_with_every_policy() {
-        fn exercise<P: Policy>(policy: P) {
-            let q: MsQueue<P, Automatic> = MsQueue::new(policy);
-            q.enqueue(7);
-            q.enqueue(8);
-            assert_eq!(q.dequeue(), Some(7));
+        fn exercise<P: Policy>(db: FlitDb<P>) {
+            let h = db.handle();
+            let q: MsQueue<P, Automatic> = MsQueue::new(&db);
+            q.enqueue(&h, 7);
+            q.enqueue(&h, 8);
+            assert_eq!(q.dequeue(&h), Some(7));
             assert_eq!(q.len(), 1);
-            assert_eq!(q.dequeue(), Some(8));
-            assert_eq!(q.dequeue(), None);
+            assert_eq!(q.dequeue(&h), Some(8));
+            assert_eq!(q.dequeue(&h), None);
         }
-        exercise(presets::plain(backend()));
-        exercise(presets::flit_adjacent(backend()));
-        exercise(presets::flit_ht(backend()));
-        exercise(presets::flit_cacheline(backend()));
-        exercise(presets::link_and_persist(backend()));
-        exercise(NoPersistPolicy::new());
+        exercise(FlitDb::plain(backend()));
+        exercise(FlitDb::flit_adjacent(backend()));
+        exercise(FlitDb::flit_ht(backend()));
+        exercise(FlitDb::flit_cacheline(backend()));
+        exercise(FlitDb::link_and_persist(backend()));
+        exercise(FlitDb::no_persist());
     }
 
     #[test]
@@ -533,16 +540,19 @@ mod tests {
         // an empty queue is read-only, so FliT pays no pwbs while the plain
         // transformation pays one per p-load.
         let plain_sim = backend();
-        let plain: MsQueue<PlainPolicy<SimNvram>, Automatic> =
-            MsQueue::new(presets::plain(plain_sim.clone()));
+        let plain_db: FlitDb<PlainPolicy<SimNvram>> = FlitDb::plain(plain_sim.clone());
+        let hp = plain_db.handle();
+        let plain: MsQueue<PlainPolicy<SimNvram>, Automatic> = MsQueue::new(&plain_db);
         let flit_sim = backend();
-        let flit: HtQueue<Automatic> = MsQueue::new(presets::flit_ht(flit_sim.clone()));
+        let flit_db = FlitDb::flit_ht(flit_sim.clone());
+        let hf = flit_db.handle();
+        let flit: HtQueue<Automatic> = MsQueue::new(&flit_db);
 
         let plain_before = plain_sim.stats().snapshot();
         let flit_before = flit_sim.stats().snapshot();
         for _ in 0..100 {
-            assert_eq!(plain.dequeue(), None);
-            assert_eq!(flit.dequeue(), None);
+            assert_eq!(plain.dequeue(&hp), None);
+            assert_eq!(flit.dequeue(&hf), None);
         }
         let plain_delta = plain_sim.stats().snapshot().delta_since(&plain_before);
         let flit_delta = flit_sim.stats().snapshot().delta_since(&flit_before);
@@ -553,7 +563,7 @@ mod tests {
             "plain pays a pwb per p-load (3 per empty dequeue), got {}",
             plain_delta.pwbs
         );
-        // With persist-epoch elision (the default), the thread stays clean through
+        // With persist-epoch elision (the default), the handle stays clean through
         // a read-only dequeue of untagged words, so even the completion fence goes:
         // an empty dequeue costs zero persistence instructions under FliT.
         assert_eq!(
@@ -570,10 +580,12 @@ mod tests {
             .latency(flit_pmem::LatencyModel::none())
             .elision(ElisionMode::Disabled)
             .build();
-        let flit: HtQueue<Automatic> = MsQueue::new(presets::flit_ht(sim.clone()));
+        let db = FlitDb::flit_ht(sim.clone());
+        let h = db.handle();
+        let flit: HtQueue<Automatic> = MsQueue::new(&db);
         let before = sim.stats().snapshot();
         for _ in 0..100 {
-            assert_eq!(flit.dequeue(), None);
+            assert_eq!(flit.dequeue(&h), None);
         }
         let delta = sim.stats().snapshot().delta_since(&before);
         assert_eq!(
@@ -587,28 +599,33 @@ mod tests {
         const PRODUCERS: u64 = 3;
         const CONSUMERS: usize = 3;
         const PER_PRODUCER: u64 = 2_000;
-        let q: Arc<HtQueue<Automatic>> = Arc::new(MsQueue::new(presets::flit_ht(backend())));
+        let db = ht_db();
+        let q: Arc<HtQueue<Automatic>> = Arc::new(MsQueue::new(&db));
         let popped = std::sync::Mutex::new(Vec::new());
 
         std::thread::scope(|s| {
             for t in 0..PRODUCERS {
                 let q = Arc::clone(&q);
+                let db = &db;
                 s.spawn(move || {
+                    let h = db.handle();
                     for i in 0..PER_PRODUCER {
-                        q.enqueue((t << 32) | i);
+                        q.enqueue(&h, (t << 32) | i);
                     }
                 });
             }
             for _ in 0..CONSUMERS {
                 let q = Arc::clone(&q);
                 let popped = &popped;
+                let db = &db;
                 s.spawn(move || {
+                    let h = db.handle();
                     let mut local = Vec::new();
                     let mut misses = 0u32;
                     // Keep consuming until producers are clearly done and the queue
                     // stays empty.
                     while misses < 1_000 {
-                        match q.dequeue() {
+                        match q.dequeue(&h) {
                             Some(v) => {
                                 local.push(v);
                                 misses = 0;
@@ -624,8 +641,9 @@ mod tests {
             }
         });
 
+        let h = db.handle();
         let mut drained = popped.into_inner().unwrap();
-        while let Some(v) = q.dequeue() {
+        while let Some(v) = q.dequeue(&h) {
             drained.push(v);
         }
         assert_eq!(drained.len() as u64, PRODUCERS * PER_PRODUCER);
@@ -653,21 +671,25 @@ mod tests {
     fn single_consumer_sees_each_producer_in_order() {
         const PRODUCERS: u64 = 4;
         const PER_PRODUCER: u64 = 1_000;
-        let q: Arc<HtQueue<Manual>> = Arc::new(MsQueue::new(presets::flit_ht(backend())));
+        let db = ht_db();
+        let q: Arc<HtQueue<Manual>> = Arc::new(MsQueue::new(&db));
         let mut popped = Vec::new();
 
         std::thread::scope(|s| {
             for t in 0..PRODUCERS {
                 let q = Arc::clone(&q);
+                let db = &db;
                 s.spawn(move || {
+                    let h = db.handle();
                     for i in 0..PER_PRODUCER {
-                        q.enqueue((t << 32) | i);
+                        q.enqueue(&h, (t << 32) | i);
                     }
                 });
             }
+            let h = db.handle();
             let total = (PRODUCERS * PER_PRODUCER) as usize;
             while popped.len() < total {
-                if let Some(v) = q.dequeue() {
+                if let Some(v) = q.dequeue(&h) {
                     popped.push(v);
                 } else {
                     std::thread::yield_now();
@@ -688,13 +710,15 @@ mod tests {
     #[test]
     fn crash_image_recovers_the_exact_queue_when_quiescent() {
         let nvram = SimNvram::for_crash_testing();
-        let q: HtQueue<Automatic> = MsQueue::new(presets::flit_ht(nvram.clone()));
-        let _guard = q.collector().pin();
+        let db = FlitDb::flit_ht(nvram.clone());
+        let h = db.handle();
+        let q: HtQueue<Automatic> = MsQueue::new(&db);
+        let _guard = h.pin();
         for v in [3u64, 1, 4, 1, 5, 9, 2, 6] {
-            q.enqueue(v);
+            q.enqueue(&h, v);
         }
-        assert_eq!(q.dequeue(), Some(3));
-        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(&h), Some(3));
+        assert_eq!(q.dequeue(&h), Some(1));
 
         let image = nvram.tracker().unwrap().crash_image();
         let recovered = q.recover(&image);
@@ -708,10 +732,12 @@ mod tests {
         // Manual leaves the tail swings volatile (INDEX_STORE); the persisted next
         // chain alone must still recover every completed enqueue.
         let nvram = SimNvram::for_crash_testing();
-        let q: HtQueue<Manual> = MsQueue::new(presets::flit_ht(nvram.clone()));
-        let _guard = q.collector().pin();
+        let db = FlitDb::flit_ht(nvram.clone());
+        let h = db.handle();
+        let q: HtQueue<Manual> = MsQueue::new(&db);
+        let _guard = h.pin();
         for v in 100..150u64 {
-            q.enqueue(v);
+            q.enqueue(&h, v);
         }
         let image = nvram.tracker().unwrap().crash_image();
         let recovered = q.recover(&image);

@@ -5,9 +5,13 @@
 //! (`u64`), construction takes the persistence policy, and the policy is reachable
 //! from the structure so harnesses can read its statistics.
 
-use flit::Policy;
+use flit::{FlitDb, FlitHandle, Policy};
 
 /// A concurrent FIFO queue of `u64` values, generic over the persistence [`Policy`].
+///
+/// Construction takes the owning [`FlitDb`]; **every operation takes the calling
+/// thread's [`FlitHandle`]** (`queue.enqueue(&h, v)`), mirroring
+/// [`flit_datastructs::ConcurrentMap`].
 ///
 /// `enqueue` always succeeds (the queue is unbounded); `dequeue` returns `None` when
 /// the queue is observed empty. Both are linearizable, and durably linearizable when
@@ -17,17 +21,18 @@ pub trait ConcurrentQueue<P: Policy>: Send + Sync {
     /// Short name used in benchmark output (`"msqueue"`, ...).
     const NAME: &'static str;
 
-    /// Build an empty queue using `policy` for all persistence decisions.
-    fn with_policy(policy: P) -> Self;
+    /// Build an empty queue in `db`.
+    fn in_db(db: &FlitDb<P>) -> Self;
 
     /// Append `value` at the tail.
-    fn enqueue(&self, value: u64);
+    fn enqueue(&self, h: &FlitHandle<'_, P>, value: u64);
 
     /// Remove and return the value at the head, or `None` if the queue is empty.
-    fn dequeue(&self) -> Option<u64>;
+    fn dequeue(&self, h: &FlitHandle<'_, P>) -> Option<u64>;
 
     /// Number of values currently queued. Only meaningful in quiescent states;
-    /// intended for tests and for validating pre-fill.
+    /// intended for tests and for validating pre-fill (raw loads: no handle
+    /// required).
     fn len(&self) -> usize;
 
     /// `true` when the queue holds no values (quiescent states only).
@@ -35,8 +40,13 @@ pub trait ConcurrentQueue<P: Policy>: Send + Sync {
         self.len() == 0
     }
 
+    /// The database this queue lives in.
+    fn db(&self) -> &FlitDb<P>;
+
     /// Access the persistence policy (e.g. to read its statistics).
-    fn policy(&self) -> &P;
+    fn policy(&self) -> &P {
+        self.db().policy()
+    }
 }
 
 /// A trivially correct sequential queue used as the model in property-based tests: a

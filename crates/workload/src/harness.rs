@@ -7,8 +7,7 @@
 //! backend (and therefore the latency model and statistics) is created per case, so
 //! cases never share counters.
 
-use flit::presets;
-use flit::{NoPersistPolicy, Policy};
+use flit::{presets, FlitDb, Policy};
 use flit_datastructs::{
     Automatic, ConcurrentMap, HarrisList, HashTable, Manual, NatarajanTree, NvTraverse, SkipList,
 };
@@ -160,44 +159,33 @@ impl Case {
     }
 }
 
-fn run_map<P, M>(policy: P, case: &Case) -> RunResult
+fn run_map<P, M>(db: &FlitDb<P>, case: &Case) -> RunResult
 where
     P: Policy,
     M: ConcurrentMap<P>,
 {
-    let map = M::with_capacity(policy, case.config.key_range as usize);
+    let map = M::with_capacity(db, case.config.key_range as usize);
     prefill(&map, &case.config);
     run_workload(&map, &case.config)
 }
 
-fn run_with_policy<P: Policy + Clone>(policy: P, case: &Case) -> RunResult {
+fn run_with_policy<P: Policy>(policy: P, case: &Case) -> RunResult {
+    let db = &FlitDb::create(policy);
     match (case.ds, case.dur) {
-        (DsKind::List, DurKind::Automatic) => run_map::<P, HarrisList<P, Automatic>>(policy, case),
-        (DsKind::List, DurKind::NvTraverse) => {
-            run_map::<P, HarrisList<P, NvTraverse>>(policy, case)
-        }
-        (DsKind::List, DurKind::Manual) => run_map::<P, HarrisList<P, Manual>>(policy, case),
-        (DsKind::HashTable, DurKind::Automatic) => {
-            run_map::<P, HashTable<P, Automatic>>(policy, case)
-        }
+        (DsKind::List, DurKind::Automatic) => run_map::<P, HarrisList<P, Automatic>>(db, case),
+        (DsKind::List, DurKind::NvTraverse) => run_map::<P, HarrisList<P, NvTraverse>>(db, case),
+        (DsKind::List, DurKind::Manual) => run_map::<P, HarrisList<P, Manual>>(db, case),
+        (DsKind::HashTable, DurKind::Automatic) => run_map::<P, HashTable<P, Automatic>>(db, case),
         (DsKind::HashTable, DurKind::NvTraverse) => {
-            run_map::<P, HashTable<P, NvTraverse>>(policy, case)
+            run_map::<P, HashTable<P, NvTraverse>>(db, case)
         }
-        (DsKind::HashTable, DurKind::Manual) => run_map::<P, HashTable<P, Manual>>(policy, case),
-        (DsKind::Bst, DurKind::Automatic) => {
-            run_map::<P, NatarajanTree<P, Automatic>>(policy, case)
-        }
-        (DsKind::Bst, DurKind::NvTraverse) => {
-            run_map::<P, NatarajanTree<P, NvTraverse>>(policy, case)
-        }
-        (DsKind::Bst, DurKind::Manual) => run_map::<P, NatarajanTree<P, Manual>>(policy, case),
-        (DsKind::SkipList, DurKind::Automatic) => {
-            run_map::<P, SkipList<P, Automatic>>(policy, case)
-        }
-        (DsKind::SkipList, DurKind::NvTraverse) => {
-            run_map::<P, SkipList<P, NvTraverse>>(policy, case)
-        }
-        (DsKind::SkipList, DurKind::Manual) => run_map::<P, SkipList<P, Manual>>(policy, case),
+        (DsKind::HashTable, DurKind::Manual) => run_map::<P, HashTable<P, Manual>>(db, case),
+        (DsKind::Bst, DurKind::Automatic) => run_map::<P, NatarajanTree<P, Automatic>>(db, case),
+        (DsKind::Bst, DurKind::NvTraverse) => run_map::<P, NatarajanTree<P, NvTraverse>>(db, case),
+        (DsKind::Bst, DurKind::Manual) => run_map::<P, NatarajanTree<P, Manual>>(db, case),
+        (DsKind::SkipList, DurKind::Automatic) => run_map::<P, SkipList<P, Automatic>>(db, case),
+        (DsKind::SkipList, DurKind::NvTraverse) => run_map::<P, SkipList<P, NvTraverse>>(db, case),
+        (DsKind::SkipList, DurKind::Manual) => run_map::<P, SkipList<P, Manual>>(db, case),
     }
 }
 
@@ -221,7 +209,7 @@ pub fn run_case(case: &Case) -> RunResult {
             .build()
     };
     match case.policy {
-        PolicyKind::NoPersist => run_with_policy(NoPersistPolicy::new(), case),
+        PolicyKind::NoPersist => run_with_policy(presets::no_persist(), case),
         PolicyKind::Plain => run_with_policy(presets::plain(backend()), case),
         PolicyKind::FlitAdjacent => run_with_policy(presets::flit_adjacent(backend()), case),
         PolicyKind::FlitHt(bytes) => {
@@ -270,21 +258,22 @@ impl QueueCase {
     }
 }
 
-fn run_queue<P, Q>(policy: P, case: &QueueCase) -> QueueRunResult
+fn run_queue<P, Q>(db: &FlitDb<P>, case: &QueueCase) -> QueueRunResult
 where
     P: Policy,
     Q: ConcurrentQueue<P>,
 {
-    let queue = Q::with_policy(policy);
+    let queue = Q::in_db(db);
     prefill_queue(&queue, &case.config);
     run_queue_workload(&queue, &case.config)
 }
 
 fn run_queue_with_policy<P: Policy>(policy: P, case: &QueueCase) -> QueueRunResult {
+    let db = &FlitDb::create(policy);
     match case.dur {
-        DurKind::Automatic => run_queue::<P, MsQueue<P, Automatic>>(policy, case),
-        DurKind::NvTraverse => run_queue::<P, MsQueue<P, NvTraverse>>(policy, case),
-        DurKind::Manual => run_queue::<P, MsQueue<P, Manual>>(policy, case),
+        DurKind::Automatic => run_queue::<P, MsQueue<P, Automatic>>(db, case),
+        DurKind::NvTraverse => run_queue::<P, MsQueue<P, NvTraverse>>(db, case),
+        DurKind::Manual => run_queue::<P, MsQueue<P, Manual>>(db, case),
     }
 }
 
@@ -299,7 +288,7 @@ pub fn run_queue_case(case: &QueueCase) -> QueueRunResult {
             .build()
     };
     match case.policy {
-        PolicyKind::NoPersist => run_queue_with_policy(NoPersistPolicy::new(), case),
+        PolicyKind::NoPersist => run_queue_with_policy(presets::no_persist(), case),
         PolicyKind::Plain => run_queue_with_policy(presets::plain(backend()), case),
         PolicyKind::FlitAdjacent => run_queue_with_policy(presets::flit_adjacent(backend()), case),
         PolicyKind::FlitHt(bytes) => {

@@ -47,8 +47,9 @@ impl QueueRunResult {
 /// The tag keeps bit 63 clear so prefill values work with every policy, including
 /// link-and-persist (which reserves the top bit as its dirty flag).
 pub fn prefill_queue<P: Policy, Q: ConcurrentQueue<P>>(queue: &Q, cfg: &QueueWorkloadConfig) {
+    let h = queue.db().handle();
     for i in 0..cfg.prefill {
-        queue.enqueue(0x7EED_0000_0000_0000 | i);
+        queue.enqueue(&h, 0x7EED_0000_0000_0000 | i);
     }
 }
 
@@ -81,6 +82,9 @@ pub fn run_queue_workload<P: Policy, Q: ConcurrentQueue<P>>(
             let dequeues_empty = &dequeues_empty;
             let queue = &queue;
             scope.spawn(move || {
+                // One explicit session per worker thread: its persist epoch is what
+                // the elision decisions of this thread's operations consult.
+                let h = queue.db().handle();
                 let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(tid as u64 * 0x9E37));
                 let mut local_enq = 0u64;
                 let mut local_hit = 0u64;
@@ -100,10 +104,10 @@ pub fn run_queue_workload<P: Policy, Q: ConcurrentQueue<P>>(
                             }
                             burst_left -= 1;
                             if enqueueing {
-                                queue.enqueue(tagged(tid, seq));
+                                queue.enqueue(&h, tagged(tid, seq));
                                 seq += 1;
                                 local_enq += 1;
-                            } else if queue.dequeue().is_some() {
+                            } else if queue.dequeue(&h).is_some() {
                                 local_hit += 1;
                             } else {
                                 local_empty += 1;
@@ -115,10 +119,10 @@ pub fn run_queue_workload<P: Policy, Q: ConcurrentQueue<P>>(
                         let mut burst_left = cfg.burst;
                         for _ in 0..cfg.ops_per_thread {
                             if is_producer {
-                                queue.enqueue(tagged(tid, seq));
+                                queue.enqueue(&h, tagged(tid, seq));
                                 seq += 1;
                                 local_enq += 1;
-                            } else if queue.dequeue().is_some() {
+                            } else if queue.dequeue(&h).is_some() {
                                 local_hit += 1;
                             } else {
                                 local_empty += 1;
@@ -159,8 +163,7 @@ pub fn run_queue_workload<P: Policy, Q: ConcurrentQueue<P>>(
 mod tests {
     use super::*;
     use crate::queue_config::QueueWorkloadConfig;
-    use flit::presets;
-    use flit::{FlitPolicy, HashedScheme};
+    use flit::{FlitDb, FlitPolicy, HashedScheme};
     use flit_datastructs::Automatic;
     use flit_pmem::{LatencyModel, SimNvram};
     use flit_queues::MsQueue;
@@ -175,7 +178,7 @@ mod tests {
     #[test]
     fn prefill_reaches_the_requested_size() {
         let cfg = QueueWorkloadConfig::mixed(2, 50, 100).with_prefill(37);
-        let q: Queue_ = MsQueue::new(presets::flit_ht(backend()));
+        let q: Queue_ = MsQueue::new(&FlitDb::flit_ht(backend()));
         prefill_queue(&q, &cfg);
         assert_eq!(q.len() as u64, 37);
     }
@@ -183,7 +186,7 @@ mod tests {
     #[test]
     fn mixed_run_accounts_for_every_operation() {
         let cfg = QueueWorkloadConfig::mixed(3, 50, 1_000).with_burst(4);
-        let q: Queue_ = MsQueue::new(presets::flit_ht(backend()));
+        let q: Queue_ = MsQueue::new(&FlitDb::flit_ht(backend()));
         let r = run_queue_workload(&q, &cfg);
         assert_eq!(r.total_ops, 3_000);
         assert_eq!(r.enqueues + r.dequeues_hit + r.dequeues_empty, 3_000);
@@ -196,7 +199,7 @@ mod tests {
     #[test]
     fn producer_consumer_roles_are_exclusive() {
         let cfg = QueueWorkloadConfig::producer_consumer(2, 2, 500).with_burst(16);
-        let q: Queue_ = MsQueue::new(presets::flit_ht(backend()));
+        let q: Queue_ = MsQueue::new(&FlitDb::flit_ht(backend()));
         let r = run_queue_workload(&q, &cfg);
         assert_eq!(r.total_ops, 2_000);
         assert_eq!(r.enqueues, 1_000, "producers only enqueue");
@@ -212,7 +215,7 @@ mod tests {
     fn dequeue_only_workload_on_empty_queue_elides_all_flushes_with_flit() {
         // enqueue_percent 0, no prefill: every operation is a dequeue-of-empty.
         let cfg = QueueWorkloadConfig::mixed(2, 0, 500);
-        let q: Queue_ = MsQueue::new(presets::flit_ht(backend()));
+        let q: Queue_ = MsQueue::new(&FlitDb::flit_ht(backend()));
         let r = run_queue_workload(&q, &cfg);
         assert_eq!(r.dequeues_empty, 1_000);
         assert_eq!(r.pmem.pwbs, 0, "FliT pays no pwbs on read-only traffic");
@@ -229,7 +232,7 @@ mod tests {
             .with_seed(99)
             .with_burst(2);
         let run = || {
-            let q: Queue_ = MsQueue::new(presets::flit_ht(backend()));
+            let q: Queue_ = MsQueue::new(&FlitDb::flit_ht(backend()));
             let r = run_queue_workload(&q, &cfg);
             (r.enqueues, r.dequeues_hit, r.dequeues_empty)
         };

@@ -47,11 +47,12 @@ impl RunResult {
 /// Pre-fill `map` with `cfg.prefill` distinct keys drawn from the key range, as the
 /// paper does before each measured run.
 pub fn prefill<P: Policy, M: ConcurrentMap<P>>(map: &M, cfg: &WorkloadConfig) {
+    let h = map.db().handle();
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED_F111);
     let mut inserted = 0u64;
     while inserted < cfg.prefill.min(cfg.key_range) {
         let key = rng.gen_range(0..cfg.key_range);
-        if map.insert(key, key.wrapping_mul(3)) {
+        if map.insert(&h, key, key.wrapping_mul(3)) {
             inserted += 1;
         }
     }
@@ -75,6 +76,9 @@ pub fn run_workload<P: Policy, M: ConcurrentMap<P>>(map: &M, cfg: &WorkloadConfi
             let removes_ok = &removes_ok;
             let map = &map;
             scope.spawn(move || {
+                // One explicit session per worker thread: its persist epoch is what
+                // the elision decisions of this thread's operations consult.
+                let h = map.db().handle();
                 let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(tid as u64 * 0x9E37));
                 let mut local_hits = 0u64;
                 let mut local_ins = 0u64;
@@ -85,13 +89,13 @@ pub fn run_workload<P: Policy, M: ConcurrentMap<P>>(map: &M, cfg: &WorkloadConfi
                     if roll < cfg.update_percent {
                         // Updates split 50/50 between inserts and deletes.
                         if roll % 2 == 0 {
-                            if map.insert(key, key ^ 0xABCD) {
+                            if map.insert(&h, key, key ^ 0xABCD) {
                                 local_ins += 1;
                             }
-                        } else if map.remove(key) {
+                        } else if map.remove(&h, key) {
                             local_rem += 1;
                         }
-                    } else if map.get(key).is_some() {
+                    } else if map.get(&h, key).is_some() {
                         local_hits += 1;
                     }
                 }
@@ -119,8 +123,7 @@ pub fn run_workload<P: Policy, M: ConcurrentMap<P>>(map: &M, cfg: &WorkloadConfi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flit::presets;
-    use flit::{FlitPolicy, HashedScheme};
+    use flit::{FlitDb, FlitPolicy, HashedScheme};
     use flit_datastructs::{Automatic, HarrisList, HashTable, NatarajanTree};
     use flit_pmem::{LatencyModel, SimNvram};
 
@@ -134,7 +137,7 @@ mod tests {
     fn prefill_reaches_the_requested_size() {
         let cfg = WorkloadConfig::new(1_000, 5, 2, 100);
         let map: NatarajanTree<Policy_, Automatic> =
-            NatarajanTree::with_capacity(presets::flit_ht(backend()), 1_000);
+            NatarajanTree::with_capacity(&FlitDb::flit_ht(backend()), 1_000);
         prefill(&map, &cfg);
         assert_eq!(map.len() as u64, cfg.prefill);
     }
@@ -143,7 +146,7 @@ mod tests {
     fn read_only_workload_reports_zero_read_side_pwbs() {
         let cfg = WorkloadConfig::new(256, 0, 2, 2_000);
         let map: HashTable<Policy_, Automatic> =
-            HashTable::with_capacity(presets::flit_ht(backend()), 256);
+            HashTable::with_capacity(&FlitDb::flit_ht(backend()), 256);
         prefill(&map, &cfg);
         let result = run_workload(&map, &cfg);
         assert_eq!(result.total_ops, 4_000);
@@ -159,7 +162,7 @@ mod tests {
     fn update_workload_counts_pwbs_and_mutations() {
         let cfg = WorkloadConfig::new(128, 50, 2, 1_000);
         let map: HarrisList<Policy_, Automatic> =
-            HarrisList::with_capacity(presets::flit_ht(backend()), 128);
+            HarrisList::with_capacity(&FlitDb::flit_ht(backend()), 128);
         prefill(&map, &cfg);
         let result = run_workload(&map, &cfg);
         assert!(result.pmem.pwbs > 0);
@@ -177,7 +180,7 @@ mod tests {
         let cfg = WorkloadConfig::new(64, 20, 1, 500);
         let run = |_: ()| {
             let map: HarrisList<Policy_, Automatic> =
-                HarrisList::with_capacity(presets::flit_ht(backend()), 64);
+                HarrisList::with_capacity(&FlitDb::flit_ht(backend()), 64);
             prefill(&map, &cfg);
             let r = run_workload(&map, &cfg);
             (r.hits, r.inserts_ok, r.removes_ok)

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example crash_recovery`
 
-use flit::{presets, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
+use flit::{FlitDb, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
 use flit_pmem::SimNvram;
 
 type Word = <FlitPolicy<HashedScheme, SimNvram> as Policy>::Word<u64>;
@@ -16,7 +16,8 @@ fn main() {
     // A tracking backend with zero simulated latency: we only care about the
     // bookkeeping here.
     let nvram = SimNvram::for_crash_testing();
-    let policy = presets::flit_ht(nvram.clone());
+    let db = FlitDb::flit_ht(nvram.clone());
+    let h = db.handle();
 
     // Three "database fields".
     let balance = Word::new(0);
@@ -25,13 +26,13 @@ fn main() {
 
     // A committed update: both stores are p-stores, so by the time the operation
     // completes they are durable (P-V Interface condition 4).
-    balance.store(&policy, 1_000, PFlag::Persisted);
-    sequence.store(&policy, 1, PFlag::Persisted);
-    policy.operation_completion();
+    balance.store(&h, 1_000, PFlag::Persisted);
+    sequence.store(&h, 1, PFlag::Persisted);
+    h.operation_completion();
 
     // An uncommitted update: a v-store is visible to other threads but nothing forces
     // it to persistent memory.
-    scratch.store(&policy, 42, PFlag::Volatile);
+    scratch.store(&h, 42, PFlag::Volatile);
 
     // ---- power failure ----
     let crash = nvram.tracker().unwrap().crash_image();

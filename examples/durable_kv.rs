@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use flit::presets;
+use flit::FlitDb;
 use flit_datastructs::{Automatic, ConcurrentMap, HashTable, NvTraverse};
 use flit_pmem::{LatencyModel, SimNvram};
 
@@ -20,9 +20,10 @@ fn backend() -> SimNvram {
 
 /// Run a simple 90% read / 10% update KV workload and report throughput and flushes.
 fn run<M: ConcurrentMap<P>, P: flit::Policy>(label: &str, map: M) {
+    let h = map.db().handle();
     // Warm the store with half the key space.
     for k in (0..KEYS).step_by(2) {
-        map.insert(k, k);
+        map.insert(&h, k, k);
     }
     let before = map.policy().stats_snapshot().unwrap_or_default();
     let start = Instant::now();
@@ -35,12 +36,12 @@ fn run<M: ConcurrentMap<P>, P: flit::Policy>(label: &str, map: M) {
         let key = x % KEYS;
         if i % 10 == 0 {
             if key % 2 == 0 {
-                map.remove(key);
+                map.remove(&h, key);
             } else {
-                map.insert(key, key);
+                map.insert(&h, key, key);
             }
         } else {
-            std::hint::black_box(map.get(key));
+            std::hint::black_box(map.get(&h, key));
         }
     }
     let elapsed = start.elapsed();
@@ -58,30 +59,30 @@ fn main() {
     println!("durable KV store: {KEYS} keys, {OPS} operations, 10% updates\n");
     run(
         "non-persistent",
-        HashTable::<_, Automatic>::with_capacity(presets::no_persist(), KEYS as usize),
+        HashTable::<_, Automatic>::with_capacity(&FlitDb::no_persist(), KEYS as usize),
     );
     run(
         "plain",
-        HashTable::<_, Automatic>::with_capacity(presets::plain(backend()), KEYS as usize),
+        HashTable::<_, Automatic>::with_capacity(&FlitDb::plain(backend()), KEYS as usize),
     );
     run(
         "flit-HT",
-        HashTable::<_, Automatic>::with_capacity(presets::flit_ht(backend()), KEYS as usize),
+        HashTable::<_, Automatic>::with_capacity(&FlitDb::flit_ht(backend()), KEYS as usize),
     );
     run(
         "flit-adjacent",
-        HashTable::<_, Automatic>::with_capacity(presets::flit_adjacent(backend()), KEYS as usize),
+        HashTable::<_, Automatic>::with_capacity(&FlitDb::flit_adjacent(backend()), KEYS as usize),
     );
     run(
         "link-and-persist",
         HashTable::<_, Automatic>::with_capacity(
-            presets::link_and_persist(backend()),
+            &FlitDb::link_and_persist(backend()),
             KEYS as usize,
         ),
     );
     run(
         "flit-HT+nvtraverse",
-        HashTable::<_, NvTraverse>::with_capacity(presets::flit_ht(backend()), KEYS as usize),
+        HashTable::<_, NvTraverse>::with_capacity(&FlitDb::flit_ht(backend()), KEYS as usize),
     );
     println!("\nLower pwbs/op is the FliT effect: read-side flushes are skipped unless a");
     println!("concurrent store is still in flight on the same word.");

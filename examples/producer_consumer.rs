@@ -9,7 +9,7 @@
 //! prints throughput plus the persistence-instruction cost per operation, then
 //! demonstrates crash recovery from an adversarial crash image.
 
-use flit::{presets, FlitPolicy, HashedScheme};
+use flit::{compat, FlitDb, FlitPolicy, HashedScheme};
 use flit_pmem::{ElisionMode, LatencyModel, SimNvram};
 use flit_queues::{Automatic, ConcurrentQueue, MsQueue};
 use flit_workload::{run_queue_case, PolicyKind, QueueCase, QueueWorkloadConfig};
@@ -51,14 +51,17 @@ fn main() {
     // Crash recovery: run a little traffic on a tracking backend, "crash", recover.
     println!("\nCrash recovery from an adversarial image (flushed-and-fenced stores only):");
     let nvram = SimNvram::for_crash_testing();
-    let queue: MsQueue<FlitPolicy<HashedScheme, SimNvram>, Automatic> =
-        MsQueue::new(presets::flit_ht(nvram.clone()));
-    let _guard = queue.collector().pin();
+    let db = FlitDb::flit_ht(nvram.clone());
+    let queue: MsQueue<FlitPolicy<HashedScheme, SimNvram>, Automatic> = MsQueue::new(&db);
+    // One explicit session for this thread (`pin_current_thread` is the
+    // migration-friendly alias for `db.handle()`).
+    let h = compat::pin_current_thread(&db);
+    let _guard = h.pin();
     for v in 1..=8u64 {
-        queue.enqueue(v * 11);
+        queue.enqueue(&h, v * 11);
     }
-    queue.dequeue();
-    queue.dequeue();
+    queue.dequeue(&h);
+    queue.dequeue(&h);
     let image = nvram.tracker().unwrap().crash_image();
     let recovered = queue.recover(&image);
     println!("  enqueued 11,22,...,88 then dequeued twice");

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use flit::presets;
+use flit::FlitDb;
 use flit_datastructs::{Automatic, ConcurrentMap, NatarajanTree};
 use flit_pmem::SimNvram;
 
@@ -16,24 +16,29 @@ fn main() {
     // `HardwarePmem`; here we use the simulated backend with Optane-like latencies.
     let nvram = SimNvram::default();
 
-    // flit-HT: the FliT algorithm with a 1MB hashed flit-counter table.
-    let policy = presets::flit_ht(nvram.clone());
+    // Open a database: flit-HT (the FliT algorithm with a 1MB hashed flit-counter
+    // table) over the backend. The db owns the policy, the reclamation collector
+    // and the arenas the structures allocate from.
+    let db = FlitDb::flit_ht(nvram.clone());
+
+    // Register a session (handle) for this thread: every operation takes it.
+    let h = db.handle();
 
     // Any of the four data structures works; the BST is the paper's main example.
     // `Automatic` = every load/store is a p-instruction = durably linearizable with
     // zero algorithm-specific reasoning (Theorem 3.1).
-    let map: NatarajanTree<_, Automatic> = NatarajanTree::with_capacity(policy, 1024);
+    let map: NatarajanTree<_, Automatic> = NatarajanTree::with_capacity(&db, 1024);
 
     for key in 0..1000u64 {
-        map.insert(key, key * 10);
+        map.insert(&h, key, key * 10);
     }
     for key in (0..1000u64).step_by(3) {
-        map.remove(key);
+        map.remove(&h, key);
     }
 
     let mut present = 0;
     for key in 0..1000u64 {
-        if let Some(value) = map.get(key) {
+        if let Some(value) = map.get(&h, key) {
             assert_eq!(value, key * 10);
             present += 1;
         }

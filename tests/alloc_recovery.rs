@@ -10,7 +10,7 @@
 //!    the structure's root absent (mid-construction) yielding the empty state and
 //!    the arena header reachable at every point.
 
-use flit::{presets, FlitPolicy, HashedScheme};
+use flit::{FlitDb, FlitPolicy, HashedScheme};
 use flit_crashtest::{run_case, HistorySpec, MethodKind, PolicyKind, StructureKind, SweepSettings};
 use flit_datastructs::{Automatic, ConcurrentMap, HarrisList};
 use flit_pmem::{CrashPlan, ElisionMode, SimNvram};
@@ -142,7 +142,8 @@ fn mid_construction_image_recovers_to_the_empty_structure() {
     // Crash three events into construction: the arena header is being written.
     let plan = CrashPlan::armed_at(3);
     let nvram = SimNvram::for_crash_testing_with_plan(plan.clone());
-    let list: HarrisList<HtPolicy, Automatic> = HarrisList::new(presets::flit_ht(nvram.clone()));
+    let db = FlitDb::flit_ht(nvram.clone());
+    let list: HarrisList<HtPolicy, Automatic> = HarrisList::new(&db);
     assert!(plan.triggered(), "construction generates > 3 events");
     let image = plan.crash_image().expect("image frozen mid-construction");
 
@@ -158,8 +159,9 @@ fn mid_construction_image_recovers_to_the_empty_structure() {
     assert!(rec.pairs.is_empty() && !rec.truncated);
 
     // And a populated list recovers image-only, no live reads.
-    assert!(list.insert(9, 90));
-    assert!(list.insert(2, 20));
+    let h = db.handle();
+    assert!(list.insert(&h, 9, 90));
+    assert!(list.insert(&h, 2, 20));
     let image = nvram.tracker().unwrap().crash_image();
     let rec = HarrisList::<HtPolicy, Automatic>::recover_in_image(list.arena(), &image);
     assert_eq!(rec.sorted_pairs(), vec![(2, 20), (9, 90)]);

@@ -7,7 +7,7 @@
 //! (Whole-structure crash sweeps live in `flit-crashtest` and the per-structure
 //! crash tests; this file covers the raw word-level interface.)
 
-use flit::{presets, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
+use flit::{presets, FlitDb, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
 use flit_pmem::{CrashPlan, SimNvram};
 
 type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
@@ -24,7 +24,7 @@ fn completed_operations_survive_an_adversarial_crash() {
     const SLOTS: usize = 32;
 
     let nvram = SimNvram::for_crash_testing();
-    let policy = std::sync::Arc::new(presets::flit_ht(nvram.clone()));
+    let db = FlitDb::flit_ht(nvram.clone());
     let slots: Vec<Vec<Word>> = (0..THREADS)
         .map(|_| (0..SLOTS).map(|_| Word::new(0)).collect())
         .collect();
@@ -32,17 +32,18 @@ fn completed_operations_survive_an_adversarial_crash() {
 
     std::thread::scope(|s| {
         for t in 0..THREADS {
-            let policy = std::sync::Arc::clone(&policy);
+            let db = &db;
             let slots = std::sync::Arc::clone(&slots);
             s.spawn(move || {
+                let h = db.handle();
                 for (i, slot) in slots[t].iter().enumerate() {
                     // Each operation reads the previous slot (p-load) and writes its
                     // own (p-store): a dependency chain.
                     if i > 0 {
-                        let _ = slots[t][i - 1].load(&policy, PFlag::Persisted);
+                        let _ = slots[t][i - 1].load(&h, PFlag::Persisted);
                     }
-                    slot.store(&policy, (t * 1000 + i + 1) as u64, PFlag::Persisted);
-                    policy.operation_completion();
+                    slot.store(&h, (t * 1000 + i + 1) as u64, PFlag::Persisted);
+                    h.operation_completion();
                 }
             });
         }
@@ -68,14 +69,15 @@ fn completed_operations_survive_an_adversarial_crash() {
 #[test]
 fn dependency_order_is_never_inverted() {
     let nvram = SimNvram::for_crash_testing();
-    let policy = presets::flit_ht(nvram.clone());
+    let db = FlitDb::flit_ht(nvram.clone());
+    let h = db.handle();
     let a = Word::new(0);
     let b = Word::new(0);
 
     // a is written and persisted by the p-store protocol; then b is written as a
     // v-store (no persistence), then the "crash" happens before any further fence.
-    a.store(&policy, 1, PFlag::Persisted);
-    b.store(&policy, 2, PFlag::Volatile);
+    a.store(&h, 1, PFlag::Persisted);
+    b.store(&h, 2, PFlag::Volatile);
 
     let image = nvram.tracker().unwrap().crash_image();
     let a_survived = image.read(a.addr()).is_some();
@@ -100,13 +102,14 @@ where
         None => CrashPlan::counting(),
     };
     let nvram = SimNvram::for_crash_testing_with_plan(plan.clone());
-    let policy = policy_factory(nvram.clone());
+    let db = FlitDb::create(policy_factory(nvram.clone()));
+    let h = db.handle();
     let chain: Vec<P::Word<u64>> = (0..CHAIN).map(|_| P::Word::<u64>::new(0)).collect();
     for (i, w) in chain.iter().enumerate() {
         if i > 0 {
-            let _ = chain[i - 1].load(&policy, PFlag::Persisted);
+            let _ = chain[i - 1].load(&h, PFlag::Persisted);
         }
-        w.store(&policy, i as u64 + 1, PFlag::Persisted);
+        w.store(&h, i as u64 + 1, PFlag::Persisted);
     }
     let image = match crash_at {
         Some(_) => plan

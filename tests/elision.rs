@@ -8,14 +8,14 @@
 //!   fences;
 //! * the plain baseline's `pwb` stream (the Figure 9 quantity) is identical with
 //!   and without elision;
-//! * epoch state is keyed per backend instance, so two backends driven by one
-//!   thread never cross-contaminate;
+//! * epoch state is keyed per *handle*, so two handles driven by one OS thread
+//!   never cross-contaminate;
 //! * elision adds no per-word layout cost: `FlitAtomic` with a table scheme stays
 //!   exactly one machine word.
 
-use flit::{presets, FlitAtomic, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
+use flit::{FlitAtomic, FlitDb, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
 use flit_datastructs::{Automatic, ConcurrentMap, HashTable};
-use flit_pmem::{ElisionMode, LatencyModel, PmemBackend, SimNvram};
+use flit_pmem::{ElisionMode, LatencyModel, PersistEpoch, PmemBackend, PmemSession, SimNvram};
 use flit_workload::runner::prefill;
 use flit_workload::{run_workload, WorkloadConfig};
 
@@ -29,21 +29,22 @@ fn backend_with(elision: ElisionMode) -> SimNvram {
 }
 
 #[test]
-fn clean_thread_p_store_pays_one_fence_dirty_thread_two() {
+fn clean_handle_p_store_pays_one_fence_dirty_handle_two() {
     let nvram = backend_with(ElisionMode::Enabled);
-    let policy = presets::flit_ht(nvram.clone());
+    let db = FlitDb::flit_ht(nvram.clone());
+    let h = db.handle();
     let word = <HtPolicy as Policy>::Word::<u64>::new(0);
 
-    // Clean thread: the leading fence of Algorithm 4 would persist nothing.
-    word.store(&policy, 1, PFlag::Persisted);
+    // Clean handle: the leading fence of Algorithm 4 would persist nothing.
+    word.store(&h, 1, PFlag::Persisted);
     let clean = nvram.stats().snapshot();
     assert_eq!(clean.pwbs, 1);
     assert_eq!(clean.pfences, 1, "trailing fence only");
     assert_eq!(clean.elided_pfences, 1, "the leading fence was elided");
 
-    // Dirty thread (an unfenced pwb outstanding): the leading fence must fire.
-    nvram.pwb(&word as *const _ as *const u8);
-    word.store(&policy, 2, PFlag::Persisted);
+    // Dirty handle (an unfenced pwb outstanding): the leading fence must fire.
+    h.pmem().pwb(&word as *const _ as *const u8);
+    word.store(&h, 2, PFlag::Persisted);
     let dirty = nvram.stats().snapshot().delta_since(&clean);
     assert_eq!(dirty.pfences, 2, "leading + trailing");
 }
@@ -51,13 +52,14 @@ fn clean_thread_p_store_pays_one_fence_dirty_thread_two() {
 #[test]
 fn untagged_read_only_operation_completes_with_zero_fences() {
     let nvram = backend_with(ElisionMode::Enabled);
-    let policy = presets::flit_ht(nvram.clone());
+    let db = FlitDb::flit_ht(nvram.clone());
+    let h = db.handle();
     let word = <HtPolicy as Policy>::Word::<u64>::new(7);
-    policy.operation_completion(); // settle anything construction did
+    h.operation_completion(); // settle anything construction did
     let before = nvram.stats().snapshot();
     for _ in 0..10 {
-        assert_eq!(word.load(&policy, PFlag::Persisted), 7);
-        policy.operation_completion();
+        assert_eq!(word.load(&h, PFlag::Persisted), 7);
+        h.operation_completion();
     }
     let delta = nvram.stats().snapshot().delta_since(&before);
     assert_eq!(delta.pwbs, 0, "untagged loads never flush");
@@ -73,7 +75,8 @@ fn untagged_read_only_operation_completes_with_zero_fences() {
 fn plain_pwbs_per_op_are_unchanged_by_elision() {
     let run = |elision| {
         let nvram = backend_with(elision);
-        let policy = presets::plain(nvram.clone());
+        let db = FlitDb::plain(nvram.clone());
+        let h = db.handle();
         let words: Vec<_> = (0..8u64)
             .map(<flit::PlainPolicy<SimNvram> as Policy>::Word::<u64>::new)
             .collect();
@@ -81,12 +84,12 @@ fn plain_pwbs_per_op_are_unchanged_by_elision() {
             for w in &words {
                 // Repeated p-loads of the same unchanged word: exactly the pattern
                 // the FliT schemes dedup — plain must keep flushing every time.
-                let _ = w.load(&policy, PFlag::Persisted);
-                let _ = w.load(&policy, PFlag::Persisted);
+                let _ = w.load(&h, PFlag::Persisted);
+                let _ = w.load(&h, PFlag::Persisted);
                 if round % 10 == 0 {
-                    w.store(&policy, round, PFlag::Persisted);
+                    w.store(&h, round, PFlag::Persisted);
                 }
-                policy.operation_completion();
+                h.operation_completion();
             }
         }
         nvram.stats().snapshot().pwbs
@@ -106,8 +109,8 @@ fn plain_pwbs_per_op_are_unchanged_by_elision() {
 fn flit_ht_pfences_per_op_drop_under_elision() {
     let run = |elision| {
         let nvram = backend_with(elision);
-        let policy = presets::flit_ht(nvram.clone());
-        let map: HashTable<_, Automatic> = HashTable::with_capacity(policy, 256);
+        let db = FlitDb::flit_ht(nvram.clone());
+        let map: HashTable<_, Automatic> = HashTable::with_capacity(&db, 256);
         // Read-mostly (95/5), the workload where elision shines.
         let cfg = WorkloadConfig::new(256, 5, 1, 4_000);
         prefill(&map, &cfg);
@@ -123,23 +126,39 @@ fn flit_ht_pfences_per_op_drop_under_elision() {
 }
 
 #[test]
-fn epoch_state_is_keyed_per_backend_instance() {
-    let a = backend_with(ElisionMode::Enabled);
-    let b = backend_with(ElisionMode::Enabled);
-    let pa = presets::flit_ht(a.clone());
-    let pb = presets::flit_ht(b.clone());
+fn epoch_state_is_keyed_per_handle() {
+    // Two handles on one database, one OS thread: each owns its own epoch, so
+    // dirtiness and elision decisions never cross-contaminate — the invariant
+    // that used to be (approximately) per backend instance is now exactly per
+    // explicit session.
+    let nvram = backend_with(ElisionMode::Enabled);
+    let db = FlitDb::flit_ht(nvram.clone());
+    let ha = db.handle();
+    let hb = db.handle();
     let wa = <HtPolicy as Policy>::Word::<u64>::new(0);
 
-    // Dirty backend A on this thread (a tagged-read flush with no fence yet).
-    a.pwb(&wa as *const _ as *const u8);
-    // Backend B is clean: its completion fence must elide…
-    pb.operation_completion();
-    assert_eq!(b.stats().pfences(), 0, "B must not see A's pwb");
+    // Dirty handle A on this thread (a tagged-read flush with no fence yet).
+    ha.pmem().pwb(&wa as *const _ as *const u8);
+    // Handle B is clean: its completion fence must elide…
+    hb.operation_completion();
+    assert_eq!(nvram.stats().pfences(), 0, "B must not see A's pwb");
     // …while A's must fire.
-    pa.operation_completion();
-    assert_eq!(a.stats().pfences(), 1);
+    ha.operation_completion();
+    assert_eq!(nvram.stats().pfences(), 1);
     // And B's fence must not have cleaned A's epoch before A fenced.
-    assert_eq!(a.stats().elided_pfences(), 0);
+    assert_eq!(
+        nvram.stats().elided_pfences(),
+        1,
+        "only B's completion elided"
+    );
+
+    // Two databases on one thread keep separate epochs too (separate handles by
+    // construction).
+    let b2 = backend_with(ElisionMode::Enabled);
+    let db2 = FlitDb::flit_ht(b2.clone());
+    let h2 = db2.handle();
+    h2.operation_completion();
+    assert_eq!(b2.stats().pfences(), 0, "fresh handle on fresh db is clean");
 }
 
 /// The dedup ABA window is closed (ROADMAP, PR 3): every dedup entry carries the
@@ -150,23 +169,25 @@ fn epoch_state_is_keyed_per_backend_instance() {
 #[test]
 fn dedup_entries_are_invalidated_by_any_intervening_store() {
     let nvram = backend_with(ElisionMode::Enabled);
+    let epoch = PersistEpoch::new();
+    let s = PmemSession::for_backend(&nvram, &epoch);
     let x = 7u64;
     let addr = &x as *const u64 as *const u8;
 
-    assert!(nvram.pwb_dedup(addr, 7), "first flush is real");
+    assert!(s.pwb_dedup(addr, 7), "first flush is real");
     assert!(
-        !nvram.pwb_dedup(addr, 7),
+        !s.pwb_dedup(addr, 7),
         "same epoch, no intervening store: dedup hit"
     );
 
     // A "remote" overwrite-and-restore: two stores recorded through the backend
-    // without any fence on this thread. The observed value is unchanged, but the
+    // without any fence on this handle. The observed value is unchanged, but the
     // store version is not — the dedup entry must be dead.
     let y = 0u64;
-    nvram.record_store(&y as *const u64 as *const u8, 1);
-    nvram.record_store(&y as *const u64 as *const u8, 7);
+    s.record_store(&y as *const u64 as *const u8, 1);
+    s.record_store(&y as *const u64 as *const u8, 7);
     assert!(
-        nvram.pwb_dedup(addr, 7),
+        s.pwb_dedup(addr, 7),
         "a version bump must force a re-flush: the ABA window is closed"
     );
     assert_eq!(nvram.stats().elided_pwbs(), 1, "exactly one (sound) dedup");
@@ -174,15 +195,14 @@ fn dedup_entries_are_invalidated_by_any_intervening_store() {
     // Version stamping composes with tracking backends too: there the stamp is
     // the tracker's own store counter.
     let tracked = SimNvram::for_crash_testing();
+    let te = PersistEpoch::new();
+    let ts = PmemSession::for_backend(&tracked, &te);
     let z = 3u64;
     let zaddr = &z as *const u64 as *const u8;
-    assert!(tracked.pwb_dedup(zaddr, 3));
-    assert!(!tracked.pwb_dedup(zaddr, 3));
-    tracked.record_store(&y as *const u64 as *const u8, 9);
-    assert!(
-        tracked.pwb_dedup(zaddr, 3),
-        "tracker version bump re-flushes"
-    );
+    assert!(ts.pwb_dedup(zaddr, 3));
+    assert!(!ts.pwb_dedup(zaddr, 3));
+    ts.record_store(&y as *const u64 as *const u8, 9);
+    assert!(ts.pwb_dedup(zaddr, 3), "tracker version bump re-flushes");
 }
 
 #[test]

@@ -1,0 +1,158 @@
+//! Lifecycle invariants of the explicit-handle API ([`FlitDb`]/[`FlitHandle`]),
+//! exercised through the public interface:
+//!
+//! * dropping a *dirty* handle issues the trailing `pfence` (nothing a handle
+//!   flushed is ever left un-committed);
+//! * two handles on one OS thread keep independent dirty counts (elision
+//!   decisions are per handle, not per thread);
+//! * a handle outliving its spawning thread stays sound: it can be created on
+//!   one thread, moved, used and dropped on another;
+//! * dropped handles return their EBR slots, so short-lived workers no longer
+//!   exhaust the participant table (the handle-retirement leak fix).
+
+use flit::{FlitDb, FlitPolicy, HashedScheme, PersistWord, Policy};
+use flit_datastructs::{Automatic, ConcurrentMap, HarrisList};
+use flit_pmem::{LatencyModel, PmemBackend, SimNvram};
+
+type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
+type Word = <HtPolicy as Policy>::Word<u64>;
+
+fn counting() -> SimNvram {
+    SimNvram::builder().latency(LatencyModel::none()).build()
+}
+
+/// A handle abandoned mid-operation (flush issued, no fence yet) must commit its
+/// pending write-backs on drop: the tracker shows the value durable only after
+/// the drop.
+#[test]
+fn dropping_a_dirty_handle_issues_the_trailing_pfence() {
+    let nvram = SimNvram::for_crash_testing();
+    let db = FlitDb::flit_ht(nvram.clone());
+    let word = Word::new(0);
+    {
+        let h = db.handle();
+        let pm = h.pmem();
+        pm.record_store(word.addr() as *const u8, 123);
+        pm.pwb(word.addr() as *const u8);
+        assert!(h.is_dirty(), "an unfenced pwb leaves the handle dirty");
+        assert_eq!(
+            nvram.tracker().unwrap().persisted_value(word.addr()),
+            None,
+            "no fence yet: the flush is still pending"
+        );
+    } // <- drop: the trailing fence
+    assert_eq!(
+        nvram.tracker().unwrap().persisted_value(word.addr()),
+        Some(123),
+        "the dirty handle's drop must commit its pending flush"
+    );
+    // A clean handle's drop, by contrast, fences nothing.
+    let fences_before = nvram.stats().pfences();
+    drop(db.handle());
+    assert_eq!(nvram.stats().pfences(), fences_before);
+}
+
+/// Two handles on one OS thread: each owns its own persist epoch, so dirtiness
+/// never leaks between them — one handle's completion fence fires while the
+/// other's is elided, on the same thread, against the same backend.
+#[test]
+fn two_handles_on_one_thread_keep_independent_dirty_counts() {
+    let nvram = counting();
+    let db = FlitDb::flit_ht(nvram.clone());
+    let h1 = db.handle();
+    let h2 = db.handle();
+    let word = Word::new(0);
+
+    h1.pmem().pwb(word.addr() as *const u8);
+    assert!(h1.is_dirty());
+    assert!(!h2.is_dirty(), "h2 must not inherit h1's pwb");
+    assert_eq!(h1.epoch().pending_pwbs(), 1);
+    assert_eq!(h2.epoch().pending_pwbs(), 0);
+
+    h2.operation_completion(); // clean: elided
+    assert_eq!(nvram.stats().pfences(), 0);
+    assert!(h1.is_dirty(), "h2's elided fence must not clean h1");
+
+    h1.operation_completion(); // dirty: fences
+    assert_eq!(nvram.stats().pfences(), 1);
+    assert!(!h1.is_dirty());
+    assert_eq!(nvram.stats().elided_pfences(), 1);
+}
+
+/// A handle created on a worker thread, moved back to the main thread, and used
+/// there (map operations, pinning, drop) stays sound — nothing about a handle is
+/// keyed to the OS thread that created it.
+#[test]
+fn a_handle_outlives_its_spawning_thread() {
+    let nvram = counting();
+    let db = FlitDb::flit_ht(nvram.clone());
+    let list: HarrisList<HtPolicy, Automatic> = HarrisList::new(&db);
+
+    std::thread::scope(|s| {
+        // The worker registers the handle, dirties it, and sends it back.
+        let h = s
+            .spawn(|| {
+                let h = db.handle();
+                assert!(list.insert(&h, 1, 10));
+                h.pmem().pwb(&list as *const _ as *const u8);
+                assert!(h.is_dirty());
+                h
+            })
+            .join()
+            .expect("worker thread");
+        // The spawning thread is gone; the handle keeps working here.
+        assert!(h.is_dirty(), "dirtiness travelled with the handle");
+        assert!(list.insert(&h, 2, 20));
+        assert!(!h.is_dirty(), "the insert's completion fence cleaned it");
+        assert_eq!(list.get(&h, 1), Some(10));
+        assert_eq!(list.get(&h, 2), Some(20));
+        drop(h);
+    });
+    assert_eq!(list.len(), 2);
+}
+
+/// The handle-retirement fix, end to end: spawning (and dropping) far more
+/// short-lived worker handles than `MAX_PARTICIPANTS` must neither panic nor
+/// grow the participant table — every dropped handle's slot is reused.
+#[test]
+fn short_lived_workers_recycle_their_slots() {
+    let db = FlitDb::flit_ht(counting());
+    let list: HarrisList<HtPolicy, Automatic> = HarrisList::new(&db);
+    for round in 0..4 * flit_ebr::MAX_PARTICIPANTS as u64 {
+        let h = db.handle();
+        let k = round % 32;
+        if round % 2 == 0 {
+            list.insert(&h, k, round);
+        } else {
+            list.remove(&h, k);
+        }
+    }
+    assert_eq!(
+        db.collector().participants(),
+        0,
+        "every worker handle returned its slot"
+    );
+    assert!(db.handles_created() >= 4 * flit_ebr::MAX_PARTICIPANTS as u64);
+}
+
+/// Handle sessions honour the structure operations end to end: interleaving two
+/// handles' operations on one thread yields the same abstract state as one
+/// handle performing them all.
+#[test]
+fn interleaved_handles_preserve_map_semantics() {
+    let db = FlitDb::flit_ht(counting());
+    let list: HarrisList<HtPolicy, Automatic> = HarrisList::new(&db);
+    let h1 = db.handle();
+    let h2 = db.handle();
+    for k in 0..50u64 {
+        let h = if k % 2 == 0 { &h1 } else { &h2 };
+        assert!(list.insert(h, k, k * 3));
+    }
+    for k in (0..50u64).step_by(5) {
+        assert!(list.remove(&h2, k));
+    }
+    for k in 0..50u64 {
+        assert_eq!(list.get(&h1, k).is_some(), k % 5 != 0, "key {k}");
+    }
+    assert_eq!(list.len(), 40);
+}

@@ -4,7 +4,7 @@
 //! buckets, each with its own EBR collector and its own persisted sentinel chain,
 //! so a single crash image must reconstruct *every* bucket consistently.
 
-use flit::{presets, FlitPolicy, HashedScheme};
+use flit::{FlitDb, FlitPolicy, HashedScheme};
 use flit_crashtest::{run_case, HistorySpec, MethodKind, PolicyKind, StructureKind, SweepSettings};
 use flit_datastructs::{Automatic, ConcurrentMap, HashTable};
 use flit_pmem::SimNvram;
@@ -16,16 +16,18 @@ type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
 #[test]
 fn quiescent_crash_image_recovers_the_exact_table() {
     let nvram = SimNvram::for_crash_testing();
-    let table: HashTable<HtPolicy, Automatic> = HashTable::new(presets::flit_ht(nvram.clone()), 64);
+    let db = FlitDb::flit_ht(nvram.clone());
+    let h = db.handle();
+    let table: HashTable<HtPolicy, Automatic> = HashTable::new(&db, 64);
 
     for k in 0..100u64 {
-        assert!(table.insert(k, 1000 + k));
+        assert!(table.insert(&h, k, 1000 + k));
     }
     for k in (0..100u64).step_by(3) {
-        assert!(table.remove(k));
+        assert!(table.remove(&h, k));
     }
     // Re-insert over a removed key with a fresh value.
-    assert!(table.insert(3, 7777));
+    assert!(table.insert(&h, 3, 7777));
 
     let image = nvram.tracker().unwrap().crash_image();
     // Image-only: recovery needs nothing from the live structure but its arena.

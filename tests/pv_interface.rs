@@ -1,7 +1,7 @@
 //! Integration tests for the P-V Interface guarantees, exercised through the public
 //! API exactly as a library user would.
 
-use flit::{presets, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
+use flit::{FlitDb, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
 use flit_datastructs::{Automatic, ConcurrentMap, HarrisList, HashTable, NatarajanTree};
 use flit_pmem::{LatencyModel, SimNvram};
 
@@ -15,11 +15,12 @@ type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
 #[test]
 fn completed_p_stores_are_durable() {
     let nvram = SimNvram::for_crash_testing();
-    let policy = presets::flit_ht(nvram.clone());
+    let db = FlitDb::flit_ht(nvram.clone());
+    let h = db.handle();
     let word = <HtPolicy as Policy>::Word::<u64>::new(0);
     for i in 1..=50u64 {
-        word.store(&policy, i, PFlag::Persisted);
-        policy.operation_completion();
+        word.store(&h, i, PFlag::Persisted);
+        h.operation_completion();
         assert_eq!(
             nvram.tracker().unwrap().persisted_value(word.addr()),
             Some(i),
@@ -32,10 +33,11 @@ fn completed_p_stores_are_durable() {
 #[test]
 fn v_stores_are_not_forced_to_persist() {
     let nvram = SimNvram::for_crash_testing();
-    let policy = presets::flit_ht(nvram.clone());
+    let db = FlitDb::flit_ht(nvram.clone());
+    let h = db.handle();
     let word = <HtPolicy as Policy>::Word::<u64>::new(0);
-    word.store(&policy, 7, PFlag::Volatile);
-    policy.operation_completion();
+    word.store(&h, 7, PFlag::Volatile);
+    h.operation_completion();
     assert_eq!(nvram.tracker().unwrap().persisted_value(word.addr()), None);
     assert_eq!(
         nvram.tracker().unwrap().volatile_value(word.addr()),
@@ -48,8 +50,9 @@ fn v_stores_are_not_forced_to_persist() {
 #[test]
 fn tagged_p_load_flushes_the_location() {
     let nvram = SimNvram::for_crash_testing();
-    let policy = presets::flit_ht(nvram.clone());
-    let scheme = policy.scheme().clone();
+    let db = FlitDb::flit_ht(nvram.clone());
+    let h = db.handle();
+    let scheme = db.policy().scheme().clone();
     let word = <HtPolicy as Policy>::Word::<u64>::new(5);
 
     // Simulate a writer paused between its store and its flush: the location is
@@ -62,8 +65,8 @@ fn tagged_p_load_flushes_the_location() {
     // The reader must flush on its own; after its fence the value is durable.
     use flit::TagScheme;
     use flit_pmem::PmemBackend;
-    let observed = word.load(&policy, PFlag::Persisted);
-    policy.backend().pfence();
+    let observed = word.load(&h, PFlag::Persisted);
+    h.pmem().pfence();
     assert_eq!(observed, 9);
     assert_eq!(
         nvram.tracker().unwrap().persisted_value(word.addr()),
@@ -78,19 +81,21 @@ fn tagged_p_load_flushes_the_location() {
 fn zero_update_workloads_flush_nothing_with_flit() {
     let flit_backend = backend();
     let plain_backend = backend();
-    let flit_map: NatarajanTree<_, Automatic> =
-        NatarajanTree::with_capacity(presets::flit_ht(flit_backend.clone()), 1024);
-    let plain_map: NatarajanTree<_, Automatic> =
-        NatarajanTree::with_capacity(presets::plain(plain_backend.clone()), 1024);
+    let flit_db = FlitDb::flit_ht(flit_backend.clone());
+    let plain_db = FlitDb::plain(plain_backend.clone());
+    let hf = flit_db.handle();
+    let hp = plain_db.handle();
+    let flit_map: NatarajanTree<_, Automatic> = NatarajanTree::with_capacity(&flit_db, 1024);
+    let plain_map: NatarajanTree<_, Automatic> = NatarajanTree::with_capacity(&plain_db, 1024);
     for k in 0..512u64 {
-        flit_map.insert(k, k);
-        plain_map.insert(k, k);
+        flit_map.insert(&hf, k, k);
+        plain_map.insert(&hp, k, k);
     }
     let flit_before = flit_backend.stats().snapshot();
     let plain_before = plain_backend.stats().snapshot();
     for k in 0..512u64 {
-        assert_eq!(flit_map.get(k), Some(k));
-        assert_eq!(plain_map.get(k), Some(k));
+        assert_eq!(flit_map.get(&hf, k), Some(k));
+        assert_eq!(plain_map.get(&hp, k), Some(k));
     }
     let flit_delta = flit_backend.stats().snapshot().delta_since(&flit_before);
     let plain_delta = plain_backend.stats().snapshot().delta_since(&plain_before);
@@ -107,24 +112,26 @@ fn zero_update_workloads_flush_nothing_with_flit() {
 #[test]
 fn flit_counters_return_to_zero_after_concurrent_work() {
     let scheme = HashedScheme::with_bytes(1 << 16);
-    let policy = FlitPolicy::new(scheme.clone(), backend());
+    let db = FlitDb::create(FlitPolicy::new(scheme.clone(), backend()));
     let map: std::sync::Arc<HashTable<_, Automatic>> =
-        std::sync::Arc::new(HashTable::with_capacity(policy, 256));
+        std::sync::Arc::new(HashTable::with_capacity(&db, 256));
     std::thread::scope(|s| {
         for t in 0..4u64 {
             let map = std::sync::Arc::clone(&map);
+            let db = &db;
             s.spawn(move || {
+                let h = db.handle();
                 for i in 0..2_000u64 {
                     let k = (t * 131 + i * 17) % 256;
                     match i % 3 {
                         0 => {
-                            map.insert(k, i);
+                            map.insert(&h, k, i);
                         }
                         1 => {
-                            map.remove(k);
+                            map.remove(&h, k);
                         }
                         _ => {
-                            map.get(k);
+                            map.get(&h, k);
                         }
                     }
                 }
@@ -142,10 +149,11 @@ fn data_structure_updates_leave_durable_state() {
         .latency(LatencyModel::none())
         .tracking(true)
         .build();
-    let list: HarrisList<_, Automatic> =
-        HarrisList::with_capacity(presets::flit_ht(nvram.clone()), 64);
+    let db = FlitDb::flit_ht(nvram.clone());
+    let h = db.handle();
+    let list: HarrisList<_, Automatic> = HarrisList::with_capacity(&db, 64);
     for k in 0..64u64 {
-        assert!(list.insert(k, k));
+        assert!(list.insert(&h, k, k));
     }
     let image = nvram.tracker().unwrap().crash_image();
     // Every inserted node published at least its link word durably (plus the node

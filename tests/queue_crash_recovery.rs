@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use flit::{presets, FlitPolicy, HashedScheme};
+use flit::{FlitDb, FlitPolicy, HashedScheme};
 use flit_crashtest::{run_case, HistorySpec, MethodKind, PolicyKind, StructureKind, SweepSettings};
 use flit_pmem::SimNvram;
 use flit_queues::{Automatic, ConcurrentQueue, MsQueue};
@@ -117,33 +117,38 @@ fn recovered_queue_is_linearizable_after_concurrent_producer_consumer_run() {
     const PER_PRODUCER: u64 = 500;
 
     let nvram = SimNvram::for_crash_testing();
-    let queue: Arc<MsQueue<HtPolicy, Automatic>> =
-        Arc::new(MsQueue::new(presets::flit_ht(nvram.clone())));
-    // Pin from the main thread before any operation so no retired node is reclaimed
-    // and recovery can safely dereference stale persisted pointers.
-    let _guard = queue.collector().pin();
+    let db = FlitDb::flit_ht(nvram.clone());
+    let queue: Arc<MsQueue<HtPolicy, Automatic>> = Arc::new(MsQueue::new(&db));
+    // Pin a main-thread handle before any operation so no retired node is
+    // reclaimed and recovery can safely dereference stale persisted pointers.
+    let main_handle = db.handle();
+    let _guard = main_handle.pin();
 
     let dequeued = std::sync::Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for t in 0..PRODUCERS {
             let queue = Arc::clone(&queue);
+            let db = &db;
             s.spawn(move || {
+                let h = db.handle();
                 for i in 0..PER_PRODUCER {
-                    queue.enqueue((t << 32) | i);
+                    queue.enqueue(&h, (t << 32) | i);
                 }
             });
         }
         for _ in 0..CONSUMERS {
             let queue = Arc::clone(&queue);
             let dequeued = &dequeued;
+            let db = &db;
             s.spawn(move || {
+                let h = db.handle();
                 // Consume only part of the stream so the final queue is non-empty.
                 // Producers enqueue far more than the combined consumer quota, so
                 // this terminates.
                 let quota = (PER_PRODUCER / 4) as usize;
                 let mut local = Vec::new();
                 while local.len() < quota {
-                    match queue.dequeue() {
+                    match queue.dequeue(&h) {
                         Some(v) => local.push(v),
                         None => std::thread::yield_now(),
                     }
