@@ -134,6 +134,56 @@ pub mod roots {
     pub const QUEUE_ROOTS: u64 = 0x715F_726F_6F74_7321; // "q_roots!"
 }
 
+/// The chunk slot-count every arena uses unless a caller overrides it.
+///
+/// Historically this was a per-call-site constant (the queue's node arena, the
+/// hash table's floor); [`ArenaConfig`] makes it a construction parameter so
+/// multi-arena systems — one arena per shard of `flit-server`, say — can size
+/// each arena to its *share* of the load instead of the full-load size.
+pub const DEFAULT_SLOTS_PER_CHUNK: usize = 1024;
+
+/// Construction-time sizing knobs for an [`Arena`].
+///
+/// Only chunk growth granularity for now: how many slots each lazily-mapped
+/// chunk holds. The default matches the historical constant, so existing
+/// constructors behave identically. Chunk size changes *when* the lazy
+/// high-water write-backs happen (they are chunk-boundary triggered), so two
+/// arenas with different configs produce different — but individually still
+/// deterministic — persistence-event streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaConfig {
+    /// Slots added per chunk when the arena grows. Must be non-zero.
+    pub slots_per_chunk: usize,
+}
+
+impl Default for ArenaConfig {
+    fn default() -> Self {
+        Self {
+            slots_per_chunk: DEFAULT_SLOTS_PER_CHUNK,
+        }
+    }
+}
+
+impl ArenaConfig {
+    /// A config with the given chunk slot-count.
+    pub fn with_slots_per_chunk(slots_per_chunk: usize) -> Self {
+        Self { slots_per_chunk }
+    }
+
+    /// A config sized for an arena expected to hold about `capacity` live slots:
+    /// the chunk count is clamped to `[64, DEFAULT_SLOTS_PER_CHUNK]` and rounded
+    /// up to a power of two, so small shards grow in small steps while large ones
+    /// keep the default granularity.
+    pub fn for_capacity(capacity: usize) -> Self {
+        Self {
+            slots_per_chunk: capacity
+                .clamp(64, DEFAULT_SLOTS_PER_CHUNK)
+                .next_power_of_two()
+                .min(DEFAULT_SLOTS_PER_CHUNK),
+        }
+    }
+}
+
 /// What the persisted arena header looks like inside a [`CrashImage`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ImageHeader {
@@ -223,6 +273,17 @@ impl Arena {
     /// whole cache lines).
     pub fn for_slots_of<T, B: PmemBackend>(backend: &B, chunk_slots: usize) -> Self {
         Self::new(backend, Self::slot_size_for::<T>(), chunk_slots)
+    }
+
+    /// Create an arena with an explicit [`ArenaConfig`]; equivalent to
+    /// [`Arena::new`] with `config.slots_per_chunk`.
+    pub fn with_config<B: PmemBackend>(backend: &B, slot_size: usize, config: ArenaConfig) -> Self {
+        Self::new(backend, slot_size, config.slots_per_chunk)
+    }
+
+    /// Create an arena for slots of type `T` with an explicit [`ArenaConfig`].
+    pub fn for_slots_of_config<T, B: PmemBackend>(backend: &B, config: ArenaConfig) -> Self {
+        Self::for_slots_of::<T, B>(backend, config.slots_per_chunk)
     }
 
     /// The slot size in bytes (a multiple of the cache-line size).

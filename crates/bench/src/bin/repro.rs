@@ -1,7 +1,7 @@
 //! `repro` — regenerate the figures of the FliT paper's evaluation (§6).
 //!
 //! ```text
-//! cargo run -p flit-bench --release --bin repro -- [fig5|fig6|fig7|fig8|fig9|queues|bench|summary|all] [--full] [--out PATH]
+//! cargo run -p flit-bench --release --bin repro -- [fig5|fig6|fig7|fig8|fig9|queues|bench|server|summary|all] [--full] [--out PATH]
 //! ```
 //!
 //! `queues` runs the queue workload family (not part of the paper's evaluation):
@@ -12,7 +12,11 @@
 //! policy on the read-mostly (95/5) workload, with persist-epoch elision on *and*
 //! off — and writes it to `BENCH_flit.json` (or `--out PATH`). The committed
 //! baseline at the repository root is regenerated this way, so the perf trajectory
-//! (throughput, pwbs/op, pfences/op) is tracked per change.
+//! (throughput, pwbs/op, pfences/op, p50/p99 latency) is tracked per change.
+//!
+//! `server` runs the sharded KV service benchmark — the {1, 2, 4} shards ×
+//! {flit-HT, plain} × elision grid plus open-loop and skewed-key points, and the
+//! one-shard crash/recover gate — and writes `BENCH_server.json` (or `--out PATH`).
 //!
 //! By default the quick scale is used (sized for the single-core reproduction
 //! container); `--full` switches to settings close to the paper's. The output is a
@@ -22,6 +26,10 @@
 use flit_bench::experiments::{
     bench_baseline, figure5, figure6, figure7, figure8, figure9, queue_dequeue_empty, queue_mix,
     queue_producer_consumer, BenchRecord, Row, Scale, BENCH_UPDATE_PERCENT,
+};
+use flit_bench::server_experiments::{
+    server_baseline, server_crash_smoke, ServerBenchRecord, ServerCrashSummary,
+    SERVER_UPDATE_PERCENT,
 };
 use flit_bench::{SCALE_FULL, SCALE_QUICK};
 use flit_pmem::{ElisionMode, LatencyModel};
@@ -137,7 +145,7 @@ fn bench_json(scale: &Scale, quick: bool, records: &[BenchRecord]) -> String {
         .iter()
         .map(|r| {
             format!(
-                r#"    {{"structure":"{}","policy":"{}","durability":"{}","elision":"{}","mops":{},"pwbs_per_op":{},"pfences_per_op":{},"elided_pfences_per_op":{}}}"#,
+                r#"    {{"structure":"{}","policy":"{}","durability":"{}","elision":"{}","mops":{},"pwbs_per_op":{},"pfences_per_op":{},"elided_pfences_per_op":{},"p50_ns":{},"p99_ns":{}}}"#,
                 r.structure,
                 r.policy,
                 r.durability,
@@ -146,6 +154,8 @@ fn bench_json(scale: &Scale, quick: bool, records: &[BenchRecord]) -> String {
                 json_f64(r.pwbs_per_op),
                 json_f64(r.pfences_per_op),
                 json_f64(r.elided_pfences_per_op),
+                r.p50_ns,
+                r.p99_ns,
             )
         })
         .collect();
@@ -189,26 +199,134 @@ fn run_bench(scale: &Scale, quick: bool, out: &str) {
     println!("\nwrote benchmark baseline to {out}");
 }
 
+/// Render the server baseline + crash gate as the `BENCH_server.json` document.
+fn server_json(
+    scale: &Scale,
+    quick: bool,
+    records: &[ServerBenchRecord],
+    crash: &ServerCrashSummary,
+) -> String {
+    let entries: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                r#"    {{"shards":{},"workers":{},"structure":"{}","policy":"{}","elision":"{}","arrival":"{}","skew":{},"requests":{},"mops":{},"p50_ns":{},"p99_ns":{},"p999_ns":{},"pwbs_per_op":{},"pfences_per_op":{}}}"#,
+                r.shards,
+                r.workers,
+                r.structure,
+                r.policy,
+                r.elision,
+                r.arrival,
+                json_f64(r.skew),
+                r.requests,
+                json_f64(r.mops),
+                r.p50_ns,
+                r.p99_ns,
+                r.p999_ns,
+                json_f64(r.pwbs_per_op),
+                json_f64(r.pfences_per_op),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"flit-server-bench-v1\",\n  \"scale\": \"{}\",\n  \"workload\": {{\"update_percent\": {}, \"requests_per_worker\": {}}},\n  \"crash_sweep\": {{\"shards\": {}, \"crash_shard\": {}, \"points_tested\": {}, \"events_total\": {}, \"violations\": {}, \"broken_control_caught\": {}}},\n  \"records\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        SERVER_UPDATE_PERCENT,
+        scale.ops_per_thread,
+        crash.shards,
+        crash.crash_shard,
+        crash.points_tested,
+        crash.events_total,
+        crash.violations,
+        crash.broken_control_caught,
+        entries.join(",\n")
+    )
+}
+
+fn run_server_bench(scale: &Scale, quick: bool, out: &str) {
+    let records = server_baseline(scale);
+    println!(
+        "\n=== Server baseline: sharded KV service, {}% updates, pump path (mailbox included) ===",
+        SERVER_UPDATE_PERCENT
+    );
+    println!(
+        "{:<7} {:<8} {:<16} {:<8} {:<8} {:<6} {:>9} {:>10} {:>10} {:>10} {:>9} {:>11}",
+        "shards",
+        "workers",
+        "policy",
+        "elision",
+        "arrival",
+        "skew",
+        "Mops/s",
+        "p50(ns)",
+        "p99(ns)",
+        "p999(ns)",
+        "pwbs/op",
+        "pfences/op"
+    );
+    for r in &records {
+        println!(
+            "{:<7} {:<8} {:<16} {:<8} {:<8} {:<6} {:>9.3} {:>10} {:>10} {:>10} {:>9.3} {:>11.3}",
+            r.shards,
+            r.workers,
+            r.policy,
+            r.elision,
+            r.arrival,
+            r.skew,
+            r.mops,
+            r.p50_ns,
+            r.p99_ns,
+            r.p999_ns,
+            r.pwbs_per_op,
+            r.pfences_per_op
+        );
+    }
+    println!("\nrunning the one-shard crash/recover gate…");
+    let crash = server_crash_smoke();
+    println!(
+        "crash sweep: {} points over {} events on shard {} of {}: {} violations; broken control caught: {}",
+        crash.points_tested,
+        crash.events_total,
+        crash.crash_shard,
+        crash.shards,
+        crash.violations,
+        crash.broken_control_caught
+    );
+    if crash.violations > 0 || !crash.broken_control_caught {
+        eprintln!("server crash gate FAILED");
+        std::process::exit(1);
+    }
+    let doc = server_json(scale, quick, &records, &crash);
+    std::fs::write(out, doc).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    println!("\nwrote server baseline to {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = !args.iter().any(|a| a == "--full");
     let scale = if quick { SCALE_QUICK } else { SCALE_FULL };
     let out_flag = args.iter().position(|a| a == "--out");
-    let out = match out_flag {
-        Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--out needs a path");
-            std::process::exit(2);
-        }),
-        None => "BENCH_flit.json".to_string(),
-    };
     let what = args
         .iter()
         .enumerate()
         .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[*i - 1] != "--out"))
         .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_string());
-    if out_flag.is_some() && what != "bench" {
-        eprintln!("warning: --out only applies to the 'bench' subcommand; nothing will be written");
+    let out = match out_flag {
+        Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--out needs a path");
+            std::process::exit(2);
+        }),
+        None if what == "server" => "BENCH_server.json".to_string(),
+        None => "BENCH_flit.json".to_string(),
+    };
+    if out_flag.is_some() && what != "bench" && what != "server" {
+        eprintln!(
+            "warning: --out only applies to the 'bench' and 'server' subcommands; nothing will be written"
+        );
     }
 
     println!(
@@ -279,6 +397,7 @@ fn main() {
         "fig9" => run_fig9(),
         "queues" => run_queues(),
         "bench" => run_bench(&scale, quick, &out),
+        "server" => run_server_bench(&scale, quick, &out),
         "summary" => summary(&scale),
         "all" => {
             run_fig5();
@@ -291,7 +410,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}': expected fig5|fig6|fig7|fig8|fig9|queues|bench|summary|all"
+                "unknown experiment '{other}': expected fig5|fig6|fig7|fig8|fig9|queues|bench|server|summary|all"
             );
             std::process::exit(2);
         }

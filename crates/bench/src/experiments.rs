@@ -9,9 +9,11 @@
 
 use flit_pmem::{ElisionMode, LatencyModel};
 use flit_workload::{
-    run_case, run_queue_case, Case, DsKind, DurKind, PolicyKind, QueueCase, QueueWorkloadConfig,
-    WorkloadConfig, QUEUE_DURS,
+    run_case, run_case_observed, run_queue_case, Case, DsKind, DurKind, PolicyKind, QueueCase,
+    QueueWorkloadConfig, WorkloadConfig, QUEUE_DURS,
 };
+
+use crate::hist::LatencyHistogram;
 
 /// How big to make each experiment.
 #[derive(Debug, Clone, Copy)]
@@ -271,6 +273,11 @@ pub struct BenchRecord {
     pub pfences_per_op: f64,
     /// Fences skipped by elision, per operation.
     pub elided_pfences_per_op: f64,
+    /// Median per-operation latency in nanoseconds (log₂-bucketed; see
+    /// [`LatencyHistogram`]).
+    pub p50_ns: u64,
+    /// 99th-percentile per-operation latency in nanoseconds.
+    pub p99_ns: u64,
 }
 
 /// The update percentage of the benchmark baseline: the read-mostly (95% lookup)
@@ -309,7 +316,9 @@ pub fn bench_baseline(scale: &Scale) -> Vec<BenchRecord> {
                     latency: LatencyModel::optane(),
                     elision,
                 };
-                let r = run_case(&c);
+                let hist = LatencyHistogram::new();
+                let observe = |ns: u64| hist.record(ns);
+                let r = run_case_observed(&c, Some(&observe));
                 records.push(BenchRecord {
                     structure: ds.name().to_string(),
                     policy: policy.name(),
@@ -319,6 +328,8 @@ pub fn bench_baseline(scale: &Scale) -> Vec<BenchRecord> {
                     pwbs_per_op: r.pwbs_per_op(),
                     pfences_per_op: r.pfences_per_op(),
                     elided_pfences_per_op: r.pmem.elided_pfences as f64 / r.total_ops as f64,
+                    p50_ns: hist.p50(),
+                    p99_ns: hist.p99(),
                 });
             }
         }
@@ -496,6 +507,10 @@ mod tests {
                 off.pfences_per_op
             );
             assert!(on.elided_pfences_per_op > 0.0);
+            assert!(
+                on.p50_ns > 0 && on.p99_ns >= on.p50_ns,
+                "latency percentiles populated"
+            );
             // Figure 9 invariance: the plain baseline's pwb stream is identical in
             // both modes (it opts out of read-flush dedup). Concurrent CAS retries
             // add scheduling noise, so compare with a small tolerance here; the

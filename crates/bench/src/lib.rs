@@ -10,10 +10,21 @@
 //!   flit-instruction costs and small end-to-end map workloads, for regression
 //!   tracking rather than paper reproduction.
 //!
+//! The `repro -- server` subcommand additionally runs the [`server_experiments`]
+//! family: the sharded `flit-server` request loop under closed- and open-loop
+//! arrival, recorded to `BENCH_server.json` with latency percentiles from the
+//! dependency-free [`hist::LatencyHistogram`].
+//!
 //! This library crate holds the experiment definitions shared by both.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod hist;
+pub mod server_experiments;
 
 pub use experiments::{Scale, SCALE_FULL, SCALE_QUICK};
+pub use hist::LatencyHistogram;
+pub use server_experiments::{
+    server_baseline, server_crash_smoke, ServerBenchRecord, ServerCrashSummary, ServerPolicy,
+};

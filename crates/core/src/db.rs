@@ -56,7 +56,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use flit_alloc::{Arena, ImageHeader};
+use flit_alloc::{Arena, ArenaConfig, ImageHeader};
 use flit_ebr::{Collector, Guard, LocalHandle};
 use flit_pmem::{
     cache_line_of, CrashImage, ElisionMode, PersistEpoch, PmemBackend, PmemSession, StatsSnapshot,
@@ -192,6 +192,19 @@ impl<P: Policy> FlitDb<P> {
     /// Create (and register) an arena sized for slots of type `T`.
     pub fn new_arena_for<T>(&self, chunk_slots: usize) -> Arc<Arena> {
         self.new_arena(Arena::slot_size_for::<T>(), chunk_slots)
+    }
+
+    /// Create (and register) an arena with an explicit [`ArenaConfig`] — the
+    /// sized-to-shard-share construction path used by multi-arena systems such
+    /// as `flit-server`.
+    pub fn new_arena_cfg(&self, slot_size: usize, config: ArenaConfig) -> Arc<Arena> {
+        self.new_arena(slot_size, config.slots_per_chunk)
+    }
+
+    /// Create (and register) an arena for slots of type `T` with an explicit
+    /// [`ArenaConfig`].
+    pub fn new_arena_for_cfg<T>(&self, config: ArenaConfig) -> Arc<Arena> {
+        self.new_arena_for::<T>(config.slots_per_chunk)
     }
 
     /// Every arena created through this database, in creation order.

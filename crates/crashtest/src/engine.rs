@@ -61,7 +61,7 @@ pub struct SweepSettings {
 
 /// The backend a replay runs against: zero latency, tracking, the given plan, and
 /// the sweep's elision mode.
-fn replay_backend(plan: CrashPlan, elision: ElisionMode) -> SimNvram {
+pub(crate) fn replay_backend(plan: CrashPlan, elision: ElisionMode) -> SimNvram {
     SimNvram::builder()
         .latency(LatencyModel::none())
         .tracking(true)
@@ -73,7 +73,7 @@ fn replay_backend(plan: CrashPlan, elision: ElisionMode) -> SimNvram {
 /// Evenly spaced crash points over `base..=total`, at most `budget` of them
 /// (`budget == 0` selects every point). The first and last points are always
 /// included.
-fn select_points(base: u64, total: u64, budget: usize) -> Vec<u64> {
+pub(crate) fn select_points(base: u64, total: u64, budget: usize) -> Vec<u64> {
     let span = total - base + 1;
     if budget == 0 || budget as u64 >= span {
         return (base..=total).collect();
@@ -244,7 +244,7 @@ where
 /// The image a crash freezes: the plan's capture when the armed index fell inside
 /// this run's event span, the tracker's final (nothing lost) state when it fell at
 /// or past the end — the always-included full-history control point.
-fn frozen_image(
+pub(crate) fn frozen_image(
     plan: &CrashPlan,
     backend: &SimNvram,
     crash_at: Option<u64>,
@@ -264,7 +264,7 @@ fn frozen_image(
 
 /// The model map state after the first `n` operations of `history`, as sorted
 /// `(key, value)` pairs (insert does not overwrite, mirroring `ConcurrentMap`).
-fn map_state(history: &[MapOp], n: usize) -> Vec<(u64, u64)> {
+pub(crate) fn map_state(history: &[MapOp], n: usize) -> Vec<(u64, u64)> {
     let mut model: BTreeMap<u64, u64> = BTreeMap::new();
     for op in &history[..n] {
         match *op {
@@ -307,7 +307,7 @@ fn digest<T: std::fmt::Debug>(items: &[T]) -> String {
 /// Number of operations whose completion boundary lies at or before event `k`
 /// (the plan captures *before* event `k` applies, so a boundary of exactly `k`
 /// means every event of that operation applied).
-fn completed_before(boundaries: &[u64], k: u64) -> usize {
+pub(crate) fn completed_before(boundaries: &[u64], k: u64) -> usize {
     boundaries.partition_point(|&b| b <= k)
 }
 
@@ -315,7 +315,7 @@ fn completed_before(boundaries: &[u64], k: u64) -> usize {
 /// equal the model state after `completed` operations — or, when an operation may
 /// have been in flight at the crash (`in_flight`, false for construction-window
 /// points where no operation had started), after `completed + 1`.
-fn check_prefix<S: PartialEq + std::fmt::Debug>(
+pub(crate) fn check_prefix<S: PartialEq + std::fmt::Debug>(
     actual: &[S],
     truncated: bool,
     state: impl Fn(usize) -> Vec<S>,

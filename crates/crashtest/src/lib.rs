@@ -47,7 +47,11 @@
 //! * [`roundrobin::round_robin_map`] — the controlled scheduler: N explicit
 //!   `FlitHandle`s stepped round-robin on one OS thread, producing a
 //!   byte-reproducible global event stream (the explicit-handle redesign's
-//!   proof-of-concept, seeding the multi-threaded sweep roadmap item).
+//!   proof-of-concept, seeding the multi-threaded sweep roadmap item);
+//! * [`server::sweep_server_crash`] — the service-level sweep: crash exactly one
+//!   shard of a `flit-server` [`KvServer`](flit_server::KvServer) mid-traffic,
+//!   recover it image-only, and check the crashed shard is prefix-consistent
+//!   while every surviving shard holds exactly its full routed history.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -56,11 +60,16 @@ pub mod engine;
 pub mod matrix;
 pub mod report;
 pub mod roundrobin;
+pub mod server;
 
 pub use engine::{sweep_map, sweep_queue, SweepSettings};
 pub use matrix::{run_case, run_matrix, MethodKind, PolicyKind, StructureKind};
 pub use report::{CaseMeta, HistorySpec, SweepReport, Violation};
 pub use roundrobin::{round_robin_map, round_robin_script, RoundRobinTrace, ScriptedStep};
+pub use server::{
+    op_of, round_robin_service, sweep_server_crash, ServerSweepReport, ServerViolation,
+    ServiceTrace,
+};
 
 use flit::PFlag;
 use flit_datastructs::Durability;

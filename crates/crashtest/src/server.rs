@@ -1,0 +1,591 @@
+//! Crash-point sweeps for the sharded KV service (`flit-server`).
+//!
+//! The engine sweeps ([`crate::engine`]) kill *a structure*; this module kills
+//! *one shard of a service* while the other shards keep serving — the failure
+//! model the sharded server exists to exercise. The mechanics carry over
+//! unchanged because each shard owns its own backend: the crashed shard's
+//! backend carries the armed [`CrashPlan`], the survivors carry plain tracking
+//! backends, and the shard's event stream is exactly as stable and absolute as
+//! a single structure's (one OS thread, deterministic routing, arena layout).
+//!
+//! What a sweep checks, per crash point `k` of the crashed shard's stream:
+//!
+//! * **Crashed shard**: the state recovered purely from the frozen image must
+//!   be prefix-consistent with the subsequence of requests *routed to that
+//!   shard* — after `c` completed requests, `state(c)` or `state(c + 1)`
+//!   ([`crate::engine`]'s `check_prefix`, verbatim). The subsequence is
+//!   derivable because routing is a pure function of `(key, shard count)`.
+//! * **Surviving shards**: recovered from their trackers' final images, they
+//!   must hold **exactly** their full routed history — a crash elsewhere in the
+//!   service is no excuse to lose anything. Prefix consistency would be too
+//!   weak here; the survivors never crashed.
+//!
+//! Note the crashed shard's stream includes its *mailbox* traffic (the mailbox
+//! lives in the shard's database on purpose), so the sweep also crashes
+//! mid-enqueue and mid-dequeue of the request queue — the recovered map must
+//! shrug those off, because a request whose token was still queued never
+//! started applying.
+//!
+//! [`round_robin_service`] is the determinism companion: the same single-thread
+//! drive with logging plans on *every* shard, serialising each shard's complete
+//! event-kind stream. Two runs must be byte-identical — the property that makes
+//! the absolute crash indices above meaningful.
+
+use std::collections::BTreeMap;
+
+use flit::{FlitDb, Policy};
+use flit_datastructs::{ConcurrentMap, MapCrashRecovery, RecoveredMap};
+use flit_pmem::{CrashEventKind, CrashPlan, ElisionMode, LatencyModel, SimNvram};
+use flit_server::{KvServer, Op, Reply, ServerConfig};
+use flit_workload::MapOp;
+
+use crate::engine::{
+    check_prefix, completed_before, frozen_image, map_state, replay_backend, select_points,
+    SweepSettings,
+};
+
+/// The service request corresponding to one crash-history map operation.
+pub fn op_of(op: &MapOp) -> Op {
+    match *op {
+        MapOp::Insert(k, v) => Op::Put(k, v),
+        MapOp::Remove(k) => Op::Del(k),
+        MapOp::Get(k) => Op::Get(k),
+    }
+}
+
+/// The reply a sequential model predicts for `op`, applying it to `model`.
+fn expected_reply(model: &mut BTreeMap<u64, u64>, op: &Op) -> Reply {
+    match *op {
+        Op::Get(k) => model.get(&k).copied().map_or(Reply::Missing, Reply::Found),
+        Op::Put(k, v) => {
+            if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                e.insert(v);
+                Reply::Inserted
+            } else {
+                Reply::Exists
+            }
+        }
+        Op::Del(k) => {
+            if model.remove(&k).is_some() {
+                Reply::Deleted
+            } else {
+                Reply::Absent
+            }
+        }
+    }
+}
+
+/// Outcome of one single-threaded service replay. All event counts are the
+/// *crashed shard's*; survivor recoveries are captured only on armed runs.
+struct ServiceReplay {
+    base: u64,
+    boundaries: Vec<u64>,
+    total: u64,
+    routes: Vec<usize>,
+    recovered: Option<(RecoveredMap, &'static str)>,
+    survivors: Vec<(usize, RecoveredMap)>,
+    functional: Option<(usize, String)>,
+}
+
+/// Drive `history` through a fresh `shards`-shard server on the calling thread,
+/// with shard `crash_shard`'s backend armed at `crash_at` (counting when
+/// `None`). Mirrors the engine's `replay_map`, with the request pump — mailbox
+/// included — as the replayed operation.
+fn replay_service<P, M, F>(
+    factory: &F,
+    shards: usize,
+    crash_shard: usize,
+    history: &[MapOp],
+    crash_at: Option<u64>,
+    run_history: bool,
+    elision: ElisionMode,
+) -> ServiceReplay
+where
+    P: Policy<Backend = SimNvram>,
+    M: ConcurrentMap<P> + MapCrashRecovery<P>,
+    F: Fn(SimNvram) -> P,
+{
+    let plan = match crash_at {
+        Some(k) => CrashPlan::armed_at(k),
+        None => CrashPlan::counting(),
+    };
+    let backends: Vec<SimNvram> = (0..shards)
+        .map(|i| {
+            if i == crash_shard {
+                replay_backend(plan.clone(), elision)
+            } else {
+                SimNvram::builder()
+                    .latency(LatencyModel::none())
+                    .tracking(true)
+                    .elision(elision)
+                    .build()
+            }
+        })
+        .collect();
+    let server: KvServer<P, M> = KvServer::new_with(ServerConfig::new(shards, 64 * shards), |i| {
+        FlitDb::create(factory(backends[i].clone()))
+    });
+    let base = plan.events_seen();
+    let slab: Vec<Vec<u8>> = history.iter().map(|op| op_of(op).encode()).collect();
+    let mut models: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); shards];
+    let mut boundaries = Vec::new();
+    let mut routes = Vec::with_capacity(history.len());
+    let mut functional = None;
+    if run_history {
+        let handles = server.handles();
+        for (i, bytes) in slab.iter().enumerate() {
+            let op = Op::decode(bytes).expect("slab holds well-formed requests");
+            let sid = server.route(op.key());
+            routes.push(sid);
+            let (served, reply_bytes) = server
+                .pump(&handles, &slab, i as u64)
+                .expect("slab holds well-formed requests");
+            assert_eq!(
+                served, i as u64,
+                "a single-threaded pump serves its own post"
+            );
+            let got = Reply::decode(&reply_bytes).expect("shards emit well-formed replies");
+            let want = expected_reply(&mut models[sid], &op);
+            if got != want && functional.is_none() {
+                functional = Some((
+                    sid,
+                    format!("request {i} ({op:?}) replied {got:?} but the model says {want:?}"),
+                ));
+            }
+            if sid == crash_shard {
+                boundaries.push(plan.events_seen());
+            }
+        }
+        drop(handles); // any dirty handle fences land inside the swept span
+    }
+    let total = plan.events_seen();
+    let recovered = frozen_image(&plan, &backends[crash_shard], crash_at).map(|(image, kind)| {
+        (
+            server.shard(crash_shard).map().recover_from_image(&image),
+            kind,
+        )
+    });
+    let survivors = if crash_at.is_some() && run_history {
+        (0..shards)
+            .filter(|&s| s != crash_shard)
+            .map(|s| {
+                let image = backends[s]
+                    .tracker()
+                    .expect("survivors track")
+                    .crash_image();
+                (s, server.shard(s).map().recover_from_image(&image))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    ServiceReplay {
+        base,
+        boundaries,
+        total,
+        routes,
+        recovered,
+        survivors,
+        functional,
+    }
+}
+
+/// One durability violation found by a server crash sweep.
+#[derive(Debug, Clone)]
+pub struct ServerViolation {
+    /// Absolute crash index on the crashed shard's event stream.
+    pub crash_event: u64,
+    /// The shard whose recovered state was wrong.
+    pub shard: usize,
+    /// Event kind the plan triggered on (`"end"` for the nothing-lost control,
+    /// `"live-run"` for functional mismatches, `"survivor"` for survivor-side
+    /// losses).
+    pub triggered_on: String,
+    /// Requests routed to that shard that had completed before the crash.
+    pub completed_ops: usize,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+/// The outcome of one server crash sweep: one crashed shard, every selected
+/// crash point, crashed-shard prefix consistency plus survivor exactness.
+#[derive(Debug, Clone)]
+pub struct ServerSweepReport {
+    /// Label of the swept configuration (policy/structure name).
+    pub label: String,
+    /// Total shard count.
+    pub shards: usize,
+    /// The shard that was crashed.
+    pub crash_shard: usize,
+    /// Events the crashed shard's construction generated.
+    pub events_construction: u64,
+    /// Total events on the crashed shard's stream.
+    pub events_total: u64,
+    /// Requests in the driven history, across all shards.
+    pub requests_total: usize,
+    /// Requests the router sent to the crashed shard.
+    pub requests_crashed_shard: usize,
+    /// Crash points injected.
+    pub points_tested: usize,
+    /// Violations found (empty for a correct configuration).
+    pub violations: Vec<ServerViolation>,
+}
+
+impl ServerSweepReport {
+    /// `true` when no violation was found.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} shards (crashed {}), {}/{} requests on the crashed shard, \
+             events {}..{}, {} points, {} violations",
+            self.label,
+            self.shards,
+            self.crash_shard,
+            self.requests_crashed_shard,
+            self.requests_total,
+            self.events_construction,
+            self.events_total,
+            self.points_tested,
+            self.violations.len()
+        )
+    }
+}
+
+/// Sweep crash points across one shard of a service while the other shards keep
+/// serving. `history` is the global request stream; the crashed shard's checked
+/// subsequence is derived from the (pure) routing function. See the module docs
+/// for the exact per-point obligations.
+pub fn sweep_server_crash<P, M, F>(
+    label: &str,
+    factory: F,
+    shards: usize,
+    crash_shard: usize,
+    history: &[MapOp],
+    settings: &SweepSettings,
+) -> ServerSweepReport
+where
+    P: Policy<Backend = SimNvram>,
+    M: ConcurrentMap<P> + MapCrashRecovery<P>,
+    F: Fn(SimNvram) -> P,
+{
+    assert!(crash_shard < shards, "crash shard must exist");
+    let counting = replay_service::<P, M, F>(
+        &factory,
+        shards,
+        crash_shard,
+        history,
+        None,
+        true,
+        settings.elision,
+    );
+    // Per-shard routed subsequences, from the counting pass's recorded routes
+    // (identical on every replay: routing is a pure function of key and count).
+    let subs: Vec<Vec<MapOp>> = (0..shards)
+        .map(|s| {
+            history
+                .iter()
+                .zip(&counting.routes)
+                .filter(|&(_, &r)| r == s)
+                .map(|(op, _)| *op)
+                .collect()
+        })
+        .collect();
+    let crashed_sub = &subs[crash_shard];
+    let points = match settings.crash_at {
+        Some(k) => vec![k.min(counting.total)],
+        None => select_points(0, counting.total, settings.budget),
+    };
+    let mut violations = Vec::new();
+    if let Some((s, detail)) = counting.functional {
+        violations.push(ServerViolation {
+            crash_event: 0,
+            shard: s,
+            triggered_on: "live-run".to_string(),
+            completed_ops: 0,
+            detail,
+        });
+    }
+    for &k in &points {
+        let in_flight = k >= counting.base;
+        let run = replay_service::<P, M, F>(
+            &factory,
+            shards,
+            crash_shard,
+            history,
+            Some(k),
+            in_flight,
+            settings.elision,
+        );
+        // The engine's determinism invariant, per shard: every replay reproduces
+        // the counting pass's absolute event stream on the crashed shard.
+        assert_eq!(
+            run.base, counting.base,
+            "event-stream determinism broke: construction span drifted between replays"
+        );
+        if in_flight {
+            assert_eq!(
+                run.total, counting.total,
+                "event-stream determinism broke: total span drifted between replays"
+            );
+        }
+        let (recovered, kind) = run.recovered.expect("crash point was armed");
+        let completed = completed_before(&run.boundaries, k);
+        if let Some((s, detail)) = run.functional {
+            violations.push(ServerViolation {
+                crash_event: k,
+                shard: s,
+                triggered_on: "live-run".to_string(),
+                completed_ops: completed,
+                detail,
+            });
+        }
+        let actual = recovered.sorted_pairs();
+        if let Some(detail) = check_prefix(
+            &actual,
+            recovered.truncated,
+            |n| map_state(crashed_sub, n),
+            crashed_sub.len(),
+            completed,
+            in_flight,
+        ) {
+            violations.push(ServerViolation {
+                crash_event: k,
+                shard: crash_shard,
+                triggered_on: kind.to_string(),
+                completed_ops: completed,
+                detail,
+            });
+        }
+        for (s, rec) in run.survivors {
+            let want = map_state(&subs[s], subs[s].len());
+            let got = rec.sorted_pairs();
+            if rec.truncated || got != want {
+                violations.push(ServerViolation {
+                    crash_event: k,
+                    shard: s,
+                    triggered_on: "survivor".to_string(),
+                    completed_ops: subs[s].len(),
+                    detail: format!(
+                        "surviving shard {s} must hold exactly its full history: \
+                         recovered {} pairs, expected {}{}",
+                        got.len(),
+                        want.len(),
+                        if rec.truncated {
+                            " (recovery walk truncated)"
+                        } else {
+                            ""
+                        }
+                    ),
+                });
+            }
+        }
+    }
+    ServerSweepReport {
+        label: label.to_string(),
+        shards,
+        crash_shard,
+        events_construction: counting.base,
+        events_total: counting.total,
+        requests_total: history.len(),
+        requests_crashed_shard: crashed_sub.len(),
+        points_tested: points.len(),
+        violations,
+    }
+}
+
+/// The trace of one deterministic single-threaded service drive: where each
+/// request routed, every reply byte-for-byte, and each shard's complete
+/// persistence-event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceTrace {
+    /// Shard count.
+    pub shards: usize,
+    /// The shard each request routed to, in request order.
+    pub routes: Vec<usize>,
+    /// Encoded reply of each request, in request order.
+    pub replies: Vec<Vec<u8>>,
+    /// Serialised per-shard event streams (construction span, total, kinds).
+    pub shard_streams: Vec<String>,
+}
+
+impl ServiceTrace {
+    /// Serialise the whole trace into one comparable string. Two drives of one
+    /// `(history, shards, elision)` triple must produce **byte-identical**
+    /// results — the property the shard-routing test asserts, and what makes
+    /// the absolute crash indices of [`sweep_server_crash`] reproducible.
+    pub fn stream_string(&self) -> String {
+        let routes: Vec<String> = self.routes.iter().map(|r| r.to_string()).collect();
+        let replies: Vec<String> = self
+            .replies
+            .iter()
+            .map(|r| r.iter().map(|b| format!("{b:02x}")).collect::<String>())
+            .collect();
+        format!(
+            "shards={} routes=[{}] replies=[{}] {}",
+            self.shards,
+            routes.join(","),
+            replies.join(","),
+            self.shard_streams.join(" ")
+        )
+    }
+}
+
+/// Drive `history` through a fresh `shards`-shard server on the calling thread
+/// with a logging plan on **every** shard, and serialise the result. The service
+/// analogue of [`crate::round_robin_map`].
+pub fn round_robin_service<P, M, F>(
+    factory: &F,
+    shards: usize,
+    history: &[MapOp],
+    elision: ElisionMode,
+) -> ServiceTrace
+where
+    P: Policy<Backend = SimNvram>,
+    M: ConcurrentMap<P>,
+    F: Fn(SimNvram) -> P,
+{
+    assert!(shards > 0, "at least one shard");
+    let plans: Vec<CrashPlan> = (0..shards).map(|_| CrashPlan::counting_logged()).collect();
+    let backends: Vec<SimNvram> = plans
+        .iter()
+        .map(|p| {
+            SimNvram::builder()
+                .latency(LatencyModel::none())
+                .tracking(true)
+                .crash_plan(p.clone())
+                .elision(elision)
+                .build()
+        })
+        .collect();
+    let server: KvServer<P, M> = KvServer::new_with(ServerConfig::new(shards, 64 * shards), |i| {
+        FlitDb::create(factory(backends[i].clone()))
+    });
+    let construction: Vec<u64> = plans.iter().map(|p| p.events_seen()).collect();
+    let slab: Vec<Vec<u8>> = history.iter().map(|op| op_of(op).encode()).collect();
+    let handles = server.handles();
+    let mut routes = Vec::with_capacity(history.len());
+    let mut replies = Vec::with_capacity(history.len());
+    for (i, bytes) in slab.iter().enumerate() {
+        let op = Op::decode(bytes).expect("slab holds well-formed requests");
+        routes.push(server.route(op.key()));
+        let (_, reply) = server
+            .pump(&handles, &slab, i as u64)
+            .expect("slab holds well-formed requests");
+        replies.push(reply);
+    }
+    drop(handles); // dirty handle fences land inside the per-shard streams
+    let shard_streams = (0..shards)
+        .map(|s| {
+            let kinds: String = plans[s]
+                .event_log()
+                .iter()
+                .map(|k| match k {
+                    CrashEventKind::Store => 'S',
+                    CrashEventKind::Pwb => 'W',
+                    CrashEventKind::Pfence => 'F',
+                })
+                .collect();
+            format!(
+                "shard{s}[construction={} total={} stream={}]",
+                construction[s],
+                plans[s].events_seen(),
+                kinds
+            )
+        })
+        .collect();
+    ServiceTrace {
+        shards,
+        routes,
+        replies,
+        shard_streams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VolatileStores;
+    use flit::presets;
+    use flit::{FlitPolicy, HashedScheme};
+    use flit_datastructs::{Automatic, HashTable};
+    use flit_workload::random_map_history;
+
+    type P = FlitPolicy<HashedScheme, SimNvram>;
+
+    fn factory(b: SimNvram) -> P {
+        presets::flit_ht_sized(b, 1 << 12)
+    }
+
+    #[test]
+    fn op_conversion_is_faithful() {
+        assert_eq!(op_of(&MapOp::Insert(3, 30)), Op::Put(3, 30));
+        assert_eq!(op_of(&MapOp::Remove(3)), Op::Del(3));
+        assert_eq!(op_of(&MapOp::Get(3)), Op::Get(3));
+    }
+
+    #[test]
+    fn flit_ht_one_shard_crash_sweep_is_clean() {
+        let history = random_map_history(7, 40, 16);
+        let report = sweep_server_crash::<P, HashTable<P, Automatic>, _>(
+            "flit-ht",
+            factory,
+            2,
+            0,
+            &history,
+            &SweepSettings {
+                budget: 10,
+                ..Default::default()
+            },
+        );
+        assert!(report.clean(), "{:#?}", report.violations);
+        assert!(
+            report.requests_crashed_shard > 0,
+            "router starved the shard"
+        );
+        assert!(
+            report.requests_crashed_shard < report.requests_total,
+            "the surviving shard must see traffic too"
+        );
+        assert_eq!(report.points_tested, 10);
+        assert!(report.summary().contains("0 violations"));
+    }
+
+    #[test]
+    fn broken_control_is_caught_through_the_service_path() {
+        let history = random_map_history(7, 40, 16);
+        let report = sweep_server_crash::<P, HashTable<P, VolatileStores>, _>(
+            "volatile-broken",
+            factory,
+            2,
+            0,
+            &history,
+            &SweepSettings {
+                budget: 10,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !report.clean(),
+            "a sweep over the broken control that finds nothing means the harness is broken"
+        );
+    }
+
+    #[test]
+    fn service_traces_are_byte_reproducible() {
+        let history = random_map_history(3, 30, 16);
+        let run = || {
+            round_robin_service::<P, HashTable<P, Automatic>, _>(
+                &factory,
+                3,
+                &history,
+                ElisionMode::Enabled,
+            )
+            .stream_string()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -22,7 +22,7 @@
 use std::sync::Arc;
 
 use flit::{FlitDb, FlitHandle, Policy};
-use flit_alloc::{roots, Arena};
+use flit_alloc::{roots, Arena, ArenaConfig};
 use flit_pmem::{CrashImage, PmemBackend, CACHE_LINE_SIZE, WORD_SIZE};
 
 use crate::durability::Durability;
@@ -42,12 +42,22 @@ impl<P: Policy, D: Durability> HashTable<P, D> {
     /// Create a table in `db` with roughly one bucket per expected key
     /// (`capacity_hint`), rounded up to a power of two and at least 64 buckets.
     pub fn new(db: &FlitDb<P>, capacity_hint: usize) -> Self {
+        Self::with_config(db, capacity_hint, ArenaConfig::default())
+    }
+
+    /// [`HashTable::new`] with an explicit node-arena [`ArenaConfig`], so a
+    /// shard-sized table can grow its arena in shard-sized steps. The requested
+    /// chunk slot-count is raised when needed: a chunk must fit the bucket
+    /// directory contiguously.
+    pub fn with_config(db: &FlitDb<P>, capacity_hint: usize, config: ArenaConfig) -> Self {
         let buckets_len = capacity_hint.next_power_of_two().max(64);
         // One shared arena for every bucket's nodes plus the directory block. The
         // chunk size must fit the directory contiguously.
         let dir_bytes = (buckets_len + 1) * WORD_SIZE;
         let node_slot = Arena::slot_size_for::<Node<P>>();
-        let chunk_slots = 1024usize.max(2 * dir_bytes.div_ceil(node_slot));
+        let chunk_slots = config
+            .slots_per_chunk
+            .max(2 * dir_bytes.div_ceil(node_slot));
         let arena = db.new_arena(node_slot, chunk_slots);
         let buckets: Vec<HarrisList<P, D>> = (0..buckets_len)
             .map(|_| HarrisList::with_arena(db, Arc::clone(&arena), None))
@@ -149,6 +159,10 @@ impl<P: Policy, D: Durability> ConcurrentMap<P> for HashTable<P, D> {
 
     fn with_capacity(db: &FlitDb<P>, capacity_hint: usize) -> Self {
         Self::new(db, capacity_hint)
+    }
+
+    fn with_capacity_cfg(db: &FlitDb<P>, capacity_hint: usize, config: ArenaConfig) -> Self {
+        Self::with_config(db, capacity_hint, config)
     }
 
     fn get(&self, h: &FlitHandle<'_, P>, key: u64) -> Option<u64> {

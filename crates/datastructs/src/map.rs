@@ -6,6 +6,7 @@
 //! implementations used in the evaluation.
 
 use flit::{FlitDb, FlitHandle, Policy};
+use flit_alloc::ArenaConfig;
 
 /// A concurrent ordered or unordered map from `u64` keys to `u64` values, generic
 /// over the persistence [`Policy`].
@@ -26,6 +27,19 @@ pub trait ConcurrentMap<P: Policy>: Send + Sync {
     /// Build an empty map in `db`, expected to hold roughly `capacity_hint` keys
     /// (used by the hash table to size its bucket array; ignored by the others).
     fn with_capacity(db: &FlitDb<P>, capacity_hint: usize) -> Self;
+
+    /// [`ConcurrentMap::with_capacity`] with an explicit arena sizing config, so
+    /// multi-instance systems (one map per shard) can grow each map's arena in
+    /// instance-sized steps. The default implementation ignores the config —
+    /// structures whose node arenas are sized by their own internal rules keep
+    /// those rules; the hash table honours it.
+    fn with_capacity_cfg(db: &FlitDb<P>, capacity_hint: usize, config: ArenaConfig) -> Self
+    where
+        Self: Sized,
+    {
+        let _ = config;
+        Self::with_capacity(db, capacity_hint)
+    }
 
     /// Look up `key`, returning its value if present.
     fn get(&self, h: &FlitHandle<'_, P>, key: u64) -> Option<u64>;

@@ -44,15 +44,12 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use flit::{FlitDb, FlitHandle, PFlag, PersistWord, Policy};
-use flit_alloc::{roots, Arena};
+use flit_alloc::{roots, Arena, ArenaConfig};
 use flit_datastructs::Durability;
 use flit_ebr::Guard;
 use flit_pmem::CrashImage;
 
 use crate::queue::ConcurrentQueue;
-
-/// Slots per arena chunk for queue nodes.
-const QUEUE_CHUNK_SLOTS: usize = 1024;
 
 /// A node of the queue. Both fields are written once through the private-store path
 /// before the node is published, so they are recorded with the persistence tracker
@@ -161,7 +158,14 @@ impl<P: Policy, D: Durability> MsQueue<P, D> {
     /// *any* construction event recovers to either "no queue yet" or the empty
     /// queue, never garbage. Construction runs under a temporary handle of `db`.
     pub fn new(db: &FlitDb<P>) -> Self {
-        let arena = db.new_arena_for::<Node<P>>(QUEUE_CHUNK_SLOTS);
+        Self::with_config(db, ArenaConfig::default())
+    }
+
+    /// [`MsQueue::new`] with an explicit node-arena [`ArenaConfig`], so a queue
+    /// expected to stay short (a per-shard request mailbox, say) grows its arena
+    /// in small steps instead of the default chunk size.
+    pub fn with_config(db: &FlitDb<P>, config: ArenaConfig) -> Self {
+        let arena = db.new_arena_for_cfg::<Node<P>>(config);
         let h = db.handle();
         let sentinel = Node::<P>::alloc(&h, &arena, 0, PFlag::Persisted) as usize;
         let roots: *mut Roots<P> = arena.alloc_init(

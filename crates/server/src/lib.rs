@@ -1,0 +1,67 @@
+//! # `flit-server` — a sharded durable KV service on top of [`FlitDb`]
+//!
+//! The paper's pitch is that FliT makes whole persistent *systems* cheap to
+//! build correctly, not just single structures. This crate is that claim at
+//! system scale in miniature: a key-value service of `N` independent shards,
+//! where every piece of the request path — the map holding the data *and* the
+//! queue carrying the requests — is a durably linearizable structure from this
+//! workspace, persisted through the same P-V interface.
+//!
+//! ## A shard is (arena, map, mailbox, handle)
+//!
+//! Each [`Shard`] owns its own [`FlitDb`] — and therefore its own backend, its
+//! own persistence-event stream, its own statistics, and its own crash images:
+//!
+//! * **arena** — the shard's map and mailbox allocate from `flit-alloc` arenas
+//!   created in the shard's database, sized to the shard's *share* of the load
+//!   via [`ArenaConfig`](flit_alloc::ArenaConfig) rather than full-load size;
+//!   the arenas' recovery-root tables are what make the shard image-recoverable.
+//! * **map** — any [`ConcurrentMap`](flit_datastructs::ConcurrentMap) (the
+//!   benchmarks default to the hash table under the flit-HT policy); it holds
+//!   exactly the keys that hash-route to this shard.
+//! * **mailbox** — a per-shard Michael–Scott queue
+//!   ([`MsQueue`](flit_queues::MsQueue)) of pending request tokens. It lives in
+//!   the shard's database on purpose: queueing a request is part of the shard's
+//!   durable instruction stream, so a crash can land *between* accepting a
+//!   request and applying it — exactly the window a durable service has to get
+//!   right.
+//! * **handle** — threads never share sessions: each worker holds one
+//!   [`FlitHandle`](flit::FlitHandle) per shard it touches (see
+//!   [`KvServer::handles`]), so persist-epoch fence elision works per
+//!   (worker, shard) exactly as it does per thread in the single-structure
+//!   benchmarks.
+//!
+//! Requests are routed to shards by a Fibonacci hash of the key
+//! ([`KvServer::route`]) — a pure function of `(key, shard_count)`, so placement
+//! is reproducible across runs and machines.
+//!
+//! ## The wire protocol
+//!
+//! Requests and replies are small byte strings ([`proto`]): one tag byte plus
+//! little-endian words, hand-rolled, no serde. The service loop is strictly
+//! *bytes in → [`Op`] → bytes out*; [`KvServer::pump`] is that loop including
+//! the mailbox hop, [`Shard::serve_bytes`] the direct variant.
+//!
+//! ## Why cross-shard operations are out of scope
+//!
+//! Every request touches exactly one shard, so per-shard durable
+//! linearizability composes into service-wide correctness for free: a crash of
+//! one shard loses at most that shard's in-flight request, and recovery is the
+//! existing image-only per-structure path, shard by shard. A multi-key
+//! operation (transactions, scans) would break that independence — it needs a
+//! cross-shard commit protocol with its own persistence ordering, which is a
+//! different paper. The crash harness leans on the same independence: it crashes
+//! one shard at a stable absolute event index *of that shard's backend* while
+//! the other shards keep serving, then checks each shard against its own
+//! history — see `flit_crashtest::server`.
+//!
+//! [`FlitDb`]: flit::FlitDb
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod proto;
+pub mod server;
+
+pub use proto::{Op, ProtoError, Reply};
+pub use server::{KvServer, ServerConfig, Shard, MAILBOX_CHUNK_SLOTS};

@@ -1,0 +1,244 @@
+//! The wire protocol: a tiny, hand-rolled byte encoding for requests and replies.
+//!
+//! Requests are one [`Op`] each — `Get`, `Put` or `Del` over 64-bit keys and
+//! values — encoded as a single tag byte followed by little-endian words. No
+//! framing, no varints, no serde: the encoding is small enough to write by hand
+//! and fully round-trips (`decode(encode(op)) == op`), which the unit tests pin
+//! down byte for byte. Replies mirror the map's semantics: `insert` does not
+//! overwrite and `remove` of an absent key is a no-op, so every mutation reply
+//! says which of the two outcomes happened.
+//!
+//! Malformed input never panics: [`Op::decode`] and [`Reply::decode`] return a
+//! [`ProtoError`] for truncated buffers, unknown tags and trailing garbage.
+
+/// One request of the KV service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Look up a key.
+    Get(u64),
+    /// Insert `(key, value)`; does not overwrite an existing key.
+    Put(u64, u64),
+    /// Remove a key.
+    Del(u64),
+}
+
+/// One reply of the KV service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reply {
+    /// `Get` found the key; carries its value.
+    Found(u64),
+    /// `Get` did not find the key.
+    Missing,
+    /// `Put` inserted the key.
+    Inserted,
+    /// `Put` found the key already present (no overwrite).
+    Exists,
+    /// `Del` removed the key.
+    Deleted,
+    /// `Del` found the key absent.
+    Absent,
+}
+
+/// Why a byte buffer failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// The leading tag byte names no known message.
+    BadTag(u8),
+    /// Bytes remained after a complete message.
+    Trailing,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "buffer ended before the message did"),
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            ProtoError::Trailing => write!(f, "trailing bytes after a complete message"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+const TAG_GET: u8 = 0x01;
+const TAG_PUT: u8 = 0x02;
+const TAG_DEL: u8 = 0x03;
+const TAG_FOUND: u8 = 0x81;
+const TAG_MISSING: u8 = 0x82;
+const TAG_INSERTED: u8 = 0x83;
+const TAG_EXISTS: u8 = 0x84;
+const TAG_DELETED: u8 = 0x85;
+const TAG_ABSENT: u8 = 0x86;
+
+/// Split one little-endian `u64` off the front of `buf`.
+fn take_u64(buf: &[u8]) -> Result<(u64, &[u8]), ProtoError> {
+    if buf.len() < 8 {
+        return Err(ProtoError::Truncated);
+    }
+    let (word, rest) = buf.split_at(8);
+    Ok((u64::from_le_bytes(word.try_into().unwrap()), rest))
+}
+
+fn done<T>(value: T, rest: &[u8]) -> Result<T, ProtoError> {
+    if rest.is_empty() {
+        Ok(value)
+    } else {
+        Err(ProtoError::Trailing)
+    }
+}
+
+impl Op {
+    /// Append this request's encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            Op::Get(k) => {
+                out.push(TAG_GET);
+                out.extend_from_slice(&k.to_le_bytes());
+            }
+            Op::Put(k, v) => {
+                out.push(TAG_PUT);
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Op::Del(k) => {
+                out.push(TAG_DEL);
+                out.extend_from_slice(&k.to_le_bytes());
+            }
+        }
+    }
+
+    /// This request's encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(17);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode one request occupying the whole buffer.
+    pub fn decode(buf: &[u8]) -> Result<Op, ProtoError> {
+        let (&tag, rest) = buf.split_first().ok_or(ProtoError::Truncated)?;
+        match tag {
+            TAG_GET => {
+                let (k, rest) = take_u64(rest)?;
+                done(Op::Get(k), rest)
+            }
+            TAG_PUT => {
+                let (k, rest) = take_u64(rest)?;
+                let (v, rest) = take_u64(rest)?;
+                done(Op::Put(k, v), rest)
+            }
+            TAG_DEL => {
+                let (k, rest) = take_u64(rest)?;
+                done(Op::Del(k), rest)
+            }
+            other => Err(ProtoError::BadTag(other)),
+        }
+    }
+
+    /// The key this request addresses — what shard routing hashes.
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Get(k) | Op::Put(k, _) | Op::Del(k) => k,
+        }
+    }
+}
+
+impl Reply {
+    /// Append this reply's encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            Reply::Found(v) => {
+                out.push(TAG_FOUND);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Reply::Missing => out.push(TAG_MISSING),
+            Reply::Inserted => out.push(TAG_INSERTED),
+            Reply::Exists => out.push(TAG_EXISTS),
+            Reply::Deleted => out.push(TAG_DELETED),
+            Reply::Absent => out.push(TAG_ABSENT),
+        }
+    }
+
+    /// This reply's encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode one reply occupying the whole buffer.
+    pub fn decode(buf: &[u8]) -> Result<Reply, ProtoError> {
+        let (&tag, rest) = buf.split_first().ok_or(ProtoError::Truncated)?;
+        match tag {
+            TAG_FOUND => {
+                let (v, rest) = take_u64(rest)?;
+                done(Reply::Found(v), rest)
+            }
+            TAG_MISSING => done(Reply::Missing, rest),
+            TAG_INSERTED => done(Reply::Inserted, rest),
+            TAG_EXISTS => done(Reply::Exists, rest),
+            TAG_DELETED => done(Reply::Deleted, rest),
+            TAG_ABSENT => done(Reply::Absent, rest),
+            other => Err(ProtoError::BadTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_round_trip() {
+        for op in [Op::Get(0), Op::Get(u64::MAX), Op::Put(7, 42), Op::Del(9)] {
+            assert_eq!(Op::decode(&op.encode()), Ok(op));
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for reply in [
+            Reply::Found(0),
+            Reply::Found(u64::MAX),
+            Reply::Missing,
+            Reply::Inserted,
+            Reply::Exists,
+            Reply::Deleted,
+            Reply::Absent,
+        ] {
+            assert_eq!(Reply::decode(&reply.encode()), Ok(reply));
+        }
+    }
+
+    #[test]
+    fn encodings_are_pinned_byte_for_byte() {
+        assert_eq!(Op::Get(1).encode(), vec![0x01, 1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            Op::Put(1, 2).encode(),
+            vec![0x02, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0]
+        );
+        assert_eq!(Op::Del(3).encode(), vec![0x03, 3, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(Reply::Inserted.encode(), vec![0x83]);
+    }
+
+    #[test]
+    fn malformed_buffers_error_without_panicking() {
+        assert_eq!(Op::decode(&[]), Err(ProtoError::Truncated));
+        assert_eq!(Op::decode(&[0x01, 1, 2]), Err(ProtoError::Truncated));
+        assert_eq!(Op::decode(&[0x77]), Err(ProtoError::BadTag(0x77)));
+        let mut long = Op::Get(1).encode();
+        long.push(0);
+        assert_eq!(Op::decode(&long), Err(ProtoError::Trailing));
+        assert_eq!(Reply::decode(&[0x00]), Err(ProtoError::BadTag(0x00)));
+        assert_eq!(Reply::decode(&[0x81, 1]), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn key_extraction() {
+        assert_eq!(Op::Get(5).key(), 5);
+        assert_eq!(Op::Put(6, 1).key(), 6);
+        assert_eq!(Op::Del(7).key(), 7);
+    }
+}

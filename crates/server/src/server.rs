@@ -1,0 +1,303 @@
+//! The sharded server: shard = (database, arena-backed map, mailbox); routing by
+//! key hash; the request pump that drives bytes through a shard.
+
+use flit::{FlitDb, FlitHandle, Policy};
+use flit_alloc::ArenaConfig;
+use flit_datastructs::{Automatic, ConcurrentMap, MAX_USER_KEY};
+use flit_queues::{ConcurrentQueue, MsQueue};
+
+use crate::proto::{Op, ProtoError, Reply};
+
+/// Chunk slot-count of every shard's mailbox arena: mailboxes stay short (they
+/// hold in-flight request tokens, not data), so they grow in small steps.
+pub const MAILBOX_CHUNK_SLOTS: usize = 256;
+
+/// Construction parameters of a [`KvServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Number of shards. Each shard owns its own database, arena, map and
+    /// mailbox; keys are routed by hash.
+    pub shards: usize,
+    /// Expected number of live keys across the whole server. Each shard's map is
+    /// sized for its share (`keys_hint / shards`), and its arena grows in
+    /// share-sized chunks ([`ArenaConfig::for_capacity`]).
+    pub keys_hint: usize,
+}
+
+impl ServerConfig {
+    /// A config with the given shard count and key capacity hint.
+    pub fn new(shards: usize, keys_hint: usize) -> Self {
+        assert!(shards > 0, "a server needs at least one shard");
+        Self { shards, keys_hint }
+    }
+
+    /// This config's per-shard capacity hint.
+    pub fn shard_keys_hint(&self) -> usize {
+        (self.keys_hint / self.shards).max(1)
+    }
+}
+
+/// One shard of the service: its own [`FlitDb`] (and therefore its own backend,
+/// statistics and crash images), an arena-backed map holding its key range, and
+/// an MS-queue request mailbox living in the same database — so mailbox traffic
+/// is part of the shard's durable instruction stream, like the rest of the
+/// service path.
+pub struct Shard<P: Policy, M: ConcurrentMap<P>> {
+    db: FlitDb<P>,
+    map: M,
+    mailbox: MsQueue<P, Automatic>,
+}
+
+impl<P: Policy, M: ConcurrentMap<P>> Shard<P, M> {
+    fn new(db: FlitDb<P>, config: &ServerConfig) -> Self {
+        let hint = config.shard_keys_hint();
+        let map = M::with_capacity_cfg(&db, hint, ArenaConfig::for_capacity(hint));
+        let mailbox =
+            MsQueue::with_config(&db, ArenaConfig::with_slots_per_chunk(MAILBOX_CHUNK_SLOTS));
+        Self { db, map, mailbox }
+    }
+
+    /// The shard's database. Workers create their per-shard sessions here
+    /// (`shard.db().handle()`).
+    pub fn db(&self) -> &FlitDb<P> {
+        &self.db
+    }
+
+    /// The shard's map (for recovery and quiescent inspection).
+    pub fn map(&self) -> &M {
+        &self.map
+    }
+
+    /// The shard's request mailbox.
+    pub fn mailbox(&self) -> &MsQueue<P, Automatic> {
+        &self.mailbox
+    }
+
+    /// Post a request token into the mailbox. Tokens are opaque `u64`s chosen by
+    /// the driver (an index into its request slab); they must keep bit 63 clear
+    /// so every policy — including link-and-persist, which reserves the top bit —
+    /// can carry them.
+    pub fn post(&self, h: &FlitHandle<'_, P>, token: u64) {
+        debug_assert!(token < 1 << 63, "mailbox tokens must keep bit 63 clear");
+        self.mailbox.enqueue(h, token);
+    }
+
+    /// Drain one request token from the mailbox, if any is pending.
+    pub fn take(&self, h: &FlitHandle<'_, P>) -> Option<u64> {
+        self.mailbox.dequeue(h)
+    }
+
+    /// Execute one decoded request against the shard's map. Keys at or above
+    /// [`MAX_USER_KEY`] (the structures' reserved sentinel range) are refused
+    /// conservatively — `Get` misses, `Put` reports the key as taken, `Del`
+    /// reports it absent — instead of panicking on hostile input.
+    pub fn apply(&self, h: &FlitHandle<'_, P>, op: &Op) -> Reply {
+        if op.key() >= MAX_USER_KEY {
+            return match *op {
+                Op::Get(_) => Reply::Missing,
+                Op::Put(..) => Reply::Exists,
+                Op::Del(_) => Reply::Absent,
+            };
+        }
+        match *op {
+            Op::Get(k) => match self.map.get(h, k) {
+                Some(v) => Reply::Found(v),
+                None => Reply::Missing,
+            },
+            Op::Put(k, v) => {
+                if self.map.insert(h, k, v) {
+                    Reply::Inserted
+                } else {
+                    Reply::Exists
+                }
+            }
+            Op::Del(k) => {
+                if self.map.remove(h, k) {
+                    Reply::Deleted
+                } else {
+                    Reply::Absent
+                }
+            }
+        }
+    }
+
+    /// Bytes in → op → bytes out, bypassing the mailbox: decode one request,
+    /// apply it, encode the reply. The direct path used for prefill and for
+    /// single-request probes; the measured service path is
+    /// [`KvServer::pump`].
+    pub fn serve_bytes(
+        &self,
+        h: &FlitHandle<'_, P>,
+        request: &[u8],
+    ) -> Result<Vec<u8>, ProtoError> {
+        let op = Op::decode(request)?;
+        Ok(self.apply(h, &op).encode())
+    }
+}
+
+/// A sharded durable KV service over `N` independent [`Shard`]s.
+///
+/// Generic over the persistence policy `P` (all five P-V interface variants of
+/// the evaluation instantiate) and the map structure `M` (flit-HT-policy hash
+/// table by default in the benchmarks; any [`ConcurrentMap`] works). See the
+/// crate docs for the architecture essay.
+pub struct KvServer<P: Policy, M: ConcurrentMap<P>> {
+    shards: Vec<Shard<P, M>>,
+}
+
+impl<P: Policy, M: ConcurrentMap<P>> KvServer<P, M> {
+    /// Build a server whose shard `i`'s database is produced by `db_factory(i)`.
+    ///
+    /// The factory-per-shard shape is what gives each shard an *independent*
+    /// backend: independent statistics, an independent persistence-event stream,
+    /// and — under the simulated-NVRAM backend — an independent crash plan, which
+    /// is what lets the crash harness kill exactly one shard at a stable absolute
+    /// event index while the others keep serving.
+    pub fn new_with(config: ServerConfig, mut db_factory: impl FnMut(usize) -> FlitDb<P>) -> Self {
+        let shards = (0..config.shards)
+            .map(|i| Shard::new(db_factory(i), &config))
+            .collect();
+        Self { shards }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `i`.
+    pub fn shard(&self, i: usize) -> &Shard<P, M> {
+        &self.shards[i]
+    }
+
+    /// All shards, in index order.
+    pub fn shards(&self) -> &[Shard<P, M>] {
+        &self.shards
+    }
+
+    /// The shard a key routes to: a Fibonacci-hash mix of the key, reduced
+    /// modulo the shard count. A pure function of `(key, num_shards)` — stable
+    /// across runs, processes and machines, so a request trace fully determines
+    /// which shard served each request.
+    pub fn route(&self, key: u64) -> usize {
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 31;
+        (mixed % self.shards.len() as u64) as usize
+    }
+
+    /// One session per shard, in shard order — the per-worker handle set
+    /// ("each worker thread holds one `FlitHandle` per shard it touches").
+    pub fn handles(&self) -> Vec<FlitHandle<'_, P>> {
+        self.shards.iter().map(|s| s.db.handle()).collect()
+    }
+
+    /// The full service path for one already-encoded request: decode, route by
+    /// key, post the slab token into the routed shard's mailbox, drain one token
+    /// from that mailbox, decode *that* token's request from `slab`, apply it,
+    /// and return `(served_token, reply_bytes)`.
+    ///
+    /// Under concurrency a worker may drain a token another worker just posted —
+    /// the service is work-conserving, so "serve whatever is pending on the
+    /// shard you just fed" keeps every request flowing. The drain loop cannot
+    /// livelock: each worker performs exactly one successful take per post and
+    /// takes only after posting to the same shard, so whenever some worker still
+    /// owes a take, that shard's pending count is at least one. On a single
+    /// thread the drained token is always the one just posted.
+    ///
+    /// `handles` must hold one handle per shard in shard order (see
+    /// [`KvServer::handles`]); `token` must index into `slab`.
+    pub fn pump(
+        &self,
+        handles: &[FlitHandle<'_, P>],
+        slab: &[Vec<u8>],
+        token: u64,
+    ) -> Result<(u64, Vec<u8>), ProtoError> {
+        debug_assert_eq!(handles.len(), self.shards.len());
+        let op = Op::decode(&slab[token as usize])?;
+        let sid = self.route(op.key());
+        let shard = &self.shards[sid];
+        let h = &handles[sid];
+        shard.post(h, token);
+        loop {
+            if let Some(served) = shard.take(h) {
+                let served_op = Op::decode(&slab[served as usize])?;
+                let reply = shard.apply(h, &served_op);
+                return Ok((served, reply.encode()));
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flit::{FlitDb, FlitPolicy, HashedScheme};
+    use flit_datastructs::HashTable;
+    use flit_pmem::{LatencyModel, SimNvram};
+
+    type Policy_ = FlitPolicy<HashedScheme, SimNvram>;
+    type Map_ = HashTable<Policy_, Automatic>;
+
+    fn server(shards: usize) -> KvServer<Policy_, Map_> {
+        KvServer::new_with(ServerConfig::new(shards, 512), |_| {
+            FlitDb::flit_ht(SimNvram::builder().latency(LatencyModel::none()).build())
+        })
+    }
+
+    #[test]
+    fn shards_are_independent_databases() {
+        let s = server(3);
+        assert_eq!(s.num_shards(), 3);
+        let ids: Vec<_> = s.shards().iter().map(|sh| sh.db().id()).collect();
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 3, "each shard owns its own database");
+    }
+
+    #[test]
+    fn apply_matches_map_semantics() {
+        let s = server(2);
+        let hs = s.handles();
+        let shard = s.shard(0);
+        let h = &hs[0];
+        assert_eq!(shard.apply(h, &Op::Get(7)), Reply::Missing);
+        assert_eq!(shard.apply(h, &Op::Put(7, 70)), Reply::Inserted);
+        assert_eq!(shard.apply(h, &Op::Put(7, 71)), Reply::Exists);
+        assert_eq!(shard.apply(h, &Op::Get(7)), Reply::Found(70));
+        assert_eq!(shard.apply(h, &Op::Del(7)), Reply::Deleted);
+        assert_eq!(shard.apply(h, &Op::Del(7)), Reply::Absent);
+    }
+
+    #[test]
+    fn reserved_keys_are_refused_not_panicked_on() {
+        let s = server(1);
+        let hs = s.handles();
+        let shard = s.shard(0);
+        assert_eq!(shard.apply(&hs[0], &Op::Put(u64::MAX, 1)), Reply::Exists);
+        assert_eq!(shard.apply(&hs[0], &Op::Get(u64::MAX)), Reply::Missing);
+        assert_eq!(shard.apply(&hs[0], &Op::Del(u64::MAX)), Reply::Absent);
+    }
+
+    #[test]
+    fn pump_serves_through_the_mailbox() {
+        let s = server(2);
+        let hs = s.handles();
+        let slab = vec![Op::Put(5, 50).encode(), Op::Get(5).encode()];
+        let (t0, r0) = s.pump(&hs, &slab, 0).unwrap();
+        assert_eq!((t0, Reply::decode(&r0)), (0, Ok(Reply::Inserted)));
+        let (t1, r1) = s.pump(&hs, &slab, 1).unwrap();
+        assert_eq!((t1, Reply::decode(&r1)), (1, Ok(Reply::Found(50))));
+        assert!(s.shards().iter().all(|sh| sh.mailbox().is_empty()));
+    }
+
+    #[test]
+    fn serve_bytes_round_trips_and_rejects_garbage() {
+        let s = server(1);
+        let hs = s.handles();
+        let shard = s.shard(0);
+        let reply = shard.serve_bytes(&hs[0], &Op::Put(1, 2).encode()).unwrap();
+        assert_eq!(Reply::decode(&reply), Ok(Reply::Inserted));
+        assert!(shard.serve_bytes(&hs[0], &[0xFF, 0x00]).is_err());
+    }
+}

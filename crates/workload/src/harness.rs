@@ -16,8 +16,8 @@ use flit_queues::{ConcurrentQueue, MsQueue};
 
 use crate::config::WorkloadConfig;
 use crate::queue_config::QueueWorkloadConfig;
-use crate::queue_runner::{prefill_queue, run_queue_workload, QueueRunResult};
-use crate::runner::{prefill, run_workload, RunResult};
+use crate::queue_runner::{prefill_queue, run_queue_workload_observed, QueueRunResult};
+use crate::runner::{prefill, run_workload_observed, LatencyObserver, RunResult};
 
 /// Which data structure to benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,33 +159,53 @@ impl Case {
     }
 }
 
-fn run_map<P, M>(db: &FlitDb<P>, case: &Case) -> RunResult
+fn run_map<P, M>(db: &FlitDb<P>, case: &Case, observe: Option<&LatencyObserver<'_>>) -> RunResult
 where
     P: Policy,
     M: ConcurrentMap<P>,
 {
     let map = M::with_capacity(db, case.config.key_range as usize);
     prefill(&map, &case.config);
-    run_workload(&map, &case.config)
+    run_workload_observed(&map, &case.config, observe)
 }
 
-fn run_with_policy<P: Policy>(policy: P, case: &Case) -> RunResult {
+fn run_with_policy<P: Policy>(
+    policy: P,
+    case: &Case,
+    observe: Option<&LatencyObserver<'_>>,
+) -> RunResult {
     let db = &FlitDb::create(policy);
     match (case.ds, case.dur) {
-        (DsKind::List, DurKind::Automatic) => run_map::<P, HarrisList<P, Automatic>>(db, case),
-        (DsKind::List, DurKind::NvTraverse) => run_map::<P, HarrisList<P, NvTraverse>>(db, case),
-        (DsKind::List, DurKind::Manual) => run_map::<P, HarrisList<P, Manual>>(db, case),
-        (DsKind::HashTable, DurKind::Automatic) => run_map::<P, HashTable<P, Automatic>>(db, case),
-        (DsKind::HashTable, DurKind::NvTraverse) => {
-            run_map::<P, HashTable<P, NvTraverse>>(db, case)
+        (DsKind::List, DurKind::Automatic) => {
+            run_map::<P, HarrisList<P, Automatic>>(db, case, observe)
         }
-        (DsKind::HashTable, DurKind::Manual) => run_map::<P, HashTable<P, Manual>>(db, case),
-        (DsKind::Bst, DurKind::Automatic) => run_map::<P, NatarajanTree<P, Automatic>>(db, case),
-        (DsKind::Bst, DurKind::NvTraverse) => run_map::<P, NatarajanTree<P, NvTraverse>>(db, case),
-        (DsKind::Bst, DurKind::Manual) => run_map::<P, NatarajanTree<P, Manual>>(db, case),
-        (DsKind::SkipList, DurKind::Automatic) => run_map::<P, SkipList<P, Automatic>>(db, case),
-        (DsKind::SkipList, DurKind::NvTraverse) => run_map::<P, SkipList<P, NvTraverse>>(db, case),
-        (DsKind::SkipList, DurKind::Manual) => run_map::<P, SkipList<P, Manual>>(db, case),
+        (DsKind::List, DurKind::NvTraverse) => {
+            run_map::<P, HarrisList<P, NvTraverse>>(db, case, observe)
+        }
+        (DsKind::List, DurKind::Manual) => run_map::<P, HarrisList<P, Manual>>(db, case, observe),
+        (DsKind::HashTable, DurKind::Automatic) => {
+            run_map::<P, HashTable<P, Automatic>>(db, case, observe)
+        }
+        (DsKind::HashTable, DurKind::NvTraverse) => {
+            run_map::<P, HashTable<P, NvTraverse>>(db, case, observe)
+        }
+        (DsKind::HashTable, DurKind::Manual) => {
+            run_map::<P, HashTable<P, Manual>>(db, case, observe)
+        }
+        (DsKind::Bst, DurKind::Automatic) => {
+            run_map::<P, NatarajanTree<P, Automatic>>(db, case, observe)
+        }
+        (DsKind::Bst, DurKind::NvTraverse) => {
+            run_map::<P, NatarajanTree<P, NvTraverse>>(db, case, observe)
+        }
+        (DsKind::Bst, DurKind::Manual) => run_map::<P, NatarajanTree<P, Manual>>(db, case, observe),
+        (DsKind::SkipList, DurKind::Automatic) => {
+            run_map::<P, SkipList<P, Automatic>>(db, case, observe)
+        }
+        (DsKind::SkipList, DurKind::NvTraverse) => {
+            run_map::<P, SkipList<P, NvTraverse>>(db, case, observe)
+        }
+        (DsKind::SkipList, DurKind::Manual) => run_map::<P, SkipList<P, Manual>>(db, case, observe),
     }
 }
 
@@ -196,6 +216,12 @@ fn run_with_policy<P: Policy>(policy: P, case: &Case) -> RunResult {
 /// Panics when the case combines link-and-persist with the BST (the combination the
 /// paper also excludes); use [`PolicyKind::applicable_to`] to filter.
 pub fn run_case(case: &Case) -> RunResult {
+    run_case_observed(case, None)
+}
+
+/// [`run_case`] with an optional per-operation [`LatencyObserver`], so the
+/// benchmark harness can collect latency distributions alongside throughput.
+pub fn run_case_observed(case: &Case, observe: Option<&LatencyObserver<'_>>) -> RunResult {
     assert!(
         case.policy.applicable_to(case.ds),
         "{} cannot be applied to {}",
@@ -209,14 +235,20 @@ pub fn run_case(case: &Case) -> RunResult {
             .build()
     };
     match case.policy {
-        PolicyKind::NoPersist => run_with_policy(presets::no_persist(), case),
-        PolicyKind::Plain => run_with_policy(presets::plain(backend()), case),
-        PolicyKind::FlitAdjacent => run_with_policy(presets::flit_adjacent(backend()), case),
-        PolicyKind::FlitHt(bytes) => {
-            run_with_policy(presets::flit_ht_sized(backend(), bytes), case)
+        PolicyKind::NoPersist => run_with_policy(presets::no_persist(), case, observe),
+        PolicyKind::Plain => run_with_policy(presets::plain(backend()), case, observe),
+        PolicyKind::FlitAdjacent => {
+            run_with_policy(presets::flit_adjacent(backend()), case, observe)
         }
-        PolicyKind::FlitCacheLine => run_with_policy(presets::flit_cacheline(backend()), case),
-        PolicyKind::LinkAndPersist => run_with_policy(presets::link_and_persist(backend()), case),
+        PolicyKind::FlitHt(bytes) => {
+            run_with_policy(presets::flit_ht_sized(backend(), bytes), case, observe)
+        }
+        PolicyKind::FlitCacheLine => {
+            run_with_policy(presets::flit_cacheline(backend()), case, observe)
+        }
+        PolicyKind::LinkAndPersist => {
+            run_with_policy(presets::link_and_persist(backend()), case, observe)
+        }
     }
 }
 
@@ -258,22 +290,30 @@ impl QueueCase {
     }
 }
 
-fn run_queue<P, Q>(db: &FlitDb<P>, case: &QueueCase) -> QueueRunResult
+fn run_queue<P, Q>(
+    db: &FlitDb<P>,
+    case: &QueueCase,
+    observe: Option<&LatencyObserver<'_>>,
+) -> QueueRunResult
 where
     P: Policy,
     Q: ConcurrentQueue<P>,
 {
     let queue = Q::in_db(db);
     prefill_queue(&queue, &case.config);
-    run_queue_workload(&queue, &case.config)
+    run_queue_workload_observed(&queue, &case.config, observe)
 }
 
-fn run_queue_with_policy<P: Policy>(policy: P, case: &QueueCase) -> QueueRunResult {
+fn run_queue_with_policy<P: Policy>(
+    policy: P,
+    case: &QueueCase,
+    observe: Option<&LatencyObserver<'_>>,
+) -> QueueRunResult {
     let db = &FlitDb::create(policy);
     match case.dur {
-        DurKind::Automatic => run_queue::<P, MsQueue<P, Automatic>>(db, case),
-        DurKind::NvTraverse => run_queue::<P, MsQueue<P, NvTraverse>>(db, case),
-        DurKind::Manual => run_queue::<P, MsQueue<P, Manual>>(db, case),
+        DurKind::Automatic => run_queue::<P, MsQueue<P, Automatic>>(db, case, observe),
+        DurKind::NvTraverse => run_queue::<P, MsQueue<P, NvTraverse>>(db, case, observe),
+        DurKind::Manual => run_queue::<P, MsQueue<P, Manual>>(db, case, observe),
     }
 }
 
@@ -281,6 +321,14 @@ fn run_queue_with_policy<P: Policy>(policy: P, case: &QueueCase) -> QueueRunResu
 /// measurement. Every policy variant applies to the queue (its updates are plain
 /// CAS on word-aligned pointers, so even link-and-persist is usable).
 pub fn run_queue_case(case: &QueueCase) -> QueueRunResult {
+    run_queue_case_observed(case, None)
+}
+
+/// [`run_queue_case`] with an optional per-operation [`LatencyObserver`].
+pub fn run_queue_case_observed(
+    case: &QueueCase,
+    observe: Option<&LatencyObserver<'_>>,
+) -> QueueRunResult {
     let backend = || {
         SimNvram::builder()
             .latency(case.latency)
@@ -288,17 +336,19 @@ pub fn run_queue_case(case: &QueueCase) -> QueueRunResult {
             .build()
     };
     match case.policy {
-        PolicyKind::NoPersist => run_queue_with_policy(presets::no_persist(), case),
-        PolicyKind::Plain => run_queue_with_policy(presets::plain(backend()), case),
-        PolicyKind::FlitAdjacent => run_queue_with_policy(presets::flit_adjacent(backend()), case),
+        PolicyKind::NoPersist => run_queue_with_policy(presets::no_persist(), case, observe),
+        PolicyKind::Plain => run_queue_with_policy(presets::plain(backend()), case, observe),
+        PolicyKind::FlitAdjacent => {
+            run_queue_with_policy(presets::flit_adjacent(backend()), case, observe)
+        }
         PolicyKind::FlitHt(bytes) => {
-            run_queue_with_policy(presets::flit_ht_sized(backend(), bytes), case)
+            run_queue_with_policy(presets::flit_ht_sized(backend(), bytes), case, observe)
         }
         PolicyKind::FlitCacheLine => {
-            run_queue_with_policy(presets::flit_cacheline(backend()), case)
+            run_queue_with_policy(presets::flit_cacheline(backend()), case, observe)
         }
         PolicyKind::LinkAndPersist => {
-            run_queue_with_policy(presets::link_and_persist(backend()), case)
+            run_queue_with_policy(presets::link_and_persist(backend()), case, observe)
         }
     }
 }

@@ -21,6 +21,13 @@
 //! * [`QueueWorkloadConfig`] / [`QueueShape`] — mix, ratio, bursts, prefill.
 //! * [`run_queue_workload`] — run one configuration against any [`ConcurrentQueue`].
 //!
+//! ## Service request streams
+//!
+//! [`service`] generates the request streams of the sharded KV service
+//! (`flit-server`): closed- and open-loop arrival ([`Arrival`]), mixed
+//! read/write ratios and Zipfian key skew ([`KeySampler`]), all deterministic
+//! per `(config, worker)`.
+//!
 //! ## Crash-test histories
 //!
 //! [`crash_history`] generates the deterministic single-threaded operation
@@ -45,6 +52,7 @@ pub mod harness;
 pub mod queue_config;
 pub mod queue_runner;
 pub mod runner;
+pub mod service;
 
 pub use config::WorkloadConfig;
 pub use crash_history::{
@@ -52,8 +60,12 @@ pub use crash_history::{
     QueueOp,
 };
 pub use harness::{
-    run_case, run_queue_case, Case, DsKind, DurKind, PolicyKind, QueueCase, QUEUE_DURS,
+    run_case, run_case_observed, run_queue_case, run_queue_case_observed, Case, DsKind, DurKind,
+    PolicyKind, QueueCase, QUEUE_DURS,
 };
 pub use queue_config::{QueueShape, QueueWorkloadConfig};
-pub use queue_runner::{prefill_queue, run_queue_workload, QueueRunResult};
-pub use runner::{run_workload, RunResult};
+pub use queue_runner::{
+    prefill_queue, run_queue_workload, run_queue_workload_observed, QueueRunResult,
+};
+pub use runner::{run_workload, run_workload_observed, LatencyObserver, RunResult};
+pub use service::{prefill_history, service_history, Arrival, KeySampler, ServiceConfig};

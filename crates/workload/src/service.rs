@@ -1,0 +1,316 @@
+//! Request-stream generation for the sharded KV service (`flit-server`).
+//!
+//! The single-structure workloads of [`crate::runner`] sample uniform keys in a
+//! closed loop; service benchmarks need more: **arrival control** (closed-loop
+//! back-to-back issue vs. open-loop issue at a fixed offered rate, where latency
+//! includes queueing delay) and **key skew** (Zipfian popularity, the standard
+//! model of hot keys in KV traffic). This module generates those request
+//! streams; *driving* them through a server and timing them is the benchmark
+//! harness's job (`flit-bench`).
+//!
+//! Everything is deterministic: the `i`-th request of worker `w` is a pure
+//! function of `(config, w, i)`, so a service history is fully reproduced by its
+//! config — the same property the crash histories of [`crate::crash_history`]
+//! are built on, and what makes the per-shard crash sweeps replayable.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::crash_history::MapOp;
+
+/// How requests are issued.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Closed loop: each worker issues its next request the moment the previous
+    /// reply arrives. Measures service capacity; latency is pure service time.
+    Closed,
+    /// Open loop: requests arrive at a fixed offered rate (million requests per
+    /// second, across all workers) regardless of completions. Latency is
+    /// measured from the *scheduled* arrival, so it includes queueing delay —
+    /// the honest way to see tail latency under load.
+    Open {
+        /// Offered load in million requests per second, summed over workers.
+        mops: f64,
+    },
+}
+
+impl Arrival {
+    /// Short name used in benchmark output (`"closed"` / `"open"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arrival::Closed => "closed",
+            Arrival::Open { .. } => "open",
+        }
+    }
+}
+
+/// One service benchmark workload: key population and skew, read/write mix,
+/// worker count, per-worker request count, and the arrival process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Keys are drawn from `0..key_range`.
+    pub key_range: u64,
+    /// Percentage of requests that are updates, split evenly between `Put` and
+    /// `Del`; the rest are `Get`s.
+    pub update_percent: u32,
+    /// Zipf exponent for key popularity. `0.0` = uniform; `0.99` is the
+    /// YCSB-style default for skewed traffic. Must be in `[0, 1)`.
+    pub skew: f64,
+    /// Number of client workers.
+    pub workers: usize,
+    /// Requests issued by each worker.
+    pub requests_per_worker: u64,
+    /// Keys inserted (via routed `Put`s) before measurement starts.
+    pub prefill: u64,
+    /// RNG seed; each worker derives its own stream from it.
+    pub seed: u64,
+    /// The arrival process.
+    pub arrival: Arrival,
+}
+
+impl ServiceConfig {
+    /// A closed-loop uniform-key config with the workspace's usual conventions:
+    /// prefill to half the key range, fixed default seed.
+    pub fn new(
+        key_range: u64,
+        update_percent: u32,
+        workers: usize,
+        requests_per_worker: u64,
+    ) -> Self {
+        assert!(key_range > 0);
+        assert!(update_percent <= 100);
+        assert!(workers > 0);
+        Self {
+            key_range,
+            update_percent,
+            skew: 0.0,
+            workers,
+            requests_per_worker,
+            prefill: key_range / 2,
+            seed: 0xF117_5E2F,
+            arrival: Arrival::Closed,
+        }
+    }
+
+    /// Override the Zipf skew exponent (`0.0` = uniform).
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        assert!((0.0..1.0).contains(&skew), "skew must be in [0, 1)");
+        self.skew = skew;
+        self
+    }
+
+    /// Override the arrival process.
+    pub fn with_arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the prefill size.
+    pub fn with_prefill(mut self, prefill: u64) -> Self {
+        self.prefill = prefill;
+        self
+    }
+
+    /// Total requests across all workers.
+    pub fn total_requests(&self) -> u64 {
+        self.requests_per_worker * self.workers as u64
+    }
+
+    /// The scheduled arrival time, in nanoseconds after the run's start, of
+    /// worker `w`'s `i`-th request — `None` for closed-loop configs. Workers
+    /// interleave round-robin in the global arrival order, so the offered rate
+    /// summed over workers is `mops`.
+    pub fn deadline_ns(&self, worker: usize, i: u64) -> Option<u64> {
+        match self.arrival {
+            Arrival::Closed => None,
+            Arrival::Open { mops } => {
+                assert!(mops > 0.0, "open-loop rate must be positive");
+                let global_index = i * self.workers as u64 + worker as u64;
+                // One request every 1/mops microseconds = 1000/mops ns.
+                Some((global_index as f64 * 1e3 / mops) as u64)
+            }
+        }
+    }
+}
+
+/// A sampler of keys from `0..key_range`, uniform or Zipfian.
+///
+/// The Zipf variant precomputes the CDF over key popularity ranks (rank `r` has
+/// probability proportional to `1 / (r+1)^skew`) and samples by binary search;
+/// rank `r` maps to key `r`, so low keys are the hot keys — harmless, since
+/// every structure under test hashes or compares keys rather than indexing by
+/// them. Sampling consumes exactly one RNG word either way.
+#[derive(Debug, Clone)]
+pub enum KeySampler {
+    /// Uniform over `0..key_range`.
+    Uniform(u64),
+    /// Zipfian via a precomputed CDF (one entry per key).
+    Zipf(Vec<f64>),
+}
+
+/// Largest key range the Zipf sampler will build a CDF table for.
+pub const MAX_ZIPF_KEYS: u64 = 1 << 22;
+
+impl KeySampler {
+    /// Build the sampler described by `(key_range, skew)`.
+    pub fn new(key_range: u64, skew: f64) -> Self {
+        assert!(key_range > 0);
+        assert!((0.0..1.0).contains(&skew), "skew must be in [0, 1)");
+        if skew == 0.0 {
+            return KeySampler::Uniform(key_range);
+        }
+        assert!(
+            key_range <= MAX_ZIPF_KEYS,
+            "Zipf sampling tabulates one CDF entry per key; key range {key_range} exceeds {MAX_ZIPF_KEYS}"
+        );
+        let mut cdf = Vec::with_capacity(key_range as usize);
+        let mut acc = 0.0f64;
+        for rank in 0..key_range {
+            acc += 1.0 / ((rank + 1) as f64).powf(skew);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        KeySampler::Zipf(cdf)
+    }
+
+    /// Draw one key.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match self {
+            KeySampler::Uniform(range) => rng.gen_range(0..*range),
+            KeySampler::Zipf(cdf) => {
+                // 53 random bits → uniform f64 in [0, 1).
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                cdf.partition_point(|&p| p < u) as u64
+            }
+        }
+    }
+}
+
+/// The deterministic request stream of worker `worker`: a pure function of
+/// `(cfg, worker)`. Values carry the worker id in their high bits (below bit
+/// 63, so link-and-persist's reserved dirty bit stays clear) for debuggability.
+pub fn service_history(cfg: &ServiceConfig, worker: usize) -> Vec<MapOp> {
+    assert!(worker < cfg.workers);
+    let sampler = KeySampler::new(cfg.key_range, cfg.skew);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(worker as u64 * 0x9E37));
+    (0..cfg.requests_per_worker)
+        .map(|i| {
+            let key = sampler.sample(&mut rng);
+            let roll = rng.gen_range(0..100u32);
+            if roll < cfg.update_percent {
+                if roll % 2 == 0 {
+                    MapOp::Insert(key, ((worker as u64) << 40) | i)
+                } else {
+                    MapOp::Remove(key)
+                }
+            } else {
+                MapOp::Get(key)
+            }
+        })
+        .collect()
+}
+
+/// The deterministic prefill stream: `cfg.prefill` *distinct* keys (uniform,
+/// regardless of skew — prefill populates the store, it does not model
+/// traffic), as `Insert` ops, domain-separated from the request streams.
+pub fn prefill_history(cfg: &ServiceConfig) -> Vec<MapOp> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED_F111);
+    let mut seen = std::collections::HashSet::new();
+    let target = cfg.prefill.min(cfg.key_range) as usize;
+    let mut ops = Vec::with_capacity(target);
+    while ops.len() < target {
+        let key = rng.gen_range(0..cfg.key_range);
+        if seen.insert(key) {
+            ops.push(MapOp::Insert(key, key.wrapping_mul(3)));
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ServiceConfig {
+        ServiceConfig::new(1_000, 20, 2, 500)
+    }
+
+    #[test]
+    fn histories_are_deterministic_and_per_worker_distinct() {
+        assert_eq!(service_history(&cfg(), 0), service_history(&cfg(), 0));
+        assert_ne!(service_history(&cfg(), 0), service_history(&cfg(), 1));
+        assert_eq!(prefill_history(&cfg()), prefill_history(&cfg()));
+        assert_ne!(
+            service_history(&cfg(), 0),
+            service_history(&cfg().with_seed(1), 0)
+        );
+    }
+
+    #[test]
+    fn histories_respect_the_mix() {
+        let ops = service_history(&cfg(), 0);
+        assert_eq!(ops.len(), 500);
+        let updates = ops.iter().filter(|o| !matches!(o, MapOp::Get(_))).count();
+        // 20% updates with generous slack for a 500-sample draw.
+        assert!((50..150).contains(&updates), "updates = {updates}");
+        assert!(ops.iter().all(|o| match o {
+            MapOp::Insert(k, _) | MapOp::Remove(k) | MapOp::Get(k) => *k < 1_000,
+        }));
+    }
+
+    #[test]
+    fn prefill_is_distinct_keys() {
+        let ops = prefill_history(&cfg());
+        assert_eq!(ops.len(), 500);
+        let mut keys: Vec<u64> = ops
+            .iter()
+            .map(|o| match o {
+                MapOp::Insert(k, _) => *k,
+                _ => unreachable!(),
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 500);
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let uniform = KeySampler::new(1_000, 0.0);
+        let zipf = KeySampler::new(1_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let hot =
+            |s: &KeySampler, rng: &mut SmallRng| (0..10_000).filter(|_| s.sample(rng) < 10).count();
+        let hot_uniform = hot(&uniform, &mut rng);
+        let hot_zipf = hot(&zipf, &mut rng);
+        // Under 0.99-Zipf the 10 hottest of 1000 keys draw a large share of the
+        // traffic; under uniform they draw about 1%.
+        assert!(hot_zipf > 5 * hot_uniform, "{hot_zipf} vs {hot_uniform}");
+        // Samples stay in range.
+        for _ in 0..1_000 {
+            assert!(zipf.sample(&mut rng) < 1_000);
+        }
+    }
+
+    #[test]
+    fn open_loop_deadlines_interleave_workers_at_the_offered_rate() {
+        let c = cfg().with_arrival(Arrival::Open { mops: 0.5 });
+        // 0.5 Mops total → one request every 2µs globally; two workers
+        // round-robin, so each worker issues every 4µs.
+        assert_eq!(c.deadline_ns(0, 0), Some(0));
+        assert_eq!(c.deadline_ns(1, 0), Some(2_000));
+        assert_eq!(c.deadline_ns(0, 1), Some(4_000));
+        assert_eq!(cfg().deadline_ns(0, 5), None);
+        assert_eq!(Arrival::Closed.name(), "closed");
+        assert_eq!(Arrival::Open { mops: 1.0 }.name(), "open");
+    }
+}
