@@ -142,16 +142,22 @@ pub mod roots {
 /// each arena to its *share* of the load instead of the full-load size.
 pub const DEFAULT_SLOTS_PER_CHUNK: usize = 1024;
 
-/// Construction-time sizing knobs for an [`Arena`].
+/// Construction-time sizing knobs for an [`Arena`]: the slot size and how many
+/// slots each lazily-mapped chunk holds.
 ///
-/// Only chunk growth granularity for now: how many slots each lazily-mapped
-/// chunk holds. The default matches the historical constant, so existing
-/// constructors behave identically. Chunk size changes *when* the lazy
-/// high-water write-backs happen (they are chunk-boundary triggered), so two
-/// arenas with different configs produce different — but individually still
-/// deterministic — persistence-event streams.
+/// This is the single construction surface — `FlitDb::new_arena(cfg)` /
+/// `new_arena_for::<T>(cfg)` take one of these instead of positional
+/// arguments, and the defaults match the historical constants. Chunk size
+/// changes *when* the lazy high-water write-backs happen (they are
+/// chunk-boundary triggered), so two arenas with different configs produce
+/// different — but individually still deterministic — persistence-event
+/// streams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArenaConfig {
+    /// Bytes per slot, rounded up to whole cache lines at construction. Must be
+    /// non-zero. Ignored by the typed constructors (`new_arena_for::<T>` /
+    /// [`Arena::for_slots_of_config`]), which derive the slot size from `T`.
+    pub slot_size: usize,
     /// Slots added per chunk when the arena grows. Must be non-zero.
     pub slots_per_chunk: usize,
 }
@@ -159,15 +165,40 @@ pub struct ArenaConfig {
 impl Default for ArenaConfig {
     fn default() -> Self {
         Self {
+            slot_size: CACHE_LINE_SIZE,
             slots_per_chunk: DEFAULT_SLOTS_PER_CHUNK,
         }
     }
 }
 
 impl ArenaConfig {
-    /// A config with the given chunk slot-count.
+    /// A config with the given chunk slot-count (default slot size).
     pub fn with_slots_per_chunk(slots_per_chunk: usize) -> Self {
-        Self { slots_per_chunk }
+        Self {
+            slots_per_chunk,
+            ..Self::default()
+        }
+    }
+
+    /// A config with the given slot size in bytes (default chunk slot-count).
+    pub fn with_slot_size(slot_size: usize) -> Self {
+        Self {
+            slot_size,
+            ..Self::default()
+        }
+    }
+
+    /// This config with its slot size replaced (chainable).
+    pub fn sized(self, slot_size: usize) -> Self {
+        Self { slot_size, ..self }
+    }
+
+    /// This config with its chunk slot-count replaced (chainable).
+    pub fn chunked(self, slots_per_chunk: usize) -> Self {
+        Self {
+            slots_per_chunk,
+            ..self
+        }
     }
 
     /// A config sized for an arena expected to hold about `capacity` live slots:
@@ -180,6 +211,7 @@ impl ArenaConfig {
                 .clamp(64, DEFAULT_SLOTS_PER_CHUNK)
                 .next_power_of_two()
                 .min(DEFAULT_SLOTS_PER_CHUNK),
+            ..Self::default()
         }
     }
 }
@@ -275,10 +307,10 @@ impl Arena {
         Self::new(backend, Self::slot_size_for::<T>(), chunk_slots)
     }
 
-    /// Create an arena with an explicit [`ArenaConfig`]; equivalent to
-    /// [`Arena::new`] with `config.slots_per_chunk`.
-    pub fn with_config<B: PmemBackend>(backend: &B, slot_size: usize, config: ArenaConfig) -> Self {
-        Self::new(backend, slot_size, config.slots_per_chunk)
+    /// Create an arena from an [`ArenaConfig`]; equivalent to [`Arena::new`]
+    /// with the config's slot size and chunk slot-count.
+    pub fn with_config<B: PmemBackend>(backend: &B, config: ArenaConfig) -> Self {
+        Self::new(backend, config.slot_size, config.slots_per_chunk)
     }
 
     /// Create an arena for slots of type `T` with an explicit [`ArenaConfig`].

@@ -6,7 +6,7 @@
 //! a tiny workload so `cargo bench --workspace` stays fast.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use flit_pmem::{ElisionMode, LatencyModel};
+use flit_pmem::{CommitMode, ElisionMode, LatencyModel};
 use flit_workload::{run_case, Case, DsKind, DurKind, PolicyKind, WorkloadConfig};
 
 fn mini_case(ds: DsKind, policy: PolicyKind) -> Case {
@@ -17,6 +17,7 @@ fn mini_case(ds: DsKind, policy: PolicyKind) -> Case {
         config: WorkloadConfig::new(512, 5, 2, 300),
         latency: LatencyModel::optane(),
         elision: ElisionMode::default(),
+        commit: CommitMode::Immediate,
     }
 }
 

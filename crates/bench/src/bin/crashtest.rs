@@ -21,8 +21,18 @@
 //!                         stable ABSOLUTE event index — construction events
 //!                         included — portable across runs and machines thanks
 //!                         to arena allocation (flit-alloc)
+//!   --commit a,b,..       immediate|batched-<k>: commit modes the replayed
+//!                         databases run with (default: immediate). Batched
+//!                         sweeps check the group-commit contract: acknowledged
+//!                         tickets survive, the unacknowledged tail recovers to
+//!                         a consistent prefix
+//!   --broken-acks         acknowledge obligations WITHOUT fencing in the main
+//!                         matrix (repro mode for acknowledge-before-fence
+//!                         violations; such cases are expected to fail)
 //!   --json PATH           write a machine-readable report (CI artifact)
-//!   --skip-control        do not run the deliberately broken control
+//!   --skip-control        do not run the deliberately broken controls
+//!                         (volatile-broken, and acknowledge-before-fence when
+//!                         a batched commit mode is requested)
 //! ```
 //!
 //! Sweeps cover the full absolute event span `0..=events_total`, *including the
@@ -39,7 +49,7 @@ use flit_crashtest::{
     run_case, run_matrix, HistorySpec, MethodKind, PolicyKind, StructureKind, SweepReport,
     SweepSettings,
 };
-use flit_pmem::ElisionMode;
+use flit_pmem::{CommitMode, ElisionMode};
 
 struct Args {
     structures: Vec<StructureKind>,
@@ -48,6 +58,7 @@ struct Args {
     history: HistorySpec,
     settings: SweepSettings,
     elisions: Vec<ElisionMode>,
+    commits: Vec<CommitMode>,
     json: Option<String>,
     skip_control: bool,
 }
@@ -88,6 +99,8 @@ fn parse_args() -> Args {
     let mut budget = 64usize;
     let mut crash_at = None;
     let mut elisions = None;
+    let mut commits = vec![CommitMode::Immediate];
+    let mut broken_acks = false;
     let mut json = None;
     let mut skip_control = false;
 
@@ -123,6 +136,10 @@ fn parse_args() -> Args {
                     })],
                 });
             }
+            "--commit" => {
+                commits = parse_list(&value(&mut i), CommitMode::parse, "commit mode")
+            }
+            "--broken-acks" => broken_acks = true,
             "--json" => json = Some(value(&mut i)),
             "--skip-control" => skip_control = true,
             other => {
@@ -165,8 +182,11 @@ fn parse_args() -> Args {
             budget,
             crash_at,
             elision: ElisionMode::Enabled,
+            commit: CommitMode::Immediate,
+            broken_acks,
         },
         elisions,
+        commits,
         json,
         skip_control,
     }
@@ -207,12 +227,14 @@ fn report_json(report: &SweepReport, expected_violations: bool) -> String {
         report.clean()
     };
     format!(
-        r#"{{"case":"{}","structure":"{}","method":"{}","policy":"{}","elision":"{}","events_construction":{},"events_total":{},"points_tested":{},"expected_violations":{},"ok":{},"violations":[{}]}}"#,
+        r#"{{"case":"{}","structure":"{}","method":"{}","policy":"{}","elision":"{}","commit":"{}","broken_acks":{},"events_construction":{},"events_total":{},"points_tested":{},"expected_violations":{},"ok":{},"violations":[{}]}}"#,
         json_escape(&report.case.id()),
         report.case.structure,
         report.case.method,
         report.case.policy,
         report.case.elision.name(),
+        report.case.commit.name(),
+        report.case.broken_acks,
         report.events_construction,
         report.events_total,
         report.points_tested,
@@ -241,27 +263,35 @@ fn main() {
     );
 
     // The main matrix: correct methods must sweep clean, under every requested
-    // elision mode (the two modes replay different instruction streams).
+    // elision mode (the two modes replay different instruction streams) and
+    // every requested commit mode (immediate checks the strict per-operation
+    // contract, batched the group-commit watermark/ticket contract).
     let mut reports = Vec::new();
     for &elision in &args.elisions {
-        let settings = SweepSettings {
-            elision,
-            ..args.settings
-        };
-        reports.extend(run_matrix(
-            &args.structures,
-            &args.methods,
-            &args.policies,
-            args.history,
-            &settings,
-        ));
+        for &commit in &args.commits {
+            let settings = SweepSettings {
+                elision,
+                commit,
+                ..args.settings
+            };
+            reports.extend(run_matrix(
+                &args.structures,
+                &args.methods,
+                &args.policies,
+                args.history,
+                &settings,
+            ));
+        }
     }
     let mut failed = false;
     println!("\n=== sweep matrix ===");
     for report in &reports {
-        let expected = MethodKind::parse(report.case.method)
-            .map(|m| m.expects_violations())
-            .unwrap_or(false);
+        // --broken-acks turns every case into an expected-to-fail control
+        // (repro mode for acknowledge-before-fence violations).
+        let expected = report.case.broken_acks
+            || MethodKind::parse(report.case.method)
+                .map(|m| m.expects_violations())
+                .unwrap_or(false);
         println!("{}", report.summary_line());
         if expected {
             // Explicitly requested broken method: it must fail, like the control.
@@ -301,6 +331,8 @@ fn main() {
                     .unwrap_or(PolicyKind::FlitHt);
                 let settings = SweepSettings {
                     elision,
+                    commit: CommitMode::Immediate,
+                    broken_acks: false,
                     ..args.settings
                 };
                 let report = run_case(
@@ -317,6 +349,54 @@ fn main() {
                     println!(
                         "  HARNESS BUG: the broken control swept clean on {} — crash injection is \
                      not detecting lost operations",
+                        report.case.id()
+                    );
+                } else {
+                    println!(
+                        "  control failed as expected, e.g.: {}",
+                        report.violations[0]
+                    );
+                }
+                control_reports.push(report);
+            }
+        }
+        // The batched contract's own control: acknowledging obligations without
+        // fencing claims durability for operations whose write-backs are still
+        // pending — the sweep must catch the lie, proving the acked-floor check
+        // has teeth. Runs once per requested batched commit mode.
+        let batched: Vec<CommitMode> = args
+            .commits
+            .iter()
+            .copied()
+            .filter(|c| c.is_batched())
+            .collect();
+        if !batched.is_empty() {
+            println!(
+                "\n=== broken control (acknowledge-before-fence: violations are EXPECTED) ==="
+            );
+        }
+        for &commit in &batched {
+            for &structure in &args.structures {
+                let settings = SweepSettings {
+                    elision: ElisionMode::Enabled,
+                    commit,
+                    broken_acks: true,
+                    ..args.settings
+                };
+                let report = run_case(
+                    structure,
+                    MethodKind::Automatic,
+                    PolicyKind::FlitHt,
+                    args.history,
+                    &settings,
+                )
+                .expect("flit-ht supports every structure");
+                println!("{}", report.summary_line());
+                if report.clean() {
+                    failed = true;
+                    println!(
+                        "  HARNESS BUG: acknowledge-before-fence swept clean on {} — the \
+                         acked-floor check is not detecting lost acknowledged operations",
                         report.case.id()
                     );
                 } else {

@@ -32,7 +32,7 @@ use flit_bench::server_experiments::{
     SERVER_UPDATE_PERCENT,
 };
 use flit_bench::{SCALE_FULL, SCALE_QUICK};
-use flit_pmem::{ElisionMode, LatencyModel};
+use flit_pmem::{CommitMode, ElisionMode, LatencyModel};
 use flit_workload::{run_case, Case, DsKind, DurKind, PolicyKind, WorkloadConfig};
 
 fn print_rows(title: &str, rows: &[Row]) {
@@ -87,6 +87,7 @@ fn summary(scale: &Scale) {
             config: cfg(),
             latency: LatencyModel::optane(),
             elision: ElisionMode::default(),
+            commit: CommitMode::Immediate,
         };
         let plain = run_case(&mk(PolicyKind::Plain));
         let flit = run_case(&mk(PolicyKind::FlitHt(1 << 20)));
@@ -117,6 +118,7 @@ fn summary(scale: &Scale) {
                 config: cfg(),
                 latency: LatencyModel::optane(),
                 elision: ElisionMode::default(),
+                commit: CommitMode::Immediate,
             };
             let plain = run_case(&mk(PolicyKind::Plain));
             let flit = run_case(&mk(PolicyKind::FlitHt(1 << 20)));
@@ -145,11 +147,13 @@ fn bench_json(scale: &Scale, quick: bool, records: &[BenchRecord]) -> String {
         .iter()
         .map(|r| {
             format!(
-                r#"    {{"structure":"{}","policy":"{}","durability":"{}","elision":"{}","mops":{},"pwbs_per_op":{},"pfences_per_op":{},"elided_pfences_per_op":{},"p50_ns":{},"p99_ns":{}}}"#,
+                r#"    {{"structure":"{}","policy":"{}","durability":"{}","elision":"{}","commit":"{}","update_percent":{},"mops":{},"pwbs_per_op":{},"pfences_per_op":{},"elided_pfences_per_op":{},"p50_ns":{},"p99_ns":{}}}"#,
                 r.structure,
                 r.policy,
                 r.durability,
                 r.elision,
+                r.commit,
+                r.update_percent,
                 json_f64(r.mops),
                 json_f64(r.pwbs_per_op),
                 json_f64(r.pfences_per_op),
@@ -160,7 +164,7 @@ fn bench_json(scale: &Scale, quick: bool, records: &[BenchRecord]) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"schema\": \"flit-bench-v1\",\n  \"scale\": \"{}\",\n  \"workload\": {{\"update_percent\": {}, \"threads\": {}, \"ops_per_thread\": {}}},\n  \"records\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"flit-bench-v2\",\n  \"scale\": \"{}\",\n  \"workload\": {{\"update_percent\": {}, \"threads\": {}, \"ops_per_thread\": {}}},\n  \"records\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
         BENCH_UPDATE_PERCENT,
         scale.threads,
@@ -176,15 +180,25 @@ fn run_bench(scale: &Scale, quick: bool, out: &str) {
         BENCH_UPDATE_PERCENT
     );
     println!(
-        "{:<12} {:<18} {:<8} {:>10} {:>10} {:>12} {:>14}",
-        "structure", "policy", "elision", "Mops/s", "pwbs/op", "pfences/op", "elided-pf/op"
+        "{:<12} {:<18} {:<8} {:<11} {:>4} {:>10} {:>10} {:>12} {:>14}",
+        "structure",
+        "policy",
+        "elision",
+        "commit",
+        "upd%",
+        "Mops/s",
+        "pwbs/op",
+        "pfences/op",
+        "elided-pf/op"
     );
     for r in &records {
         println!(
-            "{:<12} {:<18} {:<8} {:>10.3} {:>10.3} {:>12.3} {:>14.3}",
+            "{:<12} {:<18} {:<8} {:<11} {:>4} {:>10.3} {:>10.3} {:>12.3} {:>14.3}",
             r.structure,
             r.policy,
             r.elision,
+            r.commit,
+            r.update_percent,
             r.mops,
             r.pwbs_per_op,
             r.pfences_per_op,
@@ -210,12 +224,13 @@ fn server_json(
         .iter()
         .map(|r| {
             format!(
-                r#"    {{"shards":{},"workers":{},"structure":"{}","policy":"{}","elision":"{}","arrival":"{}","skew":{},"requests":{},"mops":{},"p50_ns":{},"p99_ns":{},"p999_ns":{},"pwbs_per_op":{},"pfences_per_op":{}}}"#,
+                r#"    {{"shards":{},"workers":{},"structure":"{}","policy":"{}","elision":"{}","commit":"{}","arrival":"{}","skew":{},"requests":{},"mops":{},"p50_ns":{},"p99_ns":{},"p999_ns":{},"pwbs_per_op":{},"pfences_per_op":{}}}"#,
                 r.shards,
                 r.workers,
                 r.structure,
                 r.policy,
                 r.elision,
+                r.commit,
                 r.arrival,
                 json_f64(r.skew),
                 r.requests,
@@ -229,7 +244,7 @@ fn server_json(
         })
         .collect();
     format!(
-        "{{\n  \"schema\": \"flit-server-bench-v1\",\n  \"scale\": \"{}\",\n  \"workload\": {{\"update_percent\": {}, \"requests_per_worker\": {}}},\n  \"crash_sweep\": {{\"shards\": {}, \"crash_shard\": {}, \"points_tested\": {}, \"events_total\": {}, \"violations\": {}, \"broken_control_caught\": {}}},\n  \"records\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"flit-server-bench-v2\",\n  \"scale\": \"{}\",\n  \"workload\": {{\"update_percent\": {}, \"requests_per_worker\": {}}},\n  \"crash_sweep\": {{\"shards\": {}, \"crash_shard\": {}, \"points_tested\": {}, \"events_total\": {}, \"violations\": {}, \"broken_control_caught\": {}}},\n  \"records\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
         SERVER_UPDATE_PERCENT,
         scale.ops_per_thread,
@@ -250,11 +265,12 @@ fn run_server_bench(scale: &Scale, quick: bool, out: &str) {
         SERVER_UPDATE_PERCENT
     );
     println!(
-        "{:<7} {:<8} {:<16} {:<8} {:<8} {:<6} {:>9} {:>10} {:>10} {:>10} {:>9} {:>11}",
+        "{:<7} {:<8} {:<16} {:<8} {:<11} {:<8} {:<6} {:>9} {:>10} {:>10} {:>10} {:>9} {:>11}",
         "shards",
         "workers",
         "policy",
         "elision",
+        "commit",
         "arrival",
         "skew",
         "Mops/s",
@@ -266,11 +282,12 @@ fn run_server_bench(scale: &Scale, quick: bool, out: &str) {
     );
     for r in &records {
         println!(
-            "{:<7} {:<8} {:<16} {:<8} {:<8} {:<6} {:>9.3} {:>10} {:>10} {:>10} {:>9.3} {:>11.3}",
+            "{:<7} {:<8} {:<16} {:<8} {:<11} {:<8} {:<6} {:>9.3} {:>10} {:>10} {:>10} {:>9.3} {:>11.3}",
             r.shards,
             r.workers,
             r.policy,
             r.elision,
+            r.commit,
             r.arrival,
             r.skew,
             r.mops,

@@ -7,7 +7,7 @@
 //! numbers are not comparable; the functions exist to reproduce the *relationships*
 //! the paper reports: who wins, by roughly what factor, and where the crossovers are.
 
-use flit_pmem::{ElisionMode, LatencyModel};
+use flit_pmem::{CommitMode, ElisionMode, LatencyModel};
 use flit_workload::{
     run_case, run_case_observed, run_queue_case, Case, DsKind, DurKind, PolicyKind, QueueCase,
     QueueWorkloadConfig, WorkloadConfig, QUEUE_DURS,
@@ -83,6 +83,7 @@ fn case(ds: DsKind, dur: DurKind, policy: PolicyKind, cfg: WorkloadConfig) -> Ca
         config: cfg,
         latency: LatencyModel::optane(),
         elision: ElisionMode::default(),
+        commit: CommitMode::Immediate,
     }
 }
 
@@ -265,6 +266,11 @@ pub struct BenchRecord {
     pub durability: String,
     /// Persist-epoch elision mode of the run (`on` / `off`).
     pub elision: &'static str,
+    /// Durability commit mode of the run (`immediate` / `batched-<k>`).
+    pub commit: String,
+    /// Update percentage of the workload the record was measured on (the
+    /// read-mostly baseline and the write-heavy group-commit rows differ).
+    pub update_percent: u32,
     /// Throughput in Mops/s (machine-dependent; tracked for trend, not truth).
     pub mops: f64,
     /// `pwb` instructions per operation (deterministic up to scheduling).
@@ -284,10 +290,41 @@ pub struct BenchRecord {
 /// map workload where fence elision matters most.
 pub const BENCH_UPDATE_PERCENT: u32 = 5;
 
+/// The update percentage of the group-commit A/B rows: write-heavy, where the
+/// trailing-fence amortisation of [`CommitMode::Batched`] is visible.
+pub const BENCH_GROUP_COMMIT_UPDATE_PERCENT: u32 = 50;
+
+/// The batch size `k` the baseline's batched rows run with.
+pub const BENCH_GROUP_COMMIT_BATCH: usize = 8;
+
+/// Measure one fully specified case and capture it as a baseline record.
+fn bench_record(c: &Case) -> BenchRecord {
+    let hist = LatencyHistogram::new();
+    let observe = |ns: u64| hist.record(ns);
+    let r = run_case_observed(c, Some(&observe));
+    BenchRecord {
+        structure: c.ds.name().to_string(),
+        policy: c.policy.name(),
+        durability: c.dur.name().to_string(),
+        elision: c.elision.name(),
+        commit: c.commit.name(),
+        update_percent: c.config.update_percent,
+        mops: r.mops,
+        pwbs_per_op: r.pwbs_per_op(),
+        pfences_per_op: r.pfences_per_op(),
+        elided_pfences_per_op: r.pmem.elided_pfences as f64 / r.total_ops as f64,
+        p50_ns: hist.p50(),
+        p99_ns: hist.p99(),
+    }
+}
+
 /// The benchmark baseline behind `BENCH_flit.json`: every map structure × the four
 /// persistent policy variants × both elision modes on the read-mostly (95/5)
-/// workload with automatic durability. The A/B pair per (structure, policy) is what
-/// makes the per-op instruction savings of persist-epoch elision machine-readable.
+/// workload with automatic durability, plus a group-commit A/B pair per structure
+/// on the write-heavy (50/50) workload. The elision A/B pair per (structure,
+/// policy) makes the per-op instruction savings of persist-epoch elision
+/// machine-readable; the immediate/batched pair does the same for the trailing
+/// fences amortised by [`CommitMode::Batched`].
 pub fn bench_baseline(scale: &Scale) -> Vec<BenchRecord> {
     let variants = [
         PolicyKind::Plain,
@@ -315,23 +352,37 @@ pub fn bench_baseline(scale: &Scale) -> Vec<BenchRecord> {
                     ),
                     latency: LatencyModel::optane(),
                     elision,
+                    commit: CommitMode::Immediate,
                 };
-                let hist = LatencyHistogram::new();
-                let observe = |ns: u64| hist.record(ns);
-                let r = run_case_observed(&c, Some(&observe));
-                records.push(BenchRecord {
-                    structure: ds.name().to_string(),
-                    policy: policy.name(),
-                    durability: DurKind::Automatic.name().to_string(),
-                    elision: elision.name(),
-                    mops: r.mops,
-                    pwbs_per_op: r.pwbs_per_op(),
-                    pfences_per_op: r.pfences_per_op(),
-                    elided_pfences_per_op: r.pmem.elided_pfences as f64 / r.total_ops as f64,
-                    p50_ns: hist.p50(),
-                    p99_ns: hist.p99(),
-                });
+                records.push(bench_record(&c));
             }
+        }
+    }
+    // Group-commit A/B: per-operation durability vs `Batched(k)` on the
+    // write-heavy mix, where the deferred trailing fences dominate. flit-HT is
+    // the policy whose tag scheme supports deferred store closes, so it is the
+    // pair where the amortisation shows.
+    for ds in DsKind::ALL {
+        let keys = small_key_range(scale, ds);
+        for commit in [
+            CommitMode::Immediate,
+            CommitMode::Batched(BENCH_GROUP_COMMIT_BATCH),
+        ] {
+            let c = Case {
+                ds,
+                dur: DurKind::Automatic,
+                policy: PolicyKind::FlitHt(1 << 20),
+                config: WorkloadConfig::new(
+                    keys,
+                    BENCH_GROUP_COMMIT_UPDATE_PERCENT,
+                    scale.threads,
+                    scale.ops_per_thread,
+                ),
+                latency: LatencyModel::optane(),
+                elision: ElisionMode::Enabled,
+                commit,
+            };
+            records.push(bench_record(&c));
         }
     }
     records
@@ -354,6 +405,7 @@ fn queue_case(dur: DurKind, policy: PolicyKind, config: QueueWorkloadConfig) -> 
         config,
         latency: LatencyModel::optane(),
         elision: ElisionMode::default(),
+        commit: CommitMode::Immediate,
     }
 }
 
@@ -489,14 +541,43 @@ mod tests {
     #[test]
     fn bench_baseline_shows_the_fence_savings() {
         let records = bench_baseline(&SCALE_TEST);
-        // 4 structures × 4 policies (minus lp/bst) × 2 elision modes.
-        assert_eq!(records.len(), (4 * 4 - 1) * 2);
+        // 4 structures × 4 policies (minus lp/bst) × 2 elision modes, plus the
+        // write-heavy group-commit A/B pair per structure.
+        assert_eq!(records.len(), (4 * 4 - 1) * 2 + 4 * 2);
         let get = |structure: &str, policy: &str, elision: &str| {
             records
                 .iter()
-                .find(|r| r.structure == structure && r.policy == policy && r.elision == elision)
+                .find(|r| {
+                    r.structure == structure
+                        && r.policy == policy
+                        && r.elision == elision
+                        && r.update_percent == BENCH_UPDATE_PERCENT
+                })
                 .unwrap()
         };
+        // The group-commit acceptance claim: on the write-heavy mix, batched
+        // commit spends strictly fewer fences per operation than per-op
+        // durability for every structure.
+        let commit_row = |structure: &str, commit: &str| {
+            records
+                .iter()
+                .find(|r| {
+                    r.structure == structure
+                        && r.commit == commit
+                        && r.update_percent == BENCH_GROUP_COMMIT_UPDATE_PERCENT
+                })
+                .unwrap()
+        };
+        for structure in ["bst", "hashtable", "list", "skiplist"] {
+            let immediate = commit_row(structure, "immediate");
+            let batched = commit_row(structure, &format!("batched-{BENCH_GROUP_COMMIT_BATCH}"));
+            assert!(
+                batched.pfences_per_op < immediate.pfences_per_op,
+                "{structure}: batched commit must drop pfences/op ({} vs {})",
+                batched.pfences_per_op,
+                immediate.pfences_per_op
+            );
+        }
         for structure in ["bst", "hashtable", "list", "skiplist"] {
             let on = get(structure, "flit-HT (1MB)", "on");
             let off = get(structure, "flit-HT (1MB)", "off");

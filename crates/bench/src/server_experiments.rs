@@ -16,7 +16,7 @@ use std::time::Instant;
 use flit::{presets, FlitDb, Policy};
 use flit_crashtest::{op_of, sweep_server_crash, SweepSettings, VolatileStores};
 use flit_datastructs::{Automatic, HashTable};
-use flit_pmem::{ElisionMode, LatencyModel, SimNvram};
+use flit_pmem::{CommitMode, ElisionMode, LatencyModel, SimNvram};
 use flit_server::{KvServer, ServerConfig};
 use flit_workload::{prefill_history, random_map_history, Arrival, ServiceConfig};
 
@@ -30,6 +30,9 @@ pub const SERVER_UPDATE_PERCENT: u32 = 20;
 
 /// The flit-HT table size used by the server baseline's FliT policy.
 pub const SERVER_FLIT_HT_BYTES: usize = 64 << 10;
+
+/// The batch size `k` of the baseline's group-commit rows.
+pub const SERVER_GROUP_COMMIT_BATCH: usize = 8;
 
 /// The persistence policies the server baseline sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +66,8 @@ pub struct ServerBenchRecord {
     pub policy: &'static str,
     /// Persist-epoch elision mode (`on` / `off`).
     pub elision: &'static str,
+    /// Durability commit mode (`immediate` / `batched-<k>`).
+    pub commit: String,
     /// Arrival process (`closed` / `open`).
     pub arrival: &'static str,
     /// Zipf skew exponent of the key distribution (0 = uniform).
@@ -113,6 +118,7 @@ fn run_server<P, F>(
     shards: usize,
     cfg: &ServiceConfig,
     elision: ElisionMode,
+    commit: CommitMode,
 ) -> ServerRun
 where
     P: Policy<Backend = SimNvram>,
@@ -120,12 +126,14 @@ where
 {
     let server: KvServer<P, HashTable<P, Automatic>> =
         KvServer::new_with(ServerConfig::new(shards, cfg.key_range as usize), |_| {
-            FlitDb::create(factory(
+            FlitDb::builder(factory(
                 SimNvram::builder()
                     .latency(LatencyModel::optane())
                     .elision(elision)
                     .build(),
             ))
+            .commit_mode(commit)
+            .build()
         });
     // Prefill through the direct per-shard path (routed, but unmeasured and
     // mailbox-free — population, not traffic).
@@ -203,14 +211,26 @@ fn measure(
     elision: ElisionMode,
     cfg: &ServiceConfig,
 ) -> ServerBenchRecord {
+    measure_commit(shards, policy, elision, cfg, CommitMode::Immediate)
+}
+
+/// [`measure`] under an explicit durability commit mode.
+fn measure_commit(
+    shards: usize,
+    policy: ServerPolicy,
+    elision: ElisionMode,
+    cfg: &ServiceConfig,
+    commit: CommitMode,
+) -> ServerBenchRecord {
     let run = match policy {
         ServerPolicy::FlitHt => run_server(
             |b| presets::flit_ht_sized(b, SERVER_FLIT_HT_BYTES),
             shards,
             cfg,
             elision,
+            commit,
         ),
-        ServerPolicy::Plain => run_server(presets::plain, shards, cfg, elision),
+        ServerPolicy::Plain => run_server(presets::plain, shards, cfg, elision, commit),
     };
     let requests = cfg.total_requests();
     ServerBenchRecord {
@@ -219,6 +239,7 @@ fn measure(
         structure: "hashtable",
         policy: policy.name(),
         elision: elision.name(),
+        commit: commit.name(),
         arrival: cfg.arrival.name(),
         skew: cfg.skew,
         requests,
@@ -282,6 +303,18 @@ pub fn server_baseline(scale: &Scale) -> Vec<ServerBenchRecord> {
             policy,
             ElisionMode::Enabled,
             &base_config(scale, workers).with_arrival(Arrival::Open { mops: 0.05 }),
+        ));
+    }
+    // Group commit: the two-shard closed-loop points again under `Batched(k)`.
+    // Their immediate twins are already in the grid above, so the pair makes
+    // the per-request fence amortisation of group commit machine-readable.
+    for policy in [ServerPolicy::FlitHt, ServerPolicy::Plain] {
+        records.push(measure_commit(
+            2,
+            policy,
+            ElisionMode::Enabled,
+            &base_config(scale, workers),
+            CommitMode::Batched(SERVER_GROUP_COMMIT_BATCH),
         ));
     }
     records
@@ -388,6 +421,30 @@ mod tests {
             "plain={} flit={}",
             plain.pwbs_per_op,
             flit.pwbs_per_op
+        );
+    }
+
+    #[test]
+    fn batched_commit_amortises_fences_on_the_service_path() {
+        let immediate = measure(
+            1,
+            ServerPolicy::FlitHt,
+            ElisionMode::Enabled,
+            &test_config(1),
+        );
+        let batched = measure_commit(
+            1,
+            ServerPolicy::FlitHt,
+            ElisionMode::Enabled,
+            &test_config(1),
+            CommitMode::Batched(SERVER_GROUP_COMMIT_BATCH),
+        );
+        assert_eq!(batched.commit, "batched-8");
+        assert!(
+            batched.pfences_per_op < immediate.pfences_per_op,
+            "batched={} immediate={}",
+            batched.pfences_per_op,
+            immediate.pfences_per_op
         );
     }
 

@@ -42,25 +42,72 @@
 //!   next handle. Nothing else needs cleanup — the epoch state dies with the
 //!   value (this replaces the old thread-keyed purge heuristics).
 //!
+//! ## Durability modes: the watermark/ticket contract
+//!
+//! A database is built in one of two [`CommitMode`]s (chosen on the
+//! [`builder`](FlitDb::builder), [`CommitMode::Immediate`] by default):
+//!
+//! * **Immediate** — the paper's contract: every
+//!   [`operation_completion`](FlitHandle::operation_completion) fences, so an
+//!   operation is durable before it returns.
+//! * **Batched(k)** — group commit: `operation_completion` *enqueues a
+//!   completion obligation* on the handle instead of fencing, and the handle
+//!   drains its queue with **one `pfence` per batch** of up to `k` obligations
+//!   — on batch overflow, on an explicit [`FlitHandle::flush_async`], and on
+//!   handle drop. Draining *acknowledges* the batch: the db-wide
+//!   [`durable watermark`](FlitDb::durable_watermark) (total acknowledged
+//!   obligations) advances, and any [`Ticket`] covering those operations
+//!   becomes durable ([`FlitDb::wait`] / [`FlitDb::is_durable`]).
+//!
+//! Under `Batched`, p-stores on tag schemes that keep their counter *outside*
+//! the word (hashed, cache-line, plain) additionally defer the store's
+//! trailing fence **and its untag** to the handle's next fence point: the word
+//! stays tagged, so concurrent readers keep issuing the helping flush that
+//! preserves the paper's Condition 4 across threads, and the leading fence of
+//! the next update (or the batch drain) commits the deferred write-back. That
+//! is where the fence amortisation comes from. The adjacent scheme embeds its
+//! counter in the word itself — which may be reclaimed before a late close —
+//! so it keeps the inline trailing fence even when batched and gains no
+//! amortisation (see [`TagScheme::defers_store_close`](crate::TagScheme)).
+//!
+//! The batched crash contract is deliberately weaker and precisely stated:
+//! after a crash, the recovered state is some consistent **prefix** of the
+//! handle's completed operations that includes at least every *acknowledged*
+//! operation (acknowledgment happens only after the batch fence, so an
+//! acknowledged operation's write-backs are always in the image). Unacknowledged
+//! operations may be lost wholesale — but never partially, and never out of
+//! order. `flit-crashtest` sweeps exactly this window (and its broken
+//! "acknowledge before the fence" control must fail). Because persistence
+//! state is per-handle (the tracker commits only the fencing thread's pending
+//! write-backs), only the owning handle's drain can advance its operations'
+//! durability: `wait` *observes* acknowledgment from any thread, it cannot
+//! force another handle's fence.
+//!
 //! ## Migration from the free-function style
 //!
 //! | old | new |
 //! |---|---|
 //! | `presets::flit_ht(backend)` + `Map::with_capacity(policy, n)` | [`FlitDb::flit_ht`]`(backend)` + `Map::with_capacity(&db, n)` |
+//! | `FlitDb::create(policy)` with ad-hoc knobs | [`FlitDb::builder`]`(policy).commit_mode(…).arena_defaults(…).build()` |
 //! | `map.insert(k, v)` | `map.insert(&h, k, v)` with `let h = db.handle();` |
 //! | `policy.operation_completion()` | [`FlitHandle::operation_completion`] |
 //! | `policy.persist_object(&node, flag)` | [`FlitHandle::persist_object`] |
 //! | `structure.collector().pin()` | [`FlitHandle::pin`] |
 //! | (implicit per-thread epoch) | [`FlitHandle::epoch`] |
+//! | `db.new_arena(slot_size, chunk_slots)` | [`FlitDb::new_arena`]`(ArenaConfig::with_slot_size(slot_size).chunked(chunk_slots))` |
+//! | `db.new_arena_for::<T>(chunk_slots)` | [`FlitDb::new_arena_for`]`::<T>(ArenaConfig::with_slots_per_chunk(chunk_slots))` |
+//! | `db.new_arena_cfg(slot_size, cfg)` / `db.new_arena_for_cfg::<T>(cfg)` | [`FlitDb::new_arena`]`(cfg.sized(slot_size))` / [`FlitDb::new_arena_for`]`::<T>(cfg)` |
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use flit_alloc::{Arena, ArenaConfig, ImageHeader};
 use flit_ebr::{Collector, Guard, LocalHandle};
 use flit_pmem::{
-    cache_line_of, CrashImage, ElisionMode, PersistEpoch, PmemBackend, PmemSession, StatsSnapshot,
-    CACHE_LINE_SIZE,
+    cache_line_of, CommitMode, CrashImage, ElisionMode, PersistEpoch, PmemBackend, PmemSession,
+    StatsSnapshot, CACHE_LINE_SIZE,
 };
 
 use crate::pflag::PFlag;
@@ -74,6 +121,15 @@ struct DbInner<P: Policy> {
     arenas: Mutex<Vec<Arc<Arena>>>,
     id: u64,
     handles_created: AtomicU64,
+    commit: CommitMode,
+    arena_defaults: ArenaConfig,
+    /// Total completion obligations acknowledged db-wide (group commit); stays
+    /// 0 under [`CommitMode::Immediate`], where completions are synchronous.
+    watermark: AtomicU64,
+    /// Per-handle acknowledged-obligation counts, keyed by handle id — what
+    /// [`FlitDb::is_durable`] checks a [`Ticket`] against. Off the hot path:
+    /// written once per batch drain, not per operation.
+    acks: Mutex<HashMap<u64, u64>>,
 }
 
 /// The facade owning a database's shared state: policy (scheme + backend), the
@@ -102,18 +158,69 @@ impl<P: Policy> std::fmt::Debug for FlitDb<P> {
     }
 }
 
-impl<P: Policy> FlitDb<P> {
-    /// Create a fresh database over `policy`: a new collector, no arenas yet.
-    pub fn create(policy: P) -> Self {
-        Self {
+/// Configures and builds a [`FlitDb`] — the one construction surface behind
+/// every constructor ([`FlitDb::create`], [`FlitDb::open`] and the facade
+/// constructors are thin wrappers over it).
+///
+/// Knobs: the [`CommitMode`] (durability acknowledgment policy, see the module
+/// docs) and the default [`ArenaConfig`] structure constructors fall back to.
+/// Backend statistics remain a *backend* construction concern — configure them
+/// where the backend is built (e.g. `SimNvram::builder().tracking(true)`), not
+/// here.
+#[must_use = "a builder does nothing until .build()"]
+pub struct FlitDbBuilder<P: Policy> {
+    policy: P,
+    commit: CommitMode,
+    arena_defaults: ArenaConfig,
+}
+
+impl<P: Policy> FlitDbBuilder<P> {
+    /// The durability acknowledgment mode ([`CommitMode::Immediate`] unless
+    /// set). Every handle of the built database inherits it.
+    pub fn commit_mode(mut self, commit: CommitMode) -> Self {
+        self.commit = commit;
+        self
+    }
+
+    /// The [`ArenaConfig`] that [`FlitDb::arena_defaults`] reports — what
+    /// structure constructors use when the caller passes no explicit config.
+    pub fn arena_defaults(mut self, config: ArenaConfig) -> Self {
+        self.arena_defaults = config;
+        self
+    }
+
+    /// Build the database: a new collector, no arenas yet.
+    pub fn build(self) -> FlitDb<P> {
+        FlitDb {
             inner: Arc::new(DbInner {
-                policy,
+                policy: self.policy,
                 collector: Collector::new(),
                 arenas: Mutex::new(Vec::new()),
                 id: NEXT_DB_ID.fetch_add(1, Ordering::Relaxed),
                 handles_created: AtomicU64::new(0),
+                commit: self.commit,
+                arena_defaults: self.arena_defaults,
+                watermark: AtomicU64::new(0),
+                acks: Mutex::new(HashMap::new()),
             }),
         }
+    }
+}
+
+impl<P: Policy> FlitDb<P> {
+    /// Start configuring a database over `policy`. See [`FlitDbBuilder`].
+    pub fn builder(policy: P) -> FlitDbBuilder<P> {
+        FlitDbBuilder {
+            policy,
+            commit: CommitMode::default(),
+            arena_defaults: ArenaConfig::default(),
+        }
+    }
+
+    /// Create a fresh database over `policy` with default settings
+    /// (equivalent to `FlitDb::builder(policy).build()`).
+    pub fn create(policy: P) -> Self {
+        Self::builder(policy).build()
     }
 
     /// Open a database over `policy`.
@@ -123,6 +230,61 @@ impl<P: Policy> FlitDb<P> {
     /// existing DAX pool on a machine with real persistent memory.
     pub fn open(policy: P) -> Self {
         Self::create(policy)
+    }
+
+    /// The durability acknowledgment mode this database was built with.
+    #[inline]
+    pub fn commit_mode(&self) -> CommitMode {
+        self.inner.commit
+    }
+
+    /// Total completion obligations acknowledged across every handle of this
+    /// database (group commit). Advances only at batch drains — overflow,
+    /// [`FlitHandle::flush_async`], handle drop — so under
+    /// [`CommitMode::Immediate`] (where completions are synchronously durable
+    /// and nothing is ever enqueued) it stays 0.
+    pub fn durable_watermark(&self) -> u64 {
+        self.inner.watermark.load(Ordering::Acquire)
+    }
+
+    /// `true` when every operation `ticket` covers has been acknowledged as
+    /// durable. Non-blocking; callable from any thread.
+    pub fn is_durable(&self, ticket: Ticket) -> bool {
+        debug_assert_eq!(ticket.db_id, self.id(), "ticket from another FlitDb");
+        if ticket.target == 0 {
+            return true;
+        }
+        self.inner
+            .acks
+            .lock()
+            .unwrap()
+            .get(&ticket.handle_id)
+            .is_some_and(|&acked| acked >= ticket.target)
+    }
+
+    /// Block until every operation `ticket` covers is acknowledged as durable.
+    ///
+    /// Acknowledgment can only come from the ticket's own handle draining its
+    /// queue (overflow, [`FlitHandle::flush_async`], or drop) — per-handle
+    /// persistence state means no other thread can fence on its behalf — so
+    /// wait on a ticket only when its handle is guaranteed to drain
+    /// (tickets from `flush_async` are acknowledged at issue; tickets from
+    /// [`FlitHandle::ticket`] need a later drain).
+    pub fn wait(&self, ticket: Ticket) {
+        while !self.is_durable(ticket) {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Record a drained batch: `acked_total` obligations of handle `handle_id`
+    /// are now acknowledged, `newly` of them by this drain.
+    fn ack_obligations(&self, handle_id: u64, acked_total: u64, newly: u64) {
+        self.inner.watermark.fetch_add(newly, Ordering::AcqRel);
+        self.inner
+            .acks
+            .lock()
+            .unwrap()
+            .insert(handle_id, acked_total);
     }
 
     /// The persistence policy of this database.
@@ -170,6 +332,8 @@ impl<P: Policy> FlitDb<P> {
             db: self,
             epoch: PersistEpoch::new(),
             elision: self.backend().elision_mode(),
+            commit: self.inner.commit,
+            deferred_closes: RefCell::new(Vec::new()),
             ebr: self.inner.collector.register(),
             id,
         }
@@ -180,31 +344,28 @@ impl<P: Policy> FlitDb<P> {
         self.inner.handles_created.load(Ordering::Relaxed)
     }
 
-    /// Create (and register) an arena whose slots hold `slot_size` bytes,
-    /// growing `chunk_slots` slots at a time. The persisted header is written
-    /// through this database's backend.
-    pub fn new_arena(&self, slot_size: usize, chunk_slots: usize) -> Arc<Arena> {
-        let arena = Arc::new(Arena::new(self.backend(), slot_size, chunk_slots));
+    /// The default [`ArenaConfig`] of this database (set on the
+    /// [`builder`](Self::builder)): what structure constructors use when the
+    /// caller passes no explicit config.
+    #[inline]
+    pub fn arena_defaults(&self) -> ArenaConfig {
+        self.inner.arena_defaults
+    }
+
+    /// Create (and register) an arena from `config` — slot size and chunk
+    /// growth both come from the config ([`FlitDb::arena_defaults`] when the
+    /// caller has no opinion). The persisted header is written through this
+    /// database's backend.
+    pub fn new_arena(&self, config: ArenaConfig) -> Arc<Arena> {
+        let arena = Arc::new(Arena::with_config(self.backend(), config));
         self.inner.arenas.lock().unwrap().push(Arc::clone(&arena));
         arena
     }
 
-    /// Create (and register) an arena sized for slots of type `T`.
-    pub fn new_arena_for<T>(&self, chunk_slots: usize) -> Arc<Arena> {
-        self.new_arena(Arena::slot_size_for::<T>(), chunk_slots)
-    }
-
-    /// Create (and register) an arena with an explicit [`ArenaConfig`] — the
-    /// sized-to-shard-share construction path used by multi-arena systems such
-    /// as `flit-server`.
-    pub fn new_arena_cfg(&self, slot_size: usize, config: ArenaConfig) -> Arc<Arena> {
-        self.new_arena(slot_size, config.slots_per_chunk)
-    }
-
-    /// Create (and register) an arena for slots of type `T` with an explicit
-    /// [`ArenaConfig`].
-    pub fn new_arena_for_cfg<T>(&self, config: ArenaConfig) -> Arc<Arena> {
-        self.new_arena_for::<T>(config.slots_per_chunk)
+    /// Create (and register) an arena sized for slots of type `T`:
+    /// `config.slot_size` is ignored in favour of the type's padded size.
+    pub fn new_arena_for<T>(&self, config: ArenaConfig) -> Arc<Arena> {
+        self.new_arena(config.sized(Arena::slot_size_for::<T>()))
     }
 
     /// Every arena created through this database, in creation order.
@@ -328,8 +489,36 @@ pub struct FlitHandle<'db, P: Policy> {
     db: &'db FlitDb<P>,
     epoch: PersistEpoch,
     elision: ElisionMode,
+    commit: CommitMode,
+    /// Word addresses whose untag was deferred by group commit: each p-store
+    /// this handle issued under [`CommitMode::Batched`] (on a policy whose
+    /// scheme supports address-only closes) skipped its trailing fence and left
+    /// the word tagged; the tag is closed at this handle's next fence point
+    /// (see [`close_deferred_stores`](Self::close_deferred_stores)).
+    deferred_closes: RefCell<Vec<usize>>,
     ebr: LocalHandle,
     id: u64,
+}
+
+/// A durability receipt under group commit ([`CommitMode::Batched`]): covers
+/// every operation completed on its handle up to the moment it was cut
+/// ([`FlitHandle::flush_async`] / [`FlitHandle::ticket`]). Check it with
+/// [`FlitDb::is_durable`] or block on it with [`FlitDb::wait`] — from any
+/// thread. Plain `Copy` data; holding one keeps nothing alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a ticket is only useful if something waits on or checks it"]
+pub struct Ticket {
+    db_id: u64,
+    handle_id: u64,
+    target: u64,
+}
+
+impl Ticket {
+    /// How many operations (completion obligations) of the issuing handle this
+    /// ticket covers, counted from the handle's creation.
+    pub fn covered(&self) -> u64 {
+        self.target
+    }
 }
 
 impl<'db, P: Policy> std::fmt::Debug for FlitHandle<'db, P> {
@@ -396,20 +585,135 @@ impl<'db, P: Policy> FlitHandle<'db, P> {
     }
 
     /// The paper's `persist::operation_completion()`: must be called at the end
-    /// of every data-structure operation. Issues a `pfence` so that every
-    /// dependency of the completed operation is persisted before the operation
-    /// returns (P-V Interface, Condition 4).
+    /// of every data-structure operation.
     ///
-    /// The fence goes through the session's
-    /// [`pfence_if_dirty`](flit_pmem::PmemBackend::pfence_if_dirty): a handle
-    /// that issued no `pwb` during the operation (e.g. a read-only operation
-    /// over untagged words) holds no unpersisted dependency — every value it
-    /// read was persisted by its writer's trailing fence before the word was
-    /// untagged — so the completion fence is elided entirely.
+    /// Under [`CommitMode::Immediate`] this issues a `pfence` so that every
+    /// dependency of the completed operation is persisted before the operation
+    /// returns (P-V Interface, Condition 4). The fence goes through the
+    /// session's [`pfence_if_dirty`](flit_pmem::PmemBackend::pfence_if_dirty):
+    /// a handle that issued no `pwb` during the operation (e.g. a read-only
+    /// operation over untagged words) holds no unpersisted dependency — every
+    /// value it read was persisted by its writer's trailing fence before the
+    /// word was untagged — so the completion fence is elided entirely.
+    ///
+    /// Under [`CommitMode::Batched`]`(k)` it enqueues a completion obligation
+    /// instead, draining the queue (one fence for the whole batch) when it
+    /// reaches `k` — the group-commit contract described in the module docs.
     #[inline]
     pub fn operation_completion(&self) {
-        if P::PERSISTENT {
-            self.pmem().pfence_if_dirty();
+        if !P::PERSISTENT {
+            return;
+        }
+        match self.commit {
+            CommitMode::Immediate => self.pmem().pfence_if_dirty(),
+            CommitMode::Batched(k) => {
+                if self.epoch.note_obligation() >= k.max(1) as u64 {
+                    self.drain_obligations();
+                }
+            }
+        }
+    }
+
+    /// Drain this handle's obligation queue: one
+    /// [`pfence_if_dirty`](flit_pmem::PmemBackend::pfence_if_dirty) commits
+    /// every write-back the batch produced, then the batch is acknowledged to
+    /// the database (watermark + ticket bookkeeping). Eliding the fence on a
+    /// clean epoch is sound: clean means fences issued *inside* later
+    /// operations (object-initialisation persists, leading fences) already
+    /// committed everything the batch flushed.
+    fn drain_obligations(&self) {
+        if self.epoch.pending_obligations() == 0 {
+            return;
+        }
+        self.pmem().pfence_if_dirty();
+        self.close_deferred_stores();
+        let newly = self.epoch.take_obligations();
+        self.db
+            .ack_obligations(self.id, self.epoch.committed_obligations(), newly);
+    }
+
+    /// Whether p-stores on this handle defer their trailing fence to the next
+    /// fence point: true only under [`CommitMode::Batched`] *and* a policy whose
+    /// scheme can close tags by address alone (see
+    /// [`Policy::defers_store_fence`]). The adjacent scheme embeds its counter
+    /// in the word — which may be reclaimed before a late close — so it keeps
+    /// the inline trailing fence even when batched.
+    #[inline]
+    pub(crate) fn defers_store_fence(&self) -> bool {
+        matches!(self.commit, CommitMode::Batched(_)) && self.db.policy().defers_store_fence()
+    }
+
+    /// Queue the untag of a p-store whose trailing fence was deferred; the word
+    /// stays tagged (readers keep helping) until the handle's next fence point.
+    #[inline]
+    pub(crate) fn defer_store_close(&self, addr: usize) {
+        self.deferred_closes.borrow_mut().push(addr);
+    }
+
+    /// Close every deferred untag whose backing write is now durable. Sound
+    /// exactly when this handle's epoch is clean — clean means a fence
+    /// committed every pwb the handle issued, the deferred stores' write-backs
+    /// included — so this is called right after the fence points (the leading
+    /// fence of the next update, a batch drain, handle drop). Closing *later*
+    /// than possible is always protocol-safe (readers merely keep flushing a
+    /// durable value); closing *earlier* would break Condition 4.
+    #[inline]
+    pub(crate) fn close_deferred_stores(&self) {
+        if !self.epoch.is_clean() || self.deferred_closes.borrow().is_empty() {
+            return;
+        }
+        let policy = self.db.policy();
+        for addr in self.deferred_closes.borrow_mut().drain(..) {
+            policy.close_deferred_store(addr);
+        }
+    }
+
+    /// Drain the obligation queue now and return a [`Ticket`] covering every
+    /// operation completed on this handle so far.
+    ///
+    /// The drain means the ticket is already durable when this returns — its
+    /// value is cross-thread *observability* (hand it to a waiter checking
+    /// [`FlitDb::wait`]) and the explicit-flush point of the group-commit
+    /// contract. Under [`CommitMode::Immediate`] completions were synchronously
+    /// durable all along, so the ticket is trivially durable. For a ticket
+    /// that does *not* fence now, see [`FlitHandle::ticket`].
+    pub fn flush_async(&self) -> Ticket {
+        self.drain_obligations();
+        self.ticket()
+    }
+
+    /// A [`Ticket`] covering every operation completed on this handle so far,
+    /// **without** draining: it becomes durable at this handle's next drain
+    /// (batch overflow, [`flush_async`](Self::flush_async), or drop).
+    pub fn ticket(&self) -> Ticket {
+        Ticket {
+            db_id: self.db.id(),
+            handle_id: self.id,
+            target: self.epoch.enqueued_obligations(),
+        }
+    }
+
+    /// Obligations acknowledged as durable on this handle (diagnostics and the
+    /// crashtest harness's acknowledgment sampling).
+    pub fn committed_obligations(&self) -> u64 {
+        self.epoch.committed_obligations()
+    }
+
+    /// Obligations enqueued on this handle over its lifetime.
+    pub fn enqueued_obligations(&self) -> u64 {
+        self.epoch.enqueued_obligations()
+    }
+
+    /// Acknowledge every pending obligation **without fencing first** — the
+    /// crashtest harness's broken control: it claims durability for operations
+    /// whose write-backs may still be pending, which the batched-contract
+    /// crash sweep must catch. Never call this outside that harness.
+    #[doc(hidden)]
+    pub fn ack_obligations_without_fence(&self) {
+        let newly = self.epoch.take_obligations();
+        if newly > 0 {
+            self.db
+                .ack_obligations(self.id, self.epoch.committed_obligations(), newly);
         }
     }
 
@@ -447,13 +751,25 @@ impl<'db, P: Policy> FlitHandle<'db, P> {
 
 impl<'db, P: Policy> Drop for FlitHandle<'db, P> {
     fn drop(&mut self) {
-        // A dirty handle holds pwbs no future fence of this logical thread will
-        // ever commit (the thread is going away): issue the trailing fence now so
-        // everything the handle flushed is durable. A clean handle (the normal
-        // case — every completed operation ends with its completion fence) costs
-        // nothing here. The EBR slot is returned by `LocalHandle`'s own drop.
-        if P::PERSISTENT && !self.epoch.is_clean() {
-            self.pmem().pfence();
+        if P::PERSISTENT {
+            // Group commit: the obligation queue drains *before* any trailing
+            // fence — the drain's single fence (issued only when the epoch is
+            // dirty) doubles as the trailing fence, and the batch is
+            // acknowledged so tickets covering it resolve and the watermark
+            // advances even though the handle is going away mid-batch.
+            self.drain_obligations();
+            // A still-dirty handle holds pwbs no future fence of this logical
+            // thread will ever commit (possible only when the caller abandoned
+            // it mid-operation): issue the trailing fence now. A clean handle
+            // (the normal case) costs nothing here. The EBR slot is returned
+            // by `LocalHandle`'s own drop.
+            if !self.epoch.is_clean() {
+                self.pmem().pfence();
+            }
+            // Both paths above end with a clean epoch, so any untags still
+            // deferred by group commit can be closed before the handle's words
+            // lose their owner.
+            self.close_deferred_stores();
         }
     }
 }
@@ -480,7 +796,7 @@ mod tests {
         let db = db();
         let clone = db.clone();
         assert_eq!(db.id(), clone.id());
-        let _a = db.new_arena(64, 8);
+        let _a = db.new_arena(ArenaConfig::with_slot_size(64).chunked(8));
         assert_eq!(clone.arenas().len(), 1);
     }
 
@@ -567,7 +883,7 @@ mod tests {
             HashedScheme::with_bytes(1 << 12),
             sim.clone(),
         ));
-        let arena = db.new_arena(64, 8);
+        let arena = db.new_arena(ArenaConfig::with_slot_size(64).chunked(8));
         let h = db.handle();
         let slot = arena.alloc(&h.pmem()) as usize;
         h.operation_completion();
@@ -578,6 +894,109 @@ mod tests {
         let after = db.recover(&sim.tracker().unwrap().crash_image());
         assert!(after.has_root(flit_alloc::roots::LIST_HEAD));
         assert_eq!(after.arenas.len(), 1);
+    }
+
+    fn batched_db(k: usize) -> (SimNvram, FlitDb<HtPolicy>) {
+        let sim = SimNvram::for_crash_testing();
+        let db = FlitDb::builder(FlitPolicy::new(
+            HashedScheme::with_bytes(1 << 12),
+            sim.clone(),
+        ))
+        .commit_mode(CommitMode::Batched(k))
+        .build();
+        (sim, db)
+    }
+
+    #[test]
+    fn builder_defaults_match_create() {
+        let db = db();
+        assert_eq!(db.commit_mode(), CommitMode::Immediate);
+        assert_eq!(db.arena_defaults(), ArenaConfig::default());
+        assert_eq!(db.durable_watermark(), 0);
+    }
+
+    #[test]
+    fn builder_sets_commit_mode_and_arena_defaults() {
+        let db = FlitDb::builder(FlitPolicy::new(
+            HashedScheme::with_bytes(1 << 12),
+            SimNvram::builder().latency(LatencyModel::none()).build(),
+        ))
+        .commit_mode(CommitMode::Batched(4))
+        .arena_defaults(ArenaConfig::with_slots_per_chunk(128))
+        .build();
+        assert_eq!(db.commit_mode(), CommitMode::Batched(4));
+        assert_eq!(db.arena_defaults().slots_per_chunk, 128);
+    }
+
+    #[test]
+    fn batched_completion_defers_the_fence_until_the_batch_fills() {
+        let (sim, db) = batched_db(3);
+        let h = db.handle();
+        let xs = [0u64; 3];
+        for (i, x) in xs.iter().enumerate() {
+            let addr = x as *const u64 as *const u8;
+            let pm = h.pmem();
+            pm.record_store(addr, i as u64 + 1);
+            pm.pwb(addr);
+            h.operation_completion();
+        }
+        // The third completion overflowed the batch: one drain fence committed
+        // all three operations' write-backs and acknowledged them.
+        assert!(!h.is_dirty());
+        assert_eq!(db.durable_watermark(), 3);
+        assert_eq!(h.committed_obligations(), 3);
+        let tracker = sim.tracker().unwrap();
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(
+                tracker.persisted_value(x as *const u64 as usize),
+                Some(i as u64 + 1)
+            );
+        }
+        assert_eq!(
+            db.stats_snapshot().unwrap().pfences,
+            1,
+            "one fence per batch"
+        );
+    }
+
+    #[test]
+    fn flush_async_drains_midbatch_and_wait_observes_it() {
+        let (sim, db) = batched_db(64);
+        let h = db.handle();
+        let x = 0u64;
+        let addr = &x as *const u64 as usize;
+        let pm = h.pmem();
+        pm.record_store(addr as *const u8, 9);
+        pm.pwb(addr as *const u8);
+        h.operation_completion();
+        // Mid-batch: completed but unacknowledged, flush not yet committed.
+        assert!(h.is_dirty());
+        assert_eq!(sim.tracker().unwrap().persisted_value(addr), None);
+        let early = h.ticket();
+        assert!(!db.is_durable(early), "nothing drained yet");
+        let ticket = h.flush_async();
+        assert!(db.is_durable(ticket));
+        assert!(
+            db.is_durable(early),
+            "the drain acknowledged the earlier cut too"
+        );
+        db.wait(ticket);
+        assert_eq!(ticket.covered(), 1);
+        assert_eq!(sim.tracker().unwrap().persisted_value(addr), Some(9));
+        assert_eq!(db.durable_watermark(), 1);
+    }
+
+    #[test]
+    fn immediate_mode_tickets_are_trivially_durable() {
+        let db = db();
+        let h = db.handle();
+        let w = <HtPolicy as Policy>::Word::<u64>::new(0);
+        w.store(&h, 5, PFlag::Persisted);
+        h.operation_completion();
+        let ticket = h.flush_async();
+        assert!(db.is_durable(ticket));
+        assert_eq!(ticket.covered(), 0, "immediate mode enqueues nothing");
+        assert_eq!(db.durable_watermark(), 0);
     }
 
     #[test]

@@ -89,6 +89,16 @@ impl<S: TagScheme, B: PmemBackend + Send + Sync + 'static> Policy for FlitPolicy
     fn label(&self) -> String {
         self.scheme.describe()
     }
+
+    #[inline]
+    fn defers_store_fence(&self) -> bool {
+        self.scheme.defers_store_close()
+    }
+
+    #[inline]
+    fn close_deferred_store(&self, addr: usize) {
+        self.scheme.end_store_deferred(addr);
+    }
 }
 
 /// One persisted word managed by the FliT algorithm.
@@ -164,14 +174,27 @@ impl<T: PWord, S: TagScheme, B: PmemBackend + Send + Sync + 'static> FlitAtomic<
         // persisted by an earlier fence (its own trailing fences, or the writer's
         // fence for untagged words it read) — so the fence is elided.
         pm.pfence_if_dirty();
+        // The handle is clean now, so any untags it deferred under group commit
+        // are backed by a committed fence and can be closed.
+        h.close_deferred_stores();
         if flag.is_persisted() {
             let addr = self.word_addr();
             ctx.scheme.begin_store(&self.tag, addr);
             let (result, now) = update();
             pm.record_store(self.word_ptr(), now);
             pm.pwb(self.word_ptr());
-            pm.pfence();
-            ctx.scheme.end_store(&self.tag, addr);
+            if h.defers_store_fence() {
+                // Group commit: the trailing fence moves to the handle's next
+                // fence point (the next update's leading fence, a batch drain,
+                // or handle drop). Until then the word stays *tagged*, so
+                // concurrent readers keep issuing the helping flush that covers
+                // cross-thread dependencies (Condition 4); the untag is queued
+                // on the handle and closed after that fence.
+                h.defer_store_close(addr);
+            } else {
+                pm.pfence();
+                ctx.scheme.end_store(&self.tag, addr);
+            }
             result
         } else {
             let (result, now) = update();
@@ -571,6 +594,62 @@ mod tests {
             backend.tracker().unwrap().persisted_value(w.addr()),
             Some(11)
         );
+    }
+
+    #[test]
+    fn batched_commit_defers_the_trailing_fence_and_the_untag() {
+        let scheme = HashedScheme::with_bytes(1 << 12);
+        let backend = SimNvram::for_crash_testing();
+        let db = FlitDb::builder(FlitPolicy::new(scheme.clone(), backend.clone()))
+            .commit_mode(flit_pmem::CommitMode::Batched(8))
+            .build();
+        let h = db.handle();
+        let w: FlitAtomic<u64, _, _> = FlitAtomic::new(0);
+        w.store(&h, 11, PFlag::Persisted);
+        let snap = db.stats_snapshot().unwrap();
+        assert_eq!(snap.pwbs, 1);
+        assert_eq!(
+            snap.pfences, 0,
+            "leading fence elided (clean handle), trailing fence deferred"
+        );
+        // The write-back is pending but uncommitted — the store is NOT yet
+        // durable — and the word stays tagged so readers keep helping.
+        assert_eq!(backend.tracker().unwrap().persisted_value(w.addr()), None);
+        assert_eq!(scheme.table().tagged_count(), 1);
+        h.operation_completion();
+        let ticket = h.flush_async();
+        assert!(db.is_durable(ticket));
+        assert_eq!(
+            backend.tracker().unwrap().persisted_value(w.addr()),
+            Some(11)
+        );
+        assert_eq!(
+            scheme.table().tagged_count(),
+            0,
+            "the drain fence closes the deferred untag"
+        );
+        assert_eq!(db.stats_snapshot().unwrap().pfences, 1);
+    }
+
+    #[test]
+    fn batched_commit_keeps_the_inline_fence_under_the_adjacent_scheme() {
+        // The adjacent scheme embeds the counter in the word, which may be
+        // reclaimed before a deferred close: batched commit must not defer.
+        let db = FlitDb::builder(FlitPolicy::new(
+            AdjacentScheme,
+            SimNvram::builder().latency(LatencyModel::none()).build(),
+        ))
+        .commit_mode(flit_pmem::CommitMode::Batched(8))
+        .build();
+        let h = db.handle();
+        let w: FlitAtomic<u64, AdjacentScheme, SimNvram> = FlitAtomic::new(0);
+        w.store(&h, 1, PFlag::Persisted);
+        assert_eq!(
+            db.stats_snapshot().unwrap().pfences,
+            1,
+            "trailing fence inline"
+        );
+        assert!(!db.policy().defers_store_fence());
     }
 
     #[test]

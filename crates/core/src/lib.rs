@@ -133,8 +133,9 @@ pub mod policy;
 pub mod scheme;
 pub mod word;
 
-pub use db::{ArenaRecovery, DbRecovery, FlitDb, FlitHandle};
+pub use db::{ArenaRecovery, DbRecovery, FlitDb, FlitDbBuilder, FlitHandle, Ticket};
 pub use flit_atomic::{FlitAtomic, FlitPolicy, PlainPolicy};
+pub use flit_pmem::CommitMode;
 pub use link_persist::{LinkAndPersistPolicy, LpAtomic, DIRTY_BIT};
 pub use no_persist::{NoPersistPolicy, VolatileAtomic};
 pub use pflag::{PFlag, Visibility};

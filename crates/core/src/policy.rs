@@ -116,6 +116,20 @@ pub trait Policy: Send + Sync + Sized + 'static {
     /// Human-readable label for benchmark output (e.g. `"flit-HT (1MB)"`).
     fn label(&self) -> String;
 
+    /// Whether this policy's p-stores may defer their trailing fence (and untag)
+    /// to the owning handle's next fence point under group commit
+    /// ([`CommitMode::Batched`](flit_pmem::CommitMode)). `false` — the safe
+    /// default — keeps every p-store's inline trailing fence regardless of
+    /// commit mode (see [`TagScheme::defers_store_close`](crate::scheme::TagScheme::defers_store_close)).
+    fn defers_store_fence(&self) -> bool {
+        false
+    }
+
+    /// Close a p-store whose untag was deferred by group commit. Only called on
+    /// policies returning `true` from [`defers_store_fence`](Self::defers_store_fence),
+    /// after the deferring handle fenced.
+    fn close_deferred_store(&self, _addr: usize) {}
+
     /// Snapshot of the backend's persistence-instruction counters, if it keeps any.
     fn stats_snapshot(&self) -> Option<StatsSnapshot> {
         self.backend().pmem_stats().map(|s| s.snapshot())

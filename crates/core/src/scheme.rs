@@ -59,6 +59,31 @@ pub trait TagScheme: Send + Sync + Clone + 'static {
         true
     }
 
+    /// Whether a p-store's untag may be deferred past the store and performed
+    /// later **by address alone**, with no access to the word's [`PerWord`](TagScheme::PerWord)
+    /// metadata.
+    ///
+    /// Group commit ([`CommitMode`](flit_pmem::CommitMode)`::Batched`) defers the
+    /// store's trailing fence to the owning handle's next fence point; until then
+    /// the word must stay *tagged* so concurrent readers keep issuing the helping
+    /// flush that discharges Condition 4 across threads. Closing that tag happens
+    /// after the word may already have been unlinked and reclaimed, which is only
+    /// memory-safe when the counter lives *outside* the word: `true` for the
+    /// table-based schemes (and the counter-free plain baseline), `false` for
+    /// [`AdjacentScheme`], whose counter is embedded in the node — batched stores
+    /// keep their inline trailing fence there.
+    #[inline]
+    fn defers_store_close(&self) -> bool {
+        false
+    }
+
+    /// Untag `addr` without per-word metadata. Called only for schemes that
+    /// return `true` from [`defers_store_close`](Self::defers_store_close).
+    #[inline]
+    fn end_store_deferred(&self, _addr: usize) {
+        unreachable!("scheme does not support deferred store closes")
+    }
+
     /// Human-readable label including instance parameters (e.g. the table size).
     fn describe(&self) -> String {
         Self::NAME.to_string()
@@ -97,6 +122,16 @@ impl TagScheme for PlainScheme {
         // keep it paper-literal even when the backend elides.
         false
     }
+
+    #[inline]
+    fn defers_store_close(&self) -> bool {
+        // No per-word state at all, so a late close is trivially safe (and a
+        // no-op: every location reads as tagged regardless).
+        true
+    }
+
+    #[inline]
+    fn end_store_deferred(&self, _addr: usize) {}
 }
 
 // ---------------------------------------------------------------------------------
@@ -272,6 +307,18 @@ impl TagScheme for HashedScheme {
         self.table.slot(self.key(addr)).load(Ordering::Acquire) > 0
     }
 
+    #[inline]
+    fn defers_store_close(&self) -> bool {
+        // The counter lives in the shared table, not the word: decrementing it
+        // after the word's node has been reclaimed touches no freed memory.
+        true
+    }
+
+    #[inline]
+    fn end_store_deferred(&self, addr: usize) {
+        self.end_store(&(), addr);
+    }
+
     fn describe(&self) -> String {
         format!("{} ({})", Self::NAME, human_bytes(self.table.len()))
     }
@@ -337,6 +384,17 @@ impl TagScheme for CacheLineScheme {
     #[inline]
     fn is_tagged(&self, per_word: &(), addr: usize) -> bool {
         self.inner.is_tagged(per_word, cache_line_of(addr))
+    }
+
+    #[inline]
+    fn defers_store_close(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn end_store_deferred(&self, addr: usize) {
+        // `end_store` applies the cache-line mapping itself.
+        self.end_store(&(), addr);
     }
 
     fn describe(&self) -> String {

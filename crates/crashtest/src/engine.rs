@@ -20,6 +20,15 @@
 //!    inside the construction window must recover to exactly the empty structure
 //!    (either "no durable root yet" or the empty, fully-constructed skeleton).
 //!
+//! Under [`CommitMode::Batched`] (a sweep dimension next to elision) the contract
+//! weakens to the watermark/ticket contract: the recovered state must be the
+//! model state after `n` operations for some `n` between the `acked_floor` —
+//! the operations whose completion obligations a drain had acknowledged — and
+//! `c + 1`. Under [`CommitMode::Immediate`] the floor always equals `c`, so the
+//! same check degenerates to the strict two-state contract above. The
+//! deliberately broken [`SweepSettings::broken_acks`] mode acknowledges without
+//! fencing and must make batched sweeps fail.
+//!
 //! Crash points are **stable absolute event indices**: arena allocation
 //! (`flit-alloc`) makes every object flush cover a layout-independent number of
 //! cache lines, so two replays of one history produce byte-identical event
@@ -32,7 +41,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use flit::{FlitDb, Policy};
+use flit::{CommitMode, FlitDb, Policy};
 use flit_datastructs::{ConcurrentMap, Durability, MapCrashRecovery, RecoveredMap};
 use flit_pmem::{CrashImage, CrashPlan, ElisionMode, LatencyModel, SimNvram};
 use flit_queues::{ConcurrentQueue, MsQueue};
@@ -57,6 +66,20 @@ pub struct SweepSettings {
     /// (elision removes fence events), so crash indices are not comparable
     /// across modes.
     pub elision: ElisionMode,
+    /// Commit mode of the replayed [`FlitDb`]. Under [`CommitMode::Batched`] the
+    /// completion fence is amortized over batches, so the crash contract weakens
+    /// to the watermark/ticket contract: the recovered state must be a consistent
+    /// prefix containing at least every *acknowledged* operation (see
+    /// `acked_floor`). Batching removes fence events from the stream, so — as
+    /// with elision — crash indices are not comparable across commit modes.
+    pub commit: CommitMode,
+    /// Deliberately broken-acknowledgment mode: after every operation the replay
+    /// acknowledges all enqueued completion obligations *without fencing*
+    /// (`FlitHandle::ack_obligations_without_fence`). Under a batched commit mode
+    /// this claims durability for operations whose writes are still pending, so
+    /// sweeps with this flag **must** find violations — the control proving the
+    /// acked-floor check can catch a broken group-commit implementation.
+    pub broken_acks: bool,
 }
 
 /// The backend a replay runs against: zero latency, tracking, the given plan, and
@@ -97,6 +120,11 @@ const END_EVENT: &str = "end";
 struct Replay<R> {
     base: u64,
     boundaries: Vec<u64>,
+    /// Per-boundary `(enqueued, committed)` obligation counters of the replay
+    /// handle, sampled right after each operation. Under [`CommitMode::Immediate`]
+    /// both stay 0; under a batched mode they drive the `acked_floor`
+    /// computation for the weaker ticket contract.
+    marks: Vec<(u64, u64)>,
     total: u64,
     recovered: Option<(R, &'static str)>,
     /// First operation whose *return value* diverged from the sequential model
@@ -114,7 +142,7 @@ fn replay_map<P, M, F>(
     history: &[MapOp],
     crash_at: Option<u64>,
     run_history: bool,
-    elision: ElisionMode,
+    settings: &SweepSettings,
 ) -> Replay<RecoveredMap>
 where
     P: Policy<Backend = SimNvram>,
@@ -125,14 +153,17 @@ where
         Some(k) => CrashPlan::armed_at(k),
         None => CrashPlan::counting(),
     };
-    let backend = replay_backend(plan.clone(), elision);
-    let db = FlitDb::create(factory(backend.clone()));
+    let backend = replay_backend(plan.clone(), settings.elision);
+    let db = FlitDb::builder(factory(backend.clone()))
+        .commit_mode(settings.commit)
+        .build();
     let map = M::with_capacity(&db, 64);
     // The single replay handle: the engine owns it explicitly, which is what the
     // round-robin harness generalises to N handles (see `roundrobin`).
     let h = db.handle();
     let base = plan.events_seen();
     let mut boundaries = Vec::with_capacity(history.len());
+    let mut marks = Vec::with_capacity(history.len());
     let mut model: BTreeMap<u64, u64> = BTreeMap::new();
     let mut functional = None;
     if run_history {
@@ -169,7 +200,11 @@ where
                     }
                 }
             }
+            if settings.broken_acks {
+                h.ack_obligations_without_fence();
+            }
             boundaries.push(plan.events_seen());
+            marks.push((h.enqueued_obligations(), h.committed_obligations()));
         }
     }
     let total = plan.events_seen();
@@ -178,6 +213,7 @@ where
     Replay {
         base,
         boundaries,
+        marks,
         total,
         recovered,
         functional,
@@ -190,7 +226,7 @@ fn replay_queue<P, D, F>(
     history: &[QueueOp],
     crash_at: Option<u64>,
     run_history: bool,
-    elision: ElisionMode,
+    settings: &SweepSettings,
 ) -> Replay<flit_queues::RecoveredQueue>
 where
     P: Policy<Backend = SimNvram>,
@@ -201,12 +237,15 @@ where
         Some(k) => CrashPlan::armed_at(k),
         None => CrashPlan::counting(),
     };
-    let backend = replay_backend(plan.clone(), elision);
-    let db = FlitDb::create(factory(backend.clone()));
+    let backend = replay_backend(plan.clone(), settings.elision);
+    let db = FlitDb::builder(factory(backend.clone()))
+        .commit_mode(settings.commit)
+        .build();
     let queue: MsQueue<P, D> = MsQueue::new(&db);
     let h = db.handle();
     let base = plan.events_seen();
     let mut boundaries = Vec::with_capacity(history.len());
+    let mut marks = Vec::with_capacity(history.len());
     let mut model: VecDeque<u64> = VecDeque::new();
     let mut functional = None;
     if run_history {
@@ -226,7 +265,11 @@ where
                     }
                 }
             }
+            if settings.broken_acks {
+                h.ack_obligations_without_fence();
+            }
             boundaries.push(plan.events_seen());
+            marks.push((h.enqueued_obligations(), h.committed_obligations()));
         }
     }
     let total = plan.events_seen();
@@ -235,6 +278,7 @@ where
     Replay {
         base,
         boundaries,
+        marks,
         total,
         recovered,
         functional,
@@ -311,15 +355,44 @@ pub(crate) fn completed_before(boundaries: &[u64], k: u64) -> usize {
     boundaries.partition_point(|&b| b <= k)
 }
 
+/// The **acknowledged floor**: the number of leading operations whose completion
+/// obligations were acknowledged (covered by a drain, i.e. by the durability
+/// watermark) by the last completed operation boundary. The ticket contract says
+/// these operations *must* survive a crash; operations between the floor and
+/// `completed` were executed but never acknowledged, so a crash may legally drop
+/// any suffix of them.
+///
+/// `marks[i]` is the replay handle's `(enqueued, committed)` obligation pair right
+/// after operation `i`. Both counters are monotone, so the floor is the partition
+/// point of `enqueued <= committed_at_crash`. Under [`CommitMode::Immediate`]
+/// every mark is `(0, 0)`, the predicate is vacuously true, and the floor equals
+/// `completed` — the check degenerates to the strict exact-prefix contract. In
+/// broken-acknowledgment mode (`SweepSettings::broken_acks`) `committed` is
+/// forcibly kept equal to `enqueued`, so the floor again equals `completed` and
+/// any operation whose writes were still pending at the crash is a violation.
+pub(crate) fn acked_floor(marks: &[(u64, u64)], completed: usize) -> usize {
+    if completed == 0 {
+        return 0;
+    }
+    let committed = marks[completed - 1].1;
+    marks[..completed].partition_point(|&(enqueued, _)| enqueued <= committed)
+}
+
 /// Prefix-consistency check shared by maps and queues: the recovered state must
-/// equal the model state after `completed` operations — or, when an operation may
-/// have been in flight at the crash (`in_flight`, false for construction-window
-/// points where no operation had started), after `completed + 1`.
+/// equal the model state after `n` operations for some `n` in
+/// `acked..=completed` — or `completed + 1` when an operation may have been in
+/// flight at the crash (`in_flight`, false for construction-window points where
+/// no operation had started). `acked` is the `acked_floor`: under
+/// [`CommitMode::Immediate`] it equals `completed` and the window collapses to
+/// the strict two-state check; under a batched commit mode the window widens to
+/// the unacknowledged tail, which a crash may legally lose.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn check_prefix<S: PartialEq + std::fmt::Debug>(
     actual: &[S],
     truncated: bool,
     state: impl Fn(usize) -> Vec<S>,
     history_len: usize,
+    acked: usize,
     completed: usize,
     in_flight: bool,
 ) -> Option<String> {
@@ -330,28 +403,30 @@ pub(crate) fn check_prefix<S: PartialEq + std::fmt::Debug>(
                 .to_string(),
         );
     }
-    let before = state(completed);
-    if actual == before.as_slice() {
-        return None;
-    }
-    if in_flight && completed < history_len {
-        let after = state(completed + 1);
-        if actual == after.as_slice() {
+    let hi = if in_flight {
+        (completed + 1).min(history_len)
+    } else {
+        completed
+    };
+    let lo = acked.min(hi);
+    for n in lo..=hi {
+        if actual == state(n).as_slice() {
             return None;
         }
-        return Some(format!(
-            "recovered {} but expected the state after {} ops {} or after the in-flight op {}",
-            digest(actual),
-            completed,
-            digest(&before),
-            digest(&after)
-        ));
     }
     Some(format!(
-        "recovered {} but expected the state after {} ops {}{}",
+        "recovered {} but expected the state after n ops for some n in {}..={} \
+         (acked floor {}, {} completed{}); state({}) is {}, state({}) is {}{}",
         digest(actual),
+        lo,
+        hi,
+        acked,
         completed,
-        digest(&before),
+        if in_flight { ", one in flight" } else { "" },
+        lo,
+        digest(&state(lo)),
+        hi,
+        digest(&state(hi)),
         if in_flight {
             ""
         } else {
@@ -372,7 +447,7 @@ where
     M: ConcurrentMap<P> + MapCrashRecovery<P>,
     F: Fn(SimNvram) -> P,
 {
-    let counting = replay_map::<P, M, F>(&factory, history, None, true, settings.elision);
+    let counting = replay_map::<P, M, F>(&factory, history, None, true, settings);
     let points = match settings.crash_at {
         Some(k) => vec![k.min(counting.total)],
         None => select_points(0, counting.total, settings.budget),
@@ -391,7 +466,7 @@ where
     }
     for &k in &points {
         let in_flight = k >= counting.base;
-        let run = replay_map::<P, M, F>(&factory, history, Some(k), in_flight, settings.elision);
+        let run = replay_map::<P, M, F>(&factory, history, Some(k), in_flight, settings);
         // The PR-4 core invariant, asserted rather than assumed: every replay of
         // one case reproduces the counting pass's absolute event stream exactly
         // (a drift would silently misclassify construction-window points).
@@ -407,6 +482,7 @@ where
         }
         let (recovered, kind) = run.recovered.expect("crash point was armed");
         let completed = completed_before(&run.boundaries, k);
+        let acked = acked_floor(&run.marks, completed);
         let actual = recovered.sorted_pairs();
         if let Some(detail) = run.functional {
             violations.push(Violation {
@@ -422,6 +498,7 @@ where
             recovered.truncated,
             |n| map_state(history, n),
             history.len(),
+            acked,
             completed,
             in_flight,
         ) {
@@ -456,7 +533,7 @@ where
     D: Durability,
     F: Fn(SimNvram) -> P,
 {
-    let counting = replay_queue::<P, D, F>(&factory, history, None, true, settings.elision);
+    let counting = replay_queue::<P, D, F>(&factory, history, None, true, settings);
     let points = match settings.crash_at {
         Some(k) => vec![k.min(counting.total)],
         None => select_points(0, counting.total, settings.budget),
@@ -473,7 +550,7 @@ where
     }
     for &k in &points {
         let in_flight = k >= counting.base;
-        let run = replay_queue::<P, D, F>(&factory, history, Some(k), in_flight, settings.elision);
+        let run = replay_queue::<P, D, F>(&factory, history, Some(k), in_flight, settings);
         // See sweep_map: replays must reproduce the counting pass's event stream.
         assert_eq!(
             run.base, counting.base,
@@ -487,6 +564,7 @@ where
         }
         let (recovered, kind) = run.recovered.expect("crash point was armed");
         let completed = completed_before(&run.boundaries, k);
+        let acked = acked_floor(&run.marks, completed);
         if let Some(detail) = run.functional {
             violations.push(Violation {
                 crash_event: k,
@@ -501,6 +579,7 @@ where
             recovered.truncated,
             |n| queue_state(history, n),
             history.len(),
+            acked,
             completed,
             in_flight,
         ) {
@@ -587,10 +666,41 @@ mod tests {
             1 => vec![(1u64, 10u64)],
             _ => vec![(1, 10), (2, 20)],
         };
-        assert!(check_prefix(&state(1), false, state, hist_len, 1, true).is_none());
-        assert!(check_prefix(&state(2), false, state, hist_len, 1, true).is_none());
-        assert!(check_prefix(&state(0), false, state, hist_len, 1, true).is_some());
-        assert!(check_prefix(&state(1), true, state, hist_len, 1, true).is_some());
+        // Strict (immediate) contract: acked == completed.
+        assert!(check_prefix(&state(1), false, state, hist_len, 1, 1, true).is_none());
+        assert!(check_prefix(&state(2), false, state, hist_len, 1, 1, true).is_none());
+        assert!(check_prefix(&state(0), false, state, hist_len, 1, 1, true).is_some());
+        assert!(check_prefix(&state(1), true, state, hist_len, 1, 1, true).is_some());
+    }
+
+    #[test]
+    fn check_prefix_widens_to_the_acked_floor_under_batching() {
+        let hist_len = 3;
+        let state = |n: usize| (0..n as u64).map(|k| (k, k)).collect::<Vec<_>>();
+        // Batched contract: 3 ops completed, only the first acknowledged — any
+        // prefix of the unacknowledged tail may be lost...
+        for n in 1..=3 {
+            assert!(check_prefix(&state(n), false, state, hist_len, 1, 3, true).is_none());
+        }
+        // ...but the acknowledged prefix itself must survive.
+        assert!(check_prefix(&state(0), false, state, hist_len, 1, 3, true).is_some());
+        // Broken-ack control shape: everything claimed acknowledged, tail lost.
+        let verdict = check_prefix(&state(1), false, state, hist_len, 3, 3, true);
+        assert!(verdict.unwrap().contains("acked floor 3"));
+    }
+
+    #[test]
+    fn acked_floor_counts_acknowledged_leading_ops() {
+        // Immediate mode: counters never move, floor == completed.
+        assert_eq!(acked_floor(&[(0, 0), (0, 0), (0, 0)], 3), 3);
+        assert_eq!(acked_floor(&[], 0), 0);
+        // Batched(2): drain after op 1 committed ops 0-1; op 2 unacknowledged.
+        assert_eq!(acked_floor(&[(1, 0), (2, 2), (3, 2)], 3), 2);
+        // Crash one op earlier: the drain at op 1's end already covered both.
+        assert_eq!(acked_floor(&[(1, 0), (2, 2), (3, 2)], 2), 2);
+        assert_eq!(acked_floor(&[(1, 0), (2, 2), (3, 2)], 1), 0);
+        // Broken acks: committed forced equal to enqueued, floor == completed.
+        assert_eq!(acked_floor(&[(1, 1), (2, 2), (3, 3)], 3), 3);
     }
 
     #[test]
@@ -601,8 +711,8 @@ mod tests {
             _ => vec![(1u64, 10u64)],
         };
         // No operation can be in flight during construction: state(1) is a bug.
-        assert!(check_prefix(&state(0), false, state, hist_len, 0, false).is_none());
-        let verdict = check_prefix(&state(1), false, state, hist_len, 0, false);
+        assert!(check_prefix(&state(0), false, state, hist_len, 0, 0, false).is_none());
+        let verdict = check_prefix(&state(1), false, state, hist_len, 0, 0, false);
         assert!(verdict.is_some());
         assert!(verdict.unwrap().contains("construction window"));
     }

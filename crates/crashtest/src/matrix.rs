@@ -178,6 +178,8 @@ pub fn run_case(
         policy: policy.name(),
         history,
         elision: settings.elision,
+        commit: settings.commit,
+        broken_acks: settings.broken_acks,
     };
     Some(match policy {
         PolicyKind::Plain => with_policy(case, structure, method, settings, presets::plain),

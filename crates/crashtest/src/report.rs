@@ -71,7 +71,7 @@ impl HistorySpec {
 }
 
 /// The coordinates of one sweep: structure × durability method × policy ×
-/// history × elision mode.
+/// history × elision mode × commit mode (plus the broken-acknowledgment flag).
 #[derive(Debug, Clone)]
 pub struct CaseMeta {
     /// Structure key (`list`, `hashtable`, `bst`, `skiplist`, `msqueue`).
@@ -86,30 +86,52 @@ pub struct CaseMeta {
     /// Persist-epoch elision mode the backend ran with (`on` sweeps the elided
     /// instruction stream, `off` the paper-literal one).
     pub elision: flit_pmem::ElisionMode,
+    /// Commit mode the replayed [`FlitDb`](flit::FlitDb) ran with (`immediate`
+    /// sweeps the strict per-operation contract, `batched-k` the group-commit
+    /// watermark/ticket contract).
+    pub commit: flit_pmem::CommitMode,
+    /// `true` for the broken-acknowledgment control (obligations acknowledged
+    /// without fencing); such sweeps are *expected* to find violations.
+    pub broken_acks: bool,
 }
 
 impl CaseMeta {
-    /// Compact identifier, e.g. `list/automatic/flit-ht/scripted/elision-on`.
+    /// Compact identifier, e.g.
+    /// `list/automatic/flit-ht/scripted/elision-on/commit-batched-8`, with a
+    /// trailing `/ack-unfenced` for the broken-acknowledgment control.
     pub fn id(&self) -> String {
         format!(
-            "{}/{}/{}/{}/elision-{}",
+            "{}/{}/{}/{}/elision-{}/commit-{}{}",
             self.structure,
             self.method,
             self.policy,
             self.history.label(),
-            self.elision.name()
+            self.elision.name(),
+            self.commit.name(),
+            if self.broken_acks {
+                "/ack-unfenced"
+            } else {
+                ""
+            }
         )
     }
 
     /// A complete `crashtest` invocation replaying one crash point of this case.
     pub fn repro(&self, crash_event: u64) -> String {
         format!(
-            "crashtest --structures {} --methods {} --policies {} {} --elision {} --crash-at {}",
+            "crashtest --structures {} --methods {} --policies {} {} --elision {} --commit {}{} \
+             --crash-at {}",
             self.structure,
             self.method,
             self.policy,
             self.history.cli_flags(),
             self.elision.name(),
+            self.commit.name(),
+            if self.broken_acks {
+                " --broken-acks"
+            } else {
+                ""
+            },
             crash_event
         )
     }
@@ -201,6 +223,8 @@ mod tests {
                 key_range: 16,
             },
             elision: flit_pmem::ElisionMode::Enabled,
+            commit: flit_pmem::CommitMode::Batched(8),
+            broken_acks: false,
         }
     }
 
@@ -216,11 +240,19 @@ mod tests {
             "--ops 64",
             "--key-range 16",
             "--elision on",
+            "--commit batched-8",
             "--crash-at 17",
         ] {
             assert!(repro.contains(needle), "missing {needle:?} in {repro:?}");
         }
-        assert!(case().id().ends_with("/elision-on"));
+        assert!(!repro.contains("--broken-acks"));
+        assert!(case().id().ends_with("/elision-on/commit-batched-8"));
+        let broken = CaseMeta {
+            broken_acks: true,
+            ..case()
+        };
+        assert!(broken.repro(17).contains("--broken-acks"));
+        assert!(broken.id().ends_with("/ack-unfenced"));
     }
 
     #[test]

@@ -40,8 +40,8 @@ use flit_server::{KvServer, Op, Reply, ServerConfig};
 use flit_workload::MapOp;
 
 use crate::engine::{
-    check_prefix, completed_before, frozen_image, map_state, replay_backend, select_points,
-    SweepSettings,
+    acked_floor, check_prefix, completed_before, frozen_image, map_state, replay_backend,
+    select_points, SweepSettings,
 };
 
 /// The service request corresponding to one crash-history map operation.
@@ -80,6 +80,10 @@ fn expected_reply(model: &mut BTreeMap<u64, u64>, op: &Op) -> Reply {
 struct ServiceReplay {
     base: u64,
     boundaries: Vec<u64>,
+    /// Per-boundary `(enqueued, committed)` obligation counters of the crashed
+    /// shard's handle, sampled after each request routed to it (the engine's
+    /// acked-floor bookkeeping, lifted to the service path).
+    marks: Vec<(u64, u64)>,
     total: u64,
     routes: Vec<usize>,
     recovered: Option<(RecoveredMap, &'static str)>,
@@ -98,7 +102,7 @@ fn replay_service<P, M, F>(
     history: &[MapOp],
     crash_at: Option<u64>,
     run_history: bool,
-    elision: ElisionMode,
+    settings: &SweepSettings,
 ) -> ServiceReplay
 where
     P: Policy<Backend = SimNvram>,
@@ -112,23 +116,26 @@ where
     let backends: Vec<SimNvram> = (0..shards)
         .map(|i| {
             if i == crash_shard {
-                replay_backend(plan.clone(), elision)
+                replay_backend(plan.clone(), settings.elision)
             } else {
                 SimNvram::builder()
                     .latency(LatencyModel::none())
                     .tracking(true)
-                    .elision(elision)
+                    .elision(settings.elision)
                     .build()
             }
         })
         .collect();
     let server: KvServer<P, M> = KvServer::new_with(ServerConfig::new(shards, 64 * shards), |i| {
-        FlitDb::create(factory(backends[i].clone()))
+        FlitDb::builder(factory(backends[i].clone()))
+            .commit_mode(settings.commit)
+            .build()
     });
     let base = plan.events_seen();
     let slab: Vec<Vec<u8>> = history.iter().map(|op| op_of(op).encode()).collect();
     let mut models: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); shards];
     let mut boundaries = Vec::new();
+    let mut marks = Vec::new();
     let mut routes = Vec::with_capacity(history.len());
     let mut functional = None;
     if run_history {
@@ -152,8 +159,15 @@ where
                     format!("request {i} ({op:?}) replied {got:?} but the model says {want:?}"),
                 ));
             }
+            if settings.broken_acks {
+                handles[sid].ack_obligations_without_fence();
+            }
             if sid == crash_shard {
                 boundaries.push(plan.events_seen());
+                marks.push((
+                    handles[sid].enqueued_obligations(),
+                    handles[sid].committed_obligations(),
+                ));
             }
         }
         drop(handles); // any dirty handle fences land inside the swept span
@@ -182,6 +196,7 @@ where
     ServiceReplay {
         base,
         boundaries,
+        marks,
         total,
         routes,
         recovered,
@@ -273,15 +288,8 @@ where
     F: Fn(SimNvram) -> P,
 {
     assert!(crash_shard < shards, "crash shard must exist");
-    let counting = replay_service::<P, M, F>(
-        &factory,
-        shards,
-        crash_shard,
-        history,
-        None,
-        true,
-        settings.elision,
-    );
+    let counting =
+        replay_service::<P, M, F>(&factory, shards, crash_shard, history, None, true, settings);
     // Per-shard routed subsequences, from the counting pass's recorded routes
     // (identical on every replay: routing is a pure function of key and count).
     let subs: Vec<Vec<MapOp>> = (0..shards)
@@ -318,7 +326,7 @@ where
             history,
             Some(k),
             in_flight,
-            settings.elision,
+            settings,
         );
         // The engine's determinism invariant, per shard: every replay reproduces
         // the counting pass's absolute event stream on the crashed shard.
@@ -334,6 +342,7 @@ where
         }
         let (recovered, kind) = run.recovered.expect("crash point was armed");
         let completed = completed_before(&run.boundaries, k);
+        let acked = acked_floor(&run.marks, completed);
         if let Some((s, detail)) = run.functional {
             violations.push(ServerViolation {
                 crash_event: k,
@@ -349,6 +358,7 @@ where
             recovered.truncated,
             |n| map_state(crashed_sub, n),
             crashed_sub.len(),
+            acked,
             completed,
             in_flight,
         ) {
@@ -571,6 +581,45 @@ mod tests {
         assert!(
             !report.clean(),
             "a sweep over the broken control that finds nothing means the harness is broken"
+        );
+    }
+
+    #[test]
+    fn batched_commit_one_shard_crash_sweep_is_clean() {
+        let history = random_map_history(7, 40, 16);
+        let report = sweep_server_crash::<P, HashTable<P, Automatic>, _>(
+            "flit-ht-batched",
+            factory,
+            2,
+            0,
+            &history,
+            &SweepSettings {
+                budget: 10,
+                commit: flit::CommitMode::Batched(8),
+                ..Default::default()
+            },
+        );
+        assert!(report.clean(), "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn broken_acks_are_caught_through_the_service_path() {
+        let history = random_map_history(7, 16, 8);
+        let report = sweep_server_crash::<P, HashTable<P, Automatic>, _>(
+            "flit-ht-ack-unfenced",
+            factory,
+            2,
+            0,
+            &history,
+            &SweepSettings {
+                commit: flit::CommitMode::Batched(8),
+                broken_acks: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !report.clean(),
+            "acknowledging before the fence must lose acknowledged requests in some crash"
         );
     }
 

@@ -5,21 +5,19 @@
 use flit_crashtest::{
     run_case, run_matrix, HistorySpec, MethodKind, PolicyKind, StructureKind, SweepSettings,
 };
-use flit_pmem::ElisionMode;
+use flit_pmem::{CommitMode, ElisionMode};
 
 fn exhaustive() -> SweepSettings {
     SweepSettings {
         budget: 0,
-        crash_at: None,
-        elision: ElisionMode::default(),
+        ..Default::default()
     }
 }
 
 fn budgeted(budget: usize) -> SweepSettings {
     SweepSettings {
         budget,
-        crash_at: None,
-        elision: ElisionMode::default(),
+        ..Default::default()
     }
 }
 
@@ -158,9 +156,8 @@ fn single_crash_point_repro_reproduces_the_violation() {
         PolicyKind::FlitHt,
         HistorySpec::Scripted,
         &SweepSettings {
-            budget: 0,
             crash_at: Some(first.crash_event),
-            elision: ElisionMode::default(),
+            ..Default::default()
         },
     )
     .unwrap();
@@ -199,14 +196,83 @@ fn literal_stream_sweeps_clean_and_differs_from_elided() {
             lit.violations[0]
         );
         assert!(eli.clean(), "{}: not clean", eli.case.id());
-        assert!(lit.case.id().ends_with("elision-off"));
-        assert!(eli.case.id().ends_with("elision-on"));
+        assert!(lit.case.id().contains("elision-off"));
+        assert!(eli.case.id().contains("elision-on"));
         let lit_span = lit.events_total - lit.events_construction;
         let eli_span = eli.events_total - eli.events_construction;
         assert!(
             eli_span < lit_span,
             "{}: elision must shrink the event span ({eli_span} vs {lit_span})",
             eli.case.id()
+        );
+    }
+}
+
+/// The group-commit dimension: every structure swept under `Batched(4)` must be
+/// clean under the weaker watermark/ticket contract — acknowledged operations
+/// survive every crash, the unacknowledged tail recovers to a consistent prefix.
+#[test]
+fn batched_commit_sweeps_clean_for_every_structure() {
+    let reports = run_matrix(
+        &StructureKind::ALL,
+        &MethodKind::CORRECT,
+        &[PolicyKind::FlitHt],
+        HistorySpec::Scripted,
+        &SweepSettings {
+            budget: 120,
+            commit: CommitMode::Batched(4),
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        reports.len(),
+        StructureKind::ALL.len() * MethodKind::CORRECT.len()
+    );
+    for report in &reports {
+        assert!(
+            report.clean(),
+            "{}: {} violations, first: {}",
+            report.case.id(),
+            report.violations.len(),
+            report.violations[0]
+        );
+        assert!(report.case.id().contains("commit-batched-4"));
+    }
+}
+
+/// The batched contract's own broken control: acknowledging obligations *without*
+/// fencing claims durability for operations whose writes are still pending, and an
+/// every-event sweep must catch the lie for every structure.
+#[test]
+fn acknowledge_before_fence_control_fails_for_every_structure() {
+    let spec = HistorySpec::Random {
+        seed: 0x2a,
+        ops: 24,
+        key_range: 8,
+    };
+    for structure in StructureKind::ALL {
+        let report = run_case(
+            structure,
+            MethodKind::Automatic,
+            PolicyKind::FlitHt,
+            spec,
+            &SweepSettings {
+                commit: CommitMode::Batched(8),
+                broken_acks: true,
+                ..Default::default()
+            },
+        )
+        .expect("combination supported");
+        assert!(
+            !report.clean(),
+            "{}: acknowledge-before-fence swept clean — the acked-floor check is toothless",
+            report.case.id()
+        );
+        let v = &report.violations[0];
+        assert!(
+            v.repro.contains("--broken-acks") && v.repro.contains("--commit batched-8"),
+            "repro not reproducible: {}",
+            v.repro
         );
     }
 }

@@ -42,9 +42,6 @@ use crate::map::ConcurrentMap;
 use crate::marked::{address, is_marked, pack, unmark, with_mark};
 use crate::recovery::RecoveredMap;
 
-/// Slots per arena chunk for list-shaped structures.
-pub(crate) const LIST_CHUNK_SLOTS: usize = 1024;
-
 /// A node of the list. `key` and `value` are immutable after construction (the node is
 /// persisted wholesale before being published), so only the `next` link is a
 /// persist-word.
@@ -100,7 +97,7 @@ impl<P: Policy, D: Durability> HarrisList<P, D> {
     /// Create an empty list in `db` with its own arena, registered under
     /// [`roots::LIST_HEAD`].
     pub fn new(db: &FlitDb<P>) -> Self {
-        let arena = db.new_arena_for::<Node<P>>(LIST_CHUNK_SLOTS);
+        let arena = db.new_arena_for::<Node<P>>(db.arena_defaults());
         Self::with_arena(db, arena, Some(roots::LIST_HEAD))
     }
 

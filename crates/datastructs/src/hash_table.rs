@@ -21,9 +21,9 @@
 
 use std::sync::Arc;
 
-use flit::{FlitDb, FlitHandle, Policy};
+use flit::{FlitDb, FlitHandle, PFlag, Policy};
 use flit_alloc::{roots, Arena, ArenaConfig};
-use flit_pmem::{CrashImage, PmemBackend, CACHE_LINE_SIZE, WORD_SIZE};
+use flit_pmem::{CrashImage, PmemBackend, WORD_SIZE};
 
 use crate::durability::Durability;
 use crate::harris_list::{HarrisList, Node};
@@ -42,7 +42,7 @@ impl<P: Policy, D: Durability> HashTable<P, D> {
     /// Create a table in `db` with roughly one bucket per expected key
     /// (`capacity_hint`), rounded up to a power of two and at least 64 buckets.
     pub fn new(db: &FlitDb<P>, capacity_hint: usize) -> Self {
-        Self::with_config(db, capacity_hint, ArenaConfig::default())
+        Self::with_config(db, capacity_hint, db.arena_defaults())
     }
 
     /// [`HashTable::new`] with an explicit node-arena [`ArenaConfig`], so a
@@ -58,7 +58,7 @@ impl<P: Policy, D: Durability> HashTable<P, D> {
         let chunk_slots = config
             .slots_per_chunk
             .max(2 * dir_bytes.div_ceil(node_slot));
-        let arena = db.new_arena(node_slot, chunk_slots);
+        let arena = db.new_arena(config.sized(node_slot).chunked(chunk_slots));
         let buckets: Vec<HarrisList<P, D>> = (0..buckets_len)
             .map(|_| HarrisList::with_arena(db, Arc::clone(&arena), None))
             .collect();
@@ -84,12 +84,7 @@ impl<P: Policy, D: Durability> HashTable<P, D> {
                 .expect("bucket heads live in the shared arena");
             write_word(i + 1, (offset + 1) as u64);
         }
-        let mut line = dir as usize;
-        while line < dir as usize + dir_bytes {
-            pm.pwb(line as *const u8);
-            line += CACHE_LINE_SIZE;
-        }
-        pm.pfence();
+        h.persist_range(dir as *const u8, dir_bytes, PFlag::Persisted);
         arena.register_root(&pm, roots::HASH_DIRECTORY, dir as usize);
         drop(h);
 

@@ -26,7 +26,6 @@ use flit_ebr::Guard;
 use flit_pmem::{CrashImage, PmemBackend};
 
 use crate::durability::Durability;
-use crate::harris_list::LIST_CHUNK_SLOTS;
 use crate::map::ConcurrentMap;
 use crate::marked::{address, is_marked, is_tagged, pack, pack_with, with_tag};
 use crate::recovery::RecoveredMap;
@@ -101,7 +100,7 @@ impl<P: Policy, D: Durability> NatarajanTree<P, D> {
     /// Create an empty tree (the three-sentinel initial shape of the original
     /// paper) in `db`, with its own arena, registered under [`roots::BST_ROOT`].
     pub fn new(db: &FlitDb<P>) -> Self {
-        let arena = db.new_arena_for::<Node<P>>(LIST_CHUNK_SLOTS);
+        let arena = db.new_arena_for::<Node<P>>(db.arena_defaults());
         // Persist-before-publish at construction: the sentinel skeleton becomes
         // durable before the root registration makes the tree recoverable.
         let h = db.handle();

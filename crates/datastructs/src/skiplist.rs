@@ -35,7 +35,6 @@ use flit_ebr::Guard;
 use flit_pmem::{CrashImage, PmemBackend, WORD_SIZE};
 
 use crate::durability::Durability;
-use crate::harris_list::LIST_CHUNK_SLOTS;
 use crate::map::ConcurrentMap;
 use crate::marked::{address, is_marked, pack, unmark, with_mark};
 use crate::recovery::RecoveredMap;
@@ -97,7 +96,7 @@ impl<P: Policy, D: Durability> SkipList<P, D> {
     /// Create an empty skiplist in `db` with its own arena, registered under
     /// [`roots::SKIPLIST_HEAD`].
     pub fn new(db: &FlitDb<P>) -> Self {
-        let arena = db.new_arena_for::<Node<P>>(LIST_CHUNK_SLOTS);
+        let arena = db.new_arena_for::<Node<P>>(db.arena_defaults());
         let list = Self {
             head: std::ptr::null_mut(),
             arena,

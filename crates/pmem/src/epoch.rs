@@ -93,6 +93,66 @@ impl ElisionMode {
     }
 }
 
+/// When a session's owning handle acknowledges operation durability: at every
+/// completion fence, or in groups of up to `k` obligations committed by one
+/// shared fence (group commit).
+///
+/// Chosen once at database construction and inherited by every handle. Under
+/// `Batched(k)` an operation's completion *enqueues an obligation* on the
+/// handle instead of fencing; the handle drains its queue — one `pfence`
+/// committing every outstanding obligation — when the queue reaches `k`, on an
+/// explicit flush, or on handle drop. The durability contract weakens
+/// accordingly: a crash may lose operations that completed but were never
+/// acknowledged, yet recovered state is always a consistent prefix that
+/// includes every *acknowledged* operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitMode {
+    /// Fence at every operation completion (the paper's Condition 4, and the
+    /// default): an operation is durable before it returns.
+    #[default]
+    Immediate,
+    /// Group commit: acknowledge completions in batches of up to `k`
+    /// obligations, one fence per batch.
+    Batched(usize),
+}
+
+impl CommitMode {
+    /// `true` under any batched mode.
+    #[inline]
+    pub fn is_batched(self) -> bool {
+        matches!(self, CommitMode::Batched(_))
+    }
+
+    /// The batch size `k`, or `None` under [`CommitMode::Immediate`].
+    #[inline]
+    pub fn batch_limit(self) -> Option<u64> {
+        match self {
+            CommitMode::Immediate => None,
+            CommitMode::Batched(k) => Some(k.max(1) as u64),
+        }
+    }
+
+    /// CLI-friendly key (`immediate` / `batched-<k>`).
+    pub fn name(self) -> String {
+        match self {
+            CommitMode::Immediate => "immediate".to_string(),
+            CommitMode::Batched(k) => format!("batched-{k}"),
+        }
+    }
+
+    /// Parse a CLI key (`immediate` / `batched-<k>`, `k >= 1`).
+    pub fn parse(s: &str) -> Option<CommitMode> {
+        if s == "immediate" {
+            return Some(CommitMode::Immediate);
+        }
+        let k: usize = s.strip_prefix("batched-")?.parse().ok()?;
+        if k == 0 {
+            return None;
+        }
+        Some(CommitMode::Batched(k))
+    }
+}
+
 /// Capacity of the per-handle recently-flushed set. Small on purpose: the set only
 /// needs to cover the reads of one operation (it is cleared on every fence), and a
 /// bounded ring keeps the lookup a handful of compares.
@@ -119,6 +179,16 @@ pub struct PersistEpoch {
     recent: [Cell<(usize, u64, u64)>; RECENT_FLUSHES],
     recent_len: Cell<usize>,
     next_slot: Cell<usize>,
+    /// Completion obligations enqueued on this handle over its lifetime
+    /// (group commit, [`CommitMode::Batched`]). Monotone; ticket targets are
+    /// cut from it.
+    obligations_enqueued: Cell<u64>,
+    /// Obligations enqueued but not yet acknowledged by a batch drain. Note
+    /// this is *not* cleared by [`note_pfence`](Self::note_pfence): a fence
+    /// makes pending write-backs durable, but acknowledgment is a separate,
+    /// explicit act of the owning handle (the drain), so that the crashtest
+    /// harness can model — and break — the two independently.
+    obligations_pending: Cell<u64>,
 }
 
 impl Default for PersistEpoch {
@@ -145,6 +215,8 @@ impl PersistEpoch {
             recent: std::array::from_fn(|_| Cell::new((0, 0, 0))),
             recent_len: Cell::new(0),
             next_slot: Cell::new(0),
+            obligations_enqueued: Cell::new(0),
+            obligations_pending: Cell::new(0),
         }
     }
 
@@ -199,6 +271,47 @@ impl PersistEpoch {
     pub fn note_pwb_flushed(&self, word: usize, val: u64, stamp: u64) {
         self.note_pwb();
         self.note_flushed(word, val, stamp);
+    }
+
+    /// Enqueue one completion obligation on the owning handle (group commit):
+    /// the operation has linearized but its durability is not yet
+    /// acknowledged. Returns the new pending count, so the caller can compare
+    /// it against the batch limit.
+    #[inline]
+    pub fn note_obligation(&self) -> u64 {
+        self.obligations_enqueued
+            .set(self.obligations_enqueued.get() + 1);
+        let pending = self.obligations_pending.get() + 1;
+        self.obligations_pending.set(pending);
+        pending
+    }
+
+    /// Obligations enqueued on this handle over its lifetime (monotone).
+    #[inline]
+    pub fn enqueued_obligations(&self) -> u64 {
+        self.obligations_enqueued.get()
+    }
+
+    /// Obligations enqueued but not yet acknowledged by a drain.
+    #[inline]
+    pub fn pending_obligations(&self) -> u64 {
+        self.obligations_pending.get()
+    }
+
+    /// Obligations acknowledged so far (enqueued minus pending).
+    #[inline]
+    pub fn committed_obligations(&self) -> u64 {
+        self.obligations_enqueued.get() - self.obligations_pending.get()
+    }
+
+    /// Acknowledge every pending obligation (the bookkeeping half of a batch
+    /// drain — the owning handle must fence *before* calling this). Returns
+    /// how many obligations were acknowledged.
+    #[inline]
+    pub fn take_obligations(&self) -> u64 {
+        let pending = self.obligations_pending.get();
+        self.obligations_pending.set(0);
+        pending
     }
 
     /// `true` when the owning handle already flushed `word` holding exactly `val`
@@ -308,6 +421,38 @@ mod tests {
             e.is_clean(),
             "the fence on the other thread closed the epoch"
         );
+    }
+
+    #[test]
+    fn commit_mode_round_trips() {
+        assert_eq!(CommitMode::parse("immediate"), Some(CommitMode::Immediate));
+        assert_eq!(CommitMode::parse("batched-8"), Some(CommitMode::Batched(8)));
+        assert_eq!(CommitMode::parse("batched-0"), None, "k must be positive");
+        assert_eq!(CommitMode::parse("batched-"), None);
+        assert_eq!(CommitMode::parse("eventually"), None);
+        assert_eq!(CommitMode::Immediate.name(), "immediate");
+        assert_eq!(CommitMode::Batched(4).name(), "batched-4");
+        assert_eq!(CommitMode::Batched(4).batch_limit(), Some(4));
+        assert_eq!(CommitMode::Immediate.batch_limit(), None);
+        assert!(!CommitMode::default().is_batched());
+    }
+
+    #[test]
+    fn obligations_accumulate_and_drain_independently_of_fences() {
+        let e = PersistEpoch::new();
+        assert_eq!(e.note_obligation(), 1);
+        assert_eq!(e.note_obligation(), 2);
+        assert_eq!(e.enqueued_obligations(), 2);
+        assert_eq!(e.pending_obligations(), 2);
+        assert_eq!(e.committed_obligations(), 0);
+        // A fence alone does not acknowledge anything: the drain is explicit.
+        e.note_pwb();
+        e.note_pfence();
+        assert_eq!(e.pending_obligations(), 2);
+        assert_eq!(e.take_obligations(), 2);
+        assert_eq!(e.pending_obligations(), 0);
+        assert_eq!(e.committed_obligations(), 2);
+        assert_eq!(e.enqueued_obligations(), 2, "enqueued stays monotone");
     }
 
     #[test]

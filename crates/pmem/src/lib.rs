@@ -70,7 +70,7 @@ pub mod tracker;
 pub use backend::{NullPmem, PmemBackend};
 pub use cache_line::{cache_line_of, word_of, CACHE_LINE_SIZE, WORD_SIZE};
 pub use crash::{CrashEventKind, CrashPlan};
-pub use epoch::{ElisionMode, PersistEpoch};
+pub use epoch::{CommitMode, ElisionMode, PersistEpoch};
 pub use hardware::{FlushInstruction, HardwarePmem};
 pub use latency::LatencyModel;
 pub use recording::RecordingBackend;

@@ -130,6 +130,22 @@ impl<'h, B: PmemBackend + ?Sized> PmemBackend for PmemSession<'h, B> {
             self.backend.note_elided_pwb();
             return false;
         }
+        // With a tracker attached (crash testing), a flush of a word that
+        // *provably, durably* holds `observed` is elided too: it could neither
+        // persist anything new nor be overtaken by a pending write-back (see
+        // `PersistenceTracker::durably_holds`). Group commit leaves words
+        // tagged past their durability point, and without this the helping
+        // flush of an already-durable word would fire or not depending on
+        // counter-table hash collisions — making crash-event streams depend on
+        // allocation addresses and breaking replay determinism.
+        if self.elision.is_enabled() {
+            if let Some(tracker) = self.backend.persistence_tracker() {
+                if tracker.durably_holds(word, observed) {
+                    self.backend.note_elided_pwb();
+                    return false;
+                }
+            }
+        }
         self.backend.pwb(addr);
         self.epoch.note_pwb_flushed(word, observed, stamp);
         true

@@ -169,6 +169,32 @@ impl PersistenceTracker {
         shard.persisted.get(&word).map(|(val, _)| *val)
     }
 
+    /// `true` when the word at `addr` durably holds `val` *and nothing can change
+    /// that*: the persisted entry matches and its version is at least the word's
+    /// latest volatile version, so by monotone commits every outstanding pending
+    /// write-back of the word (necessarily snapshotted at a version ≤ the
+    /// volatile one) either loses to the persisted entry or re-commits the same
+    /// value. A read-side helping flush of such a word is a provable no-op —
+    /// [`PmemSession`](crate::PmemSession) uses this to elide it, which keeps
+    /// crash-event streams independent of counter-table collisions when group
+    /// commit leaves words tagged past their durability point.
+    pub fn durably_holds(&self, addr: usize, val: u64) -> bool {
+        let word = word_of(addr);
+        let line = cache_line_of(word);
+        let idx = (word - line) / WORD_SIZE;
+        let shard = self.shards[shard_of(line)].lock();
+        let Some(&(pval, pver)) = shard.persisted.get(&word) else {
+            return false;
+        };
+        if pval != val {
+            return false;
+        }
+        match shard.volatile.get(&line).and_then(|w| w[idx]) {
+            Some((_, vver)) => vver <= pver,
+            None => true,
+        }
+    }
+
     /// Number of stores recorded so far (diagnostic).
     pub fn stores_recorded(&self) -> u64 {
         self.stores_recorded.load(Ordering::Relaxed)

@@ -158,14 +158,14 @@ impl<P: Policy, D: Durability> MsQueue<P, D> {
     /// *any* construction event recovers to either "no queue yet" or the empty
     /// queue, never garbage. Construction runs under a temporary handle of `db`.
     pub fn new(db: &FlitDb<P>) -> Self {
-        Self::with_config(db, ArenaConfig::default())
+        Self::with_config(db, db.arena_defaults())
     }
 
     /// [`MsQueue::new`] with an explicit node-arena [`ArenaConfig`], so a queue
     /// expected to stay short (a per-shard request mailbox, say) grows its arena
     /// in small steps instead of the default chunk size.
     pub fn with_config(db: &FlitDb<P>, config: ArenaConfig) -> Self {
-        let arena = db.new_arena_for_cfg::<Node<P>>(config);
+        let arena = db.new_arena_for::<Node<P>>(config);
         let h = db.handle();
         let sentinel = Node::<P>::alloc(&h, &arena, 0, PFlag::Persisted) as usize;
         let roots: *mut Roots<P> = arena.alloc_init(

@@ -11,7 +11,7 @@ use flit::{presets, FlitDb, Policy};
 use flit_datastructs::{
     Automatic, ConcurrentMap, HarrisList, HashTable, Manual, NatarajanTree, NvTraverse, SkipList,
 };
-use flit_pmem::{ElisionMode, LatencyModel, SimNvram};
+use flit_pmem::{CommitMode, ElisionMode, LatencyModel, SimNvram};
 use flit_queues::{ConcurrentQueue, MsQueue};
 
 use crate::config::WorkloadConfig;
@@ -145,17 +145,27 @@ pub struct Case {
     /// Persist-epoch elision mode of the simulated NVRAM
     /// ([`ElisionMode::Disabled`] measures the paper-literal instruction stream).
     pub elision: ElisionMode,
+    /// Durability commit mode of the database ([`CommitMode::Batched`] amortises
+    /// trailing fences across operations; the default is per-op durability).
+    pub commit: CommitMode,
 }
 
 impl Case {
-    /// Human-readable label, e.g. `bst/automatic/flit-HT (1MB)`.
+    /// Human-readable label, e.g. `bst/automatic/flit-HT (1MB)`. Batched commit
+    /// modes append their name (`…/batched-8`); the immediate default keeps the
+    /// historical three-part label.
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}",
             self.ds.name(),
             self.dur.name(),
             self.policy.name()
-        )
+        );
+        if self.commit.is_batched() {
+            format!("{}/{}", base, self.commit.name())
+        } else {
+            base
+        }
     }
 }
 
@@ -174,7 +184,7 @@ fn run_with_policy<P: Policy>(
     case: &Case,
     observe: Option<&LatencyObserver<'_>>,
 ) -> RunResult {
-    let db = &FlitDb::create(policy);
+    let db = &FlitDb::builder(policy).commit_mode(case.commit).build();
     match (case.ds, case.dur) {
         (DsKind::List, DurKind::Automatic) => {
             run_map::<P, HarrisList<P, Automatic>>(db, case, observe)
@@ -271,6 +281,8 @@ pub struct QueueCase {
     pub latency: LatencyModel,
     /// Persist-epoch elision mode of the simulated NVRAM.
     pub elision: ElisionMode,
+    /// Durability commit mode of the database.
+    pub commit: CommitMode,
 }
 
 /// The durability methods the queue harness sweeps. (NVTraverse instantiates too,
@@ -280,13 +292,20 @@ pub const QUEUE_DURS: [DurKind; 2] = [DurKind::Automatic, DurKind::Manual];
 
 impl QueueCase {
     /// Human-readable label, e.g. `msqueue/automatic/flit-HT (1MB)/mixed-50%`.
+    /// Batched commit modes append their name; the immediate default keeps the
+    /// historical four-part label.
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "msqueue/{}/{}/{}",
             self.dur.name(),
             self.policy.name(),
             self.config.shape_label()
-        )
+        );
+        if self.commit.is_batched() {
+            format!("{}/{}", base, self.commit.name())
+        } else {
+            base
+        }
     }
 }
 
@@ -309,7 +328,7 @@ fn run_queue_with_policy<P: Policy>(
     case: &QueueCase,
     observe: Option<&LatencyObserver<'_>>,
 ) -> QueueRunResult {
-    let db = &FlitDb::create(policy);
+    let db = &FlitDb::builder(policy).commit_mode(case.commit).build();
     match case.dur {
         DurKind::Automatic => run_queue::<P, MsQueue<P, Automatic>>(db, case, observe),
         DurKind::NvTraverse => run_queue::<P, MsQueue<P, NvTraverse>>(db, case, observe),
@@ -383,6 +402,7 @@ mod tests {
                         config: tiny_config(),
                         latency: LatencyModel::none(),
                         elision: ElisionMode::default(),
+                        commit: CommitMode::Immediate,
                     };
                     let result = run_case(&case);
                     assert_eq!(result.total_ops, 400, "case {}", case.label());
@@ -402,6 +422,7 @@ mod tests {
             config: WorkloadConfig::new(1_000, 5, 2, 2_000),
             latency: LatencyModel::none(),
             elision: ElisionMode::default(),
+            commit: CommitMode::Immediate,
         };
         let plain = run_case(&mk(PolicyKind::Plain));
         let flit = run_case(&mk(PolicyKind::FlitHt(1 << 20)));
@@ -430,6 +451,7 @@ mod tests {
                     config: QueueWorkloadConfig::mixed(2, 50, 200).with_prefill(16),
                     latency: LatencyModel::none(),
                     elision: ElisionMode::default(),
+                    commit: CommitMode::Immediate,
                 };
                 let result = run_queue_case(&case);
                 assert_eq!(result.total_ops, 400, "case {}", case.label());
@@ -453,6 +475,7 @@ mod tests {
             config: QueueWorkloadConfig::producer_consumer(1, 3, 2_000),
             latency: LatencyModel::none(),
             elision: ElisionMode::default(),
+            commit: CommitMode::Immediate,
         };
         let plain = run_queue_case(&mk(PolicyKind::Plain));
         let flit = run_queue_case(&mk(PolicyKind::FlitHt(1 << 20)));
@@ -472,8 +495,14 @@ mod tests {
             config: QueueWorkloadConfig::producer_consumer(3, 1, 10),
             latency: LatencyModel::none(),
             elision: ElisionMode::default(),
+            commit: CommitMode::Immediate,
         };
         assert_eq!(case.label(), "msqueue/manual/plain/pc-3:1");
+        let batched = QueueCase {
+            commit: CommitMode::Batched(8),
+            ..case
+        };
+        assert_eq!(batched.label(), "msqueue/manual/plain/pc-3:1/batched-8");
         assert_eq!(QUEUE_DURS.len(), 2);
     }
 
@@ -491,7 +520,13 @@ mod tests {
             config: tiny_config(),
             latency: LatencyModel::none(),
             elision: ElisionMode::default(),
+            commit: CommitMode::Immediate,
         };
         assert_eq!(case.label(), "list/manual/plain");
+        let batched = Case {
+            commit: CommitMode::Batched(4),
+            ..case
+        };
+        assert_eq!(batched.label(), "list/manual/plain/batched-4");
     }
 }

@@ -17,6 +17,7 @@ fn run(policy: PolicyKind, updates: u32) -> f64 {
         config: WorkloadConfig::new(10_000, updates, 4, 3_000),
         latency: LatencyModel::optane(),
         elision: ElisionMode::default(),
+        commit: flit_pmem::CommitMode::Immediate,
     };
     run_case(&case).mops
 }

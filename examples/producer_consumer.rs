@@ -33,6 +33,7 @@ fn main() {
                 .with_prefill(1_000),
             latency: LatencyModel::optane(),
             elision: ElisionMode::default(),
+            commit: flit_pmem::CommitMode::Immediate,
         };
         let r = run_queue_case(&case);
         // Remaining length counts the prefilled values too (dequeues drain them

@@ -28,8 +28,7 @@ const SPEC: HistorySpec = HistorySpec::Random {
 fn exhaustive() -> SweepSettings {
     SweepSettings {
         budget: 0,
-        crash_at: None,
-        elision: ElisionMode::Enabled,
+        ..Default::default()
     }
 }
 
@@ -108,8 +107,8 @@ fn event_spans_are_stable_for_every_structure_and_stream() {
         for elision in [ElisionMode::Enabled, ElisionMode::Disabled] {
             let settings = SweepSettings {
                 budget: 1, // spans come from the counting pass; one point suffices
-                crash_at: None,
                 elision,
+                ..Default::default()
             };
             let spans = |_: ()| {
                 let r = run_case(

@@ -1,0 +1,136 @@
+//! End-to-end group-commit semantics through the public API: tickets cut by
+//! [`FlitHandle::ticket`]/[`FlitHandle::flush_async`], the db-wide durability
+//! watermark, cross-thread waiters, and the acknowledged-operations half of the
+//! weaker crash contract — all driven through a real structure, not raw words.
+//! (The crash half of the contract — what an *unacknowledged* suffix may lose —
+//! is swept exhaustively by the `flit-crashtest` engine; see `tests/sweep.rs`
+//! in that crate.)
+
+use flit::{FlitDb, FlitPolicy, HashedScheme};
+use flit_datastructs::{Automatic, ConcurrentMap, HashTable};
+use flit_pmem::{CommitMode, SimNvram};
+
+type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
+
+fn batched_db(nvram: SimNvram, k: usize) -> FlitDb<HtPolicy> {
+    FlitDb::builder(FlitPolicy::new(HashedScheme::with_bytes(1 << 14), nvram))
+        .commit_mode(CommitMode::Batched(k))
+        .build()
+}
+
+/// `flush_async` drains the handle's queue before returning, so its ticket is
+/// durable at issue and `wait` on it never blocks.
+#[test]
+fn flush_async_tickets_are_durable_at_issue() {
+    let nvram = SimNvram::for_crash_testing();
+    let db = batched_db(nvram, 64);
+    let map: HashTable<HtPolicy, Automatic> = HashTable::with_capacity(&db, 64);
+    let h = db.handle();
+    for k in 0..10u64 {
+        assert!(map.insert(&h, k, k * 2));
+    }
+    assert_eq!(
+        db.durable_watermark(),
+        0,
+        "a batch of 64 never overflowed on 10 operations"
+    );
+    let t = h.flush_async();
+    assert_eq!(t.covered(), 10);
+    assert!(db.is_durable(t));
+    db.wait(t); // must return immediately
+    assert_eq!(db.durable_watermark(), 10);
+}
+
+/// Batch overflow acknowledges mid-stream without any explicit flush: a ticket
+/// cut between two overflows becomes durable when the second one fires.
+#[test]
+fn batch_overflow_acknowledges_mid_stream() {
+    let nvram = SimNvram::for_crash_testing();
+    let db = batched_db(nvram, 4);
+    let map: HashTable<HtPolicy, Automatic> = HashTable::with_capacity(&db, 64);
+    let h = db.handle();
+    for k in 0..6u64 {
+        assert!(map.insert(&h, k, k));
+    }
+    let t = h.ticket();
+    assert_eq!(t.covered(), 6);
+    assert!(
+        !db.is_durable(t),
+        "only the first batch of 4 is acknowledged so far"
+    );
+    assert_eq!(db.durable_watermark(), 4);
+    for k in 6..8u64 {
+        assert!(map.insert(&h, k, k));
+    }
+    assert!(db.is_durable(t), "the second overflow covered the ticket");
+    assert_eq!(db.durable_watermark(), 8);
+}
+
+/// Tickets are plain `Copy` data checkable from any thread: a waiter spinning
+/// on `wait` observes the issuing handle's drain.
+#[test]
+fn a_waiter_on_another_thread_observes_the_drain() {
+    let nvram = SimNvram::for_crash_testing();
+    let db = batched_db(nvram, 1024);
+    let map: HashTable<HtPolicy, Automatic> = HashTable::with_capacity(&db, 64);
+    let h = db.handle();
+    for k in 0..5u64 {
+        assert!(map.insert(&h, k, k + 7));
+    }
+    let t = h.ticket();
+    assert!(!db.is_durable(t));
+    std::thread::scope(|s| {
+        let waiter = s.spawn(|| {
+            db.wait(t);
+            db.durable_watermark()
+        });
+        let flushed = h.flush_async();
+        assert!(db.is_durable(flushed));
+        assert!(waiter.join().expect("waiter thread") >= 5);
+    });
+}
+
+/// Under the default `Immediate` mode the group-commit surface degenerates
+/// gracefully: completions are synchronously durable, every ticket is trivially
+/// durable, and the watermark (which counts batched acknowledgments) stays 0.
+#[test]
+fn immediate_mode_tickets_are_trivially_durable() {
+    let db = FlitDb::flit_ht(SimNvram::for_crash_testing());
+    let map: HashTable<HtPolicy, Automatic> = HashTable::with_capacity(&db, 64);
+    let h = db.handle();
+    assert!(map.insert(&h, 1, 2));
+    let t = h.ticket();
+    assert_eq!(t.covered(), 0, "immediate mode enqueues no obligations");
+    assert!(db.is_durable(t));
+    db.wait(t);
+    let flushed = h.flush_async();
+    assert!(db.is_durable(flushed));
+    assert_eq!(db.durable_watermark(), 0);
+}
+
+/// The acknowledged half of the group-commit contract, tracker-verified: once a
+/// ticket is durable, a crash image cut at that moment recovers every operation
+/// the ticket covers.
+#[test]
+fn acknowledged_inserts_survive_the_crash_image() {
+    let nvram = SimNvram::for_crash_testing();
+    let db = batched_db(nvram.clone(), 8);
+    let map: HashTable<HtPolicy, Automatic> = HashTable::with_capacity(&db, 64);
+    let h = db.handle();
+    // Pin so no retired node is reclaimed while we walk the crash image.
+    let _guard = h.pin();
+    for k in 0..5u64 {
+        assert!(map.insert(&h, k, k + 50));
+    }
+    let t = h.flush_async();
+    assert!(db.is_durable(t));
+    let image = nvram.tracker().unwrap().crash_image();
+    let recovered = map.recover(&image);
+    assert!(!recovered.truncated);
+    let expected: Vec<(u64, u64)> = (0..5u64).map(|k| (k, k + 50)).collect();
+    assert_eq!(
+        recovered.sorted_pairs(),
+        expected,
+        "every acknowledged insert must be in the image"
+    );
+}

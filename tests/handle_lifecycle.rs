@@ -10,9 +10,9 @@
 //! * dropped handles return their EBR slots, so short-lived workers no longer
 //!   exhaust the participant table (the handle-retirement leak fix).
 
-use flit::{FlitDb, FlitPolicy, HashedScheme, PersistWord, Policy};
+use flit::{FlitDb, FlitPolicy, HashedScheme, PFlag, PersistWord, Policy};
 use flit_datastructs::{Automatic, ConcurrentMap, HarrisList};
-use flit_pmem::{LatencyModel, PmemBackend, SimNvram};
+use flit_pmem::{CommitMode, LatencyModel, PmemBackend, SimNvram};
 
 type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
 type Word = <HtPolicy as Policy>::Word<u64>;
@@ -50,6 +50,54 @@ fn dropping_a_dirty_handle_issues_the_trailing_pfence() {
     let fences_before = nvram.stats().pfences();
     drop(db.handle());
     assert_eq!(nvram.stats().pfences(), fences_before);
+}
+
+/// Group commit: a dirty batched handle dropped mid-batch must drain its
+/// obligation queue — the drop fences, acknowledges the open batch (db-wide
+/// watermark plus the handle's tickets), and the tracker shows the batch's
+/// last store durable only after the drop.
+#[test]
+fn dropping_a_batched_handle_mid_batch_drains_its_obligations() {
+    let nvram = SimNvram::for_crash_testing();
+    let db = FlitDb::builder(FlitPolicy::new(
+        HashedScheme::with_bytes(1 << 12),
+        nvram.clone(),
+    ))
+    .commit_mode(CommitMode::Batched(8))
+    .build();
+    let word = Word::new(0);
+    let ticket = {
+        let h = db.handle();
+        for i in 1..=3u64 {
+            word.store(&h, 10 + i, PFlag::Persisted);
+            h.operation_completion();
+        }
+        let t = h.ticket();
+        assert!(
+            !db.is_durable(t),
+            "mid-batch (3 of 8 obligations): nothing is acknowledged yet"
+        );
+        assert_eq!(db.durable_watermark(), 0);
+        // The trailing fence of the *last* store is deferred: its predecessor
+        // was committed by the leading fence of store 3, but 13 itself is only
+        // in volatile memory.
+        assert_eq!(
+            nvram.tracker().unwrap().persisted_value(word.addr()),
+            Some(12),
+            "the deferred trailing fence leaves the batch's last store pending"
+        );
+        t
+    }; // <- drop: one drain fence commits and acknowledges the whole batch
+    assert!(
+        db.is_durable(ticket),
+        "the drop must acknowledge the open batch"
+    );
+    assert_eq!(db.durable_watermark(), 3);
+    assert_eq!(
+        nvram.tracker().unwrap().persisted_value(word.addr()),
+        Some(13),
+        "the drop's drain fence made the last store durable"
+    );
 }
 
 /// Two handles on one OS thread: each owns its own persist epoch, so dirtiness

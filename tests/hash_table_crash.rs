@@ -58,8 +58,7 @@ fn hash_table_survives_a_crash_at_every_event() {
             HistorySpec::Scripted,
             &SweepSettings {
                 budget: 0,
-                crash_at: None,
-                elision: Default::default(),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -88,8 +87,7 @@ fn random_histories_recover_under_plain_and_flit() {
             },
             &SweepSettings {
                 budget: 100,
-                crash_at: None,
-                elision: Default::default(),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -113,8 +111,7 @@ fn broken_durability_is_caught_on_the_hash_table() {
         HistorySpec::Scripted,
         &SweepSettings {
             budget: 30,
-            crash_at: None,
-            elision: Default::default(),
+            ..Default::default()
         },
     )
     .unwrap();

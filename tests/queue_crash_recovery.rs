@@ -24,6 +24,8 @@ const EVERY_EVENT: SweepSettings = SweepSettings {
     budget: 0,
     crash_at: None,
     elision: flit_pmem::ElisionMode::Enabled,
+    commit: flit_pmem::CommitMode::Immediate,
+    broken_acks: false,
 };
 
 /// Single-threaded, fully deterministic: crash at *every* persistence event of the
