@@ -94,7 +94,13 @@ use std::sync::Arc;
 use flit_ebr::Guard;
 use parking_lot::{Mutex, RwLock};
 
-use flit_pmem::{CrashImage, PmemBackend, PmemRegion, CACHE_LINE_SIZE, WORD_SIZE};
+use flit_pmem::{
+    CrashImage, OpenError, PmemBackend, PmemRegion, PoolArenaSlot, PoolFile, CACHE_LINE_SIZE,
+    WORD_SIZE,
+};
+
+pub mod gc;
+pub use gc::{post_crash_gc, ArenaGc, GcOutcome};
 
 /// Arena header magic ("FLITARNA"): a persisted header whose first word does not
 /// read back as this value is uninitialised or torn.
@@ -103,20 +109,27 @@ pub const ARENA_MAGIC: u64 = 0x464C_4954_4152_4E41;
 /// Number of named recovery roots an arena can hold.
 pub const ROOT_CAPACITY: usize = 16;
 
-/// Byte offset of the root table inside the header region.
-const ROOT_TABLE_OFFSET: usize = CACHE_LINE_SIZE;
+/// Byte offset of the root table inside the header region. Public so the
+/// crash harness can locate (and deliberately corrupt) root entries in a pool
+/// file without going through the arena.
+pub const ROOT_TABLE_OFFSET: usize = CACHE_LINE_SIZE;
 
 /// Bytes per root-table entry: a key word and an offset word.
-const ROOT_ENTRY_BYTES: usize = 2 * WORD_SIZE;
+pub const ROOT_ENTRY_BYTES: usize = 2 * WORD_SIZE;
 
 /// Total header-region bytes: one line of header words + the root table.
-const HEADER_BYTES: usize = ROOT_TABLE_OFFSET + ROOT_CAPACITY * ROOT_ENTRY_BYTES;
+pub const HEADER_BYTES: usize = ROOT_TABLE_OFFSET + ROOT_CAPACITY * ROOT_ENTRY_BYTES;
 
-/// Header word offsets (bytes from the header-region base).
-const MAGIC_OFFSET: usize = 0;
-const SLOT_SIZE_OFFSET: usize = 8;
-const HIGH_WATER_OFFSET: usize = 16;
-const FREE_HEAD_OFFSET: usize = 24;
+/// Byte offset of the magic word from the header-region base. The header word
+/// offsets are public so the corruption-injection harness can clobber specific
+/// persisted fields in a pool file and assert the typed error each produces.
+pub const MAGIC_OFFSET: usize = 0;
+/// Byte offset of the persisted slot-size word from the header-region base.
+pub const SLOT_SIZE_OFFSET: usize = 8;
+/// Byte offset of the persisted high-water word from the header-region base.
+pub const HIGH_WATER_OFFSET: usize = 16;
+/// Byte offset of the durable free-list head from the header-region base.
+pub const FREE_HEAD_OFFSET: usize = 24;
 
 /// Well-known root keys used by the workspace's data structures. Any `u64` except
 /// `0` (the empty-entry sentinel) is a valid key; these constants only prevent
@@ -242,6 +255,19 @@ struct AllocState {
     durable_free: usize,
     /// Volatile recycle list (EBR-freed slots; lost on crash).
     recycled: Vec<usize>,
+    /// Multi-slot blocks handed out by [`Arena::alloc_block`], as
+    /// `(first_slot, slot_count)` spans. Pool-backed arenas persist these in
+    /// the pool directory too; post-crash GC treats each span as one object.
+    blocks: Vec<(usize, usize)>,
+}
+
+/// Where an arena's regions come from — and therefore how it grows.
+enum Backing {
+    /// Heap reservations (the simulated substrate).
+    Heap,
+    /// Ranges carved from a mapped [`PoolFile`]; growth publishes chunk
+    /// offsets in the pool's arena directory so a reopen can re-adopt them.
+    Pool(PoolArenaSlot),
 }
 
 /// A persistent arena of fixed-size, cache-line-aligned slots with a persisted
@@ -254,6 +280,7 @@ pub struct Arena {
     /// Bump pointer: the next never-allocated slot index (the high-water mark).
     next_slot: AtomicUsize,
     state: Mutex<AllocState>,
+    backing: Backing,
 }
 
 impl Arena {
@@ -266,25 +293,158 @@ impl Arena {
         assert!(chunk_slots > 0, "chunks must hold at least one slot");
         let slot_size = slot_size.div_ceil(CACHE_LINE_SIZE) * CACHE_LINE_SIZE;
         let arena = Self {
-            header: PmemRegion::reserve(HEADER_BYTES),
+            header: PmemRegion::reserve(HEADER_BYTES).expect("arena header reservation failed"),
             slot_size,
             chunk_slots,
             chunks: RwLock::new(Vec::new()),
             next_slot: AtomicUsize::new(0),
             state: Mutex::new(AllocState::default()),
+            backing: Backing::Heap,
         };
-        // Persist the header: content words first, magic last, each batch fenced,
-        // so a durably-visible magic implies a durably-visible header (the same
-        // persist-before-publish discipline the data structures follow).
-        arena.write_header_word(backend, SLOT_SIZE_OFFSET, slot_size as u64);
-        arena.write_header_word(backend, HIGH_WATER_OFFSET, 0);
-        arena.write_header_word(backend, FREE_HEAD_OFFSET, 0);
-        backend.pwb(arena.header_addr(SLOT_SIZE_OFFSET) as *const u8);
-        backend.pfence();
-        arena.write_header_word(backend, MAGIC_OFFSET, ARENA_MAGIC);
-        backend.pwb(arena.header_addr(MAGIC_OFFSET) as *const u8);
-        backend.pfence();
+        arena.init_header(backend);
         arena
+    }
+
+    /// Create an arena whose header and chunks live in `pool`, claiming the
+    /// pool's next directory entry. The header is persisted through `backend`
+    /// exactly as in [`Arena::new`]; the directory entry is published before
+    /// this returns, so a crash any time after sees a structurally valid
+    /// (possibly still magic-less) arena.
+    pub fn create_on_pool<B: PmemBackend>(
+        backend: &B,
+        pool: &Arc<PoolFile>,
+        config: ArenaConfig,
+    ) -> Result<Self, OpenError> {
+        assert!(config.slot_size > 0, "slot size must be non-zero");
+        assert!(
+            config.slots_per_chunk > 0,
+            "chunks must hold at least one slot"
+        );
+        let slot_size = config.slot_size.div_ceil(CACHE_LINE_SIZE) * CACHE_LINE_SIZE;
+        let slot = PoolArenaSlot::create(pool, slot_size, config.slots_per_chunk, HEADER_BYTES)?;
+        let arena = Self {
+            header: slot.header_region(),
+            slot_size,
+            chunk_slots: config.slots_per_chunk,
+            chunks: RwLock::new(Vec::new()),
+            next_slot: AtomicUsize::new(0),
+            state: Mutex::new(AllocState::default()),
+            backing: Backing::Pool(slot),
+        };
+        arena.init_header(backend);
+        Ok(arena)
+    }
+
+    /// Adopt arena `index` of an opened pool: bind its directory entry, map its
+    /// chunks, and validate the persisted header — magic, slot size against the
+    /// directory, high water against the mapped capacity, the durable free
+    /// list, and every root-table entry. Every inconsistency is a typed
+    /// [`OpenError`]; nothing panics on a corrupt pool.
+    pub fn adopt_from_pool(pool: &Arc<PoolFile>, index: usize) -> Result<Self, OpenError> {
+        let slot = PoolArenaSlot::adopt(pool, index, HEADER_BYTES)?;
+        let header = slot.header_region();
+        let header_base = header.base_addr();
+        let read = move |off: usize| -> u64 {
+            // SAFETY: in-bounds word of the header region, which outlives this
+            // call; atomic view for defined shared access.
+            unsafe { (*((header_base + off) as *const AtomicU64)).load(Ordering::SeqCst) }
+        };
+        let bad = |reason: String| OpenError::ArenaHeader {
+            arena: index,
+            reason,
+        };
+
+        let magic = read(MAGIC_OFFSET);
+        if magic != ARENA_MAGIC {
+            return Err(bad(format!(
+                "arena magic {magic:#018x} (expected {ARENA_MAGIC:#018x})"
+            )));
+        }
+        let header_slot_size = read(SLOT_SIZE_OFFSET);
+        if header_slot_size != slot.slot_size() as u64 {
+            return Err(OpenError::SlotSizeMismatch {
+                arena: index,
+                header: header_slot_size,
+                directory: slot.slot_size() as u64,
+            });
+        }
+        let chunks = slot.chunk_regions();
+        let capacity = chunks.len() * slot.chunk_slots();
+        let high_water = read(HIGH_WATER_OFFSET);
+        if high_water > capacity as u64 {
+            return Err(bad(format!(
+                "high-water {high_water} beyond the {capacity} mapped slots"
+            )));
+        }
+        let free_head = read(FREE_HEAD_OFFSET);
+
+        let arena = Self {
+            header,
+            slot_size: slot.slot_size(),
+            chunk_slots: slot.chunk_slots(),
+            chunks: RwLock::new(chunks),
+            next_slot: AtomicUsize::new(high_water as usize),
+            state: Mutex::new(AllocState {
+                durable_free: free_head as usize,
+                recycled: Vec::new(),
+                blocks: slot.blocks(),
+            }),
+            backing: Backing::Pool(slot),
+        };
+
+        // Walk and validate the durable free list: every link must stay below
+        // the high-water mark and the list must terminate without a cycle.
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = free_head as usize;
+        while cur != 0 {
+            let off = cur - 1;
+            if off as u64 >= high_water {
+                return Err(bad(format!(
+                    "free-list entry {off} at or above high-water {high_water}"
+                )));
+            }
+            if !seen.insert(off) {
+                return Err(bad(format!("free list cycles through slot {off}")));
+            }
+            // SAFETY: `off` is below the high-water mark, so its slot is inside
+            // a mapped chunk; the first word is the free-list link.
+            cur = unsafe {
+                (*(arena.addr_of_offset(off) as *const AtomicU64)).load(Ordering::SeqCst)
+            } as usize;
+        }
+
+        // Validate the root table: a non-zero key whose offset word is null or
+        // out of range is a torn (or corrupted) entry.
+        for i in 0..ROOT_CAPACITY {
+            let key_off = ROOT_TABLE_OFFSET + i * ROOT_ENTRY_BYTES;
+            let key = read(key_off);
+            if key == 0 {
+                continue;
+            }
+            let off = read(key_off + WORD_SIZE);
+            if off == 0 || off > high_water {
+                return Err(OpenError::TornRootEntry {
+                    arena: index,
+                    entry: i,
+                });
+            }
+        }
+        Ok(arena)
+    }
+
+    /// Persist the header of a freshly created arena: content words first,
+    /// magic last, each batch fenced, so a durably-visible magic implies a
+    /// durably-visible header (the same persist-before-publish discipline the
+    /// data structures follow).
+    fn init_header<B: PmemBackend>(&self, backend: &B) {
+        self.write_header_word(backend, SLOT_SIZE_OFFSET, self.slot_size as u64);
+        self.write_header_word(backend, HIGH_WATER_OFFSET, 0);
+        self.write_header_word(backend, FREE_HEAD_OFFSET, 0);
+        backend.pwb(self.header_addr(SLOT_SIZE_OFFSET) as *const u8);
+        backend.pfence();
+        self.write_header_word(backend, MAGIC_OFFSET, ARENA_MAGIC);
+        backend.pwb(self.header_addr(MAGIC_OFFSET) as *const u8);
+        backend.pfence();
     }
 
     /// The slot size an arena would use for values of type `T`: the type's size
@@ -473,11 +633,22 @@ impl Arena {
             self.ensure_chunk(index + nslots - 1);
             self.write_header_word(backend, HIGH_WATER_OFFSET, (index + nslots) as u64);
             backend.pwb(self.header_addr(HIGH_WATER_OFFSET) as *const u8);
+            // Record the span before returning (and before any caller can
+            // publish a root that reaches it): post-crash GC must treat the
+            // whole block as one object, and block *contents* are directory
+            // words (slot offsets), not node pointers.
+            self.state.lock().blocks.push((index, nslots));
+            if let Backing::Pool(slot) = &self.backing {
+                slot.note_block(index, nslots)
+                    .expect("pool block directory full");
+            }
             return self.addr_of_offset(index) as *mut u8;
         }
     }
 
-    /// Materialise chunks so that slot `index` is addressable.
+    /// Materialise chunks so that slot `index` is addressable. Growth failure
+    /// is fatal here by design: an arena that cannot grow mid-operation has no
+    /// useful recovery (`open` callers get typed errors; allocators panic).
     fn ensure_chunk(&self, index: usize) {
         let needed = index / self.chunk_slots + 1;
         if self.chunks.read().len() >= needed {
@@ -485,7 +656,14 @@ impl Arena {
         }
         let mut chunks = self.chunks.write();
         while chunks.len() < needed {
-            chunks.push(PmemRegion::reserve(self.chunk_slots * self.slot_size));
+            let region = match &self.backing {
+                Backing::Heap => PmemRegion::reserve(self.chunk_slots * self.slot_size)
+                    .expect("arena chunk reservation failed"),
+                Backing::Pool(slot) => slot
+                    .add_chunk()
+                    .expect("pool exhausted while growing an arena"),
+            };
+            chunks.push(region);
         }
     }
 
@@ -640,6 +818,120 @@ impl Arena {
             slot_size: image.read(self.header_addr(SLOT_SIZE_OFFSET)),
             high_water: image.read(self.header_addr(HIGH_WATER_OFFSET)),
             free_head: image.read(self.header_addr(FREE_HEAD_OFFSET)),
+        }
+    }
+
+    // ---- pool adoption and post-crash GC support --------------------------
+
+    /// Slots added per growth chunk.
+    #[inline]
+    pub fn chunk_slots(&self) -> usize {
+        self.chunk_slots
+    }
+
+    /// `true` when this arena's regions live in a mapped pool file.
+    pub fn is_pool_backed(&self) -> bool {
+        matches!(self.backing, Backing::Pool(_))
+    }
+
+    /// Every live root-table entry as `(key, slot offset)` pairs in table
+    /// order. After adoption the live table *is* the durable table (the header
+    /// is mapped file memory), so this is what post-crash GC seeds from.
+    pub fn live_roots(&self) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        for i in 0..ROOT_CAPACITY {
+            let key_off = ROOT_TABLE_OFFSET + i * ROOT_ENTRY_BYTES;
+            let key = self.header_word(key_off).load(Ordering::SeqCst);
+            if key == 0 {
+                continue;
+            }
+            let off = self.header_word(key_off + WORD_SIZE).load(Ordering::SeqCst);
+            if off != 0 {
+                out.push((key, off as usize - 1));
+            }
+        }
+        out
+    }
+
+    /// The slot offsets currently threaded on the durable free list, walked
+    /// with a cycle guard (a corrupt list yields a truncated walk, not a hang).
+    pub fn durable_free_offsets(&self) -> Vec<usize> {
+        let state = self.state.lock();
+        let hw = self.high_water();
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut cur = state.durable_free;
+        while cur != 0 {
+            let off = cur - 1;
+            if off >= hw || !seen.insert(off) {
+                break;
+            }
+            out.push(off);
+            // SAFETY: `off` is an allocated slot (below high water); a freed
+            // slot's first word is the free-list link.
+            cur =
+                unsafe { (*(self.addr_of_offset(off) as *const AtomicU64)).load(Ordering::SeqCst) }
+                    as usize;
+        }
+        out
+    }
+
+    /// Snapshot of the volatile recycle list.
+    pub fn recycled_offsets(&self) -> Vec<usize> {
+        self.state.lock().recycled.clone()
+    }
+
+    /// Multi-slot block spans handed out by [`alloc_block`](Self::alloc_block),
+    /// as `(first_slot, slot_count)` pairs.
+    pub fn recorded_blocks(&self) -> Vec<(usize, usize)> {
+        self.state.lock().blocks.clone()
+    }
+
+    /// Hand slots that post-crash GC proved unreachable back to the allocator.
+    ///
+    /// Pool-backed arenas push them onto the **durable** free list so the
+    /// reclamation survives the next unmap — a reopened pool reports zero
+    /// leaks instead of re-discovering the same garbage every open. GC runs
+    /// single-threaded before any handle exists and the mapped file *is* the
+    /// durable state, so plain atomic stores suffice (no P-V events to
+    /// record). Heap arenas have no durable file; their slots go to the
+    /// volatile recycle list for in-process reuse.
+    pub fn reclaim_leaked(&self, offsets: &[usize]) {
+        let mut state = self.state.lock();
+        match &self.backing {
+            Backing::Heap => state.recycled.extend_from_slice(offsets),
+            Backing::Pool(_) => {
+                for &off in offsets {
+                    let addr = self.addr_of_offset(off);
+                    let old_head = state.durable_free as u64;
+                    // SAFETY: GC proved the slot unreachable from every root;
+                    // its first word is the allocator's to use as a link.
+                    unsafe { (*(addr as *mut AtomicU64)).store(old_head, Ordering::SeqCst) };
+                    state.durable_free = off + 1;
+                    self.header_word(FREE_HEAD_OFFSET)
+                        .store((off + 1) as u64, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// Copy every mapped word of this arena — the whole header region and every
+    /// chunk — into `image`. For a pool-backed arena the file *is* the durable
+    /// state, so the synthesized image contains every word (zeros included:
+    /// recovery walks distinguish a durable null from a truncated read). This
+    /// is what lets `FlitDb::open` reuse the image-only recovery walks
+    /// unchanged on a real pool.
+    pub fn dump_into_image(&self, image: &mut CrashImage) {
+        let dump_region = |image: &mut CrashImage, base: usize, len: usize| {
+            for off in (0..len).step_by(WORD_SIZE) {
+                // SAFETY: in-bounds word of a region owned by this arena.
+                let val = unsafe { (*((base + off) as *const AtomicU64)).load(Ordering::SeqCst) };
+                image.insert(base + off, val);
+            }
+        };
+        dump_region(image, self.header.base_addr(), HEADER_BYTES);
+        for chunk in self.chunks.read().iter() {
+            dump_region(image, chunk.base_addr(), chunk.len());
         }
     }
 }

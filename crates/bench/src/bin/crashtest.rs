@@ -136,9 +136,7 @@ fn parse_args() -> Args {
                     })],
                 });
             }
-            "--commit" => {
-                commits = parse_list(&value(&mut i), CommitMode::parse, "commit mode")
-            }
+            "--commit" => commits = parse_list(&value(&mut i), CommitMode::parse, "commit mode"),
             "--broken-acks" => broken_acks = true,
             "--json" => json = Some(value(&mut i)),
             "--skip-control" => skip_control = true,

@@ -1,0 +1,208 @@
+//! `killtest` — process-kill crash rounds and corruption injection against
+//! file-backed pools, from the command line and CI.
+//!
+//! ```text
+//! cargo run -p flit-bench --release --bin killtest -- [flags]
+//!
+//!   --rounds N            seeded SIGKILL rounds per commit mode  (default: 10)
+//!   --ops N               workload operations per round          (default: 150000)
+//!   --seed N              base seed for the kill-delay schedule  (default: 0x2a)
+//!   --commit a,b,..       immediate|batched-<k>|both             (default: both,
+//!                         where `both` = immediate,batched-8)
+//!   --dir PATH            working directory for pool/sidecar files
+//!                         (default: target/killtest under the current dir)
+//!   --corruption-only     run only the corruption-injection suite
+//!   --skip-corruption     run only the kill rounds
+//! ```
+//!
+//! Each round spawns **this same binary** as a child (the hidden
+//! `--kill-child` dispatch), which creates a fresh pool and runs the
+//! deterministic hash-table workload while reporting its acknowledged floor
+//! through a sidecar file; the parent SIGKILLs it mid-traffic at a
+//! seed-derived point, re-opens the pool (validate → adopt → recover → GC)
+//! and requires: the recovered map equals the model state after exactly `c`
+//! operations for some `c` at or above the acknowledged floor; and a second
+//! GC pass reclaims zero slots. The corruption suite then clobbers one
+//! persisted field of a valid pool at a time and requires each case to
+//! surface as its matching typed `OpenError`.
+//!
+//! Exit status is `0` only when every round and every corruption case passed.
+//! Failing rounds leave their pool and sidecar files under `--dir` so CI can
+//! upload them as artifacts.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use flit_crashtest::kill::{
+    child_main, commit_word, corruption_suite, parse_commit, run_kill_round, KillRound, CHILD_FLAG,
+};
+use flit_pmem::CommitMode;
+
+struct Args {
+    rounds: u64,
+    ops: u64,
+    seed: u64,
+    commits: Vec<CommitMode>,
+    dir: PathBuf,
+    corruption_only: bool,
+    skip_corruption: bool,
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_commits(s: &str) -> Option<Vec<CommitMode>> {
+    let mut out = Vec::new();
+    for word in s.split(',') {
+        if word == "both" {
+            out.push(CommitMode::Immediate);
+            out.push(CommitMode::Batched(8));
+        } else {
+            out.push(parse_commit(word)?);
+        }
+    }
+    Some(out)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        rounds: 10,
+        ops: 150_000,
+        seed: 0x2a,
+        commits: vec![CommitMode::Immediate, CommitMode::Batched(8)],
+        dir: PathBuf::from("target/killtest"),
+        corruption_only: false,
+        skip_corruption: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--rounds" => args.rounds = parse_u64(&val("--rounds")?).ok_or("bad --rounds")?,
+            "--ops" => args.ops = parse_u64(&val("--ops")?).ok_or("bad --ops")?.max(1),
+            "--seed" => args.seed = parse_u64(&val("--seed")?).ok_or("bad --seed")?,
+            "--commit" => {
+                args.commits = parse_commits(&val("--commit")?).ok_or("bad --commit")?;
+            }
+            "--dir" => args.dir = PathBuf::from(val("--dir")?),
+            "--corruption-only" => args.corruption_only = true,
+            "--skip-corruption" => args.skip_corruption = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The hidden child dispatch: `killtest --kill-child <pool> <sidecar> <ops>
+/// <commit>` runs the workload instead of the harness.
+fn child_dispatch() -> Option<ExitCode> {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) != Some(CHILD_FLAG) {
+        return None;
+    }
+    if argv.len() != 6 {
+        eprintln!("usage: killtest {CHILD_FLAG} <pool> <sidecar> <ops> <commit>");
+        return Some(ExitCode::from(2));
+    }
+    let ops = match parse_u64(&argv[4]) {
+        Some(n) => n,
+        None => return Some(ExitCode::from(2)),
+    };
+    let commit = match parse_commit(&argv[5]) {
+        Some(c) => c,
+        None => return Some(ExitCode::from(2)),
+    };
+    match child_main(argv[2].as_ref(), argv[3].as_ref(), ops, commit) {
+        Ok(()) => Some(ExitCode::SUCCESS),
+        Err(e) => {
+            eprintln!("killtest child: {e}");
+            Some(ExitCode::from(3))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    if let Some(code) = child_dispatch() {
+        return code;
+    }
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("killtest: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("killtest: current_exe: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0u64;
+
+    if !args.corruption_only {
+        for &commit in &args.commits {
+            for round in 0..args.rounds {
+                let spec = KillRound {
+                    exe: exe.clone(),
+                    dir: args.dir.clone(),
+                    round,
+                    seed: args.seed,
+                    ops: args.ops,
+                    commit,
+                };
+                match run_kill_round(&spec) {
+                    Ok(report) => println!(
+                        "round {:>3} [{}]: ok — prefix {} (floor {}), {} leaked slot(s) reclaimed{}",
+                        round,
+                        commit_word(commit),
+                        report.matched_prefix,
+                        report.acked_floor,
+                        report.reclaimed_slots,
+                        if report.child_finished {
+                            ", child finished first"
+                        } else {
+                            ""
+                        },
+                    ),
+                    Err(v) => {
+                        failures += 1;
+                        eprintln!(
+                            "round {:>3} [{}]: FAIL — {v} (pool kept at {})",
+                            round,
+                            commit_word(commit),
+                            spec.pool_path().display(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    if !args.skip_corruption {
+        for outcome in corruption_suite(&args.dir) {
+            match outcome.failure {
+                None => println!("corruption {:<36}: ok", outcome.name),
+                Some(why) => {
+                    failures += 1;
+                    eprintln!("corruption {:<36}: FAIL — {why}", outcome.name);
+                }
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("killtest: {failures} failure(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("killtest: all rounds and corruption cases passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -12,10 +12,10 @@
 //! * **[`FlitDb`]** is the facade owning everything shared: the persistence
 //!   [`Policy`] (scheme + backend), the EBR [`Collector`] all structures retire
 //!   through, and the registry of [`Arena`]s (each with its persisted header and
-//!   recovery-root table) the structures allocate from. `FlitDb::create` /
-//!   [`FlitDb::open`] replace the scattered policy/arena/root plumbing;
-//!   [`FlitDb::recover`] reports the durably-constructed roots in a
-//!   [`CrashImage`].
+//!   recovery-root table) the structures allocate from. `FlitDb::create` (or
+//!   [`FlitDb::open`] on a file-backed pool) replaces the scattered
+//!   policy/arena/root plumbing; [`FlitDb::recover`] reports the
+//!   durably-constructed roots in a [`CrashImage`].
 //! * **[`FlitHandle`]** is an explicit per-logical-thread session: it bundles the
 //!   [`PersistEpoch`] (fence-elision dirty count + flush-dedup set) and an EBR
 //!   [`LocalHandle`] (participant slot), and exposes the backend as a
@@ -83,6 +83,47 @@
 //! durability: `wait` *observes* acknowledgment from any thread, it cannot
 //! force another handle's fence.
 //!
+//! ## Opening a real pool: validate → adopt → recover → GC
+//!
+//! A database can live on a **file-backed pool** (`flit_pmem::PoolFile`, an
+//! `mmap`'d file with a superblock and an arena directory) instead of fresh
+//! heap reservations. [`FlitDb::open`] — or the explicit
+//! [`FlitDbBuilder::open_pool`] — takes a path and runs a four-stage pipeline,
+//! every failure of which is a typed [`OpenError`], never a panic:
+//!
+//! 1. **Validate** — the superblock is read *through the file API* before
+//!    anything is mapped: magic, version, recorded base address, bump cursor
+//!    and arena count are all vetted, then the pool is re-mapped at the base
+//!    address recorded when it was created (`MAP_FIXED_NOREPLACE`), so every
+//!    absolute pointer persisted by the previous process is valid again. The
+//!    superblock also records the [`CommitMode`] the pool was created under;
+//!    opening with a conflicting explicit mode is a
+//!    [`CommitModeMismatch`](OpenError::CommitModeMismatch) — the batched
+//!    crash contract is a property of the *data*, not of the reader.
+//! 2. **Adopt** — each directory entry becomes a live [`Arena`]
+//!    (`Arena::adopt_from_pool`): the persisted header's magic and slot size
+//!    are checked against the directory, the high-water mark against the
+//!    mapped capacity, the durable free list is walked (bounds + cycle
+//!    check), and every root-table entry is screened for tearing.
+//! 3. **Recover** — the adopted arenas' memory *is* the crash image: it is
+//!    dumped into a [`CrashImage`] and handed to the existing image-only
+//!    [`FlitDb::recover`], so the same [`DbRecovery`] the simulated crash
+//!    sweeps interrogate describes the real pool. Structures then rebuild from
+//!    the durable roots exactly as they do in the simulated harness.
+//! 4. **GC** — the volatile recycle list died with the crashed process, so
+//!    slots retired-but-not-reused at the kill are reachable from no root and
+//!    on no free list: leaked. `flit_alloc::post_crash_gc` runs a conservative
+//!    mark-and-sweep from the adopted root tables and hands every leaked slot
+//!    back to the allocator's *durable* free list; the [`OpenReport`] surfaces
+//!    the count ([`OpenReport::leaked_slots`]). The pass is idempotent — a
+//!    second pass reclaims zero, and a clean reopen reports zero leaks —
+//!    which the kill harness asserts after every crash.
+//!
+//! Fresh pools come from [`FlitDbBuilder::create_pool`]; a database built
+//! either way allocates all subsequent arenas *on the pool*, so everything a
+//! structure persists lands in the file. [`FlitDb::create_volatile`] keeps the
+//! old heap-backed behaviour for simulation and tests.
+//!
 //! ## Migration from the free-function style
 //!
 //! | old | new |
@@ -100,14 +141,15 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use flit_alloc::{Arena, ArenaConfig, ImageHeader};
+use flit_alloc::{post_crash_gc, Arena, ArenaConfig, GcOutcome, ImageHeader};
 use flit_ebr::{Collector, Guard, LocalHandle};
 use flit_pmem::{
-    cache_line_of, CommitMode, CrashImage, ElisionMode, PersistEpoch, PmemBackend, PmemSession,
-    StatsSnapshot, CACHE_LINE_SIZE,
+    cache_line_of, CommitMode, CrashImage, ElisionMode, OpenError, PersistEpoch, PmemBackend,
+    PmemSession, PoolFile, PoolOptions, StatsSnapshot, CACHE_LINE_SIZE,
 };
 
 use crate::pflag::PFlag;
@@ -130,6 +172,9 @@ struct DbInner<P: Policy> {
     /// [`FlitDb::is_durable`] checks a [`Ticket`] against. Off the hot path:
     /// written once per batch drain, not per operation.
     acks: Mutex<HashMap<u64, u64>>,
+    /// The file-backed pool this database lives on, if any: when set, every
+    /// arena is created on (or was adopted from) the pool's directory.
+    pool: Option<Arc<PoolFile>>,
 }
 
 /// The facade owning a database's shared state: policy (scheme + backend), the
@@ -160,7 +205,10 @@ impl<P: Policy> std::fmt::Debug for FlitDb<P> {
 
 /// Configures and builds a [`FlitDb`] — the one construction surface behind
 /// every constructor ([`FlitDb::create`], [`FlitDb::open`] and the facade
-/// constructors are thin wrappers over it).
+/// constructors are thin wrappers over it). Terminal methods pick the backing:
+/// [`build`](Self::build) (heap), [`create_pool`](Self::create_pool) (fresh
+/// pool file), [`open_pool`](Self::open_pool) (existing pool file, full
+/// recovery pipeline).
 ///
 /// Knobs: the [`CommitMode`] (durability acknowledgment policy, see the module
 /// docs) and the default [`ArenaConfig`] structure constructors fall back to.
@@ -170,15 +218,20 @@ impl<P: Policy> std::fmt::Debug for FlitDb<P> {
 #[must_use = "a builder does nothing until .build()"]
 pub struct FlitDbBuilder<P: Policy> {
     policy: P,
-    commit: CommitMode,
+    /// `None` until [`commit_mode`](Self::commit_mode) is called — so
+    /// [`open_pool`](Self::open_pool) can tell "the caller insists on this
+    /// mode" (must match the pool) from "use whatever the pool records".
+    commit: Option<CommitMode>,
     arena_defaults: ArenaConfig,
 }
 
 impl<P: Policy> FlitDbBuilder<P> {
     /// The durability acknowledgment mode ([`CommitMode::Immediate`] unless
-    /// set). Every handle of the built database inherits it.
+    /// set). Every handle of the built database inherits it. Setting it
+    /// explicitly makes [`open_pool`](Self::open_pool) *require* the pool to
+    /// have been created under the same mode.
     pub fn commit_mode(mut self, commit: CommitMode) -> Self {
-        self.commit = commit;
+        self.commit = Some(commit);
         self
     }
 
@@ -189,21 +242,122 @@ impl<P: Policy> FlitDbBuilder<P> {
         self
     }
 
-    /// Build the database: a new collector, no arenas yet.
-    pub fn build(self) -> FlitDb<P> {
+    /// Assemble the database value: a new collector, no arenas yet.
+    fn assemble(
+        policy: P,
+        commit: CommitMode,
+        arena_defaults: ArenaConfig,
+        pool: Option<Arc<PoolFile>>,
+    ) -> FlitDb<P> {
         FlitDb {
             inner: Arc::new(DbInner {
-                policy: self.policy,
+                policy,
                 collector: Collector::new(),
                 arenas: Mutex::new(Vec::new()),
                 id: NEXT_DB_ID.fetch_add(1, Ordering::Relaxed),
                 handles_created: AtomicU64::new(0),
-                commit: self.commit,
-                arena_defaults: self.arena_defaults,
+                commit,
+                arena_defaults,
                 watermark: AtomicU64::new(0),
                 acks: Mutex::new(HashMap::new()),
+                pool,
             }),
         }
+    }
+
+    /// Build a volatile (heap-backed) database: a new collector, no arenas yet.
+    pub fn build(self) -> FlitDb<P> {
+        let commit = self.commit.unwrap_or_default();
+        Self::assemble(self.policy, commit, self.arena_defaults, None)
+    }
+
+    /// Build the database on a **fresh file-backed pool** at `path` (truncating
+    /// any existing file) with default [`PoolOptions`]. Every arena created on
+    /// the database lands in the pool, so the file can later be re-opened with
+    /// [`open_pool`](Self::open_pool).
+    pub fn create_pool(self, path: impl AsRef<Path>) -> Result<FlitDb<P>, OpenError> {
+        self.create_pool_with(path, &PoolOptions::default())
+    }
+
+    /// [`create_pool`](Self::create_pool) with explicit [`PoolOptions`]
+    /// (capacity, DAX mapping). The pool's superblock records this builder's
+    /// [`CommitMode`] so a later open can enforce the compatibility check.
+    pub fn create_pool_with(
+        self,
+        path: impl AsRef<Path>,
+        options: &PoolOptions,
+    ) -> Result<FlitDb<P>, OpenError> {
+        let commit = self.commit.unwrap_or_default();
+        let pool = PoolFile::create(path, options, commit.compat_word())?;
+        Ok(Self::assemble(
+            self.policy,
+            commit,
+            self.arena_defaults,
+            Some(pool),
+        ))
+    }
+
+    /// Open the existing pool at `path` and run the full validate → adopt →
+    /// recover → GC pipeline (see the module docs). Returns the database plus
+    /// an [`OpenReport`] describing what recovery found.
+    ///
+    /// The commit mode comes from the pool's superblock; if this builder set
+    /// one explicitly it must match, else
+    /// [`OpenError::CommitModeMismatch`] (with `pool: None` when the recorded
+    /// word does not decode to any mode at all — a corrupt superblock).
+    pub fn open_pool(self, path: impl AsRef<Path>) -> Result<(FlitDb<P>, OpenReport), OpenError> {
+        let pool = PoolFile::open(path)?;
+        let requested = self.commit;
+        let commit = match (CommitMode::from_compat_word(pool.commit_word()), requested) {
+            (Some(recorded), Some(asked)) if recorded != asked => {
+                return Err(OpenError::CommitModeMismatch {
+                    pool: Some(recorded),
+                    requested: asked,
+                });
+            }
+            (Some(recorded), _) => recorded,
+            (None, asked) => {
+                return Err(OpenError::CommitModeMismatch {
+                    pool: None,
+                    requested: asked.unwrap_or_default(),
+                });
+            }
+        };
+        let db = Self::assemble(
+            self.policy,
+            commit,
+            self.arena_defaults,
+            Some(Arc::clone(&pool)),
+        );
+
+        // Adopt: every directory entry becomes a live arena, fully validated.
+        {
+            let mut arenas = db.inner.arenas.lock().unwrap();
+            for index in 0..pool.arena_count() {
+                arenas.push(Arc::new(Arena::adopt_from_pool(&pool, index)?));
+            }
+        }
+        let arenas = db.arenas();
+
+        // Recover: the mapped pool *is* the crash image — dump it and reuse
+        // the image-only recovery path unchanged.
+        let mut image = CrashImage::new();
+        for arena in &arenas {
+            arena.dump_into_image(&mut image);
+        }
+        let recovery = db.recover(&image);
+
+        // GC: slots that died on the volatile recycle list go back to the
+        // durable free list, so the reclamation itself survives a reopen.
+        let gc = post_crash_gc(&arenas);
+
+        let report = OpenReport {
+            arenas: arenas.len(),
+            recovery,
+            gc,
+            image,
+        };
+        Ok((db, report))
     }
 }
 
@@ -212,7 +366,7 @@ impl<P: Policy> FlitDb<P> {
     pub fn builder(policy: P) -> FlitDbBuilder<P> {
         FlitDbBuilder {
             policy,
-            commit: CommitMode::default(),
+            commit: None,
             arena_defaults: ArenaConfig::default(),
         }
     }
@@ -223,13 +377,25 @@ impl<P: Policy> FlitDb<P> {
         Self::builder(policy).build()
     }
 
-    /// Open a database over `policy`.
-    ///
-    /// On the simulated substrate this is [`create`](Self::create) (regions are
-    /// fresh reservations); the name marks the call sites that would re-map an
-    /// existing DAX pool on a machine with real persistent memory.
-    pub fn open(policy: P) -> Self {
+    /// Create a fresh **heap-backed** database over `policy` — an explicit
+    /// alias of [`create`](Self::create) for call sites that want to spell out
+    /// that nothing survives the process (simulation, unit tests). The
+    /// file-backed counterpart is [`open`](Self::open) /
+    /// [`FlitDbBuilder::create_pool`].
+    pub fn create_volatile(policy: P) -> Self {
         Self::create(policy)
+    }
+
+    /// Open the existing file-backed pool at `path` over `policy`, adopting the
+    /// commit mode recorded in its superblock, and run the full
+    /// validate → adopt → recover → GC pipeline (see the module docs).
+    ///
+    /// Equivalent to `FlitDb::builder(policy).open_pool(path)`; use the builder
+    /// form to additionally pin an expected [`CommitMode`] or arena defaults.
+    /// Every map or validation failure is a typed [`OpenError`] — a corrupt or
+    /// truncated pool never panics.
+    pub fn open(path: impl AsRef<Path>, policy: P) -> Result<(Self, OpenReport), OpenError> {
+        Self::builder(policy).open_pool(path)
     }
 
     /// The durability acknowledgment mode this database was built with.
@@ -355,11 +521,46 @@ impl<P: Policy> FlitDb<P> {
     /// Create (and register) an arena from `config` — slot size and chunk
     /// growth both come from the config ([`FlitDb::arena_defaults`] when the
     /// caller has no opinion). The persisted header is written through this
-    /// database's backend.
+    /// database's backend. On a pool-backed database the arena claims the next
+    /// pool-directory entry; a full pool panics here — use
+    /// [`try_new_arena`](Self::try_new_arena) to handle exhaustion.
     pub fn new_arena(&self, config: ArenaConfig) -> Arc<Arena> {
-        let arena = Arc::new(Arena::with_config(self.backend(), config));
+        self.try_new_arena(config)
+            .expect("arena creation failed (pool or directory exhausted)")
+    }
+
+    /// [`new_arena`](Self::new_arena), surfacing pool exhaustion
+    /// ([`OpenError::PoolFull`], a full arena directory) as an error instead of
+    /// panicking. Heap-backed databases never fail here.
+    pub fn try_new_arena(&self, config: ArenaConfig) -> Result<Arc<Arena>, OpenError> {
+        let arena = Arc::new(match &self.inner.pool {
+            Some(pool) => Arena::create_on_pool(self.backend(), pool, config)?,
+            None => Arena::with_config(self.backend(), config),
+        });
         self.inner.arenas.lock().unwrap().push(Arc::clone(&arena));
-        arena
+        Ok(arena)
+    }
+
+    /// The file-backed pool this database lives on, if any.
+    pub fn pool(&self) -> Option<Arc<PoolFile>> {
+        self.inner.pool.clone()
+    }
+
+    /// `true` when this database's arenas live in a file-backed pool.
+    pub fn is_pool_backed(&self) -> bool {
+        self.inner.pool.is_some()
+    }
+
+    /// `msync` the whole pool mapping and sync the backing file's metadata; a
+    /// no-op on heap-backed databases. The SIGKILL crash model does not need
+    /// this (completed stores survive in the page cache); it is the
+    /// power-failure-realism knob and the natural "checkpoint now" call for a
+    /// server shutting down cleanly.
+    pub fn sync_pool(&self) -> Result<(), OpenError> {
+        match &self.inner.pool {
+            Some(pool) => pool.sync(),
+            None => Ok(()),
+        }
     }
 
     /// Create (and register) an arena sized for slots of type `T`:
@@ -450,6 +651,38 @@ impl FlitDb<NoPersistPolicy> {
     /// The non-persistent baseline.
     pub fn no_persist() -> Self {
         Self::create(NoPersistPolicy::new())
+    }
+}
+
+/// What opening an existing pool found: produced by [`FlitDb::open`] /
+/// [`FlitDbBuilder::open_pool`] alongside the database itself, one stage of
+/// the pipeline per field (see the module docs).
+#[derive(Debug, Clone)]
+pub struct OpenReport {
+    /// Arenas adopted from the pool directory.
+    pub arenas: usize,
+    /// The image-only recovery survey: per-arena persisted headers and the
+    /// durably-registered roots — what structures rebuild from.
+    pub recovery: DbRecovery,
+    /// The post-crash GC accounting: per-arena reachable / free-listed /
+    /// reclaimed slot counts.
+    pub gc: GcOutcome,
+    /// The crash image synthesized from the mapped pool — structures' own
+    /// `recover_in_image` passes read from it.
+    pub image: CrashImage,
+}
+
+impl OpenReport {
+    /// Slots that were unreachable from every root table when the pool was
+    /// opened (they died on the volatile recycle list, or in the window
+    /// between allocation and publication) and were reclaimed by the GC pass.
+    pub fn leaked_slots(&self) -> usize {
+        self.gc.total_reclaimed()
+    }
+
+    /// `true` when `key` was durably registered in any arena's root table.
+    pub fn has_root(&self, key: u64) -> bool {
+        self.recovery.has_root(key)
     }
 }
 
@@ -997,6 +1230,87 @@ mod tests {
         assert!(db.is_durable(ticket));
         assert_eq!(ticket.covered(), 0, "immediate mode enqueues nothing");
         assert_eq!(db.durable_watermark(), 0);
+    }
+
+    fn temp_pool(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("flit-db-{}-{name}.pool", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn ht_policy() -> HtPolicy {
+        FlitPolicy::new(
+            HashedScheme::with_bytes(1 << 12),
+            SimNvram::builder().latency(LatencyModel::none()).build(),
+        )
+    }
+
+    #[test]
+    fn pool_create_then_open_recovers_roots_and_reclaims_leaks() {
+        let path = temp_pool("roundtrip");
+        {
+            let db = FlitDb::builder(ht_policy()).create_pool(&path).unwrap();
+            assert!(db.is_pool_backed());
+            let arena = db.new_arena(ArenaConfig::with_slot_size(64).chunked(8));
+            let h = db.handle();
+            let root = arena.alloc(&h.pmem()) as usize;
+            let _leaked = arena.alloc(&h.pmem());
+            arena.register_root(&h.pmem(), flit_alloc::roots::LIST_HEAD, root);
+            drop(h);
+            db.sync_pool().unwrap();
+        } // dropping the db unmaps the pool
+        let (db, report) = FlitDb::open(&path, ht_policy()).unwrap();
+        assert_eq!(report.arenas, 1);
+        assert!(report.has_root(flit_alloc::roots::LIST_HEAD));
+        // `_leaked` was allocated but never published: the GC pass reclaims it.
+        assert_eq!(report.leaked_slots(), 1);
+        assert_eq!(report.gc.arenas[0].reachable, 1);
+        // The adopted arena accepts new traffic.
+        let h = db.handle();
+        let again = db.arenas()[0].alloc(&h.pmem());
+        assert!(!again.is_null());
+        drop(h);
+        drop(db);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_adopts_the_pools_commit_mode_and_rejects_a_conflicting_one() {
+        let path = temp_pool("commit-mode");
+        {
+            let db = FlitDb::builder(ht_policy())
+                .commit_mode(CommitMode::Batched(8))
+                .create_pool(&path)
+                .unwrap();
+            db.sync_pool().unwrap();
+        }
+        // No explicit mode: adopt what the superblock records.
+        {
+            let (db, _report) = FlitDb::open(&path, ht_policy()).unwrap();
+            assert_eq!(db.commit_mode(), CommitMode::Batched(8));
+        }
+        // Conflicting explicit mode: typed error, no panic.
+        let err = FlitDb::builder(ht_policy())
+            .commit_mode(CommitMode::Immediate)
+            .open_pool(&path)
+            .unwrap_err();
+        match err {
+            OpenError::CommitModeMismatch { pool, requested } => {
+                assert_eq!(pool, Some(CommitMode::Batched(8)));
+                assert_eq!(requested, CommitMode::Immediate);
+            }
+            other => panic!("expected CommitModeMismatch, got {other}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn create_volatile_is_heap_backed() {
+        let db = FlitDb::create_volatile(ht_policy());
+        assert!(!db.is_pool_backed());
+        assert!(db.pool().is_none());
+        db.sync_pool().unwrap();
     }
 
     #[test]

@@ -41,7 +41,9 @@
 //!
 //! * [`FlitDb`] is the facade owning everything shared — the policy (scheme +
 //!   backend), the EBR collector, the arena registry with its recovery-root
-//!   tables. `FlitDb::create`/[`FlitDb::open`] replace hand-wired plumbing;
+//!   tables. `FlitDb::create` builds a heap-backed database; [`FlitDb::open`]
+//!   maps an existing file-backed pool and runs the validate → adopt →
+//!   recover → GC pipeline (returning an [`OpenReport`]);
 //!   [`FlitDb::recover`] surveys a crash image.
 //! * [`FlitHandle`] is a per-logical-thread session — persist-epoch state, EBR
 //!   participation, backend access — and **every operation takes one**:
@@ -133,9 +135,9 @@ pub mod policy;
 pub mod scheme;
 pub mod word;
 
-pub use db::{ArenaRecovery, DbRecovery, FlitDb, FlitDbBuilder, FlitHandle, Ticket};
+pub use db::{ArenaRecovery, DbRecovery, FlitDb, FlitDbBuilder, FlitHandle, OpenReport, Ticket};
 pub use flit_atomic::{FlitAtomic, FlitPolicy, PlainPolicy};
-pub use flit_pmem::CommitMode;
+pub use flit_pmem::{CommitMode, OpenError, PoolOptions};
 pub use link_persist::{LinkAndPersistPolicy, LpAtomic, DIRTY_BIT};
 pub use no_persist::{NoPersistPolicy, VolatileAtomic};
 pub use pflag::{PFlag, Visibility};

@@ -51,18 +51,28 @@
 //! * [`server::sweep_server_crash`] — the service-level sweep: crash exactly one
 //!   shard of a `flit-server` [`KvServer`](flit_server::KvServer) mid-traffic,
 //!   recover it image-only, and check the crashed shard is prefix-consistent
-//!   while every surviving shard holds exactly its full routed history.
+//!   while every surviving shard holds exactly its full routed history;
+//! * [`kill::run_kill_round`] / [`kill::corruption_suite`] — the *real-pool*
+//!   harness: `SIGKILL` a child process mid-traffic against a file-backed pool
+//!   and verify the reopened pool (prefix consistency, acked floor, GC
+//!   idempotence), plus targeted corruption of pool files asserting every case
+//!   surfaces as a typed `OpenError` (what the `killtest` binary drives).
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod engine;
+pub mod kill;
 pub mod matrix;
 pub mod report;
 pub mod roundrobin;
 pub mod server;
 
 pub use engine::{sweep_map, sweep_queue, SweepSettings};
+pub use kill::{
+    run_kill_round, verify_pool, CorruptionOutcome, KillRound, KillRoundReport, KillViolation,
+    CHILD_FLAG,
+};
 pub use matrix::{run_case, run_matrix, MethodKind, PolicyKind, StructureKind};
 pub use report::{CaseMeta, HistorySpec, SweepReport, Violation};
 pub use roundrobin::{round_robin_map, round_robin_script, RoundRobinTrace, ScriptedStep};

@@ -82,7 +82,7 @@ pub use harris_list::HarrisList;
 pub use hash_table::HashTable;
 pub use map::{ConcurrentMap, SequentialMap, MAX_USER_KEY};
 pub use natarajan::NatarajanTree;
-pub use recovery::{MapCrashRecovery, RecoveredMap};
+pub use recovery::{MapCrashRecovery, RecoverInImage, RecoveredMap};
 pub use skiplist::SkipList;
 
 #[cfg(test)]

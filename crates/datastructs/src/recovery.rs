@@ -84,6 +84,61 @@ pub trait MapCrashRecovery<P: Policy> {
     fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap;
 }
 
+/// **Static** image-only recovery: rebuild a structure's durable abstract
+/// state from an arena and a crash image with *no live structure at all*.
+///
+/// This is what a process re-opening a file-backed pool needs: after
+/// `FlitDb::open` adopts the arenas and synthesizes the pool's
+/// [`CrashImage`], there is no live `HashTable` to call
+/// [`MapCrashRecovery::recover_from_image`] on — the dead process's structure
+/// is just a root-table entry ([`Self::ROOT_KEY`]) plus persisted words. Each
+/// implementation delegates to the structure's inherent
+/// `recover_in_image(arena, image)` walk, so the simulated sweeps and the
+/// real-pool reopen path exercise the same code.
+pub trait RecoverInImage {
+    /// The root-table key (`flit_alloc::roots::*`) this structure registers
+    /// its durable entry point under — how a reopening process locates the
+    /// structure inside an adopted arena.
+    const ROOT_KEY: u64;
+
+    /// Rebuild the durable key→value state from `arena`'s root table and
+    /// `image`. An image in which [`Self::ROOT_KEY`] was never durably
+    /// registered recovers to the empty map.
+    fn recover_arena_image(arena: &flit_alloc::Arena, image: &CrashImage) -> RecoveredMap;
+}
+
+impl<P: Policy, D: Durability> RecoverInImage for HarrisList<P, D> {
+    const ROOT_KEY: u64 = flit_alloc::roots::LIST_HEAD;
+
+    fn recover_arena_image(arena: &flit_alloc::Arena, image: &CrashImage) -> RecoveredMap {
+        Self::recover_in_image(arena, image)
+    }
+}
+
+impl<P: Policy, D: Durability> RecoverInImage for HashTable<P, D> {
+    const ROOT_KEY: u64 = flit_alloc::roots::HASH_DIRECTORY;
+
+    fn recover_arena_image(arena: &flit_alloc::Arena, image: &CrashImage) -> RecoveredMap {
+        Self::recover_in_image(arena, image)
+    }
+}
+
+impl<P: Policy, D: Durability> RecoverInImage for NatarajanTree<P, D> {
+    const ROOT_KEY: u64 = flit_alloc::roots::BST_ROOT;
+
+    fn recover_arena_image(arena: &flit_alloc::Arena, image: &CrashImage) -> RecoveredMap {
+        Self::recover_in_image(arena, image)
+    }
+}
+
+impl<P: Policy, D: Durability> RecoverInImage for SkipList<P, D> {
+    const ROOT_KEY: u64 = flit_alloc::roots::SKIPLIST_HEAD;
+
+    fn recover_arena_image(arena: &flit_alloc::Arena, image: &CrashImage) -> RecoveredMap {
+        Self::recover_in_image(arena, image)
+    }
+}
+
 impl<P: Policy, D: Durability> MapCrashRecovery<P> for HarrisList<P, D> {
     fn recover_from_image(&self, image: &CrashImage) -> RecoveredMap {
         self.recover(image)

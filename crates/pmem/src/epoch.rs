@@ -151,6 +151,29 @@ impl CommitMode {
         }
         Some(CommitMode::Batched(k))
     }
+
+    /// Encode the mode as a pool-superblock compat word: `1` for immediate,
+    /// `2 | k << 8` for batched. Zero (a fresh page) never decodes, so a pool
+    /// whose commit word was torn or never written is detectably invalid.
+    pub fn compat_word(self) -> u64 {
+        match self {
+            CommitMode::Immediate => 1,
+            CommitMode::Batched(k) => 2 | (k as u64) << 8,
+        }
+    }
+
+    /// Decode a pool-superblock compat word; `None` for anything
+    /// [`compat_word`](Self::compat_word) cannot produce.
+    pub fn from_compat_word(word: u64) -> Option<CommitMode> {
+        match word & 0xFF {
+            1 if word == 1 => Some(CommitMode::Immediate),
+            2 => {
+                let k = (word >> 8) as usize;
+                (k >= 1).then_some(CommitMode::Batched(k))
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Capacity of the per-handle recently-flushed set. Small on purpose: the set only

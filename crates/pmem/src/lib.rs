@@ -60,6 +60,7 @@ pub mod crash;
 pub mod epoch;
 pub mod hardware;
 pub mod latency;
+pub mod pool;
 pub mod recording;
 pub mod region;
 pub mod session;
@@ -73,8 +74,9 @@ pub use crash::{CrashEventKind, CrashPlan};
 pub use epoch::{CommitMode, ElisionMode, PersistEpoch};
 pub use hardware::{FlushInstruction, HardwarePmem};
 pub use latency::LatencyModel;
+pub use pool::{OpenError, PoolArenaSlot, PoolFile, PoolOptions};
 pub use recording::RecordingBackend;
-pub use region::PmemRegion;
+pub use region::{PmemRegion, ReserveError};
 pub use session::PmemSession;
 pub use sim::SimNvram;
 pub use stats::{PmemStats, StatsSnapshot};

@@ -248,6 +248,20 @@ pub struct CrashImage {
 }
 
 impl CrashImage {
+    /// An empty image, to be populated with [`insert`](Self::insert). Used by
+    /// the pool layer, which synthesises an image from a mapped file instead
+    /// of from a tracker: in a pool, *every* mapped word is durable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the word holding `addr` as durable with value `value`. Zero
+    /// values matter: recovery walks distinguish a durable null (`Some(0)`)
+    /// from a word missing from the image (`None`, treated as truncation).
+    pub fn insert(&mut self, addr: usize, value: u64) {
+        self.words.insert(word_of(addr), value);
+    }
+
     /// Read the 8-byte word at `addr`, if present in the image.
     pub fn read(&self, addr: usize) -> Option<u64> {
         self.words.get(&word_of(addr)).copied()

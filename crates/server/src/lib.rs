@@ -64,4 +64,6 @@ pub mod proto;
 pub mod server;
 
 pub use proto::{Op, ProtoError, Reply};
-pub use server::{KvServer, ServerConfig, Shard, MAILBOX_CHUNK_SLOTS};
+pub use server::{
+    recover_shard_pool, shard_pool_path, KvServer, ServerConfig, Shard, MAILBOX_CHUNK_SLOTS,
+};

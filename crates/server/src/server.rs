@@ -1,12 +1,56 @@
 //! The sharded server: shard = (database, arena-backed map, mailbox); routing by
 //! key hash; the request pump that drives bytes through a shard.
+//!
+//! ## Pool-backed shards
+//!
+//! Each shard's database can live on its own file-backed pool
+//! ([`KvServer::create_on_pools`], one `shard-NNN.pool` file per shard under a
+//! directory — see [`shard_pool_path`]). One pool per shard preserves the
+//! independence the factory-per-shard shape establishes: a process kill or a
+//! corrupted file takes down exactly one shard's state, and
+//! [`recover_shard_pool`] brings that one shard back — open the pool (full
+//! validate → adopt → recover → GC pipeline), locate the shard map's root in
+//! the adopted arenas, and rebuild its abstract key→value state image-only.
 
-use flit::{FlitDb, FlitHandle, Policy};
+use std::path::{Path, PathBuf};
+
+use flit::{CommitMode, FlitDb, FlitHandle, OpenError, OpenReport, Policy};
 use flit_alloc::ArenaConfig;
-use flit_datastructs::{Automatic, ConcurrentMap, MAX_USER_KEY};
+use flit_datastructs::{Automatic, ConcurrentMap, RecoverInImage, RecoveredMap, MAX_USER_KEY};
 use flit_queues::{ConcurrentQueue, MsQueue};
 
 use crate::proto::{Op, ProtoError, Reply};
+
+/// The pool file backing shard `shard` under `dir`: `dir/shard-NNN.pool`. The
+/// single source of truth for the layout — creation, reopening and the kill
+/// harness all route through it.
+pub fn shard_pool_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:03}.pool"))
+}
+
+/// Re-open the pool backing shard `shard` under `dir` and rebuild map `M`'s
+/// durable abstract state from it, with no live server.
+///
+/// Runs [`FlitDb::open`]'s full pipeline, then walks the adopted arenas for
+/// `M`'s root key ([`RecoverInImage::ROOT_KEY`]) and recovers image-only from
+/// each arena that registered it (exactly one for a server shard: the map
+/// arena). A pool in which the root never became durable recovers to the
+/// empty map. Returns the re-opened database (ready for new traffic), the
+/// [`OpenReport`] (leak accounting included) and the recovered pairs.
+pub fn recover_shard_pool<P: Policy, M: ConcurrentMap<P> + RecoverInImage>(
+    dir: &Path,
+    shard: usize,
+    policy: P,
+) -> Result<(FlitDb<P>, OpenReport, RecoveredMap), OpenError> {
+    let (db, report) = FlitDb::open(shard_pool_path(dir, shard), policy)?;
+    let mut recovered = RecoveredMap::default();
+    for arena in db.arenas() {
+        if arena.live_roots().iter().any(|(k, _)| *k == M::ROOT_KEY) {
+            recovered.absorb(M::recover_arena_image(&arena, &report.image));
+        }
+    }
+    Ok((db, report, recovered))
+}
 
 /// Chunk slot-count of every shard's mailbox arena: mailboxes stay short (they
 /// hold in-flight request tokens, not data), so they grow in small steps.
@@ -160,6 +204,41 @@ impl<P: Policy, M: ConcurrentMap<P>> KvServer<P, M> {
         Self { shards }
     }
 
+    /// Build a server whose shard `i` lives on a **fresh file-backed pool** at
+    /// [`shard_pool_path`]`(dir, i)` (any existing files are truncated), all
+    /// created under `commit`. `policy_factory(i)` supplies each shard's
+    /// policy, preserving the independent-backend property of
+    /// [`new_with`](Self::new_with). `dir` is created if absent.
+    pub fn create_on_pools(
+        config: ServerConfig,
+        dir: &Path,
+        commit: CommitMode,
+        mut policy_factory: impl FnMut(usize) -> P,
+    ) -> Result<Self, OpenError> {
+        std::fs::create_dir_all(dir)?;
+        let mut dbs = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            dbs.push(
+                FlitDb::builder(policy_factory(i))
+                    .commit_mode(commit)
+                    .create_pool(shard_pool_path(dir, i))?,
+            );
+        }
+        let mut dbs = dbs.into_iter();
+        Ok(Self::new_with(config, |_| {
+            dbs.next().expect("one database per shard")
+        }))
+    }
+
+    /// `msync` every shard's pool (no-op for heap-backed shards) — the clean
+    /// shutdown checkpoint.
+    pub fn sync_pools(&self) -> Result<(), OpenError> {
+        for shard in &self.shards {
+            shard.db().sync_pool()?;
+        }
+        Ok(())
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
@@ -289,6 +368,44 @@ mod tests {
         let (t1, r1) = s.pump(&hs, &slab, 1).unwrap();
         assert_eq!((t1, Reply::decode(&r1)), (1, Ok(Reply::Found(50))));
         assert!(s.shards().iter().all(|sh| sh.mailbox().is_empty()));
+    }
+
+    #[test]
+    fn pool_backed_shards_recover_their_maps() {
+        let dir = std::env::temp_dir().join(format!("flit-server-pools-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServerConfig::new(2, 64);
+        let policy = |_i: usize| {
+            flit::FlitPolicy::new(
+                HashedScheme::with_bytes(1 << 12),
+                SimNvram::builder().latency(LatencyModel::none()).build(),
+            )
+        };
+        {
+            let s: KvServer<Policy_, Map_> =
+                KvServer::create_on_pools(cfg, &dir, CommitMode::Immediate, policy).unwrap();
+            let hs = s.handles();
+            for k in 1..=20u64 {
+                let sid = s.route(k);
+                assert_eq!(
+                    s.shard(sid).apply(&hs[sid], &Op::Put(k, 10 * k)),
+                    Reply::Inserted
+                );
+            }
+            s.sync_pools().unwrap();
+        } // drop: every shard pool unmaps
+        let mut recovered: Vec<(u64, u64)> = Vec::new();
+        for shard in 0..cfg.shards {
+            let (_db, report, rec) =
+                recover_shard_pool::<Policy_, Map_>(&dir, shard, policy(shard)).unwrap();
+            assert!(report.arenas >= 2, "map arena + mailbox arena");
+            recovered.extend(rec.pairs);
+            assert!(!rec.truncated);
+        }
+        recovered.sort_unstable();
+        let expected: Vec<(u64, u64)> = (1..=20u64).map(|k| (k, 10 * k)).collect();
+        assert_eq!(recovered, expected);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

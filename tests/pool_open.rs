@@ -1,0 +1,285 @@
+//! File-backed pool lifecycle (`flit-pmem` pool × `flit-core` open pipeline):
+//!
+//! 1. **Roundtrip** — create a pool, run real map traffic, drop the process's
+//!    view, re-open: the validate → adopt → recover → GC pipeline rebuilds the
+//!    exact key→value state, reclaims leaked slots, and a second GC pass
+//!    reclaims nothing (idempotence);
+//! 2. **Graceful corruption handling** — every targeted clobber of a persisted
+//!    field (superblock magic/version, truncation, commit-mode compat word,
+//!    arena slot size, root-table entry) surfaces as the matching typed
+//!    [`OpenError`] variant, never a panic;
+//! 3. **Liveness** — a re-opened pool accepts new traffic; a pool mapped by a
+//!    live database cannot be double-opened ([`OpenError::MappingConflict`]);
+//!    [`FlitDb::create_volatile`] keeps the heap-backed path intact.
+
+#![cfg(unix)]
+
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use flit::{CommitMode, FlitDb, FlitPolicy, HashedScheme, OpenError};
+use flit_alloc::post_crash_gc;
+use flit_datastructs::{Automatic, ConcurrentMap, HashTable, RecoverInImage};
+use flit_pmem::pool::{direntry, superblock, DIR_OFFSET};
+use flit_pmem::{LatencyModel, SimNvram};
+
+type HtPolicy = FlitPolicy<HashedScheme, SimNvram>;
+type Map = HashTable<HtPolicy, Automatic>;
+
+fn policy() -> HtPolicy {
+    FlitPolicy::new(
+        HashedScheme::with_bytes(1 << 12),
+        SimNvram::builder().latency(LatencyModel::none()).build(),
+    )
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("flit-pool-open-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Build a pool with one hash table holding keys 1..=40 (evens removed again)
+/// plus one deliberately leaked slot, and unmap it. Returns the expected pairs.
+fn build_pool(path: &Path, commit: CommitMode) -> Vec<(u64, u64)> {
+    let db = FlitDb::builder(policy())
+        .commit_mode(commit)
+        .create_pool(path)
+        .unwrap();
+    let map = Map::new(&db, 64);
+    let h = db.handle();
+    for k in 1..=40u64 {
+        assert!(map.insert(&h, k, 100 + k));
+    }
+    for k in (2..=40u64).step_by(2) {
+        assert!(map.remove(&h, k));
+    }
+    // A slot allocated but never published anywhere: guaranteed leak for the
+    // open-time GC to find.
+    let arena = &db.arenas()[0];
+    assert!(!arena.alloc(&h.pmem()).is_null());
+    drop(h);
+    db.sync_pool().unwrap();
+    (1..=40u64)
+        .filter(|k| k % 2 == 1)
+        .map(|k| (k, 100 + k))
+        .collect()
+}
+
+fn recover_map(db: &FlitDb<HtPolicy>, report: &flit::OpenReport) -> Vec<(u64, u64)> {
+    let mut pairs = Vec::new();
+    for arena in db.arenas() {
+        if arena
+            .live_roots()
+            .iter()
+            .any(|(k, _)| *k == <Map as RecoverInImage>::ROOT_KEY)
+        {
+            pairs.extend(Map::recover_arena_image(&arena, &report.image).pairs);
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+fn write_word(path: &Path, offset: u64, value: u64) {
+    let f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+    f.write_at(&value.to_le_bytes(), offset).unwrap();
+    f.sync_all().unwrap();
+}
+
+fn read_word(path: &Path, offset: u64) -> u64 {
+    let f = std::fs::File::open(path).unwrap();
+    let mut buf = [0u8; 8];
+    f.read_exact_at(&mut buf, offset).unwrap();
+    u64::from_le_bytes(buf)
+}
+
+/// Arena 0's header base offset in the file, via its directory entry.
+fn header_off(path: &Path) -> u64 {
+    read_word(path, (DIR_OFFSET + direntry::HEADER_OFF) as u64)
+}
+
+#[test]
+fn create_then_reopen_recovers_pairs_and_reclaims_the_leak() {
+    let path = temp_path("roundtrip");
+    let expected = build_pool(&path, CommitMode::Immediate);
+
+    let (db, report) = FlitDb::open(&path, policy()).unwrap();
+    assert_eq!(recover_map(&db, &report), expected);
+    assert!(
+        report.leaked_slots() >= 1,
+        "the unpublished slot (and any recycle-list remnants) must be reclaimed"
+    );
+    // Idempotence: the open-time pass closed every leak.
+    assert_eq!(post_crash_gc(&db.arenas()).total_reclaimed(), 0);
+
+    // The re-opened pool accepts new traffic through the adopted arenas.
+    let map = Map::new(&db, 64); // a second table in the same pool
+    let h = db.handle();
+    assert!(map.insert(&h, 7_000, 1));
+    assert_eq!(map.get(&h, 7_000), Some(1));
+    drop(h);
+    drop((map, db));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn reopening_twice_is_stable() {
+    let path = temp_path("twice");
+    let expected = build_pool(&path, CommitMode::Immediate);
+    {
+        let (db, report) = FlitDb::open(&path, policy()).unwrap();
+        assert_eq!(recover_map(&db, &report), expected);
+        db.sync_pool().unwrap();
+    }
+    // Second open: the first open's GC already ran; nothing further leaks.
+    let (db, report) = FlitDb::open(&path, policy()).unwrap();
+    assert_eq!(recover_map(&db, &report), expected);
+    assert_eq!(report.leaked_slots(), 0, "GC across reopen is idempotent");
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn double_open_of_a_live_pool_is_a_mapping_conflict() {
+    let path = temp_path("double");
+    let _ = build_pool(&path, CommitMode::Immediate);
+    let (_db, _report) = FlitDb::open(&path, policy()).unwrap();
+    // The pool is mapped at its recorded base by `_db`; a second map of the
+    // same file in the same process must refuse, not corrupt.
+    match FlitDb::open(&path, policy()) {
+        Err(OpenError::MappingConflict { .. }) => {}
+        other => panic!("expected MappingConflict, got {:?}", other.map(|_| ())),
+    }
+    drop(_db);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_pools_yield_typed_errors_not_panics() {
+    let path = temp_path("corrupt-src");
+    let _ = build_pool(&path, CommitMode::Immediate);
+
+    let case = |name: &str, clobber: &dyn Fn(&Path), check: &dyn Fn(&OpenError) -> bool| {
+        let copy = temp_path(&format!("corrupt-{name}"));
+        std::fs::copy(&path, &copy).unwrap();
+        clobber(&copy);
+        match FlitDb::open(&copy, policy()) {
+            Err(e) if check(&e) => {}
+            Err(e) => panic!("case {name}: wrong error: {e}"),
+            Ok(_) => panic!("case {name}: opened successfully"),
+        }
+        let _ = std::fs::remove_file(&copy);
+    };
+
+    case(
+        "bad-magic",
+        &|p| write_word(p, superblock::MAGIC as u64, 0x1BAD_1BAD),
+        &|e| matches!(e, OpenError::BadMagic { found: 0x1BAD_1BAD }),
+    );
+    case(
+        "bad-version",
+        &|p| write_word(p, superblock::VERSION as u64, 42),
+        &|e| matches!(e, OpenError::BadVersion { found: 42, .. }),
+    );
+    case(
+        "truncated",
+        &|p| {
+            let f = std::fs::OpenOptions::new().write(true).open(p).unwrap();
+            f.set_len(4096).unwrap();
+        },
+        &|e| matches!(e, OpenError::Truncated { .. }),
+    );
+    case(
+        "commit-compat-word",
+        &|p| write_word(p, superblock::COMMIT as u64, 0x77),
+        &|e| matches!(e, OpenError::CommitModeMismatch { pool: None, .. }),
+    );
+    case(
+        "slot-size-mismatch",
+        &|p| {
+            let h = header_off(p);
+            write_word(p, h + flit_alloc::SLOT_SIZE_OFFSET as u64, 128);
+        },
+        &|e| matches!(e, OpenError::SlotSizeMismatch { arena: 0, .. }),
+    );
+    case(
+        "torn-root-entry",
+        &|p| {
+            let h = header_off(p);
+            let table = h + flit_alloc::ROOT_TABLE_OFFSET as u64;
+            let mut torn = false;
+            for i in 0..flit_alloc::ROOT_CAPACITY as u64 {
+                let key_off = table + i * flit_alloc::ROOT_ENTRY_BYTES as u64;
+                if read_word(p, key_off) != 0 {
+                    write_word(p, key_off + 8, 0);
+                    torn = true;
+                    break;
+                }
+            }
+            assert!(torn, "the built pool must have a live root to tear");
+        },
+        &|e| matches!(e, OpenError::TornRootEntry { arena: 0, .. }),
+    );
+    case(
+        "arena-magic",
+        &|p| {
+            let h = header_off(p);
+            write_word(p, h + flit_alloc::MAGIC_OFFSET as u64, 0);
+        },
+        &|e| matches!(e, OpenError::ArenaHeader { arena: 0, .. }),
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn commit_mode_is_recorded_and_enforced() {
+    let path = temp_path("commit");
+    let _ = build_pool(&path, CommitMode::Batched(4));
+    {
+        let (db, _) = FlitDb::open(&path, policy()).unwrap();
+        assert_eq!(db.commit_mode(), CommitMode::Batched(4));
+    }
+    match FlitDb::builder(policy())
+        .commit_mode(CommitMode::Batched(9))
+        .open_pool(&path)
+    {
+        Err(OpenError::CommitModeMismatch {
+            pool: Some(CommitMode::Batched(4)),
+            requested: CommitMode::Batched(9),
+        }) => {}
+        other => panic!("expected CommitModeMismatch, got {:?}", other.map(|_| ())),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn create_volatile_smoke() {
+    let db = FlitDb::create_volatile(policy());
+    assert!(!db.is_pool_backed());
+    let map = Map::new(&db, 16);
+    let h = db.handle();
+    assert!(map.insert(&h, 1, 2));
+    assert_eq!(map.get(&h, 1), Some(2));
+    h.operation_completion();
+    db.sync_pool().unwrap(); // no-op without a pool
+}
+
+#[test]
+fn killed_process_pools_verify_against_the_prefix_model() {
+    // The in-process half of the kill harness: run the child workload to
+    // completion here (no fork), then verify the pool exactly as the parent
+    // does after a SIGKILL — same recovery walk, same prefix scan, same GC
+    // idempotence check.
+    use flit_crashtest::kill::{child_main, verify_pool};
+    let pool = temp_path("killmodel");
+    let sidecar = temp_path("killmodel-floor");
+    for commit in [CommitMode::Immediate, CommitMode::Batched(8)] {
+        child_main(&pool, &sidecar, 600, commit).unwrap();
+        let report = verify_pool(&pool, 600, 600).unwrap();
+        assert_eq!(report.matched_prefix, 600);
+        assert_eq!(report.acked_floor, 600);
+    }
+    let _ = std::fs::remove_file(&pool);
+    let _ = std::fs::remove_file(&sidecar);
+}
