@@ -1,0 +1,52 @@
+//! Single-threaded hot-path probe: one flit-HT hashtable, 50% updates, long
+//! run — measures the per-operation persistence path without scheduler noise.
+
+use flit::{FlitDb, FlitPolicy, HashedScheme};
+use flit_datastructs::{Automatic, ConcurrentMap, HashTable};
+use flit_pmem::{LatencyModel, SimNvram};
+
+type Policy_ = FlitPolicy<HashedScheme, SimNvram>;
+type Map_ = HashTable<Policy_, Automatic>;
+
+fn main() {
+    let ops: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let keys: u64 = 10_000;
+    let db = FlitDb::flit_ht(SimNvram::builder().latency(LatencyModel::none()).build());
+    let map = Map_::with_capacity(&db, 1 << 14);
+    let h = db.handle();
+    // Warm: load half the key range.
+    for k in 0..keys / 2 {
+        map.insert(&h, k, k);
+    }
+    let mut x: u64 = 0x2545F4914F6CDD1D;
+    let mut sink: u64 = 0;
+    let start = std::time::Instant::now();
+    for _ in 0..ops {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = x % keys;
+        match x >> 62 {
+            0 => {
+                sink += map.insert(&h, k, x) as u64;
+            }
+            1 => {
+                sink += map.remove(&h, k) as u64;
+            }
+            _ => {
+                sink += map.get(&h, k).is_some() as u64;
+            }
+        }
+    }
+    let el = start.elapsed();
+    println!(
+        "{{\"ops\":{},\"secs\":{:.4},\"mops\":{:.4},\"sink\":{}}}",
+        ops,
+        el.as_secs_f64(),
+        ops as f64 / el.as_secs_f64() / 1e6,
+        sink
+    );
+}

@@ -13,6 +13,8 @@
 //!                         (default: target/killtest under the current dir)
 //!   --corruption-only     run only the corruption-injection suite
 //!   --skip-corruption     run only the kill rounds
+//!   --keep-pools          keep pool/sidecar files of passing rounds too
+//!                         (for `flitctl inspect` / the CI obs-smoke job)
 //! ```
 //!
 //! Each round spawns **this same binary** as a child (the hidden
@@ -46,6 +48,7 @@ struct Args {
     dir: PathBuf,
     corruption_only: bool,
     skip_corruption: bool,
+    keep_pools: bool,
 }
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -78,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         dir: PathBuf::from("target/killtest"),
         corruption_only: false,
         skip_corruption: false,
+        keep_pools: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -92,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
             "--dir" => args.dir = PathBuf::from(val("--dir")?),
             "--corruption-only" => args.corruption_only = true,
             "--skip-corruption" => args.skip_corruption = true,
+            "--keep-pools" => args.keep_pools = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -157,15 +162,22 @@ fn main() -> ExitCode {
                     seed: args.seed,
                     ops: args.ops,
                     commit,
+                    keep_files: args.keep_pools,
                 };
                 match run_kill_round(&spec) {
                     Ok(report) => println!(
-                        "round {:>3} [{}]: ok — prefix {} (floor {}), {} leaked slot(s) reclaimed{}",
+                        "round {:>3} [{}]: ok — prefix {} (floor {}), {} leaked slot(s) reclaimed, \
+                         open {}us (validate {}us, adopt {}us, recover {}us, gc {}us){}",
                         round,
                         commit_word(commit),
                         report.matched_prefix,
                         report.acked_floor,
                         report.reclaimed_slots,
+                        report.timings.total_ns() / 1_000,
+                        report.timings.validate_ns / 1_000,
+                        report.timings.adopt_ns / 1_000,
+                        report.timings.recover_ns / 1_000,
+                        report.timings.gc_ns / 1_000,
                         if report.child_finished {
                             ", child finished first"
                         } else {

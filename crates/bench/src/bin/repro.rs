@@ -23,13 +23,15 @@
 //! set of plain-text tables, one series per line; `EXPERIMENTS.md` records a captured
 //! run next to the paper's reported numbers.
 
+use std::path::Path;
+
 use flit_bench::experiments::{
     bench_baseline, figure5, figure6, figure7, figure8, figure9, queue_dequeue_empty, queue_mix,
     queue_producer_consumer, BenchRecord, Row, Scale, BENCH_UPDATE_PERCENT,
 };
 use flit_bench::server_experiments::{
-    server_baseline, server_crash_smoke, ServerBenchRecord, ServerCrashSummary,
-    SERVER_UPDATE_PERCENT,
+    server_baseline, server_crash_smoke, server_obs_document, ServerBenchRecord,
+    ServerCrashSummary, SERVER_UPDATE_PERCENT,
 };
 use flit_bench::{SCALE_FULL, SCALE_QUICK};
 use flit_pmem::{CommitMode, ElisionMode, LatencyModel};
@@ -319,6 +321,19 @@ fn run_server_bench(scale: &Scale, quick: bool, out: &str) {
         std::process::exit(2);
     });
     println!("\nwrote server baseline to {out}");
+
+    // The observability sidecar: one representative run's full `flit-obs-v1`
+    // metrics document, written next to the baseline.
+    let obs_out = Path::new(out)
+        .with_file_name("BENCH_obs.json")
+        .display()
+        .to_string();
+    let obs = server_obs_document(scale);
+    std::fs::write(&obs_out, obs).unwrap_or_else(|e| {
+        eprintln!("cannot write {obs_out}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote server metrics document to {obs_out}");
 }
 
 fn main() {

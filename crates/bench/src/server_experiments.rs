@@ -94,6 +94,9 @@ struct ServerRun {
     hist: LatencyHistogram,
     pwbs: u64,
     pfences: u64,
+    /// The server's own `flit-obs-v1` metrics document, snapshotted after the
+    /// workers drained — the payload `BENCH_obs.json` records.
+    obs: String,
 }
 
 /// Sum a counter over every shard's backend statistics.
@@ -141,7 +144,8 @@ where
         let handles = server.handles();
         for op in prefill_history(cfg) {
             let op = op_of(&op);
-            let sid = server.route(op.key());
+            let key = op.key().expect("prefill histories contain only data ops");
+            let sid = server.route(key);
             server.shard(sid).apply(&handles[sid], &op);
         }
     }
@@ -201,6 +205,7 @@ where
         hist,
         pwbs: shard_stat(&server, |s| s.pwbs) - pwbs_before,
         pfences: shard_stat(&server, |s| s.pfences) - pfences_before,
+        obs: server.stats_json(),
     }
 }
 
@@ -318,6 +323,23 @@ pub fn server_baseline(scale: &Scale) -> Vec<ServerBenchRecord> {
         ));
     }
     records
+}
+
+/// The `flit-obs-v1` metrics document of one representative baseline run
+/// (two-shard flit-HT, elision on, immediate commit, closed loop) — what
+/// `repro -- server` records to `BENCH_obs.json`. Snapshotted after the
+/// request streams drain, so every layer's series carries real samples:
+/// `server_ops_total`/`server_reply_ns` from the pump, the databases'
+/// persistence counters and arena gauges underneath.
+pub fn server_obs_document(scale: &Scale) -> String {
+    run_server(
+        |b| presets::flit_ht_sized(b, SERVER_FLIT_HT_BYTES),
+        2,
+        &base_config(scale, 2),
+        ElisionMode::Enabled,
+        CommitMode::Immediate,
+    )
+    .obs
 }
 
 /// The crash-correctness gate recorded alongside the numbers: a one-shard

@@ -144,9 +144,11 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use flit_alloc::{post_crash_gc, Arena, ArenaConfig, GcOutcome, ImageHeader};
 use flit_ebr::{Collector, Guard, LocalHandle};
+use flit_obs::{Counter, CounterShard, FlightEvent, FlightRecorder, MetricsSnapshot, Registry};
 use flit_pmem::{
     cache_line_of, CommitMode, CrashImage, ElisionMode, OpenError, PersistEpoch, PmemBackend,
     PmemSession, PoolFile, PoolOptions, StatsSnapshot, CACHE_LINE_SIZE,
@@ -175,6 +177,29 @@ struct DbInner<P: Policy> {
     /// The file-backed pool this database lives on, if any: when set, every
     /// arena is created on (or was adopted from) the pool's directory.
     pool: Option<Arc<PoolFile>>,
+    /// The metrics registry this database reports into (a fresh one unless the
+    /// builder injected a shared registry, as `flit-server` does to aggregate
+    /// its shards). Backend counters are *pulled* into gauges at
+    /// [`FlitDb::metrics_snapshot`] time, never pushed on the hot path.
+    metrics: Registry,
+    /// Base label pairs stamped on every metric of this database (e.g.
+    /// `shard=3` on a server shard); empty by default.
+    metric_labels: Vec<(String, String)>,
+    /// Batch drains across every handle (each handle increments a private
+    /// shard of this counter).
+    drains: Counter,
+    /// Blocking [`FlitDb::wait`] calls that actually spun at least once.
+    ticket_waits: Counter,
+    /// Total completion obligations enqueued db-wide (group commit) — the
+    /// numerator of the durable-watermark lag gauge. One relaxed increment per
+    /// *batched* completion; stays 0 (and costs nothing) under
+    /// [`CommitMode::Immediate`].
+    obligations_enqueued: AtomicU64,
+    /// Each live-or-dead handle's flight recorder, keyed by handle id, so
+    /// [`FlitDb::dump_flight_recorder`] can snapshot every handle's event tail
+    /// from any thread. Populated only when the `flight-recorder` feature is
+    /// on (the recorder is a zero-sized no-op otherwise).
+    flights: Mutex<Vec<(u64, FlightRecorder)>>,
 }
 
 /// The facade owning a database's shared state: policy (scheme + backend), the
@@ -223,6 +248,9 @@ pub struct FlitDbBuilder<P: Policy> {
     /// mode" (must match the pool) from "use whatever the pool records".
     commit: Option<CommitMode>,
     arena_defaults: ArenaConfig,
+    /// A shared registry (plus base labels) injected by the caller; a fresh
+    /// unlabelled registry when `None`.
+    metrics: Option<(Registry, Vec<(String, String)>)>,
 }
 
 impl<P: Policy> FlitDbBuilder<P> {
@@ -242,13 +270,36 @@ impl<P: Policy> FlitDbBuilder<P> {
         self
     }
 
+    /// Report this database's metrics into `registry` instead of a private
+    /// one, stamping `labels` on every series it creates — how `flit-server`
+    /// aggregates per-shard databases into one snapshot (`shard=<i>` labels on
+    /// a shared registry).
+    pub fn metrics(mut self, registry: Registry, labels: &[(&str, &str)]) -> Self {
+        self.metrics = Some((
+            registry,
+            labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        ));
+        self
+    }
+
     /// Assemble the database value: a new collector, no arenas yet.
     fn assemble(
         policy: P,
         commit: CommitMode,
         arena_defaults: ArenaConfig,
         pool: Option<Arc<PoolFile>>,
+        metrics: Option<(Registry, Vec<(String, String)>)>,
     ) -> FlitDb<P> {
+        let (metrics, metric_labels) = metrics.unwrap_or_default();
+        let label_refs: Vec<(&str, &str)> = metric_labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let drains = metrics.counter("flit_handle_drains_total", &label_refs);
+        let ticket_waits = metrics.counter("flit_ticket_waits_total", &label_refs);
         FlitDb {
             inner: Arc::new(DbInner {
                 policy,
@@ -261,6 +312,12 @@ impl<P: Policy> FlitDbBuilder<P> {
                 watermark: AtomicU64::new(0),
                 acks: Mutex::new(HashMap::new()),
                 pool,
+                metrics,
+                metric_labels,
+                drains,
+                ticket_waits,
+                obligations_enqueued: AtomicU64::new(0),
+                flights: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -268,7 +325,7 @@ impl<P: Policy> FlitDbBuilder<P> {
     /// Build a volatile (heap-backed) database: a new collector, no arenas yet.
     pub fn build(self) -> FlitDb<P> {
         let commit = self.commit.unwrap_or_default();
-        Self::assemble(self.policy, commit, self.arena_defaults, None)
+        Self::assemble(self.policy, commit, self.arena_defaults, None, self.metrics)
     }
 
     /// Build the database on a **fresh file-backed pool** at `path` (truncating
@@ -294,6 +351,7 @@ impl<P: Policy> FlitDbBuilder<P> {
             commit,
             self.arena_defaults,
             Some(pool),
+            self.metrics,
         ))
     }
 
@@ -306,6 +364,7 @@ impl<P: Policy> FlitDbBuilder<P> {
     /// [`OpenError::CommitModeMismatch`] (with `pool: None` when the recorded
     /// word does not decode to any mode at all — a corrupt superblock).
     pub fn open_pool(self, path: impl AsRef<Path>) -> Result<(FlitDb<P>, OpenReport), OpenError> {
+        let phase_start = Instant::now();
         let pool = PoolFile::open(path)?;
         let requested = self.commit;
         let commit = match (CommitMode::from_compat_word(pool.commit_word()), requested) {
@@ -328,9 +387,12 @@ impl<P: Policy> FlitDbBuilder<P> {
             commit,
             self.arena_defaults,
             Some(Arc::clone(&pool)),
+            self.metrics,
         );
+        let validate_ns = phase_start.elapsed().as_nanos() as u64;
 
         // Adopt: every directory entry becomes a live arena, fully validated.
+        let phase_start = Instant::now();
         {
             let mut arenas = db.inner.arenas.lock().unwrap();
             for index in 0..pool.arena_count() {
@@ -338,24 +400,35 @@ impl<P: Policy> FlitDbBuilder<P> {
             }
         }
         let arenas = db.arenas();
+        let adopt_ns = phase_start.elapsed().as_nanos() as u64;
 
         // Recover: the mapped pool *is* the crash image — dump it and reuse
         // the image-only recovery path unchanged.
+        let phase_start = Instant::now();
         let mut image = CrashImage::new();
         for arena in &arenas {
             arena.dump_into_image(&mut image);
         }
         let recovery = db.recover(&image);
+        let recover_ns = phase_start.elapsed().as_nanos() as u64;
 
         // GC: slots that died on the volatile recycle list go back to the
         // durable free list, so the reclamation itself survives a reopen.
+        let phase_start = Instant::now();
         let gc = post_crash_gc(&arenas);
+        let gc_ns = phase_start.elapsed().as_nanos() as u64;
 
         let report = OpenReport {
             arenas: arenas.len(),
             recovery,
             gc,
             image,
+            timings: OpenTimings {
+                validate_ns,
+                adopt_ns,
+                recover_ns,
+                gc_ns,
+            },
         };
         Ok((db, report))
     }
@@ -368,6 +441,7 @@ impl<P: Policy> FlitDb<P> {
             policy,
             commit: None,
             arena_defaults: ArenaConfig::default(),
+            metrics: None,
         }
     }
 
@@ -437,7 +511,12 @@ impl<P: Policy> FlitDb<P> {
     /// (tickets from `flush_async` are acknowledged at issue; tickets from
     /// [`FlitHandle::ticket`] need a later drain).
     pub fn wait(&self, ticket: Ticket) {
+        let mut spun = false;
         while !self.is_durable(ticket) {
+            if !spun {
+                spun = true;
+                self.inner.ticket_waits.add(1);
+            }
             std::thread::yield_now();
         }
     }
@@ -489,18 +568,143 @@ impl<P: Policy> FlitDb<P> {
         self.inner.policy.stats_snapshot()
     }
 
+    /// The metrics registry this database reports into (injected via
+    /// [`FlitDbBuilder::metrics`], or a private one).
+    #[inline]
+    pub fn metrics(&self) -> &Registry {
+        &self.inner.metrics
+    }
+
+    /// Refresh this database's gauges from their live sources and snapshot the
+    /// registry.
+    ///
+    /// This is the *pull* half of the instrumentation: backend counters
+    /// (`PmemStats` — pwbs, pfences, read-side pwbs, both elision kinds),
+    /// the durable watermark and its lag, and per-arena occupancy (slots in
+    /// use, durable free-list depth, chunk growth) are read here, at snapshot
+    /// time, instead of being double-counted on the persistence hot path.
+    /// Counters that have no other home (handle batch drains, ticket waits)
+    /// are pushed by their owners and only aggregated here.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let base = &self.inner.metric_labels;
+        let with_base = |extra: &[(&str, &str)]| -> Vec<(String, String)> {
+            base.iter()
+                .cloned()
+                .chain(extra.iter().map(|(k, v)| (k.to_string(), v.to_string())))
+                .collect()
+        };
+        let set = |name: &str, labels: &[(&str, &str)], value: u64| {
+            let owned = with_base(labels);
+            let refs: Vec<(&str, &str)> = owned
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            self.inner.metrics.gauge(name, &refs).set(value);
+        };
+        if let Some(stats) = self.stats_snapshot() {
+            set("flit_pwbs_total", &[], stats.pwbs);
+            set("flit_pfences_total", &[], stats.pfences);
+            set("flit_read_side_pwbs_total", &[], stats.read_side_pwbs);
+            // Elided pwbs are exactly the dedup hits of `pwb_dedup`.
+            set("flit_dedup_hits_total", &[], stats.elided_pwbs);
+            set("flit_elided_pfences_total", &[], stats.elided_pfences);
+        }
+        let watermark = self.durable_watermark();
+        let enqueued = self.inner.obligations_enqueued.load(Ordering::Acquire);
+        set("flit_durable_watermark", &[], watermark);
+        set("flit_obligations_enqueued_total", &[], enqueued);
+        set(
+            "flit_watermark_lag",
+            &[],
+            enqueued.saturating_sub(watermark),
+        );
+        set("flit_handles_created_total", &[], self.handles_created());
+        for (index, arena) in self.arenas().iter().enumerate() {
+            let index = index.to_string();
+            let labels: [(&str, &str); 1] = [("arena", index.as_str())];
+            let high_water = arena.high_water();
+            let free = arena.durable_free_offsets().len() + arena.recycled_offsets().len();
+            let chunk_slots = arena.chunk_slots().max(1);
+            set(
+                "flit_arena_slots_in_use",
+                &labels,
+                high_water.saturating_sub(free) as u64,
+            );
+            set(
+                "flit_arena_free_list_depth",
+                &labels,
+                arena.durable_free_offsets().len() as u64,
+            );
+            set("flit_arena_high_water", &labels, high_water as u64);
+            set(
+                "flit_arena_chunks",
+                &labels,
+                (high_water.div_ceil(chunk_slots)) as u64,
+            );
+        }
+        self.inner.metrics.snapshot()
+    }
+
+    /// Snapshot every handle's flight-recorder tail, keyed by handle id
+    /// (oldest event first within each handle). Empty unless the
+    /// `flight-recorder` cargo feature is enabled; a handle's tail stays
+    /// empty until its recorder is armed.
+    pub fn flight_snapshots(&self) -> Vec<(u64, Vec<FlightEvent>)> {
+        self.inner
+            .flights
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(id, rec)| (*id, rec.snapshot()))
+            .collect()
+    }
+
+    /// The flight-recorder tails of every handle as one JSON document
+    /// (schema `flit-obs-flight-v1`). With the `flight-recorder` feature off
+    /// this is an empty (but well-formed) document; un-armed handles
+    /// contribute empty tails.
+    pub fn dump_flight_recorder(&self) -> String {
+        let handles: Vec<String> = self
+            .flight_snapshots()
+            .iter()
+            .map(|(id, events)| {
+                let rows: Vec<String> = events.iter().map(|e| e.to_json()).collect();
+                format!("{{\"handle\":{},\"events\":[{}]}}", id, rows.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"flit-obs-flight-v1\",\"enabled\":{},\"capacity\":{},\"handles\":[{}]}}",
+            FlightRecorder::ENABLED,
+            if FlightRecorder::ENABLED {
+                flit_obs::FLIGHT_CAPACITY
+            } else {
+                0
+            },
+            handles.join(",")
+        )
+    }
+
     /// Register a new per-logical-thread session. Handles are cheap (no
     /// persistence events) and `Send`: create one per worker thread — or several
     /// on one thread for controlled interleaving.
     pub fn handle(&self) -> FlitHandle<'_, P> {
         let id = self.inner.handles_created.fetch_add(1, Ordering::Relaxed);
+        let epoch = PersistEpoch::new();
+        if FlightRecorder::ENABLED {
+            self.inner
+                .flights
+                .lock()
+                .unwrap()
+                .push((id, epoch.flight().clone()));
+        }
         FlitHandle {
             db: self,
-            epoch: PersistEpoch::new(),
+            epoch,
             elision: self.backend().elision_mode(),
             commit: self.inner.commit,
             deferred_closes: RefCell::new(Vec::new()),
             ebr: self.inner.collector.register(),
+            drains: self.inner.drains.shard(),
             id,
         }
     }
@@ -670,6 +874,9 @@ pub struct OpenReport {
     /// The crash image synthesized from the mapped pool — structures' own
     /// `recover_in_image` passes read from it.
     pub image: CrashImage,
+    /// Wall-clock cost of each pipeline phase — recovery cost, finally
+    /// measurable (`killtest` prints these per round).
+    pub timings: OpenTimings,
 }
 
 impl OpenReport {
@@ -683,6 +890,45 @@ impl OpenReport {
     /// `true` when `key` was durably registered in any arena's root table.
     pub fn has_root(&self, key: u64) -> bool {
         self.recovery.has_root(key)
+    }
+
+    /// One-line per-arena GC accounting, e.g.
+    /// `"arena0 reachable=12 free=3 reclaimed=1"` joined by `"; "` — the
+    /// detail behind [`leaked_slots`](Self::leaked_slots).
+    pub fn gc_detail(&self) -> String {
+        self.gc
+            .arenas
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                format!(
+                    "arena{} reachable={} free={} reclaimed={}",
+                    i, a.reachable, a.free_listed, a.reclaimed
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// Wall-clock nanoseconds spent in each phase of the
+/// validate → adopt → recover → GC open pipeline (see the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenTimings {
+    /// Superblock read + validation + mapping at the recorded base.
+    pub validate_ns: u64,
+    /// Directory walk adopting every arena (header checks, free-list walk).
+    pub adopt_ns: u64,
+    /// Dumping the mapped pool into a [`CrashImage`] and surveying the roots.
+    pub recover_ns: u64,
+    /// The conservative post-crash mark-and-sweep.
+    pub gc_ns: u64,
+}
+
+impl OpenTimings {
+    /// Total time across all four phases.
+    pub fn total_ns(&self) -> u64 {
+        self.validate_ns + self.adopt_ns + self.recover_ns + self.gc_ns
     }
 }
 
@@ -730,6 +976,8 @@ pub struct FlitHandle<'db, P: Policy> {
     /// (see [`close_deferred_stores`](Self::close_deferred_stores)).
     deferred_closes: RefCell<Vec<usize>>,
     ebr: LocalHandle,
+    /// Private shard of the db-wide batch-drain counter.
+    drains: CounterShard,
     id: u64,
 }
 
@@ -795,6 +1043,23 @@ impl<'db, P: Policy> FlitHandle<'db, P> {
         &self.epoch
     }
 
+    /// Arm this handle's flight recorder. Rings are created dormant even with
+    /// the `flight-recorder` feature compiled in, so an instrumented build
+    /// pays only a predictable branch per event until somebody asks for the
+    /// tail; arming is one-way and shared with every snapshot of this ring.
+    /// A no-op with the feature off.
+    pub fn arm_flight_recorder(&self) {
+        self.epoch.arm_flight();
+    }
+
+    /// The tail of this handle's persistence event stream, oldest first.
+    /// Empty unless the `flight-recorder` cargo feature is enabled *and* the
+    /// handle's recorder has been armed (see
+    /// [`arm_flight_recorder`](Self::arm_flight_recorder)).
+    pub fn flight_events(&self) -> Vec<FlightEvent> {
+        self.epoch.flight().snapshot()
+    }
+
     /// `true` when this handle has issued `pwb`s not yet committed by a fence.
     #[inline]
     pub fn is_dirty(&self) -> bool {
@@ -840,6 +1105,10 @@ impl<'db, P: Policy> FlitHandle<'db, P> {
         match self.commit {
             CommitMode::Immediate => self.pmem().pfence_if_dirty(),
             CommitMode::Batched(k) => {
+                self.db
+                    .inner
+                    .obligations_enqueued
+                    .fetch_add(1, Ordering::Relaxed);
                 if self.epoch.note_obligation() >= k.max(1) as u64 {
                     self.drain_obligations();
                 }
@@ -863,6 +1132,7 @@ impl<'db, P: Policy> FlitHandle<'db, P> {
         let newly = self.epoch.take_obligations();
         self.db
             .ack_obligations(self.id, self.epoch.committed_obligations(), newly);
+        self.drains.add(1);
     }
 
     /// Whether p-stores on this handle defer their trailing fence to the next

@@ -135,8 +135,11 @@ pub mod policy;
 pub mod scheme;
 pub mod word;
 
-pub use db::{ArenaRecovery, DbRecovery, FlitDb, FlitDbBuilder, FlitHandle, OpenReport, Ticket};
+pub use db::{
+    ArenaRecovery, DbRecovery, FlitDb, FlitDbBuilder, FlitHandle, OpenReport, OpenTimings, Ticket,
+};
 pub use flit_atomic::{FlitAtomic, FlitPolicy, PlainPolicy};
+pub use flit_obs::{FlightEvent, FlightEventKind, FlightRecorder, MetricsSnapshot, Registry};
 pub use flit_pmem::{CommitMode, OpenError, PoolOptions};
 pub use link_persist::{LinkAndPersistPolicy, LpAtomic, DIRTY_BIT};
 pub use no_persist::{NoPersistPolicy, VolatileAtomic};

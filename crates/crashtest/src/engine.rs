@@ -131,6 +131,11 @@ struct Replay<R> {
     /// during the replay (linearizability, not durability — the injected crash
     /// never perturbs execution, so any mismatch is a real structure/policy bug).
     functional: Option<String>,
+    /// The replay handle's flight-recorder tail, sampled at the first operation
+    /// boundary at or past the armed crash index (so it holds the persistence
+    /// events leading *into* the crash, not the whole replay's tail). Empty for
+    /// counting passes.
+    flight: Vec<flit::FlightEvent>,
 }
 
 /// Replay `history` against a fresh `M`; when `crash_at` is set, freeze the image
@@ -159,13 +164,16 @@ where
         .build();
     let map = M::with_capacity(&db, 64);
     // The single replay handle: the engine owns it explicitly, which is what the
-    // round-robin harness generalises to N handles (see `roundrobin`).
+    // round-robin harness generalises to N handles (see `roundrobin`). The
+    // harness is the flight recorder's consumer, so arm the ring up front.
     let h = db.handle();
+    h.arm_flight_recorder();
     let base = plan.events_seen();
     let mut boundaries = Vec::with_capacity(history.len());
     let mut marks = Vec::with_capacity(history.len());
     let mut model: BTreeMap<u64, u64> = BTreeMap::new();
     let mut functional = None;
+    let mut flight = Vec::new();
     if run_history {
         for (i, op) in history.iter().enumerate() {
             let mismatch = |got: &dyn std::fmt::Debug, want: &dyn std::fmt::Debug| {
@@ -205,7 +213,17 @@ where
             }
             boundaries.push(plan.events_seen());
             marks.push((h.enqueued_obligations(), h.committed_obligations()));
+            if let Some(k) = crash_at {
+                if flight.is_empty() && plan.events_seen() >= k {
+                    flight = h.flight_events();
+                }
+            }
         }
+    }
+    if crash_at.is_some() && flight.is_empty() {
+        // Construction-window or past-the-end crash: no boundary crossed the
+        // armed index, so the tail at replay end is the closest sample.
+        flight = h.flight_events();
     }
     let total = plan.events_seen();
     let recovered = frozen_image(&plan, &backend, crash_at)
@@ -217,6 +235,7 @@ where
         total,
         recovered,
         functional,
+        flight,
     }
 }
 
@@ -243,11 +262,13 @@ where
         .build();
     let queue: MsQueue<P, D> = MsQueue::new(&db);
     let h = db.handle();
+    h.arm_flight_recorder();
     let base = plan.events_seen();
     let mut boundaries = Vec::with_capacity(history.len());
     let mut marks = Vec::with_capacity(history.len());
     let mut model: VecDeque<u64> = VecDeque::new();
     let mut functional = None;
+    let mut flight = Vec::new();
     if run_history {
         for (i, op) in history.iter().enumerate() {
             match *op {
@@ -270,7 +291,15 @@ where
             }
             boundaries.push(plan.events_seen());
             marks.push((h.enqueued_obligations(), h.committed_obligations()));
+            if let Some(k) = crash_at {
+                if flight.is_empty() && plan.events_seen() >= k {
+                    flight = h.flight_events();
+                }
+            }
         }
+    }
+    if crash_at.is_some() && flight.is_empty() {
+        flight = h.flight_events();
     }
     let total = plan.events_seen();
     let recovered =
@@ -282,6 +311,7 @@ where
         total,
         recovered,
         functional,
+        flight,
     }
 }
 
@@ -462,6 +492,7 @@ where
             completed_ops: 0,
             detail,
             repro: case.repro(0),
+            flight: Vec::new(),
         });
     }
     for &k in &points {
@@ -491,6 +522,7 @@ where
                 completed_ops: completed,
                 detail,
                 repro: case.repro(k),
+                flight: run.flight.clone(),
             });
         }
         if let Some(detail) = check_prefix(
@@ -508,6 +540,7 @@ where
                 completed_ops: completed,
                 detail,
                 repro: case.repro(k),
+                flight: run.flight,
             });
         }
     }
@@ -546,6 +579,7 @@ where
             completed_ops: 0,
             detail,
             repro: case.repro(0),
+            flight: Vec::new(),
         });
     }
     for &k in &points {
@@ -572,6 +606,7 @@ where
                 completed_ops: completed,
                 detail,
                 repro: case.repro(k),
+                flight: run.flight.clone(),
             });
         }
         if let Some(detail) = check_prefix(
@@ -589,6 +624,7 @@ where
                 completed_ops: completed,
                 detail,
                 repro: case.repro(k),
+                flight: run.flight,
             });
         }
     }

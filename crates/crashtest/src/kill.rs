@@ -172,6 +172,11 @@ pub struct KillRoundReport {
     pub acked_floor: u64,
     /// Slots the open-time GC pass reclaimed.
     pub reclaimed_slots: usize,
+    /// Per-phase wall-clock timings of the re-open pipeline
+    /// (validate → adopt → recover → GC), from [`OpenReport::timings`].
+    ///
+    /// [`OpenReport::timings`]: flit::OpenReport#structfield.timings
+    pub timings: flit::OpenTimings,
     /// `true` when the child ran to completion before the kill landed (the
     /// round still validated a full clean-shutdown recovery).
     pub child_finished: bool,
@@ -247,6 +252,11 @@ pub struct KillRound {
     pub ops: u64,
     /// Commit mode of the child's database.
     pub commit: CommitMode,
+    /// Keep the round's pool and sidecar files even when the round passes
+    /// (normally only failed rounds leave them behind). `flitctl inspect`
+    /// consumers — the CI observability smoke job — use this to get a real
+    /// post-kill pool to introspect.
+    pub keep_files: bool,
 }
 
 impl KillRound {
@@ -334,6 +344,7 @@ pub fn verify_pool(pool: &Path, ops: u64, floor: u64) -> Result<KillRoundReport,
         matched_prefix: matched,
         acked_floor: floor,
         reclaimed_slots: report.leaked_slots(),
+        timings: report.timings,
         child_finished: false,
     })
 }
@@ -415,8 +426,10 @@ pub fn run_kill_round(round: &KillRound) -> Result<KillRoundReport, KillViolatio
     let floor = read_floor(&sidecar);
     let mut report = verify_pool(&pool, round.ops, floor)?;
     report.child_finished = child_finished;
-    let _ = std::fs::remove_file(&pool);
-    let _ = std::fs::remove_file(&sidecar);
+    if !round.keep_files {
+        let _ = std::fs::remove_file(&pool);
+        let _ = std::fs::remove_file(&sidecar);
+    }
     Ok(report)
 }
 

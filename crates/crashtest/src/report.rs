@@ -157,6 +157,12 @@ pub struct Violation {
     pub detail: String,
     /// Complete `crashtest` invocation replaying this exact failure.
     pub repro: String,
+    /// The replay handle's flight-recorder tail: the last persistence events
+    /// (store/pwb/pfence/elisions, with word addresses and store versions)
+    /// recorded up to the first operation boundary at or past the crash point —
+    /// the instruction stream the crash landed in, ready to read. Empty for
+    /// pre-crash `live-run` violations of a counting pass.
+    pub flight: Vec<flit::FlightEvent>,
 }
 
 impl std::fmt::Display for Violation {
@@ -165,7 +171,21 @@ impl std::fmt::Display for Violation {
             f,
             "crash at event {} (on {}, {} ops completed): {}\n  repro: {}",
             self.crash_event, self.triggered_on, self.completed_ops, self.detail, self.repro
-        )
+        )?;
+        if !self.flight.is_empty() {
+            write!(f, "\n  flight recorder ({} events):", self.flight.len())?;
+            for e in &self.flight {
+                write!(
+                    f,
+                    "\n    [{}] {} word={:#x} v={}",
+                    e.index,
+                    e.kind.name(),
+                    e.word,
+                    e.store_version
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -276,7 +296,16 @@ mod tests {
             completed_ops: 2,
             detail: "x".into(),
             repro: case().repro(5),
+            flight: vec![flit::FlightEvent {
+                index: 3,
+                kind: flit::FlightEventKind::Pwb,
+                word: 0x40,
+                store_version: 7,
+            }],
         };
-        assert!(v.to_string().contains("repro: crashtest"));
+        let s = v.to_string();
+        assert!(s.contains("repro: crashtest"));
+        assert!(s.contains("flight recorder (1 events)"));
+        assert!(s.contains("[3] pwb word=0x40 v=7"));
     }
 }

@@ -72,6 +72,7 @@ fn expected_reply(model: &mut BTreeMap<u64, u64>, op: &Op) -> Reply {
                 Reply::Absent
             }
         }
+        Op::Stats => unreachable!("crash histories contain only data ops"),
     }
 }
 
@@ -89,6 +90,9 @@ struct ServiceReplay {
     recovered: Option<(RecoveredMap, &'static str)>,
     survivors: Vec<(usize, RecoveredMap)>,
     functional: Option<(usize, String)>,
+    /// Flight-recorder tail of the worker's handle *on the crashed shard*,
+    /// sampled at the first request boundary at or past the armed crash index.
+    flight: Vec<flit::FlightEvent>,
 }
 
 /// Drive `history` through a fresh `shards`-shard server on the calling thread,
@@ -138,11 +142,18 @@ where
     let mut marks = Vec::new();
     let mut routes = Vec::with_capacity(history.len());
     let mut functional = None;
+    let mut flight = Vec::new();
     if run_history {
         let handles = server.handles();
+        for h in &handles {
+            h.arm_flight_recorder();
+        }
         for (i, bytes) in slab.iter().enumerate() {
             let op = Op::decode(bytes).expect("slab holds well-formed requests");
-            let sid = server.route(op.key());
+            let key = op
+                .key()
+                .expect("crash histories contain only routed data ops");
+            let sid = server.route(key);
             routes.push(sid);
             let (served, reply_bytes) = server
                 .pump(&handles, &slab, i as u64)
@@ -168,7 +179,15 @@ where
                     handles[sid].enqueued_obligations(),
                     handles[sid].committed_obligations(),
                 ));
+                if let Some(k) = crash_at {
+                    if flight.is_empty() && plan.events_seen() >= k {
+                        flight = handles[sid].flight_events();
+                    }
+                }
             }
+        }
+        if crash_at.is_some() && flight.is_empty() {
+            flight = handles[crash_shard].flight_events();
         }
         drop(handles); // any dirty handle fences land inside the swept span
     }
@@ -202,6 +221,7 @@ where
         recovered,
         survivors,
         functional,
+        flight,
     }
 }
 
@@ -220,6 +240,10 @@ pub struct ServerViolation {
     pub completed_ops: usize,
     /// Human-readable description of the divergence.
     pub detail: String,
+    /// Flight-recorder tail of the crashed shard's worker handle, sampled at
+    /// the first request boundary at or past the crash point. Empty for
+    /// survivor-side and counting-pass violations.
+    pub flight: Vec<flit::FlightEvent>,
 }
 
 /// The outcome of one server crash sweep: one crashed shard, every selected
@@ -315,6 +339,7 @@ where
             triggered_on: "live-run".to_string(),
             completed_ops: 0,
             detail,
+            flight: Vec::new(),
         });
     }
     for &k in &points {
@@ -350,6 +375,7 @@ where
                 triggered_on: "live-run".to_string(),
                 completed_ops: completed,
                 detail,
+                flight: run.flight.clone(),
             });
         }
         let actual = recovered.sorted_pairs();
@@ -368,6 +394,7 @@ where
                 triggered_on: kind.to_string(),
                 completed_ops: completed,
                 detail,
+                flight: run.flight,
             });
         }
         for (s, rec) in run.survivors {
@@ -390,6 +417,7 @@ where
                             ""
                         }
                     ),
+                    flight: Vec::new(),
                 });
             }
         }
@@ -481,7 +509,10 @@ where
     let mut replies = Vec::with_capacity(history.len());
     for (i, bytes) in slab.iter().enumerate() {
         let op = Op::decode(bytes).expect("slab holds well-formed requests");
-        routes.push(server.route(op.key()));
+        let key = op
+            .key()
+            .expect("crash histories contain only routed data ops");
+        routes.push(server.route(key));
         let (_, reply) = server
             .pump(&handles, &slab, i as u64)
             .expect("slab holds well-formed requests");

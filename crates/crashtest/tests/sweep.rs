@@ -137,6 +137,47 @@ fn broken_control_fails_with_a_repro_string() {
     }
 }
 
+/// Violations carry the flight-recorder tail leading into their crash point:
+/// deep crash points (≥ half the ring) embed at least 32 events, each stamped
+/// with the event index the crash plan counted, and the rendered report shows
+/// them.
+#[test]
+fn violations_embed_the_flight_recorder_tail() {
+    let report = run_case(
+        StructureKind::List,
+        MethodKind::VolatileBroken,
+        PolicyKind::FlitHt,
+        HistorySpec::Scripted,
+        &budgeted(40),
+    )
+    .expect("combination supported");
+    assert!(
+        !report.clean(),
+        "the broken control must produce violations"
+    );
+    let deep = report
+        .violations
+        .iter()
+        .filter(|v| v.crash_event >= 32)
+        .max_by_key(|v| v.crash_event)
+        .expect("budget 40 spans crash points past event 32");
+    assert!(
+        deep.flight.len() >= 32,
+        "a deep violation embeds at least half the ring, got {} events at crash point {}",
+        deep.flight.len(),
+        deep.crash_event
+    );
+    // The tail ends at (or just before) the crash point, in order.
+    for (a, b) in deep.flight.iter().zip(deep.flight.iter().skip(1)) {
+        assert_eq!(b.index, a.index + 1, "flight tail is contiguous");
+    }
+    let rendered = deep.to_string();
+    assert!(
+        rendered.contains("flight recorder ("),
+        "the rendered violation shows the flight tail: {rendered}"
+    );
+}
+
 /// Repro mode: re-running a single crash point from a violation's coordinates
 /// reproduces exactly that violation.
 #[test]

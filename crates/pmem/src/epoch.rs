@@ -55,6 +55,8 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use flit_obs::FlightRecorder;
+
 /// Whether a session applies persist-epoch elision or issues the paper-literal
 /// instruction stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -212,6 +214,17 @@ pub struct PersistEpoch {
     /// explicit act of the owning handle (the drain), so that the crashtest
     /// harness can model — and break — the two independently.
     obligations_pending: Cell<u64>,
+    /// Flight recorder for this handle's persistence events. A real ring only
+    /// under the `flight-recorder` cargo feature; a zero-sized no-op otherwise
+    /// (see `flit-obs`). Shared (`Clone`) so a database can snapshot the tail
+    /// from another thread while the handle keeps recording.
+    flight: FlightRecorder,
+    /// Epoch-local mirror of the ring's armed flag, kept so the per-operation
+    /// session constructor reads a plain cell on a line it already touches
+    /// instead of chasing the shared ring's atomic. Set by
+    /// [`arm_flight`](Self::arm_flight) — the owning handle is the only
+    /// arming path that reaches sessions.
+    flight_armed: Cell<bool>,
 }
 
 impl Default for PersistEpoch {
@@ -240,7 +253,32 @@ impl PersistEpoch {
             next_slot: Cell::new(0),
             obligations_enqueued: Cell::new(0),
             obligations_pending: Cell::new(0),
+            flight: FlightRecorder::new(),
+            flight_armed: Cell::new(false),
         }
+    }
+
+    /// This handle's persistence flight recorder (a no-op unless the
+    /// `flight-recorder` cargo feature is enabled).
+    #[inline]
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Arm the flight recorder *through this epoch* so sessions constructed
+    /// from it start recording. Arming the ring directly still works for
+    /// snapshot readers, but only this path flips the epoch-local hint the
+    /// per-operation hot path checks.
+    pub fn arm_flight(&self) {
+        self.flight.arm();
+        self.flight_armed.set(true);
+    }
+
+    /// Whether [`arm_flight`](Self::arm_flight) has been called: the cheap,
+    /// epoch-local gate the session constructor samples once per operation.
+    #[inline]
+    pub fn flight_armed(&self) -> bool {
+        FlightRecorder::ENABLED && self.flight_armed.get()
     }
 
     /// Process-unique id of this epoch (diagnostics; doubles as the owning

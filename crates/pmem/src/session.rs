@@ -32,6 +32,7 @@ use crate::cache_line::word_of;
 use crate::epoch::{ElisionMode, PersistEpoch};
 use crate::stats::PmemStats;
 use crate::tracker::PersistenceTracker;
+use flit_obs::{FlightEventKind, FlightRecorder, FlightSink};
 
 /// A borrowed (backend, epoch) pair implementing [`PmemBackend`] with per-handle
 /// elision. Cheap to construct (two references and a mode); see the module docs.
@@ -39,6 +40,12 @@ pub struct PmemSession<'h, B: PmemBackend + ?Sized> {
     backend: &'h B,
     epoch: &'h PersistEpoch,
     elision: ElisionMode,
+    /// Whether the epoch's flight recorder was armed when this session was
+    /// constructed (the epoch-local hint, not the ring's shared atomic).
+    /// Sampled once here so the per-event dormant check tests a
+    /// register-resident bool; sessions live for one operation, so a handle
+    /// armed between operations is picked up by the next session.
+    flight_armed: bool,
 }
 
 impl<'h, B: PmemBackend + ?Sized> Clone for PmemSession<'h, B> {
@@ -58,6 +65,7 @@ impl<'h, B: PmemBackend + ?Sized> PmemSession<'h, B> {
             backend,
             epoch,
             elision,
+            flight_armed: epoch.flight_armed(),
         }
     }
 
@@ -81,6 +89,21 @@ impl<'h, B: PmemBackend + ?Sized> PmemSession<'h, B> {
     pub fn elision(&self) -> ElisionMode {
         self.elision
     }
+
+    /// Append one event to the owning handle's flight recorder. Compiles to
+    /// nothing unless the `flight-recorder` cargo feature is on, and even
+    /// then evaluates neither `word` nor the store version until the ring has
+    /// been armed at runtime (sampled at session construction) — an
+    /// instrumented-but-dormant build pays one predictable branch on a local
+    /// bool per event, nothing more.
+    #[inline]
+    fn flight_record(&self, kind: FlightEventKind, word: usize) {
+        if FlightRecorder::ENABLED && self.flight_armed {
+            self.epoch
+                .flight()
+                .record(kind, word, self.backend.store_version());
+        }
+    }
 }
 
 impl<'h, B: PmemBackend + ?Sized> std::fmt::Debug for PmemSession<'h, B> {
@@ -97,12 +120,14 @@ impl<'h, B: PmemBackend + ?Sized> PmemBackend for PmemSession<'h, B> {
     fn pwb(&self, addr: *const u8) {
         self.backend.pwb(addr);
         self.epoch.note_pwb();
+        self.flight_record(FlightEventKind::Pwb, word_of(addr as usize));
     }
 
     #[inline]
     fn pfence(&self) {
         self.backend.pfence();
         self.epoch.note_pfence();
+        self.flight_record(FlightEventKind::Pfence, 0);
     }
 
     #[inline]
@@ -112,6 +137,7 @@ impl<'h, B: PmemBackend + ?Sized> PmemBackend for PmemSession<'h, B> {
         // early-return), so it is elided from the instruction stream entirely.
         if self.elision.is_enabled() && self.epoch.is_clean() {
             self.backend.note_elided_pfence();
+            self.flight_record(FlightEventKind::ElidedPfence, 0);
             return;
         }
         self.pfence();
@@ -128,6 +154,7 @@ impl<'h, B: PmemBackend + ?Sized> PmemBackend for PmemSession<'h, B> {
         let stamp = self.backend.store_version();
         if self.elision.is_enabled() && self.epoch.recently_flushed(word, observed, stamp) {
             self.backend.note_elided_pwb();
+            self.flight_record(FlightEventKind::ElidedPwb, word);
             return false;
         }
         // With a tracker attached (crash testing), a flush of a word that
@@ -142,12 +169,14 @@ impl<'h, B: PmemBackend + ?Sized> PmemBackend for PmemSession<'h, B> {
             if let Some(tracker) = self.backend.persistence_tracker() {
                 if tracker.durably_holds(word, observed) {
                     self.backend.note_elided_pwb();
+                    self.flight_record(FlightEventKind::ElidedPwb, word);
                     return false;
                 }
             }
         }
         self.backend.pwb(addr);
         self.epoch.note_pwb_flushed(word, observed, stamp);
+        self.flight_record(FlightEventKind::Pwb, word);
         true
     }
 
@@ -159,6 +188,7 @@ impl<'h, B: PmemBackend + ?Sized> PmemBackend for PmemSession<'h, B> {
     #[inline]
     fn record_store(&self, addr: *const u8, val: u64) {
         self.backend.record_store(addr, val);
+        self.flight_record(FlightEventKind::Store, word_of(addr as usize));
     }
 
     #[inline]

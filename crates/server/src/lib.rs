@@ -42,6 +42,15 @@
 //! *bytes in → [`Op`] → bytes out*; [`KvServer::pump`] is that loop including
 //! the mailbox hop, [`Shard::serve_bytes`] the direct variant.
 //!
+//! ## Observability
+//!
+//! Every server owns a shared [`Registry`](flit_obs::Registry). Shards count
+//! served ops (`server_ops_total{shard,op}`) and apply latency
+//! (`server_reply_ns{shard}`) into it; [`KvServer::stats_snapshot`] adds
+//! mailbox depths and each shard database's persistence gauges, and
+//! [`Op::Stats`] on the wire answers with the whole document as `flit-obs-v1`
+//! JSON ([`Reply::Stats`]) — the path `flitctl stats` drives.
+//!
 //! ## Why cross-shard operations are out of scope
 //!
 //! Every request touches exactly one shard, so per-shard durable

@@ -10,6 +10,13 @@
 //!
 //! Malformed input never panics: [`Op::decode`] and [`Reply::decode`] return a
 //! [`ProtoError`] for truncated buffers, unknown tags and trailing garbage.
+//!
+//! Besides the three data ops there is one *control-plane* request:
+//! [`Op::Stats`] asks the server for its aggregated metrics snapshot and is
+//! answered by [`Reply::Stats`] carrying a length-prefixed `flit-obs-v1` JSON
+//! document. Stats addresses the server as a whole (it has no key and is
+//! never routed to a shard mailbox), which is why [`Op::key`] reports `None`
+//! for it.
 
 /// One request of the KV service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,10 +27,13 @@ pub enum Op {
     Put(u64, u64),
     /// Remove a key.
     Del(u64),
+    /// Fetch the server's aggregated metrics snapshot (control plane; not
+    /// routed to any shard).
+    Stats,
 }
 
 /// One reply of the KV service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Reply {
     /// `Get` found the key; carries its value.
     Found(u64),
@@ -37,6 +47,9 @@ pub enum Reply {
     Deleted,
     /// `Del` found the key absent.
     Absent,
+    /// `Stats` answer: a `flit-obs-v1` JSON document (UTF-8 bytes,
+    /// length-prefixed on the wire).
+    Stats(Vec<u8>),
 }
 
 /// Why a byte buffer failed to decode.
@@ -65,12 +78,14 @@ impl std::error::Error for ProtoError {}
 const TAG_GET: u8 = 0x01;
 const TAG_PUT: u8 = 0x02;
 const TAG_DEL: u8 = 0x03;
+const TAG_STATS: u8 = 0x04;
 const TAG_FOUND: u8 = 0x81;
 const TAG_MISSING: u8 = 0x82;
 const TAG_INSERTED: u8 = 0x83;
 const TAG_EXISTS: u8 = 0x84;
 const TAG_DELETED: u8 = 0x85;
 const TAG_ABSENT: u8 = 0x86;
+const TAG_STATS_REPLY: u8 = 0x87;
 
 /// Split one little-endian `u64` off the front of `buf`.
 fn take_u64(buf: &[u8]) -> Result<(u64, &[u8]), ProtoError> {
@@ -106,6 +121,7 @@ impl Op {
                 out.push(TAG_DEL);
                 out.extend_from_slice(&k.to_le_bytes());
             }
+            Op::Stats => out.push(TAG_STATS),
         }
     }
 
@@ -133,14 +149,17 @@ impl Op {
                 let (k, rest) = take_u64(rest)?;
                 done(Op::Del(k), rest)
             }
+            TAG_STATS => done(Op::Stats, rest),
             other => Err(ProtoError::BadTag(other)),
         }
     }
 
-    /// The key this request addresses — what shard routing hashes.
-    pub fn key(&self) -> u64 {
+    /// The key this request addresses — what shard routing hashes. `None` for
+    /// the unrouted control-plane [`Op::Stats`].
+    pub fn key(&self) -> Option<u64> {
         match *self {
-            Op::Get(k) | Op::Put(k, _) | Op::Del(k) => k,
+            Op::Get(k) | Op::Put(k, _) | Op::Del(k) => Some(k),
+            Op::Stats => None,
         }
     }
 }
@@ -148,7 +167,7 @@ impl Op {
 impl Reply {
     /// Append this reply's encoding to `out`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        match *self {
+        match self {
             Reply::Found(v) => {
                 out.push(TAG_FOUND);
                 out.extend_from_slice(&v.to_le_bytes());
@@ -158,6 +177,11 @@ impl Reply {
             Reply::Exists => out.push(TAG_EXISTS),
             Reply::Deleted => out.push(TAG_DELETED),
             Reply::Absent => out.push(TAG_ABSENT),
+            Reply::Stats(json) => {
+                out.push(TAG_STATS_REPLY);
+                out.extend_from_slice(&(json.len() as u64).to_le_bytes());
+                out.extend_from_slice(json);
+            }
         }
     }
 
@@ -181,6 +205,14 @@ impl Reply {
             TAG_EXISTS => done(Reply::Exists, rest),
             TAG_DELETED => done(Reply::Deleted, rest),
             TAG_ABSENT => done(Reply::Absent, rest),
+            TAG_STATS_REPLY => {
+                let (len, rest) = take_u64(rest)?;
+                if (rest.len() as u64) < len {
+                    return Err(ProtoError::Truncated);
+                }
+                let (json, rest) = rest.split_at(len as usize);
+                done(Reply::Stats(json.to_vec()), rest)
+            }
             other => Err(ProtoError::BadTag(other)),
         }
     }
@@ -192,7 +224,13 @@ mod tests {
 
     #[test]
     fn ops_round_trip() {
-        for op in [Op::Get(0), Op::Get(u64::MAX), Op::Put(7, 42), Op::Del(9)] {
+        for op in [
+            Op::Get(0),
+            Op::Get(u64::MAX),
+            Op::Put(7, 42),
+            Op::Del(9),
+            Op::Stats,
+        ] {
             assert_eq!(Op::decode(&op.encode()), Ok(op));
         }
     }
@@ -207,8 +245,10 @@ mod tests {
             Reply::Exists,
             Reply::Deleted,
             Reply::Absent,
+            Reply::Stats(Vec::new()),
+            Reply::Stats(b"{\"schema\":\"flit-obs-v1\"}".to_vec()),
         ] {
-            assert_eq!(Reply::decode(&reply.encode()), Ok(reply));
+            assert_eq!(Reply::decode(&reply.encode()), Ok(reply.clone()));
         }
     }
 
@@ -220,7 +260,12 @@ mod tests {
             vec![0x02, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0]
         );
         assert_eq!(Op::Del(3).encode(), vec![0x03, 3, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(Op::Stats.encode(), vec![0x04]);
         assert_eq!(Reply::Inserted.encode(), vec![0x83]);
+        assert_eq!(
+            Reply::Stats(b"{}".to_vec()).encode(),
+            vec![0x87, 2, 0, 0, 0, 0, 0, 0, 0, b'{', b'}']
+        );
     }
 
     #[test]
@@ -233,12 +278,22 @@ mod tests {
         assert_eq!(Op::decode(&long), Err(ProtoError::Trailing));
         assert_eq!(Reply::decode(&[0x00]), Err(ProtoError::BadTag(0x00)));
         assert_eq!(Reply::decode(&[0x81, 1]), Err(ProtoError::Truncated));
+        // A stats reply whose length prefix overruns the buffer is truncated,
+        // not a panic; one with bytes past the payload is trailing garbage.
+        assert_eq!(
+            Reply::decode(&[0x87, 9, 0, 0, 0, 0, 0, 0, 0, b'x']),
+            Err(ProtoError::Truncated)
+        );
+        let mut long = Reply::Stats(b"{}".to_vec()).encode();
+        long.push(0);
+        assert_eq!(Reply::decode(&long), Err(ProtoError::Trailing));
     }
 
     #[test]
     fn key_extraction() {
-        assert_eq!(Op::Get(5).key(), 5);
-        assert_eq!(Op::Put(6, 1).key(), 6);
-        assert_eq!(Op::Del(7).key(), 7);
+        assert_eq!(Op::Get(5).key(), Some(5));
+        assert_eq!(Op::Put(6, 1).key(), Some(6));
+        assert_eq!(Op::Del(7).key(), Some(7));
+        assert_eq!(Op::Stats.key(), None, "stats is unrouted");
     }
 }

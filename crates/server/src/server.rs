@@ -13,10 +13,12 @@
 //! the adopted arenas, and rebuild its abstract key→value state image-only.
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use flit::{CommitMode, FlitDb, FlitHandle, OpenError, OpenReport, Policy};
 use flit_alloc::ArenaConfig;
 use flit_datastructs::{Automatic, ConcurrentMap, RecoverInImage, RecoveredMap, MAX_USER_KEY};
+use flit_obs::{Counter, Histogram, MetricsSnapshot, Registry};
 use flit_queues::{ConcurrentQueue, MsQueue};
 
 use crate::proto::{Op, ProtoError, Reply};
@@ -90,15 +92,36 @@ pub struct Shard<P: Policy, M: ConcurrentMap<P>> {
     db: FlitDb<P>,
     map: M,
     mailbox: MsQueue<P, Automatic>,
+    /// Index of this shard within its server (stamped on its metric labels).
+    index: usize,
+    /// Per-op-kind counters on the server's shared registry
+    /// (`server_ops_total{shard=i,op=get|put|del}`).
+    ops_get: Counter,
+    ops_put: Counter,
+    ops_del: Counter,
+    /// Apply latency (`server_reply_ns{shard=i}`), nanoseconds.
+    reply_ns: Histogram,
 }
 
 impl<P: Policy, M: ConcurrentMap<P>> Shard<P, M> {
-    fn new(db: FlitDb<P>, config: &ServerConfig) -> Self {
+    fn new(db: FlitDb<P>, config: &ServerConfig, registry: &Registry, index: usize) -> Self {
         let hint = config.shard_keys_hint();
         let map = M::with_capacity_cfg(&db, hint, ArenaConfig::for_capacity(hint));
         let mailbox =
             MsQueue::with_config(&db, ArenaConfig::with_slots_per_chunk(MAILBOX_CHUNK_SLOTS));
-        Self { db, map, mailbox }
+        let shard_label = index.to_string();
+        let op_counter =
+            |op: &str| registry.counter("server_ops_total", &[("shard", &shard_label), ("op", op)]);
+        Self {
+            db,
+            map,
+            mailbox,
+            index,
+            ops_get: op_counter("get"),
+            ops_put: op_counter("put"),
+            ops_del: op_counter("del"),
+            reply_ns: registry.histogram("server_reply_ns", &[("shard", &shard_label)]),
+        }
     }
 
     /// The shard's database. Workers create their per-shard sessions here
@@ -134,21 +157,37 @@ impl<P: Policy, M: ConcurrentMap<P>> Shard<P, M> {
     /// Execute one decoded request against the shard's map. Keys at or above
     /// [`MAX_USER_KEY`] (the structures' reserved sentinel range) are refused
     /// conservatively — `Get` misses, `Put` reports the key as taken, `Del`
-    /// reports it absent — instead of panicking on hostile input.
+    /// reports it absent — instead of panicking on hostile input. An
+    /// [`Op::Stats`] applied directly to a shard (rather than to the server's
+    /// [`KvServer::pump`]) answers with the *shard-local* metrics document.
+    ///
+    /// Every call counts into `server_ops_total{shard,op}` (refusals
+    /// included — they are served requests) and records its latency into
+    /// `server_reply_ns{shard}`.
     pub fn apply(&self, h: &FlitHandle<'_, P>, op: &Op) -> Reply {
-        if op.key() >= MAX_USER_KEY {
-            return match *op {
-                Op::Get(_) => Reply::Missing,
-                Op::Put(..) => Reply::Exists,
-                Op::Del(_) => Reply::Absent,
-            };
-        }
+        let start = Instant::now();
+        let reply = self.apply_op(h, op);
+        self.reply_ns.record(start.elapsed().as_nanos() as u64);
+        reply
+    }
+
+    fn apply_op(&self, h: &FlitHandle<'_, P>, op: &Op) -> Reply {
         match *op {
-            Op::Get(k) => match self.map.get(h, k) {
-                Some(v) => Reply::Found(v),
-                None => Reply::Missing,
-            },
+            Op::Get(k) => {
+                self.ops_get.add(1);
+                if k >= MAX_USER_KEY {
+                    return Reply::Missing;
+                }
+                match self.map.get(h, k) {
+                    Some(v) => Reply::Found(v),
+                    None => Reply::Missing,
+                }
+            }
             Op::Put(k, v) => {
+                self.ops_put.add(1);
+                if k >= MAX_USER_KEY {
+                    return Reply::Exists;
+                }
                 if self.map.insert(h, k, v) {
                     Reply::Inserted
                 } else {
@@ -156,12 +195,17 @@ impl<P: Policy, M: ConcurrentMap<P>> Shard<P, M> {
                 }
             }
             Op::Del(k) => {
+                self.ops_del.add(1);
+                if k >= MAX_USER_KEY {
+                    return Reply::Absent;
+                }
                 if self.map.remove(h, k) {
                     Reply::Deleted
                 } else {
                     Reply::Absent
                 }
             }
+            Op::Stats => Reply::Stats(self.db.metrics_snapshot().to_json().into_bytes()),
         }
     }
 
@@ -187,6 +231,12 @@ impl<P: Policy, M: ConcurrentMap<P>> Shard<P, M> {
 /// crate docs for the architecture essay.
 pub struct KvServer<P: Policy, M: ConcurrentMap<P>> {
     shards: Vec<Shard<P, M>>,
+    /// The server-wide metrics store: per-shard op counters, reply latencies
+    /// and queue depths always land here; shard databases built by
+    /// [`KvServer::create_on_pools`] write their persistence metrics here too
+    /// (labelled `shard=i`), and factory-built databases with private
+    /// registries are mirrored in at [`KvServer::stats_snapshot`] time.
+    registry: Registry,
 }
 
 impl<P: Policy, M: ConcurrentMap<P>> KvServer<P, M> {
@@ -197,18 +247,32 @@ impl<P: Policy, M: ConcurrentMap<P>> KvServer<P, M> {
     /// and — under the simulated-NVRAM backend — an independent crash plan, which
     /// is what lets the crash harness kill exactly one shard at a stable absolute
     /// event index while the others keep serving.
-    pub fn new_with(config: ServerConfig, mut db_factory: impl FnMut(usize) -> FlitDb<P>) -> Self {
+    pub fn new_with(config: ServerConfig, db_factory: impl FnMut(usize) -> FlitDb<P>) -> Self {
+        Self::with_registry(Registry::new(), config, db_factory)
+    }
+
+    /// [`new_with`](Self::new_with), but aggregating into a caller-supplied
+    /// [`Registry`] — pass a clone of the same registry to
+    /// [`FlitDbBuilder::metrics`](flit::FlitDbBuilder::metrics) when building
+    /// the shard databases and every layer's series land in one store.
+    pub fn with_registry(
+        registry: Registry,
+        config: ServerConfig,
+        mut db_factory: impl FnMut(usize) -> FlitDb<P>,
+    ) -> Self {
         let shards = (0..config.shards)
-            .map(|i| Shard::new(db_factory(i), &config))
+            .map(|i| Shard::new(db_factory(i), &config, &registry, i))
             .collect();
-        Self { shards }
+        Self { shards, registry }
     }
 
     /// Build a server whose shard `i` lives on a **fresh file-backed pool** at
     /// [`shard_pool_path`]`(dir, i)` (any existing files are truncated), all
     /// created under `commit`. `policy_factory(i)` supplies each shard's
     /// policy, preserving the independent-backend property of
-    /// [`new_with`](Self::new_with). `dir` is created if absent.
+    /// [`new_with`](Self::new_with). `dir` is created if absent. Each shard's
+    /// database joins the server's shared metrics registry under a `shard=i`
+    /// label.
     pub fn create_on_pools(
         config: ServerConfig,
         dir: &Path,
@@ -216,16 +280,18 @@ impl<P: Policy, M: ConcurrentMap<P>> KvServer<P, M> {
         mut policy_factory: impl FnMut(usize) -> P,
     ) -> Result<Self, OpenError> {
         std::fs::create_dir_all(dir)?;
+        let registry = Registry::new();
         let mut dbs = Vec::with_capacity(config.shards);
         for i in 0..config.shards {
             dbs.push(
                 FlitDb::builder(policy_factory(i))
                     .commit_mode(commit)
+                    .metrics(registry.clone(), &[("shard", &i.to_string())])
                     .create_pool(shard_pool_path(dir, i))?,
             );
         }
         let mut dbs = dbs.into_iter();
-        Ok(Self::new_with(config, |_| {
+        Ok(Self::with_registry(registry, config, |_| {
             dbs.next().expect("one database per shard")
         }))
     }
@@ -292,7 +358,14 @@ impl<P: Policy, M: ConcurrentMap<P>> KvServer<P, M> {
     ) -> Result<(u64, Vec<u8>), ProtoError> {
         debug_assert_eq!(handles.len(), self.shards.len());
         let op = Op::decode(&slab[token as usize])?;
-        let sid = self.route(op.key());
+        let Some(key) = op.key() else {
+            // Control plane: `Stats` addresses the server as a whole, so it
+            // never routes to a shard or touches a mailbox — answer in place
+            // with the aggregated document.
+            let reply = Reply::Stats(self.stats_json().into_bytes());
+            return Ok((token, reply.encode()));
+        };
+        let sid = self.route(key);
         let shard = &self.shards[sid];
         let h = &handles[sid];
         shard.post(h, token);
@@ -304,6 +377,49 @@ impl<P: Policy, M: ConcurrentMap<P>> KvServer<P, M> {
             }
             std::hint::spin_loop();
         }
+    }
+
+    /// The server's shared metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Aggregate the whole server into one point-in-time snapshot.
+    ///
+    /// Refreshes the pull-model series first: `server_queue_depth{shard}`
+    /// from each mailbox, then each shard database's persistence gauges via
+    /// [`FlitDb::metrics_snapshot`]. Databases built by
+    /// [`create_on_pools`](Self::create_on_pools) share the server registry,
+    /// so their refresh lands here directly; factory-built databases with
+    /// private registries have their counter and gauge samples mirrored in as
+    /// gauges under a `shard=i` label (histograms are not mirrored — bucket
+    /// merges across stores would misreport quantiles).
+    pub fn stats_snapshot(&self) -> MetricsSnapshot {
+        for shard in &self.shards {
+            let label = shard.index.to_string();
+            self.registry
+                .gauge("server_queue_depth", &[("shard", &label)])
+                .set(shard.mailbox.len() as u64);
+            let snap = shard.db.metrics_snapshot();
+            if !self.registry.same_store(shard.db.metrics()) {
+                for s in snap.counters.iter().chain(snap.gauges.iter()) {
+                    let mut labels: Vec<(&str, &str)> = s
+                        .labels
+                        .iter()
+                        .map(|(k, v)| (k.as_str(), v.as_str()))
+                        .collect();
+                    labels.push(("shard", &label));
+                    self.registry.gauge(&s.name, &labels).set(s.value);
+                }
+            }
+        }
+        self.registry.snapshot()
+    }
+
+    /// [`stats_snapshot`](Self::stats_snapshot) as a `flit-obs-v1` JSON
+    /// document — the payload [`Op::Stats`] is answered with.
+    pub fn stats_json(&self) -> String {
+        self.stats_snapshot().to_json()
     }
 }
 
