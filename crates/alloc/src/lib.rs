@@ -145,6 +145,13 @@ pub mod roots {
     pub const SKIPLIST_HEAD: u64 = 0x736B_6970_5F68_6564; // "skip_hed"
     /// Head/tail root-pointer slot of an MS queue.
     pub const QUEUE_ROOTS: u64 = 0x715F_726F_6F74_7321; // "q_roots!"
+    /// Root cell of a copy-on-write HAMT (`flit-hamt`): one slot whose first
+    /// word is the flushed-CAS publication point of the whole trie.
+    pub const HAMT_ROOT: u64 = 0x6861_6D74_5F72_6F6F; // "hamt_roo"
+    /// Retained-root (snapshot) table of a copy-on-write HAMT: a persisted
+    /// block of `(root, refcount, version)` entries pinning frozen tries so
+    /// snapshots survive crashes.
+    pub const HAMT_RETAINED: u64 = 0x6861_6D74_5F72_6574; // "hamt_ret"
 }
 
 /// The chunk slot-count every arena uses unless a caller overrides it.
@@ -227,7 +234,23 @@ impl ArenaConfig {
             ..Self::default()
         }
     }
+
+    /// The small-slot preset for the interior nodes of a copy-on-write HAMT
+    /// (`flit-hamt`): [`HAMT_NODE_SLOT_BYTES`]-byte slots — a header word plus a
+    /// bitmap-compressed 16-entry array — with a chunk count derived from
+    /// `capacity` via [`ArenaConfig::for_capacity`]. Copy-on-write churns
+    /// through slots faster than in-place structures (every update allocates a
+    /// whole path), so HAMT arenas want small slots and capacity-proportional
+    /// chunks rather than the default cache-line slot geometry.
+    pub fn hamt_nodes(capacity: usize) -> Self {
+        Self::for_capacity(capacity).sized(HAMT_NODE_SLOT_BYTES)
+    }
 }
+
+/// Slot size of [`ArenaConfig::hamt_nodes`]: 17 words (a header word carrying
+/// the 16-bit occupancy bitmap plus at most 16 packed entry words), rounded up
+/// to whole cache lines by the arena (192 bytes).
+pub const HAMT_NODE_SLOT_BYTES: usize = 17 * WORD_SIZE;
 
 /// What the persisted arena header looks like inside a [`CrashImage`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -3,7 +3,10 @@
 //! ```text
 //! cargo run -p flit-bench --release --bin crashtest -- [flags]
 //!
-//!   --structures a,b,..   list|hashtable|bst|skiplist|msqueue   (default: all)
+//!   --structures a,b,..   list|hashtable|bst|skiplist|msqueue|hamt (default: all)
+//!                         plus the pseudo-structure hamt-snapshot: the HAMT
+//!                         snapshot-consistency sweep (runs by default; when an
+//!                         explicit list is given it runs only if listed)
 //!   --methods a,b,..      automatic|nvtraverse|manual|volatile-broken
 //!                         (default: the three correct methods)
 //!   --policies a,b,..     plain|flit-ht|flit-adjacent|flit-cacheline|link-persist
@@ -46,13 +49,15 @@
 //! repro strings: paste the flags after `crashtest` to replay one crash point.
 
 use flit_crashtest::{
-    run_case, run_matrix, HistorySpec, MethodKind, PolicyKind, StructureKind, SweepReport,
-    SweepSettings,
+    run_case, run_hamt_snapshot_case, run_matrix, HistorySpec, MethodKind, PolicyKind,
+    StructureKind, SweepReport, SweepSettings, SNAPSHOT_STRUCTURE,
 };
 use flit_pmem::{CommitMode, ElisionMode};
 
 struct Args {
     structures: Vec<StructureKind>,
+    /// Run the HAMT snapshot-consistency sweep ([`run_hamt_snapshot_case`]).
+    snapshot_sweep: bool,
     methods: Vec<MethodKind>,
     policies: Vec<PolicyKind>,
     history: HistorySpec,
@@ -85,6 +90,7 @@ fn parse_list<T>(value: &str, parse: impl Fn(&str) -> Option<T>, what: &str) -> 
 
 fn parse_args() -> Args {
     let mut structures = StructureKind::ALL.to_vec();
+    let mut snapshot_sweep = None;
     let mut methods = MethodKind::CORRECT.to_vec();
     let mut policies = vec![
         PolicyKind::Plain,
@@ -116,7 +122,21 @@ fn parse_args() -> Args {
     while i < argv.len() {
         match argv[i].as_str() {
             "--structures" => {
-                structures = parse_list(&value(&mut i), StructureKind::parse, "structure")
+                let v = value(&mut i);
+                // `hamt-snapshot` is a pseudo-structure: it selects the snapshot
+                // sweep, not a StructureKind, so repro strings for snapshot
+                // violations replay through the same flag.
+                snapshot_sweep = Some(v.split(',').any(|s| s.trim() == SNAPSHOT_STRUCTURE));
+                let rest: Vec<&str> = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| *s != SNAPSHOT_STRUCTURE)
+                    .collect();
+                structures = if rest.is_empty() {
+                    Vec::new()
+                } else {
+                    parse_list(&rest.join(","), StructureKind::parse, "structure")
+                };
             }
             "--methods" => methods = parse_list(&value(&mut i), MethodKind::parse, "method"),
             "--policies" => policies = parse_list(&value(&mut i), PolicyKind::parse, "policy"),
@@ -173,6 +193,9 @@ fn parse_args() -> Args {
     });
     Args {
         structures,
+        // Default matrix: the snapshot sweep rides along. Explicit --structures
+        // lists opt in by naming `hamt-snapshot`.
+        snapshot_sweep: snapshot_sweep.unwrap_or(true),
         methods,
         policies,
         history,
@@ -279,6 +302,13 @@ fn main() {
                 args.history,
                 &settings,
             ));
+            if args.snapshot_sweep {
+                // The snapshot-consistency sweep: a snapshot taken mid-history
+                // and held across the crash must replay to exactly its frozen
+                // contents from the retained-root table.
+                let policy = args.policies.first().copied().unwrap_or(PolicyKind::FlitHt);
+                reports.push(run_hamt_snapshot_case(policy, args.history, &settings));
+            }
         }
     }
     let mut failed = false;
@@ -406,7 +436,7 @@ fn main() {
                 control_reports.push(report);
             }
         }
-        if control_reports.is_empty() {
+        if control_reports.is_empty() && !(args.structures.is_empty() && args.snapshot_sweep) {
             // The control is the harness's self-check: running zero control cases
             // (e.g. an empty --structures list) must not be mistaken for success.
             failed = true;

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p flit-bench --release --bin flitctl -- inspect <pool-file>
 //! cargo run -p flit-bench --release --bin flitctl -- stats [--shards N] [--ops N]
+//! cargo run -p flit-bench --release --bin flitctl -- scan [--shards N] [--keys N] [--prefix P] [--mask M]
 //! ```
 //!
 //! `inspect` reads a pool file **without mapping it** — every field comes from
@@ -12,13 +13,23 @@
 //! on pools left behind by a SIGKILLed process, and on corrupt pools (bad
 //! fields are reported, not trusted). It prints one `flit-pool-inspect-v1`
 //! JSON document: superblock, arena directory, per-arena header with a
-//! bounded free-list walk and the named root table.
+//! bounded free-list walk, the named root table, and — for arenas holding a
+//! `flit-hamt` retained-root table — the live snapshot entries. When any
+//! arena's free-list walk trips a defensive guard (a cycle, a link beyond the
+//! high-water mark, an unrecorded chunk, the length cap), the document is
+//! still printed but the process exits with status 3: a tripped guard means
+//! the durable free list is structurally damaged, which scripts must not
+//! mistake for a healthy pool.
 //!
 //! `stats` stands up an in-process sharded [`KvServer`] on heap-backed
 //! simulated NVRAM, drives a little traffic through the request pump, then
 //! sends [`Op::Stats`] down the same wire path and prints the `flit-obs-v1`
 //! metrics document the server answers with — an end-to-end check that the
 //! stats control plane works over the byte protocol.
+//!
+//! `scan` does the same for the snapshot control plane: a HAMT-backed server,
+//! a seeded prefill through the pump, then [`Op::Scan`] over the wire; the
+//! [`Reply::Entries`] answer is printed as a `flit-scan-v1` JSON document.
 
 use std::collections::HashSet;
 use std::fs::File;
@@ -43,9 +54,17 @@ const INSPECT_SCHEMA: &str = "flit-pool-inspect-v1";
 const FREE_WALK_LIMIT: usize = 1 << 20;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: flitctl inspect <pool-file>\n       flitctl stats [--shards N] [--ops N]");
+    eprintln!(
+        "usage: flitctl inspect <pool-file>\n       \
+         flitctl stats [--shards N] [--ops N]\n       \
+         flitctl scan [--shards N] [--keys N] [--prefix P] [--mask M]"
+    );
     ExitCode::from(2)
 }
+
+/// Exit status when `inspect` finds a structurally damaged free list (cycle,
+/// out-of-bounds link, unrecorded chunk, or capped walk).
+const GUARD_TRIPPED: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,13 +73,14 @@ fn main() -> ExitCode {
             Some(path) if args.len() == 2 => inspect(Path::new(path)),
             _ => return usage(),
         },
-        Some("stats") => stats(&args[1..]),
+        Some("stats") => stats(&args[1..]).map(|doc| (doc, ExitCode::SUCCESS)),
+        Some("scan") => scan(&args[1..]).map(|doc| (doc, ExitCode::SUCCESS)),
         _ => return usage(),
     };
     match result {
-        Ok(doc) => {
+        Ok((doc, code)) => {
             println!("{doc}");
-            ExitCode::SUCCESS
+            code
         }
         Err(e) => {
             eprintln!("flitctl: {e}");
@@ -105,6 +125,8 @@ fn root_name(key: u64) -> Option<&'static str> {
         roots::BST_ROOT => Some("bst_root"),
         roots::SKIPLIST_HEAD => Some("skiplist_head"),
         roots::QUEUE_ROOTS => Some("queue_roots"),
+        roots::HAMT_ROOT => Some("hamt_root"),
+        roots::HAMT_RETAINED => Some("hamt_retained"),
         _ => None,
     }
 }
@@ -175,7 +197,8 @@ fn walk_free_list(
 }
 
 /// Render one live arena directory entry (plus its on-file header) as JSON.
-fn inspect_arena(file: &File, index: usize) -> Result<String, String> {
+/// The `bool` reports whether the free-list walk tripped a guard.
+fn inspect_arena(file: &File, index: usize) -> Result<(String, bool), String> {
     let entry = (DIR_OFFSET + index * DIR_ENTRY_BYTES) as u64;
     let word = |field: usize| read_word(file, entry + field as u64);
 
@@ -183,7 +206,7 @@ fn inspect_arena(file: &File, index: usize) -> Result<String, String> {
     let mut out = format!("{{\"index\":{index},\"state\":{state}");
     if state != 1 {
         out.push('}');
-        return Ok(out);
+        return Ok((out, false));
     }
 
     let slot_size = word(direntry::SLOT_SIZE)?;
@@ -251,6 +274,7 @@ fn inspect_arena(file: &File, index: usize) -> Result<String, String> {
     out.push('}');
 
     let mut roots = Vec::new();
+    let mut retained_table_slot = None;
     for r in 0..flit_alloc::ROOT_CAPACITY {
         let base =
             header_off + (flit_alloc::ROOT_TABLE_OFFSET + r * flit_alloc::ROOT_ENTRY_BYTES) as u64;
@@ -259,6 +283,9 @@ fn inspect_arena(file: &File, index: usize) -> Result<String, String> {
             continue;
         }
         let slot = read_word(file, base + 8)?;
+        if key == flit_alloc::roots::HAMT_RETAINED {
+            retained_table_slot = slot.checked_sub(1);
+        }
         roots.push(format!(
             "{{\"key\":\"{key:#x}\",\"name\":{},\"slot\":{}}}",
             root_name(key).map_or("null".to_string(), json_str),
@@ -266,11 +293,39 @@ fn inspect_arena(file: &File, index: usize) -> Result<String, String> {
                 .map_or("null".to_string(), |s| s.to_string()),
         ));
     }
-    out.push_str(&format!(",\"roots\":[{}]}}}}", roots.join(",")));
-    Ok(out)
+    out.push_str(&format!(",\"roots\":[{}]", roots.join(",")));
+
+    // A `flit-hamt` retained-root (snapshot) table: read its entries off the
+    // file and report the live ones — the snapshots that would survive a
+    // crash of the process that wrote this pool.
+    if let Some(table_slot) = retained_table_slot {
+        let mut entries = Vec::new();
+        if let Some(chunk) = table_slot.checked_div(chunk_slots) {
+            let chunk = chunk as usize;
+            if let Some(&chunk_base) = chunks.get(chunk) {
+                let table_off = chunk_base + (table_slot % chunk_slots) * slot_size;
+                for s in 0..flit_hamt::RETAINED_CAPACITY {
+                    let entry = table_off + (s * flit_hamt::RETAINED_ENTRY_WORDS * 8) as u64;
+                    let root = read_word(file, entry)?;
+                    let refcount = read_word(file, entry + 8)?;
+                    let version = read_word(file, entry + 16)?;
+                    if refcount != 0 {
+                        entries.push(format!(
+                            "{{\"slot\":{s},\"root\":\"{root:#x}\",\
+                             \"refcount\":{refcount},\"version\":{version}}}"
+                        ));
+                    }
+                }
+            }
+        }
+        out.push_str(&format!(",\"retained_roots\":[{}]", entries.join(",")));
+    }
+
+    out.push_str("}}");
+    Ok((out, walk.truncated))
 }
 
-fn inspect(path: &Path) -> Result<String, String> {
+fn inspect(path: &Path) -> Result<(String, ExitCode), String> {
     let file = File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let file_bytes = file
         .metadata()
@@ -301,11 +356,24 @@ fn inspect(path: &Path) -> Result<String, String> {
     );
 
     let mut arenas = Vec::new();
+    let mut tripped = false;
     for i in 0..(arena_count as usize).min(MAX_ARENAS) {
-        arenas.push(inspect_arena(&file, i)?);
+        let (arena_doc, guard) = inspect_arena(&file, i)?;
+        arenas.push(arena_doc);
+        tripped |= guard;
     }
     doc.push_str(&format!(",\"arenas\":[{}]}}", arenas.join(",")));
-    Ok(doc)
+    if tripped {
+        eprintln!(
+            "flitctl: free-list guard tripped (see free_list.reason); exiting {GUARD_TRIPPED}"
+        );
+    }
+    let code = if tripped {
+        ExitCode::from(GUARD_TRIPPED)
+    } else {
+        ExitCode::SUCCESS
+    };
+    Ok((doc, code))
 }
 
 // --- stats -----------------------------------------------------------------
@@ -365,4 +433,68 @@ fn stats(args: &[String]) -> Result<String, String> {
         }
     }
     doc.ok_or_else(|| "no stats reply".to_string())
+}
+
+// --- scan ------------------------------------------------------------------
+
+/// Schema tag of the `scan` document.
+const SCAN_SCHEMA: &str = "flit-scan-v1";
+
+type ScanMap = flit_hamt::Hamt<StatsPolicy>;
+
+fn scan(args: &[String]) -> Result<String, String> {
+    let mut shards = 2usize;
+    let mut keys = 64u64;
+    let mut prefix = 0u64;
+    let mut mask = 0u64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--shards" => shards = val()?.parse().map_err(|_| "bad --shards")?,
+            "--keys" => keys = val()?.parse().map_err(|_| "bad --keys")?,
+            "--prefix" => prefix = val()?.parse().map_err(|_| "bad --prefix")?,
+            "--mask" => mask = val()?.parse().map_err(|_| "bad --mask")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+
+    let server: KvServer<StatsPolicy, ScanMap> =
+        KvServer::new_with(ServerConfig::new(shards, keys.max(1) as usize), |_| {
+            FlitDb::flit_ht(SimNvram::builder().latency(LatencyModel::none()).build())
+        });
+    let handles = server.handles();
+
+    // Deterministic prefill through the pump, then the Scan itself over the
+    // same wire path — value is 10*key so jq can cross-check pairs.
+    let mut slab: Vec<Vec<u8>> = (1..=keys).map(|k| Op::Put(k, 10 * k).encode()).collect();
+    slab.push(Op::Scan { prefix, mask }.encode());
+    let mut pairs = None;
+    for token in 0..slab.len() as u64 {
+        let (_served, reply_bytes) = server
+            .pump(&handles, &slab, token)
+            .map_err(|e| format!("pump: {e:?}"))?;
+        if token == slab.len() as u64 - 1 {
+            match Reply::decode(&reply_bytes) {
+                Ok(Reply::Entries(p)) => pairs = Some(p),
+                Ok(other) => return Err(format!("expected Entries reply, got {other:?}")),
+                Err(e) => return Err(format!("decode scan reply: {e:?}")),
+            }
+        }
+    }
+    let pairs = pairs.ok_or_else(|| "no scan reply".to_string())?;
+    let entries = pairs
+        .iter()
+        .map(|(k, v)| format!("{{\"key\":{k},\"value\":{v}}}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    Ok(format!(
+        "{{\"schema\":{},\"shards\":{shards},\"keys\":{keys},\
+         \"prefix\":{prefix},\"mask\":{mask},\"count\":{},\"entries\":[{entries}]}}",
+        json_str(SCAN_SCHEMA),
+        pairs.len(),
+    ))
 }

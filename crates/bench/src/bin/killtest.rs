@@ -6,6 +6,11 @@
 //!
 //!   --rounds N            seeded SIGKILL rounds per commit mode  (default: 10)
 //!   --ops N               workload operations per round          (default: 150000)
+//!   --hamt-rounds N       HAMT snapshot rounds per commit mode   (default: 5)
+//!   --hamt-ops N          operations per HAMT snapshot round     (default: 20000;
+//!                         the snapshot is taken after ops/3 operations and held
+//!                         until the kill; copy-on-write churn makes these rounds
+//!                         allocation-heavier than the hash-table rounds)
 //!   --seed N              base seed for the kill-delay schedule  (default: 0x2a)
 //!   --commit a,b,..       immediate|batched-<k>|both             (default: both,
 //!                         where `both` = immediate,batched-8)
@@ -36,13 +41,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use flit_crashtest::kill::{
-    child_main, commit_word, corruption_suite, parse_commit, run_kill_round, KillRound, CHILD_FLAG,
+    child_main, child_main_hamt, commit_word, corruption_suite, parse_commit, run_kill_round,
+    KillRound, CHILD_FLAG,
 };
 use flit_pmem::CommitMode;
 
 struct Args {
     rounds: u64,
     ops: u64,
+    hamt_rounds: u64,
+    hamt_ops: u64,
     seed: u64,
     commits: Vec<CommitMode>,
     dir: PathBuf,
@@ -76,6 +84,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         rounds: 10,
         ops: 150_000,
+        hamt_rounds: 5,
+        hamt_ops: 20_000,
         seed: 0x2a,
         commits: vec![CommitMode::Immediate, CommitMode::Batched(8)],
         dir: PathBuf::from("target/killtest"),
@@ -89,6 +99,14 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--rounds" => args.rounds = parse_u64(&val("--rounds")?).ok_or("bad --rounds")?,
             "--ops" => args.ops = parse_u64(&val("--ops")?).ok_or("bad --ops")?.max(1),
+            "--hamt-rounds" => {
+                args.hamt_rounds = parse_u64(&val("--hamt-rounds")?).ok_or("bad --hamt-rounds")?
+            }
+            "--hamt-ops" => {
+                args.hamt_ops = parse_u64(&val("--hamt-ops")?)
+                    .ok_or("bad --hamt-ops")?
+                    .max(3)
+            }
             "--seed" => args.seed = parse_u64(&val("--seed")?).ok_or("bad --seed")?,
             "--commit" => {
                 args.commits = parse_commits(&val("--commit")?).ok_or("bad --commit")?;
@@ -104,16 +122,26 @@ fn parse_args() -> Result<Args, String> {
 }
 
 /// The hidden child dispatch: `killtest --kill-child <pool> <sidecar> <ops>
-/// <commit>` runs the workload instead of the harness.
+/// <commit>` runs the hash-table workload instead of the harness; the
+/// `... hamt <snap_at>` suffix runs the HAMT snapshot workload.
 fn child_dispatch() -> Option<ExitCode> {
     let argv: Vec<String> = std::env::args().collect();
     if argv.get(1).map(String::as_str) != Some(CHILD_FLAG) {
         return None;
     }
-    if argv.len() != 6 {
-        eprintln!("usage: killtest {CHILD_FLAG} <pool> <sidecar> <ops> <commit>");
-        return Some(ExitCode::from(2));
-    }
+    let hamt_snap = match argv.len() {
+        6 => None,
+        8 if argv[6] == "hamt" => match parse_u64(&argv[7]) {
+            Some(n) => Some(n),
+            None => return Some(ExitCode::from(2)),
+        },
+        _ => {
+            eprintln!(
+                "usage: killtest {CHILD_FLAG} <pool> <sidecar> <ops> <commit> [hamt <snap_at>]"
+            );
+            return Some(ExitCode::from(2));
+        }
+    };
     let ops = match parse_u64(&argv[4]) {
         Some(n) => n,
         None => return Some(ExitCode::from(2)),
@@ -122,7 +150,11 @@ fn child_dispatch() -> Option<ExitCode> {
         Some(c) => c,
         None => return Some(ExitCode::from(2)),
     };
-    match child_main(argv[2].as_ref(), argv[3].as_ref(), ops, commit) {
+    let run = match hamt_snap {
+        Some(snap_at) => child_main_hamt(argv[2].as_ref(), argv[3].as_ref(), ops, commit, snap_at),
+        None => child_main(argv[2].as_ref(), argv[3].as_ref(), ops, commit),
+    };
+    match run {
         Ok(()) => Some(ExitCode::SUCCESS),
         Err(e) => {
             eprintln!("killtest child: {e}");
@@ -154,21 +186,47 @@ fn main() -> ExitCode {
 
     if !args.corruption_only {
         for &commit in &args.commits {
+            // Hash-table rounds, then the allocation-heavier HAMT snapshot
+            // rounds (a snapshot is taken at ops/3 and held until the kill;
+            // the reopened pool must replay it to exactly its frozen
+            // contents).
+            let mut specs: Vec<(&str, KillRound)> = Vec::new();
             for round in 0..args.rounds {
-                let spec = KillRound {
-                    exe: exe.clone(),
-                    dir: args.dir.clone(),
-                    round,
-                    seed: args.seed,
-                    ops: args.ops,
-                    commit,
-                    keep_files: args.keep_pools,
-                };
+                specs.push((
+                    "ht",
+                    KillRound {
+                        exe: exe.clone(),
+                        dir: args.dir.clone(),
+                        round,
+                        seed: args.seed,
+                        ops: args.ops,
+                        commit,
+                        keep_files: args.keep_pools,
+                        hamt_snap: None,
+                    },
+                ));
+            }
+            for round in 0..args.hamt_rounds {
+                specs.push((
+                    "hamt",
+                    KillRound {
+                        exe: exe.clone(),
+                        dir: args.dir.clone(),
+                        round,
+                        seed: args.seed,
+                        ops: args.hamt_ops,
+                        commit,
+                        keep_files: args.keep_pools,
+                        hamt_snap: Some(args.hamt_ops / 3),
+                    },
+                ));
+            }
+            for (kind, spec) in specs {
                 match run_kill_round(&spec) {
                     Ok(report) => println!(
-                        "round {:>3} [{}]: ok — prefix {} (floor {}), {} leaked slot(s) reclaimed, \
-                         open {}us (validate {}us, adopt {}us, recover {}us, gc {}us){}",
-                        round,
+                        "{kind} round {:>3} [{}]: ok — prefix {} (floor {}), {} leaked slot(s) \
+                         reclaimed, open {}us (validate {}us, adopt {}us, recover {}us, gc {}us){}",
+                        spec.round,
                         commit_word(commit),
                         report.matched_prefix,
                         report.acked_floor,
@@ -187,8 +245,8 @@ fn main() -> ExitCode {
                     Err(v) => {
                         failures += 1;
                         eprintln!(
-                            "round {:>3} [{}]: FAIL — {v} (pool kept at {})",
-                            round,
+                            "{kind} round {:>3} [{}]: FAIL — {v} (pool kept at {})",
+                            spec.round,
                             commit_word(commit),
                             spec.pool_path().display(),
                         );

@@ -26,8 +26,9 @@
 use std::path::Path;
 
 use flit_bench::experiments::{
-    bench_baseline, figure5, figure6, figure7, figure8, figure9, queue_dequeue_empty, queue_mix,
-    queue_producer_consumer, BenchRecord, Row, Scale, BENCH_UPDATE_PERCENT,
+    bench_baseline, bench_depth_sweep, figure5, figure6, figure7, figure8, figure9,
+    queue_dequeue_empty, queue_mix, queue_producer_consumer, BenchRecord, Row, Scale,
+    BENCH_DEPTH_KEYS, BENCH_UPDATE_PERCENT,
 };
 use flit_bench::server_experiments::{
     server_baseline, server_crash_smoke, server_obs_document, ServerBenchRecord,
@@ -149,8 +150,9 @@ fn bench_json(scale: &Scale, quick: bool, records: &[BenchRecord]) -> String {
         .iter()
         .map(|r| {
             format!(
-                r#"    {{"structure":"{}","policy":"{}","durability":"{}","elision":"{}","commit":"{}","update_percent":{},"mops":{},"pwbs_per_op":{},"pfences_per_op":{},"elided_pfences_per_op":{},"p50_ns":{},"p99_ns":{}}}"#,
+                r#"    {{"structure":"{}","keys":{},"policy":"{}","durability":"{}","elision":"{}","commit":"{}","update_percent":{},"mops":{},"pwbs_per_op":{},"pfences_per_op":{},"elided_pfences_per_op":{},"p50_ns":{},"p99_ns":{}}}"#,
                 r.structure,
+                r.keys,
                 r.policy,
                 r.durability,
                 r.elision,
@@ -166,7 +168,7 @@ fn bench_json(scale: &Scale, quick: bool, records: &[BenchRecord]) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"schema\": \"flit-bench-v2\",\n  \"scale\": \"{}\",\n  \"workload\": {{\"update_percent\": {}, \"threads\": {}, \"ops_per_thread\": {}}},\n  \"records\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"flit-bench-v3\",\n  \"scale\": \"{}\",\n  \"workload\": {{\"update_percent\": {}, \"threads\": {}, \"ops_per_thread\": {}}},\n  \"records\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
         BENCH_UPDATE_PERCENT,
         scale.threads,
@@ -176,14 +178,24 @@ fn bench_json(scale: &Scale, quick: bool, records: &[BenchRecord]) -> String {
 }
 
 fn run_bench(scale: &Scale, quick: bool, out: &str) {
-    let records = bench_baseline(scale);
+    let mut records = bench_baseline(scale);
+    // The hamt case family: key-depth sweep demonstrating the flat fence cost
+    // of the copy-on-write discipline (quick scale trims the 1M-key point to
+    // the scale's large size so the container run stays bounded).
+    let depth_keys: Vec<u64> = if quick {
+        vec![BENCH_DEPTH_KEYS[0], scale.large_keys]
+    } else {
+        BENCH_DEPTH_KEYS.to_vec()
+    };
+    records.extend(bench_depth_sweep(scale, &depth_keys));
     println!(
         "\n=== Benchmark baseline: read-mostly ({}% updates) map workload, elision A/B ===",
         BENCH_UPDATE_PERCENT
     );
     println!(
-        "{:<12} {:<18} {:<8} {:<11} {:>4} {:>10} {:>10} {:>12} {:>14}",
+        "{:<12} {:>9} {:<18} {:<8} {:<11} {:>4} {:>10} {:>10} {:>12} {:>14}",
         "structure",
+        "keys",
         "policy",
         "elision",
         "commit",
@@ -195,8 +207,9 @@ fn run_bench(scale: &Scale, quick: bool, out: &str) {
     );
     for r in &records {
         println!(
-            "{:<12} {:<18} {:<8} {:<11} {:>4} {:>10.3} {:>10.3} {:>12.3} {:>14.3}",
+            "{:<12} {:>9} {:<18} {:<8} {:<11} {:>4} {:>10.3} {:>10.3} {:>12.3} {:>14.3}",
             r.structure,
+            r.keys,
             r.policy,
             r.elision,
             r.commit,

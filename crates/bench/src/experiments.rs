@@ -9,8 +9,8 @@
 
 use flit_pmem::{CommitMode, ElisionMode, LatencyModel};
 use flit_workload::{
-    run_case, run_case_observed, run_queue_case, Case, DsKind, DurKind, PolicyKind, QueueCase,
-    QueueWorkloadConfig, WorkloadConfig, QUEUE_DURS,
+    run_case, run_case_observed, run_hamt_case_observed, run_queue_case, Case, DsKind, DurKind,
+    HamtCase, PolicyKind, QueueCase, QueueWorkloadConfig, WorkloadConfig, QUEUE_DURS,
 };
 
 use crate::hist::LatencyHistogram;
@@ -258,8 +258,11 @@ pub fn figure9(scale: &Scale) -> Vec<Row> {
 /// One record of the machine-readable benchmark baseline (`BENCH_flit.json`).
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
-    /// Structure key (`bst`, `hashtable`, `list`, `skiplist`).
+    /// Structure key (`bst`, `hashtable`, `list`, `skiplist`, `hamt`).
     pub structure: String,
+    /// Key range of the workload the record was measured on (the depth-sweep
+    /// rows vary this; the baseline rows use the structure's small size).
+    pub keys: u64,
     /// Policy label (e.g. `flit-HT (1MB)`).
     pub policy: String,
     /// Durability method key.
@@ -304,8 +307,32 @@ fn bench_record(c: &Case) -> BenchRecord {
     let r = run_case_observed(c, Some(&observe));
     BenchRecord {
         structure: c.ds.name().to_string(),
+        keys: c.config.key_range,
         policy: c.policy.name(),
         durability: c.dur.name().to_string(),
+        elision: c.elision.name(),
+        commit: c.commit.name(),
+        update_percent: c.config.update_percent,
+        mops: r.mops,
+        pwbs_per_op: r.pwbs_per_op(),
+        pfences_per_op: r.pfences_per_op(),
+        elided_pfences_per_op: r.pmem.elided_pfences as f64 / r.total_ops as f64,
+        p50_ns: hist.p50(),
+        p99_ns: hist.p99(),
+    }
+}
+
+/// [`bench_record`] for the copy-on-write HAMT, whose case has no
+/// durability-method axis (the `durability` column reads `cow`).
+fn bench_hamt_record(c: &HamtCase) -> BenchRecord {
+    let hist = LatencyHistogram::new();
+    let observe = |ns: u64| hist.record(ns);
+    let r = run_hamt_case_observed(c, Some(&observe));
+    BenchRecord {
+        structure: "hamt".to_string(),
+        keys: c.config.key_range,
+        policy: c.policy.name(),
+        durability: "cow".to_string(),
         elision: c.elision.name(),
         commit: c.commit.name(),
         update_percent: c.config.update_percent,
@@ -358,6 +385,26 @@ pub fn bench_baseline(scale: &Scale) -> Vec<BenchRecord> {
             }
         }
     }
+    // The copy-on-write HAMT rides the same policy × elision grid — its `cow`
+    // durability column marks that the discipline is the structure's own, not
+    // a method axis.
+    for policy in variants {
+        for elision in [ElisionMode::Enabled, ElisionMode::Disabled] {
+            let c = HamtCase {
+                policy,
+                config: WorkloadConfig::new(
+                    scale.small_keys,
+                    BENCH_UPDATE_PERCENT,
+                    scale.threads,
+                    scale.ops_per_thread,
+                ),
+                latency: LatencyModel::optane(),
+                elision,
+                commit: CommitMode::Immediate,
+            };
+            records.push(bench_hamt_record(&c));
+        }
+    }
     // Group-commit A/B: per-operation durability vs `Batched(k)` on the
     // write-heavy mix, where the deferred trailing fences dominate. flit-HT is
     // the policy whose tag scheme supports deferred store closes, so it is the
@@ -383,6 +430,69 @@ pub fn bench_baseline(scale: &Scale) -> Vec<BenchRecord> {
                 commit,
             };
             records.push(bench_record(&c));
+        }
+    }
+    for commit in [
+        CommitMode::Immediate,
+        CommitMode::Batched(BENCH_GROUP_COMMIT_BATCH),
+    ] {
+        let c = HamtCase {
+            policy: PolicyKind::FlitHt(1 << 20),
+            config: WorkloadConfig::new(
+                scale.small_keys,
+                BENCH_GROUP_COMMIT_UPDATE_PERCENT,
+                scale.threads,
+                scale.ops_per_thread,
+            ),
+            latency: LatencyModel::optane(),
+            elision: ElisionMode::Enabled,
+            commit,
+        };
+        records.push(bench_hamt_record(&c));
+    }
+    records
+}
+
+/// The key counts of the depth sweep behind the HAMT's flat-fence-cost claim:
+/// three decades of trie depth (1k keys ≈ 3 levels, 1M keys ≈ 5).
+pub const BENCH_DEPTH_KEYS: [u64; 2] = [1_000, 1_000_000];
+
+/// The key-depth sweep (`BENCH_flit.json`'s varying-`keys` rows): the HAMT,
+/// the flit-HT hash table and the BST on the same update-heavy workload at
+/// each key count in `keys`. The claim the rows make machine-readable is the
+/// MOD discipline's fence decoupling: the HAMT's **pwbs/op grows** with the
+/// key count (a deeper trie means a longer copied path, every node of which
+/// is written back) while its **pfences/op stays flat** — the whole path
+/// rides under one pre-publish fence no matter how long it gets. The in-place
+/// structures fence roughly once per write-back (their pfences-per-pwb ratio
+/// stays near one at every size), so the HAMT's fences-per-pwb ratio sits
+/// strictly below theirs and keeps falling as the trie deepens.
+pub fn bench_depth_sweep(scale: &Scale, keys: &[u64]) -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    for &key_range in keys {
+        let cfg = WorkloadConfig::new(
+            key_range,
+            BENCH_GROUP_COMMIT_UPDATE_PERCENT,
+            scale.threads,
+            scale.ops_per_thread,
+        );
+        records.push(bench_hamt_record(&HamtCase {
+            policy: PolicyKind::FlitHt(1 << 20),
+            config: cfg.clone(),
+            latency: LatencyModel::optane(),
+            elision: ElisionMode::Enabled,
+            commit: CommitMode::Immediate,
+        }));
+        for ds in [DsKind::HashTable, DsKind::Bst] {
+            records.push(bench_record(&Case {
+                ds,
+                dur: DurKind::Automatic,
+                policy: PolicyKind::FlitHt(1 << 20),
+                config: cfg.clone(),
+                latency: LatencyModel::optane(),
+                elision: ElisionMode::Enabled,
+                commit: CommitMode::Immediate,
+            }));
         }
     }
     records
@@ -541,9 +651,10 @@ mod tests {
     #[test]
     fn bench_baseline_shows_the_fence_savings() {
         let records = bench_baseline(&SCALE_TEST);
-        // 4 structures × 4 policies (minus lp/bst) × 2 elision modes, plus the
-        // write-heavy group-commit A/B pair per structure.
-        assert_eq!(records.len(), (4 * 4 - 1) * 2 + 4 * 2);
+        // 4 in-place structures × 4 policies (minus lp/bst) × 2 elision modes,
+        // plus the HAMT on the same 4-policy × 2-elision grid, plus the
+        // write-heavy group-commit A/B pair per structure (HAMT included).
+        assert_eq!(records.len(), (4 * 4 - 1) * 2 + 4 * 2 + (4 + 1) * 2);
         let get = |structure: &str, policy: &str, elision: &str| {
             records
                 .iter()
@@ -605,6 +716,60 @@ mod tests {
                 "{structure}: plain pwbs/op changed under elision ({} vs {})",
                 plain_on.pwbs_per_op,
                 plain_off.pwbs_per_op
+            );
+        }
+    }
+
+    #[test]
+    fn bench_baseline_covers_the_hamt() {
+        let records = bench_baseline(&SCALE_TEST);
+        let hamt: Vec<_> = records.iter().filter(|r| r.structure == "hamt").collect();
+        assert_eq!(hamt.len(), 4 * 2 + 2);
+        assert!(hamt.iter().all(|r| r.durability == "cow"));
+        assert!(hamt.iter().all(|r| r.keys == SCALE_TEST.small_keys));
+    }
+
+    #[test]
+    fn depth_sweep_shows_the_hamt_fence_cost_flat() {
+        // Miniature depth sweep: two decades of key-count growth. The MOD
+        // fence decoupling in miniature: the HAMT's write-backs grow with the
+        // copied path but its fences do not, while the in-place structures
+        // fence about once per write-back at every size.
+        let records = bench_depth_sweep(&SCALE_TEST, &[64, 4096]);
+        assert_eq!(records.len(), 3 * 2);
+        let get = |structure: &str, keys: u64| {
+            records
+                .iter()
+                .find(|r| r.structure == structure && r.keys == keys)
+                .unwrap()
+        };
+        let (small, large) = (get("hamt", 64), get("hamt", 4096));
+        let rel =
+            (large.pfences_per_op - small.pfences_per_op).abs() / small.pfences_per_op.max(1e-12);
+        assert!(
+            rel < 0.25,
+            "hamt pfences/op must be flat in key depth ({} vs {})",
+            small.pfences_per_op,
+            large.pfences_per_op
+        );
+        assert!(
+            large.pwbs_per_op > small.pwbs_per_op,
+            "a deeper trie copies a longer path ({} vs {} pwbs/op)",
+            small.pwbs_per_op,
+            large.pwbs_per_op
+        );
+        // One fence covers the whole copied path: the HAMT's fences-per-pwb
+        // ratio must sit below the in-place structures' (which flush-and-fence
+        // roughly one-for-one) at the deep end.
+        let hamt_ratio = large.pfences_per_op / large.pwbs_per_op;
+        for structure in ["hashtable", "bst"] {
+            let inplace = get(structure, 4096);
+            let ratio = inplace.pfences_per_op / inplace.pwbs_per_op.max(1e-12);
+            assert!(
+                ratio > hamt_ratio,
+                "{structure}: fences-per-pwb {} must exceed the hamt's {}",
+                ratio,
+                hamt_ratio
             );
         }
     }

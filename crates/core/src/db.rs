@@ -265,6 +265,17 @@ impl<P: Policy> FlitDbBuilder<P> {
 
     /// The [`ArenaConfig`] that [`FlitDb::arena_defaults`] reports — what
     /// structure constructors use when the caller passes no explicit config.
+    ///
+    /// Both sizing axes flow through here: `slot_size` (bytes per slot) and
+    /// `slots_per_chunk` (how many slots each growth step adds, settable via
+    /// [`ArenaConfig::with_slots_per_chunk`] / [`ArenaConfig::chunked`]).
+    /// Structures with their own node shapes override the slot size but
+    /// honour the chunk growth — e.g. the copy-on-write HAMT starts from the
+    /// small-slot [`ArenaConfig::hamt_nodes`] preset and takes the *larger* of
+    /// the preset's and the configured `slots_per_chunk`, so a builder that
+    /// says `.arena_defaults(ArenaConfig::with_slots_per_chunk(1 << 16))`
+    /// makes every structure of the database grow its arena in 64Ki-slot
+    /// steps.
     pub fn arena_defaults(mut self, config: ArenaConfig) -> Self {
         self.arena_defaults = config;
         self

@@ -38,7 +38,6 @@
 //! [`CrashPlan`]: flit_pmem::CrashPlan
 
 use std::collections::BTreeMap;
-use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
@@ -46,6 +45,7 @@ use std::time::{Duration, Instant};
 use flit::{CommitMode, FlitDb, FlitPolicy, HashedScheme, OpenError};
 use flit_alloc::post_crash_gc;
 use flit_datastructs::{Automatic, ConcurrentMap, HashTable, RecoverInImage};
+use flit_hamt::Hamt;
 use flit_pmem::{LatencyModel, SimNvram};
 
 /// The policy every kill round runs under: flit-HT over simulated-NVRAM
@@ -53,12 +53,19 @@ use flit_pmem::{LatencyModel, SimNvram};
 pub type KillPolicy = FlitPolicy<HashedScheme, SimNvram>;
 /// The structure under test: the pool-backed hash table.
 pub type KillMap = HashTable<KillPolicy, Automatic>;
+/// The copy-on-write structure the snapshot kill rounds run
+/// ([`child_main_hamt`]).
+pub type KillHamt = Hamt<KillPolicy>;
 
 /// CLI marker the child-process dispatch hides behind (see [`child_main`]):
 /// `<exe> --kill-child <pool> <sidecar> <ops> <commit>`.
 pub const CHILD_FLAG: &str = "--kill-child";
 
-fn kill_policy() -> KillPolicy {
+/// The policy every kill round runs under: the hashed P-V scheme over a
+/// backend with no simulated latency (real pools get their timing from the
+/// page cache, not the latency model). Public so in-process tests can build
+/// pools the [`verify_pool`]/[`verify_hamt_pool`] walks understand.
+pub fn kill_policy() -> KillPolicy {
     FlitPolicy::new(
         HashedScheme::with_bytes(1 << 14),
         SimNvram::builder().latency(LatencyModel::none()).build(),
@@ -163,6 +170,86 @@ pub fn child_main(pool: &Path, sidecar: &Path, ops: u64, commit: CommitMode) -> 
     Ok(())
 }
 
+/// The snapshot kill-round child ([`child_main_hamt`]): the same deterministic
+/// workload over a copy-on-write [`Hamt`], with a [`Hamt::snapshot`] taken
+/// right after operation `snap_at` and **held alive until the kill lands**.
+/// The snapshot's retained-root table entry is persisted in the arena, so the
+/// parent can replay the snapshot from the reopened pool and require it to
+/// iterate to exactly the model state after `snap_at` operations — the frozen
+/// contents — no matter how much the live trie mutated (and retired the
+/// snapshot's unshared nodes into the pinned backlog) before the kill.
+///
+/// After taking the snapshot the child writes `snap_at` to sidecar offset 8
+/// (offset 0 stays the acknowledged floor), which is the parent's signal that
+/// the kill may land: every snapshot round verifies a retained snapshot.
+pub fn child_main_hamt(
+    pool: &Path,
+    sidecar: &Path,
+    ops: u64,
+    commit: CommitMode,
+    snap_at: u64,
+) -> Result<(), String> {
+    let db = FlitDb::builder(kill_policy())
+        .commit_mode(commit)
+        .create_pool(pool)
+        .map_err(|e| format!("child: create_pool: {e}"))?;
+    // COW churn: every update allocates a fresh path (leaf + interior copies),
+    // and after the snapshot the retired old paths pile up in the pinned
+    // backlog instead of recycling. The pool directory caps an arena at 40
+    // chunks, so slots per chunk must scale with the op count, not the
+    // live-key count.
+    let chunk_slots = ((ops as usize) / 4).next_power_of_two().max(2048);
+    let map = KillHamt::with_config(
+        &db,
+        ops as usize,
+        flit_alloc::ArenaConfig::with_slots_per_chunk(chunk_slots),
+    );
+    let h = db.handle();
+    let side = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(sidecar)
+        .map_err(|e| format!("child: sidecar: {e}"))?;
+    let mut snapshot = None;
+    for j in 1..=ops {
+        if j % 7 == 0 {
+            map.remove(&h, j - 3);
+        } else {
+            map.insert(&h, j, 3 * j + 1);
+        }
+        let floor = match commit {
+            CommitMode::Immediate => j,
+            // `snapshot()` registers a durability obligation of its own (its
+            // completion fence), so once it is live the committed count runs
+            // one ahead of the workload; subtract it — a floor that lags by
+            // one while the snapshot's own batch is still open is merely
+            // conservative.
+            CommitMode::Batched(_) => h
+                .committed_obligations()
+                .saturating_sub(snapshot.is_some() as u64),
+        };
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            side.write_at(&floor.to_le_bytes(), 0)
+                .map_err(|e| format!("child: sidecar write: {e}"))?;
+            if j == snap_at {
+                snapshot = Some(map.snapshot(&h));
+                side.write_at(&snap_at.to_le_bytes(), 8)
+                    .map_err(|e| format!("child: sidecar marker: {e}"))?;
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = (floor, &mut snapshot);
+            return Err("kill rounds require a unix platform".into());
+        }
+    }
+    drop(snapshot);
+    Ok(())
+}
+
 /// What one kill round found (when it did not fail).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KillRoundReport {
@@ -207,6 +294,10 @@ pub enum KillViolation {
         /// Slots the second pass reclaimed (must be 0).
         second_pass: usize,
     },
+    /// A snapshot round's retained snapshot failed verification: missing,
+    /// unexpectedly present after a clean release, truncated, or diverged
+    /// from its frozen contents (rendered).
+    SnapshotCheck(String),
     /// The harness itself failed (spawn error, sidecar never appeared, …).
     Harness(String),
 }
@@ -228,6 +319,7 @@ impl std::fmt::Display for KillViolation {
                 f,
                 "second GC pass reclaimed {second_pass} slots (open-time pass missed them)"
             ),
+            Self::SnapshotCheck(e) => write!(f, "retained-snapshot check failed: {e}"),
             Self::Harness(e) => write!(f, "harness failure: {e}"),
         }
     }
@@ -257,13 +349,24 @@ pub struct KillRound {
     /// consumers — the CI observability smoke job — use this to get a real
     /// post-kill pool to introspect.
     pub keep_files: bool,
+    /// `Some(snap_at)` turns this into a **snapshot round**: the child runs
+    /// the [`child_main_hamt`] workload, the parent waits for the snapshot
+    /// marker before killing, and verification additionally requires the
+    /// retained snapshot to replay to exactly the model state after `snap_at`
+    /// operations. `None` runs the classic hash-table round.
+    pub hamt_snap: Option<u64>,
 }
 
 impl KillRound {
     /// The round's pool file path.
     pub fn pool_path(&self) -> PathBuf {
         self.dir.join(format!(
-            "kill-{}-round-{:03}.pool",
+            "kill{}-{}-round-{:03}.pool",
+            if self.hamt_snap.is_some() {
+                "-hamt"
+            } else {
+                ""
+            },
             commit_word(self.commit),
             self.round
         ))
@@ -275,15 +378,55 @@ impl KillRound {
     }
 }
 
-fn read_floor(sidecar: &Path) -> u64 {
-    let mut buf = [0u8; 8];
-    match std::fs::File::open(sidecar) {
-        Ok(mut f) => match f.read_exact(&mut buf) {
-            Ok(()) => u64::from_le_bytes(buf),
+fn read_sidecar_word(sidecar: &Path, offset: u64) -> u64 {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        let mut buf = [0u8; 8];
+        match std::fs::File::open(sidecar) {
+            Ok(f) => match f.read_exact_at(&mut buf, offset) {
+                Ok(()) => u64::from_le_bytes(buf),
+                Err(_) => 0,
+            },
             Err(_) => 0,
-        },
-        Err(_) => 0,
+        }
     }
+    #[cfg(not(unix))]
+    {
+        let _ = (sidecar, offset);
+        0
+    }
+}
+
+fn read_floor(sidecar: &Path) -> u64 {
+    read_sidecar_word(sidecar, 0)
+}
+
+/// The snapshot marker [`child_main_hamt`] writes at sidecar offset 8 (0 until
+/// the snapshot has been taken).
+fn read_snap_marker(sidecar: &Path) -> u64 {
+    read_sidecar_word(sidecar, 8)
+}
+
+/// Walk the model forward and find the unique prefix length the recovered
+/// (sorted) state equals — `apply_model` never stutters, so at most one `c`
+/// matches.
+fn match_model_prefix(recovered: &[(u64, u64)], ops: u64) -> Option<u64> {
+    let mut model = BTreeMap::new();
+    for c in 0..=ops {
+        if c > 0 {
+            apply_model(&mut model, c);
+        }
+        if model.len() == recovered.len()
+            && model
+                .iter()
+                .map(|(k, v)| (*k, *v))
+                .eq(recovered.iter().copied())
+        {
+            return Some(c);
+        }
+    }
+    None
 }
 
 /// Recover the workload map from a pool file and check it against the model:
@@ -306,27 +449,7 @@ pub fn verify_pool(pool: &Path, ops: u64, floor: u64) -> Result<KillRoundReport,
     }
     recovered.sort_unstable();
 
-    // Walk the model forward and look for the unique prefix the recovered
-    // state equals (every op changes the state, so at most one c matches).
-    let mut model = BTreeMap::new();
-    let mut matched = None;
-    for c in 0..=ops {
-        if c > 0 {
-            apply_model(&mut model, c);
-        }
-        if model.len() == recovered.len()
-            && model
-                .iter()
-                .map(|(k, v)| (*k, *v))
-                .eq(recovered.iter().copied())
-        {
-            matched = Some(c);
-            // Keep scanning: equality at a later c too would mean the model
-            // stuttered, which `apply_model` never does.
-            break;
-        }
-    }
-    let matched = match matched {
+    let matched = match match_model_prefix(&recovered, ops) {
         Some(c) => c,
         None => return Err(KillViolation::NoPrefixMatch { recovered, floor }),
     };
@@ -335,6 +458,104 @@ pub fn verify_pool(pool: &Path, ops: u64, floor: u64) -> Result<KillRoundReport,
     }
 
     // The open-time GC must have closed every leak: a second pass is a no-op.
+    let second_pass = post_crash_gc(&db.arenas()).total_reclaimed();
+    if second_pass != 0 {
+        return Err(KillViolation::GcNotIdempotent { second_pass });
+    }
+
+    Ok(KillRoundReport {
+        matched_prefix: matched,
+        acked_floor: floor,
+        reclaimed_slots: report.leaked_slots(),
+        timings: report.timings,
+        child_finished: false,
+    })
+}
+
+/// [`verify_pool`] for snapshot rounds: recover the [`KillHamt`] main trie
+/// (same prefix contract) **and** its retained-root table from the reopened
+/// pool. When the kill landed mid-workload (`!released && floor < ops`)
+/// exactly one retained snapshot must recover, un-truncated, and replay to
+/// exactly the model state after `snap_at` operations; when the child finished
+/// cleanly (`released` true) its snapshot drop wrote refcount 0, so the table
+/// must recover empty. A kill that lands *after* the last acknowledged
+/// operation but before process exit (`floor == ops`) races the release
+/// itself, so either outcome is legal there — but a snapshot that is present
+/// must still be exact.
+pub fn verify_hamt_pool(
+    pool: &Path,
+    ops: u64,
+    floor: u64,
+    snap_at: u64,
+    released: bool,
+) -> Result<KillRoundReport, KillViolation> {
+    let (db, report) = match FlitDb::open(pool, kill_policy()) {
+        Ok(ok) => ok,
+        Err(e) => return Err(KillViolation::OpenFailed(e.to_string())),
+    };
+    let mut recovered: Vec<(u64, u64)> = Vec::new();
+    let mut snaps = Vec::new();
+    for arena in db.arenas() {
+        if arena
+            .live_roots()
+            .iter()
+            .any(|(k, _)| *k == <KillHamt as RecoverInImage>::ROOT_KEY)
+        {
+            recovered.extend(KillHamt::recover_arena_image(&arena, &report.image).pairs);
+            snaps.extend(KillHamt::recover_snapshots_in_image(&arena, &report.image));
+        }
+    }
+    recovered.sort_unstable();
+
+    let matched = match match_model_prefix(&recovered, ops) {
+        Some(c) => c,
+        None => return Err(KillViolation::NoPrefixMatch { recovered, floor }),
+    };
+    if matched < floor {
+        return Err(KillViolation::AckedOperationLost { matched, floor });
+    }
+
+    // `floor == ops` means the kill landed in the child's exit path, where
+    // the snapshot release (a plain refcount store that survives SIGKILL the
+    // instant it executes) races the kill — the table may recover either way.
+    let release_window = floor >= ops;
+    if released {
+        if !snaps.is_empty() {
+            return Err(KillViolation::SnapshotCheck(format!(
+                "{} retained snapshot(s) recovered after a clean release",
+                snaps.len()
+            )));
+        }
+    } else if !(snaps.is_empty() && release_window) {
+        if snaps.len() != 1 {
+            return Err(KillViolation::SnapshotCheck(format!(
+                "expected exactly one retained snapshot, recovered {}",
+                snaps.len()
+            )));
+        }
+        let snap = &snaps[0];
+        if snap.rec.truncated {
+            return Err(KillViolation::SnapshotCheck(
+                "retained snapshot's recovery walk truncated (part of its frozen path is \
+                 missing from the pool)"
+                    .into(),
+            ));
+        }
+        let frozen: Vec<(u64, u64)> = model_state(snap_at).into_iter().collect();
+        if snap.rec.sorted_pairs() != frozen {
+            return Err(KillViolation::SnapshotCheck(format!(
+                "retained snapshot (slot {}, version {}) recovered {} pair(s) but its frozen \
+                 contents (model after {snap_at} ops) have {}",
+                snap.slot,
+                snap.version,
+                snap.rec.pairs.len(),
+                frozen.len()
+            )));
+        }
+    }
+
+    // The open-time GC must have closed every leak — including everything the
+    // snapshot pins: a second pass is a no-op.
     let second_pass = post_crash_gc(&db.arenas()).total_reclaimed();
     if second_pass != 0 {
         return Err(KillViolation::GcNotIdempotent { second_pass });
@@ -361,23 +582,33 @@ pub fn run_kill_round(round: &KillRound) -> Result<KillRoundReport, KillViolatio
     std::fs::create_dir_all(&round.dir)
         .map_err(|e| KillViolation::Harness(format!("create_dir_all: {e}")))?;
 
-    let mut child = Command::new(&round.exe)
-        .arg(CHILD_FLAG)
+    let mut cmd = Command::new(&round.exe);
+    cmd.arg(CHILD_FLAG)
         .arg(&pool)
         .arg(&sidecar)
         .arg(round.ops.to_string())
-        .arg(commit_word(round.commit))
+        .arg(commit_word(round.commit));
+    if let Some(snap_at) = round.hamt_snap {
+        cmd.arg("hamt").arg(snap_at.to_string());
+    }
+    let mut child = cmd
         .stdout(Stdio::null())
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| KillViolation::Harness(format!("spawn {}: {e}", round.exe.display())))?;
 
     // Wait until the child has acknowledged at least one operation (so the
-    // kill lands mid-traffic, not mid-setup), with a generous timeout.
+    // kill lands mid-traffic, not mid-setup) — and, for snapshot rounds, until
+    // the snapshot marker appears (so every round verifies a retained
+    // snapshot) — with a generous timeout.
     let started = Instant::now();
     let mut child_finished = false;
     loop {
-        if read_floor(&sidecar) >= 1 {
+        let ready = match round.hamt_snap {
+            Some(_) => read_snap_marker(&sidecar) >= 1,
+            None => read_floor(&sidecar) >= 1,
+        };
+        if ready {
             break;
         }
         if let Some(status) = child
@@ -424,7 +655,10 @@ pub fn run_kill_round(round: &KillRound) -> Result<KillRoundReport, KillViolatio
     }
 
     let floor = read_floor(&sidecar);
-    let mut report = verify_pool(&pool, round.ops, floor)?;
+    let mut report = match round.hamt_snap {
+        Some(snap_at) => verify_hamt_pool(&pool, round.ops, floor, snap_at, child_finished)?,
+        None => verify_pool(&pool, round.ops, floor)?,
+    };
     report.child_finished = child_finished;
     if !round.keep_files {
         let _ = std::fs::remove_file(&pool);

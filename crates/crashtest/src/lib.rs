@@ -62,6 +62,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod engine;
+pub mod hamt;
 pub mod kill;
 pub mod matrix;
 pub mod report;
@@ -69,9 +70,10 @@ pub mod roundrobin;
 pub mod server;
 
 pub use engine::{sweep_map, sweep_queue, SweepSettings};
+pub use hamt::{run_hamt_snapshot_case, sweep_hamt_snapshot, SNAPSHOT_STRUCTURE};
 pub use kill::{
-    run_kill_round, verify_pool, CorruptionOutcome, KillRound, KillRoundReport, KillViolation,
-    CHILD_FLAG,
+    run_kill_round, verify_hamt_pool, verify_pool, CorruptionOutcome, KillHamt, KillRound,
+    KillRoundReport, KillViolation, CHILD_FLAG,
 };
 pub use matrix::{run_case, run_matrix, MethodKind, PolicyKind, StructureKind};
 pub use report::{CaseMeta, HistorySpec, SweepReport, Violation};

@@ -15,7 +15,7 @@ use crate::VolatileStores;
 /// flit-HT counter-table size used by sweeps. Smaller than the paper's 1 MB default
 /// because every crash point rebuilds the policy from scratch; table size only
 /// affects counter collisions, not durability semantics.
-const FLIT_HT_SWEEP_BYTES: usize = 1 << 16;
+pub(crate) const FLIT_HT_SWEEP_BYTES: usize = 1 << 16;
 
 /// The structures the engine can sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,16 +30,19 @@ pub enum StructureKind {
     SkipList,
     /// Michael–Scott FIFO queue.
     MsQueue,
+    /// Copy-on-write hash array mapped trie (`flit-hamt`, MOD discipline).
+    Hamt,
 }
 
 impl StructureKind {
     /// Every structure, in sweep order.
-    pub const ALL: [StructureKind; 5] = [
+    pub const ALL: [StructureKind; 6] = [
         StructureKind::List,
         StructureKind::HashTable,
         StructureKind::Bst,
         StructureKind::SkipList,
         StructureKind::MsQueue,
+        StructureKind::Hamt,
     ];
 
     /// CLI key.
@@ -50,6 +53,7 @@ impl StructureKind {
             StructureKind::Bst => "bst",
             StructureKind::SkipList => "skiplist",
             StructureKind::MsQueue => "msqueue",
+            StructureKind::Hamt => "hamt",
         }
     }
 
@@ -181,6 +185,9 @@ pub fn run_case(
         commit: settings.commit,
         broken_acks: settings.broken_acks,
     };
+    if structure == StructureKind::Hamt {
+        return run_hamt_case(case, method, policy, settings);
+    }
     Some(match policy {
         PolicyKind::Plain => with_policy(case, structure, method, settings, presets::plain),
         PolicyKind::FlitHt => with_policy(case, structure, method, settings, |b| {
@@ -195,6 +202,54 @@ pub fn run_case(
         PolicyKind::LinkPersist => {
             with_policy(case, structure, method, settings, presets::link_and_persist)
         }
+    })
+}
+
+/// The HAMT carries its own durability discipline — MOD copy-on-write with a
+/// single flushed CAS on the recovery root — instead of FliT's per-word
+/// methods, so the traversal-phase method axis does not apply to it. Only
+/// `automatic` (the real structure) and `volatile-broken` (the
+/// skip-the-root-flush control, [`flit_hamt::BrokenHamt`], which *must* fail)
+/// are swept; `nvtraverse` and `manual` return `None` like an unsupported
+/// policy combination. The policy axis still selects the backend the handles
+/// run on: the HAMT never touches a `FlitAtomic`, so a clean sweep under every
+/// policy demonstrates exactly that policy-independence.
+fn run_hamt_case(
+    case: CaseMeta,
+    method: MethodKind,
+    policy: PolicyKind,
+    settings: &SweepSettings,
+) -> Option<SweepReport> {
+    fn go<P, F>(case: CaseMeta, broken: bool, settings: &SweepSettings, factory: F) -> SweepReport
+    where
+        P: Policy<Backend = SimNvram>,
+        F: Fn(SimNvram) -> P,
+    {
+        let history = case.history;
+        if broken {
+            sweep_map::<P, flit_hamt::BrokenHamt<P>, F>(
+                case,
+                factory,
+                &history.map_history(),
+                settings,
+            )
+        } else {
+            sweep_map::<P, flit_hamt::Hamt<P>, F>(case, factory, &history.map_history(), settings)
+        }
+    }
+    let broken = match method {
+        MethodKind::Automatic => false,
+        MethodKind::VolatileBroken => true,
+        MethodKind::NvTraverse | MethodKind::Manual => return None,
+    };
+    Some(match policy {
+        PolicyKind::Plain => go(case, broken, settings, presets::plain),
+        PolicyKind::FlitHt => go(case, broken, settings, |b| {
+            presets::flit_ht_sized(b, FLIT_HT_SWEEP_BYTES)
+        }),
+        PolicyKind::FlitAdjacent => go(case, broken, settings, presets::flit_adjacent),
+        PolicyKind::FlitCacheLine => go(case, broken, settings, presets::flit_cacheline),
+        PolicyKind::LinkPersist => go(case, broken, settings, presets::link_and_persist),
     })
 }
 
@@ -249,6 +304,7 @@ where
         StructureKind::MsQueue => {
             sweep_queue::<P, D, F>(case, factory, &history.queue_history(), settings)
         }
+        StructureKind::Hamt => unreachable!("hamt cases are dispatched by run_hamt_case"),
     }
 }
 
@@ -304,6 +360,20 @@ mod tests {
             &SweepSettings::default(),
         )
         .is_none());
+    }
+
+    #[test]
+    fn hamt_skips_traversal_phase_methods() {
+        for method in [MethodKind::NvTraverse, MethodKind::Manual] {
+            assert!(run_case(
+                StructureKind::Hamt,
+                method,
+                PolicyKind::Plain,
+                HistorySpec::Scripted,
+                &SweepSettings::default(),
+            )
+            .is_none());
+        }
     }
 
     #[test]

@@ -72,7 +72,7 @@ fn expected_reply(model: &mut BTreeMap<u64, u64>, op: &Op) -> Reply {
                 Reply::Absent
             }
         }
-        Op::Stats => unreachable!("crash histories contain only data ops"),
+        Op::Stats | Op::Scan { .. } => unreachable!("crash histories contain only data ops"),
     }
 }
 

@@ -40,9 +40,11 @@ fn scripted_every_event_sweep_is_clean_under_flit_ht() {
         HistorySpec::Scripted,
         &exhaustive(),
     );
+    // The HAMT brings its own durability discipline, so of the correct
+    // methods only `Automatic` applies to it — the matrix skips the rest.
     assert_eq!(
         reports.len(),
-        StructureKind::ALL.len() * MethodKind::CORRECT.len()
+        (StructureKind::ALL.len() - 1) * MethodKind::CORRECT.len() + 1
     );
     for report in &reports {
         assert!(
@@ -265,9 +267,10 @@ fn batched_commit_sweeps_clean_for_every_structure() {
             ..Default::default()
         },
     );
+    // As above: the HAMT supports only `Automatic` of the correct methods.
     assert_eq!(
         reports.len(),
-        StructureKind::ALL.len() * MethodKind::CORRECT.len()
+        (StructureKind::ALL.len() - 1) * MethodKind::CORRECT.len() + 1
     );
     for report in &reports {
         assert!(

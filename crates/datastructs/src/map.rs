@@ -56,6 +56,25 @@ pub trait ConcurrentMap<P: Policy>: Send + Sync {
         self.get(h, key).is_some()
     }
 
+    /// Enumerate the `(key, value)` pairs whose key matches `prefix` under
+    /// `mask` (`key & mask == prefix & mask`; a zero mask selects everything),
+    /// read from a **frozen snapshot** taken at call time — concurrent updates
+    /// during the walk do not appear in the result. Pairs are sorted by key.
+    ///
+    /// Returns `None` when the structure cannot take snapshots — the in-place
+    /// structures mutate nodes under the reader's feet, so any walk they could
+    /// offer would be a non-atomic view. Structures with copy-on-write roots
+    /// (the HAMT) override this with a real retained-root snapshot.
+    fn snapshot_scan(
+        &self,
+        h: &FlitHandle<'_, P>,
+        prefix: u64,
+        mask: u64,
+    ) -> Option<Vec<(u64, u64)>> {
+        let _ = (h, prefix, mask);
+        None
+    }
+
     /// Number of keys currently present. Only meaningful in quiescent states; intended
     /// for tests and for validating pre-fill (raw loads: no handle required).
     fn len(&self) -> usize;

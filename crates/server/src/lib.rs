@@ -51,18 +51,28 @@
 //! [`Op::Stats`] on the wire answers with the whole document as `flit-obs-v1`
 //! JSON ([`Reply::Stats`]) — the path `flitctl stats` drives.
 //!
-//! ## Why cross-shard operations are out of scope
+//! ## Scans, and why transactions stay out of scope
 //!
-//! Every request touches exactly one shard, so per-shard durable
+//! Every *data* request touches exactly one shard, so per-shard durable
 //! linearizability composes into service-wide correctness for free: a crash of
 //! one shard loses at most that shard's in-flight request, and recovery is the
-//! existing image-only per-structure path, shard by shard. A multi-key
-//! operation (transactions, scans) would break that independence — it needs a
-//! cross-shard commit protocol with its own persistence ordering, which is a
-//! different paper. The crash harness leans on the same independence: it crashes
-//! one shard at a stable absolute event index *of that shard's backend* while
-//! the other shards keep serving, then checks each shard against its own
-//! history — see `flit_crashtest::server`.
+//! existing image-only per-structure path, shard by shard. The crash harness
+//! leans on the same independence: it crashes one shard at a stable absolute
+//! event index *of that shard's backend* while the other shards keep serving,
+//! then checks each shard against its own history — see
+//! `flit_crashtest::server`.
+//!
+//! [`Op::Scan`] is the one multi-key request, and it preserves the
+//! independence rather than breaking it: each shard answers from a **frozen
+//! snapshot** of its own map ([`ConcurrentMap::snapshot_scan`](flit_datastructs::ConcurrentMap::snapshot_scan)
+//! — a retained-root snapshot on the copy-on-write HAMT), and
+//! [`KvServer::scan`] merges the per-shard shares in key order. The result is
+//! a consistent-per-shard cut: atomic with respect to each shard's updates,
+//! with no cross-shard ordering claimed — the strongest guarantee available
+//! without a cross-shard commit protocol. Maps that cannot take snapshots (the
+//! in-place structures) answer [`Reply::Unsupported`] instead of serving a
+//! torn walk. Multi-key *transactions* would genuinely need that commit
+//! protocol, with its own persistence ordering — a different paper.
 //!
 //! [`FlitDb`]: flit::FlitDb
 

@@ -11,12 +11,15 @@
 //! Malformed input never panics: [`Op::decode`] and [`Reply::decode`] return a
 //! [`ProtoError`] for truncated buffers, unknown tags and trailing garbage.
 //!
-//! Besides the three data ops there is one *control-plane* request:
-//! [`Op::Stats`] asks the server for its aggregated metrics snapshot and is
-//! answered by [`Reply::Stats`] carrying a length-prefixed `flit-obs-v1` JSON
-//! document. Stats addresses the server as a whole (it has no key and is
-//! never routed to a shard mailbox), which is why [`Op::key`] reports `None`
-//! for it.
+//! Besides the three data ops there are two *control-plane* requests that
+//! address the server as a whole (they have no single key and are never routed
+//! to a shard mailbox, which is why [`Op::key`] reports `None` for them):
+//! [`Op::Stats`] asks for the aggregated metrics snapshot and is answered by
+//! [`Reply::Stats`] carrying a length-prefixed `flit-obs-v1` JSON document, and
+//! [`Op::Scan`] asks for every `(key, value)` pair matching a prefix mask and
+//! is answered by [`Reply::Entries`] — served from per-shard frozen snapshots
+//! and merged in key order. A server whose map cannot take snapshots answers a
+//! scan with [`Reply::Unsupported`] rather than lying with an empty result.
 
 /// One request of the KV service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +33,17 @@ pub enum Op {
     /// Fetch the server's aggregated metrics snapshot (control plane; not
     /// routed to any shard).
     Stats,
+    /// Enumerate every pair whose key matches `prefix` under `mask`
+    /// (`key & mask == prefix & mask`; `mask == 0` dumps the whole map).
+    /// Control plane: fans out to *every* shard's frozen snapshot rather than
+    /// routing to one.
+    Scan {
+        /// The key bits the scan selects on (only the bits set in `mask`
+        /// participate).
+        prefix: u64,
+        /// Which key bits must match `prefix`; zero selects everything.
+        mask: u64,
+    },
 }
 
 /// One reply of the KV service.
@@ -50,6 +64,12 @@ pub enum Reply {
     /// `Stats` answer: a `flit-obs-v1` JSON document (UTF-8 bytes,
     /// length-prefixed on the wire).
     Stats(Vec<u8>),
+    /// `Scan` answer: the matching `(key, value)` pairs, count-prefixed on the
+    /// wire, sorted by key.
+    Entries(Vec<(u64, u64)>),
+    /// The request decoded fine but this server cannot serve it — e.g. a
+    /// `Scan` against a map structure that cannot take frozen snapshots.
+    Unsupported,
 }
 
 /// Why a byte buffer failed to decode.
@@ -86,6 +106,9 @@ const TAG_EXISTS: u8 = 0x84;
 const TAG_DELETED: u8 = 0x85;
 const TAG_ABSENT: u8 = 0x86;
 const TAG_STATS_REPLY: u8 = 0x87;
+const TAG_SCAN: u8 = 0x05;
+const TAG_ENTRIES: u8 = 0x88;
+const TAG_UNSUPPORTED: u8 = 0x89;
 
 /// Split one little-endian `u64` off the front of `buf`.
 fn take_u64(buf: &[u8]) -> Result<(u64, &[u8]), ProtoError> {
@@ -122,6 +145,11 @@ impl Op {
                 out.extend_from_slice(&k.to_le_bytes());
             }
             Op::Stats => out.push(TAG_STATS),
+            Op::Scan { prefix, mask } => {
+                out.push(TAG_SCAN);
+                out.extend_from_slice(&prefix.to_le_bytes());
+                out.extend_from_slice(&mask.to_le_bytes());
+            }
         }
     }
 
@@ -150,16 +178,21 @@ impl Op {
                 done(Op::Del(k), rest)
             }
             TAG_STATS => done(Op::Stats, rest),
+            TAG_SCAN => {
+                let (prefix, rest) = take_u64(rest)?;
+                let (mask, rest) = take_u64(rest)?;
+                done(Op::Scan { prefix, mask }, rest)
+            }
             other => Err(ProtoError::BadTag(other)),
         }
     }
 
     /// The key this request addresses — what shard routing hashes. `None` for
-    /// the unrouted control-plane [`Op::Stats`].
+    /// the unrouted control-plane requests ([`Op::Stats`], [`Op::Scan`]).
     pub fn key(&self) -> Option<u64> {
         match *self {
             Op::Get(k) | Op::Put(k, _) | Op::Del(k) => Some(k),
-            Op::Stats => None,
+            Op::Stats | Op::Scan { .. } => None,
         }
     }
 }
@@ -182,6 +215,15 @@ impl Reply {
                 out.extend_from_slice(&(json.len() as u64).to_le_bytes());
                 out.extend_from_slice(json);
             }
+            Reply::Entries(pairs) => {
+                out.push(TAG_ENTRIES);
+                out.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+                for (k, v) in pairs {
+                    out.extend_from_slice(&k.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Reply::Unsupported => out.push(TAG_UNSUPPORTED),
         }
     }
 
@@ -213,6 +255,23 @@ impl Reply {
                 let (json, rest) = rest.split_at(len as usize);
                 done(Reply::Stats(json.to_vec()), rest)
             }
+            TAG_ENTRIES => {
+                let (count, mut rest) = take_u64(rest)?;
+                // Bound the count by the bytes actually present before
+                // allocating — a hostile length prefix must not OOM us.
+                if count > rest.len() as u64 / 16 {
+                    return Err(ProtoError::Truncated);
+                }
+                let mut pairs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let (k, r) = take_u64(rest)?;
+                    let (v, r) = take_u64(r)?;
+                    pairs.push((k, v));
+                    rest = r;
+                }
+                done(Reply::Entries(pairs), rest)
+            }
+            TAG_UNSUPPORTED => done(Reply::Unsupported, rest),
             other => Err(ProtoError::BadTag(other)),
         }
     }
@@ -230,6 +289,11 @@ mod tests {
             Op::Put(7, 42),
             Op::Del(9),
             Op::Stats,
+            Op::Scan { prefix: 0, mask: 0 },
+            Op::Scan {
+                prefix: 0x4000,
+                mask: 0xFF00,
+            },
         ] {
             assert_eq!(Op::decode(&op.encode()), Ok(op));
         }
@@ -247,6 +311,9 @@ mod tests {
             Reply::Absent,
             Reply::Stats(Vec::new()),
             Reply::Stats(b"{\"schema\":\"flit-obs-v1\"}".to_vec()),
+            Reply::Entries(Vec::new()),
+            Reply::Entries(vec![(1, 10), (2, 20), (u64::MAX, 0)]),
+            Reply::Unsupported,
         ] {
             assert_eq!(Reply::decode(&reply.encode()), Ok(reply.clone()));
         }
@@ -261,7 +328,16 @@ mod tests {
         );
         assert_eq!(Op::Del(3).encode(), vec![0x03, 3, 0, 0, 0, 0, 0, 0, 0]);
         assert_eq!(Op::Stats.encode(), vec![0x04]);
+        assert_eq!(
+            Op::Scan { prefix: 1, mask: 2 }.encode(),
+            vec![0x05, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0]
+        );
         assert_eq!(Reply::Inserted.encode(), vec![0x83]);
+        assert_eq!(
+            Reply::Entries(vec![(1, 2)]).encode(),
+            vec![0x88, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0]
+        );
+        assert_eq!(Reply::Unsupported.encode(), vec![0x89]);
         assert_eq!(
             Reply::Stats(b"{}".to_vec()).encode(),
             vec![0x87, 2, 0, 0, 0, 0, 0, 0, 0, b'{', b'}']
@@ -287,6 +363,20 @@ mod tests {
         let mut long = Reply::Stats(b"{}".to_vec()).encode();
         long.push(0);
         assert_eq!(Reply::decode(&long), Err(ProtoError::Trailing));
+        // A scan missing its mask word; an entries reply whose count prefix
+        // claims more pairs than the buffer holds (caught before allocating);
+        // one with bytes past the last pair.
+        assert_eq!(
+            Op::decode(&Op::Scan { prefix: 1, mask: 2 }.encode()[..9]),
+            Err(ProtoError::Truncated)
+        );
+        assert_eq!(
+            Reply::decode(&[0x88, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF]),
+            Err(ProtoError::Truncated)
+        );
+        let mut long = Reply::Entries(vec![(1, 2)]).encode();
+        long.push(0);
+        assert_eq!(Reply::decode(&long), Err(ProtoError::Trailing));
     }
 
     #[test]
@@ -295,5 +385,10 @@ mod tests {
         assert_eq!(Op::Put(6, 1).key(), Some(6));
         assert_eq!(Op::Del(7).key(), Some(7));
         assert_eq!(Op::Stats.key(), None, "stats is unrouted");
+        assert_eq!(
+            Op::Scan { prefix: 5, mask: 7 }.key(),
+            None,
+            "scan fans out to every shard"
+        );
     }
 }

@@ -95,10 +95,11 @@ pub struct Shard<P: Policy, M: ConcurrentMap<P>> {
     /// Index of this shard within its server (stamped on its metric labels).
     index: usize,
     /// Per-op-kind counters on the server's shared registry
-    /// (`server_ops_total{shard=i,op=get|put|del}`).
+    /// (`server_ops_total{shard=i,op=get|put|del|scan}`).
     ops_get: Counter,
     ops_put: Counter,
     ops_del: Counter,
+    ops_scan: Counter,
     /// Apply latency (`server_reply_ns{shard=i}`), nanoseconds.
     reply_ns: Histogram,
 }
@@ -120,6 +121,7 @@ impl<P: Policy, M: ConcurrentMap<P>> Shard<P, M> {
             ops_get: op_counter("get"),
             ops_put: op_counter("put"),
             ops_del: op_counter("del"),
+            ops_scan: op_counter("scan"),
             reply_ns: registry.histogram("server_reply_ns", &[("shard", &shard_label)]),
         }
     }
@@ -206,7 +208,20 @@ impl<P: Policy, M: ConcurrentMap<P>> Shard<P, M> {
                 }
             }
             Op::Stats => Reply::Stats(self.db.metrics_snapshot().to_json().into_bytes()),
+            Op::Scan { prefix, mask } => match self.scan(h, prefix, mask) {
+                Some(pairs) => Reply::Entries(pairs),
+                None => Reply::Unsupported,
+            },
         }
+    }
+
+    /// This shard's share of a scan: the matching pairs of a frozen snapshot
+    /// of the shard map ([`ConcurrentMap::snapshot_scan`]), or `None` when the
+    /// map structure cannot take snapshots. Counts into
+    /// `server_ops_total{shard,op="scan"}` either way.
+    pub fn scan(&self, h: &FlitHandle<'_, P>, prefix: u64, mask: u64) -> Option<Vec<(u64, u64)>> {
+        self.ops_scan.add(1);
+        self.map.snapshot_scan(h, prefix, mask)
     }
 
     /// Bytes in → op → bytes out, bypassing the mailbox: decode one request,
@@ -359,10 +374,18 @@ impl<P: Policy, M: ConcurrentMap<P>> KvServer<P, M> {
         debug_assert_eq!(handles.len(), self.shards.len());
         let op = Op::decode(&slab[token as usize])?;
         let Some(key) = op.key() else {
-            // Control plane: `Stats` addresses the server as a whole, so it
-            // never routes to a shard or touches a mailbox — answer in place
-            // with the aggregated document.
-            let reply = Reply::Stats(self.stats_json().into_bytes());
+            // Control plane: these address the server as a whole, so they
+            // never route to a shard or touch a mailbox. `Stats` answers in
+            // place with the aggregated document; `Scan` merges every shard's
+            // frozen-snapshot share ([`KvServer::scan`]).
+            let reply = match op {
+                Op::Stats => Reply::Stats(self.stats_json().into_bytes()),
+                Op::Scan { prefix, mask } => match self.scan(handles, prefix, mask) {
+                    Some(pairs) => Reply::Entries(pairs),
+                    None => Reply::Unsupported,
+                },
+                _ => unreachable!("every data op has a key"),
+            };
             return Ok((token, reply.encode()));
         };
         let sid = self.route(key);
@@ -377,6 +400,29 @@ impl<P: Policy, M: ConcurrentMap<P>> KvServer<P, M> {
             }
             std::hint::spin_loop();
         }
+    }
+
+    /// A whole-server scan: every shard's frozen-snapshot share
+    /// ([`Shard::scan`]) merged and sorted by key. Keys are partitioned across
+    /// shards by hash, so the union of per-shard snapshots is exactly one
+    /// consistent-per-shard cut of the whole keyspace — each shard's share is
+    /// atomic with respect to that shard's updates, which is the strongest
+    /// consistency a scan can have without a cross-shard commit protocol (see
+    /// the crate docs). Returns `None` when the map structure cannot take
+    /// snapshots. `handles` must hold one handle per shard in shard order.
+    pub fn scan(
+        &self,
+        handles: &[FlitHandle<'_, P>],
+        prefix: u64,
+        mask: u64,
+    ) -> Option<Vec<(u64, u64)>> {
+        debug_assert_eq!(handles.len(), self.shards.len());
+        let mut merged = Vec::new();
+        for (shard, h) in self.shards.iter().zip(handles) {
+            merged.extend(shard.scan(h, prefix, mask)?);
+        }
+        merged.sort_unstable();
+        Some(merged)
     }
 
     /// The server's shared metrics registry.
@@ -522,6 +568,57 @@ mod tests {
         let expected: Vec<(u64, u64)> = (1..=20u64).map(|k| (k, 10 * k)).collect();
         assert_eq!(recovered, expected);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_merges_frozen_shard_snapshots_in_key_order() {
+        let s: KvServer<Policy_, flit_hamt::Hamt<Policy_>> =
+            KvServer::new_with(ServerConfig::new(3, 256), |_| {
+                FlitDb::flit_ht(SimNvram::builder().latency(LatencyModel::none()).build())
+            });
+        let hs = s.handles();
+        let mut slab: Vec<Vec<u8>> = (1..=24u64).map(|k| Op::Put(k, 100 + k).encode()).collect();
+        for t in 0..24u64 {
+            s.pump(&hs, &slab, t).unwrap();
+        }
+        // Full dump (mask 0): every pair, key-sorted, across all three shards.
+        slab.push(Op::Scan { prefix: 0, mask: 0 }.encode());
+        let (_, reply) = s.pump(&hs, &slab, 24).unwrap();
+        let expected: Vec<(u64, u64)> = (1..=24u64).map(|k| (k, 100 + k)).collect();
+        assert_eq!(Reply::decode(&reply), Ok(Reply::Entries(expected)));
+        // A masked scan keeps exactly the keys matching `prefix` under `mask`:
+        // low-three-bits == 2 selects 2, 10, 18.
+        slab.push(Op::Scan { prefix: 2, mask: 7 }.encode());
+        let (_, reply) = s.pump(&hs, &slab, 25).unwrap();
+        assert_eq!(
+            Reply::decode(&reply),
+            Ok(Reply::Entries(vec![(2, 102), (10, 110), (18, 118)]))
+        );
+        // Each shard served its snapshot share and counted it.
+        let snap = s.stats_snapshot();
+        let scans: u64 = snap
+            .counters
+            .iter()
+            .filter(|c| {
+                c.name == "server_ops_total"
+                    && c.labels.iter().any(|(k, v)| k == "op" && v == "scan")
+            })
+            .map(|c| c.value)
+            .sum();
+        assert_eq!(scans, 6, "two scans x three shards");
+        // No retained roots leak: every snapshot was released on return.
+        for shard in s.shards() {
+            assert!(shard.map().retained_roots().is_empty());
+        }
+    }
+
+    #[test]
+    fn scan_against_a_snapshotless_map_answers_unsupported() {
+        let s = server(2);
+        let hs = s.handles();
+        let slab = vec![Op::Scan { prefix: 0, mask: 0 }.encode()];
+        let (_, reply) = s.pump(&hs, &slab, 0).unwrap();
+        assert_eq!(Reply::decode(&reply), Ok(Reply::Unsupported));
     }
 
     #[test]

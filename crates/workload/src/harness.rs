@@ -262,6 +262,87 @@ pub fn run_case_observed(case: &Case, observe: Option<&LatencyObserver<'_>>) -> 
     }
 }
 
+/// One fully specified experiment case for the copy-on-write HAMT
+/// (`flit-hamt`).
+///
+/// The HAMT brings its own durability discipline — persist the new path
+/// bottom-up, publish with one flushed CAS (the MOD recipe) — so there is no
+/// durability-method axis to sweep: the structure *is* its method. The policy
+/// axis still applies (the P-V interface underneath is interchangeable), which
+/// is exactly what makes the flat-fence-cost comparison against the in-place
+/// structures meaningful.
+#[derive(Debug, Clone)]
+pub struct HamtCase {
+    /// Persistence policy variant.
+    pub policy: PolicyKind,
+    /// Workload parameters.
+    pub config: WorkloadConfig,
+    /// Latency model for the simulated NVRAM.
+    pub latency: LatencyModel,
+    /// Persist-epoch elision mode of the simulated NVRAM.
+    pub elision: ElisionMode,
+    /// Durability commit mode of the database.
+    pub commit: CommitMode,
+}
+
+impl HamtCase {
+    /// Human-readable label, e.g. `hamt/cow/flit-HT (1MB)`; batched commit
+    /// modes append their name. `cow` sits where the durability method sits in
+    /// [`Case::label`], naming the structure's own discipline.
+    pub fn label(&self) -> String {
+        let base = format!("hamt/cow/{}", self.policy.name());
+        if self.commit.is_batched() {
+            format!("{}/{}", base, self.commit.name())
+        } else {
+            base
+        }
+    }
+}
+
+fn run_hamt_with_policy<P: Policy>(
+    policy: P,
+    case: &HamtCase,
+    observe: Option<&LatencyObserver<'_>>,
+) -> RunResult {
+    let db = &FlitDb::builder(policy).commit_mode(case.commit).build();
+    let map: flit_hamt::Hamt<P> = ConcurrentMap::with_capacity(db, case.config.key_range as usize);
+    prefill(&map, &case.config);
+    run_workload_observed(&map, &case.config, observe)
+}
+
+/// Build the HAMT described by `case`, prefill it, run the workload and return
+/// the measurement. Every policy variant applies (the trie's interior is plain
+/// `FlitHandle` traffic, word-aligned CAS only).
+pub fn run_hamt_case(case: &HamtCase) -> RunResult {
+    run_hamt_case_observed(case, None)
+}
+
+/// [`run_hamt_case`] with an optional per-operation [`LatencyObserver`].
+pub fn run_hamt_case_observed(case: &HamtCase, observe: Option<&LatencyObserver<'_>>) -> RunResult {
+    let backend = || {
+        SimNvram::builder()
+            .latency(case.latency)
+            .elision(case.elision)
+            .build()
+    };
+    match case.policy {
+        PolicyKind::NoPersist => run_hamt_with_policy(presets::no_persist(), case, observe),
+        PolicyKind::Plain => run_hamt_with_policy(presets::plain(backend()), case, observe),
+        PolicyKind::FlitAdjacent => {
+            run_hamt_with_policy(presets::flit_adjacent(backend()), case, observe)
+        }
+        PolicyKind::FlitHt(bytes) => {
+            run_hamt_with_policy(presets::flit_ht_sized(backend(), bytes), case, observe)
+        }
+        PolicyKind::FlitCacheLine => {
+            run_hamt_with_policy(presets::flit_cacheline(backend()), case, observe)
+        }
+        PolicyKind::LinkAndPersist => {
+            run_hamt_with_policy(presets::link_and_persist(backend()), case, observe)
+        }
+    }
+}
+
 /// One fully specified queue experiment case.
 ///
 /// The queue analogue of [`Case`]: the paper's P-V interface applies to any
@@ -432,6 +513,36 @@ mod tests {
             plain.pwbs_per_op(),
             flit.pwbs_per_op()
         );
+    }
+
+    #[test]
+    fn every_hamt_policy_runs() {
+        for policy in [
+            PolicyKind::NoPersist,
+            PolicyKind::Plain,
+            PolicyKind::FlitAdjacent,
+            PolicyKind::FlitHt(1 << 16),
+            PolicyKind::FlitCacheLine,
+            PolicyKind::LinkAndPersist,
+        ] {
+            let case = HamtCase {
+                policy,
+                config: tiny_config(),
+                latency: LatencyModel::none(),
+                elision: ElisionMode::default(),
+                commit: CommitMode::Immediate,
+            };
+            let result = run_hamt_case(&case);
+            assert_eq!(result.total_ops, 400, "case {}", case.label());
+        }
+        let case = HamtCase {
+            policy: PolicyKind::Plain,
+            config: tiny_config(),
+            latency: LatencyModel::none(),
+            elision: ElisionMode::default(),
+            commit: CommitMode::Batched(8),
+        };
+        assert_eq!(case.label(), "hamt/cow/plain/batched-8");
     }
 
     #[test]

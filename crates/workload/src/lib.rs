@@ -60,8 +60,8 @@ pub use crash_history::{
     QueueOp,
 };
 pub use harness::{
-    run_case, run_case_observed, run_queue_case, run_queue_case_observed, Case, DsKind, DurKind,
-    PolicyKind, QueueCase, QUEUE_DURS,
+    run_case, run_case_observed, run_hamt_case, run_hamt_case_observed, run_queue_case,
+    run_queue_case_observed, Case, DsKind, DurKind, HamtCase, PolicyKind, QueueCase, QUEUE_DURS,
 };
 pub use queue_config::{QueueShape, QueueWorkloadConfig};
 pub use queue_runner::{
